@@ -1,0 +1,64 @@
+//! Criterion benches of setup-time machinery: greedy coloring (§III-A)
+//! and the `mxm`-based row-permutation path (`PᵀAP`) the paper names as
+//! GraphBLAS's only conforming way to regroup indices.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use graphblas::{mxm, CsrMatrix, Descriptor, PlusTimes, Sequential};
+use hpcg::coloring::{octant_coloring, Coloring};
+use hpcg::problem::build_stencil_matrix;
+use hpcg::Grid3;
+use std::hint::black_box;
+
+const SIZE: usize = 20;
+
+fn bench_coloring(c: &mut Criterion) {
+    let grid = Grid3::cube(SIZE);
+    let a = build_stencil_matrix(grid);
+    let mut g = c.benchmark_group("coloring");
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.bench_function("greedy", |b| b.iter(|| Coloring::greedy(black_box(&a))));
+    g.bench_function("octant_closed_form", |b| b.iter(|| octant_coloring(black_box(grid))));
+    g.finish();
+}
+
+fn bench_permutation_mxm(c: &mut Criterion) {
+    // P^T A P with P the color-sorting permutation: the §III-A mechanism
+    // for regrouping same-colored rows into contiguous storage.
+    let grid = Grid3::cube(12);
+    let a = build_stencil_matrix(grid);
+    let coloring = Coloring::greedy(&a);
+    let order: Vec<usize> = {
+        let mut idx: Vec<usize> = (0..a.nrows()).collect();
+        idx.sort_by_key(|&i| (coloring.color[i], i));
+        idx
+    };
+    // P[new, old] = 1 ⇒ (P A)_{new} = A_{old}.
+    let p_triplets: Vec<(usize, usize, f64)> =
+        order.iter().enumerate().map(|(new, &old)| (new, old, 1.0)).collect();
+    let p = CsrMatrix::from_triplets(a.nrows(), a.nrows(), &p_triplets).unwrap();
+
+    let mut g = c.benchmark_group("permutation");
+    g.sample_size(10);
+    g.bench_function("ptap_via_mxm", |b| {
+        b.iter(|| {
+            let pa = mxm::<f64, PlusTimes, Sequential>(
+                black_box(&p),
+                black_box(&a),
+                Descriptor::DEFAULT,
+                PlusTimes,
+            )
+            .unwrap();
+            let pat = mxm::<f64, PlusTimes, Sequential>(&pa, &p.transpose(), Descriptor::DEFAULT, PlusTimes)
+                .unwrap();
+            black_box(pat)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_coloring, bench_permutation_mxm
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation of kernel fusion (paper §VI / nonblocking-execution [32]):
+//! fused `spmv+dot` and `axpy+norm` vs the unfused GraphBLAS pairs.
+//! Fusion halves the streaming traffic of the paired kernels, the saving
+//! the Tianhe-2 work the paper cites reports at machine scale.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use graphblas::{axpy_in_place, dot, mxv, Descriptor, PlusTimes, Sequential, Vector};
+use hpcg::fused::{axpy_norm_fused, spmv_dot_fused};
+use hpcg::problem::build_stencil_matrix;
+use hpcg::Grid3;
+use std::hint::black_box;
+
+const SIZE: usize = 24;
+
+fn bench_spmv_dot(c: &mut Criterion) {
+    let a = build_stencil_matrix(Grid3::cube(SIZE));
+    let n = a.nrows();
+    let x = Vector::from_dense((0..n).map(|i| (i % 17) as f64).collect());
+    let mut y = Vector::zeros(n);
+
+    let mut g = c.benchmark_group("spmv_then_dot");
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.bench_function("unfused", |b| {
+        b.iter(|| {
+            mxv::<f64, PlusTimes, Sequential>(
+                &mut y,
+                None,
+                Descriptor::DEFAULT,
+                black_box(&a),
+                black_box(&x),
+                PlusTimes,
+            )
+            .unwrap();
+            dot::<f64, PlusTimes, Sequential>(&x, &y, PlusTimes).unwrap()
+        })
+    });
+    g.bench_function("fused", |b| {
+        b.iter(|| spmv_dot_fused(black_box(&a), black_box(&x), &mut y))
+    });
+    g.finish();
+}
+
+fn bench_axpy_norm(c: &mut Criterion) {
+    let n = SIZE * SIZE * SIZE * 8;
+    let r0 = Vector::from_dense((0..n).map(|i| (i % 13) as f64).collect());
+    let q = Vector::from_dense((0..n).map(|i| (i % 7) as f64).collect());
+
+    let mut g = c.benchmark_group("axpy_then_norm");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("unfused", |b| {
+        let mut r = r0.clone();
+        b.iter(|| {
+            axpy_in_place::<f64, Sequential>(&mut r, -0.5, black_box(&q)).unwrap();
+            dot::<f64, PlusTimes, Sequential>(&r, &r, PlusTimes).unwrap()
+        })
+    });
+    g.bench_function("fused", |b| {
+        let mut r = r0.clone();
+        b.iter(|| axpy_norm_fused(&mut r, 0.5, black_box(&q)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_spmv_dot, bench_axpy_norm
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation of the paper's §VII-A proposal: restriction/refinement as a
+//! **materialized CSR matrix** (the GraphBLAS-conformant form of §III-B)
+//! vs a **matrix-free abstract linear operator** (straight injection from
+//! its index map). The paper predicts the abstract form trades bandwidth
+//! for computation; this bench measures the difference, and the storage
+//! ratio is printed by the `quickstart` example.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use graphblas::{CsrMatrix, InjectionOperator, LinearOperator, Sequential, Vector};
+use hpcg::{Grid3, Problem, RhsVariant};
+use std::hint::black_box;
+
+const SIZE: usize = 32;
+
+fn bench_restriction(c: &mut Criterion) {
+    let problem = Problem::build_with(Grid3::cube(SIZE), 2, RhsVariant::Reference).unwrap();
+    let level = &problem.levels[0];
+    let csr: &CsrMatrix<f64> = level.restriction.as_ref().unwrap();
+    let inj: &InjectionOperator = level.injection.as_ref().unwrap();
+    let nf = level.n();
+    let nc = problem.levels[1].n();
+    let xf = Vector::from_dense((0..nf).map(|i| (i % 29) as f64).collect());
+    let mut yc = Vector::zeros(nc);
+
+    let mut g = c.benchmark_group("restriction");
+    g.throughput(Throughput::Elements(nc as u64));
+    g.bench_function("materialized_csr_mxv", |b| {
+        b.iter(|| LinearOperator::<f64>::apply::<Sequential>(csr, &mut yc, black_box(&xf)).unwrap())
+    });
+    g.bench_function("matrix_free_injection", |b| {
+        b.iter(|| LinearOperator::<f64>::apply::<Sequential>(inj, &mut yc, black_box(&xf)).unwrap())
+    });
+    g.finish();
+
+    let xc = Vector::from_dense((0..nc).map(|i| (i % 31) as f64).collect());
+    let mut yf = Vector::zeros(nf);
+    let mut g = c.benchmark_group("refinement_transpose");
+    g.throughput(Throughput::Elements(nf as u64));
+    g.bench_function("materialized_csr_mxv_transpose", |b| {
+        b.iter(|| {
+            LinearOperator::<f64>::apply_transpose::<Sequential>(csr, &mut yf, black_box(&xc))
+                .unwrap()
+        })
+    });
+    g.bench_function("matrix_free_injection_transpose", |b| {
+        b.iter(|| {
+            LinearOperator::<f64>::apply_transpose::<Sequential>(inj, &mut yf, black_box(&xc))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_restriction
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benches of the smoothers (paper §II-E, §III-A): the
+//! inherently sequential SGS baseline vs the parallelizable RBGS in both
+//! its reference (direct-array) and GraphBLAS (masked-primitive) forms.
+//!
+//! The interesting comparisons:
+//! * `sgs` vs `rbgs_*` sequential — RBGS does the same Θ(n) work in a
+//!   different order, so sequential times should be comparable;
+//! * `rbgs_ref` vs `rbgs_grb` — the paper's central programmability
+//!   question: what does the opaque-container formulation cost?
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use graphblas::{Parallel, Sequential, Vector};
+use hpcg::coloring::Coloring;
+use hpcg::problem::{build_rhs, build_stencil_matrix, RhsVariant};
+use hpcg::smoother::{rbgs_grb, rbgs_ref, sgs};
+use hpcg::Grid3;
+use std::hint::black_box;
+
+const SIZE: usize = 24;
+
+fn bench_smoothers(c: &mut Criterion) {
+    let a = build_stencil_matrix(Grid3::cube(SIZE));
+    let n = a.nrows();
+    let diag_vec = a.extract_diagonal();
+    let diag = diag_vec.as_slice().to_vec();
+    let coloring = Coloring::greedy(&a);
+    let classes = coloring.classes();
+    let masks = coloring.masks(n);
+    let b = build_rhs(&a, RhsVariant::Reference);
+    let bs = b.as_slice().to_vec();
+
+    let mut g = c.benchmark_group("smoother_symmetric_sweep");
+    g.throughput(Throughput::Elements(a.nnz() as u64 * 2));
+
+    g.bench_function("sgs_sequential_baseline", |bch| {
+        let mut x = vec![0.0f64; n];
+        bch.iter(|| {
+            sgs::sgs_symmetric(black_box(&a), &diag, &bs, &mut x);
+        })
+    });
+
+    g.bench_function("rbgs_ref", |bch| {
+        let mut x = vec![0.0f64; n];
+        bch.iter(|| {
+            rbgs_ref::rbgs_symmetric(black_box(&a), &diag, &classes, &bs, &mut x);
+        })
+    });
+
+    g.bench_function("rbgs_grb_sequential", |bch| {
+        let mut x = Vector::zeros(n);
+        let mut tmp = Vector::zeros(n);
+        bch.iter(|| {
+            rbgs_grb::rbgs_symmetric::<Sequential>(
+                black_box(&a),
+                &diag_vec,
+                &masks,
+                &b,
+                &mut x,
+                &mut tmp,
+            )
+            .unwrap();
+        })
+    });
+
+    g.bench_function("rbgs_grb_parallel", |bch| {
+        let mut x = Vector::zeros(n);
+        let mut tmp = Vector::zeros(n);
+        bch.iter(|| {
+            rbgs_grb::rbgs_symmetric::<Parallel>(
+                black_box(&a),
+                &diag_vec,
+                &masks,
+                &b,
+                &mut x,
+                &mut tmp,
+            )
+            .unwrap();
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_smoothers
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benches of the composed solver: one MG V-cycle and one full
+//! preconditioned CG iteration, for both implementations. These are the
+//! units the paper's execution-time figures integrate over.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphblas::Sequential;
+use hpcg::cg::{cg_solve, CgWorkspace};
+use hpcg::mg::{mg_precondition, MgWorkspace};
+use hpcg::{Grid3, GrbHpcg, Kernels, Problem, RefHpcg, RhsVariant};
+use std::hint::black_box;
+
+const SIZE: usize = 16;
+
+fn bench_mg_cycle(c: &mut Criterion) {
+    let problem = Problem::build_with(Grid3::cube(SIZE), 4, RhsVariant::Reference).unwrap();
+    let mut g = c.benchmark_group("mg_vcycle");
+
+    {
+        let b = problem.b.clone();
+        let mut k = GrbHpcg::<Sequential>::new(problem.clone());
+        let mut ws = MgWorkspace::new(&k);
+        let mut z = k.alloc(0);
+        g.bench_function("alp", |bch| {
+            bch.iter(|| mg_precondition(&mut k, &mut ws, black_box(&b), &mut z))
+        });
+    }
+    {
+        let b = problem.b.as_slice().to_vec();
+        let mut k = RefHpcg::new(problem.clone());
+        let mut ws = MgWorkspace::new(&k);
+        let mut z = k.alloc(0);
+        g.bench_function("ref", |bch| {
+            bch.iter(|| mg_precondition(&mut k, &mut ws, black_box(&b), &mut z))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cg_iterations(c: &mut Criterion) {
+    let problem = Problem::build_with(Grid3::cube(SIZE), 4, RhsVariant::Reference).unwrap();
+    let mut g = c.benchmark_group("pcg_5_iterations");
+
+    {
+        let b = problem.b.clone();
+        let mut k = GrbHpcg::<Sequential>::new(problem.clone());
+        let mut cg_ws = CgWorkspace::new(&k);
+        let mut mg_ws = MgWorkspace::new(&k);
+        g.bench_function("alp", |bch| {
+            bch.iter(|| {
+                let mut x = k.alloc(0);
+                cg_solve(&mut k, &mut cg_ws, &mut mg_ws, black_box(&b), &mut x, 5, 0.0, true)
+            })
+        });
+    }
+    {
+        let b = problem.b.as_slice().to_vec();
+        let mut k = RefHpcg::new(problem);
+        let mut cg_ws = CgWorkspace::new(&k);
+        let mut mg_ws = MgWorkspace::new(&k);
+        g.bench_function("ref", |bch| {
+            bch.iter(|| {
+                let mut x = k.alloc(0);
+                cg_solve(&mut k, &mut cg_ws, &mut mg_ws, black_box(&b), &mut x, 5, 0.0, true)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mg_cycle, bench_cg_iterations
+);
+criterion_main!(benches);

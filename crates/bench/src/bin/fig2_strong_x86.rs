@@ -1,0 +1,45 @@
+//! **Figure 2** — strong scaling of ALP vs Ref on the x86 machine.
+//!
+//! Paper setup: threads 10..22 on one socket, then "44 - 1S"
+//! (hyperthreads, one socket) and "88 - 2S" (both sockets). Result: ALP
+//! wins everywhere; at 44 threads on one socket the two come close — Ref
+//! only saturates with hyperthreading, ALP already saturated.
+//!
+//! ```text
+//! cargo run --release -p hpcg-bench --bin fig2_strong_x86 \
+//!     [--size 32] [--iters 10] [--threads 10,14,18,22,44,88]
+//! ```
+
+use hpcg_bench::cli::Args;
+use hpcg_bench::scaling::SharedMemoryMachine;
+use hpcg_bench::strong::{print_rows, run_strong_scaling};
+
+fn main() {
+    let args = Args::from_env();
+    let size = args.get_usize("size", 32);
+    let iters = args.get_usize("iters", 10);
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let measure_limit = args.get_usize("measure-limit", host);
+    // 44 = hyperthreads on one socket ("44 - 1S"); 88 = both sockets ("88 - 2S").
+    let threads = args.get_usize_list("threads", &[10, 14, 18, 22, 44, 88]);
+
+    let machine = SharedMemoryMachine::x86();
+    let model_side = args.get_usize("model-side", 256);
+    let rows = run_strong_scaling(machine, &threads, size, model_side, iters, measure_limit);
+    print_rows(&machine, &rows, host);
+
+    println!("\nshape checks:");
+    println!(
+        "  ALP <= Ref everywhere: {}",
+        rows.iter().all(|r| r.modeled_alp <= r.modeled_ref)
+    );
+    // "44 - 1S": the gap narrows once Ref saturates with hyperthreads.
+    let gap = |t: usize| {
+        rows.iter()
+            .find(|r| r.threads == t)
+            .map(|r| r.modeled_ref / r.modeled_alp)
+    };
+    if let (Some(g22), Some(g44)) = (gap(22), gap(44)) {
+        println!("  Ref/ALP gap at 22 threads: {g22:.2}x, at 44 (1S, HT): {g44:.2}x (paper: closer)");
+    }
+}

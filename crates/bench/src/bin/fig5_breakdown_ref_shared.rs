@@ -1,0 +1,30 @@
+//! **Figure 5** — percentage of execution time in refinement/restriction
+//! (dark) and RBGS (bright), per MG level: shared-memory **Ref** on ARM.
+//!
+//! Paper result: same dominance as Fig 4 but with more fluctuation across
+//! thread counts, attributed to NUMA-unaware allocation.
+//!
+//! ```text
+//! cargo run --release -p hpcg-bench --bin fig5_breakdown_ref_shared \
+//!     [--size 32] [--iters 5] [--threads 1,2,4]
+//! ```
+
+use hpcg_bench::breakdown::{print_breakdown, shared_breakdown, Impl};
+use hpcg_bench::cli::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let size = args.get_usize("size", 32);
+    let iters = args.get_usize("iters", 5);
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = args.get_usize_list("threads", &[1, host.max(2) / 2, host]);
+
+    let rows = shared_breakdown(Impl::Reference, &threads, size, iters);
+    print_breakdown("Fig 5: shared-memory Ref kernel breakdown (measured)", &rows);
+
+    let smoother_total: f64 = rows
+        .first()
+        .map(|r| r.per_level.iter().map(|&(_, s)| s).sum())
+        .unwrap_or(0.0);
+    println!("\nshape check: aggregated RBGS share {smoother_total:.1}% (paper: >50%)");
+}

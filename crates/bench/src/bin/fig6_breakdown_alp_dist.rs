@@ -1,0 +1,30 @@
+//! **Figure 6** — kernel breakdown per MG level: distributed **ALP**,
+//! 2..7 cluster nodes (modeled on the simulated BSP cluster).
+//!
+//! Paper result: ALP spends a visibly larger share in restriction/
+//! refinement than Ref does (its grid transfers are `mxv`s that pay a
+//! full allgather + synchronization), and the shares stay close across
+//! node counts.
+//!
+//! ```text
+//! cargo run --release -p hpcg-bench --bin fig6_breakdown_alp_dist \
+//!     [--local 16] [--iters 3] [--nodes 2,3,4,5,6,7]
+//! ```
+
+use hpcg_bench::breakdown::{dist_breakdown, print_breakdown, Impl};
+use hpcg_bench::cli::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let local = args.get_usize("local", 16);
+    let iters = args.get_usize("iters", 3);
+    let nodes = args.get_usize_list("nodes", &[2, 3, 4, 5, 6, 7]);
+
+    let rows = dist_breakdown(Impl::Alp, &nodes, local, iters);
+    print_breakdown("Fig 6: distributed ALP kernel breakdown (modeled)", &rows);
+
+    if let Some(r) = rows.first() {
+        let rr_total: f64 = r.per_level.iter().map(|&(rr, _)| rr).sum();
+        println!("\nshape check: restrict/refine share {rr_total:.1}% (paper: larger than Ref's, Fig 7)");
+    }
+}

@@ -1,0 +1,30 @@
+//! **Figure 7** — kernel breakdown per MG level: distributed **Ref**,
+//! 2..7 cluster nodes (modeled on the simulated BSP cluster).
+//!
+//! Paper result: Ref's restriction/refinement share is smaller than ALP's
+//! (its transfers are local array accesses) but its RBGS share is slightly
+//! higher (it synchronizes with neighbors after every color).
+//!
+//! ```text
+//! cargo run --release -p hpcg-bench --bin fig7_breakdown_ref_dist \
+//!     [--local 16] [--iters 3] [--nodes 2,3,4,5,6,7]
+//! ```
+
+use hpcg_bench::breakdown::{dist_breakdown, print_breakdown, Impl};
+use hpcg_bench::cli::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let local = args.get_usize("local", 16);
+    let iters = args.get_usize("iters", 3);
+    let nodes = args.get_usize_list("nodes", &[2, 3, 4, 5, 6, 7]);
+
+    let rows = dist_breakdown(Impl::Reference, &nodes, local, iters);
+    print_breakdown("Fig 7: distributed Ref kernel breakdown (modeled)", &rows);
+
+    if let Some(r) = rows.first() {
+        let rr_total: f64 = r.per_level.iter().map(|&(rr, _)| rr).sum();
+        let sm_total: f64 = r.per_level.iter().map(|&(_, sm)| sm).sum();
+        println!("\nshape check: restrict/refine {rr_total:.1}% (small), RBGS {sm_total:.1}% (dominant)");
+    }
+}

@@ -1,0 +1,63 @@
+//! Ablation: smoothing power of SGS vs RBGS per sweep (paper §III-A).
+//!
+//! RBGS relaxes Gauss-Seidel's dependency order to expose parallelism "at
+//! the cost of a higher number of iterations to achieve the same smoothing
+//! effect" [22]. This harness measures that cost: error reduction factor
+//! per symmetric sweep on the HPCG system, for the natural-order SGS and
+//! the 8-color RBGS, plus the error after k sweeps of each.
+//!
+//! ```text
+//! cargo run --release -p hpcg-bench --bin smoother_convergence [--size 16] [--sweeps 10]
+//! ```
+
+use hpcg::coloring::Coloring;
+use hpcg::problem::{build_rhs, build_stencil_matrix, RhsVariant};
+use hpcg::smoother::{rbgs_ref, sgs};
+use hpcg::Grid3;
+use hpcg_bench::cli::Args;
+use hpcg_bench::table::Table;
+
+fn error_norm(x: &[f64]) -> f64 {
+    // Exact solution of the reference rhs is the ones vector.
+    x.iter().map(|&v| (v - 1.0) * (v - 1.0)).sum::<f64>().sqrt()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let size = args.get_usize("size", 16);
+    let sweeps = args.get_usize("sweeps", 10);
+
+    let a = build_stencil_matrix(Grid3::cube(size));
+    let diag: Vec<f64> = (0..a.nrows()).map(|i| a.get(i, i).unwrap()).collect();
+    let classes = Coloring::greedy(&a).classes();
+    let b = build_rhs(&a, RhsVariant::Reference);
+    let bs = b.as_slice();
+
+    let mut x_sgs = vec![0.0f64; a.nrows()];
+    let mut x_rb = vec![0.0f64; a.nrows()];
+
+    println!("smoothing power on a {size}³ HPCG system (error vs the exact solution):\n");
+    let mut t = Table::new(&["sweep", "SGS error", "RBGS error", "SGS factor", "RBGS factor"]);
+    let (mut prev_s, mut prev_r) = (error_norm(&x_sgs), error_norm(&x_rb));
+    for k in 1..=sweeps {
+        sgs::sgs_symmetric(&a, &diag, bs, &mut x_sgs);
+        rbgs_ref::rbgs_symmetric(&a, &diag, &classes, bs, &mut x_rb);
+        let (es, er) = (error_norm(&x_sgs), error_norm(&x_rb));
+        t.row(vec![
+            k.to_string(),
+            format!("{es:.3e}"),
+            format!("{er:.3e}"),
+            format!("{:.3}", es / prev_s),
+            format!("{:.3}", er / prev_r),
+        ]);
+        prev_s = es;
+        prev_r = er;
+    }
+    print!("{}", t.render());
+
+    println!("\nshape check (paper §III-A): RBGS needs more sweeps for equal smoothing,");
+    println!("i.e. its per-sweep factor is ≥ SGS's — but each RBGS sweep parallelizes");
+    println!("across the ~n/8 rows of a color while SGS is inherently sequential.");
+    let ratio = prev_r / prev_s;
+    println!("error after {sweeps} sweeps: RBGS/SGS = {ratio:.2} (≥ 1 expected)");
+}

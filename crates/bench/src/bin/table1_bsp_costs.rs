@@ -1,0 +1,125 @@
+//! **Table I** — BSP asymptotic cost components of the distributed
+//! implementations.
+//!
+//! The paper tabulates, per `mxv`, computation `n/p`, communication
+//! `∛(n²/p²)` (Ref) vs `n(p−1)/p ≈ n` (ALP), and `Θ(1)` synchronization.
+//! This harness *measures* those quantities from the BSP simulator — the
+//! recorded per-node flops, the recorded h-relations, the superstep count
+//! — for a sweep of node counts at fixed `n`, and prints them next to the
+//! closed forms so the fit is visible.
+//!
+//! ```text
+//! cargo run --release -p hpcg-bench --bin table1_bsp_costs [--size 16] [--nodes 2,4,8]
+//! ```
+
+
+use bsp::machine::MachineParams;
+use graphblas::Vector;
+use hpcg::distributed::{AlpDistHpcg, RefDistHpcg};
+use hpcg::{Grid3, Kernels, Problem, RhsVariant};
+use hpcg_bench::cli::Args;
+use hpcg_bench::table::{fmt_bytes, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let size = args.get_usize("size", 16);
+    let nodes_list = args.get_usize_list("nodes", &[2, 4, 8]);
+    let problem = Problem::build_with(Grid3::cube(size), 1, RhsVariant::Reference)
+        .expect("cube size is always coarsenable at 1 level");
+    let n = problem.n();
+
+    println!("Table I reproduction: per-mxv BSP cost components, n = {n}");
+    println!("(measured = recorded by the simulator; closed form = paper's Table I)\n");
+
+    let mut t = Table::new(&[
+        "p",
+        "comp/node",
+        "n/p roofline",
+        "Ref comm",
+        "cbrt(n^2/p^2) model",
+        "ALP comm",
+        "n(p-1)/p model",
+        "syncs",
+    ]);
+
+    let machine = MachineParams::arm_cluster();
+    for &p in &nodes_list {
+        // One spmv through each distributed implementation.
+        let mut alp = AlpDistHpcg::new(problem.clone(), p, machine);
+        let x = Vector::filled(n, 1.0);
+        let mut y = alp.alloc(0);
+        alp.spmv(0, &mut y, &x);
+        let alp_step = alp.tracker().steps()[0];
+
+        let mut rd = RefDistHpcg::new(problem.clone(), p, machine);
+        let xv = vec![1.0; n];
+        let mut yv = rd.alloc(0);
+        rd.spmv(0, &mut yv, &xv);
+        let ref_step = rd.tracker().steps()[0];
+
+        // Roofline model of the per-node work: 2 flops/nonzero over the
+        // CSR stream (the measured column is the simulator's own roofline).
+        let nnz_per_node = problem.levels[0].a.nnz() as f64 / p as f64;
+        let rows_per_node = n as f64 / p as f64;
+        let comp_model = machine.compute_time(
+            2.0 * nnz_per_node,
+            nnz_per_node * 20.0 + rows_per_node * 16.0,
+        );
+        let ref_model = (n as f64).powf(2.0 / 3.0) / (p as f64).powf(2.0 / 3.0) * 8.0;
+        let alp_model = (n as f64) * (p as f64 - 1.0) / p as f64 * 8.0;
+        t.row(vec![
+            p.to_string(),
+            format!("{:.2e}s", alp_step.compute_secs),
+            format!("{comp_model:.2e}s"),
+            fmt_bytes(ref_step.h_bytes),
+            fmt_bytes(ref_model),
+            fmt_bytes(alp_step.h_bytes),
+            fmt_bytes(alp_model),
+            "1".to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // The asymptotic fit needs node counts that factor into cubes (the
+    // paper's Θ assumes pd ≈ ∛p) and large enough that interior nodes with
+    // all 26 neighbors exist — the max-h node is a corner below p = 27.
+    let fit_nodes = [27usize, 64, 216];
+    let fit_size = 36; // divisible by 3, 4 and 6
+    let fit_problem = Problem::build_with(Grid3::cube(fit_size), 1, RhsVariant::Reference)
+        .expect("36^3 builds");
+    let fit_n = fit_problem.n();
+    println!(
+        "\nscaling fit (log-log slope of comm bytes vs p, cube node counts {fit_nodes:?}, n = {fit_n}):"
+    );
+    let slope = |comms: &[(usize, f64)]| -> f64 {
+        let k = comms.len() as f64;
+        let (mut sx, mut sy, mut sxy, mut sxx) = (0.0, 0.0, 0.0, 0.0);
+        for &(p, c) in comms {
+            let (x, y) = ((p as f64).ln(), c.max(1e-300).ln());
+            sx += x;
+            sy += y;
+            sxy += x * y;
+            sxx += x * x;
+        }
+        (k * sxy - sx * sy) / (k * sxx - sx * sx)
+    };
+    let mut ref_pts = Vec::new();
+    let mut alp_pts = Vec::new();
+    for &p in &fit_nodes {
+        let mut rd = RefDistHpcg::new(fit_problem.clone(), p, machine);
+        let xv = vec![1.0; fit_n];
+        let mut yv = rd.alloc(0);
+        rd.spmv(0, &mut yv, &xv);
+        ref_pts.push((p, rd.tracker().steps()[0].h_bytes));
+        let mut alp = AlpDistHpcg::new(fit_problem.clone(), p, machine);
+        let x = Vector::filled(fit_n, 1.0);
+        let mut y = alp.alloc(0);
+        alp.spmv(0, &mut y, &x);
+        alp_pts.push((p, alp.tracker().steps()[0].h_bytes));
+    }
+    println!("  Ref halo slope ≈ {:.2} (paper: -2/3 ≈ -0.67)", slope(&ref_pts));
+    println!(
+        "  ALP allgather slope ≈ {:.2} (paper: (p-1)/p → ~0, slightly positive)",
+        slope(&alp_pts)
+    );
+}

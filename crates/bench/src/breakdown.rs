@@ -1,0 +1,170 @@
+//! Shared logic of the kernel-breakdown harnesses (Figs 4-7).
+//!
+//! The paper's Figs 4-7 plot, for each amount of compute resource
+//! (threads / nodes) and each of the 4 multigrid levels, the percentage of
+//! total execution time spent in restriction/refinement (dark bars) and in
+//! the RBGS smoother (bright bars). These helpers produce that exact
+//! matrix for the shared-memory implementations (measured) and the
+//! distributed ones (modeled).
+
+use crate::table::Table;
+use bsp::machine::MachineParams;
+use graphblas::Parallel;
+use hpcg::distributed::{run_distributed, AlpDistHpcg, RefDistHpcg};
+use hpcg::driver::{flops_per_iteration, run_with_rhs, RunConfig};
+use hpcg::{Grid3, GrbHpcg, Problem, RefHpcg, RhsVariant};
+
+/// One bar group: per-level `(restrict/refine %, smoother %)`.
+#[derive(Clone, Debug)]
+pub struct BreakdownRow {
+    /// Threads (Figs 4-5) or nodes (Figs 6-7).
+    pub resource: usize,
+    /// Per level, finest first: `(restrict_refine_pct, smoother_pct)`.
+    pub per_level: Vec<(f64, f64)>,
+}
+
+/// Which shared-memory implementation to break down.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Impl {
+    /// The GraphBLAS implementation (Fig 4).
+    Alp,
+    /// The reference implementation (Fig 5).
+    Reference,
+}
+
+/// Measured shared-memory breakdown at each thread count (Figs 4-5).
+pub fn shared_breakdown(
+    which: Impl,
+    threads_list: &[usize],
+    size: usize,
+    iterations: usize,
+) -> Vec<BreakdownRow> {
+    let problem = Problem::build_with(Grid3::cube(size), 4, RhsVariant::Reference)
+        .expect("grid size must be divisible by 8");
+    let flops = flops_per_iteration(&problem);
+    let config = RunConfig { iterations, preconditioned: true };
+    threads_list
+        .iter()
+        .map(|&t| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("thread pool construction");
+            let report = pool.install(|| match which {
+                Impl::Alp => {
+                    let b = problem.b.clone();
+                    let mut k = GrbHpcg::<Parallel>::new(problem.clone());
+                    run_with_rhs(&mut k, &b, flops, config).0
+                }
+                Impl::Reference => {
+                    let b = problem.b.as_slice().to_vec();
+                    let mut k = RefHpcg::new(problem.clone());
+                    run_with_rhs(&mut k, &b, flops, config).0
+                }
+            });
+            let total = report.total_secs.max(1e-300);
+            BreakdownRow {
+                resource: t,
+                per_level: report
+                    .levels
+                    .iter()
+                    .map(|l| {
+                        (
+                            100.0 * l.restrict_refine_secs / total,
+                            100.0 * l.smoother_secs / total,
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Modeled distributed breakdown at each node count (Figs 6-7).
+///
+/// Weak scaling like the paper's cluster experiment: the grid grows with
+/// the node count (`local³` points per node).
+pub fn dist_breakdown(
+    which: Impl,
+    nodes_list: &[usize],
+    local: usize,
+    iterations: usize,
+) -> Vec<BreakdownRow> {
+    nodes_list
+        .iter()
+        .map(|&nodes| {
+            let (nx, ny, nz) = weak_grid(nodes, local);
+            let problem = Problem::build_with(Grid3::new(nx, ny, nz), 4, RhsVariant::Reference)
+                .expect("weak-scaling grid must be divisible by 8");
+            let report = match which {
+                Impl::Alp => {
+                    let b = problem.b.clone();
+                    let mut k = AlpDistHpcg::new(problem, nodes, MachineParams::arm_cluster());
+                    run_distributed(&mut k, &b, iterations).0
+                }
+                Impl::Reference => {
+                    let b = problem.b.as_slice().to_vec();
+                    let mut k = RefDistHpcg::new(problem, nodes, MachineParams::arm_cluster());
+                    run_distributed(&mut k, &b, iterations).0
+                }
+            };
+            BreakdownRow {
+                resource: nodes,
+                per_level: (0..report.level_breakdown.len())
+                    .map(|l| (report.restrict_percent(l), report.smoother_percent(l)))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// The weak-scaling grid for `nodes` nodes with a `local³` box each,
+/// matching the 3D process factorization so both distributions apply.
+pub fn weak_grid(nodes: usize, local: usize) -> (usize, usize, usize) {
+    let (px, py, pz) = bsp::factor3d(nodes, local * nodes, local * nodes, local * nodes);
+    (local * px, local * py, local * pz)
+}
+
+/// Prints breakdown rows in the figure's layout (levels left→right =
+/// finest→coarsest, two numbers per level).
+pub fn print_breakdown(caption: &str, rows: &[BreakdownRow]) {
+    println!("{caption}");
+    println!("per level: restrict/refine% | smoother%  (level 0 = finest)");
+    let levels = rows.first().map(|r| r.per_level.len()).unwrap_or(0);
+    let mut header = vec!["resource".to_string()];
+    for l in 0..levels {
+        header.push(format!("L{l} rr%"));
+        header.push(format!("L{l} sm%"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for r in rows {
+        let mut cells = vec![r.resource.to_string()];
+        for &(rr, sm) in &r.per_level {
+            cells.push(format!("{rr:.1}"));
+            cells.push(format!("{sm:.1}"));
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_grid_grows_with_nodes() {
+        let (x1, y1, z1) = weak_grid(1, 16);
+        let (x2, y2, z2) = weak_grid(2, 16);
+        assert_eq!(x1 * y1 * z1, 4096);
+        assert_eq!(x2 * y2 * z2, 8192);
+    }
+
+    #[test]
+    fn dist_breakdown_smoother_dominates() {
+        let rows = dist_breakdown(Impl::Reference, &[2], 16, 2);
+        let smoother_total: f64 = rows[0].per_level.iter().map(|&(_, s)| s).sum();
+        assert!(smoother_total > 40.0, "smoother share {smoother_total}% too low");
+    }
+}

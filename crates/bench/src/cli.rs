@@ -1,0 +1,104 @@
+//! A minimal `--key value` flag parser for the harness binaries.
+//!
+//! The harnesses take a handful of numeric knobs (problem size, iteration
+//! count, node list); a dependency-free parser keeps the binaries
+//! self-contained.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line flags: `--key value` pairs plus positionals.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    positionals: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping the binary name).
+    pub fn from_env() -> Args {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable entry point).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Args {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if let Some((k, v)) = key.split_once('=') {
+                    out.flags.insert(k.to_string(), v.to_string());
+                } else if iter.peek().map(|n| !n.starts_with("--")).unwrap_or(false) {
+                    let v = iter.next().unwrap();
+                    out.flags.insert(key.to_string(), v);
+                } else {
+                    out.flags.insert(key.to_string(), "true".to_string());
+                }
+            } else {
+                out.positionals.push(arg);
+            }
+        }
+        out
+    }
+
+    /// A `usize` flag with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// An `f64` flag with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// A boolean flag (`--foo` or `--foo true`).
+    pub fn get_bool(&self, key: &str) -> bool {
+        matches!(self.flags.get(key).map(String::as_str), Some("true") | Some("1"))
+    }
+
+    /// A comma-separated list of `usize` (`--nodes 2,3,4`).
+    pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.flags.get(key) {
+            None => default.to_vec(),
+            Some(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
+        }
+    }
+
+    /// Raw string flag.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn key_value_pairs() {
+        let a = parse("--size 32 --iters 10");
+        assert_eq!(a.get_usize("size", 0), 32);
+        assert_eq!(a.get_usize("iters", 0), 10);
+        assert_eq!(a.get_usize("missing", 7), 7);
+    }
+
+    #[test]
+    fn equals_form_and_bools() {
+        let a = parse("--size=16 --verbose --x");
+        assert_eq!(a.get_usize("size", 0), 16);
+        assert!(a.get_bool("verbose"));
+        assert!(a.get_bool("x"));
+        assert!(!a.get_bool("missing"));
+    }
+
+    #[test]
+    fn lists_and_floats() {
+        let a = parse("--nodes 2,3,5 --g 0.5");
+        assert_eq!(a.get_usize_list("nodes", &[1]), vec![2, 3, 5]);
+        assert_eq!(a.get_usize_list("other", &[1, 2]), vec![1, 2]);
+        assert_eq!(a.get_f64("g", 0.0), 0.5);
+    }
+}

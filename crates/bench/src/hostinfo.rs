@@ -1,0 +1,78 @@
+//! Host introspection for the Table II analogue.
+//!
+//! The paper's Table II lists the experimental machines. We cannot
+//! reproduce their hardware, so `table2_machine` prints what *this* run
+//! executes on (plus the paper's two machines for reference), read from
+//! `/proc` and `sysfs` where available.
+
+use std::fs;
+
+/// What we can learn about the host.
+#[derive(Clone, Debug, Default)]
+pub struct HostInfo {
+    /// CPU model string.
+    pub cpu_model: String,
+    /// Logical CPUs visible to the process.
+    pub logical_cpus: usize,
+    /// Total memory in GiB.
+    pub mem_gib: f64,
+    /// L3 cache size string, if exposed.
+    pub l3_cache: String,
+    /// OS description.
+    pub os: String,
+}
+
+impl HostInfo {
+    /// Gathers host information (best-effort; missing fields stay empty).
+    pub fn gather() -> HostInfo {
+        let mut info = HostInfo {
+            logical_cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            ..Default::default()
+        };
+        if let Ok(cpuinfo) = fs::read_to_string("/proc/cpuinfo") {
+            for line in cpuinfo.lines() {
+                if let Some(v) = line.strip_prefix("model name") {
+                    info.cpu_model = v.trim_start_matches([' ', '\t', ':']).to_string();
+                    break;
+                }
+            }
+        }
+        if let Ok(meminfo) = fs::read_to_string("/proc/meminfo") {
+            for line in meminfo.lines() {
+                if let Some(v) = line.strip_prefix("MemTotal:") {
+                    let kb: f64 = v
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0.0);
+                    info.mem_gib = kb / 1024.0 / 1024.0;
+                    break;
+                }
+            }
+        }
+        if let Ok(l3) = fs::read_to_string("/sys/devices/system/cpu/cpu0/cache/index3/size") {
+            info.l3_cache = l3.trim().to_string();
+        }
+        if let Ok(os) = fs::read_to_string("/etc/os-release") {
+            for line in os.lines() {
+                if let Some(v) = line.strip_prefix("PRETTY_NAME=") {
+                    info.os = v.trim_matches('"').to_string();
+                    break;
+                }
+            }
+        }
+        info
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_does_not_panic_and_counts_cpus() {
+        let info = HostInfo::gather();
+        assert!(info.logical_cpus >= 1);
+    }
+}

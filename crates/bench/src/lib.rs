@@ -1,0 +1,19 @@
+//! Shared machinery for the figure/table harnesses.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md`'s experiment index). This library holds what they
+//! share: a tiny CLI-flag parser, fixed-width table printing, host
+//! introspection (Table II), and the calibrated shared-memory scaling
+//! model used by the strong-scaling figures.
+
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod cli;
+pub mod hostinfo;
+pub mod scaling;
+pub mod strong;
+pub mod table;
+
+pub use cli::Args;
+pub use scaling::{SharedMemoryMachine, StrongScalingModel};

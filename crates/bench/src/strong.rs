@@ -1,0 +1,157 @@
+//! Shared logic of the strong-scaling harnesses (Figs 1-2).
+//!
+//! For each requested thread count the harness reports:
+//!
+//! * **measured** wall-clock of a real run inside a rayon pool of that
+//!   size (marked oversubscribed when the count exceeds the host's
+//!   logical CPUs — the container is not the paper's 96-thread machine);
+//! * **modeled** wall-clock from the calibrated [`StrongScalingModel`],
+//!   which extends the curve to the paper's hardware.
+//!
+//! The paper's claims live in the *relative* curves: ALP at or below Ref
+//! everywhere, earlier saturation for ALP, Ref blunted across NUMA
+//! domains.
+
+use crate::scaling::{SharedMemoryMachine, StrongScalingModel};
+use crate::table::{fmt_secs, Table};
+use graphblas::Parallel;
+use hpcg::driver::{bytes_per_iteration, flops_per_iteration, run_with_rhs, RunConfig};
+use hpcg::{Grid3, GrbHpcg, Problem, RefHpcg, RhsVariant};
+
+/// One row of the strong-scaling output.
+#[derive(Clone, Debug)]
+pub struct StrongRow {
+    /// Thread count (x-axis of Figs 1-2).
+    pub threads: usize,
+    /// Measured ALP seconds (None when not measurable on this host).
+    pub measured_alp: Option<f64>,
+    /// Measured Ref seconds.
+    pub measured_ref: Option<f64>,
+    /// Modeled ALP seconds on the paper's machine.
+    pub modeled_alp: f64,
+    /// Modeled Ref seconds on the paper's machine.
+    pub modeled_ref: f64,
+}
+
+/// Runs the strong-scaling experiment and returns the rows.
+///
+/// `size` is the measurable problem this host runs; `model_side` is the
+/// paper-scale problem (memory-filling, hundreds³) whose byte volume the
+/// model extrapolates to — the paper sets "the problem size ... to the
+/// maximum that fits in the system memory" (§V-A), far beyond what this
+/// container can allocate.
+pub fn run_strong_scaling(
+    machine: SharedMemoryMachine,
+    threads_list: &[usize],
+    size: usize,
+    model_side: usize,
+    iterations: usize,
+    measure_limit: usize,
+) -> Vec<StrongRow> {
+    let problem = Problem::build_with(Grid3::cube(size), 4, RhsVariant::Reference)
+        .expect("grid size must be divisible by 8");
+    let bytes_small = bytes_per_iteration(&problem);
+    let bytes = crate::scaling::model_bytes(model_side, 4);
+    let flops = flops_per_iteration(&problem);
+    let config = RunConfig { iterations, preconditioned: true };
+
+    // Calibrate both models by a *common* factor: the mean measured
+    // 1-thread per-iteration time over the mean prediction. Absolute scale
+    // comes from this host; the relative ALP/Ref shape stays the model's
+    // (per-implementation calibration would overwrite the paper's
+    // machine-level mechanisms with this container's quirks).
+    let (alp_1t, ref_1t) = measure_pair(&problem, flops, config, 1);
+    let mut alp_model = StrongScalingModel::alp(machine);
+    let mut ref_model = StrongScalingModel::reference(machine);
+    let measured_mean = (alp_1t + ref_1t) / 2.0 / iterations as f64;
+    let predicted_mean = (alp_model.secs_per_iteration(bytes_small, 1)
+        + ref_model.secs_per_iteration(bytes_small, 1))
+        / 2.0;
+    let common = measured_mean / predicted_mean;
+    alp_model.calibration = common;
+    ref_model.calibration = common;
+
+    threads_list
+        .iter()
+        .map(|&t| {
+            let (ma, mr) = if t <= measure_limit {
+                let (a, r) = measure_pair(&problem, flops, config, t);
+                (Some(a), Some(r))
+            } else {
+                (None, None)
+            };
+            StrongRow {
+                threads: t,
+                measured_alp: ma,
+                measured_ref: mr,
+                modeled_alp: alp_model.run_secs(bytes, t, iterations),
+                modeled_ref: ref_model.run_secs(bytes, t, iterations),
+            }
+        })
+        .collect()
+}
+
+fn measure_pair(
+    problem: &Problem,
+    flops: f64,
+    config: RunConfig,
+    threads: usize,
+) -> (f64, f64) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool construction");
+    pool.install(|| {
+        let b_grb = problem.b.clone();
+        let mut alp = GrbHpcg::<Parallel>::new(problem.clone());
+        let (ra, _) = run_with_rhs(&mut alp, &b_grb, flops, config);
+        let b_vec = problem.b.as_slice().to_vec();
+        let mut reference = RefHpcg::new(problem.clone());
+        let (rr, _) = run_with_rhs(&mut reference, &b_vec, flops, config);
+        (ra.total_secs, rr.total_secs)
+    })
+}
+
+/// Prints the rows in the paper's figure layout.
+pub fn print_rows(machine: &SharedMemoryMachine, rows: &[StrongRow], host_threads: usize) {
+    println!("strong scaling on modeled {} (measured on this {}-cpu host)", machine.name, host_threads);
+    let mut t = Table::new(&[
+        "threads",
+        "ALP measured",
+        "Ref measured",
+        "ALP modeled",
+        "Ref modeled",
+        "Ref/ALP",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.threads.to_string(),
+            r.measured_alp.map(fmt_secs).unwrap_or_else(|| "-".into()),
+            r.measured_ref.map(fmt_secs).unwrap_or_else(|| "-".into()),
+            fmt_secs(r.modeled_alp),
+            fmt_secs(r.modeled_ref),
+            format!("{:.2}x", r.modeled_ref / r.modeled_alp),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_scaling_rows_have_paper_shape() {
+        let rows = run_strong_scaling(SharedMemoryMachine::arm(), &[16, 48, 96], 8, 128, 2, 1);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.modeled_alp <= r.modeled_ref, "ALP wins at {} threads", r.threads);
+            assert!(r.modeled_alp > 0.0);
+            assert!(r.measured_alp.is_none() || r.threads <= 1 || r.measured_alp.unwrap() > 0.0);
+        }
+        // With a paper-scale modeled working set the bandwidth term
+        // dominates: more threads → faster until saturation.
+        assert!(rows[1].modeled_alp < rows[0].modeled_alp, "48 threads beat 16");
+        assert!(rows[2].modeled_alp < rows[1].modeled_alp, "two sockets beat one");
+    }
+}

@@ -1,0 +1,87 @@
+//! h-relation sizes of the collective patterns HPCG's two distributed
+//! designs use.
+//!
+//! These closed forms are what Table I tabulates; the distributed simulator
+//! uses the *recorded* exchanges instead, and the `table1_bsp_costs` harness
+//! checks the two agree.
+
+/// h-relation (bytes) of an allgather where each of `p` nodes contributes
+/// `local_elems` elements of `elem_bytes` bytes: every node sends its part
+/// to `p − 1` peers and receives the rest of the vector.
+///
+/// This is the pre-`mxv` exchange of the 1D block-cyclic ALP backend:
+/// `h = (p−1)·(n/p)·sizeof(T) ≈ n·sizeof(T)` (Table I, right column).
+pub fn allgather_h_bytes(p: usize, local_elems: usize, elem_bytes: usize) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    ((p - 1) * local_elems * elem_bytes) as f64
+}
+
+/// h-relation (bytes) of a scalar allreduce implemented as direct exchange:
+/// every node sends its partial to all peers (`p − 1` words out and in).
+///
+/// CG's dot products need one of these per iteration; it is `Θ(p)` ≪ the
+/// vector exchanges, hence the Θ(1) synchronization row of Table I.
+pub fn allreduce_h_bytes(p: usize, elem_bytes: usize) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    ((p - 1) * elem_bytes) as f64
+}
+
+/// h-relation (bytes) of a halo exchange where a node sends/receives
+/// `halo_elems` boundary elements: the Ref design's pre-`mxv` cost,
+/// `Θ(∛(n²/p²))` (Table I, left column).
+pub fn halo_h_bytes(halo_elems: usize, elem_bytes: usize) -> f64 {
+    (halo_elems * elem_bytes) as f64
+}
+
+/// The 2D block-distribution communication bound the paper's §VII-B(ii)
+/// quotes: `n/p·(√p − 1)` elements, partially alleviating the 1D cost.
+pub fn block2d_h_elems(n: usize, p: usize) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    (n as f64 / p as f64) * ((p as f64).sqrt() - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allgather_approaches_n() {
+        let n = 1_000_000usize;
+        for p in [2usize, 4, 8] {
+            let h = allgather_h_bytes(p, n / p, 8);
+            let ratio = h / (n as f64 * 8.0);
+            assert!((ratio - (p as f64 - 1.0) / p as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_node_exchanges_nothing() {
+        assert_eq!(allgather_h_bytes(1, 100, 8), 0.0);
+        assert_eq!(allreduce_h_bytes(1, 8), 0.0);
+        assert_eq!(block2d_h_elems(100, 1), 0.0);
+    }
+
+    #[test]
+    fn allreduce_is_tiny() {
+        assert!(allreduce_h_bytes(8, 8) < allgather_h_bytes(8, 1000, 8) / 100.0);
+    }
+
+    #[test]
+    fn ordering_matches_table1() {
+        // For fixed n and growing p: halo (3D) ≪ 2D block ≪ 1D allgather.
+        let n = 4096 * 4096; // large enough to separate the regimes
+        let p = 16;
+        let s = ((n as f64).powf(2.0 / 3.0) / (p as f64).powf(2.0 / 3.0)) as usize;
+        let halo = halo_h_bytes(s, 8);
+        let b2d = block2d_h_elems(n, p) * 8.0;
+        let b1d = allgather_h_bytes(p, n / p, 8);
+        assert!(halo < b2d, "halo {halo} < 2D {b2d}");
+        assert!(b2d < b1d, "2D {b2d} < 1D {b1d}");
+    }
+}

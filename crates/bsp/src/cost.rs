@@ -1,0 +1,312 @@
+//! Superstep cost accounting.
+//!
+//! A distributed algorithm runs as a sequence of supersteps. Within a step,
+//! each simulated node reports its local work (`flops`, `bytes` touched) and
+//! its sends; closing the step computes the BSP time
+//!
+//! ```text
+//! t_step = max_i w_i + g · max_i h_i + l
+//! ```
+//!
+//! with `h_i = max(bytes sent by i, bytes received by i)` — the standard
+//! h-relation. Steps carry a [`KernelClass`] so harnesses can report the
+//! per-kernel breakdown of Figs 4-7, and an `overlap` flag modeling the
+//! reference HPCG's `MPI_Irecv/Isend` compute/communication overlap
+//! (paper §IV: Ref overlaps, blocking GraphBLAS semantics cannot).
+
+use crate::machine::MachineParams;
+use serde::{Deserialize, Serialize};
+
+/// Which HPCG kernel a superstep belongs to, for breakdown reporting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// Sparse matrix–vector product in the CG loop.
+    SpMV,
+    /// Dot products / reductions.
+    Dot,
+    /// Vector updates (waxpby / axpy).
+    Waxpby,
+    /// The smoother (SGS or RBGS).
+    Smoother,
+    /// Restriction or prolongation between multigrid levels.
+    RestrictRefine,
+    /// Everything else (setup, exchange scaffolding).
+    Other,
+}
+
+/// The cost of one closed superstep.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StepCost {
+    /// Kernel attribution.
+    pub class: KernelClass,
+    /// Multigrid level (0 = finest) if applicable.
+    pub mg_level: Option<usize>,
+    /// `max_i w_i` in seconds.
+    pub compute_secs: f64,
+    /// `g · max_i h_i` in seconds.
+    pub comm_secs: f64,
+    /// Barrier latency `l` in seconds.
+    pub sync_secs: f64,
+    /// `max_i h_i` in bytes (diagnostic; drives Table I).
+    pub h_bytes: f64,
+    /// Whether compute and communication were overlapped.
+    pub overlap: bool,
+}
+
+impl StepCost {
+    /// Wall-clock contribution of this step.
+    pub fn total_secs(&self) -> f64 {
+        if self.overlap {
+            self.compute_secs.max(self.comm_secs) + self.sync_secs
+        } else {
+            self.compute_secs + self.comm_secs + self.sync_secs
+        }
+    }
+}
+
+/// Records per-node work and traffic for the open superstep, and the cost
+/// history of closed ones.
+#[derive(Clone, Debug)]
+pub struct CostTracker {
+    params: MachineParams,
+    p: usize,
+    // Open-step state.
+    flops: Vec<f64>,
+    local_bytes: Vec<f64>,
+    sent: Vec<f64>,
+    received: Vec<f64>,
+    // Closed steps.
+    steps: Vec<StepCost>,
+}
+
+impl CostTracker {
+    /// A tracker for `p` nodes with machine parameters `params`.
+    pub fn new(p: usize, params: MachineParams) -> CostTracker {
+        assert!(p > 0, "a cluster needs at least one node");
+        CostTracker {
+            params,
+            p,
+            flops: vec![0.0; p],
+            local_bytes: vec![0.0; p],
+            sent: vec![0.0; p],
+            received: vec![0.0; p],
+            steps: Vec::new(),
+        }
+    }
+
+    /// Number of simulated nodes.
+    pub fn nodes(&self) -> usize {
+        self.p
+    }
+
+    /// The machine parameters in use.
+    pub fn params(&self) -> MachineParams {
+        self.params
+    }
+
+    /// Records local work on `node`: `flops` operations over `bytes` of traffic.
+    pub fn record_compute(&mut self, node: usize, flops: f64, bytes: f64) {
+        self.flops[node] += flops;
+        self.local_bytes[node] += bytes;
+    }
+
+    /// Records a point-to-point message of `bytes` from `from` to `to`.
+    /// Self-sends are free (local copies are part of local work).
+    pub fn record_send(&mut self, from: usize, to: usize, bytes: f64) {
+        if from == to {
+            return;
+        }
+        self.sent[from] += bytes;
+        self.received[to] += bytes;
+    }
+
+    /// Records a broadcast-style send of `bytes` from `from` to every other node.
+    pub fn record_send_all(&mut self, from: usize, bytes_per_peer: f64) {
+        for to in 0..self.p {
+            self.record_send(from, to, bytes_per_peer);
+        }
+    }
+
+    /// Closes the current superstep, attributing it to `class` /
+    /// `mg_level`, and returns its cost. `overlap` applies the
+    /// `max(compute, comm)` model (Ref's nonblocking exchange).
+    pub fn end_superstep(
+        &mut self,
+        class: KernelClass,
+        mg_level: Option<usize>,
+        overlap: bool,
+    ) -> StepCost {
+        self.end_step(class, mg_level, overlap, true)
+    }
+
+    /// Closes a *local* step: same accounting but no barrier latency.
+    /// Models purely local kernels (waxpby, the reference's in-place grid
+    /// transfers) that synchronize with nobody.
+    pub fn end_local_step(&mut self, class: KernelClass, mg_level: Option<usize>) -> StepCost {
+        self.end_step(class, mg_level, false, false)
+    }
+
+    fn end_step(
+        &mut self,
+        class: KernelClass,
+        mg_level: Option<usize>,
+        overlap: bool,
+        barrier: bool,
+    ) -> StepCost {
+        let mut w = 0.0f64;
+        let mut h = 0.0f64;
+        for i in 0..self.p {
+            w = w.max(self.params.compute_time(self.flops[i], self.local_bytes[i]));
+            h = h.max(self.sent[i].max(self.received[i]));
+        }
+        let cost = StepCost {
+            class,
+            mg_level,
+            compute_secs: w,
+            comm_secs: self.params.comm_time(h),
+            sync_secs: if barrier { self.params.l_secs } else { 0.0 },
+            h_bytes: h,
+            overlap,
+        };
+        self.steps.push(cost);
+        self.flops.iter_mut().for_each(|v| *v = 0.0);
+        self.local_bytes.iter_mut().for_each(|v| *v = 0.0);
+        self.sent.iter_mut().for_each(|v| *v = 0.0);
+        self.received.iter_mut().for_each(|v| *v = 0.0);
+        cost
+    }
+
+    /// All closed steps, in order.
+    pub fn steps(&self) -> &[StepCost] {
+        &self.steps
+    }
+
+    /// Total modeled wall-clock of all closed steps.
+    pub fn total_secs(&self) -> f64 {
+        self.steps.iter().map(StepCost::total_secs).sum()
+    }
+
+    /// Total communicated bytes (sum over steps of the max-per-node
+    /// h-relation — the quantity Table I bounds).
+    pub fn total_h_bytes(&self) -> f64 {
+        self.steps.iter().map(|s| s.h_bytes).sum()
+    }
+
+    /// Number of closed supersteps (the paper's Θ(1)-per-mxv sync count).
+    pub fn superstep_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Seconds spent in steps of `class`, optionally filtered by MG level.
+    pub fn secs_in(&self, class: KernelClass, mg_level: Option<usize>) -> f64 {
+        self.steps
+            .iter()
+            .filter(|s| s.class == class && (mg_level.is_none() || s.mg_level == mg_level))
+            .map(StepCost::total_secs)
+            .sum()
+    }
+
+    /// Clears the step history (open-step state must already be closed).
+    pub fn reset(&mut self) {
+        self.steps.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(p: usize) -> CostTracker {
+        CostTracker::new(p, MachineParams::arm_cluster())
+    }
+
+    #[test]
+    fn compute_takes_max_over_nodes() {
+        let mut t = tracker(3);
+        t.record_compute(0, 1e9, 0.0);
+        t.record_compute(1, 4e9, 0.0);
+        t.record_compute(2, 2e9, 0.0);
+        let c = t.end_superstep(KernelClass::SpMV, None, false);
+        let p = MachineParams::arm_cluster();
+        assert!((c.compute_secs - 4e9 / p.flops_per_sec).abs() < 1e-15);
+        assert_eq!(c.h_bytes, 0.0);
+    }
+
+    #[test]
+    fn h_relation_is_max_of_in_and_out() {
+        let mut t = tracker(3);
+        // Node 0 sends 100 to 1 and 2; node 1 receives 100; node 2 receives 100.
+        t.record_send(0, 1, 100.0);
+        t.record_send(0, 2, 100.0);
+        let c = t.end_superstep(KernelClass::Other, None, false);
+        assert_eq!(c.h_bytes, 200.0, "sender's fan-out dominates");
+    }
+
+    #[test]
+    fn self_sends_free() {
+        let mut t = tracker(2);
+        t.record_send(1, 1, 1e9);
+        let c = t.end_superstep(KernelClass::Other, None, false);
+        assert_eq!(c.h_bytes, 0.0);
+    }
+
+    #[test]
+    fn overlap_takes_max() {
+        let p = MachineParams::arm_cluster();
+        let mut t = tracker(2);
+        t.record_compute(0, 0.0, p.mem_bw_bytes_per_sec); // exactly 1 s compute
+        t.record_send(0, 1, 0.5 / p.g_secs_per_byte); // 0.5 s comm
+        let c = t.end_superstep(KernelClass::Smoother, Some(0), true);
+        assert!((c.total_secs() - (1.0 + p.l_secs)).abs() < 1e-9, "overlap hides comm");
+
+        let mut t2 = tracker(2);
+        t2.record_compute(0, 0.0, p.mem_bw_bytes_per_sec);
+        t2.record_send(0, 1, 0.5 / p.g_secs_per_byte);
+        let c2 = t2.end_superstep(KernelClass::Smoother, Some(0), false);
+        assert!((c2.total_secs() - (1.5 + p.l_secs)).abs() < 1e-9, "blocking adds comm");
+    }
+
+    #[test]
+    fn steps_accumulate_and_filter() {
+        let mut t = tracker(2);
+        t.record_compute(0, 1e9, 0.0);
+        t.end_superstep(KernelClass::SpMV, Some(0), false);
+        t.record_compute(0, 1e9, 0.0);
+        t.end_superstep(KernelClass::Smoother, Some(1), false);
+        t.record_compute(0, 1e9, 0.0);
+        t.end_superstep(KernelClass::Smoother, Some(0), false);
+        assert_eq!(t.superstep_count(), 3);
+        assert!(t.secs_in(KernelClass::Smoother, None) > t.secs_in(KernelClass::SpMV, None));
+        assert!(t.secs_in(KernelClass::Smoother, Some(1)) > 0.0);
+        assert_eq!(t.secs_in(KernelClass::Dot, None), 0.0);
+        let total = t.total_secs();
+        assert!(total > 0.0);
+        t.reset();
+        assert_eq!(t.superstep_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = CostTracker::new(0, MachineParams::arm_cluster());
+    }
+}
+
+#[cfg(test)]
+mod local_step_tests {
+    use super::*;
+
+    #[test]
+    fn local_step_has_no_barrier() {
+        let mut t = CostTracker::new(2, MachineParams::arm_cluster());
+        t.record_compute(0, 1e6, 0.0);
+        let c = t.end_local_step(KernelClass::Waxpby, None);
+        assert_eq!(c.sync_secs, 0.0);
+        assert!(c.compute_secs > 0.0);
+
+        let mut t2 = CostTracker::new(2, MachineParams::arm_cluster());
+        t2.record_compute(0, 1e6, 0.0);
+        let c2 = t2.end_superstep(KernelClass::Waxpby, None, false);
+        assert!(c2.sync_secs > 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The 3D processor-grid factorization of the HPCG reference.
+//!
+//! Given `p` nodes, HPCG computes `p = px·py·pz` minimizing the
+//! communication surface when a `nx×ny×nz` point grid is split into
+//! `px×py×pz` blocks (paper §II-G). We enumerate all ordered factor triples
+//! and pick the one minimizing the per-node halo area
+//! `2(sx·sy + sy·sz + sx·sz)` with `sd = nd/pd`.
+
+/// Returns the `(px, py, pz)` factorization of `p` that minimizes the halo
+/// surface for an `nx×ny×nz` grid.
+///
+/// Ties break toward the most cube-like triple (smallest max/min ratio),
+/// matching the reference's preference for balanced subdomains.
+pub fn factor3d(p: usize, nx: usize, ny: usize, nz: usize) -> (usize, usize, usize) {
+    assert!(p > 0, "cannot factor zero processes");
+    let mut best = (1, 1, p);
+    let mut best_surface = f64::INFINITY;
+    let mut best_aspect = f64::INFINITY;
+    for px in 1..=p {
+        if !p.is_multiple_of(px) {
+            continue;
+        }
+        let rest = p / px;
+        for py in 1..=rest {
+            if !rest.is_multiple_of(py) {
+                continue;
+            }
+            let pz = rest / py;
+            let (sx, sy, sz) =
+                (nx as f64 / px as f64, ny as f64 / py as f64, nz as f64 / pz as f64);
+            let surface = 2.0 * (sx * sy + sy * sz + sx * sz);
+            let aspect = {
+                let mx = sx.max(sy).max(sz);
+                let mn = sx.min(sy).min(sz);
+                mx / mn
+            };
+            if surface < best_surface - 1e-9
+                || ((surface - best_surface).abs() <= 1e-9 && aspect < best_aspect)
+            {
+                best_surface = surface;
+                best_aspect = aspect;
+                best = (px, py, pz);
+            }
+        }
+    }
+    best
+}
+
+/// Returns the most square-like 2D factorization `p = pr·pc` with
+/// `pr ≤ pc` — the process grid of the paper's §VII-B(ii) 2D block
+/// distribution. Squarer grids minimize `(pr−1) + (pc−1)`, the per-node
+/// message-partner count of a 2D SpMV.
+pub fn factor2d(p: usize) -> (usize, usize) {
+    assert!(p > 0, "cannot factor zero processes");
+    let mut best = (1, p);
+    for pr in 1..=p {
+        if p.is_multiple_of(pr) {
+            let pc = p / pr;
+            if pr <= pc {
+                best = (pr, pc);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor2d_squares() {
+        assert_eq!(factor2d(1), (1, 1));
+        assert_eq!(factor2d(4), (2, 2));
+        assert_eq!(factor2d(12), (3, 4));
+        assert_eq!(factor2d(16), (4, 4));
+        assert_eq!(factor2d(7), (1, 7), "primes degrade to 1D");
+    }
+
+    #[test]
+    fn factor2d_product_always_p() {
+        for p in 1..=64 {
+            let (pr, pc) = factor2d(p);
+            assert_eq!(pr * pc, p);
+            assert!(pr <= pc);
+        }
+    }
+
+    #[test]
+    fn perfect_cubes() {
+        assert_eq!(factor3d(8, 64, 64, 64), (2, 2, 2));
+        assert_eq!(factor3d(27, 96, 96, 96), (3, 3, 3));
+        assert_eq!(factor3d(64, 128, 128, 128), (4, 4, 4));
+    }
+
+    #[test]
+    fn primes_fall_back_to_pencils() {
+        let (px, py, pz) = factor3d(7, 64, 64, 64);
+        assert_eq!(px * py * pz, 7);
+        // A prime p can only split one dimension.
+        assert_eq!([px, py, pz].iter().filter(|&&d| d == 1).count(), 2);
+    }
+
+    #[test]
+    fn respects_anisotropic_grids() {
+        // Grid much longer in z: split z first.
+        let (px, py, pz) = factor3d(4, 16, 16, 256);
+        assert_eq!(px * py * pz, 4);
+        assert_eq!(pz, 4, "the long dimension takes all the cuts, got ({px},{py},{pz})");
+    }
+
+    #[test]
+    fn all_p_covered_up_to_16() {
+        for p in 1..=16 {
+            let (px, py, pz) = factor3d(p, 64, 64, 64);
+            assert_eq!(px * py * pz, p);
+        }
+    }
+
+    #[test]
+    fn surface_is_minimal_for_p4_cube_grid() {
+        // For p=4 on a cube, 1×2×2 beats 1×1×4.
+        let (px, py, pz) = factor3d(4, 64, 64, 64);
+        let mut dims = [px, py, pz];
+        dims.sort_unstable();
+        assert_eq!(dims, [1, 2, 2]);
+    }
+}

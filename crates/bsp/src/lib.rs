@@ -1,0 +1,41 @@
+//! A simulated Bulk-Synchronous Parallel (BSP) machine.
+//!
+//! The paper's distributed experiments (Fig 3, Figs 6-7, Table I) ran on a
+//! 7-node InfiniBand ARM cluster through LPF, a BSP-model communication
+//! layer. This crate is the substitute substrate: a **cost-accounted
+//! simulated cluster**. Algorithms execute their real data movement between
+//! per-node buffers (so numerics are exact and communication volumes are
+//! byte-accurate), and the machine model converts the recorded volumes into
+//! wall-clock via the classic BSP formula
+//!
+//! ```text
+//! T = Σ_steps [ max_i w_i  +  g · max_i h_i  +  l ]
+//! ```
+//!
+//! where `w_i` is node `i`'s local work time in the step, `h_i` its
+//! communicated bytes, `g` the gap (seconds per byte) and `l` the barrier
+//! latency (paper §IV, Table I).
+//!
+//! Module map:
+//!
+//! * [`machine`] — machine parameter sets (compute rate, bandwidths, g, l);
+//! * [`cost`] — the superstep cost tracker;
+//! * [`dist`] — data distributions: 1D block, 1D block-cyclic (ALP's hybrid
+//!   backend), and 3D geometric (the HPCG reference);
+//! * [`factor`] — the 3D processor-grid factorization HPCG uses;
+//! * [`halo`] — 2D-halo exchange volumes on the 3D geometric distribution;
+//! * [`collectives`] — h-relation sizes of allgather / allreduce.
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod cost;
+pub mod dist;
+pub mod factor;
+pub mod halo;
+pub mod machine;
+
+pub use cost::{CostTracker, KernelClass, StepCost};
+pub use dist::{BlockCyclic1D, Distribution, Geometric3D};
+pub use factor::{factor2d, factor3d};
+pub use machine::MachineParams;

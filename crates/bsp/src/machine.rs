@@ -1,0 +1,110 @@
+//! Machine parameter sets for the BSP cost model.
+//!
+//! HPCG kernels are memory-bandwidth bound on real hardware (every vendor
+//! optimization report the paper cites says so), so local work time is
+//! modeled as `max(flops / R, bytes / BW)` — the roofline with two
+//! ceilings. Network cost uses the BSP pair `(g, l)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one simulated machine / cluster node.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// Peak floating-point rate of one node, flop/s.
+    pub flops_per_sec: f64,
+    /// Sustained memory bandwidth of one node, bytes/s.
+    pub mem_bw_bytes_per_sec: f64,
+    /// BSP gap: seconds per byte entering or leaving a node.
+    pub g_secs_per_byte: f64,
+    /// BSP latency: seconds per superstep (barrier + message startup).
+    pub l_secs: f64,
+}
+
+impl MachineParams {
+    /// A Kunpeng-920-like ARM node on 100 Gb/s InfiniBand — the paper's
+    /// cluster (Table II: 48 cores, 246 GB/s attained bandwidth, ConnectX-5
+    /// at 2×100 Gb/s).
+    pub fn arm_cluster() -> MachineParams {
+        MachineParams {
+            // 48 cores × ~20 Gflop/s sustained DP each is far above what
+            // bandwidth admits; 1e11 keeps the roofline bandwidth-bound.
+            flops_per_sec: 1.0e11,
+            mem_bw_bytes_per_sec: 246.3e9,
+            // 100 Gb/s ≈ 12.5 GB/s effective per direction.
+            g_secs_per_byte: 1.0 / 12.5e9,
+            l_secs: 5.0e-6,
+        }
+    }
+
+    /// A Xeon-Gold-6238T-like x86 node (Table II: 2×22 cores, 192 GB/s).
+    pub fn x86_node() -> MachineParams {
+        MachineParams {
+            flops_per_sec: 1.2e11,
+            mem_bw_bytes_per_sec: 192.0e9,
+            g_secs_per_byte: 1.0 / 12.5e9,
+            l_secs: 5.0e-6,
+        }
+    }
+
+    /// A deliberately slow network (10× the ARM gap), used by tests and the
+    /// sensitivity sweep in the weak-scaling harness.
+    pub fn slow_network() -> MachineParams {
+        let mut p = Self::arm_cluster();
+        p.g_secs_per_byte *= 10.0;
+        p
+    }
+
+    /// Roofline local-work time for `flops` floating-point operations
+    /// touching `bytes` bytes of memory.
+    #[inline]
+    pub fn compute_time(&self, flops: f64, bytes: f64) -> f64 {
+        (flops / self.flops_per_sec).max(bytes / self.mem_bw_bytes_per_sec)
+    }
+
+    /// Communication time of an `h`-byte relation.
+    #[inline]
+    pub fn comm_time(&self, h_bytes: f64) -> f64 {
+        self.g_secs_per_byte * h_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for p in [MachineParams::arm_cluster(), MachineParams::x86_node()] {
+            assert!(p.flops_per_sec > 1e10);
+            assert!(p.mem_bw_bytes_per_sec > 1e10);
+            assert!(p.g_secs_per_byte > 0.0);
+            assert!(p.l_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn roofline_switches_regimes() {
+        let p = MachineParams::arm_cluster();
+        // Pure compute: tiny bytes → flops bound.
+        let t1 = p.compute_time(1e9, 1.0);
+        assert!((t1 - 1e9 / p.flops_per_sec).abs() < 1e-12);
+        // Streaming: HPCG-like 1 flop per 8 bytes → bandwidth bound.
+        let t2 = p.compute_time(1e9, 8e9);
+        assert!((t2 - 8e9 / p.mem_bw_bytes_per_sec).abs() < 1e-12);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn comm_time_linear_in_bytes() {
+        let p = MachineParams::arm_cluster();
+        assert!((p.comm_time(2e6) - 2.0 * p.comm_time(1e6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_network_is_slower() {
+        assert!(
+            MachineParams::slow_network().comm_time(1e6)
+                > MachineParams::arm_cluster().comm_time(1e6) * 9.0
+        );
+    }
+}

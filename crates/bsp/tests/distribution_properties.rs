@@ -1,0 +1,123 @@
+//! Property tests of the distribution algebra and cost model.
+
+use bsp::cost::{CostTracker, KernelClass};
+use bsp::dist::{BlockCyclic1D, Distribution, Geometric3D};
+use bsp::halo::{face_halo_estimate, halo_by_neighbor, halo_size};
+use bsp::machine::MachineParams;
+use bsp::{factor2d, factor3d};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn block_cyclic_is_a_bijection(n in 1usize..400, p in 1usize..9, block in 1usize..17) {
+        let d = BlockCyclic1D::new(n, p, block);
+        let mut seen = vec![false; n];
+        for node in 0..p {
+            for local in 0..d.local_len(node) {
+                let g = d.to_global(node, local);
+                prop_assert!(g < n);
+                prop_assert!(!seen[g], "index {} owned twice", g);
+                seen[g] = true;
+                prop_assert_eq!(d.owner(g), node);
+                prop_assert_eq!(d.to_local(g), (node, local));
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn block_cyclic_balance(n in 1usize..1000, p in 1usize..9, block in 1usize..9) {
+        // No node holds more than one block over the minimum.
+        let d = BlockCyclic1D::new(n, p, block);
+        let lens: Vec<usize> = (0..p).map(|k| d.local_len(k)).collect();
+        let max = *lens.iter().max().unwrap();
+        let min = *lens.iter().min().unwrap();
+        prop_assert!(max - min <= block, "imbalance {} > block {}", max - min, block);
+    }
+
+    #[test]
+    fn factor3d_covers_and_divides(p in 1usize..40) {
+        let (px, py, pz) = factor3d(p, 64, 64, 64);
+        prop_assert_eq!(px * py * pz, p);
+    }
+
+    #[test]
+    fn factor2d_covers(p in 1usize..200) {
+        let (pr, pc) = factor2d(p);
+        prop_assert_eq!(pr * pc, p);
+        prop_assert!(pr <= pc);
+    }
+
+    #[test]
+    fn geometric_halo_disjoint_from_owned(sx in 2usize..5, p_exp in 0usize..2) {
+        // 2^p_exp boxes per dimension.
+        let pd = 1 << p_exp;
+        let side = sx * pd;
+        let d = Geometric3D::with_process_grid(side, side, side, pd, pd, pd);
+        for node in 0..d.nodes() {
+            for (nbr, idx) in halo_by_neighbor(&d, node) {
+                prop_assert_ne!(nbr, node);
+                for g in idx {
+                    prop_assert_eq!(d.owner(g), nbr);
+                    prop_assert_ne!(d.owner(g), node);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn halo_bounded_by_estimate_plus_corners(s in 2usize..7) {
+        // Exact halo of the center node of a 3x3x3 grid: faces + edges +
+        // corners = 6s² + 12s + 8, always within 2x of the face estimate.
+        let d = Geometric3D::with_process_grid(3 * s, 3 * s, 3 * s, 3, 3, 3);
+        let center = 1 + 3 * (1 + 3);
+        let exact = halo_size(&d, center);
+        prop_assert_eq!(exact, 6 * s * s + 12 * s + 8);
+        let estimate = face_halo_estimate(&d);
+        prop_assert!(exact >= estimate);
+        // Edge/corner overhead is 2/s + O(1/s²) relative: bounded by 3x at
+        // s = 2 and shrinking toward 1x as s grows.
+        prop_assert!(exact <= 3 * estimate);
+        if s >= 6 {
+            prop_assert!(exact <= 3 * estimate / 2);
+        }
+    }
+
+    #[test]
+    fn step_cost_total_monotone_in_components(
+        flops in 0f64..1e12,
+        bytes in 0f64..1e10,
+        h in 0f64..1e9,
+    ) {
+        let params = MachineParams::arm_cluster();
+        let mut t = CostTracker::new(2, params);
+        t.record_compute(0, flops, bytes);
+        t.record_send(0, 1, h);
+        let c = t.end_superstep(KernelClass::Other, None, false);
+        // Blocking total = compute + comm + sync; overlap total ≤ blocking.
+        let mut t2 = CostTracker::new(2, params);
+        t2.record_compute(0, flops, bytes);
+        t2.record_send(0, 1, h);
+        let c2 = t2.end_superstep(KernelClass::Other, None, true);
+        prop_assert!(c2.total_secs() <= c.total_secs() + 1e-15);
+        prop_assert!(c.total_secs() >= c.compute_secs);
+        prop_assert!(c.total_secs() >= c.comm_secs);
+    }
+
+    #[test]
+    fn h_relation_symmetric_exchange(p in 2usize..8, bytes in 1f64..1e6) {
+        // An all-pairs symmetric exchange has h = (p-1)·bytes for every node.
+        let mut t = CostTracker::new(p, MachineParams::arm_cluster());
+        for i in 0..p {
+            for j in 0..p {
+                if i != j {
+                    t.record_send(i, j, bytes);
+                }
+            }
+        }
+        let c = t.end_superstep(KernelClass::Other, None, false);
+        prop_assert!((c.h_bytes - (p as f64 - 1.0) * bytes).abs() < 1e-9);
+    }
+}

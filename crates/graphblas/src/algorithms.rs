@@ -1,0 +1,343 @@
+//! Classic graph algorithms over the GraphBLAS primitives.
+//!
+//! The paper's premise (§II-H) is that one small set of algebraic
+//! primitives serves "multiple applications on sparse data". This module
+//! is the evidence within this crate: breadth-first search (boolean
+//! semiring), single-source shortest paths (tropical `MinPlus` semiring)
+//! and PageRank (`PlusTimes`), each a thin loop over [`mxv`]-family calls
+//! — no algorithm-specific sparse code.
+
+use crate::backend::Backend;
+use crate::container::matrix::CsrMatrix;
+use crate::container::vector::Vector;
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, GrbError, Result};
+use crate::exec::ewise::waxpby;
+use crate::exec::mxv::mxv;
+use crate::exec::reduce::{dot, reduce};
+use crate::ops::binary::{Lor, Max, Plus};
+use crate::ops::monoid::Monoid;
+use crate::ops::semiring::{MinPlus, PlusTimes, Semiring};
+
+/// Logical-or/and semiring for reachability propagation.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LorLand;
+
+impl Semiring<f64> for LorLand {
+    type Add = Lor;
+    type Mul = crate::ops::binary::Land;
+}
+
+/// Breadth-first search from `source` on the pattern of `a` (an edge
+/// `i→j` is a stored entry at `A[j, i]`, the usual GraphBLAS "push"
+/// orientation). Returns per-vertex levels: `0` for the source, `k` for
+/// vertices first reached after `k` hops, `-1` for unreachable.
+pub fn bfs_levels<B: Backend>(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<i64>> {
+    check_dims("bfs", "adjacency must be square", a.nrows(), a.ncols())?;
+    let n = a.nrows();
+    if source >= n {
+        return Err(GrbError::IndexOutOfBounds { index: source, len: n });
+    }
+    let mut levels = vec![-1i64; n];
+    levels[source] = 0;
+    // Frontier and visited as 0/1-valued f64 vectors over the Lor-Land ring.
+    let mut frontier = Vector::<f64>::zeros(n);
+    frontier.as_mut_slice()[source] = 1.0;
+    let mut next = Vector::<f64>::zeros(n);
+    for depth in 1..=n as i64 {
+        mxv::<f64, LorLand, B>(&mut next, None, Descriptor::DEFAULT, a, &frontier, LorLand)?;
+        // Prune already-visited vertices and record fresh ones.
+        let mut any = false;
+        {
+            let ns = next.as_mut_slice();
+            for (i, v) in ns.iter_mut().enumerate() {
+                if *v != 0.0 {
+                    if levels[i] >= 0 {
+                        *v = 0.0;
+                    } else {
+                        levels[i] = depth;
+                        any = true;
+                    }
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    Ok(levels)
+}
+
+/// Single-source shortest paths by Bellman-Ford relaxation over the
+/// tropical semiring: `d ← min(d, A ⊕.⊗ d)` with `⊕ = min`, `⊗ = +`.
+/// Edge `i→j` with weight `w` is `A[j, i] = w`. Returns `+∞` for
+/// unreachable vertices; errors on negative cycles.
+pub fn sssp<B: Backend>(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<f64>> {
+    check_dims("sssp", "adjacency must be square", a.nrows(), a.ncols())?;
+    let n = a.nrows();
+    if source >= n {
+        return Err(GrbError::IndexOutOfBounds { index: source, len: n });
+    }
+    let mut dist = Vector::<f64>::filled(n, f64::INFINITY);
+    dist.as_mut_slice()[source] = 0.0;
+    let mut relaxed = Vector::<f64>::zeros(n);
+    for round in 0..n {
+        mxv::<f64, MinPlus, B>(&mut relaxed, None, Descriptor::DEFAULT, a, &dist, MinPlus)?;
+        // d ← min(d, relaxed) element-wise; track whether anything moved.
+        let mut changed = false;
+        {
+            let ds = dist.as_mut_slice();
+            let rs = relaxed.as_slice();
+            for i in 0..n {
+                if rs[i] < ds[i] {
+                    ds[i] = rs[i];
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(dist.as_slice().to_vec());
+        }
+        if round == n - 1 && changed {
+            return Err(GrbError::InvalidInput("negative cycle detected".into()));
+        }
+    }
+    Ok(dist.as_slice().to_vec())
+}
+
+/// PageRank by power iteration: `r ← d·M·r + (1−d)/n` until the max
+/// per-vertex change drops below `tol`. `m` must be column-stochastic
+/// (`M[j, i] = 1/outdeg(i)` for each edge `i→j`). Returns the rank vector
+/// and the iteration count.
+pub fn pagerank<B: Backend>(
+    m: &CsrMatrix<f64>,
+    damping: f64,
+    tol: f64,
+    max_iters: usize,
+) -> Result<(Vector<f64>, usize)> {
+    check_dims("pagerank", "transition must be square", m.nrows(), m.ncols())?;
+    if !(0.0..1.0).contains(&damping) {
+        return Err(GrbError::InvalidInput(format!("damping {damping} outside [0, 1)")));
+    }
+    let n = m.nrows();
+    if n == 0 {
+        return Ok((Vector::zeros(0), 0));
+    }
+    let teleport = Vector::filled(n, (1.0 - damping) / n as f64);
+    let mut rank = Vector::filled(n, 1.0 / n as f64);
+    let mut next = Vector::zeros(n);
+    for iter in 1..=max_iters {
+        mxv::<f64, PlusTimes, B>(&mut next, None, Descriptor::DEFAULT, m, &rank, PlusTimes)?;
+        let scaled = next.clone();
+        waxpby::<f64, B>(&mut next, damping, &scaled, 1.0, &teleport)?;
+        // Convergence via the max-abs-difference monoid fold.
+        let mut diff_vec = Vector::zeros(n);
+        waxpby::<f64, B>(&mut diff_vec, 1.0, &next, -1.0, &rank)?;
+        let diff_abs = Vector::from_dense(diff_vec.as_slice().iter().map(|v| v.abs()).collect());
+        let diff = reduce::<f64, Max, B>(&diff_abs, None, Descriptor::DEFAULT)?;
+        std::mem::swap(&mut rank, &mut next);
+        if diff < tol {
+            return Ok((rank, iter));
+        }
+    }
+    Ok((rank, max_iters))
+}
+
+/// Number of triangles in an undirected graph via the Burkhardt formula
+/// `tr(A³)/6`, computed as `Σ_i ⟨(A²)_i, A_i⟩ / 6` with one `mxm` and an
+/// element-wise dot — a staple GraphBLAS benchmark kernel.
+pub fn triangle_count<B: Backend>(a: &CsrMatrix<f64>) -> Result<usize> {
+    check_dims("tricount", "adjacency must be square", a.nrows(), a.ncols())?;
+    let a2 = crate::exec::mxm::mxm::<f64, PlusTimes, B>(a, a, Descriptor::DEFAULT, PlusTimes)?;
+    let mut total = 0.0;
+    for r in 0..a.nrows() {
+        let (cols_a, vals_a) = a.row(r);
+        let (cols_b, vals_b) = a2.row(r);
+        // Sparse dot of the two rows (both sorted).
+        let (mut i, mut j) = (0, 0);
+        while i < cols_a.len() && j < cols_b.len() {
+            match cols_a[i].cmp(&cols_b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    total += vals_a[i] * vals_b[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    Ok((total / 6.0).round() as usize)
+}
+
+/// Sum of a vector's entries over `Plus` — convenience used by examples.
+pub fn mass<B: Backend>(x: &Vector<f64>) -> Result<f64> {
+    let ones = Vector::filled(x.len(), 1.0);
+    dot::<f64, PlusTimes, B>(x, &ones, PlusTimes)
+}
+
+// Suppress an unused-import lint path: Monoid is used via bounds above.
+const _: fn() -> f64 = <Plus as Monoid<f64>>::identity;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Sequential;
+
+    /// Directed path 0→1→2→3 plus a shortcut 0→3 (weight 10).
+    fn path_graph() -> CsrMatrix<f64> {
+        // A[j, i] = w for edge i→j.
+        CsrMatrix::from_triplets(
+            4,
+            4,
+            &[(1, 0, 1.0), (2, 1, 1.0), (3, 2, 1.0), (3, 0, 10.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let a = path_graph();
+        let levels = bfs_levels::<Sequential>(&a, 0).unwrap();
+        assert_eq!(levels, vec![0, 1, 2, 1], "vertex 3 reached in one hop via the shortcut");
+        let from2 = bfs_levels::<Sequential>(&a, 2).unwrap();
+        assert_eq!(from2, vec![-1, -1, 0, 1], "no back edges");
+    }
+
+    #[test]
+    fn bfs_bad_source() {
+        let a = path_graph();
+        assert!(bfs_levels::<Sequential>(&a, 99).is_err());
+    }
+
+    #[test]
+    fn sssp_prefers_cheap_path() {
+        let a = path_graph();
+        let d = sssp::<Sequential>(&a, 0).unwrap();
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0], "3 hops of cost 1 beat the cost-10 shortcut");
+    }
+
+    #[test]
+    fn sssp_unreachable_is_infinite() {
+        let a = CsrMatrix::from_triplets(3, 3, &[(1, 0, 2.0)]).unwrap();
+        let d = sssp::<Sequential>(&a, 0).unwrap();
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], 2.0);
+        assert_eq!(d[2], f64::INFINITY);
+    }
+
+    #[test]
+    fn sssp_detects_negative_cycle() {
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[(1, 0, -1.0), (0, 1, -1.0)]).unwrap();
+        assert!(matches!(sssp::<Sequential>(&a, 0), Err(GrbError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn pagerank_mass_conserved_and_hub_wins() {
+        // Star: everyone links to vertex 0; 0 links to 1.
+        let n = 6;
+        let mut edges = vec![(0usize, 1usize)];
+        for v in 1..n {
+            edges.push((v, 0));
+        }
+        let mut outdeg = vec![0usize; n];
+        for &(s, _) in &edges {
+            outdeg[s] += 1;
+        }
+        let trips: Vec<(usize, usize, f64)> =
+            edges.iter().map(|&(s, d)| (d, s, 1.0 / outdeg[s] as f64)).collect();
+        let m = CsrMatrix::from_triplets(n, n, &trips).unwrap();
+        let (rank, iters) = pagerank::<Sequential>(&m, 0.85, 1e-12, 500).unwrap();
+        assert!(iters < 500, "must converge");
+        let total = mass::<Sequential>(&rank).unwrap();
+        assert!((total - 1.0).abs() < 1e-9, "probability mass conserved, got {total}");
+        let best = rank
+            .as_slice()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 0, "the star center ranks first");
+    }
+
+    #[test]
+    fn pagerank_rejects_bad_damping() {
+        let m = CsrMatrix::<f64>::from_triplets(1, 1, &[(0, 0, 1.0)]).unwrap();
+        assert!(pagerank::<Sequential>(&m, 1.5, 1e-6, 10).is_err());
+    }
+
+    #[test]
+    fn triangle_count_k4_and_triangle() {
+        // One triangle.
+        let tri = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (0, 2, 1.0), (2, 0, 1.0)],
+        )
+        .unwrap();
+        assert_eq!(triangle_count::<Sequential>(&tri).unwrap(), 1);
+
+        // K4 has C(4,3) = 4 triangles.
+        let mut e = Vec::new();
+        for i in 0..4usize {
+            for j in 0..4usize {
+                if i != j {
+                    e.push((i, j, 1.0));
+                }
+            }
+        }
+        let k4 = CsrMatrix::from_triplets(4, 4, &e).unwrap();
+        assert_eq!(triangle_count::<Sequential>(&k4).unwrap(), 4);
+
+        // Triangle-free square.
+        let sq = CsrMatrix::from_triplets(
+            4,
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (2, 3, 1.0),
+                (3, 2, 1.0),
+                (3, 0, 1.0),
+                (0, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(triangle_count::<Sequential>(&sq).unwrap(), 0);
+    }
+
+    #[test]
+    fn bfs_on_hpcg_style_grid_matches_manhattan_like_metric() {
+        // On a 27-point-stencil graph, BFS level = Chebyshev distance.
+        let n = 4usize;
+        let idx = |x: usize, y: usize| x + n * y;
+        let mut trips = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        if dx == 0 && dy == 0 {
+                            continue;
+                        }
+                        let (xx, yy) = (x as i64 + dx, y as i64 + dy);
+                        if (0..n as i64).contains(&xx) && (0..n as i64).contains(&yy) {
+                            trips.push((idx(xx as usize, yy as usize), idx(x, y), 1.0));
+                        }
+                    }
+                }
+            }
+        }
+        let a = CsrMatrix::from_triplets(n * n, n * n, &trips).unwrap();
+        let levels = bfs_levels::<Sequential>(&a, idx(0, 0)).unwrap();
+        for y in 0..n {
+            for x in 0..n {
+                assert_eq!(levels[idx(x, y)], x.max(y) as i64, "Chebyshev distance at ({x},{y})");
+            }
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Opaque containers: vectors and sparse matrices.
+//!
+//! GraphBLAS prescribes that containers be *opaque*: algorithms may not
+//! assume a storage format (paper §II-H). Within this crate the storage is
+//! of course concrete — [`vector::Vector`] is a dense value array with an
+//! optional sparsity pattern, [`matrix::CsrMatrix`] is Compressed Sparse Row
+//! — but the public algorithm-facing API exposes only algebraic accessors,
+//! so every kernel in [`crate::exec`] works unchanged if storage evolves.
+
+pub mod matrix;
+pub mod vector;

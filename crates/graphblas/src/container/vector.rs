@@ -1,0 +1,333 @@
+//! The GraphBLAS vector container.
+//!
+//! A [`Vector`] is logically a map from `0..len` to `T` where absent entries
+//! mean the ambient semiring's additive identity. Storage is a dense value
+//! array plus an optional **pattern**: a sorted list of stored indices.
+//!
+//! * HPCG's numeric vectors (`x`, `b`, `r`, …) are dense — no pattern.
+//! * The RBGS color masks are *sparse boolean vectors*: only the rows of one
+//!   color are stored. Masked operations iterate the pattern, which is what
+//!   makes the per-color cost proportional to the color size, and what the
+//!   `structural` descriptor exploits (it never touches `values`).
+
+use crate::error::{GrbError, Result};
+use crate::ops::scalar::Scalar;
+
+/// A dense-or-sparse vector over domain `T`.
+///
+/// See the [module docs](self) for the storage model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Vector<T> {
+    values: Vec<T>,
+    /// Sorted, unique indices of stored entries; `None` means all stored.
+    pattern: Option<Vec<u32>>,
+}
+
+impl<T: Scalar> Vector<T> {
+    /// A dense vector of `n` domain zeros.
+    pub fn zeros(n: usize) -> Self {
+        Vector { values: vec![T::ZERO; n], pattern: None }
+    }
+
+    /// A dense vector with every entry equal to `value`.
+    pub fn filled(n: usize, value: T) -> Self {
+        Vector { values: vec![value; n], pattern: None }
+    }
+
+    /// Wraps an existing dense buffer.
+    pub fn from_dense(values: Vec<T>) -> Self {
+        Vector { values, pattern: None }
+    }
+
+    /// A sparse vector of logical length `n` whose stored entries are
+    /// `indices`, all set to `value`. Indices must be strictly increasing.
+    ///
+    /// This is the constructor for RBGS color masks: `value = true`.
+    pub fn sparse_filled(n: usize, indices: Vec<u32>, value: T) -> Result<Self> {
+        validate_pattern(n, &indices)?;
+        let mut values = vec![T::ZERO; n];
+        for &i in &indices {
+            values[i as usize] = value;
+        }
+        Ok(Vector { values, pattern: Some(indices) })
+    }
+
+    /// A sparse vector from `(index, value)` entries with strictly
+    /// increasing indices.
+    pub fn from_entries(n: usize, entries: &[(u32, T)]) -> Result<Self> {
+        let indices: Vec<u32> = entries.iter().map(|&(i, _)| i).collect();
+        validate_pattern(n, &indices)?;
+        let mut values = vec![T::ZERO; n];
+        for &(i, v) in entries {
+            values[i as usize] = v;
+        }
+        Ok(Vector { values, pattern: Some(indices) })
+    }
+
+    /// Logical length of the vector.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of stored entries (`len()` when dense).
+    pub fn nnz(&self) -> usize {
+        match &self.pattern {
+            None => self.values.len(),
+            Some(p) => p.len(),
+        }
+    }
+
+    /// Whether every entry is stored.
+    pub fn is_dense(&self) -> bool {
+        self.pattern.is_none()
+    }
+
+    /// The stored-index pattern: `None` for dense vectors.
+    #[inline(always)]
+    pub fn pattern(&self) -> Option<&[u32]> {
+        self.pattern.as_deref()
+    }
+
+    /// Dense view of the value buffer. Entries outside the pattern hold the
+    /// domain zero.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable dense view of the value buffer.
+    ///
+    /// Writing through this view does **not** extend the pattern; use
+    /// [`Vector::densify`] first when turning a sparse vector dense.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// The value at `i`, or `None` if `i` is not stored.
+    pub fn get(&self, i: usize) -> Option<T> {
+        if i >= self.values.len() {
+            return None;
+        }
+        match &self.pattern {
+            None => Some(self.values[i]),
+            Some(p) => p.binary_search(&(i as u32)).ok().map(|_| self.values[i]),
+        }
+    }
+
+    /// The value at `i`, treating unstored entries as the domain zero.
+    #[inline(always)]
+    pub fn get_or_zero(&self, i: usize) -> T {
+        self.values.get(i).copied().unwrap_or(T::ZERO)
+    }
+
+    /// Iterates `(index, value)` over stored entries in increasing index order.
+    pub fn iter_stored(&self) -> StoredIter<'_, T> {
+        StoredIter { vector: self, cursor: 0 }
+    }
+
+    /// Sets every stored entry to `value` (dense: every entry).
+    pub fn fill(&mut self, value: T) {
+        match &self.pattern {
+            None => self.values.iter_mut().for_each(|v| *v = value),
+            Some(p) => {
+                for &i in p {
+                    self.values[i as usize] = value;
+                }
+            }
+        }
+    }
+
+    /// Resets to a dense all-zero vector of the same length.
+    pub fn clear(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = T::ZERO);
+        self.pattern = None;
+    }
+
+    /// Drops the pattern, making all `len()` entries stored (unstored
+    /// positions become explicit zeros).
+    pub fn densify(&mut self) {
+        self.pattern = None;
+    }
+
+    /// Euclidean-style structural check used in tests: do the stored
+    /// patterns match?
+    pub fn same_pattern(&self, other: &Vector<T>) -> bool {
+        self.len() == other.len() && self.pattern == other.pattern
+    }
+}
+
+impl<T> AsRef<[T]> for Vector<T> {
+    fn as_ref(&self) -> &[T] {
+        &self.values
+    }
+}
+
+impl<T> AsMut<[T]> for Vector<T> {
+    /// Dense mutable view (see [`Vector::as_mut_slice`] for pattern caveats).
+    fn as_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+}
+
+/// Iterator over stored `(index, value)` pairs. See [`Vector::iter_stored`].
+pub struct StoredIter<'a, T> {
+    vector: &'a Vector<T>,
+    cursor: usize,
+}
+
+impl<T: Scalar> Iterator for StoredIter<'_, T> {
+    type Item = (usize, T);
+
+    fn next(&mut self) -> Option<(usize, T)> {
+        match self.vector.pattern() {
+            None => {
+                if self.cursor < self.vector.len() {
+                    let i = self.cursor;
+                    self.cursor += 1;
+                    Some((i, self.vector.values[i]))
+                } else {
+                    None
+                }
+            }
+            Some(p) => {
+                if self.cursor < p.len() {
+                    let i = p[self.cursor] as usize;
+                    self.cursor += 1;
+                    Some((i, self.vector.values[i]))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vector.nnz().saturating_sub(self.cursor);
+        (rem, Some(rem))
+    }
+}
+
+fn validate_pattern(n: usize, indices: &[u32]) -> Result<()> {
+    for (k, &i) in indices.iter().enumerate() {
+        if i as usize >= n {
+            return Err(GrbError::IndexOutOfBounds { index: i as usize, len: n });
+        }
+        if k > 0 && indices[k - 1] >= i {
+            return Err(GrbError::InvalidInput(format!(
+                "pattern indices must be strictly increasing, got {} then {}",
+                indices[k - 1],
+                i
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_construction() {
+        let v = Vector::<f64>::zeros(4);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.nnz(), 4);
+        assert!(v.is_dense());
+        assert_eq!(v.as_slice(), &[0.0; 4]);
+
+        let w = Vector::filled(3, 2.5);
+        assert_eq!(w.as_slice(), &[2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn sparse_construction_and_access() {
+        let m = Vector::<bool>::sparse_filled(6, vec![1, 3, 4], true).unwrap();
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.nnz(), 3);
+        assert!(!m.is_dense());
+        assert_eq!(m.get(1), Some(true));
+        assert_eq!(m.get(0), None, "unstored entries are absent");
+        assert_eq!(m.get(99), None, "out of range is absent");
+        assert!(!m.get_or_zero(0));
+        assert_eq!(m.pattern(), Some(&[1u32, 3, 4][..]));
+    }
+
+    #[test]
+    fn sparse_rejects_bad_patterns() {
+        assert!(matches!(
+            Vector::<f64>::sparse_filled(4, vec![0, 5], 1.0),
+            Err(GrbError::IndexOutOfBounds { index: 5, len: 4 })
+        ));
+        assert!(Vector::<f64>::sparse_filled(4, vec![2, 2], 1.0).is_err());
+        assert!(Vector::<f64>::sparse_filled(4, vec![3, 1], 1.0).is_err());
+    }
+
+    #[test]
+    fn from_entries_places_values() {
+        let v = Vector::<f64>::from_entries(5, &[(0, 1.5), (4, -2.0)]).unwrap();
+        assert_eq!(v.get(0), Some(1.5));
+        assert_eq!(v.get(4), Some(-2.0));
+        assert_eq!(v.get(2), None);
+        assert_eq!(v.get_or_zero(2), 0.0);
+    }
+
+    #[test]
+    fn iter_stored_dense_and_sparse() {
+        let v = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let collected: Vec<_> = v.iter_stored().collect();
+        assert_eq!(collected, vec![(0, 1.0), (1, 2.0), (2, 3.0)]);
+
+        let s = Vector::<f64>::from_entries(5, &[(1, 10.0), (3, 30.0)]).unwrap();
+        let collected: Vec<_> = s.iter_stored().collect();
+        assert_eq!(collected, vec![(1, 10.0), (3, 30.0)]);
+        assert_eq!(s.iter_stored().size_hint(), (2, Some(2)));
+    }
+
+    #[test]
+    fn fill_respects_pattern() {
+        let mut s = Vector::<f64>::from_entries(4, &[(1, 1.0), (2, 2.0)]).unwrap();
+        s.fill(9.0);
+        assert_eq!(s.as_slice(), &[0.0, 9.0, 9.0, 0.0]);
+
+        let mut d = Vector::<f64>::zeros(3);
+        d.fill(7.0);
+        assert_eq!(d.as_slice(), &[7.0; 3]);
+    }
+
+    #[test]
+    fn clear_and_densify() {
+        let mut s = Vector::<f64>::from_entries(3, &[(0, 5.0)]).unwrap();
+        s.densify();
+        assert!(s.is_dense());
+        assert_eq!(s.get(2), Some(0.0), "densified entries become explicit zeros");
+
+        let mut t = Vector::<f64>::from_entries(3, &[(0, 5.0)]).unwrap();
+        t.clear();
+        assert!(t.is_dense());
+        assert_eq!(t.as_slice(), &[0.0; 3]);
+    }
+
+    #[test]
+    fn same_pattern() {
+        let a = Vector::<f64>::from_entries(4, &[(1, 1.0)]).unwrap();
+        let b = Vector::<f64>::from_entries(4, &[(1, 2.0)]).unwrap();
+        let c = Vector::<f64>::from_entries(4, &[(2, 1.0)]).unwrap();
+        assert!(a.same_pattern(&b));
+        assert!(!a.same_pattern(&c));
+        assert!(!a.same_pattern(&Vector::zeros(4)));
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = Vector::<f64>::zeros(0);
+        assert!(v.is_empty());
+        assert_eq!(v.iter_stored().count(), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Operation descriptors: compile-time-ish domain hints for primitives.
+//!
+//! Descriptors are GraphBLAS's channel for passing *how* an operation should
+//! interpret its arguments without changing *what* it computes. The paper's
+//! HPCG port depends on two of them (§IV):
+//!
+//! * [`Descriptor::STRUCTURAL`] — a masked operation follows only the
+//!   sparsity *pattern* of the mask, never reading mask values. The RBGS
+//!   color masks are structural: every stored entry means "this row belongs
+//!   to the color", so reading the boolean values would be wasted memory
+//!   traffic (Listing 3, line 11).
+//! * [`Descriptor::TRANSPOSE`] — the matrix operand is used transposed
+//!   without materializing the transpose. HPCG's refinement is the transpose
+//!   of its restriction matrix (§III-B), so one stored matrix serves both.
+//! * [`Descriptor::INVERT_MASK`] — the complement of the mask selects.
+
+/// A set of flags modifying how a primitive interprets its operands.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Descriptor {
+    structural: bool,
+    transpose: bool,
+    invert_mask: bool,
+}
+
+impl Descriptor {
+    /// No modifiers: mask values are honored, matrices untransposed.
+    pub const DEFAULT: Descriptor =
+        Descriptor { structural: false, transpose: false, invert_mask: false };
+
+    /// Use only the sparsity pattern of the mask (ignore stored values).
+    pub const STRUCTURAL: Descriptor =
+        Descriptor { structural: true, transpose: false, invert_mask: false };
+
+    /// Use the matrix operand transposed, without materializing it.
+    pub const TRANSPOSE: Descriptor =
+        Descriptor { structural: false, transpose: true, invert_mask: false };
+
+    /// Select where the mask does **not** (complement semantics).
+    pub const INVERT_MASK: Descriptor =
+        Descriptor { structural: false, transpose: false, invert_mask: true };
+
+    /// Combines this descriptor with another, or-ing all flags.
+    #[must_use]
+    pub const fn with(self, other: Descriptor) -> Descriptor {
+        Descriptor {
+            structural: self.structural || other.structural,
+            transpose: self.transpose || other.transpose,
+            invert_mask: self.invert_mask || other.invert_mask,
+        }
+    }
+
+    /// Whether the mask is interpreted structurally.
+    #[inline(always)]
+    pub const fn is_structural(self) -> bool {
+        self.structural
+    }
+
+    /// Whether the matrix operand is used transposed.
+    #[inline(always)]
+    pub const fn is_transposed(self) -> bool {
+        self.transpose
+    }
+
+    /// Whether mask selection is complemented.
+    #[inline(always)]
+    pub const fn is_mask_inverted(self) -> bool {
+        self.invert_mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_no_flags() {
+        let d = Descriptor::DEFAULT;
+        assert!(!d.is_structural());
+        assert!(!d.is_transposed());
+        assert!(!d.is_mask_inverted());
+        assert_eq!(d, Descriptor::default());
+    }
+
+    #[test]
+    fn named_constants_set_one_flag_each() {
+        assert!(Descriptor::STRUCTURAL.is_structural());
+        assert!(Descriptor::TRANSPOSE.is_transposed());
+        assert!(Descriptor::INVERT_MASK.is_mask_inverted());
+    }
+
+    #[test]
+    fn with_combines_flags() {
+        let d = Descriptor::STRUCTURAL.with(Descriptor::TRANSPOSE);
+        assert!(d.is_structural());
+        assert!(d.is_transposed());
+        assert!(!d.is_mask_inverted());
+        // `with` is commutative and idempotent.
+        assert_eq!(d, Descriptor::TRANSPOSE.with(Descriptor::STRUCTURAL));
+        assert_eq!(d.with(d), d);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error handling for GraphBLAS operations.
+//!
+//! Mirrors the error discipline of the GraphBLAS C API: dimension mismatches,
+//! out-of-range indices and malformed inputs are reported as values, never as
+//! panics, so that callers (solvers, benchmark harnesses) can decide policy.
+
+use std::fmt;
+
+/// The error type returned by all fallible GraphBLAS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrbError {
+    /// Two containers participating in one operation have incompatible sizes.
+    DimensionMismatch {
+        /// The operation that was attempted, e.g. `"mxv"`.
+        op: &'static str,
+        /// Human-readable description of the mismatched operands.
+        detail: String,
+    },
+    /// An index was outside the container bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The container length it was checked against.
+        len: usize,
+    },
+    /// The input triplets/arrays do not describe a valid sparse container.
+    InvalidInput(String),
+    /// The requested operation is not supported in the requested configuration
+    /// (e.g. a parallel transpose-`mxv` on a matrix with column conflicts).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for GrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrbError::DimensionMismatch { op, detail } => {
+                write!(f, "dimension mismatch in {op}: {detail}")
+            }
+            GrbError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for container of length {len}")
+            }
+            GrbError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            GrbError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GrbError {}
+
+/// Convenience alias used by every fallible API in this crate.
+pub type Result<T> = std::result::Result<T, GrbError>;
+
+/// Checks that two lengths agree, returning a [`GrbError::DimensionMismatch`]
+/// with context otherwise.
+pub(crate) fn check_dims(op: &'static str, what: &str, expected: usize, got: usize) -> Result<()> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(GrbError::DimensionMismatch {
+            op,
+            detail: format!("{what}: expected {expected}, got {got}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = GrbError::DimensionMismatch { op: "mxv", detail: "x: expected 4, got 3".into() };
+        assert_eq!(e.to_string(), "dimension mismatch in mxv: x: expected 4, got 3");
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = GrbError::IndexOutOfBounds { index: 9, len: 4 };
+        assert!(e.to_string().contains("index 9"));
+        assert!(e.to_string().contains("length 4"));
+    }
+
+    #[test]
+    fn check_dims_ok_and_err() {
+        assert!(check_dims("mxv", "x", 4, 4).is_ok());
+        let err = check_dims("mxv", "x", 4, 5).unwrap_err();
+        match err {
+            GrbError::DimensionMismatch { op, .. } => assert_eq!(op, "mxv"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GrbError::Unsupported("x"));
+    }
+}

@@ -1,0 +1,490 @@
+//! Sparse matrix–vector multiplication (`mxv`, `vxm`).
+//!
+//! `mxv` is HPCG's dominant kernel (paper §II-C): `y_i = ⊕_j A_ij ⊗ x_j`
+//! over the caller's semiring. This module provides:
+//!
+//! * the row-parallel untransposed kernel (each output row is owned by one
+//!   task, so no synchronization is needed);
+//! * the transposed kernel honoring [`Descriptor::TRANSPOSE`], used by
+//!   HPCG's refinement to reuse the restriction matrix without
+//!   materializing its transpose (§IV). The transpose kernel scatters into
+//!   the output, so it parallelizes only when the matrix's columns are
+//!   conflict-free (at most one nonzero per column — true for straight
+//!   injection); otherwise it falls back to a sequential scatter;
+//! * masked variants computing only the selected output rows — the
+//!   workhorse of the RBGS smoother (Listing 2, line 3).
+
+use crate::backend::Backend;
+use crate::container::matrix::CsrMatrix;
+use crate::container::vector::Vector;
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, GrbError, Result};
+use crate::exec::for_each_selected;
+use crate::ops::scalar::Scalar;
+use crate::ops::semiring::Semiring;
+use crate::util::UnsafeSlice;
+
+/// `y⟨mask⟩ = A ⊕.⊗ x` (or `Aᵀ` under [`Descriptor::TRANSPOSE`]).
+///
+/// Only masked output positions are written; others keep their prior values.
+/// With `TRANSPOSE`, masks are unsupported (HPCG never needs them) and a
+/// [`GrbError::Unsupported`] is returned if one is passed.
+pub fn mxv<T, R, B>(
+    y: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    desc: Descriptor,
+    a: &CsrMatrix<T>,
+    x: &Vector<T>,
+    _ring: R,
+) -> Result<()>
+where
+    T: Scalar,
+    R: Semiring<T>,
+    B: Backend,
+{
+    if desc.is_transposed() {
+        if mask.is_some() {
+            return Err(GrbError::Unsupported("masked transpose-mxv"));
+        }
+        check_dims("mxv^T", "x vs nrows", a.nrows(), x.len())?;
+        check_dims("mxv^T", "y vs ncols", a.ncols(), y.len())?;
+        return transpose_mxv::<T, R, B>(y, a, x);
+    }
+    check_dims("mxv", "x vs ncols", a.ncols(), x.len())?;
+    check_dims("mxv", "y vs nrows", a.nrows(), y.len())?;
+    let xs = x.as_slice();
+    let out = UnsafeSlice::new(y.as_mut_slice());
+    for_each_selected::<B, _>(a.nrows(), mask, desc, |i| {
+        let (cols, vals) = a.row(i);
+        let mut acc = R::zero();
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc = R::add(acc, R::mul(v, xs[c as usize]));
+        }
+        // SAFETY: selected indices are unique (mask patterns are strictly
+        // increasing; the unmasked path covers each row once).
+        unsafe { out.write(i, acc) };
+    })?;
+    Ok(())
+}
+
+/// `y = xᵀA` — the vector–matrix product, equal to `Aᵀx`.
+///
+/// Provided for API parity with the GraphBLAS C interface; forwards to the
+/// transposed `mxv` kernel (and vice versa under `TRANSPOSE`).
+pub fn vxm<T, R, B>(
+    y: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    desc: Descriptor,
+    x: &Vector<T>,
+    a: &CsrMatrix<T>,
+    ring: R,
+) -> Result<()>
+where
+    T: Scalar,
+    R: Semiring<T>,
+    B: Backend,
+{
+    // x^T A == A^T x, so flip the transpose flag and reuse mxv.
+    let flipped = if desc.is_transposed() {
+        desc_without_transpose(desc)
+    } else {
+        desc.with(Descriptor::TRANSPOSE)
+    };
+    mxv::<T, R, B>(y, mask, flipped, a, x, ring)
+}
+
+fn desc_without_transpose(desc: Descriptor) -> Descriptor {
+    let mut d = Descriptor::DEFAULT;
+    if desc.is_structural() {
+        d = d.with(Descriptor::STRUCTURAL);
+    }
+    if desc.is_mask_inverted() {
+        d = d.with(Descriptor::INVERT_MASK);
+    }
+    d
+}
+
+/// `y⟨mask⟩ = y ⊕ (A ⊕.⊗ x)` — `mxv` with an additive accumulator, the
+/// GraphBLAS `accum` parameter specialized to the semiring's own monoid.
+///
+/// HPCG's refinement step uses this with [`Descriptor::TRANSPOSE`] to
+/// compute `z += Rᵀ·zc` in one pass over the restriction matrix (§III-B).
+pub fn mxv_accum<T, R, B>(
+    y: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    desc: Descriptor,
+    a: &CsrMatrix<T>,
+    x: &Vector<T>,
+    _ring: R,
+) -> Result<()>
+where
+    T: Scalar,
+    R: Semiring<T>,
+    B: Backend,
+{
+    if desc.is_transposed() {
+        if mask.is_some() {
+            return Err(GrbError::Unsupported("masked transpose-mxv"));
+        }
+        check_dims("mxv_accum^T", "x vs nrows", a.nrows(), x.len())?;
+        check_dims("mxv_accum^T", "y vs ncols", a.ncols(), y.len())?;
+        return transpose_mxv_accum::<T, R, B>(y, a, x);
+    }
+    check_dims("mxv_accum", "x vs ncols", a.ncols(), x.len())?;
+    check_dims("mxv_accum", "y vs nrows", a.nrows(), y.len())?;
+    let xs = x.as_slice();
+    let out = UnsafeSlice::new(y.as_mut_slice());
+    for_each_selected::<B, _>(a.nrows(), mask, desc, |i| {
+        let (cols, vals) = a.row(i);
+        let mut acc = R::zero();
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc = R::add(acc, R::mul(v, xs[c as usize]));
+        }
+        // SAFETY: selected indices are unique per the mask contract.
+        unsafe {
+            let slot = out.get_mut(i);
+            *slot = R::add(*slot, acc);
+        }
+    })?;
+    Ok(())
+}
+
+/// Accumulating scatter `y ⊕= Aᵀ x` (no zero-initialization of `y`).
+fn transpose_mxv_accum<T, R, B>(y: &mut Vector<T>, a: &CsrMatrix<T>, x: &Vector<T>) -> Result<()>
+where
+    T: Scalar,
+    R: Semiring<T>,
+    B: Backend,
+{
+    y.densify();
+    let xs = x.as_slice();
+    let ys = y.as_mut_slice();
+    if a.columns_conflict_free() {
+        let out = UnsafeSlice::new(ys);
+        B::for_n(a.nrows(), |r| {
+            let (cols, vals) = a.row(r);
+            let xr = xs[r];
+            for (&c, &v) in cols.iter().zip(vals) {
+                // SAFETY: conflict-free columns → c unique across rows.
+                unsafe {
+                    let slot = out.get_mut(c as usize);
+                    *slot = R::add(*slot, R::mul(v, xr));
+                }
+            }
+        });
+    } else {
+        for r in 0..a.nrows() {
+            let (cols, vals) = a.row(r);
+            let xr = xs[r];
+            for (&c, &v) in cols.iter().zip(vals) {
+                let slot = &mut ys[c as usize];
+                *slot = R::add(*slot, R::mul(v, xr));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Scatter-based `y = Aᵀ x`.
+///
+/// Initializes all of `y` to the semiring zero, then accumulates
+/// `y[c] ⊕= A[r,c] ⊗ x[r]` over stored entries.
+fn transpose_mxv<T, R, B>(y: &mut Vector<T>, a: &CsrMatrix<T>, x: &Vector<T>) -> Result<()>
+where
+    T: Scalar,
+    R: Semiring<T>,
+    B: Backend,
+{
+    y.densify();
+    let xs = x.as_slice();
+    let ys = y.as_mut_slice();
+    ys.iter_mut().for_each(|v| *v = R::zero());
+    if a.columns_conflict_free() {
+        // Each output index is written by at most one source row, so rows
+        // may be processed in parallel without synchronization.
+        let out = UnsafeSlice::new(ys);
+        B::for_n(a.nrows(), |r| {
+            let (cols, vals) = a.row(r);
+            let xr = xs[r];
+            for (&c, &v) in cols.iter().zip(vals) {
+                // SAFETY: conflict-free columns → index c is unique across rows.
+                unsafe {
+                    let slot = out.get_mut(c as usize);
+                    *slot = R::add(*slot, R::mul(v, xr));
+                }
+            }
+        });
+    } else {
+        for r in 0..a.nrows() {
+            let (cols, vals) = a.row(r);
+            let xr = xs[r];
+            for (&c, &v) in cols.iter().zip(vals) {
+                let slot = &mut ys[c as usize];
+                *slot = R::add(*slot, R::mul(v, xr));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Parallel, Sequential};
+    use crate::ops::semiring::{MinPlus, PlusTimes};
+
+    fn a3() -> CsrMatrix<f64> {
+        // [[2, 0, 1],
+        //  [0, 3, 0],
+        //  [4, 0, 5]]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plain_mxv() {
+        let a = a3();
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let mut y = Vector::zeros(3);
+        mxv::<f64, PlusTimes, Sequential>(&mut y, None, Descriptor::DEFAULT, &a, &x, PlusTimes)
+            .unwrap();
+        assert_eq!(y.as_slice(), &[5.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 500;
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            triplets.push((i, i, 2.0 + i as f64));
+            if i + 1 < n {
+                triplets.push((i, i + 1, -1.0));
+                triplets.push((i + 1, i, -1.0));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &triplets).unwrap();
+        let x = Vector::from_dense((0..n).map(|i| (i % 13) as f64 - 6.0).collect());
+        let mut y1 = Vector::zeros(n);
+        let mut y2 = Vector::zeros(n);
+        mxv::<f64, PlusTimes, Sequential>(&mut y1, None, Descriptor::DEFAULT, &a, &x, PlusTimes)
+            .unwrap();
+        mxv::<f64, PlusTimes, Parallel>(&mut y2, None, Descriptor::DEFAULT, &a, &x, PlusTimes)
+            .unwrap();
+        assert_eq!(y1.as_slice(), y2.as_slice(), "row-parallel mxv is deterministic");
+    }
+
+    #[test]
+    fn masked_mxv_touches_only_selected_rows() {
+        let a = a3();
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let mut y = Vector::from_dense(vec![-1.0, -1.0, -1.0]);
+        let mask = Vector::<bool>::sparse_filled(3, vec![0, 2], true).unwrap();
+        mxv::<f64, PlusTimes, Sequential>(
+            &mut y,
+            Some(&mask),
+            Descriptor::STRUCTURAL,
+            &a,
+            &x,
+            PlusTimes,
+        )
+        .unwrap();
+        assert_eq!(y.as_slice(), &[5.0, -1.0, 19.0], "row 1 untouched");
+    }
+
+    #[test]
+    fn transpose_mxv_equals_materialized_transpose() {
+        let a = CsrMatrix::from_triplets(
+            2,
+            4,
+            &[(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (1, 3, 4.0)],
+        )
+        .unwrap();
+        let x = Vector::from_dense(vec![10.0, 100.0]);
+        let mut via_desc = Vector::zeros(4);
+        mxv::<f64, PlusTimes, Sequential>(
+            &mut via_desc,
+            None,
+            Descriptor::TRANSPOSE,
+            &a,
+            &x,
+            PlusTimes,
+        )
+        .unwrap();
+        let at = a.transpose();
+        let mut via_mat = Vector::zeros(4);
+        mxv::<f64, PlusTimes, Sequential>(&mut via_mat, None, Descriptor::DEFAULT, &at, &x, PlusTimes)
+            .unwrap();
+        assert_eq!(via_desc.as_slice(), via_mat.as_slice());
+        assert_eq!(via_desc.as_slice(), &[10.0, 300.0, 0.0, 420.0]);
+    }
+
+    #[test]
+    fn transpose_conflict_free_parallel_matches_sequential() {
+        // Injection-style matrix: one nonzero per row, distinct columns.
+        let n = 2000;
+        let triplets: Vec<(usize, usize, f64)> =
+            (0..n).map(|i| (i, i * 4, 1.0)).collect();
+        let a = CsrMatrix::from_triplets(n, 4 * n, &triplets).unwrap();
+        assert!(a.columns_conflict_free());
+        let x = Vector::from_dense((0..n).map(|i| i as f64).collect());
+        let mut y1 = Vector::zeros(4 * n);
+        let mut y2 = Vector::zeros(4 * n);
+        mxv::<f64, PlusTimes, Sequential>(&mut y1, None, Descriptor::TRANSPOSE, &a, &x, PlusTimes)
+            .unwrap();
+        mxv::<f64, PlusTimes, Parallel>(&mut y2, None, Descriptor::TRANSPOSE, &a, &x, PlusTimes)
+            .unwrap();
+        assert_eq!(y1.as_slice(), y2.as_slice());
+        assert_eq!(y1.get_or_zero(8), 2.0);
+    }
+
+    #[test]
+    fn vxm_equals_transposed_mxv() {
+        let a = a3();
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let mut via_vxm = Vector::zeros(3);
+        vxm::<f64, PlusTimes, Sequential>(&mut via_vxm, None, Descriptor::DEFAULT, &x, &a, PlusTimes)
+            .unwrap();
+        let mut via_t = Vector::zeros(3);
+        mxv::<f64, PlusTimes, Sequential>(&mut via_t, None, Descriptor::TRANSPOSE, &a, &x, PlusTimes)
+            .unwrap();
+        assert_eq!(via_vxm.as_slice(), via_t.as_slice());
+        // And vxm with TRANSPOSE is plain mxv.
+        let mut via_vxm_t = Vector::zeros(3);
+        vxm::<f64, PlusTimes, Sequential>(
+            &mut via_vxm_t,
+            None,
+            Descriptor::TRANSPOSE,
+            &x,
+            &a,
+            PlusTimes,
+        )
+        .unwrap();
+        let mut plain = Vector::zeros(3);
+        mxv::<f64, PlusTimes, Sequential>(&mut plain, None, Descriptor::DEFAULT, &a, &x, PlusTimes)
+            .unwrap();
+        assert_eq!(via_vxm_t.as_slice(), plain.as_slice());
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = a3();
+        let x_bad = Vector::<f64>::zeros(2);
+        let mut y = Vector::zeros(3);
+        assert!(mxv::<f64, PlusTimes, Sequential>(
+            &mut y,
+            None,
+            Descriptor::DEFAULT,
+            &a,
+            &x_bad,
+            PlusTimes
+        )
+        .is_err());
+        let x = Vector::zeros(3);
+        let mut y_bad = Vector::<f64>::zeros(5);
+        assert!(mxv::<f64, PlusTimes, Sequential>(
+            &mut y_bad,
+            None,
+            Descriptor::DEFAULT,
+            &a,
+            &x,
+            PlusTimes
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn masked_transpose_rejected() {
+        let a = a3();
+        let x = Vector::zeros(3);
+        let mut y = Vector::<f64>::zeros(3);
+        let mask = Vector::<bool>::filled(3, true);
+        let err = mxv::<f64, PlusTimes, Sequential>(
+            &mut y,
+            Some(&mask),
+            Descriptor::TRANSPOSE,
+            &a,
+            &x,
+            PlusTimes,
+        );
+        assert!(matches!(err, Err(GrbError::Unsupported(_))));
+    }
+
+    #[test]
+    fn min_plus_semiring_mxv() {
+        // Tropical semiring: y_i = min_j (A_ij + x_j) — one shortest-path
+        // relaxation step. Absent entries contribute +inf (the min identity).
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 2.0)]).unwrap();
+        let x = Vector::from_dense(vec![0.0, 10.0]);
+        let mut y = Vector::zeros(2);
+        mxv::<f64, MinPlus, Sequential>(&mut y, None, Descriptor::DEFAULT, &a, &x, MinPlus)
+            .unwrap();
+        assert_eq!(y.as_slice(), &[11.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_rows_produce_semiring_zero() {
+        let a = CsrMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 3.0)]).unwrap();
+        let x = Vector::from_dense(vec![1.0, 1.0]);
+        let mut y = Vector::from_dense(vec![99.0, 99.0]);
+        mxv::<f64, PlusTimes, Sequential>(&mut y, None, Descriptor::DEFAULT, &a, &x, PlusTimes)
+            .unwrap();
+        assert_eq!(y.as_slice(), &[3.0, 0.0], "empty row yields additive identity");
+    }
+}
+
+#[cfg(test)]
+mod accum_tests {
+    use super::*;
+    use crate::backend::Sequential;
+    use crate::ops::semiring::PlusTimes;
+
+    #[test]
+    fn accum_adds_to_existing_values() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+        let x = Vector::from_dense(vec![1.0, 1.0]);
+        let mut y = Vector::from_dense(vec![10.0, 20.0]);
+        mxv_accum::<f64, PlusTimes, Sequential>(&mut y, None, Descriptor::DEFAULT, &a, &x, PlusTimes)
+            .unwrap();
+        assert_eq!(y.as_slice(), &[12.0, 23.0]);
+    }
+
+    #[test]
+    fn transpose_accum_matches_manual() {
+        // Injection-like rectangular matrix: y += A^T x.
+        let a = CsrMatrix::from_triplets(2, 4, &[(0, 1, 1.0), (1, 3, 1.0)]).unwrap();
+        let x = Vector::from_dense(vec![5.0, 7.0]);
+        let mut y = Vector::from_dense(vec![1.0, 1.0, 1.0, 1.0]);
+        mxv_accum::<f64, PlusTimes, Sequential>(
+            &mut y,
+            None,
+            Descriptor::TRANSPOSE,
+            &a,
+            &x,
+            PlusTimes,
+        )
+        .unwrap();
+        assert_eq!(y.as_slice(), &[1.0, 6.0, 1.0, 8.0]);
+    }
+
+    #[test]
+    fn masked_accum_touches_only_selected() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+        let x = Vector::from_dense(vec![1.0, 1.0]);
+        let mut y = Vector::from_dense(vec![10.0, 20.0]);
+        let mask = Vector::<bool>::sparse_filled(2, vec![1], true).unwrap();
+        mxv_accum::<f64, PlusTimes, Sequential>(
+            &mut y,
+            Some(&mask),
+            Descriptor::STRUCTURAL,
+            &a,
+            &x,
+            PlusTimes,
+        )
+        .unwrap();
+        assert_eq!(y.as_slice(), &[10.0, 23.0]);
+    }
+}

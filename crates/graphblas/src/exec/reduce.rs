@@ -1,0 +1,120 @@
+//! Reductions: `reduce` (vector → scalar over a monoid) and `dot`.
+//!
+//! `dot` is the second of CG's three hot kernels (paper §II-C). In BSP terms
+//! it is also the kernel that forces a global synchronization per CG
+//! iteration, which the distributed simulation accounts for.
+
+use crate::backend::Backend;
+use crate::container::vector::Vector;
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, Result};
+use crate::exec::fold_selected;
+use crate::ops::monoid::Monoid;
+use crate::ops::scalar::Scalar;
+use crate::ops::semiring::Semiring;
+
+/// Folds the selected entries of `x` over monoid `M`.
+pub fn reduce<T, M, B>(x: &Vector<T>, mask: Option<&Vector<bool>>, desc: Descriptor) -> Result<T>
+where
+    T: Scalar,
+    M: Monoid<T>,
+    B: Backend,
+{
+    let xs = x.as_slice();
+    fold_selected::<B, T, M, _>(x.len(), mask, desc, |i| xs[i])
+}
+
+/// `⟨x, y⟩ = ⊕_i x_i ⊗ y_i` over semiring `R`.
+pub fn dot<T, R, B>(x: &Vector<T>, y: &Vector<T>, _ring: R) -> Result<T>
+where
+    T: Scalar,
+    R: Semiring<T>,
+    B: Backend,
+{
+    check_dims("dot", "y vs x", x.len(), y.len())?;
+    let xs = x.as_slice();
+    let ys = y.as_slice();
+    Ok(B::fold::<T, R::Add, _>(x.len(), |i| R::mul(xs[i], ys[i])))
+}
+
+/// `‖x‖² = ⟨x, x⟩` over the arithmetic semiring — the residual norm CG
+/// tracks each iteration.
+pub fn norm2_squared<T, R, B>(x: &Vector<T>, ring: R) -> Result<T>
+where
+    T: Scalar,
+    R: Semiring<T>,
+    B: Backend,
+{
+    dot::<T, R, B>(x, x, ring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Parallel, Sequential};
+    use crate::ops::binary::{Max, Min, Plus};
+    use crate::ops::semiring::PlusTimes;
+
+    #[test]
+    fn reduce_sum_min_max() {
+        let x = Vector::from_dense(vec![3.0, -1.0, 4.0, 1.0, -5.0]);
+        let s = reduce::<f64, Plus, Sequential>(&x, None, Descriptor::DEFAULT).unwrap();
+        assert_eq!(s, 2.0);
+        let mn = reduce::<f64, Min, Sequential>(&x, None, Descriptor::DEFAULT).unwrap();
+        assert_eq!(mn, -5.0);
+        let mx = reduce::<f64, Max, Sequential>(&x, None, Descriptor::DEFAULT).unwrap();
+        assert_eq!(mx, 4.0);
+    }
+
+    #[test]
+    fn reduce_masked() {
+        let x = Vector::from_dense(vec![1.0, 2.0, 4.0, 8.0]);
+        let mask = Vector::<bool>::sparse_filled(4, vec![0, 2], true).unwrap();
+        let s = reduce::<f64, Plus, Sequential>(&x, Some(&mask), Descriptor::STRUCTURAL).unwrap();
+        assert_eq!(s, 5.0);
+        let inv = Descriptor::STRUCTURAL.with(Descriptor::INVERT_MASK);
+        let s = reduce::<f64, Plus, Sequential>(&x, Some(&mask), inv).unwrap();
+        assert_eq!(s, 10.0);
+    }
+
+    #[test]
+    fn reduce_empty_is_identity() {
+        let x = Vector::<f64>::zeros(0);
+        assert_eq!(reduce::<f64, Plus, Sequential>(&x, None, Descriptor::DEFAULT).unwrap(), 0.0);
+        assert_eq!(
+            reduce::<f64, Min, Sequential>(&x, None, Descriptor::DEFAULT).unwrap(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn dot_basic() {
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let y = Vector::from_dense(vec![4.0, -5.0, 6.0]);
+        assert_eq!(dot::<f64, PlusTimes, Sequential>(&x, &y, PlusTimes).unwrap(), 12.0);
+    }
+
+    #[test]
+    fn dot_dim_mismatch() {
+        let x = Vector::<f64>::zeros(2);
+        let y = Vector::<f64>::zeros(3);
+        assert!(dot::<f64, PlusTimes, Sequential>(&x, &y, PlusTimes).is_err());
+    }
+
+    #[test]
+    fn norm2() {
+        let x = Vector::from_dense(vec![3.0, 4.0]);
+        assert_eq!(norm2_squared::<f64, PlusTimes, Sequential>(&x, PlusTimes).unwrap(), 25.0);
+    }
+
+    #[test]
+    fn parallel_dot_matches_sequential_on_exact_values() {
+        let n = 50_000;
+        let x = Vector::from_dense((0..n).map(|i| ((i % 17) as f64) - 8.0).collect());
+        let y = Vector::from_dense((0..n).map(|i| ((i % 13) as f64) - 6.0).collect());
+        let a = dot::<f64, PlusTimes, Sequential>(&x, &y, PlusTimes).unwrap();
+        let b = dot::<f64, PlusTimes, Parallel>(&x, &y, PlusTimes).unwrap();
+        // Small-integer-valued products sum exactly in f64 at this size.
+        assert_eq!(a, b);
+    }
+}

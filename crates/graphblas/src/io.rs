@@ -1,0 +1,207 @@
+//! Matrix Market I/O for [`CsrMatrix`] and [`Vector`].
+//!
+//! The de-facto interchange format of the sparse-matrix world. Supports
+//! the `matrix coordinate real {general|symmetric}` and
+//! `matrix array real general` (dense vector) headers — enough to load
+//! SuiteSparse-style inputs into the solver and to dump results for
+//! external plotting.
+
+use crate::container::matrix::CsrMatrix;
+use crate::container::vector::Vector;
+use crate::error::{GrbError, Result};
+use std::io::{BufRead, Write};
+
+/// Writes `a` in `matrix coordinate real general` format (1-based indices).
+pub fn write_matrix_market<W: Write>(mut w: W, a: &CsrMatrix<f64>) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by graphblas-rs")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for (r, c, v) in a.iter_entries() {
+        writeln!(w, "{} {} {:e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Writes a dense vector in `matrix array real general` format.
+pub fn write_vector_market<W: Write>(mut w: W, x: &Vector<f64>) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix array real general")?;
+    writeln!(w, "{} 1", x.len())?;
+    for &v in x.as_slice() {
+        writeln!(w, "{v:e}")?;
+    }
+    Ok(())
+}
+
+/// Reads a `matrix coordinate real {general|symmetric}` file.
+///
+/// Symmetric inputs are expanded: each off-diagonal entry is mirrored, the
+/// usual Matrix Market convention.
+pub fn read_matrix_market<R: BufRead>(r: R) -> Result<CsrMatrix<f64>> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| GrbError::InvalidInput("empty Matrix Market file".into()))?
+        .map_err(io_err)?;
+    let header_lc = header.to_ascii_lowercase();
+    if !header_lc.starts_with("%%matrixmarket matrix coordinate real") {
+        return Err(GrbError::InvalidInput(format!("unsupported header: {header}")));
+    }
+    let symmetric = header_lc.contains("symmetric");
+    if !symmetric && !header_lc.contains("general") {
+        return Err(GrbError::InvalidInput(format!("unsupported symmetry in: {header}")));
+    }
+
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+    for line in lines {
+        let line = line.map_err(io_err)?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        if dims.is_none() {
+            let nrows = parse(it.next(), "rows")?;
+            let ncols = parse(it.next(), "cols")?;
+            let nnz = parse(it.next(), "nnz")?;
+            dims = Some((nrows, ncols, nnz));
+            triplets.reserve(nnz);
+            continue;
+        }
+        let r: usize = parse(it.next(), "row index")?;
+        let c: usize = parse(it.next(), "col index")?;
+        let v: f64 = it.next().unwrap_or("1").parse().map_err(|_| {
+            GrbError::InvalidInput(format!("bad value in line: {line}"))
+        })?;
+        if r == 0 || c == 0 {
+            return Err(GrbError::InvalidInput("Matrix Market indices are 1-based".into()));
+        }
+        triplets.push((r - 1, c - 1, v));
+        if symmetric && r != c {
+            triplets.push((c - 1, r - 1, v));
+        }
+    }
+    let (nrows, ncols, declared) =
+        dims.ok_or_else(|| GrbError::InvalidInput("missing size line".into()))?;
+    let base_entries = if symmetric {
+        triplets.iter().filter(|&&(r, c, _)| r <= c).count()
+    } else {
+        triplets.len()
+    };
+    if base_entries != declared {
+        return Err(GrbError::InvalidInput(format!(
+            "declared {declared} entries, found {base_entries}"
+        )));
+    }
+    CsrMatrix::from_triplets(nrows, ncols, &triplets)
+}
+
+/// Reads a dense vector from `matrix array real general`.
+pub fn read_vector_market<R: BufRead>(r: R) -> Result<Vector<f64>> {
+    let mut values: Vec<f64> = Vec::new();
+    let mut expect: Option<usize> = None;
+    for (k, line) in r.lines().enumerate() {
+        let line = line.map_err(io_err)?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            if k == 0 && !line.to_ascii_lowercase().starts_with("%%matrixmarket matrix array real")
+            {
+                return Err(GrbError::InvalidInput(format!("unsupported header: {line}")));
+            }
+            continue;
+        }
+        if expect.is_none() {
+            let mut it = line.split_whitespace();
+            let n: usize = parse(it.next(), "length")?;
+            let cols: usize = parse(it.next(), "columns")?;
+            if cols != 1 {
+                return Err(GrbError::InvalidInput("only single-column vectors supported".into()));
+            }
+            expect = Some(n);
+            values.reserve(n);
+            continue;
+        }
+        values.push(
+            line.parse::<f64>()
+                .map_err(|_| GrbError::InvalidInput(format!("bad value: {line}")))?,
+        );
+    }
+    let n = expect.ok_or_else(|| GrbError::InvalidInput("missing size line".into()))?;
+    if values.len() != n {
+        return Err(GrbError::InvalidInput(format!("declared {n} values, found {}", values.len())));
+    }
+    Ok(Vector::from_dense(values))
+}
+
+fn parse<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T> {
+    tok.and_then(|t| t.parse().ok())
+        .ok_or_else(|| GrbError::InvalidInput(format!("missing or invalid {what}")))
+}
+
+fn io_err(e: std::io::Error) -> GrbError {
+    GrbError::InvalidInput(format!("I/O error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn small() -> CsrMatrix<f64> {
+        CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.5), (2, 1, -2.0), (1, 0, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let a = small();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let x = Vector::from_dense(vec![1.0, -2.5, 3.25]);
+        let mut buf = Vec::new();
+        write_vector_market(&mut buf, &x).unwrap();
+        let y = read_vector_market(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(x.as_slice(), y.as_slice());
+    }
+
+    #[test]
+    fn symmetric_expansion() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 2.0\n2 1 -1.0\n3 3 5.0\n";
+        let a = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(a.get(0, 1), Some(-1.0), "mirrored entry");
+        assert_eq!(a.get(1, 0), Some(-1.0));
+        assert_eq!(a.nnz(), 4);
+        assert!(a.is_symmetric());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let bad_header = "%%MatrixMarket matrix coordinate complex general\n1 1 0\n";
+        assert!(read_matrix_market(BufReader::new(bad_header.as_bytes())).is_err());
+        let zero_based = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(BufReader::new(zero_based.as_bytes())).is_err());
+        let wrong_count = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(BufReader::new(wrong_count.as_bytes())).is_err());
+        assert!(read_matrix_market(BufReader::new("".as_bytes())).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% more\n2 2 4.0\n";
+        let a = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(a.get(1, 1), Some(4.0));
+    }
+
+    #[test]
+    fn pattern_entries_default_to_one() {
+        // Lines with only indices parse with value 1 (pattern-ish input).
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n";
+        let a = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(a.get(0, 1), Some(1.0));
+    }
+}

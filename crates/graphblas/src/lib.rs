@@ -1,0 +1,78 @@
+//! A GraphBLAS-style sparse linear algebra library in Rust.
+//!
+//! This crate implements the substrate the paper *"Effective implementation of
+//! the High Performance Conjugate Gradient benchmark on GraphBLAS"* (Scolari &
+//! Yzelman, IPDPS 2023) builds on: an ALP/GraphBLAS-like programming model
+//! where
+//!
+//! * **containers are opaque** — [`Vector`] and [`CsrMatrix`] expose no
+//!   storage details to algorithms, only algebraic operations;
+//! * **operations are algebraic** — every primitive ([`mxv`], [`dot`],
+//!   [`ewise`], [`reduce`], …) is parameterized by an algebraic structure
+//!   ([`BinaryOp`], [`Monoid`], [`Semiring`]) expressed as a zero-sized Rust
+//!   type, the analogue of ALP's C++ template metaprogramming: the operation
+//!   monomorphizes and inlines to exactly the arithmetic the caller chose;
+//! * **backends are swappable** — the same algorithm text runs sequentially
+//!   ([`Sequential`]) or data-parallel via rayon ([`Parallel`]), mirroring
+//!   ALP's compile-time backend selection (§IV of the paper);
+//! * **descriptors pass domain information** — [`Descriptor::STRUCTURAL`]
+//!   makes masked operations follow only the sparsity pattern of the mask and
+//!   [`Descriptor::TRANSPOSE`] uses a matrix's transpose without
+//!   materializing it, both of which the paper's HPCG port relies on
+//!   (Listing 3 and §III-B).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use graphblas::{CsrMatrix, Vector, Descriptor, PlusTimes, Sequential, mxv};
+//!
+//! // A 2x2 matrix [[2, 0], [1, 3]] from (row, col, value) triplets.
+//! let a = CsrMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0)]).unwrap();
+//! let x = Vector::from_dense(vec![1.0, 2.0]);
+//! let mut y = Vector::zeros(2);
+//! mxv::<f64, PlusTimes, Sequential>(&mut y, None, Descriptor::DEFAULT, &a, &x, PlusTimes).unwrap();
+//! assert_eq!(y.as_slice(), &[2.0, 7.0]);
+//! ```
+//!
+//! # Module map
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`ops`] | algebraic structures: binary/unary operators, monoids, semirings |
+//! | [`container`] | [`Vector`] (dense or sparse pattern) and [`CsrMatrix`] |
+//! | [`descriptor`] | operation descriptors (structural mask, transpose, …) |
+//! | [`backend`] | [`Sequential`] and [`Parallel`] execution backends |
+//! | [`exec`] | the primitives: `mxv`, `vxm`, `mxm`, `ewise*`, `apply`, `reduce`, `dot` |
+//! | [`linop`] | matrix-free [`LinearOperator`] extension (paper §VII-A) |
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod algorithms;
+pub mod backend;
+pub mod container;
+pub mod descriptor;
+pub mod error;
+pub mod exec;
+pub mod io;
+pub mod linop;
+pub mod ops;
+pub(crate) mod util;
+
+pub use backend::{Backend, Parallel, Sequential};
+pub use container::matrix::CsrMatrix;
+pub use container::vector::Vector;
+pub use descriptor::Descriptor;
+pub use error::{GrbError, Result};
+pub use exec::apply::{apply, ewise_lambda};
+pub use exec::extract::{assign_vector, extract_submatrix, extract_vector};
+pub use exec::ewise::{axpy_in_place, ewise, ewise_mul_add, waxpby};
+pub use exec::mxm::mxm;
+pub use exec::mxv::{mxv, mxv_accum, vxm};
+pub use exec::reduce::{dot, norm2_squared, reduce};
+pub use linop::{InjectionOperator, LinearOperator};
+pub use ops::binary::{BinaryOp, Divide, First, Land, Lor, Max, Min, Minus, Plus, Second, Times};
+pub use ops::monoid::Monoid;
+pub use ops::scalar::Scalar;
+pub use ops::semiring::{MaxTimes, MinPlus, PlusTimes, Semiring};
+pub use ops::unary::{Abs, AdditiveInverse, Identity, MultiplicativeInverse, UnaryOp};

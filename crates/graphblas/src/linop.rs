@@ -1,0 +1,230 @@
+//! Matrix-free linear operators — the paper's §VII-A extension.
+//!
+//! The paper observes that forcing HPCG's restriction into a materialized
+//! `n/8 × n` matrix costs storage and bandwidth, and proposes extending
+//! GraphBLAS with "a more abstract description of a linear operation" that
+//! can trade bandwidth for computation. [`LinearOperator`] is that
+//! extension: anything that can apply itself (and its transpose) to a
+//! vector. [`CsrMatrix`] implements it (the baseline), and
+//! [`InjectionOperator`] implements HPCG's straight-injection
+//! restriction/refinement from just the fine→coarse index map — zero
+//! stored nonzeroes. The `restriction_ablation` bench compares the two.
+
+use crate::backend::Backend;
+use crate::container::matrix::CsrMatrix;
+use crate::container::vector::Vector;
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, Result};
+use crate::exec::mxv::mxv;
+use crate::ops::scalar::Scalar;
+use crate::ops::semiring::PlusTimes;
+use crate::util::UnsafeSlice;
+
+/// An abstract linear map `Tⁿ → Tᵐ` with an applyable transpose.
+///
+/// This is deliberately *less* opaque than a GraphBLAS matrix: the
+/// implementation may exploit any structure it likes (geometry, closed
+/// forms), which is exactly the domain-information channel §VII-A argues
+/// for.
+pub trait LinearOperator<T: Scalar>: Send + Sync {
+    /// Output dimension `m` (rows).
+    fn nrows(&self) -> usize;
+    /// Input dimension `n` (columns).
+    fn ncols(&self) -> usize;
+    /// `y = L·x`.
+    fn apply<B: Backend>(&self, y: &mut Vector<T>, x: &Vector<T>) -> Result<()>;
+    /// `y = Lᵀ·x`.
+    fn apply_transpose<B: Backend>(&self, y: &mut Vector<T>, x: &Vector<T>) -> Result<()>;
+    /// Bytes of auxiliary storage the operator holds — the §VII-A cost axis.
+    fn storage_bytes(&self) -> usize;
+}
+
+impl<T: Scalar> LinearOperator<T> for CsrMatrix<T> {
+    fn nrows(&self) -> usize {
+        CsrMatrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        CsrMatrix::ncols(self)
+    }
+
+    fn apply<B: Backend>(&self, y: &mut Vector<T>, x: &Vector<T>) -> Result<()> {
+        mxv::<T, PlusTimes, B>(y, None, Descriptor::DEFAULT, self, x, PlusTimes)
+    }
+
+    fn apply_transpose<B: Backend>(&self, y: &mut Vector<T>, x: &Vector<T>) -> Result<()> {
+        mxv::<T, PlusTimes, B>(y, None, Descriptor::TRANSPOSE, self, x, PlusTimes)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        CsrMatrix::storage_bytes(self)
+    }
+}
+
+/// Straight injection as a closed-form operator: `y[i] = x[map[i]]`.
+///
+/// `apply` is HPCG's **restriction** (fine → coarse); `apply_transpose` is
+/// its **refinement** (coarse value lands at `map[i]`, zeros elsewhere),
+/// matching §II-F exactly. Storage is one `u32` per coarse point — 1/13th
+/// of the CSR restriction matrix for the HPCG stencil.
+#[derive(Clone, Debug)]
+pub struct InjectionOperator {
+    /// `map[coarse] = fine` index, strictly increasing.
+    map: Vec<u32>,
+    ncols: usize,
+}
+
+impl InjectionOperator {
+    /// Builds from a strictly increasing coarse→fine index map into a fine
+    /// space of dimension `nfine`.
+    pub fn new(nfine: usize, map: Vec<u32>) -> Result<Self> {
+        for (k, &f) in map.iter().enumerate() {
+            if f as usize >= nfine {
+                return Err(crate::error::GrbError::IndexOutOfBounds {
+                    index: f as usize,
+                    len: nfine,
+                });
+            }
+            if k > 0 && map[k - 1] >= f {
+                return Err(crate::error::GrbError::InvalidInput(
+                    "injection map must be strictly increasing".into(),
+                ));
+            }
+        }
+        Ok(InjectionOperator { map, ncols: nfine })
+    }
+
+    /// The coarse→fine index map.
+    pub fn map(&self) -> &[u32] {
+        &self.map
+    }
+
+    /// Materializes the equivalent CSR restriction matrix (the §III-B
+    /// GraphBLAS-conformant form) — used by tests and the ablation bench to
+    /// show the two agree.
+    pub fn to_csr<T: Scalar>(&self) -> CsrMatrix<T> {
+        CsrMatrix::from_row_fn(self.map.len(), self.ncols, self.map.len(), |r, row| {
+            row.push((self.map[r], T::ONE));
+        })
+        .expect("injection map validated at construction")
+    }
+}
+
+impl<T: Scalar> LinearOperator<T> for InjectionOperator {
+    fn nrows(&self) -> usize {
+        self.map.len()
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn apply<B: Backend>(&self, y: &mut Vector<T>, x: &Vector<T>) -> Result<()> {
+        check_dims("injection", "x vs ncols", self.ncols, x.len())?;
+        check_dims("injection", "y vs nrows", self.map.len(), y.len())?;
+        let xs = x.as_slice();
+        let map = &self.map;
+        let out = UnsafeSlice::new(y.as_mut_slice());
+        B::for_n(map.len(), |i| {
+            // SAFETY: each output index i visited exactly once.
+            unsafe { out.write(i, xs[map[i] as usize]) };
+        });
+        Ok(())
+    }
+
+    fn apply_transpose<B: Backend>(&self, y: &mut Vector<T>, x: &Vector<T>) -> Result<()> {
+        check_dims("injection^T", "x vs nrows", self.map.len(), x.len())?;
+        check_dims("injection^T", "y vs ncols", self.ncols, y.len())?;
+        let xs = x.as_slice();
+        let map = &self.map;
+        y.densify();
+        let ys = y.as_mut_slice();
+        ys.iter_mut().for_each(|v| *v = T::ZERO);
+        let out = UnsafeSlice::new(ys);
+        B::for_n(map.len(), |i| {
+            // SAFETY: map entries are strictly increasing → distinct outputs.
+            unsafe { out.write(map[i] as usize, xs[i]) };
+        });
+        Ok(())
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.map.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Parallel, Sequential};
+
+    #[test]
+    fn injection_validates_map() {
+        assert!(InjectionOperator::new(8, vec![0, 2, 4, 6]).is_ok());
+        assert!(InjectionOperator::new(4, vec![0, 9]).is_err());
+        assert!(InjectionOperator::new(8, vec![2, 2]).is_err());
+        assert!(InjectionOperator::new(8, vec![4, 2]).is_err());
+    }
+
+    #[test]
+    fn injection_restricts() {
+        let op = InjectionOperator::new(8, vec![0, 2, 4, 6]).unwrap();
+        let x = Vector::from_dense((0..8).map(|i| i as f64).collect());
+        let mut y = Vector::zeros(4);
+        LinearOperator::<f64>::apply::<Sequential>(&op, &mut y, &x).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn injection_transpose_refines_with_zeros() {
+        let op = InjectionOperator::new(8, vec![0, 2, 4, 6]).unwrap();
+        let xc = Vector::from_dense(vec![1.0, 2.0, 3.0, 4.0]);
+        let mut yf = Vector::from_dense(vec![9.0; 8]);
+        LinearOperator::<f64>::apply_transpose::<Sequential>(&op, &mut yf, &xc).unwrap();
+        assert_eq!(yf.as_slice(), &[1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn injection_agrees_with_materialized_csr() {
+        let nf = 64;
+        let map: Vec<u32> = (0..nf as u32).step_by(4).collect();
+        let op = InjectionOperator::new(nf, map).unwrap();
+        let csr: CsrMatrix<f64> = op.to_csr();
+        assert!(csr.columns_conflict_free());
+        let x = Vector::from_dense((0..nf).map(|i| (i * i) as f64).collect());
+        let (mut y_op, mut y_mat) = (Vector::zeros(16), Vector::zeros(16));
+        LinearOperator::<f64>::apply::<Parallel>(&op, &mut y_op, &x).unwrap();
+        LinearOperator::<f64>::apply::<Parallel>(&csr, &mut y_mat, &x).unwrap();
+        assert_eq!(y_op.as_slice(), y_mat.as_slice());
+
+        let xc = Vector::from_dense((0..16).map(|i| i as f64 - 8.0).collect());
+        let (mut z_op, mut z_mat) = (Vector::zeros(nf), Vector::zeros(nf));
+        LinearOperator::<f64>::apply_transpose::<Parallel>(&op, &mut z_op, &xc).unwrap();
+        LinearOperator::<f64>::apply_transpose::<Parallel>(&csr, &mut z_mat, &xc).unwrap();
+        assert_eq!(z_op.as_slice(), z_mat.as_slice());
+    }
+
+    #[test]
+    fn storage_tradeoff_is_real() {
+        let nf = 4096;
+        let map: Vec<u32> = (0..nf as u32).step_by(8).collect();
+        let op = InjectionOperator::new(nf, map).unwrap();
+        let csr: CsrMatrix<f64> = op.to_csr();
+        assert!(
+            LinearOperator::<f64>::storage_bytes(&op) * 4
+                < LinearOperator::<f64>::storage_bytes(&csr),
+            "matrix-free operator must be several times smaller"
+        );
+    }
+
+    #[test]
+    fn dim_errors() {
+        let op = InjectionOperator::new(8, vec![0, 4]).unwrap();
+        let bad = Vector::<f64>::zeros(3);
+        let mut y = Vector::<f64>::zeros(2);
+        assert!(LinearOperator::<f64>::apply::<Sequential>(&op, &mut y, &bad).is_err());
+        let x = Vector::<f64>::zeros(8);
+        let mut bad_y = Vector::<f64>::zeros(5);
+        assert!(LinearOperator::<f64>::apply::<Sequential>(&op, &mut bad_y, &x).is_err());
+    }
+}

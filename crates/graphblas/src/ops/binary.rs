@@ -1,0 +1,171 @@
+//! Binary operators as zero-sized types.
+//!
+//! Each operator is a unit struct implementing [`BinaryOp<T>`] for every
+//! [`Scalar`] domain where it makes sense. The set follows the GraphBLAS C
+//! API's standard operator list (§ 3.5 of the spec), restricted to the ones
+//! sparse solvers and graph algorithms actually use.
+
+use super::scalar::Scalar;
+
+/// A binary operator `T × T → T`.
+///
+/// Implementors are zero-sized; `apply` is a static dispatch that inlines to
+/// the raw arithmetic after monomorphization. This is the Rust rendering of
+/// ALP/GraphBLAS's template operators (paper §IV).
+pub trait BinaryOp<T>: Copy + Default + Send + Sync + 'static {
+    /// Applies the operator.
+    fn apply(a: T, b: T) -> T;
+}
+
+/// Addition (`a + b`; logical or on `bool`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Plus;
+
+/// Subtraction (`a - b`; xor on `bool`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Minus;
+
+/// Multiplication (`a * b`; logical and on `bool`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Times;
+
+/// Division (`a / b`; integer division absorbs division by zero to zero).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Divide;
+
+/// Minimum of the operands.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Min;
+
+/// Maximum of the operands.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Max;
+
+/// Returns the first operand, discarding the second.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct First;
+
+/// Returns the second operand, discarding the first.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Second;
+
+/// Logical or over the domain's truthiness (`a ≠ 0 ∨ b ≠ 0`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Lor;
+
+/// Logical and over the domain's truthiness (`a ≠ 0 ∧ b ≠ 0`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Land;
+
+impl<T: Scalar> BinaryOp<T> for Plus {
+    #[inline(always)]
+    fn apply(a: T, b: T) -> T {
+        a.add(b)
+    }
+}
+
+impl<T: Scalar> BinaryOp<T> for Minus {
+    #[inline(always)]
+    fn apply(a: T, b: T) -> T {
+        a.sub(b)
+    }
+}
+
+impl<T: Scalar> BinaryOp<T> for Times {
+    #[inline(always)]
+    fn apply(a: T, b: T) -> T {
+        a.mul(b)
+    }
+}
+
+impl<T: Scalar> BinaryOp<T> for Divide {
+    #[inline(always)]
+    fn apply(a: T, b: T) -> T {
+        a.div(b)
+    }
+}
+
+impl<T: Scalar> BinaryOp<T> for Min {
+    #[inline(always)]
+    fn apply(a: T, b: T) -> T {
+        a.min_of(b)
+    }
+}
+
+impl<T: Scalar> BinaryOp<T> for Max {
+    #[inline(always)]
+    fn apply(a: T, b: T) -> T {
+        a.max_of(b)
+    }
+}
+
+impl<T: Scalar> BinaryOp<T> for First {
+    #[inline(always)]
+    fn apply(a: T, _b: T) -> T {
+        a
+    }
+}
+
+impl<T: Scalar> BinaryOp<T> for Second {
+    #[inline(always)]
+    fn apply(_a: T, b: T) -> T {
+        b
+    }
+}
+
+impl<T: Scalar> BinaryOp<T> for Lor {
+    #[inline(always)]
+    fn apply(a: T, b: T) -> T {
+        if a != T::ZERO || b != T::ZERO {
+            T::ONE
+        } else {
+            T::ZERO
+        }
+    }
+}
+
+impl<T: Scalar> BinaryOp<T> for Land {
+    #[inline(always)]
+    fn apply(a: T, b: T) -> T {
+        if a != T::ZERO && b != T::ZERO {
+            T::ONE
+        } else {
+            T::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_ops_f64() {
+        assert_eq!(<Plus as BinaryOp<f64>>::apply(2.0, 3.0), 5.0);
+        assert_eq!(<Minus as BinaryOp<f64>>::apply(2.0, 3.0), -1.0);
+        assert_eq!(<Times as BinaryOp<f64>>::apply(2.0, 3.0), 6.0);
+        assert_eq!(<Divide as BinaryOp<f64>>::apply(3.0, 2.0), 1.5);
+    }
+
+    #[test]
+    fn selection_ops() {
+        assert_eq!(<Min as BinaryOp<i32>>::apply(2, 3), 2);
+        assert_eq!(<Max as BinaryOp<i32>>::apply(2, 3), 3);
+        assert_eq!(<First as BinaryOp<i32>>::apply(2, 3), 2);
+        assert_eq!(<Second as BinaryOp<i32>>::apply(2, 3), 3);
+    }
+
+    #[test]
+    fn logical_ops_over_numeric_domain() {
+        assert_eq!(<Lor as BinaryOp<f64>>::apply(0.0, 0.0), 0.0);
+        assert_eq!(<Lor as BinaryOp<f64>>::apply(2.5, 0.0), 1.0);
+        assert_eq!(<Land as BinaryOp<f64>>::apply(2.5, 0.0), 0.0);
+        assert_eq!(<Land as BinaryOp<f64>>::apply(2.5, -1.0), 1.0);
+    }
+
+    #[test]
+    fn logical_ops_over_bool() {
+        assert!(<Lor as BinaryOp<bool>>::apply(true, false));
+        assert!(!<Land as BinaryOp<bool>>::apply(true, false));
+    }
+}

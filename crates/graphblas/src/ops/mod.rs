@@ -1,0 +1,38 @@
+//! Algebraic structures: the heart of the GraphBLAS programming model.
+//!
+//! GraphBLAS expresses every computation over an explicit algebraic
+//! structure. This module provides:
+//!
+//! * [`scalar::Scalar`] — the numeric domain trait (what ALP calls the value
+//!   type), giving each type its `0`, `1`, bounds and basic arithmetic;
+//! * [`binary::BinaryOp`] / [`unary::UnaryOp`] — operators as zero-sized
+//!   types so they monomorphize away entirely;
+//! * [`monoid::Monoid`] — a binary operator plus its identity, the structure
+//!   reductions fold over;
+//! * [`semiring::Semiring`] — an additive monoid paired with a
+//!   multiplicative operator, the structure `mxv`/`mxm` compute over.
+//!
+//! All operator types are `Copy + Default` ZSTs: passing them by value (as in
+//! the paper's Listing 3, where a `Ring` object is threaded through) costs
+//! nothing after monomorphization — verified by the `zst_sizes` test below.
+
+pub mod binary;
+pub mod monoid;
+pub mod scalar;
+pub mod semiring;
+pub mod unary;
+
+#[cfg(test)]
+mod tests {
+    use super::binary::*;
+    use super::semiring::*;
+
+    #[test]
+    fn zst_sizes() {
+        assert_eq!(std::mem::size_of::<Plus>(), 0);
+        assert_eq!(std::mem::size_of::<Times>(), 0);
+        assert_eq!(std::mem::size_of::<Min>(), 0);
+        assert_eq!(std::mem::size_of::<PlusTimes>(), 0);
+        assert_eq!(std::mem::size_of::<MinPlus>(), 0);
+    }
+}

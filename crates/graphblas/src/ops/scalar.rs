@@ -1,0 +1,229 @@
+//! The numeric domain trait for container values.
+//!
+//! GraphBLAS operations are generic over the value type. [`Scalar`] captures
+//! the minimal arithmetic the standard operators need, with implementations
+//! for the types HPCG and common graph algorithms use. It deliberately stays
+//! small: anything operator-specific (identity of `min`, etc.) lives on the
+//! operator traits, keeping this trait implementable for exotic domains.
+
+/// A value type usable inside GraphBLAS containers and operators.
+///
+/// `bool` participates too (for masks and logical semirings); its "addition"
+/// is logical or and its "multiplication" logical and.
+pub trait Scalar: Copy + PartialEq + PartialOrd + Send + Sync + std::fmt::Debug + 'static {
+    /// Additive identity (`0`, or `false`).
+    const ZERO: Self;
+    /// Multiplicative identity (`1`, or `true`).
+    const ONE: Self;
+    /// Least value of the domain (identity of `max`).
+    const MIN_VALUE: Self;
+    /// Greatest value of the domain (identity of `min`).
+    const MAX_VALUE: Self;
+
+    /// Domain addition. For `bool`: logical or.
+    fn add(self, rhs: Self) -> Self;
+    /// Domain subtraction. For `bool`: logical xor (the additive inverse in GF(2)).
+    fn sub(self, rhs: Self) -> Self;
+    /// Domain multiplication. For `bool`: logical and.
+    fn mul(self, rhs: Self) -> Self;
+    /// Domain division. For integers: truncating; for `bool`: identity on the lhs.
+    fn div(self, rhs: Self) -> Self;
+    /// The smaller of the two values.
+    fn min_of(self, rhs: Self) -> Self;
+    /// The larger of the two values.
+    fn max_of(self, rhs: Self) -> Self;
+    /// Absolute value (identity for unsigned domains and `bool`).
+    fn abs_of(self) -> Self;
+}
+
+macro_rules! impl_scalar_float {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const MIN_VALUE: Self = <$t>::NEG_INFINITY;
+            const MAX_VALUE: Self = <$t>::INFINITY;
+
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                self + rhs
+            }
+            #[inline(always)]
+            fn sub(self, rhs: Self) -> Self {
+                self - rhs
+            }
+            #[inline(always)]
+            fn mul(self, rhs: Self) -> Self {
+                self * rhs
+            }
+            #[inline(always)]
+            fn div(self, rhs: Self) -> Self {
+                self / rhs
+            }
+            #[inline(always)]
+            fn min_of(self, rhs: Self) -> Self {
+                if rhs < self {
+                    rhs
+                } else {
+                    self
+                }
+            }
+            #[inline(always)]
+            fn max_of(self, rhs: Self) -> Self {
+                if rhs > self {
+                    rhs
+                } else {
+                    self
+                }
+            }
+            #[inline(always)]
+            fn abs_of(self) -> Self {
+                self.abs()
+            }
+        }
+    };
+}
+
+macro_rules! impl_scalar_int {
+    ($t:ty, $abs:expr) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+            const MIN_VALUE: Self = <$t>::MIN;
+            const MAX_VALUE: Self = <$t>::MAX;
+
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                self.wrapping_add(rhs)
+            }
+            #[inline(always)]
+            fn sub(self, rhs: Self) -> Self {
+                self.wrapping_sub(rhs)
+            }
+            #[inline(always)]
+            fn mul(self, rhs: Self) -> Self {
+                self.wrapping_mul(rhs)
+            }
+            #[inline(always)]
+            fn div(self, rhs: Self) -> Self {
+                if rhs == 0 {
+                    0
+                } else {
+                    self.wrapping_div(rhs)
+                }
+            }
+            #[inline(always)]
+            fn min_of(self, rhs: Self) -> Self {
+                std::cmp::min(self, rhs)
+            }
+            #[inline(always)]
+            fn max_of(self, rhs: Self) -> Self {
+                std::cmp::max(self, rhs)
+            }
+            #[inline(always)]
+            fn abs_of(self) -> Self {
+                ($abs)(self)
+            }
+        }
+    };
+}
+
+impl_scalar_float!(f64);
+impl_scalar_float!(f32);
+impl_scalar_int!(i64, |v: i64| v.wrapping_abs());
+impl_scalar_int!(i32, |v: i32| v.wrapping_abs());
+impl_scalar_int!(u64, |v: u64| v);
+impl_scalar_int!(u32, |v: u32| v);
+impl_scalar_int!(usize, |v: usize| v);
+impl_scalar_int!(isize, |v: isize| v.wrapping_abs());
+
+impl Scalar for bool {
+    const ZERO: Self = false;
+    const ONE: Self = true;
+    const MIN_VALUE: Self = false;
+    const MAX_VALUE: Self = true;
+
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        self || rhs
+    }
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        self ^ rhs
+    }
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        self && rhs
+    }
+    #[inline(always)]
+    fn div(self, _rhs: Self) -> Self {
+        self
+    }
+    #[inline(always)]
+    fn min_of(self, rhs: Self) -> Self {
+        self && rhs
+    }
+    #[inline(always)]
+    fn max_of(self, rhs: Self) -> Self {
+        self || rhs
+    }
+    #[inline(always)]
+    fn abs_of(self) -> Self {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_identities() {
+        assert_eq!(f64::ZERO, 0.0);
+        assert_eq!(f64::ONE, 1.0);
+        assert_eq!(f64::MAX_VALUE, f64::INFINITY);
+        assert_eq!(2.0f64.add(3.0), 5.0);
+        assert_eq!(2.0f64.mul(3.0), 6.0);
+        assert_eq!(6.0f64.div(3.0), 2.0);
+        assert_eq!((-2.5f64).abs_of(), 2.5);
+    }
+
+    #[test]
+    fn f64_min_max_keep_lhs_on_incomparable() {
+        // min/max use strict comparison: ties and incomparables (NaN) keep the lhs.
+        assert_eq!(1.0f64.min_of(2.0), 1.0);
+        assert_eq!(1.0f64.max_of(2.0), 2.0);
+        assert!(f64::NAN.min_of(1.0).is_nan());
+        assert!(f64::NAN.max_of(1.0).is_nan());
+        assert_eq!(1.0f64.min_of(f64::NAN), 1.0);
+    }
+
+    #[test]
+    fn int_wrapping_semantics() {
+        assert_eq!(i32::MAX.add(1), i32::MIN);
+        assert_eq!(5i64.div(0), 0, "division by zero is absorbed to zero, not a panic");
+        assert_eq!((-7i32).abs_of(), 7);
+        assert_eq!(7u32.abs_of(), 7);
+    }
+
+    #[test]
+    fn bool_gf2_like() {
+        assert!(true.add(false));
+        assert!(!true.sub(true));
+        assert!(!true.mul(false));
+        assert!(!true.min_of(false));
+        assert!(true.max_of(false));
+    }
+
+    #[test]
+    fn min_max_identities_absorb() {
+        for v in [-3.0f64, 0.0, 7.5] {
+            assert_eq!(v.min_of(f64::MAX_VALUE), v);
+            assert_eq!(v.max_of(f64::MIN_VALUE), v);
+        }
+        for v in [i32::MIN, -1, 0, 42, i32::MAX] {
+            assert_eq!(v.min_of(i32::MAX_VALUE), v);
+            assert_eq!(v.max_of(i32::MIN_VALUE), v);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Semirings: the algebraic structure of `mxv`, `vxm` and `mxm`.
+//!
+//! A semiring pairs an additive [`Monoid`] with a multiplicative
+//! [`BinaryOp`]. A sparse matrix-vector product over semiring `(⊕, ⊗)`
+//! computes `y_i = ⊕_j A_ij ⊗ x_j`, skipping absent entries — which is why
+//! the additive identity also serves as the implicit value of absent
+//! nonzeroes.
+//!
+//! The standard numeric semiring [`PlusTimes`] drives all of HPCG; the
+//! tropical [`MinPlus`] and [`MaxTimes`] semirings are provided for graph
+//! workloads (shortest paths, widest paths) and to exercise genericity in
+//! tests.
+
+use super::binary::{BinaryOp, Max, Min, Plus, Times};
+use super::monoid::Monoid;
+
+/// An algebraic semiring over domain `T`: additive monoid + multiplicative op.
+///
+/// Like the operator types, implementations are zero-sized and passed by
+/// value purely for API resemblance to the paper's `Ring` parameter
+/// (Listing 3); after monomorphization they vanish.
+pub trait Semiring<T>: Copy + Default + Send + Sync + 'static {
+    /// The additive monoid (`⊕` and its identity).
+    type Add: Monoid<T>;
+    /// The multiplicative operator (`⊗`).
+    type Mul: BinaryOp<T>;
+
+    /// `a ⊕ b`.
+    #[inline(always)]
+    fn add(a: T, b: T) -> T {
+        Self::Add::apply(a, b)
+    }
+
+    /// `a ⊗ b`.
+    #[inline(always)]
+    fn mul(a: T, b: T) -> T {
+        Self::Mul::apply(a, b)
+    }
+
+    /// The additive identity — the implicit value of absent sparse entries.
+    #[inline(always)]
+    fn zero() -> T {
+        Self::Add::identity()
+    }
+}
+
+/// The conventional arithmetic semiring `(+, ×)`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlusTimes;
+
+impl<T> Semiring<T> for PlusTimes
+where
+    Plus: Monoid<T>,
+    Times: BinaryOp<T>,
+{
+    type Add = Plus;
+    type Mul = Times;
+}
+
+/// The tropical semiring `(min, +)`, used for shortest-path relaxations.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MinPlus;
+
+impl<T> Semiring<T> for MinPlus
+where
+    Min: Monoid<T>,
+    Plus: BinaryOp<T>,
+{
+    type Add = Min;
+    type Mul = Plus;
+}
+
+/// The `(max, ×)` semiring, used for widest-path / reliability problems.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MaxTimes;
+
+impl<T> Semiring<T> for MaxTimes
+where
+    Max: Monoid<T>,
+    Times: BinaryOp<T>,
+{
+    type Add = Max;
+    type Mul = Times;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_times_f64() {
+        assert_eq!(<PlusTimes as Semiring<f64>>::add(2.0, 3.0), 5.0);
+        assert_eq!(<PlusTimes as Semiring<f64>>::mul(2.0, 3.0), 6.0);
+        assert_eq!(<PlusTimes as Semiring<f64>>::zero(), 0.0);
+    }
+
+    #[test]
+    fn min_plus_is_tropical() {
+        assert_eq!(<MinPlus as Semiring<f64>>::add(2.0, 3.0), 2.0);
+        assert_eq!(<MinPlus as Semiring<f64>>::mul(2.0, 3.0), 5.0);
+        assert_eq!(<MinPlus as Semiring<f64>>::zero(), f64::INFINITY);
+    }
+
+    #[test]
+    fn max_times() {
+        assert_eq!(<MaxTimes as Semiring<f64>>::add(2.0, 3.0), 3.0);
+        assert_eq!(<MaxTimes as Semiring<f64>>::mul(2.0, 0.5), 1.0);
+        assert_eq!(<MaxTimes as Semiring<f64>>::zero(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn zero_annihilates_under_plus_times() {
+        // 0 ⊗ x == 0 for the arithmetic semiring: required so skipped entries
+        // and explicit zeros are interchangeable.
+        for x in [-2.0f64, 0.0, 3.5] {
+            assert_eq!(
+                <PlusTimes as Semiring<f64>>::mul(<PlusTimes as Semiring<f64>>::zero(), x),
+                0.0
+            );
+        }
+    }
+}

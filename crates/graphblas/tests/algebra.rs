@@ -1,0 +1,119 @@
+//! Property tests of the algebraic-structure contracts.
+//!
+//! The [`Monoid`] documentation promises associativity + identity; the
+//! parallel backend's re-association of folds is only sound if they hold.
+//! These tests check them on every provided structure, over domains where
+//! the laws are exact (integers; integer-valued floats for `+`; all floats
+//! for `min`/`max`).
+
+use graphblas::{BinaryOp, Land, Lor, Max, Min, Monoid, Plus, Scalar, Semiring, Times};
+use graphblas::{MaxTimes, MinPlus, PlusTimes};
+use proptest::prelude::*;
+
+fn assoc<T: Scalar, M: Monoid<T>>(a: T, b: T, c: T) -> bool {
+    M::apply(M::apply(a, b), c) == M::apply(a, M::apply(b, c))
+}
+
+fn identity_law<T: Scalar, M: Monoid<T>>(a: T) -> bool {
+    M::apply(M::identity(), a) == a && M::apply(a, M::identity()) == a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn plus_monoid_laws_i64(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000) {
+        prop_assert!(assoc::<i64, Plus>(a, b, c));
+        prop_assert!(identity_law::<i64, Plus>(a));
+    }
+
+    #[test]
+    fn times_monoid_laws_i64(a in -30i64..30, b in -30i64..30, c in -30i64..30) {
+        prop_assert!(assoc::<i64, Times>(a, b, c));
+        prop_assert!(identity_law::<i64, Times>(a));
+    }
+
+    #[test]
+    fn min_max_monoid_laws_f64(a in -1e6f64..1e6, b in -1e6f64..1e6, c in -1e6f64..1e6) {
+        prop_assert!(assoc::<f64, Min>(a, b, c));
+        prop_assert!(assoc::<f64, Max>(a, b, c));
+        prop_assert!(identity_law::<f64, Min>(a));
+        prop_assert!(identity_law::<f64, Max>(a));
+    }
+
+    #[test]
+    fn logical_monoid_laws_bool(a: bool, b: bool, c: bool) {
+        prop_assert!(assoc::<bool, Lor>(a, b, c));
+        prop_assert!(assoc::<bool, Land>(a, b, c));
+        prop_assert!(identity_law::<bool, Lor>(a));
+        prop_assert!(identity_law::<bool, Land>(a));
+    }
+
+    #[test]
+    fn plus_monoid_exact_on_integer_valued_floats(
+        a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000,
+    ) {
+        // The association order the parallel backend may choose must give
+        // bit-identical results on integer-valued f64 — the basis of the
+        // backend determinism tests.
+        let (x, y, z) = (a as f64, b as f64, c as f64);
+        prop_assert!(assoc::<f64, Plus>(x, y, z));
+    }
+
+    #[test]
+    fn semiring_distributivity_i64(a in -20i64..20, b in -20i64..20, c in -20i64..20) {
+        // a ⊗ (b ⊕ c) == (a ⊗ b) ⊕ (a ⊗ c) for the arithmetic semiring.
+        let lhs = <PlusTimes as Semiring<i64>>::mul(a, <PlusTimes as Semiring<i64>>::add(b, c));
+        let rhs = <PlusTimes as Semiring<i64>>::add(
+            <PlusTimes as Semiring<i64>>::mul(a, b),
+            <PlusTimes as Semiring<i64>>::mul(a, c),
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn tropical_distributivity_f64(a in -1e3f64..1e3, b in -1e3f64..1e3, c in -1e3f64..1e3) {
+        // a + min(b, c) == min(a + b, a + c): MinPlus is a true semiring.
+        let lhs = <MinPlus as Semiring<f64>>::mul(a, <MinPlus as Semiring<f64>>::add(b, c));
+        let rhs = <MinPlus as Semiring<f64>>::add(
+            <MinPlus as Semiring<f64>>::mul(a, b),
+            <MinPlus as Semiring<f64>>::mul(a, c),
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn max_times_distributivity_nonneg(a in 0f64..1e3, b in 0f64..1e3, c in 0f64..1e3) {
+        // a · max(b, c) == max(a·b, a·c) for nonnegative a (the domain
+        // widest-path problems use).
+        let lhs = <MaxTimes as Semiring<f64>>::mul(a, <MaxTimes as Semiring<f64>>::add(b, c));
+        let rhs = <MaxTimes as Semiring<f64>>::add(
+            <MaxTimes as Semiring<f64>>::mul(a, b),
+            <MaxTimes as Semiring<f64>>::mul(a, c),
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn semiring_zero_annihilates(a in -1000i64..1000) {
+        prop_assert_eq!(
+            <PlusTimes as Semiring<i64>>::mul(<PlusTimes as Semiring<i64>>::zero(), a),
+            0
+        );
+        let inf = <MinPlus as Semiring<f64>>::zero();
+        prop_assert_eq!(<MinPlus as Semiring<f64>>::mul(inf, a as f64), f64::INFINITY);
+    }
+
+    #[test]
+    fn commutativity_of_additive_monoids(a in -1000i64..1000, b in -1000i64..1000) {
+        prop_assert_eq!(<Plus as BinaryOp<i64>>::apply(a, b), <Plus as BinaryOp<i64>>::apply(b, a));
+        prop_assert_eq!(
+            <Min as BinaryOp<i64>>::apply(a, b),
+            <Min as BinaryOp<i64>>::apply(b, a)
+        );
+        prop_assert_eq!(
+            <Max as BinaryOp<i64>>::apply(a, b),
+            <Max as BinaryOp<i64>>::apply(b, a)
+        );
+    }
+}

@@ -1,0 +1,462 @@
+//! Distributed ALP: HPCG over the 1D block-cyclic GraphBLAS backend.
+//!
+//! This is the configuration whose weak scaling Fig 3 shows degrading
+//! linearly: the hybrid ALP/GraphBLAS backend distributes matrix rows and
+//! vectors block-cyclically over a 1D node grid and, lacking any geometric
+//! knowledge (containers are opaque), must allgather the *entire* input
+//! vector before every `mxv` — one superstep of `h = (p−1)·n/p` elements
+//! per spmv, per RBGS color step, per restriction, per refinement.
+//! Blocking GraphBLAS semantics mean no compute/communication overlap
+//! (paper §IV).
+
+use super::{spmv_bytes, stream_bytes, LevelPartition, F64};
+use crate::kernels::Kernels;
+use crate::problem::Problem;
+use crate::smoother::rbgs_grb;
+use crate::timers::{Kernel, KernelTimers};
+use bsp::cost::{CostTracker, KernelClass};
+use bsp::dist::BlockCyclic1D;
+use bsp::machine::MachineParams;
+use graphblas::{
+    axpy_in_place, dot, ewise_lambda, mxv, mxv_accum, waxpby, Descriptor, PlusTimes, Sequential,
+    Vector,
+};
+
+/// Block size of the block-cyclic distribution (ALP default-like). Small
+/// enough that even the coarsest multigrid level spreads across all nodes.
+const BLOCK: usize = 64;
+
+/// Which matrix/vector layout the (hypothetical) ALP distributed backend
+/// uses. [`AlpLayout::Cyclic1D`] is the paper's actual hybrid backend;
+/// [`AlpLayout::Block2D`] is the §VII-B(ii) proposal — provided so the
+/// weak-scaling harness can show how far it closes the gap to Ref.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AlpLayout {
+    /// 1D block-cyclic rows: full-vector allgather before every mxv.
+    Cyclic1D,
+    /// 2D `pr×pc` blocks: expand along process columns + fold along rows,
+    /// `(pr−1+pc−1)·n/p` elements per node instead of `(p−1)·n/p`.
+    Block2D {
+        /// Process-grid rows.
+        pr: usize,
+        /// Process-grid columns.
+        pc: usize,
+    },
+}
+
+/// Distributed-ALP HPCG: executes the GraphBLAS kernels and accounts BSP
+/// costs under the 1D block-cyclic distribution.
+pub struct AlpDistHpcg {
+    problem: Problem,
+    layout: AlpLayout,
+    parts: Vec<LevelPartition>,
+    tmp: Vec<Vector<f64>>,
+    tracker: CostTracker,
+    timers: KernelTimers,
+}
+
+impl AlpDistHpcg {
+    /// Builds the distributed context for `nodes` simulated nodes with the
+    /// paper's 1D block-cyclic layout.
+    pub fn new(problem: Problem, nodes: usize, machine: MachineParams) -> AlpDistHpcg {
+        Self::with_layout(problem, nodes, machine, AlpLayout::Cyclic1D)
+    }
+
+    /// Builds with the §VII-B(ii) 2D block layout (most-square `pr×pc`
+    /// factorization of `nodes`).
+    pub fn new_2d(problem: Problem, nodes: usize, machine: MachineParams) -> AlpDistHpcg {
+        let (pr, pc) = bsp::factor2d(nodes);
+        Self::with_layout(problem, nodes, machine, AlpLayout::Block2D { pr, pc })
+    }
+
+    /// Builds with an explicit layout.
+    pub fn with_layout(
+        problem: Problem,
+        nodes: usize,
+        machine: MachineParams,
+        layout: AlpLayout,
+    ) -> AlpDistHpcg {
+        let dists: Vec<BlockCyclic1D> =
+            problem.levels.iter().map(|l| BlockCyclic1D::new(l.n(), nodes, BLOCK)).collect();
+        let parts = problem
+            .levels
+            .iter()
+            .zip(&dists)
+            .map(|(l, d)| LevelPartition::new(l, d))
+            .collect();
+        let tmp = problem.levels.iter().map(|l| Vector::zeros(l.n())).collect();
+        let timers = KernelTimers::new(problem.levels.len());
+        AlpDistHpcg {
+            problem,
+            layout,
+            parts,
+            tmp,
+            tracker: CostTracker::new(nodes, machine),
+            timers,
+        }
+    }
+
+    /// The layout in use.
+    pub fn layout(&self) -> AlpLayout {
+        self.layout
+    }
+
+    /// The BSP cost trace accumulated so far.
+    pub fn tracker(&self) -> &CostTracker {
+        &self.tracker
+    }
+
+    /// Mutable tracker access (reset between runs).
+    pub fn tracker_mut(&mut self) -> &mut CostTracker {
+        &mut self.tracker
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Records the pre-`mxv` vector exchange at `level`. Under the 1D
+    /// layout this is a full allgather (every node sends its part to all
+    /// peers); under the 2D layout each node exchanges only with its
+    /// process row and column — `(pr−1 + pc−1)` peers instead of `p−1`.
+    fn record_allgather(&mut self, level: usize) {
+        let p = self.tracker.nodes();
+        match self.layout {
+            AlpLayout::Cyclic1D => {
+                for from in 0..p {
+                    let bytes = self.parts[level].local_n[from] as f64 * F64;
+                    self.tracker.record_send_all(from, bytes);
+                }
+            }
+            AlpLayout::Block2D { pr, pc } => {
+                for from in 0..p {
+                    let bytes = self.parts[level].local_n[from] as f64 * F64;
+                    let (r, c) = (from / pc, from % pc);
+                    // Expand along the process column, fold along the row.
+                    for c2 in 0..pc {
+                        if c2 != c {
+                            self.tracker.record_send(from, r * pc + c2, bytes);
+                        }
+                    }
+                    for r2 in 0..pr {
+                        if r2 != r {
+                            self.tracker.record_send(from, r2 * pc + c, bytes);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records per-node spmv work over the full matrix at `level`.
+    fn record_spmv_work(&mut self, level: usize) {
+        let p = self.tracker.nodes();
+        for node in 0..p {
+            let nnz = self.parts[level].local_nnz[node];
+            let rows = self.parts[level].local_n[node];
+            self.tracker.record_compute(node, 2.0 * nnz as f64, spmv_bytes(nnz, rows));
+        }
+    }
+
+    /// Records per-node streaming vector work at `level` (k vectors touched,
+    /// `flops_per_elem` flops per element).
+    fn record_stream(&mut self, level: usize, k: usize, flops_per_elem: f64) {
+        let p = self.tracker.nodes();
+        for node in 0..p {
+            let n = self.parts[level].local_n[node];
+            self.tracker.record_compute(node, flops_per_elem * n as f64, stream_bytes(k, n));
+        }
+    }
+
+    fn charge(&mut self, level: usize, kernel: Kernel, secs: f64) {
+        self.timers.add_secs(level, kernel, secs);
+    }
+}
+
+impl Kernels for AlpDistHpcg {
+    type V = Vector<f64>;
+
+    fn levels(&self) -> usize {
+        self.problem.levels.len()
+    }
+
+    fn n_at(&self, level: usize) -> usize {
+        self.problem.levels[level].n()
+    }
+
+    fn alloc(&self, level: usize) -> Vector<f64> {
+        Vector::zeros(self.problem.levels[level].n())
+    }
+
+    fn set_zero(&mut self, level: usize, v: &mut Vector<f64>) {
+        v.clear();
+        self.record_stream(level, 1, 0.0);
+        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        self.charge(level, Kernel::Waxpby, c.total_secs());
+    }
+
+    fn copy(&mut self, level: usize, src: &Vector<f64>, dst: &mut Vector<f64>) {
+        dst.as_mut_slice().copy_from_slice(src.as_slice());
+        self.record_stream(level, 2, 0.0);
+        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        self.charge(level, Kernel::Waxpby, c.total_secs());
+    }
+
+    fn spmv(&mut self, level: usize, y: &mut Vector<f64>, x: &Vector<f64>) {
+        let a = &self.problem.levels[level].a;
+        mxv::<f64, PlusTimes, Sequential>(y, None, Descriptor::DEFAULT, a, x, PlusTimes)
+            .expect("spmv dimensions fixed at setup");
+        self.record_allgather(level);
+        self.record_spmv_work(level);
+        let c = self.tracker.end_superstep(KernelClass::SpMV, Some(level), false);
+        self.charge(level, Kernel::SpMV, c.total_secs());
+    }
+
+    fn dot(&mut self, level: usize, x: &Vector<f64>, y: &Vector<f64>) -> f64 {
+        let v = dot::<f64, PlusTimes, Sequential>(x, y, PlusTimes)
+            .expect("dot dimensions fixed at setup");
+        self.record_stream(level, 2, 2.0);
+        let p = self.tracker.nodes();
+        for from in 0..p {
+            self.tracker.record_send_all(from, F64);
+        }
+        let c = self.tracker.end_superstep(KernelClass::Dot, Some(level), false);
+        self.charge(level, Kernel::Dot, c.total_secs());
+        v
+    }
+
+    fn waxpby(
+        &mut self,
+        level: usize,
+        w: &mut Vector<f64>,
+        alpha: f64,
+        x: &Vector<f64>,
+        beta: f64,
+        y: &Vector<f64>,
+    ) {
+        waxpby::<f64, Sequential>(w, alpha, x, beta, y).expect("waxpby dimensions fixed at setup");
+        self.record_stream(level, 3, 3.0);
+        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        self.charge(level, Kernel::Waxpby, c.total_secs());
+    }
+
+    fn axpy(&mut self, level: usize, x: &mut Vector<f64>, alpha: f64, y: &Vector<f64>) {
+        axpy_in_place::<f64, Sequential>(x, alpha, y).expect("axpy dimensions fixed at setup");
+        self.record_stream(level, 3, 2.0);
+        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        self.charge(level, Kernel::Waxpby, c.total_secs());
+    }
+
+    fn xpay(&mut self, level: usize, p: &mut Vector<f64>, beta: f64, z: &Vector<f64>) {
+        let zs = z.as_slice();
+        ewise_lambda::<f64, Sequential, _>(p, None, Descriptor::DEFAULT, |i, pi| {
+            *pi = zs[i] + beta * *pi;
+        })
+        .expect("xpay dimensions fixed at setup");
+        self.record_stream(level, 3, 2.0);
+        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        self.charge(level, Kernel::Waxpby, c.total_secs());
+    }
+
+    fn sub_reverse(&mut self, level: usize, w: &mut Vector<f64>, r: &Vector<f64>) {
+        let rs = r.as_slice();
+        ewise_lambda::<f64, Sequential, _>(w, None, Descriptor::DEFAULT, |i, wi| {
+            *wi = rs[i] - *wi;
+        })
+        .expect("sub dimensions fixed at setup");
+        self.record_stream(level, 3, 1.0);
+        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        self.charge(level, Kernel::Waxpby, c.total_secs());
+    }
+
+    fn smooth(&mut self, level: usize, x: &mut Vector<f64>, r: &Vector<f64>) {
+        // Execute the exact GraphBLAS smoother once.
+        {
+            let l = &self.problem.levels[level];
+            let tmp = &mut self.tmp[level];
+            rbgs_grb::rbgs_symmetric::<Sequential>(&l.a, &l.a_diag, &l.color_masks, r, x, tmp)
+                .expect("smoother dimensions fixed at setup");
+        }
+        // Account one superstep per color step, forward + backward: each
+        // masked mxv is preceded by a full allgather of x (opaque
+        // containers leave the backend no choice), then the masked rows'
+        // work plus the 5-flop lambda update.
+        let ncolors = self.problem.levels[level].coloring.num_colors;
+        let p = self.tracker.nodes();
+        let mut secs = 0.0;
+        for sweep in 0..2 {
+            for step in 0..ncolors {
+                let color = if sweep == 0 { step } else { ncolors - 1 - step };
+                self.record_allgather(level);
+                for node in 0..p {
+                    let nnz = self.parts[level].nnz_by_color[node][color];
+                    let rows = self.parts[level].rows_by_color[node][color];
+                    self.tracker.record_compute(
+                        node,
+                        2.0 * nnz as f64 + 5.0 * rows as f64,
+                        spmv_bytes(nnz, rows) + stream_bytes(4, rows),
+                    );
+                }
+                let c = self.tracker.end_superstep(KernelClass::Smoother, Some(level), false);
+                secs += c.total_secs();
+            }
+        }
+        self.charge(level, Kernel::Smoother, secs);
+    }
+
+    fn restrict_to(&mut self, level: usize, rc: &mut Vector<f64>, rf: &Vector<f64>) {
+        let r = self.problem.levels[level]
+            .restriction
+            .as_ref()
+            .expect("restrict_to needs a coarser level");
+        mxv::<f64, PlusTimes, Sequential>(rc, None, Descriptor::DEFAULT, r, rf, PlusTimes)
+            .expect("restriction dimensions fixed at setup");
+        // mxv with the restriction matrix: allgather the *fine* vector,
+        // then each node computes its owned coarse rows (1 nonzero each).
+        self.record_allgather(level);
+        let p = self.tracker.nodes();
+        for node in 0..p {
+            let rows = self.parts[level + 1].local_n[node];
+            self.tracker.record_compute(node, 2.0 * rows as f64, spmv_bytes(rows, rows));
+        }
+        let c = self.tracker.end_superstep(KernelClass::RestrictRefine, Some(level), false);
+        self.charge(level, Kernel::RestrictRefine, c.total_secs());
+    }
+
+    fn prolong_add(&mut self, level: usize, zf: &mut Vector<f64>, zc: &Vector<f64>) {
+        let r = self.problem.levels[level]
+            .restriction
+            .as_ref()
+            .expect("prolong_add needs a coarser level");
+        mxv_accum::<f64, PlusTimes, Sequential>(zf, None, Descriptor::TRANSPOSE, r, zc, PlusTimes)
+            .expect("refinement dimensions fixed at setup");
+        // Transposed mxv: allgather the *coarse* vector, then each node
+        // updates its owned fine entries.
+        let p = self.tracker.nodes();
+        for from in 0..p {
+            let bytes = self.parts[level + 1].local_n[from] as f64 * F64;
+            self.tracker.record_send_all(from, bytes);
+        }
+        for node in 0..p {
+            let rows = self.parts[level].local_n[node];
+            self.tracker.record_compute(node, rows as f64, stream_bytes(2, rows));
+        }
+        let c = self.tracker.end_superstep(KernelClass::RestrictRefine, Some(level), false);
+        self.charge(level, Kernel::RestrictRefine, c.total_secs());
+    }
+
+    fn timers_mut(&mut self) -> &mut KernelTimers {
+        &mut self.timers
+    }
+
+    fn timers(&self) -> &KernelTimers {
+        &self.timers
+    }
+
+    fn name(&self) -> &'static str {
+        match self.layout {
+            AlpLayout::Cyclic1D => "ALP distributed (1D block-cyclic)",
+            AlpLayout::Block2D { .. } => "ALP distributed (2D block, §VII-B ii)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Grid3;
+    use crate::problem::RhsVariant;
+
+    fn make(nodes: usize) -> AlpDistHpcg {
+        let p = Problem::build_with(Grid3::cube(8), 2, RhsVariant::Reference).unwrap();
+        AlpDistHpcg::new(p, nodes, MachineParams::arm_cluster())
+    }
+
+    #[test]
+    fn spmv_allgather_volume_matches_table1() {
+        let mut k = make(4);
+        let x = Vector::filled(512, 1.0);
+        let mut y = k.alloc(0);
+        k.spmv(0, &mut y, &x);
+        let steps = k.tracker().steps();
+        assert_eq!(steps.len(), 1);
+        // h = (p-1)·(n/p)·8 = 3·128·8 bytes.
+        assert_eq!(steps[0].h_bytes, 3.0 * 128.0 * 8.0);
+        assert!(!steps[0].overlap, "blocking GraphBLAS semantics");
+    }
+
+    #[test]
+    fn smoother_issues_one_superstep_per_color_step() {
+        let mut k = make(2);
+        let r = k.alloc(0);
+        let mut x = k.alloc(0);
+        k.smooth(0, &mut x, &r);
+        // 8 colors × 2 sweeps = 16 supersteps.
+        assert_eq!(k.tracker().superstep_count(), 16);
+        for s in k.tracker().steps() {
+            assert_eq!(s.class, KernelClass::Smoother);
+            assert!(s.h_bytes > 0.0, "every color step pays a full allgather");
+        }
+    }
+
+    #[test]
+    fn single_node_pays_no_communication() {
+        let mut k = make(1);
+        let x = Vector::filled(512, 1.0);
+        let mut y = k.alloc(0);
+        k.spmv(0, &mut y, &x);
+        assert_eq!(k.tracker().steps()[0].h_bytes, 0.0);
+    }
+
+    #[test]
+    fn execution_matches_shared_memory_kernels() {
+        // The distributed wrapper must not perturb numerics.
+        use crate::grb_impl::GrbHpcg;
+        let prob = Problem::build_with(Grid3::cube(8), 2, RhsVariant::Reference).unwrap();
+        let b = prob.b.clone();
+        let mut shared = GrbHpcg::<Sequential>::new(prob.clone());
+        let mut dist = AlpDistHpcg::new(prob, 4, MachineParams::arm_cluster());
+        let mut xs = shared.alloc(0);
+        let mut xd = dist.alloc(0);
+        shared.smooth(0, &mut xs, &b);
+        dist.smooth(0, &mut xd, &b);
+        assert_eq!(xs.as_slice(), xd.as_slice());
+    }
+}
+
+#[cfg(test)]
+mod layout_tests {
+    use super::*;
+    use crate::geometry::Grid3;
+    use crate::problem::RhsVariant;
+
+    #[test]
+    fn block2d_communicates_less_than_1d_more_than_nothing() {
+        let prob = Problem::build_with(Grid3::cube(16), 1, RhsVariant::Reference).unwrap();
+        let n = prob.n();
+        let p = 16; // 4x4 process grid
+        let mut one_d = AlpDistHpcg::new(prob.clone(), p, MachineParams::arm_cluster());
+        let mut two_d = AlpDistHpcg::new_2d(prob, p, MachineParams::arm_cluster());
+        let x = Vector::filled(n, 1.0);
+        let mut y1 = one_d.alloc(0);
+        let mut y2 = two_d.alloc(0);
+        one_d.spmv(0, &mut y1, &x);
+        two_d.spmv(0, &mut y2, &x);
+        assert_eq!(y1.as_slice(), y2.as_slice(), "layout changes cost, not numerics");
+        let h1 = one_d.tracker().steps()[0].h_bytes;
+        let h2 = two_d.tracker().steps()[0].h_bytes;
+        // 1D: (p-1)*n/p elements; 2D: (pr-1 + pc-1)*n/p = 6*n/p vs 15*n/p.
+        assert!(h2 < h1, "2D must communicate less: {h2} vs {h1}");
+        assert!((h1 / h2 - 15.0 / 6.0).abs() < 0.01, "exact ratio 15/6, got {}", h1 / h2);
+        assert!(h2 > 0.0);
+    }
+
+    #[test]
+    fn block2d_layout_reports_its_name() {
+        let prob = Problem::build_with(Grid3::cube(8), 1, RhsVariant::Reference).unwrap();
+        let two_d = AlpDistHpcg::new_2d(prob, 4, MachineParams::arm_cluster());
+        assert_eq!(two_d.layout(), AlpLayout::Block2D { pr: 2, pc: 2 });
+        assert!(two_d.name().contains("2D"));
+    }
+}

@@ -1,0 +1,422 @@
+//! Distributed Ref: HPCG over the 3D geometric distribution.
+//!
+//! The configuration whose weak scaling stays flat in Fig 3. The physical
+//! grid splits into `px×py×pz` boxes (the optimal factorization of §II-G);
+//! before an spmv each node exchanges only its 2D halo —
+//! `Θ(∛(n²/p²))` elements — with its ≤26 geometric neighbors. Inside
+//! RBGS, each color step exchanges only that color's slice of the halo,
+//! overlapping communication with computation via `MPI_Irecv/Isend`
+//! semantics (`max(compute, comm)`, paper §IV). Restriction and refinement
+//! are **fully local**: successive levels share the process grid, so the
+//! injection source of every owned coarse point is also owned.
+
+use super::{spmv_bytes, stream_bytes, LevelPartition, F64};
+use crate::kernels::Kernels;
+use crate::problem::Problem;
+use crate::smoother::rbgs_ref;
+use crate::timers::{Kernel, KernelTimers};
+use crate::util::SyncSlice;
+use bsp::cost::{CostTracker, KernelClass};
+use bsp::dist::{Distribution, Geometric3D};
+use bsp::factor::factor3d;
+use bsp::halo::halo_by_neighbor;
+use bsp::machine::MachineParams;
+
+/// Per-level halo metadata: for each node, its neighbors and how many halo
+/// points (total and per color) it receives from each.
+#[derive(Clone, Debug)]
+struct HaloInfo {
+    /// `per_node[node] = [(neighbor, total_points, per_color_points)]`.
+    per_node: Vec<Vec<(usize, usize, Vec<usize>)>>,
+}
+
+/// Distributed-Ref HPCG: executes the direct-access kernels and accounts
+/// BSP costs under the 3D geometric distribution.
+pub struct RefDistHpcg {
+    problem: Problem,
+    dists: Vec<Geometric3D>,
+    parts: Vec<LevelPartition>,
+    halos: Vec<HaloInfo>,
+    tracker: CostTracker,
+    timers: KernelTimers,
+}
+
+impl RefDistHpcg {
+    /// Builds the distributed context for `nodes` simulated nodes.
+    ///
+    /// Panics (like the HPCG reference setup) if the optimal process grid
+    /// does not divide every level's point grid.
+    pub fn new(problem: Problem, nodes: usize, machine: MachineParams) -> RefDistHpcg {
+        let g0 = problem.levels[0].grid;
+        let (px, py, pz) = factor3d(nodes, g0.nx, g0.ny, g0.nz);
+        let dists: Vec<Geometric3D> = problem
+            .levels
+            .iter()
+            .map(|l| Geometric3D::with_process_grid(l.grid.nx, l.grid.ny, l.grid.nz, px, py, pz))
+            .collect();
+        let parts = problem
+            .levels
+            .iter()
+            .zip(&dists)
+            .map(|(l, d)| LevelPartition::new(l, d))
+            .collect();
+        let halos = problem
+            .levels
+            .iter()
+            .zip(&dists)
+            .map(|(l, d)| {
+                let ncolors = l.coloring.num_colors;
+                let per_node = (0..d.nodes())
+                    .map(|node| {
+                        halo_by_neighbor(d, node)
+                            .into_iter()
+                            .map(|(nbr, idx)| {
+                                let mut per_color = vec![0usize; ncolors];
+                                for &g in &idx {
+                                    per_color[l.coloring.color[g] as usize] += 1;
+                                }
+                                (nbr, idx.len(), per_color)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                HaloInfo { per_node }
+            })
+            .collect();
+        let timers = KernelTimers::new(problem.levels.len());
+        RefDistHpcg {
+            problem,
+            dists,
+            parts,
+            halos,
+            tracker: CostTracker::new(nodes, machine),
+            timers,
+        }
+    }
+
+    /// The BSP cost trace accumulated so far.
+    pub fn tracker(&self) -> &CostTracker {
+        &self.tracker
+    }
+
+    /// Mutable tracker access (reset between runs).
+    pub fn tracker_mut(&mut self) -> &mut CostTracker {
+        &mut self.tracker
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The process grid in use.
+    pub fn process_grid(&self) -> (usize, usize, usize) {
+        let d = &self.dists[0];
+        (d.px, d.py, d.pz)
+    }
+
+    /// Records a full halo exchange at `level` (each node receives its
+    /// whole halo from the owning neighbors).
+    fn record_halo_exchange(&mut self, level: usize) {
+        let per_node = &self.halos[level].per_node;
+        for (node, nbrs) in per_node.iter().enumerate() {
+            for &(nbr, count, _) in nbrs {
+                self.tracker.record_send(nbr, node, count as f64 * F64);
+            }
+        }
+    }
+
+    /// Records a single-color halo exchange at `level`.
+    fn record_halo_exchange_color(&mut self, level: usize, color: usize) {
+        let per_node = &self.halos[level].per_node;
+        for (node, nbrs) in per_node.iter().enumerate() {
+            for (nbr, _, per_color) in nbrs {
+                let count = per_color[color];
+                if count > 0 {
+                    self.tracker.record_send(*nbr, node, count as f64 * F64);
+                }
+            }
+        }
+    }
+
+    fn record_stream(&mut self, level: usize, k: usize, flops_per_elem: f64) {
+        let p = self.tracker.nodes();
+        for node in 0..p {
+            let n = self.parts[level].local_n[node];
+            self.tracker.record_compute(node, flops_per_elem * n as f64, stream_bytes(k, n));
+        }
+    }
+
+    fn charge(&mut self, level: usize, kernel: Kernel, secs: f64) {
+        self.timers.add_secs(level, kernel, secs);
+    }
+}
+
+fn spmv_rows_seq(a: &graphblas::CsrMatrix<f64>, x: &[f64], y: &mut [f64]) {
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let mut acc = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc += v * x[c as usize];
+        }
+        y[i] = acc;
+    }
+}
+
+impl Kernels for RefDistHpcg {
+    type V = Vec<f64>;
+
+    fn levels(&self) -> usize {
+        self.problem.levels.len()
+    }
+
+    fn n_at(&self, level: usize) -> usize {
+        self.problem.levels[level].n()
+    }
+
+    fn alloc(&self, level: usize) -> Vec<f64> {
+        vec![0.0; self.problem.levels[level].n()]
+    }
+
+    fn set_zero(&mut self, level: usize, v: &mut Vec<f64>) {
+        v.iter_mut().for_each(|x| *x = 0.0);
+        self.record_stream(level, 1, 0.0);
+        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        self.charge(level, Kernel::Waxpby, c.total_secs());
+    }
+
+    fn copy(&mut self, level: usize, src: &Vec<f64>, dst: &mut Vec<f64>) {
+        dst.copy_from_slice(src);
+        self.record_stream(level, 2, 0.0);
+        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        self.charge(level, Kernel::Waxpby, c.total_secs());
+    }
+
+    fn spmv(&mut self, level: usize, y: &mut Vec<f64>, x: &Vec<f64>) {
+        let a = &self.problem.levels[level].a;
+        spmv_rows_seq(a, x, y);
+        self.record_halo_exchange(level);
+        let p = self.tracker.nodes();
+        for node in 0..p {
+            let nnz = self.parts[level].local_nnz[node];
+            let rows = self.parts[level].local_n[node];
+            self.tracker.record_compute(node, 2.0 * nnz as f64, spmv_bytes(nnz, rows));
+        }
+        // Irecv/Isend overlap (paper §IV).
+        let c = self.tracker.end_superstep(KernelClass::SpMV, Some(level), true);
+        self.charge(level, Kernel::SpMV, c.total_secs());
+    }
+
+    fn dot(&mut self, level: usize, x: &Vec<f64>, y: &Vec<f64>) -> f64 {
+        let v: f64 = x.iter().zip(y).map(|(&a, &b)| a * b).sum();
+        self.record_stream(level, 2, 2.0);
+        let p = self.tracker.nodes();
+        for from in 0..p {
+            self.tracker.record_send_all(from, F64);
+        }
+        let c = self.tracker.end_superstep(KernelClass::Dot, Some(level), false);
+        self.charge(level, Kernel::Dot, c.total_secs());
+        v
+    }
+
+    fn waxpby(
+        &mut self,
+        level: usize,
+        w: &mut Vec<f64>,
+        alpha: f64,
+        x: &Vec<f64>,
+        beta: f64,
+        y: &Vec<f64>,
+    ) {
+        for i in 0..w.len() {
+            w[i] = alpha * x[i] + beta * y[i];
+        }
+        self.record_stream(level, 3, 3.0);
+        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        self.charge(level, Kernel::Waxpby, c.total_secs());
+    }
+
+    fn axpy(&mut self, level: usize, x: &mut Vec<f64>, alpha: f64, y: &Vec<f64>) {
+        for i in 0..x.len() {
+            x[i] += alpha * y[i];
+        }
+        self.record_stream(level, 3, 2.0);
+        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        self.charge(level, Kernel::Waxpby, c.total_secs());
+    }
+
+    fn xpay(&mut self, level: usize, p: &mut Vec<f64>, beta: f64, z: &Vec<f64>) {
+        for i in 0..p.len() {
+            p[i] = z[i] + beta * p[i];
+        }
+        self.record_stream(level, 3, 2.0);
+        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        self.charge(level, Kernel::Waxpby, c.total_secs());
+    }
+
+    fn sub_reverse(&mut self, level: usize, w: &mut Vec<f64>, r: &Vec<f64>) {
+        for i in 0..w.len() {
+            w[i] = r[i] - w[i];
+        }
+        self.record_stream(level, 3, 1.0);
+        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        self.charge(level, Kernel::Waxpby, c.total_secs());
+    }
+
+    fn smooth(&mut self, level: usize, x: &mut Vec<f64>, r: &Vec<f64>) {
+        // Execute the reference RBGS once (same schedule as distributed).
+        {
+            let l = &self.problem.levels[level];
+            rbgs_ref::rbgs_symmetric(&l.a, l.a_diag.as_slice(), &l.color_classes, r, x);
+        }
+        // Account: one full halo refresh at sweep start, then one
+        // color-sliced exchange per color step, compute overlapped with
+        // communication per §IV (color-aware Irecv/Isend).
+        let ncolors = self.problem.levels[level].coloring.num_colors;
+        let p = self.tracker.nodes();
+        let mut secs = 0.0;
+        self.record_halo_exchange(level);
+        let c = self.tracker.end_superstep(KernelClass::Smoother, Some(level), true);
+        secs += c.total_secs();
+        for sweep in 0..2 {
+            for step in 0..ncolors {
+                let color = if sweep == 0 { step } else { ncolors - 1 - step };
+                self.record_halo_exchange_color(level, color);
+                for node in 0..p {
+                    let nnz = self.parts[level].nnz_by_color[node][color];
+                    let rows = self.parts[level].rows_by_color[node][color];
+                    self.tracker.record_compute(
+                        node,
+                        2.0 * nnz as f64 + 5.0 * rows as f64,
+                        spmv_bytes(nnz, rows) + stream_bytes(2, rows),
+                    );
+                }
+                let c = self.tracker.end_superstep(KernelClass::Smoother, Some(level), true);
+                secs += c.total_secs();
+            }
+        }
+        self.charge(level, Kernel::Smoother, secs);
+    }
+
+    fn restrict_to(&mut self, level: usize, rc: &mut Vec<f64>, rf: &Vec<f64>) {
+        let f2c = &self.problem.levels[level].f2c;
+        for (i, slot) in rc.iter_mut().enumerate() {
+            *slot = rf[f2c[i] as usize];
+        }
+        // Aligned process grids make this purely local (§II-F): gathers
+        // from the node's own box, no messages, no barrier.
+        let p = self.tracker.nodes();
+        for node in 0..p {
+            let rows = self.parts[level + 1].local_n[node];
+            self.tracker.record_compute(node, rows as f64, stream_bytes(2, rows));
+        }
+        let c = self.tracker.end_local_step(KernelClass::RestrictRefine, Some(level));
+        self.charge(level, Kernel::RestrictRefine, c.total_secs());
+    }
+
+    fn prolong_add(&mut self, level: usize, zf: &mut Vec<f64>, zc: &Vec<f64>) {
+        let f2c = &self.problem.levels[level].f2c;
+        let zs = SyncSlice::new(zf.as_mut_slice());
+        for (i, &zci) in zc.iter().enumerate() {
+            let fi = f2c[i] as usize;
+            // SAFETY: sequential loop, strictly increasing targets.
+            unsafe { zs.write(fi, zs.read(fi) + zci) };
+        }
+        let p = self.tracker.nodes();
+        for node in 0..p {
+            let rows = self.parts[level + 1].local_n[node];
+            self.tracker.record_compute(node, rows as f64, stream_bytes(3, rows));
+        }
+        let c = self.tracker.end_local_step(KernelClass::RestrictRefine, Some(level));
+        self.charge(level, Kernel::RestrictRefine, c.total_secs());
+    }
+
+    fn timers_mut(&mut self) -> &mut KernelTimers {
+        &mut self.timers
+    }
+
+    fn timers(&self) -> &KernelTimers {
+        &self.timers
+    }
+
+    fn name(&self) -> &'static str {
+        "Ref distributed (3D geometric)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Grid3;
+    use crate::problem::{Problem, RhsVariant};
+
+    fn make(nodes: usize) -> RefDistHpcg {
+        // 16³ grid, 2 levels; nodes must divide the grid.
+        let p = Problem::build_with(Grid3::cube(16), 2, RhsVariant::Reference).unwrap();
+        RefDistHpcg::new(p, nodes, MachineParams::arm_cluster())
+    }
+
+    #[test]
+    fn spmv_exchanges_only_halos() {
+        let mut k = make(8); // 2x2x2 grid of 8³ boxes
+        let x = vec![1.0; 4096];
+        let mut y = k.alloc(0);
+        k.spmv(0, &mut y, &x);
+        let s = k.tracker().steps()[0];
+        assert!(s.overlap, "Ref overlaps compute and communication");
+        // Halo of an 8³ box with 3 inner faces + edges + corner:
+        // 3·64 + 3·8 + 1 = 217 points → far below n/p = 512.
+        assert_eq!(s.h_bytes, 217.0 * 8.0);
+    }
+
+    #[test]
+    fn halo_color_slices_sum_to_full_halo() {
+        let k = make(8);
+        for nbrs in &k.halos[0].per_node {
+            for (_, total, per_color) in nbrs {
+                assert_eq!(per_color.iter().sum::<usize>(), *total);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_transfers_are_local() {
+        let mut k = make(8);
+        let rf = vec![1.0; 4096];
+        let mut rc = k.alloc(1);
+        k.restrict_to(0, &mut rc, &rf);
+        let mut zf = vec![0.0; 4096];
+        k.prolong_add(0, &mut zf, &rc);
+        for s in k.tracker().steps() {
+            assert_eq!(s.h_bytes, 0.0, "no communication in Ref grid transfers");
+            assert_eq!(s.sync_secs, 0.0, "no barrier either");
+        }
+    }
+
+    #[test]
+    fn coarse_point_sources_are_node_local() {
+        // The alignment property that makes restriction local: the fine
+        // source of every owned coarse point is owned by the same node.
+        let k = make(8);
+        let f2c = &k.problem().levels[0].f2c;
+        let fine_d = &k.dists[0];
+        let coarse_d = &k.dists[1];
+        for (c, &f) in f2c.iter().enumerate() {
+            assert_eq!(coarse_d.owner(c), fine_d.owner(f as usize));
+        }
+    }
+
+    #[test]
+    fn ref_halo_much_smaller_than_alp_allgather() {
+        // The Table I separation at the heart of Fig 3.
+        let k = make(8);
+        let n = 4096.0;
+        let p = 8.0;
+        let alp_h = (p - 1.0) * (n / p) * 8.0;
+        let ref_h = k.halos[0].per_node[0]
+            .iter()
+            .map(|(_, c, _)| *c as f64 * 8.0)
+            .sum::<f64>();
+        assert!(ref_h * 4.0 < alp_h, "halo {ref_h} vs allgather {alp_h}");
+    }
+}

@@ -1,0 +1,254 @@
+//! Benchmark driver: runs the full HPCG loop and reports timings.
+//!
+//! Mirrors the HPCG benchmark protocol the paper follows (§V): fixed
+//! iteration count (numerics are equivalent across implementations, so
+//! times are directly comparable), per-kernel / per-level timer breakdown,
+//! and a GFLOP/s figure computed from the official HPCG flop model.
+
+use crate::cg::{cg_solve, CgResult, CgWorkspace};
+use crate::kernels::Kernels;
+use crate::mg::MgWorkspace;
+use crate::problem::Problem;
+use crate::timers::Kernel;
+
+/// Configuration of one benchmark run.
+#[derive(Copy, Clone, Debug)]
+pub struct RunConfig {
+    /// CG iterations to execute (HPCG runs sets of 50).
+    pub iterations: usize,
+    /// Whether to apply the MG preconditioner (the benchmark always does).
+    pub preconditioned: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { iterations: 50, preconditioned: true }
+    }
+}
+
+/// Per-level kernel-time snapshot for the breakdown figures.
+#[derive(Clone, Debug)]
+pub struct LevelBreakdown {
+    /// Multigrid level (0 = finest).
+    pub level: usize,
+    /// Seconds in the smoother at this level.
+    pub smoother_secs: f64,
+    /// Seconds in restriction/refinement at this level.
+    pub restrict_refine_secs: f64,
+    /// Seconds in spmv at this level.
+    pub spmv_secs: f64,
+}
+
+/// The outcome of one full benchmark run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Implementation name.
+    pub name: &'static str,
+    /// Fine-level unknowns.
+    pub n: usize,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Total wall-clock seconds.
+    pub total_secs: f64,
+    /// Final relative residual (validation).
+    pub relative_residual: f64,
+    /// Per-level smoother / grid-transfer breakdown.
+    pub levels: Vec<LevelBreakdown>,
+    /// Seconds in dot products (all levels).
+    pub dot_secs: f64,
+    /// Seconds in vector updates (all levels).
+    pub waxpby_secs: f64,
+    /// GFLOP/s by the official HPCG flop model.
+    pub gflops: f64,
+}
+
+impl RunReport {
+    /// Fraction of total time in the smoother, summed over levels — the
+    /// ">50 % in RBGS" observation of §V-C.
+    pub fn smoother_fraction(&self) -> f64 {
+        if self.total_secs <= 0.0 {
+            return 0.0;
+        }
+        self.levels.iter().map(|l| l.smoother_secs).sum::<f64>() / self.total_secs
+    }
+
+    /// Fraction of total time in the MG preconditioner (smoother +
+    /// transfer + MG spmv below the finest CG kernels), the "80-90 %"
+    /// observation of §V-C.
+    pub fn mg_fraction(&self) -> f64 {
+        if self.total_secs <= 0.0 {
+            return 0.0;
+        }
+        let mg: f64 = self
+            .levels
+            .iter()
+            .map(|l| {
+                l.smoother_secs
+                    + l.restrict_refine_secs
+                    + if l.level > 0 { l.spmv_secs } else { 0.0 }
+            })
+            .sum();
+        mg / self.total_secs
+    }
+}
+
+/// Flops of one MG-preconditioned CG iteration under the official HPCG
+/// model (`2·nnz` per spmv / per GS sweep half, `2n` per dot/axpy).
+pub fn flops_per_iteration(problem: &Problem) -> f64 {
+    let n0 = problem.levels[0].n() as f64;
+    // CG body: one spmv, 3 dots (r·z, p·Ap, r·r), 3 vector updates.
+    let mut flops = 2.0 * problem.levels[0].a.nnz() as f64 + 3.0 * 2.0 * n0 + 3.0 * 2.0 * n0;
+    // MG: per level above the coarsest: 2 symmetric sweeps (each fwd+bwd =
+    // 4·nnz), one residual spmv (2·nnz) + restriction/prolongation (2n);
+    // coarsest level: one symmetric sweep.
+    for (i, l) in problem.levels.iter().enumerate() {
+        let nnz = l.a.nnz() as f64;
+        let n = l.n() as f64;
+        if i + 1 < problem.levels.len() {
+            flops += 2.0 * 4.0 * nnz + 2.0 * nnz + 2.0 * n;
+        } else {
+            flops += 4.0 * nnz;
+        }
+    }
+    flops
+}
+
+/// Memory bytes streamed by one MG-preconditioned CG iteration — the
+/// quantity that bounds HPCG performance on real machines (the benchmark
+/// is bandwidth-bound; see the vendor reports cited in §VI).
+///
+/// Counts CSR traffic (12 bytes/nonzero + 16/row) for every spmv-shaped
+/// kernel and 8 bytes per vector element per stream for the rest.
+pub fn bytes_per_iteration(problem: &Problem) -> f64 {
+    let csr = |nnz: usize, rows: usize| (nnz * (8 + 4 + 8) + rows * 16) as f64;
+    let n0 = problem.levels[0].n();
+    // CG body: spmv + 3 dots + 3 updates.
+    let mut bytes = csr(problem.levels[0].a.nnz(), n0) + 6.0 * 2.0 * (n0 as f64) * 8.0;
+    for (i, l) in problem.levels.iter().enumerate() {
+        let nnz = l.a.nnz();
+        let n = l.n();
+        if i + 1 < problem.levels.len() {
+            // Two symmetric sweeps (4 matrix passes), one residual spmv,
+            // restriction + prolongation streams.
+            bytes += 4.0 * csr(nnz, n) + csr(nnz, n) + 5.0 * (n as f64) * 8.0;
+        } else {
+            bytes += 2.0 * csr(nnz, n);
+        }
+    }
+    bytes
+}
+
+/// Runs `config.iterations` of HPCG on `k` with right-hand side `b`,
+/// returning the timing report and the CG convergence data.
+pub fn run_with_rhs<K: Kernels>(
+    k: &mut K,
+    b: &K::V,
+    flops_per_iter: f64,
+    config: RunConfig,
+) -> (RunReport, CgResult) {
+    k.timers_mut().reset();
+    let mut cg_ws = CgWorkspace::new(k);
+    let mut mg_ws = MgWorkspace::new(k);
+    let mut x = k.alloc(0);
+
+    k.timers_mut().start_run();
+    let cg = cg_solve(
+        k,
+        &mut cg_ws,
+        &mut mg_ws,
+        b,
+        &mut x,
+        config.iterations,
+        0.0,
+        config.preconditioned,
+    );
+    k.timers_mut().end_run();
+
+    let report = snapshot_report(k, flops_per_iter, &cg);
+    (report, cg)
+}
+
+/// Builds a [`RunReport`] from the current timer state.
+pub fn snapshot_report<K: Kernels>(k: &K, flops_per_iter: f64, cg: &CgResult) -> RunReport {
+    let t = k.timers();
+    let total = t.total_secs();
+    let levels = (0..k.levels())
+        .map(|l| LevelBreakdown {
+            level: l,
+            smoother_secs: t.secs(l, Kernel::Smoother),
+            restrict_refine_secs: t.secs(l, Kernel::RestrictRefine),
+            spmv_secs: t.secs(l, Kernel::SpMV),
+        })
+        .collect();
+    RunReport {
+        name: k.name(),
+        n: k.n_at(0),
+        iterations: cg.iterations,
+        total_secs: total,
+        relative_residual: cg.relative_residual,
+        levels,
+        dot_secs: t.secs_all_levels(Kernel::Dot),
+        waxpby_secs: t.secs_all_levels(Kernel::Waxpby),
+        gflops: if total > 0.0 {
+            flops_per_iter * cg.iterations as f64 / total / 1e9
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Grid3;
+    use crate::grb_impl::GrbHpcg;
+    use crate::problem::RhsVariant;
+    use crate::ref_impl::RefHpcg;
+    use graphblas::Sequential;
+
+    #[test]
+    fn grb_run_produces_consistent_report() {
+        let p = Problem::build_with(Grid3::cube(16), 4, RhsVariant::Reference).unwrap();
+        let fpi = flops_per_iteration(&p);
+        let b = p.b.clone();
+        let mut k = GrbHpcg::<Sequential>::new(p);
+        let (report, cg) = run_with_rhs(&mut k, &b, fpi, RunConfig { iterations: 5, preconditioned: true });
+        assert_eq!(report.iterations, 5);
+        assert_eq!(cg.iterations, 5);
+        assert!(report.total_secs > 0.0);
+        assert!(report.gflops > 0.0);
+        assert!(report.smoother_fraction() > 0.3, "RBGS dominates: {}", report.smoother_fraction());
+        assert!(report.mg_fraction() > report.smoother_fraction());
+        assert!(report.relative_residual < 1e-2);
+    }
+
+    #[test]
+    fn ref_run_matches_grb_numerics() {
+        let p = Problem::build_with(Grid3::cube(8), 3, RhsVariant::Reference).unwrap();
+        let fpi = flops_per_iteration(&p);
+        let b_vec = p.b.as_slice().to_vec();
+        let b_grb = p.b.clone();
+        let mut kr = RefHpcg::new(p.clone());
+        let mut kg = GrbHpcg::<Sequential>::new(p);
+        let cfg = RunConfig { iterations: 10, preconditioned: true };
+        let (_, cg_r) = run_with_rhs(&mut kr, &b_vec, fpi, cfg);
+        let (_, cg_g) = run_with_rhs(&mut kg, &b_grb, fpi, cfg);
+        // Same schedule, different rounding in dots → agree to ~1e-12.
+        for (a, b) in cg_r.residual_history.iter().zip(&cg_g.residual_history) {
+            let denom = a.abs().max(1e-300);
+            assert!(
+                ((a - b) / denom).abs() < 1e-9,
+                "residual histories diverged: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn flop_model_scales_linearly_with_n() {
+        let p1 = Problem::build_with(Grid3::cube(8), 2, RhsVariant::Reference).unwrap();
+        let p2 = Problem::build_with(Grid3::cube(16), 2, RhsVariant::Reference).unwrap();
+        let (f1, f2) = (flops_per_iteration(&p1), flops_per_iteration(&p2));
+        let ratio = f2 / f1;
+        assert!(ratio > 6.0 && ratio < 10.0, "Θ(n) model: 8x points → ~8x flops, got {ratio}");
+    }
+}

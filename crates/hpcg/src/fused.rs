@@ -1,0 +1,102 @@
+//! Fused kernels — the nonblocking-execution ablation (paper §VI, §VII-A).
+//!
+//! The related-work section singles out kernel fusion as the key
+//! hand-optimization HPCG vendors apply ("[29] stresses the importance of
+//! kernels fusion to improve access locality and save on bandwidth"), and
+//! cites the ALP nonblocking extension [32] as the GraphBLAS answer. This
+//! module implements the two fusions CG admits without changing numerics
+//! *semantics* (the fused dot reduces in a slightly different association
+//! order, like any parallel reduction):
+//!
+//! * [`spmv_dot_fused`] — `y = A·x` and `⟨x, y⟩` in one pass: CG needs
+//!   `p·Ap` right after `Ap`, so fusing saves re-streaming `y` and `x`;
+//! * [`axpy_norm_fused`] — `r ← r − α·q` and `‖r‖²` in one pass: CG needs
+//!   the residual norm right after the update.
+//!
+//! The `fusion_ablation` bench measures the bandwidth saving; the tests
+//! here pin down exact agreement with the unfused pair.
+
+use graphblas::{CsrMatrix, Vector};
+
+/// Computes `y = A·x` and returns `⟨x, y⟩`, reading `x` once.
+///
+/// Sequential kernel: the fusion story is about memory traffic, and the
+/// ablation bench compares like with like (both sides single-threaded).
+pub fn spmv_dot_fused(a: &CsrMatrix<f64>, x: &Vector<f64>, y: &mut Vector<f64>) -> f64 {
+    let xs = x.as_slice();
+    let ys = y.as_mut_slice();
+    let mut acc = 0.0;
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let mut row = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            row += v * xs[c as usize];
+        }
+        ys[i] = row;
+        acc += xs[i] * row;
+    }
+    acc
+}
+
+/// Computes `r ← r − α·q` and returns `‖r‖²`, streaming `r` once.
+pub fn axpy_norm_fused(r: &mut Vector<f64>, alpha: f64, q: &Vector<f64>) -> f64 {
+    let qs = q.as_slice();
+    let rs = r.as_mut_slice();
+    let mut acc = 0.0;
+    for (ri, &qi) in rs.iter_mut().zip(qs) {
+        *ri -= alpha * qi;
+        acc += *ri * *ri;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Grid3;
+    use crate::problem::build_stencil_matrix;
+    use graphblas::{dot, mxv, Descriptor, PlusTimes, Sequential};
+
+    #[test]
+    fn fused_spmv_dot_matches_unfused() {
+        let a = build_stencil_matrix(Grid3::cube(6));
+        let x = Vector::from_dense((0..a.nrows()).map(|i| ((i % 7) as f64) - 3.0).collect());
+        let mut y_f = Vector::zeros(a.nrows());
+        let d_f = spmv_dot_fused(&a, &x, &mut y_f);
+
+        let mut y_u = Vector::zeros(a.nrows());
+        mxv::<f64, PlusTimes, Sequential>(&mut y_u, None, Descriptor::DEFAULT, &a, &x, PlusTimes)
+            .unwrap();
+        let d_u = dot::<f64, PlusTimes, Sequential>(&x, &y_u, PlusTimes).unwrap();
+
+        assert_eq!(y_f.as_slice(), y_u.as_slice());
+        assert!((d_f - d_u).abs() <= 1e-12 * d_u.abs().max(1.0));
+    }
+
+    #[test]
+    fn fused_axpy_norm_matches_unfused() {
+        let n = 1000;
+        let mut r1 = Vector::from_dense((0..n).map(|i| (i % 13) as f64 - 6.0).collect());
+        let mut r2 = r1.clone();
+        let q = Vector::from_dense((0..n).map(|i| (i % 5) as f64 - 2.0).collect());
+        let alpha = 0.37;
+
+        let norm_f = axpy_norm_fused(&mut r1, alpha, &q);
+
+        graphblas::axpy_in_place::<f64, Sequential>(&mut r2, -alpha, &q).unwrap();
+        let norm_u = dot::<f64, PlusTimes, Sequential>(&r2, &r2, PlusTimes).unwrap();
+
+        assert_eq!(r1.as_slice(), r2.as_slice());
+        assert!((norm_f - norm_u).abs() <= 1e-12 * norm_u.max(1.0));
+    }
+
+    #[test]
+    fn fused_spmv_dot_is_spd_quadratic_form() {
+        // x'Ax > 0 for x ≠ 0: A is SPD, and the fused kernel computes
+        // exactly that quadratic form.
+        let a = build_stencil_matrix(Grid3::cube(4));
+        let x = Vector::from_dense((0..a.nrows()).map(|i| (i as f64).sin()).collect());
+        let mut y = Vector::zeros(a.nrows());
+        assert!(spmv_dot_fused(&a, &x, &mut y) > 0.0);
+    }
+}

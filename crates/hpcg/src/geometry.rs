@@ -1,0 +1,205 @@
+//! The 3D problem geometry of HPCG.
+//!
+//! HPCG discretizes a heat-diffusion problem on an `nx×ny×nz` grid with a
+//! 27-point stencil: every grid point interacts with all neighbors within
+//! Chebyshev distance 1 (paper §II-A/§II-B). Interior points have 27
+//! stencil entries; faces, edges and corners have fewer (down to 8),
+//! which is the "8 to 27 nonzeroes per row" of §II-C.
+
+/// An `nx×ny×nz` grid of points, indexed `g = x + nx·(y + ny·z)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Grid3 {
+    /// Points along x.
+    pub nx: usize,
+    /// Points along y.
+    pub ny: usize,
+    /// Points along z.
+    pub nz: usize,
+}
+
+impl Grid3 {
+    /// Creates a grid; all dimensions must be positive.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Grid3 {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        Grid3 { nx, ny, nz }
+    }
+
+    /// A cubic grid.
+    pub fn cube(n: usize) -> Grid3 {
+        Grid3::new(n, n, n)
+    }
+
+    /// Total number of points.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Whether the grid has no points (never true — dimensions are positive).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Linear index of point `(x, y, z)`.
+    #[inline(always)]
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        x + self.nx * (y + self.ny * z)
+    }
+
+    /// Coordinates of linear index `g`.
+    #[inline(always)]
+    pub fn coords(&self, g: usize) -> (usize, usize, usize) {
+        debug_assert!(g < self.len());
+        (g % self.nx, (g / self.nx) % self.ny, g / (self.nx * self.ny))
+    }
+
+    /// Visits the (up to 27, including the point itself) stencil neighbors
+    /// of `g` in increasing linear-index order.
+    ///
+    /// The order is increasing because the offsets enumerate `dz`, `dy`,
+    /// `dx` from −1 to 1 in the same nesting as the linear index — which is
+    /// what lets the problem generator emit CSR rows directly.
+    #[inline]
+    pub fn for_each_stencil_neighbor(&self, g: usize, mut f: impl FnMut(usize)) {
+        let (x, y, z) = self.coords(g);
+        for dz in -1i64..=1 {
+            let zz = z as i64 + dz;
+            if zz < 0 || zz >= self.nz as i64 {
+                continue;
+            }
+            for dy in -1i64..=1 {
+                let yy = y as i64 + dy;
+                if yy < 0 || yy >= self.ny as i64 {
+                    continue;
+                }
+                for dx in -1i64..=1 {
+                    let xx = x as i64 + dx;
+                    if xx < 0 || xx >= self.nx as i64 {
+                        continue;
+                    }
+                    f(self.index(xx as usize, yy as usize, zz as usize));
+                }
+            }
+        }
+    }
+
+    /// Number of stencil neighbors of `g`, itself included (8..=27).
+    pub fn stencil_size(&self, g: usize) -> usize {
+        let (x, y, z) = self.coords(g);
+        let span = |c: usize, n: usize| -> usize {
+            let lo = if c == 0 { 0 } else { 1 };
+            let hi = if c + 1 == n { 0 } else { 1 };
+            1 + lo + hi
+        };
+        span(x, self.nx) * span(y, self.ny) * span(z, self.nz)
+    }
+
+    /// Whether the grid can coarsen by 2 in every dimension (§II-F).
+    pub fn coarsenable(&self) -> bool {
+        self.nx.is_multiple_of(2) && self.ny.is_multiple_of(2) && self.nz.is_multiple_of(2) && self.nx >= 2 && self.ny >= 2 && self.nz >= 2
+    }
+
+    /// The coarse grid of half the points per dimension.
+    ///
+    /// Panics if not [`Grid3::coarsenable`].
+    pub fn coarsen(&self) -> Grid3 {
+        assert!(self.coarsenable(), "grid {self:?} cannot coarsen by 2");
+        Grid3::new(self.nx / 2, self.ny / 2, self.nz / 2)
+    }
+
+    /// The fine-grid index corresponding to coarse point `gc` under HPCG's
+    /// straight injection: the lowest-coordinate point of the octet.
+    pub fn fine_index_of_coarse(&self, coarse: Grid3, gc: usize) -> usize {
+        let (cx, cy, cz) = coarse.coords(gc);
+        self.index(2 * cx, 2 * cy, 2 * cz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let g = Grid3::new(4, 5, 6);
+        for i in 0..g.len() {
+            let (x, y, z) = g.coords(i);
+            assert_eq!(g.index(x, y, z), i);
+        }
+    }
+
+    #[test]
+    fn stencil_sizes() {
+        let g = Grid3::cube(4);
+        // Corner: 2*2*2 = 8; edge: 2*2*3 = 12; face: 2*3*3 = 18; interior: 27.
+        assert_eq!(g.stencil_size(g.index(0, 0, 0)), 8);
+        assert_eq!(g.stencil_size(g.index(1, 0, 0)), 12);
+        assert_eq!(g.stencil_size(g.index(1, 1, 0)), 18);
+        assert_eq!(g.stencil_size(g.index(1, 1, 1)), 27);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_counted() {
+        let g = Grid3::cube(5);
+        for i in 0..g.len() {
+            let mut prev = None;
+            let mut count = 0;
+            g.for_each_stencil_neighbor(i, |j| {
+                if let Some(p) = prev {
+                    assert!(j > p, "neighbors must come out strictly increasing");
+                }
+                prev = Some(j);
+                count += 1;
+            });
+            assert_eq!(count, g.stencil_size(i));
+        }
+    }
+
+    #[test]
+    fn neighbors_include_self_and_are_adjacent() {
+        let g = Grid3::new(3, 4, 5);
+        let center = g.index(1, 2, 2);
+        let mut saw_self = false;
+        g.for_each_stencil_neighbor(center, |j| {
+            if j == center {
+                saw_self = true;
+            }
+            let (x1, y1, z1) = g.coords(center);
+            let (x2, y2, z2) = g.coords(j);
+            assert!(x1.abs_diff(x2) <= 1 && y1.abs_diff(y2) <= 1 && z1.abs_diff(z2) <= 1);
+        });
+        assert!(saw_self);
+    }
+
+    #[test]
+    fn coarsening() {
+        let g = Grid3::new(16, 8, 4);
+        assert!(g.coarsenable());
+        let c = g.coarsen();
+        assert_eq!(c, Grid3::new(8, 4, 2));
+        assert!(!Grid3::new(3, 4, 4).coarsenable());
+        assert!(!Grid3::new(2, 2, 2).coarsen().coarsenable(), "1-point dims stop coarsening");
+    }
+
+    #[test]
+    fn injection_map_hits_even_coordinates() {
+        let fine = Grid3::cube(8);
+        let coarse = fine.coarsen();
+        for gc in 0..coarse.len() {
+            let gf = fine.fine_index_of_coarse(coarse, gc);
+            let (x, y, z) = fine.coords(gf);
+            assert_eq!((x % 2, y % 2, z % 2), (0, 0, 0));
+        }
+        // Injection is injective and increasing in gc.
+        let maps: Vec<usize> =
+            (0..coarse.len()).map(|gc| fine.fine_index_of_coarse(coarse, gc)).collect();
+        assert!(maps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        let _ = Grid3::new(0, 1, 1);
+    }
+}

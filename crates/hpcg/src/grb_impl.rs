@@ -1,0 +1,255 @@
+//! **ALP**: HPCG on GraphBLAS (paper §IV).
+//!
+//! Every kernel is a GraphBLAS primitive over opaque containers:
+//!
+//! | HPCG kernel | GraphBLAS realization |
+//! |-------------|----------------------|
+//! | `spmv` | `mxv` over `(+, ×)` |
+//! | `dot` / norms | `dot` over `(+, ×)` |
+//! | `waxpby` | dedicated fused element-wise kernel |
+//! | SGS smoother | RBGS: masked structural `mxv` + masked `eWiseLambda` per color (Listing 3) |
+//! | restriction | `mxv` with the materialized `n/8 × n` matrix (§III-B) |
+//! | refinement | accumulating `mxv` with the **transpose descriptor** on the same matrix — no materialized transpose (§IV) |
+//!
+//! The backend type parameter `B` selects sequential or shared-memory
+//! parallel execution, the analogue of ALP's compile-time backend choice.
+
+use crate::kernels::Kernels;
+use crate::problem::Problem;
+use crate::smoother::rbgs_grb;
+use crate::timers::{Kernel, KernelTimers};
+use graphblas::{
+    axpy_in_place, dot, ewise_lambda, mxv, mxv_accum, waxpby, Backend, Descriptor, PlusTimes,
+    Vector,
+};
+use std::marker::PhantomData;
+
+/// The GraphBLAS-based HPCG implementation.
+pub struct GrbHpcg<B: Backend> {
+    problem: Problem,
+    /// Per-level workspace for the RBGS `tmp` buffer (Listing 3 line 7).
+    tmp: Vec<Vector<f64>>,
+    timers: KernelTimers,
+    _backend: PhantomData<B>,
+}
+
+impl<B: Backend> GrbHpcg<B> {
+    /// Wraps a generated problem.
+    pub fn new(problem: Problem) -> GrbHpcg<B> {
+        let tmp = problem.levels.iter().map(|l| Vector::zeros(l.n())).collect();
+        let timers = KernelTimers::new(problem.levels.len());
+        GrbHpcg { problem, tmp, timers, _backend: PhantomData }
+    }
+
+    /// The underlying problem (levels, rhs).
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Consumes self, returning the problem.
+    pub fn into_problem(self) -> Problem {
+        self.problem
+    }
+}
+
+impl<B: Backend> Kernels for GrbHpcg<B> {
+    type V = Vector<f64>;
+
+    fn levels(&self) -> usize {
+        self.problem.levels.len()
+    }
+
+    fn n_at(&self, level: usize) -> usize {
+        self.problem.levels[level].n()
+    }
+
+    fn alloc(&self, level: usize) -> Vector<f64> {
+        Vector::zeros(self.problem.levels[level].n())
+    }
+
+    fn set_zero(&mut self, _level: usize, v: &mut Vector<f64>) {
+        v.clear();
+    }
+
+    fn copy(&mut self, _level: usize, src: &Vector<f64>, dst: &mut Vector<f64>) {
+        dst.as_mut_slice().copy_from_slice(src.as_slice());
+    }
+
+    fn spmv(&mut self, level: usize, y: &mut Vector<f64>, x: &Vector<f64>) {
+        let a = &self.problem.levels[level].a;
+        self.timers.time(level, Kernel::SpMV, || {
+            mxv::<f64, PlusTimes, B>(y, None, Descriptor::DEFAULT, a, x, PlusTimes)
+                .expect("spmv dimensions fixed at setup");
+        });
+    }
+
+    fn dot(&mut self, level: usize, x: &Vector<f64>, y: &Vector<f64>) -> f64 {
+        self.timers.time(level, Kernel::Dot, || {
+            dot::<f64, PlusTimes, B>(x, y, PlusTimes).expect("dot dimensions fixed at setup")
+        })
+    }
+
+    fn waxpby(
+        &mut self,
+        level: usize,
+        w: &mut Vector<f64>,
+        alpha: f64,
+        x: &Vector<f64>,
+        beta: f64,
+        y: &Vector<f64>,
+    ) {
+        self.timers.time(level, Kernel::Waxpby, || {
+            waxpby::<f64, B>(w, alpha, x, beta, y).expect("waxpby dimensions fixed at setup");
+        });
+    }
+
+    fn axpy(&mut self, level: usize, x: &mut Vector<f64>, alpha: f64, y: &Vector<f64>) {
+        self.timers.time(level, Kernel::Waxpby, || {
+            axpy_in_place::<f64, B>(x, alpha, y).expect("axpy dimensions fixed at setup");
+        });
+    }
+
+    fn xpay(&mut self, level: usize, p: &mut Vector<f64>, beta: f64, z: &Vector<f64>) {
+        let zs = z.as_slice();
+        self.timers.time(level, Kernel::Waxpby, || {
+            ewise_lambda::<f64, B, _>(p, None, Descriptor::DEFAULT, |i, pi| {
+                *pi = zs[i] + beta * *pi;
+            })
+            .expect("xpay dimensions fixed at setup");
+        });
+    }
+
+    fn sub_reverse(&mut self, level: usize, w: &mut Vector<f64>, r: &Vector<f64>) {
+        let rs = r.as_slice();
+        self.timers.time(level, Kernel::Waxpby, || {
+            ewise_lambda::<f64, B, _>(w, None, Descriptor::DEFAULT, |i, wi| {
+                *wi = rs[i] - *wi;
+            })
+            .expect("sub dimensions fixed at setup");
+        });
+    }
+
+    fn smooth(&mut self, level: usize, x: &mut Vector<f64>, r: &Vector<f64>) {
+        let l = &self.problem.levels[level];
+        let tmp = &mut self.tmp[level];
+        self.timers.time(level, Kernel::Smoother, || {
+            rbgs_grb::rbgs_symmetric::<B>(&l.a, &l.a_diag, &l.color_masks, r, x, tmp)
+                .expect("smoother dimensions fixed at setup");
+        });
+    }
+
+    fn restrict_to(&mut self, level: usize, rc: &mut Vector<f64>, rf: &Vector<f64>) {
+        let r = self.problem.levels[level]
+            .restriction
+            .as_ref()
+            .expect("restrict_to called on a level with a coarser system");
+        self.timers.time(level, Kernel::RestrictRefine, || {
+            mxv::<f64, PlusTimes, B>(rc, None, Descriptor::DEFAULT, r, rf, PlusTimes)
+                .expect("restriction dimensions fixed at setup");
+        });
+    }
+
+    fn prolong_add(&mut self, level: usize, zf: &mut Vector<f64>, zc: &Vector<f64>) {
+        let r = self.problem.levels[level]
+            .restriction
+            .as_ref()
+            .expect("prolong_add called on a level with a coarser system");
+        self.timers.time(level, Kernel::RestrictRefine, || {
+            mxv_accum::<f64, PlusTimes, B>(zf, None, Descriptor::TRANSPOSE, r, zc, PlusTimes)
+                .expect("refinement dimensions fixed at setup");
+        });
+    }
+
+    fn timers_mut(&mut self) -> &mut KernelTimers {
+        &mut self.timers
+    }
+
+    fn timers(&self) -> &KernelTimers {
+        &self.timers
+    }
+
+    fn name(&self) -> &'static str {
+        "ALP (GraphBLAS)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Grid3;
+    use crate::problem::RhsVariant;
+    use graphblas::Sequential;
+
+    fn make() -> GrbHpcg<Sequential> {
+        let p = Problem::build_with(Grid3::cube(8), 2, RhsVariant::Reference).unwrap();
+        GrbHpcg::new(p)
+    }
+
+    #[test]
+    fn kernel_shapes() {
+        let mut k = make();
+        assert_eq!(k.levels(), 2);
+        assert_eq!(k.n_at(0), 512);
+        assert_eq!(k.n_at(1), 64);
+        let x = k.alloc(0);
+        assert_eq!(x.len(), 512);
+        let mut rc = k.alloc(1);
+        let rf = Vector::filled(512, 1.0);
+        k.restrict_to(0, &mut rc, &rf);
+        assert!(rc.as_slice().iter().all(|&v| v == 1.0), "injection of constant is constant");
+    }
+
+    #[test]
+    fn prolong_add_accumulates() {
+        let mut k = make();
+        let zc = Vector::filled(64, 2.0);
+        let mut zf = Vector::filled(512, 1.0);
+        k.prolong_add(0, &mut zf, &zc);
+        // Injected positions became 3, the rest stayed 1.
+        let f2c = &k.problem().levels[0].f2c.clone();
+        let zs = zf.as_slice();
+        let mut injected = 0;
+        for (i, &v) in zs.iter().enumerate() {
+            if f2c.contains(&(i as u32)) {
+                assert_eq!(v, 3.0);
+                injected += 1;
+            } else {
+                assert_eq!(v, 1.0);
+            }
+        }
+        assert_eq!(injected, 64);
+    }
+
+    #[test]
+    fn timers_attribute_to_cells() {
+        let mut k = make();
+        let x = Vector::filled(512, 1.0);
+        let mut y = k.alloc(0);
+        k.spmv(0, &mut y, &x);
+        let r1 = k.alloc(1);
+        let mut z1 = k.alloc(1);
+        k.smooth(1, &mut z1, &r1);
+        assert!(k.timers().secs(0, Kernel::SpMV) > 0.0);
+        assert!(k.timers().secs(1, Kernel::Smoother) > 0.0);
+        assert_eq!(k.timers().secs(0, Kernel::Smoother), 0.0);
+        assert_eq!(k.timers().secs(1, Kernel::SpMV), 0.0);
+    }
+
+    #[test]
+    fn vector_ops() {
+        let mut k = make();
+        let x = Vector::filled(512, 2.0);
+        let y = Vector::filled(512, 3.0);
+        let mut w = k.alloc(0);
+        k.waxpby(0, &mut w, 2.0, &x, 1.0, &y);
+        assert!(w.as_slice().iter().all(|&v| v == 7.0));
+        k.axpy(0, &mut w, -1.0, &y);
+        assert!(w.as_slice().iter().all(|&v| v == 4.0));
+        k.xpay(0, &mut w, 0.5, &x);
+        assert!(w.as_slice().iter().all(|&v| v == 4.0), "2 + 0.5*4 = 4");
+        let d = k.dot(0, &x, &y);
+        assert_eq!(d, 512.0 * 6.0);
+        k.sub_reverse(0, &mut w, &x);
+        assert!(w.as_slice().iter().all(|&v| v == -2.0));
+    }
+}

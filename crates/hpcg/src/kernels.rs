@@ -1,0 +1,79 @@
+//! The kernel interface both HPCG implementations provide.
+//!
+//! The paper builds HPCG twice — once on GraphBLAS (ALP), once in the
+//! reference code base (Ref) — but the *solver logic* (CG iteration, MG
+//! V-cycle, Listing 1) is identical. [`Kernels`] captures exactly the
+//! operations that logic needs; [`crate::cg`] and [`crate::mg`] are written
+//! once against it, and [`crate::grb_impl::GrbHpcg`] /
+//! [`crate::ref_impl::RefHpcg`] plug in their own containers and kernels.
+//!
+//! Every method carries the multigrid `level` it operates at so
+//! implementations can attribute time to the right cell of the breakdown
+//! figures (Figs 4-7).
+
+use crate::timers::KernelTimers;
+
+/// The operations HPCG's solvers require of an implementation.
+pub trait Kernels {
+    /// The vector container of this implementation.
+    type V: Clone + Send;
+
+    /// Number of multigrid levels.
+    fn levels(&self) -> usize;
+
+    /// Unknowns at `level` (0 = finest).
+    fn n_at(&self, level: usize) -> usize;
+
+    /// A zero vector sized for `level`.
+    fn alloc(&self, level: usize) -> Self::V;
+
+    /// Zeroes `v` (sized for `level`).
+    fn set_zero(&mut self, level: usize, v: &mut Self::V);
+
+    /// `dst ← src` (both sized for `level`).
+    fn copy(&mut self, level: usize, src: &Self::V, dst: &mut Self::V);
+
+    /// `y ← A_level · x`.
+    fn spmv(&mut self, level: usize, y: &mut Self::V, x: &Self::V);
+
+    /// `⟨x, y⟩`.
+    fn dot(&mut self, level: usize, x: &Self::V, y: &Self::V) -> f64;
+
+    /// `w ← α·x + β·y`.
+    fn waxpby(
+        &mut self,
+        level: usize,
+        w: &mut Self::V,
+        alpha: f64,
+        x: &Self::V,
+        beta: f64,
+        y: &Self::V,
+    );
+
+    /// `x ← x + α·y`.
+    fn axpy(&mut self, level: usize, x: &mut Self::V, alpha: f64, y: &Self::V);
+
+    /// `p ← z + β·p` (CG's search-direction update, in place).
+    fn xpay(&mut self, level: usize, p: &mut Self::V, beta: f64, z: &Self::V);
+
+    /// `w ← r − w` (used to form the MG residual in place).
+    fn sub_reverse(&mut self, level: usize, w: &mut Self::V, r: &Self::V);
+
+    /// One symmetric smoother sweep on `A_level·x = r`, updating `x`.
+    fn smooth(&mut self, level: usize, x: &mut Self::V, r: &Self::V);
+
+    /// Restriction: `rc ← R_level · rf`, `rc` sized for `level + 1`.
+    fn restrict_to(&mut self, level: usize, rc: &mut Self::V, rf: &Self::V);
+
+    /// Prolongation-and-add: `zf ← zf + R_levelᵀ · zc` (refinement, §II-F).
+    fn prolong_add(&mut self, level: usize, zf: &mut Self::V, zc: &Self::V);
+
+    /// The timing sink.
+    fn timers_mut(&mut self) -> &mut KernelTimers;
+
+    /// Read access to accumulated timings.
+    fn timers(&self) -> &KernelTimers;
+
+    /// Implementation name for reports.
+    fn name(&self) -> &'static str;
+}

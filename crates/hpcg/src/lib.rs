@@ -1,0 +1,69 @@
+//! The HPCG benchmark on GraphBLAS — core library.
+//!
+//! Reproduction of *"Effective implementation of the High Performance
+//! Conjugate Gradient benchmark on GraphBLAS"* (Scolari & Yzelman, IPDPS
+//! 2023). The crate provides **two complete HPCG implementations** over the
+//! same generated problem:
+//!
+//! * [`grb_impl::GrbHpcg`] — "**ALP**": every kernel is a GraphBLAS
+//!   primitive on opaque containers (masked `mxv`, `eWiseLambda`,
+//!   transpose-descriptor refinement), generic over the execution backend;
+//! * [`ref_impl::RefHpcg`] — "**Ref**": the reference style, direct CSR
+//!   array access, index-array grid transfers, rayon loops.
+//!
+//! Both plug into the same solver logic ([`cg`], [`mg`]) through the
+//! [`kernels::Kernels`] trait, both pass the HPCG symmetry/convergence
+//! validation ([`validation`]), and both run distributed on the simulated
+//! BSP cluster ([`distributed`]) under their respective data distributions
+//! (1D block-cyclic vs 3D geometric halo).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hpcg::geometry::Grid3;
+//! use hpcg::problem::Problem;
+//! use hpcg::grb_impl::GrbHpcg;
+//! use hpcg::driver::{run_with_rhs, flops_per_iteration, RunConfig};
+//! use graphblas::Parallel;
+//!
+//! let problem = Problem::build_with(
+//!     Grid3::cube(16), 4, hpcg::problem::RhsVariant::Reference).unwrap();
+//! let flops = flops_per_iteration(&problem);
+//! let b = problem.b.clone();
+//! let mut alp = GrbHpcg::<Parallel>::new(problem);
+//! let (report, cg) = run_with_rhs(&mut alp, &b, flops, RunConfig { iterations: 10, preconditioned: true });
+//! assert!(cg.relative_residual < 1e-3);
+//! println!("{} did {} iterations at {:.2} GFLOP/s", report.name, report.iterations, report.gflops);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod cg;
+pub mod coloring;
+pub mod distributed;
+pub mod driver;
+pub mod fused;
+pub mod geometry;
+pub mod grb_impl;
+pub mod kernels;
+pub mod mg;
+pub mod problem;
+pub mod ref_impl;
+pub mod reporting;
+pub mod smoother;
+pub mod timers;
+pub mod validation;
+pub(crate) mod util;
+
+pub use cg::{cg_solve, CgResult, CgWorkspace};
+pub use driver::{bytes_per_iteration, flops_per_iteration, run_with_rhs, RunConfig, RunReport};
+pub use geometry::Grid3;
+pub use grb_impl::GrbHpcg;
+pub use kernels::Kernels;
+pub use mg::{mg_precondition, MgWorkspace};
+pub use problem::{Problem, RhsVariant};
+pub use ref_impl::RefHpcg;
+pub use reporting::{render_report, FlopBreakdown};
+pub use timers::{Kernel, KernelTimers};
+pub use validation::{validate, ValidationReport};

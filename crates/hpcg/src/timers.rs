@@ -1,0 +1,183 @@
+//! Kernel timing instrumentation for the breakdown figures.
+//!
+//! Figures 4-7 of the paper report, per multigrid level, the percentage of
+//! total execution time spent in the RBGS smoother and in
+//! restriction/refinement. [`KernelTimers`] accumulates wall-clock per
+//! `(level, kernel)` cell; the breakdown harnesses query it after a run.
+
+use std::time::Instant;
+
+/// The kernels HPCG's breakdown distinguishes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Gauss-Seidel smoother sweeps (SGS or RBGS).
+    Smoother,
+    /// Restriction + refinement (grid transfer).
+    RestrictRefine,
+    /// Sparse matrix–vector products (both CG's and MG's residual spmv).
+    SpMV,
+    /// Dot products.
+    Dot,
+    /// Vector updates (waxpby / axpy).
+    Waxpby,
+}
+
+/// All kernels, for iteration in reports.
+pub const ALL_KERNELS: [Kernel; 5] =
+    [Kernel::Smoother, Kernel::RestrictRefine, Kernel::SpMV, Kernel::Dot, Kernel::Waxpby];
+
+/// Accumulated seconds per `(mg level, kernel)` cell.
+///
+/// Level `0` is the finest grid. Kernel time at a level excludes coarser
+/// levels (matching the paper's "runtime in a given level does not include
+/// coarser levels", §V-C) because each call is timed at its own level.
+#[derive(Clone, Debug)]
+pub struct KernelTimers {
+    levels: usize,
+    /// `secs[level][kernel as usize]`.
+    secs: Vec<[f64; 5]>,
+    run_start: Option<Instant>,
+    total_secs: f64,
+}
+
+fn kernel_slot(k: Kernel) -> usize {
+    match k {
+        Kernel::Smoother => 0,
+        Kernel::RestrictRefine => 1,
+        Kernel::SpMV => 2,
+        Kernel::Dot => 3,
+        Kernel::Waxpby => 4,
+    }
+}
+
+impl KernelTimers {
+    /// Timers for a hierarchy of `levels` grids.
+    pub fn new(levels: usize) -> KernelTimers {
+        KernelTimers { levels, secs: vec![[0.0; 5]; levels], run_start: None, total_secs: 0.0 }
+    }
+
+    /// Number of levels tracked.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Times `f`, charging its duration to `(level, kernel)`, and returns
+    /// its result.
+    #[inline]
+    pub fn time<R>(&mut self, level: usize, kernel: Kernel, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        self.secs[level][kernel_slot(kernel)] += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    /// Adds externally measured seconds to a cell (used by the distributed
+    /// simulator, whose "time" is modeled rather than measured).
+    pub fn add_secs(&mut self, level: usize, kernel: Kernel, secs: f64) {
+        self.secs[level][kernel_slot(kernel)] += secs;
+    }
+
+    /// Marks the start of a whole benchmark run.
+    pub fn start_run(&mut self) {
+        self.run_start = Some(Instant::now());
+    }
+
+    /// Marks the end of a run, accumulating total wall-clock.
+    pub fn end_run(&mut self) {
+        if let Some(t0) = self.run_start.take() {
+            self.total_secs += t0.elapsed().as_secs_f64();
+        }
+    }
+
+    /// Sets the run total directly (modeled-time runs).
+    pub fn set_total_secs(&mut self, secs: f64) {
+        self.total_secs = secs;
+    }
+
+    /// Total run seconds (measured via start/end or set directly).
+    pub fn total_secs(&self) -> f64 {
+        self.total_secs
+    }
+
+    /// Seconds accumulated in `(level, kernel)`.
+    pub fn secs(&self, level: usize, kernel: Kernel) -> f64 {
+        self.secs[level][kernel_slot(kernel)]
+    }
+
+    /// Seconds in `kernel` summed over all levels.
+    pub fn secs_all_levels(&self, kernel: Kernel) -> f64 {
+        (0..self.levels).map(|l| self.secs(l, kernel)).sum()
+    }
+
+    /// Percentage of total run time in `(level, kernel)` — the bar heights
+    /// of Figs 4-7.
+    pub fn percent(&self, level: usize, kernel: Kernel) -> f64 {
+        if self.total_secs <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.secs(level, kernel) / self.total_secs
+        }
+    }
+
+    /// Resets every cell and the total.
+    pub fn reset(&mut self) {
+        self.secs.iter_mut().for_each(|row| *row = [0.0; 5]);
+        self.total_secs = 0.0;
+        self.run_start = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_cell() {
+        let mut t = KernelTimers::new(2);
+        let v = t.time(0, Kernel::Smoother, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(t.secs(0, Kernel::Smoother) > 0.0);
+        assert_eq!(t.secs(1, Kernel::Smoother), 0.0);
+        assert_eq!(t.secs(0, Kernel::Dot), 0.0);
+    }
+
+    #[test]
+    fn add_secs_and_percent() {
+        let mut t = KernelTimers::new(3);
+        t.add_secs(0, Kernel::Smoother, 0.5);
+        t.add_secs(1, Kernel::RestrictRefine, 0.25);
+        t.set_total_secs(1.0);
+        assert_eq!(t.percent(0, Kernel::Smoother), 50.0);
+        assert_eq!(t.percent(1, Kernel::RestrictRefine), 25.0);
+        assert_eq!(t.percent(2, Kernel::Smoother), 0.0);
+        assert_eq!(t.secs_all_levels(Kernel::Smoother), 0.5);
+    }
+
+    #[test]
+    fn run_total_measured() {
+        let mut t = KernelTimers::new(1);
+        t.start_run();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.end_run();
+        assert!(t.total_secs() >= 0.002);
+    }
+
+    #[test]
+    fn percent_zero_total_is_zero() {
+        let t = KernelTimers::new(1);
+        assert_eq!(t.percent(0, Kernel::Smoother), 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut t = KernelTimers::new(1);
+        t.add_secs(0, Kernel::Dot, 1.0);
+        t.set_total_secs(2.0);
+        t.reset();
+        assert_eq!(t.secs(0, Kernel::Dot), 0.0);
+        assert_eq!(t.total_secs(), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Internal utilities for the reference (non-GraphBLAS) implementation.
+
+use std::cell::UnsafeCell;
+
+/// A `Sync` view over a mutable slice allowing concurrent writes to
+/// disjoint indices — the reference implementation's equivalent of an
+/// OpenMP `parallel for` over an output array.
+///
+/// # Safety
+///
+/// Callers must never access the same index from two threads in one
+/// parallel region. The RBGS sweeps satisfy this by construction: a color
+/// class is a set of distinct indices.
+pub(crate) struct SyncSlice<'a, T> {
+    slice: &'a [UnsafeCell<T>],
+}
+
+unsafe impl<T: Send + Sync> Sync for SyncSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Send for SyncSlice<'_, T> {}
+
+impl<'a, T> SyncSlice<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: identical layout; unique borrow held for 'a.
+        let ptr = slice as *mut [T] as *const [UnsafeCell<T>];
+        Self { slice: unsafe { &*ptr } }
+    }
+
+    /// # Safety
+    /// `i` in bounds and not concurrently accessed.
+    #[inline(always)]
+    pub(crate) unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.slice.len());
+        unsafe { *self.slice.get_unchecked(i).get() = value }
+    }
+
+    /// # Safety
+    /// `i` in bounds and not concurrently accessed.
+    #[inline(always)]
+    pub(crate) unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.slice.len());
+        unsafe { *self.slice.get_unchecked(i).get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut data = vec![0.0f64; 8];
+        {
+            let s = SyncSlice::new(&mut data);
+            unsafe {
+                s.write(3, 1.5);
+                assert_eq!(s.read(3), 1.5);
+            }
+        }
+        assert_eq!(data[3], 1.5);
+    }
+}

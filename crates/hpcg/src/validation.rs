@@ -1,0 +1,159 @@
+//! HPCG-style validation tests (paper §III-A).
+//!
+//! HPCG's technical specification allows replacing the smoother **only if
+//! the replacement passes the internal symmetry test**: the preconditioner
+//! `M` must satisfy `⟨x, M·y⟩ = ⟨M·x, y⟩` (up to rounding), which RBGS does
+//! because its forward and backward passes walk mirror-image schedules.
+//! This module implements that test plus the spectral/convergence checks
+//! the benchmark performs before timing.
+
+use crate::cg::{cg_solve, CgWorkspace};
+use crate::kernels::Kernels;
+use crate::mg::{mg_precondition, MgWorkspace};
+
+/// The outcome of the validation suite.
+#[derive(Clone, Debug)]
+pub struct ValidationReport {
+    /// Relative symmetry defect of the spmv: `|x'Ay − y'Ax| / ‖A‖-scale`.
+    pub spmv_symmetry_defect: f64,
+    /// Relative symmetry defect of the MG preconditioner.
+    pub mg_symmetry_defect: f64,
+    /// Iterations preconditioned CG took to 1e-8 relative residual.
+    pub pcg_iterations: usize,
+    /// Iterations unpreconditioned CG took (must be more).
+    pub plain_cg_iterations: usize,
+    /// Whether all checks passed.
+    pub passed: bool,
+}
+
+/// Tolerance on the relative symmetry defects (HPCG uses a comparable
+/// rounding-scaled bound).
+pub const SYMMETRY_TOL: f64 = 1e-10;
+
+/// Deterministic pseudo-random vector in `[-0.5, 0.5)`, the probe vectors
+/// of the symmetry test (fixed seed → reproducible validation).
+fn probe_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    (0..n)
+        .map(|_| {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545F4914F6CDD1D);
+            (r >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+/// Fills an implementation vector from a dense slice.
+fn fill_from<K: Kernels>(k: &mut K, level: usize, data: &[f64]) -> K::V
+where
+    K::V: AsMut<[f64]>,
+{
+    let mut v = k.alloc(level);
+    v.as_mut().copy_from_slice(data);
+    v
+}
+
+/// Runs the full validation suite against implementation `k` with
+/// right-hand side `b`.
+///
+/// Requires `K::V: AsMut<[f64]>` to inject probe vectors — both provided
+/// implementations satisfy it.
+pub fn validate<K: Kernels>(k: &mut K, b: &K::V, max_iters: usize) -> ValidationReport
+where
+    K::V: AsMut<[f64]>,
+{
+    let n = k.n_at(0);
+    let xp = probe_vector(n, 1);
+    let yp = probe_vector(n, 2);
+    let x = fill_from(k, 0, &xp);
+    let y = fill_from(k, 0, &yp);
+
+    // Symmetry of A: x'(Ay) == y'(Ax).
+    let mut ax = k.alloc(0);
+    let mut ay = k.alloc(0);
+    k.spmv(0, &mut ax, &x);
+    k.spmv(0, &mut ay, &y);
+    let xtay = k.dot(0, &x, &ay);
+    let ytax = k.dot(0, &y, &ax);
+    let scale_a = xtay.abs().max(ytax.abs()).max(1e-300);
+    let spmv_defect = (xtay - ytax).abs() / scale_a;
+
+    // Symmetry of the MG preconditioner: x'(My) == y'(Mx).
+    let mut mg_ws = MgWorkspace::new(k);
+    let mut mx = k.alloc(0);
+    let mut my = k.alloc(0);
+    mg_precondition(k, &mut mg_ws, &x, &mut mx);
+    mg_precondition(k, &mut mg_ws, &y, &mut my);
+    let xtmy = k.dot(0, &x, &my);
+    let ytmx = k.dot(0, &y, &mx);
+    let scale_m = xtmy.abs().max(ytmx.abs()).max(1e-300);
+    let mg_defect = (xtmy - ytmx).abs() / scale_m;
+
+    // Convergence: preconditioned CG must beat plain CG to 1e-8.
+    let mut cg_ws = CgWorkspace::new(k);
+    let mut x0 = k.alloc(0);
+    let pcg = cg_solve(k, &mut cg_ws, &mut mg_ws, b, &mut x0, max_iters, 1e-8, true);
+    let mut x1 = k.alloc(0);
+    let plain = cg_solve(k, &mut cg_ws, &mut mg_ws, b, &mut x1, max_iters, 1e-8, false);
+
+    let passed = spmv_defect < SYMMETRY_TOL
+        && mg_defect < SYMMETRY_TOL
+        && pcg.relative_residual <= 1e-8
+        && pcg.iterations < plain.iterations;
+
+    ValidationReport {
+        spmv_symmetry_defect: spmv_defect,
+        mg_symmetry_defect: mg_defect,
+        pcg_iterations: pcg.iterations,
+        plain_cg_iterations: plain.iterations,
+        passed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Grid3;
+    use crate::grb_impl::GrbHpcg;
+    use crate::problem::{Problem, RhsVariant};
+    use crate::ref_impl::RefHpcg;
+    use graphblas::Sequential;
+
+    #[test]
+    fn grb_implementation_passes_validation() {
+        let p = Problem::build_with(Grid3::cube(16), 4, RhsVariant::Reference).unwrap();
+        let b = p.b.clone();
+        let mut k = GrbHpcg::<Sequential>::new(p);
+        let report = validate(&mut k, &b, 500);
+        assert!(
+            report.passed,
+            "validation failed: {report:?}"
+        );
+        assert!(report.spmv_symmetry_defect < SYMMETRY_TOL);
+        assert!(report.mg_symmetry_defect < SYMMETRY_TOL);
+    }
+
+    #[test]
+    fn ref_implementation_passes_validation() {
+        let p = Problem::build_with(Grid3::cube(16), 4, RhsVariant::Reference).unwrap();
+        let b = p.b.as_slice().to_vec();
+        let mut k = RefHpcg::new(p);
+        let report = validate(&mut k, &b, 500);
+        assert!(report.passed, "validation failed: {report:?}");
+    }
+
+    #[test]
+    fn probe_vectors_are_deterministic_and_distinct() {
+        let a = probe_vector(100, 1);
+        let b = probe_vector(100, 1);
+        let c = probe_vector(100, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&v| (-0.5..0.5).contains(&v)));
+        // Not constant.
+        assert!(a.iter().any(|&v| (v - a[0]).abs() > 1e-3));
+    }
+}

@@ -1,0 +1,90 @@
+//! Quickstart: generate an HPCG problem, run both implementations, and
+//! validate them — the five-minute tour of the library.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use graphblas::{LinearOperator, Parallel};
+use hpcg::driver::{flops_per_iteration, run_with_rhs, RunConfig};
+use hpcg::{validate, Grid3, GrbHpcg, Kernels, Problem, RefHpcg, RhsVariant};
+
+fn main() {
+    // 1. Generate the benchmark problem: a 32³ grid, 4 multigrid levels,
+    //    27-point stencil, rhs whose exact solution is the ones vector.
+    let grid = Grid3::cube(32);
+    let problem = Problem::build_with(grid, 4, RhsVariant::Reference).expect("32 is divisible by 8");
+    println!(
+        "problem: {}x{}x{} grid, n = {}, nnz = {} over {} levels",
+        grid.nx,
+        grid.ny,
+        grid.nz,
+        problem.n(),
+        problem.total_nnz(),
+        problem.levels.len()
+    );
+    for l in &problem.levels {
+        println!(
+            "  level {:>2}: n = {:>7}, colors = {}, restriction = {}",
+            format!("{}³", l.grid.nx),
+            l.n(),
+            l.coloring.num_colors,
+            if l.has_coarse() { "materialized n/8 x n CSR" } else { "none (coarsest)" }
+        );
+    }
+
+    // 2. Run 25 preconditioned CG iterations through the GraphBLAS (ALP)
+    //    implementation on the parallel backend.
+    let flops = flops_per_iteration(&problem);
+    let config = RunConfig { iterations: 25, preconditioned: true };
+    let b = problem.b.clone();
+    let mut alp = GrbHpcg::<Parallel>::new(problem.clone());
+    let (report, cg) = run_with_rhs(&mut alp, &b, flops, config);
+    println!(
+        "\n{}: {} iterations in {:.3} s  ({:.2} GFLOP/s, residual {:.2e})",
+        report.name, report.iterations, report.total_secs, report.gflops, cg.relative_residual
+    );
+    println!(
+        "  smoother share {:.1} %, whole MG share {:.1} % (paper §V-C: >50 %, 80-90 %)",
+        100.0 * report.smoother_fraction(),
+        100.0 * report.mg_fraction()
+    );
+
+    // 3. Same through the reference implementation.
+    let b_vec = problem.b.as_slice().to_vec();
+    let mut reference = RefHpcg::new(problem.clone());
+    let (report_ref, cg_ref) = run_with_rhs(&mut reference, &b_vec, flops, config);
+    println!(
+        "{}: {} iterations in {:.3} s  ({:.2} GFLOP/s, residual {:.2e})",
+        report_ref.name,
+        report_ref.iterations,
+        report_ref.total_secs,
+        report_ref.gflops,
+        cg_ref.relative_residual
+    );
+
+    // 4. HPCG's validation suite: smoother symmetry + preconditioning gain.
+    let mut alp_v = GrbHpcg::<Parallel>::new(problem.clone());
+    let v = validate(&mut alp_v, &b, 200);
+    println!(
+        "\nvalidation: symmetry defects spmv {:.1e} / MG {:.1e}, PCG {} iters vs plain CG {} → {}",
+        v.spmv_symmetry_defect,
+        v.mg_symmetry_defect,
+        v.pcg_iterations,
+        v.plain_cg_iterations,
+        if v.passed { "PASSED" } else { "FAILED" }
+    );
+
+    // 5. The §VII-A storage trade-off: materialized restriction matrix vs
+    //    matrix-free injection operator.
+    let l0 = &problem.levels[0];
+    let csr_bytes = LinearOperator::<f64>::storage_bytes(l0.restriction.as_ref().unwrap());
+    let inj_bytes = LinearOperator::<f64>::storage_bytes(l0.injection.as_ref().unwrap());
+    println!(
+        "\nrestriction storage: materialized CSR {} KB vs matrix-free {} KB ({}x smaller)",
+        csr_bytes / 1024,
+        inj_bytes / 1024,
+        csr_bytes / inj_bytes.max(1)
+    );
+    let _ = alp.timers();
+}

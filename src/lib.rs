@@ -1,0 +1,4 @@
+//! Umbrella crate re-exporting the workspace's public API.
+pub use bsp;
+pub use graphblas;
+pub use hpcg;

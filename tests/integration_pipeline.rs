@@ -1,0 +1,180 @@
+//! Cross-crate integration tests: the full pipeline from problem
+//! generation through both HPCG implementations, shared-memory and
+//! distributed, checked against each other and against known solutions.
+
+use bsp::machine::MachineParams;
+use graphblas::{Parallel, Sequential};
+use hpcg::cg::{cg_solve, CgWorkspace};
+use hpcg::distributed::{run_distributed, AlpDistHpcg, RefDistHpcg};
+use hpcg::driver::{flops_per_iteration, run_with_rhs, RunConfig};
+use hpcg::mg::MgWorkspace;
+use hpcg::{validate, Grid3, GrbHpcg, Kernels, Problem, RefHpcg, RhsVariant};
+
+fn problem(cube: usize, levels: usize) -> Problem {
+    Problem::build_with(Grid3::cube(cube), levels, RhsVariant::Reference).unwrap()
+}
+
+#[test]
+fn end_to_end_alp_solves_to_ones() {
+    let p = problem(16, 4);
+    let b = p.b.clone();
+    let mut k = GrbHpcg::<Parallel>::new(p);
+    let mut cg_ws = CgWorkspace::new(&k);
+    let mut mg_ws = MgWorkspace::new(&k);
+    let mut x = k.alloc(0);
+    let res = cg_solve(&mut k, &mut cg_ws, &mut mg_ws, &b, &mut x, 100, 1e-10, true);
+    assert!(res.relative_residual <= 1e-10);
+    for &v in x.as_slice() {
+        assert!((v - 1.0).abs() < 1e-7);
+    }
+}
+
+#[test]
+fn end_to_end_ref_solves_to_ones() {
+    let p = problem(16, 4);
+    let b = p.b.as_slice().to_vec();
+    let mut k = RefHpcg::new(p);
+    let mut cg_ws = CgWorkspace::new(&k);
+    let mut mg_ws = MgWorkspace::new(&k);
+    let mut x = k.alloc(0);
+    let res = cg_solve(&mut k, &mut cg_ws, &mut mg_ws, &b, &mut x, 100, 1e-10, true);
+    assert!(res.relative_residual <= 1e-10);
+    for &v in &x {
+        assert!((v - 1.0).abs() < 1e-7);
+    }
+}
+
+#[test]
+fn alp_and_ref_residual_histories_agree() {
+    let p = problem(16, 3);
+    let flops = flops_per_iteration(&p);
+    let cfg = RunConfig { iterations: 15, preconditioned: true };
+
+    let b_grb = p.b.clone();
+    let mut alp = GrbHpcg::<Sequential>::new(p.clone());
+    let (_, cg_a) = run_with_rhs(&mut alp, &b_grb, flops, cfg);
+
+    let b_vec = p.b.as_slice().to_vec();
+    let mut reference = RefHpcg::new(p);
+    let (_, cg_r) = run_with_rhs(&mut reference, &b_vec, flops, cfg);
+
+    assert_eq!(cg_a.residual_history.len(), cg_r.residual_history.len());
+    for (a, r) in cg_a.residual_history.iter().zip(&cg_r.residual_history) {
+        assert!(((a - r) / r.abs().max(1e-300)).abs() < 1e-9, "{a} vs {r}");
+    }
+}
+
+#[test]
+fn parallel_and_sequential_backends_converge_alike() {
+    let p = problem(16, 3);
+    let flops = flops_per_iteration(&p);
+    let cfg = RunConfig { iterations: 10, preconditioned: true };
+    let b = p.b.clone();
+
+    let mut seq = GrbHpcg::<Sequential>::new(p.clone());
+    let (_, cg_s) = run_with_rhs(&mut seq, &b, flops, cfg);
+    let mut par = GrbHpcg::<Parallel>::new(p);
+    let (_, cg_p) = run_with_rhs(&mut par, &b, flops, cfg);
+
+    // Parallel dots re-associate, so compare with a tolerance.
+    for (s, q) in cg_s.residual_history.iter().zip(&cg_p.residual_history) {
+        assert!(((s - q) / s.abs().max(1e-300)).abs() < 1e-8);
+    }
+}
+
+#[test]
+fn distributed_runs_match_shared_memory_and_each_other() {
+    let p = problem(16, 3);
+    let iters = 6;
+
+    let b_grb = p.b.clone();
+    let mut shared = GrbHpcg::<Sequential>::new(p.clone());
+    let mut cg_ws = CgWorkspace::new(&shared);
+    let mut mg_ws = MgWorkspace::new(&shared);
+    let mut x = shared.alloc(0);
+    let cg_shared =
+        cg_solve(&mut shared, &mut cg_ws, &mut mg_ws, &b_grb, &mut x, iters, 0.0, true);
+
+    let mut alp = AlpDistHpcg::new(p.clone(), 4, MachineParams::arm_cluster());
+    let (_, cg_alp) = run_distributed(&mut alp, &b_grb, iters);
+
+    let b_vec = p.b.as_slice().to_vec();
+    let mut rd = RefDistHpcg::new(p, 8, MachineParams::arm_cluster());
+    let (_, cg_ref) = run_distributed(&mut rd, &b_vec, iters);
+
+    for ((s, a), r) in cg_shared
+        .residual_history
+        .iter()
+        .zip(&cg_alp.residual_history)
+        .zip(&cg_ref.residual_history)
+    {
+        assert!(((s - a) / s).abs() < 1e-9);
+        assert!(((s - r) / s).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn weak_scaling_shape_ref_flat_alp_linear() {
+    // The Fig 3 shape as an assertion: over a weak-scaling sweep the Ref
+    // times stay within 10 % of each other while ALP grows monotonically.
+    let machine = MachineParams::arm_cluster();
+    let mut ref_times = Vec::new();
+    let mut alp_times = Vec::new();
+    for nodes in [2usize, 4, 8] {
+        let (px, py, pz) = bsp::factor3d(nodes, 16 * nodes, 16 * nodes, 16 * nodes);
+        let p =
+            Problem::build_with(Grid3::new(16 * px, 16 * py, 16 * pz), 2, RhsVariant::Reference)
+                .unwrap();
+        let b_vec = p.b.as_slice().to_vec();
+        let mut rd = RefDistHpcg::new(p.clone(), nodes, machine);
+        let (rr, _) = run_distributed(&mut rd, &b_vec, 3);
+        ref_times.push(rr.modeled_secs);
+        let b_grb = p.b.clone();
+        let mut alp = AlpDistHpcg::new(p, nodes, machine);
+        let (ra, _) = run_distributed(&mut alp, &b_grb, 3);
+        alp_times.push(ra.modeled_secs);
+    }
+    let ref_max = ref_times.iter().cloned().fold(0.0f64, f64::max);
+    let ref_min = ref_times.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(ref_max / ref_min < 1.10, "Ref flat: {ref_times:?}");
+    assert!(
+        alp_times.windows(2).all(|w| w[1] > w[0]),
+        "ALP monotone growth: {alp_times:?}"
+    );
+    assert!(
+        alp_times.last().unwrap() > &(ref_times.last().unwrap() * 1.5),
+        "ALP clearly slower at 8 nodes"
+    );
+}
+
+#[test]
+fn validation_passes_for_both_impls_on_larger_grid() {
+    let p = problem(24, 3);
+    let b_grb = p.b.clone();
+    let mut alp = GrbHpcg::<Parallel>::new(p.clone());
+    assert!(validate(&mut alp, &b_grb, 300).passed);
+    let b_vec = p.b.as_slice().to_vec();
+    let mut reference = RefHpcg::new(p);
+    assert!(validate(&mut reference, &b_vec, 300).passed);
+}
+
+#[test]
+fn gflops_reporting_is_positive_and_consistent() {
+    let p = problem(8, 2);
+    let flops = flops_per_iteration(&p);
+    let b = p.b.clone();
+    let mut alp = GrbHpcg::<Sequential>::new(p);
+    let (report, _) = run_with_rhs(&mut alp, &b, flops, RunConfig { iterations: 5, preconditioned: true });
+    assert!(report.gflops > 0.0);
+    assert!(report.total_secs > 0.0);
+    assert_eq!(report.levels.len(), 2);
+    // Breakdown times are bounded by the total.
+    let sum: f64 = report
+        .levels
+        .iter()
+        .map(|l| l.smoother_secs + l.restrict_refine_secs + l.spmv_secs)
+        .sum::<f64>()
+        + report.dot_secs
+        + report.waxpby_secs;
+    assert!(sum <= report.total_secs * 1.05, "kernel sum {sum} vs total {}", report.total_secs);
+}

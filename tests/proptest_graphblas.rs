@@ -1,0 +1,194 @@
+//! Property-based tests of the GraphBLAS substrate's algebraic contracts.
+//!
+//! Values are drawn from small integer ranges mapped into `f64`, so every
+//! arithmetic identity holds *exactly* (no floating-point tolerance games):
+//! linearity of `mxv`, transpose involution, mask decomposition, semiring
+//! annihilation, monoid laws.
+
+use graphblas::{
+    dot, ewise, mxv, mxv_accum, reduce, waxpby, CsrMatrix, Descriptor, Max, Min, MinPlus, Plus,
+    PlusTimes, Sequential, Times, Vector,
+};
+use proptest::prelude::*;
+
+/// A random sparse matrix with integer-valued entries.
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
+    (1..max_dim, 1..max_dim).prop_flat_map(|(nrows, ncols)| {
+        proptest::collection::vec(
+            (0..nrows, 0..ncols, -4i64..=4),
+            0..(nrows * ncols).min(64),
+        )
+        .prop_map(move |trips| {
+            let t: Vec<(usize, usize, f64)> =
+                trips.into_iter().map(|(r, c, v)| (r, c, v as f64)).collect();
+            CsrMatrix::from_triplets(nrows, ncols, &t).unwrap()
+        })
+    })
+}
+
+fn arb_vector(len: usize) -> impl Strategy<Value = Vector<f64>> {
+    proptest::collection::vec(-4i64..=4, len)
+        .prop_map(|v| Vector::from_dense(v.into_iter().map(|x| x as f64).collect()))
+}
+
+fn run_mxv(a: &CsrMatrix<f64>, x: &Vector<f64>) -> Vector<f64> {
+    let mut y = Vector::zeros(a.nrows());
+    mxv::<f64, PlusTimes, Sequential>(&mut y, None, Descriptor::DEFAULT, a, x, PlusTimes).unwrap();
+    y
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mxv_is_linear(a in arb_matrix(12)) {
+        let n = a.ncols();
+        let strategy = (arb_vector(n), arb_vector(n), -3i64..=3, -3i64..=3);
+        proptest!(|((x, y, alpha, beta) in strategy)| {
+            let (alpha, beta) = (alpha as f64, beta as f64);
+            // A(αx + βy)
+            let mut combo = Vector::zeros(n);
+            waxpby::<f64, Sequential>(&mut combo, alpha, &x, beta, &y).unwrap();
+            let lhs = run_mxv(&a, &combo);
+            // αAx + βAy
+            let ax = run_mxv(&a, &x);
+            let ay = run_mxv(&a, &y);
+            let mut rhs = Vector::zeros(a.nrows());
+            waxpby::<f64, Sequential>(&mut rhs, alpha, &ax, beta, &ay).unwrap();
+            prop_assert_eq!(lhs.as_slice(), rhs.as_slice());
+        });
+    }
+
+    #[test]
+    fn transpose_is_involution(a in arb_matrix(14)) {
+        let tt = a.transpose().transpose();
+        prop_assert_eq!(a.nrows(), tt.nrows());
+        prop_assert_eq!(a.ncols(), tt.ncols());
+        prop_assert_eq!(a.nnz(), tt.nnz());
+        for (r, c, v) in a.iter_entries() {
+            prop_assert_eq!(tt.get(r, c), Some(v));
+        }
+    }
+
+    #[test]
+    fn transpose_descriptor_matches_materialized(a in arb_matrix(12), seed in 0u64..1000) {
+        let x: Vector<f64> = Vector::from_dense(
+            (0..a.nrows()).map(|i| ((i as u64 * 7 + seed) % 9) as f64 - 4.0).collect(),
+        );
+        let mut via_desc = Vector::zeros(a.ncols());
+        mxv::<f64, PlusTimes, Sequential>(
+            &mut via_desc, None, Descriptor::TRANSPOSE, &a, &x, PlusTimes,
+        ).unwrap();
+        let at = a.transpose();
+        let via_mat = run_mxv(&at, &x);
+        prop_assert_eq!(via_desc.as_slice(), via_mat.as_slice());
+    }
+
+    #[test]
+    fn dot_transpose_adjoint(a in arb_matrix(10)) {
+        // ⟨Ax, y⟩ == ⟨x, Aᵀy⟩ exactly for integer data.
+        let nr = a.nrows();
+        let nc = a.ncols();
+        let x = Vector::from_dense((0..nc).map(|i| ((i * 3) % 7) as f64 - 3.0).collect());
+        let y = Vector::from_dense((0..nr).map(|i| ((i * 5) % 9) as f64 - 4.0).collect());
+        let ax = run_mxv(&a, &x);
+        let lhs = dot::<f64, PlusTimes, Sequential>(&ax, &y, PlusTimes).unwrap();
+        let mut aty = Vector::zeros(nc);
+        mxv::<f64, PlusTimes, Sequential>(&mut aty, None, Descriptor::TRANSPOSE, &a, &y, PlusTimes)
+            .unwrap();
+        let rhs = dot::<f64, PlusTimes, Sequential>(&x, &aty, PlusTimes).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mask_and_complement_partition_the_output(
+        a in arb_matrix(12),
+        mask_bits in proptest::collection::vec(proptest::bool::ANY, 0..12),
+    ) {
+        let n = a.nrows();
+        let bits: Vec<bool> = (0..n).map(|i| mask_bits.get(i).copied().unwrap_or(false)).collect();
+        let idx: Vec<u32> =
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i as u32).collect();
+        if idx.is_empty() || idx.len() == n {
+            return Ok(());
+        }
+        let mask = Vector::<bool>::sparse_filled(n, idx, true).unwrap();
+        let x = Vector::from_dense((0..a.ncols()).map(|i| (i % 5) as f64 - 2.0).collect());
+
+        let full = run_mxv(&a, &x);
+        let mut masked = Vector::from_dense(vec![f64::NAN; n]);
+        mxv::<f64, PlusTimes, Sequential>(
+            &mut masked, Some(&mask), Descriptor::STRUCTURAL, &a, &x, PlusTimes,
+        ).unwrap();
+        let mut complement = Vector::from_dense(vec![f64::NAN; n]);
+        mxv::<f64, PlusTimes, Sequential>(
+            &mut complement,
+            Some(&mask),
+            Descriptor::STRUCTURAL.with(Descriptor::INVERT_MASK),
+            &a,
+            &x,
+            PlusTimes,
+        ).unwrap();
+
+        for i in 0..n {
+            if bits[i] {
+                prop_assert_eq!(masked.as_slice()[i], full.as_slice()[i]);
+                prop_assert!(complement.as_slice()[i].is_nan(), "complement untouched at {}", i);
+            } else {
+                prop_assert!(masked.as_slice()[i].is_nan(), "masked untouched at {}", i);
+                prop_assert_eq!(complement.as_slice()[i], full.as_slice()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn mxv_accum_is_mxv_plus_previous(a in arb_matrix(12)) {
+        let x = Vector::from_dense((0..a.ncols()).map(|i| (i % 3) as f64).collect());
+        let y0 = Vector::from_dense((0..a.nrows()).map(|i| (i % 4) as f64 - 1.0).collect());
+        let mut accumed = y0.clone();
+        mxv_accum::<f64, PlusTimes, Sequential>(
+            &mut accumed, None, Descriptor::DEFAULT, &a, &x, PlusTimes,
+        ).unwrap();
+        let ax = run_mxv(&a, &x);
+        let mut expected = Vector::zeros(a.nrows());
+        waxpby::<f64, Sequential>(&mut expected, 1.0, &y0, 1.0, &ax).unwrap();
+        prop_assert_eq!(accumed.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn reduce_agrees_with_iterator_folds(v in proptest::collection::vec(-50i64..=50, 0..64)) {
+        let x = Vector::from_dense(v.iter().map(|&i| i as f64).collect::<Vec<_>>());
+        let sum = reduce::<f64, Plus, Sequential>(&x, None, Descriptor::DEFAULT).unwrap();
+        prop_assert_eq!(sum, v.iter().sum::<i64>() as f64);
+        let mn = reduce::<f64, Min, Sequential>(&x, None, Descriptor::DEFAULT).unwrap();
+        let expected_min = v.iter().copied().min().map(|m| m as f64).unwrap_or(f64::INFINITY);
+        prop_assert_eq!(mn, expected_min);
+        let mx = reduce::<f64, Max, Sequential>(&x, None, Descriptor::DEFAULT).unwrap();
+        let expected_max = v.iter().copied().max().map(|m| m as f64).unwrap_or(f64::NEG_INFINITY);
+        prop_assert_eq!(mx, expected_max);
+    }
+
+    #[test]
+    fn min_plus_mxv_relaxes_distances(a in arb_matrix(10)) {
+        // One tropical mxv step never *increases* any distance bound
+        // reachable through an edge: y_i = min_j (A_ij + x_j) ≤ A_ik + x_k.
+        let x = Vector::from_dense((0..a.ncols()).map(|i| (i % 6) as f64).collect());
+        let mut y = Vector::zeros(a.nrows());
+        mxv::<f64, MinPlus, Sequential>(&mut y, None, Descriptor::DEFAULT, &a, &x, MinPlus)
+            .unwrap();
+        for (r, c, v) in a.iter_entries() {
+            prop_assert!(y.as_slice()[r] <= v + x.as_slice()[c] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ewise_times_matches_pointwise(len in 1usize..40) {
+        let x = Vector::from_dense((0..len).map(|i| (i % 7) as f64 - 3.0).collect());
+        let y = Vector::from_dense((0..len).map(|i| (i % 5) as f64 - 2.0).collect());
+        let mut w = Vector::zeros(len);
+        ewise::<f64, Times, Sequential>(&mut w, None, Descriptor::DEFAULT, &x, &y, Times).unwrap();
+        for i in 0..len {
+            prop_assert_eq!(w.as_slice()[i], x.as_slice()[i] * y.as_slice()[i]);
+        }
+    }
+}
