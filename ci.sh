@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, test, lint, format.
+#
+# Everything runs offline — external dependencies are provided by the shim
+# crates under crates/shims/ (see the workspace Cargo.toml).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> ci.sh: all green"

@@ -1,0 +1,83 @@
+//! Zero-cost check of the execution-context API: the fluent builders must
+//! lower onto the kernels with no measurable overhead versus the direct
+//! (deprecated) free-function path, and the runtime-dispatched `DynCtx`
+//! must add only its one predictable branch per operation.
+//!
+//! Acceptance gate for the API redesign: builder-API `mxv`/`dot` within
+//! noise (≤2 %) of the direct-kernel path.
+
+#![allow(deprecated)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphblas::{ctx, dot, mxv, BackendKind, Descriptor, DynCtx, PlusTimes, Sequential, Vector};
+use hpcg::problem::build_stencil_matrix;
+use hpcg::Grid3;
+use std::hint::black_box;
+
+const SIZE: usize = 24; // 24³ = 13 824 rows, ~370 k nonzeroes
+
+fn bench_mxv_paths(c: &mut Criterion) {
+    let a = build_stencil_matrix(Grid3::cube(SIZE));
+    let n = a.nrows();
+    let x = Vector::from_dense((0..n).map(|i| (i % 17) as f64).collect());
+    let mut y = Vector::zeros(n);
+
+    let mut g = c.benchmark_group("mxv_path");
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.bench_function(BenchmarkId::new("free_function", "sequential"), |b| {
+        b.iter(|| {
+            mxv::<f64, PlusTimes, Sequential>(
+                &mut y,
+                None,
+                Descriptor::DEFAULT,
+                black_box(&a),
+                black_box(&x),
+                PlusTimes,
+            )
+            .unwrap();
+        })
+    });
+    g.bench_function(BenchmarkId::new("builder", "sequential"), |b| {
+        let exec = ctx::<Sequential>();
+        b.iter(|| {
+            exec.mxv(black_box(&a), black_box(&x)).into(&mut y).unwrap();
+        })
+    });
+    g.bench_function(BenchmarkId::new("builder", "dyn_runtime"), |b| {
+        let exec = DynCtx::runtime(BackendKind::Sequential);
+        b.iter(|| {
+            exec.mxv(black_box(&a), black_box(&x)).into(&mut y).unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn bench_dot_paths(c: &mut Criterion) {
+    let n = SIZE * SIZE * SIZE;
+    let x = Vector::from_dense((0..n).map(|i| (i % 13) as f64).collect());
+    let y = Vector::from_dense((0..n).map(|i| (i % 7) as f64).collect());
+
+    let mut g = c.benchmark_group("dot_path");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function(BenchmarkId::new("free_function", "sequential"), |b| {
+        b.iter(|| {
+            dot::<f64, PlusTimes, Sequential>(black_box(&x), black_box(&y), PlusTimes).unwrap()
+        })
+    });
+    g.bench_function(BenchmarkId::new("builder", "sequential"), |b| {
+        let exec = ctx::<Sequential>();
+        b.iter(|| exec.dot(black_box(&x), black_box(&y)).compute().unwrap())
+    });
+    g.bench_function(BenchmarkId::new("builder", "dyn_runtime"), |b| {
+        let exec = DynCtx::runtime(BackendKind::Sequential);
+        b.iter(|| exec.dot(black_box(&x), black_box(&y)).compute().unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_mxv_paths, bench_dot_paths
+);
+criterion_main!(benches);

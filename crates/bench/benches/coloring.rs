@@ -3,7 +3,7 @@
 //! GraphBLAS's only conforming way to regroup indices.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use graphblas::{mxm, CsrMatrix, Descriptor, PlusTimes, Sequential};
+use graphblas::{ctx, CsrMatrix, Sequential};
 use hpcg::coloring::{octant_coloring, Coloring};
 use hpcg::problem::build_stencil_matrix;
 use hpcg::Grid3;
@@ -17,7 +17,9 @@ fn bench_coloring(c: &mut Criterion) {
     let mut g = c.benchmark_group("coloring");
     g.throughput(Throughput::Elements(a.nnz() as u64));
     g.bench_function("greedy", |b| b.iter(|| Coloring::greedy(black_box(&a))));
-    g.bench_function("octant_closed_form", |b| b.iter(|| octant_coloring(black_box(grid))));
+    g.bench_function("octant_closed_form", |b| {
+        b.iter(|| octant_coloring(black_box(grid)))
+    });
     g.finish();
 }
 
@@ -33,23 +35,20 @@ fn bench_permutation_mxm(c: &mut Criterion) {
         idx
     };
     // P[new, old] = 1 ⇒ (P A)_{new} = A_{old}.
-    let p_triplets: Vec<(usize, usize, f64)> =
-        order.iter().enumerate().map(|(new, &old)| (new, old, 1.0)).collect();
+    let p_triplets: Vec<(usize, usize, f64)> = order
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (new, old, 1.0))
+        .collect();
     let p = CsrMatrix::from_triplets(a.nrows(), a.nrows(), &p_triplets).unwrap();
 
     let mut g = c.benchmark_group("permutation");
     g.sample_size(10);
     g.bench_function("ptap_via_mxm", |b| {
+        let exec = ctx::<Sequential>();
         b.iter(|| {
-            let pa = mxm::<f64, PlusTimes, Sequential>(
-                black_box(&p),
-                black_box(&a),
-                Descriptor::DEFAULT,
-                PlusTimes,
-            )
-            .unwrap();
-            let pat = mxm::<f64, PlusTimes, Sequential>(&pa, &p.transpose(), Descriptor::DEFAULT, PlusTimes)
-                .unwrap();
+            let pa = exec.mxm(black_box(&p), black_box(&a)).compute().unwrap();
+            let pat = exec.mxm(&pa, &p.transpose()).compute().unwrap();
             black_box(pat)
         })
     });

@@ -4,7 +4,7 @@
 //! the Tianhe-2 work the paper cites reports at machine scale.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use graphblas::{axpy_in_place, dot, mxv, Descriptor, PlusTimes, Sequential, Vector};
+use graphblas::{ctx, Sequential, Vector};
 use hpcg::fused::{axpy_norm_fused, spmv_dot_fused};
 use hpcg::problem::build_stencil_matrix;
 use hpcg::Grid3;
@@ -21,17 +21,10 @@ fn bench_spmv_dot(c: &mut Criterion) {
     let mut g = c.benchmark_group("spmv_then_dot");
     g.throughput(Throughput::Elements(a.nnz() as u64));
     g.bench_function("unfused", |b| {
+        let exec = ctx::<Sequential>();
         b.iter(|| {
-            mxv::<f64, PlusTimes, Sequential>(
-                &mut y,
-                None,
-                Descriptor::DEFAULT,
-                black_box(&a),
-                black_box(&x),
-                PlusTimes,
-            )
-            .unwrap();
-            dot::<f64, PlusTimes, Sequential>(&x, &y, PlusTimes).unwrap()
+            exec.mxv(black_box(&a), black_box(&x)).into(&mut y).unwrap();
+            exec.dot(&x, &y).compute().unwrap()
         })
     });
     g.bench_function("fused", |b| {
@@ -48,10 +41,11 @@ fn bench_axpy_norm(c: &mut Criterion) {
     let mut g = c.benchmark_group("axpy_then_norm");
     g.throughput(Throughput::Elements(n as u64));
     g.bench_function("unfused", |b| {
+        let exec = ctx::<Sequential>();
         let mut r = r0.clone();
         b.iter(|| {
-            axpy_in_place::<f64, Sequential>(&mut r, -0.5, black_box(&q)).unwrap();
-            dot::<f64, PlusTimes, Sequential>(&r, &r, PlusTimes).unwrap()
+            exec.axpy(&mut r, -0.5, black_box(&q)).unwrap();
+            exec.norm2_squared(&r).unwrap()
         })
     });
     g.bench_function("fused", |b| {

@@ -7,9 +7,7 @@
 //! GraphBLAS and direct columns should be within noise of each other.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use graphblas::{
-    dot, mxv, waxpby, Descriptor, Parallel, PlusTimes, Sequential, Vector,
-};
+use graphblas::{ctx, Parallel, Sequential, Vector};
 use hpcg::problem::build_stencil_matrix;
 use hpcg::Grid3;
 use std::hint::black_box;
@@ -25,29 +23,15 @@ fn bench_spmv(c: &mut Criterion) {
     let mut g = c.benchmark_group("spmv");
     g.throughput(Throughput::Elements(a.nnz() as u64));
     g.bench_function(BenchmarkId::new("graphblas", "sequential"), |b| {
+        let exec = ctx::<Sequential>();
         b.iter(|| {
-            mxv::<f64, PlusTimes, Sequential>(
-                &mut y,
-                None,
-                Descriptor::DEFAULT,
-                black_box(&a),
-                black_box(&x),
-                PlusTimes,
-            )
-            .unwrap();
+            exec.mxv(black_box(&a), black_box(&x)).into(&mut y).unwrap();
         })
     });
     g.bench_function(BenchmarkId::new("graphblas", "parallel"), |b| {
+        let exec = ctx::<Parallel>();
         b.iter(|| {
-            mxv::<f64, PlusTimes, Parallel>(
-                &mut y,
-                None,
-                Descriptor::DEFAULT,
-                black_box(&a),
-                black_box(&x),
-                PlusTimes,
-            )
-            .unwrap();
+            exec.mxv(black_box(&a), black_box(&x)).into(&mut y).unwrap();
         })
     });
     // The reference-style direct loop for comparison.
@@ -56,13 +40,13 @@ fn bench_spmv(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("direct", "sequential"), |b| {
         b.iter(|| {
             let xs = x.as_slice();
-            for i in 0..n {
+            for (i, slot) in ys.iter_mut().enumerate().take(n) {
                 let (cols, vals) = a.row(i);
                 let mut acc = 0.0;
                 for (&cc, &v) in cols.iter().zip(vals) {
                     acc += v * xs[cc as usize];
                 }
-                ys[i] = acc;
+                *slot = acc;
             }
             black_box(&ys);
         })
@@ -77,10 +61,12 @@ fn bench_dot(c: &mut Criterion) {
     let mut g = c.benchmark_group("dot");
     g.throughput(Throughput::Elements(n as u64));
     g.bench_function("graphblas_sequential", |b| {
-        b.iter(|| dot::<f64, PlusTimes, Sequential>(black_box(&x), black_box(&y), PlusTimes).unwrap())
+        let exec = ctx::<Sequential>();
+        b.iter(|| exec.dot(black_box(&x), black_box(&y)).compute().unwrap())
     });
     g.bench_function("graphblas_parallel", |b| {
-        b.iter(|| dot::<f64, PlusTimes, Parallel>(black_box(&x), black_box(&y), PlusTimes).unwrap())
+        let exec = ctx::<Parallel>();
+        b.iter(|| exec.dot(black_box(&x), black_box(&y)).compute().unwrap())
     });
     g.bench_function("direct", |b| {
         b.iter(|| {
@@ -103,10 +89,22 @@ fn bench_waxpby(c: &mut Criterion) {
     let mut g = c.benchmark_group("waxpby");
     g.throughput(Throughput::Elements(n as u64));
     g.bench_function("graphblas_sequential", |b| {
-        b.iter(|| waxpby::<f64, Sequential>(&mut w, 2.0, black_box(&x), -1.0, black_box(&y)).unwrap())
+        let exec = ctx::<Sequential>();
+        b.iter(|| {
+            exec.ewise(black_box(&x), black_box(&y))
+                .scaled(2.0, -1.0)
+                .into(&mut w)
+                .unwrap()
+        })
     });
     g.bench_function("graphblas_parallel", |b| {
-        b.iter(|| waxpby::<f64, Parallel>(&mut w, 2.0, black_box(&x), -1.0, black_box(&y)).unwrap())
+        let exec = ctx::<Parallel>();
+        b.iter(|| {
+            exec.ewise(black_box(&x), black_box(&y))
+                .scaled(2.0, -1.0)
+                .into(&mut w)
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -122,16 +120,13 @@ fn bench_masked_mxv(c: &mut Criterion) {
     let mut g = c.benchmark_group("masked_mxv");
     g.throughput(Throughput::Elements((a.nnz() / 8) as u64));
     g.bench_function("one_color_structural", |b| {
+        let exec = ctx::<Sequential>();
         b.iter(|| {
-            mxv::<f64, PlusTimes, Sequential>(
-                &mut y,
-                Some(black_box(&masks[0])),
-                Descriptor::STRUCTURAL,
-                &a,
-                &x,
-                PlusTimes,
-            )
-            .unwrap();
+            exec.mxv(&a, &x)
+                .mask(black_box(&masks[0]))
+                .structural()
+                .into(&mut y)
+                .unwrap();
         })
     });
     g.finish();

@@ -9,7 +9,7 @@
 //!   question: what does the opaque-container formulation cost?
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use graphblas::{Parallel, Sequential, Vector};
+use graphblas::{ctx, Parallel, Sequential, Vector};
 use hpcg::coloring::Coloring;
 use hpcg::problem::{build_rhs, build_stencil_matrix, RhsVariant};
 use hpcg::smoother::{rbgs_grb, rbgs_ref, sgs};
@@ -50,7 +50,8 @@ fn bench_smoothers(c: &mut Criterion) {
         let mut x = Vector::zeros(n);
         let mut tmp = Vector::zeros(n);
         bch.iter(|| {
-            rbgs_grb::rbgs_symmetric::<Sequential>(
+            rbgs_grb::rbgs_symmetric(
+                ctx::<Sequential>(),
                 black_box(&a),
                 &diag_vec,
                 &masks,
@@ -66,7 +67,8 @@ fn bench_smoothers(c: &mut Criterion) {
         let mut x = Vector::zeros(n);
         let mut tmp = Vector::zeros(n);
         bch.iter(|| {
-            rbgs_grb::rbgs_symmetric::<Parallel>(
+            rbgs_grb::rbgs_symmetric(
+                ctx::<Parallel>(),
                 black_box(&a),
                 &diag_vec,
                 &masks,

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use graphblas::Sequential;
 use hpcg::cg::{cg_solve, CgWorkspace};
 use hpcg::mg::{mg_precondition, MgWorkspace};
-use hpcg::{Grid3, GrbHpcg, Kernels, Problem, RefHpcg, RhsVariant};
+use hpcg::{GrbHpcg, Grid3, Kernels, Problem, RefHpcg, RhsVariant};
 use std::hint::black_box;
 
 const SIZE: usize = 16;
@@ -48,7 +48,16 @@ fn bench_cg_iterations(c: &mut Criterion) {
         g.bench_function("alp", |bch| {
             bch.iter(|| {
                 let mut x = k.alloc(0);
-                cg_solve(&mut k, &mut cg_ws, &mut mg_ws, black_box(&b), &mut x, 5, 0.0, true)
+                cg_solve(
+                    &mut k,
+                    &mut cg_ws,
+                    &mut mg_ws,
+                    black_box(&b),
+                    &mut x,
+                    5,
+                    0.0,
+                    true,
+                )
             })
         });
     }
@@ -60,7 +69,16 @@ fn bench_cg_iterations(c: &mut Criterion) {
         g.bench_function("ref", |bch| {
             bch.iter(|| {
                 let mut x = k.alloc(0);
-                cg_solve(&mut k, &mut cg_ws, &mut mg_ws, black_box(&b), &mut x, 5, 0.0, true)
+                cg_solve(
+                    &mut k,
+                    &mut cg_ws,
+                    &mut mg_ws,
+                    black_box(&b),
+                    &mut x,
+                    5,
+                    0.0,
+                    true,
+                )
             })
         });
     }

@@ -18,7 +18,9 @@ fn main() {
     let args = Args::from_env();
     let size = args.get_usize("size", 32);
     let iters = args.get_usize("iters", 10);
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let measure_limit = args.get_usize("measure-limit", host);
     let threads = args.get_usize_list("threads", &[16, 20, 24, 28, 32, 36, 40, 44, 48, 96]);
 

@@ -18,7 +18,9 @@ fn main() {
     let args = Args::from_env();
     let size = args.get_usize("size", 32);
     let iters = args.get_usize("iters", 10);
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let measure_limit = args.get_usize("measure-limit", host);
     // 44 = hyperthreads on one socket ("44 - 1S"); 88 = both sockets ("88 - 2S").
     let threads = args.get_usize_list("threads", &[10, 14, 18, 22, 44, 88]);
@@ -40,6 +42,8 @@ fn main() {
             .map(|r| r.modeled_ref / r.modeled_alp)
     };
     if let (Some(g22), Some(g44)) = (gap(22), gap(44)) {
-        println!("  Ref/ALP gap at 22 threads: {g22:.2}x, at 44 (1S, HT): {g44:.2}x (paper: closer)");
+        println!(
+            "  Ref/ALP gap at 22 threads: {g22:.2}x, at 44 (1S, HT): {g44:.2}x (paper: closer)"
+        );
     }
 }

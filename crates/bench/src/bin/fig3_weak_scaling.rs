@@ -79,12 +79,23 @@ fn main() {
 
     println!("\nshape checks (paper §V-B and §VII-B):");
     if series.len() >= 2 {
-        let ref_min = series.iter().map(|&(_, r, _, _)| r).fold(f64::INFINITY, f64::min);
+        let ref_min = series
+            .iter()
+            .map(|&(_, r, _, _)| r)
+            .fold(f64::INFINITY, f64::min);
         let ref_max = series.iter().map(|&(_, r, _, _)| r).fold(0.0f64, f64::max);
-        println!("  Ref flatness: max/min = {:.3} (paper: within ~5%)", ref_max / ref_min);
+        println!(
+            "  Ref flatness: max/min = {:.3} (paper: within ~5%)",
+            ref_max / ref_min
+        );
         let (p0, _, a0, _) = series[0];
         let (p1, _, a1, _) = *series.last().unwrap();
-        println!("  ALP growth {}→{} nodes: {:.2}x (paper: grows ~linearly with p)", p0, p1, a1 / a0);
+        println!(
+            "  ALP growth {}→{} nodes: {:.2}x (paper: grows ~linearly with p)",
+            p0,
+            p1,
+            a1 / a0
+        );
         let increments: Vec<f64> = series.windows(2).map(|w| w[1].2 - w[0].2).collect();
         let max_inc = increments.iter().fold(0.0f64, |a, &b| a.max(b));
         let min_inc = increments.iter().fold(f64::INFINITY, |a, &b| a.min(b));

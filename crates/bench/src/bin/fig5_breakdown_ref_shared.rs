@@ -6,9 +6,10 @@
 //!
 //! ```text
 //! cargo run --release -p hpcg-bench --bin fig5_breakdown_ref_shared \
-//!     [--size 32] [--iters 5] [--threads 1,2,4]
+//!     [--size 32] [--iters 5] [--threads 1,2,4] [--backend seq|par]
 //! ```
 
+use graphblas::BackendKind;
 use hpcg_bench::breakdown::{print_breakdown, shared_breakdown, Impl};
 use hpcg_bench::cli::Args;
 
@@ -16,11 +17,17 @@ fn main() {
     let args = Args::from_env();
     let size = args.get_usize("size", 32);
     let iters = args.get_usize("iters", 5);
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let threads = args.get_usize_list("threads", &[1, host.max(2) / 2, host]);
 
-    let rows = shared_breakdown(Impl::Reference, &threads, size, iters);
-    print_breakdown("Fig 5: shared-memory Ref kernel breakdown (measured)", &rows);
+    let backend = args.get_backend(BackendKind::Parallel);
+    let rows = shared_breakdown(Impl::Reference, backend, &threads, size, iters);
+    print_breakdown(
+        "Fig 5: shared-memory Ref kernel breakdown (measured)",
+        &rows,
+    );
 
     let smoother_total: f64 = rows
         .first()

@@ -25,6 +25,8 @@ fn main() {
 
     if let Some(r) = rows.first() {
         let rr_total: f64 = r.per_level.iter().map(|&(rr, _)| rr).sum();
-        println!("\nshape check: restrict/refine share {rr_total:.1}% (paper: larger than Ref's, Fig 7)");
+        println!(
+            "\nshape check: restrict/refine share {rr_total:.1}% (paper: larger than Ref's, Fig 7)"
+        );
     }
 }

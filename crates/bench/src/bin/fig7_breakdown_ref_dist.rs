@@ -25,6 +25,8 @@ fn main() {
     if let Some(r) = rows.first() {
         let rr_total: f64 = r.per_level.iter().map(|&(rr, _)| rr).sum();
         let sm_total: f64 = r.per_level.iter().map(|&(_, sm)| sm).sum();
-        println!("\nshape check: restrict/refine {rr_total:.1}% (small), RBGS {sm_total:.1}% (dominant)");
+        println!(
+            "\nshape check: restrict/refine {rr_total:.1}% (small), RBGS {sm_total:.1}% (dominant)"
+        );
     }
 }

@@ -1,31 +1,52 @@
 //! The benchmark binary: runs HPCG end to end (setup, validation, timed
 //! run) and prints the official-style summary for both implementations.
 //!
+//! The GraphBLAS (ALP) implementation executes on the runtime-selected
+//! backend: `--backend seq|par` (or `GRB_BACKEND=seq|par`), dispatched
+//! through one [`graphblas::DynCtx`] — the same binary drives the paper's
+//! ALP-vs-Ref comparison on either backend.
+//!
 //! ```text
-//! cargo run --release -p hpcg-bench --bin hpcg_report [--size 32] [--iters 50] [--threads N]
+//! cargo run --release -p hpcg-bench --bin hpcg_report \
+//!     [--size 32] [--iters 50] [--threads N] [--backend seq|par]
 //! ```
 
-use graphblas::Parallel;
+use graphblas::{BackendKind, DynCtx};
 use hpcg::driver::{flops_per_iteration, run_with_rhs, RunConfig};
 use hpcg::reporting::render_report;
-use hpcg::{validate, Grid3, GrbHpcg, Problem, RefHpcg, RhsVariant};
+use hpcg::{validate, GrbHpcg, Grid3, Problem, RefHpcg, RhsVariant};
 use hpcg_bench::cli::Args;
 
 fn main() {
     let args = Args::from_env();
     let size = args.get_usize("size", 32);
     let iters = args.get_usize("iters", 50);
-    if let Some(t) = args.get_str("threads").and_then(|s| s.parse::<usize>().ok()) {
-        rayon::ThreadPoolBuilder::new().num_threads(t).build_global().ok();
+    if let Some(t) = args
+        .get_str("threads")
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build_global()
+            .ok();
     }
+    let exec = DynCtx::runtime(args.get_backend(BackendKind::Parallel));
+    println!(
+        "ALP backend: {} ({} thread(s))\n",
+        exec.backend_name(),
+        exec.threads()
+    );
 
     let problem = Problem::build_with(Grid3::cube(size), 4, RhsVariant::Reference)
         .expect("size must be divisible by 8");
     let flops = flops_per_iteration(&problem);
-    let config = RunConfig { iterations: iters, preconditioned: true };
+    let config = RunConfig {
+        iterations: iters,
+        preconditioned: true,
+    };
 
     let b = problem.b.clone();
-    let mut alp = GrbHpcg::<Parallel>::new(problem.clone());
+    let mut alp = GrbHpcg::with_ctx(problem.clone(), exec);
     let v = validate(&mut alp, &b, 500);
     let (run, _) = run_with_rhs(&mut alp, &b, flops, config);
     println!("{}", render_report(&problem, &run, Some(&v)));

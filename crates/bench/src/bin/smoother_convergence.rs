@@ -37,7 +37,13 @@ fn main() {
     let mut x_rb = vec![0.0f64; a.nrows()];
 
     println!("smoothing power on a {size}³ HPCG system (error vs the exact solution):\n");
-    let mut t = Table::new(&["sweep", "SGS error", "RBGS error", "SGS factor", "RBGS factor"]);
+    let mut t = Table::new(&[
+        "sweep",
+        "SGS error",
+        "RBGS error",
+        "SGS factor",
+        "RBGS factor",
+    ]);
     let (mut prev_s, mut prev_r) = (error_norm(&x_sgs), error_norm(&x_rb));
     for k in 1..=sweeps {
         sgs::sgs_symmetric(&a, &diag, bs, &mut x_sgs);

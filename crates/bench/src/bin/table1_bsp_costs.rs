@@ -12,7 +12,6 @@
 //! cargo run --release -p hpcg-bench --bin table1_bsp_costs [--size 16] [--nodes 2,4,8]
 //! ```
 
-
 use bsp::machine::MachineParams;
 use graphblas::Vector;
 use hpcg::distributed::{AlpDistHpcg, RefDistHpcg};
@@ -85,8 +84,8 @@ fn main() {
     // all 26 neighbors exist — the max-h node is a corner below p = 27.
     let fit_nodes = [27usize, 64, 216];
     let fit_size = 36; // divisible by 3, 4 and 6
-    let fit_problem = Problem::build_with(Grid3::cube(fit_size), 1, RhsVariant::Reference)
-        .expect("36^3 builds");
+    let fit_problem =
+        Problem::build_with(Grid3::cube(fit_size), 1, RhsVariant::Reference).expect("36^3 builds");
     let fit_n = fit_problem.n();
     println!(
         "\nscaling fit (log-log slope of comm bytes vs p, cube node counts {fit_nodes:?}, n = {fit_n}):"
@@ -117,7 +116,10 @@ fn main() {
         alp.spmv(0, &mut y, &x);
         alp_pts.push((p, alp.tracker().steps()[0].h_bytes));
     }
-    println!("  Ref halo slope ≈ {:.2} (paper: -2/3 ≈ -0.67)", slope(&ref_pts));
+    println!(
+        "  Ref halo slope ≈ {:.2} (paper: -2/3 ≈ -0.67)",
+        slope(&ref_pts)
+    );
     println!(
         "  ALP allgather slope ≈ {:.2} (paper: (p-1)/p → ~0, slightly positive)",
         slope(&alp_pts)

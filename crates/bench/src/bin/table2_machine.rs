@@ -15,21 +15,46 @@ fn main() {
     let mut t = Table::new(&["property", "paper x86", "paper ARM", "this host"]);
     let host = HostInfo::gather();
     let rows: Vec<(&str, &str, &str, String)> = vec![
-        ("CPU", "Xeon Gold 6238T", "Kunpeng 920-4826", host.cpu_model.clone()),
-        ("cores", "22 /socket", "48 /socket", host.logical_cpus.to_string()),
+        (
+            "CPU",
+            "Xeon Gold 6238T",
+            "Kunpeng 920-4826",
+            host.cpu_model.clone(),
+        ),
+        (
+            "cores",
+            "22 /socket",
+            "48 /socket",
+            host.logical_cpus.to_string(),
+        ),
         ("threads", "44 (HT)", "48", host.logical_cpus.to_string()),
         ("max freq (GHz)", "3.70", "2.6", "-".into()),
-        ("L3 cache", "30.25 MB /socket", "48 MB /socket", host.l3_cache.clone()),
+        (
+            "L3 cache",
+            "30.25 MB /socket",
+            "48 MB /socket",
+            host.l3_cache.clone(),
+        ),
         ("memory channels", "6", "8", "-".into()),
         ("NUMA domains", "1 /socket", "2 /socket", "-".into()),
         ("sockets", "2", "2", "-".into()),
         ("RAM (GB)", "192", "512", format!("{:.1}", host.mem_gib)),
         ("attained BW (GB/s)", "192", "246.3", "-".into()),
-        ("network", "ConnectX-5 2x100Gb/s", "ConnectX-5 2x100Gb/s", "simulated (bsp crate)".into()),
+        (
+            "network",
+            "ConnectX-5 2x100Gb/s",
+            "ConnectX-5 2x100Gb/s",
+            "simulated (bsp crate)".into(),
+        ),
         ("OS", "Ubuntu 20.04", "Ubuntu 20.04", host.os.clone()),
     ];
     for (prop, x86, arm, this) in rows {
-        t.row(vec![prop.to_string(), x86.to_string(), arm.to_string(), this]);
+        t.row(vec![
+            prop.to_string(),
+            x86.to_string(),
+            arm.to_string(),
+            this,
+        ]);
     }
     println!("Table II: the paper's machines vs this host\n");
     print!("{}", t.render());

@@ -9,10 +9,10 @@
 
 use crate::table::Table;
 use bsp::machine::MachineParams;
-use graphblas::Parallel;
+use graphblas::{BackendKind, DynCtx};
 use hpcg::distributed::{run_distributed, AlpDistHpcg, RefDistHpcg};
 use hpcg::driver::{flops_per_iteration, run_with_rhs, RunConfig};
-use hpcg::{Grid3, GrbHpcg, Problem, RefHpcg, RhsVariant};
+use hpcg::{GrbHpcg, Grid3, Problem, RefHpcg, RhsVariant};
 
 /// One bar group: per-level `(restrict/refine %, smoother %)`.
 #[derive(Clone, Debug)]
@@ -33,8 +33,12 @@ pub enum Impl {
 }
 
 /// Measured shared-memory breakdown at each thread count (Figs 4-5).
+///
+/// `backend` selects the execution backend of the ALP kernels at runtime
+/// (the thread count only matters under [`BackendKind::Parallel`]).
 pub fn shared_breakdown(
     which: Impl,
+    backend: BackendKind,
     threads_list: &[usize],
     size: usize,
     iterations: usize,
@@ -42,7 +46,10 @@ pub fn shared_breakdown(
     let problem = Problem::build_with(Grid3::cube(size), 4, RhsVariant::Reference)
         .expect("grid size must be divisible by 8");
     let flops = flops_per_iteration(&problem);
-    let config = RunConfig { iterations, preconditioned: true };
+    let config = RunConfig {
+        iterations,
+        preconditioned: true,
+    };
     threads_list
         .iter()
         .map(|&t| {
@@ -53,7 +60,7 @@ pub fn shared_breakdown(
             let report = pool.install(|| match which {
                 Impl::Alp => {
                     let b = problem.b.clone();
-                    let mut k = GrbHpcg::<Parallel>::new(problem.clone());
+                    let mut k = GrbHpcg::with_ctx(problem.clone(), DynCtx::runtime(backend));
                     run_with_rhs(&mut k, &b, flops, config).0
                 }
                 Impl::Reference => {
@@ -165,6 +172,9 @@ mod tests {
     fn dist_breakdown_smoother_dominates() {
         let rows = dist_breakdown(Impl::Reference, &[2], 16, 2);
         let smoother_total: f64 = rows[0].per_level.iter().map(|&(_, s)| s).sum();
-        assert!(smoother_total > 40.0, "smoother share {smoother_total}% too low");
+        assert!(
+            smoother_total > 40.0,
+            "smoother share {smoother_total}% too low"
+        );
     }
 }

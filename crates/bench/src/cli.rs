@@ -1,9 +1,10 @@
 //! A minimal `--key value` flag parser for the harness binaries.
 //!
 //! The harnesses take a handful of numeric knobs (problem size, iteration
-//! count, node list); a dependency-free parser keeps the binaries
-//! self-contained.
+//! count, node list) plus the runtime backend selector; a tiny parser
+//! keeps the binaries self-contained.
 
+use graphblas::BackendKind;
 use std::collections::BTreeMap;
 
 /// Parsed command-line flags: `--key value` pairs plus positionals.
@@ -42,17 +43,26 @@ impl Args {
 
     /// A `usize` flag with default.
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        self.flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// An `f64` flag with default.
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
-        self.flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// A boolean flag (`--foo` or `--foo true`).
     pub fn get_bool(&self, key: &str) -> bool {
-        matches!(self.flags.get(key).map(String::as_str), Some("true") | Some("1"))
+        matches!(
+            self.flags.get(key).map(String::as_str),
+            Some("true") | Some("1")
+        )
     }
 
     /// A comma-separated list of `usize` (`--nodes 2,3,4`).
@@ -66,6 +76,20 @@ impl Args {
     /// Raw string flag.
     pub fn get_str(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
+    }
+
+    /// The execution backend: `--backend seq|par`, falling back to the
+    /// `GRB_BACKEND` environment variable, then `default`. An unknown
+    /// spelling warns and uses the default rather than aborting a long
+    /// benchmark run.
+    pub fn get_backend(&self, default: BackendKind) -> BackendKind {
+        match self.get_str("backend") {
+            Some(s) => BackendKind::parse(s).unwrap_or_else(|| {
+                eprintln!("warning: unknown --backend {s:?} (expected seq|par), using {default}");
+                default
+            }),
+            None => BackendKind::from_env().unwrap_or(default),
+        }
     }
 }
 
@@ -92,6 +116,29 @@ mod tests {
         assert!(a.get_bool("verbose"));
         assert!(a.get_bool("x"));
         assert!(!a.get_bool("missing"));
+    }
+
+    #[test]
+    fn backend_flag_parses() {
+        assert_eq!(
+            parse("--backend seq").get_backend(BackendKind::Parallel),
+            BackendKind::Sequential
+        );
+        assert_eq!(
+            parse("--backend par").get_backend(BackendKind::Sequential),
+            BackendKind::Parallel
+        );
+        assert_eq!(
+            parse("--backend bogus").get_backend(BackendKind::Parallel),
+            BackendKind::Parallel
+        );
+        // Without the flag (and without GRB_BACKEND set) the default wins.
+        if std::env::var("GRB_BACKEND").is_err() {
+            assert_eq!(
+                parse("").get_backend(BackendKind::Sequential),
+                BackendKind::Sequential
+            );
+        }
     }
 
     #[test]

@@ -26,7 +26,9 @@ impl HostInfo {
     /// Gathers host information (best-effort; missing fields stay empty).
     pub fn gather() -> HostInfo {
         let mut info = HostInfo {
-            logical_cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            logical_cpus: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             ..Default::default()
         };
         if let Ok(cpuinfo) = fs::read_to_string("/proc/cpuinfo") {

@@ -129,7 +129,10 @@ impl StrongScalingModel {
     pub fn effective_bandwidth(&self, threads: usize) -> f64 {
         let m = &self.machine;
         let hw_threads_per_socket = m.cores_per_socket * m.smt;
-        let sockets_used = threads.div_ceil(hw_threads_per_socket).min(m.sockets).max(1);
+        let sockets_used = threads
+            .div_ceil(hw_threads_per_socket)
+            .min(m.sockets)
+            .max(1);
         let mut bw = 0.0;
         let mut remaining = threads;
         for _ in 0..sockets_used {
@@ -306,9 +309,15 @@ mod tests {
         // threads approach the full socket (the paper's Fig 1 observation).
         let m = SharedMemoryMachine::arm();
         let unaware = StrongScalingModel::reference(m);
-        let aware = StrongScalingModel { numa_aware: true, ..unaware };
+        let aware = StrongScalingModel {
+            numa_aware: true,
+            ..unaware
+        };
         // Within one domain (24 cores): no penalty, models agree.
-        assert_eq!(unaware.effective_bandwidth(16), aware.effective_bandwidth(16));
+        assert_eq!(
+            unaware.effective_bandwidth(16),
+            aware.effective_bandwidth(16)
+        );
         // Spanning both domains of a socket: the unaware model loses bandwidth.
         assert!(unaware.effective_bandwidth(48) < aware.effective_bandwidth(48) * 0.9);
     }
@@ -320,7 +329,10 @@ mod tests {
         let alp = StrongScalingModel::alp(m);
         let t22 = alp.secs_per_iteration(BYTES, 22);
         let t44_1s = alp.secs_per_iteration(BYTES, 44); // packs on 1 socket (22 cores × 2 SMT)
-        assert!((t44_1s - t22) / t22 < 0.10, "SMT gains small: {t22} vs {t44_1s}");
+        assert!(
+            (t44_1s - t22) / t22 < 0.10,
+            "SMT gains small: {t22} vs {t44_1s}"
+        );
     }
 
     #[test]
@@ -330,7 +342,10 @@ mod tests {
         let before = model.secs_per_iteration(BYTES, 8);
         model.calibrate(model.secs_per_iteration(BYTES, 1) * 3.0, BYTES);
         let after = model.secs_per_iteration(BYTES, 8);
-        assert!((after / before - 3.0).abs() < 1e-9, "shape preserved, scale ×3");
+        assert!(
+            (after / before - 3.0).abs() < 1e-9,
+            "shape preserved, scale ×3"
+        );
     }
 
     #[test]
@@ -352,8 +367,7 @@ mod tests {
                 };
                 for t in [16, 32, 48, 96] {
                     assert!(
-                        alp.secs_per_iteration(BYTES, t)
-                            <= reference.secs_per_iteration(BYTES, t)
+                        alp.secs_per_iteration(BYTES, t) <= reference.secs_per_iteration(BYTES, t)
                     );
                 }
             }

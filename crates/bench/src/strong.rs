@@ -16,7 +16,7 @@ use crate::scaling::{SharedMemoryMachine, StrongScalingModel};
 use crate::table::{fmt_secs, Table};
 use graphblas::Parallel;
 use hpcg::driver::{bytes_per_iteration, flops_per_iteration, run_with_rhs, RunConfig};
-use hpcg::{Grid3, GrbHpcg, Problem, RefHpcg, RhsVariant};
+use hpcg::{GrbHpcg, Grid3, Problem, RefHpcg, RhsVariant};
 
 /// One row of the strong-scaling output.
 #[derive(Clone, Debug)]
@@ -53,7 +53,10 @@ pub fn run_strong_scaling(
     let bytes_small = bytes_per_iteration(&problem);
     let bytes = crate::scaling::model_bytes(model_side, 4);
     let flops = flops_per_iteration(&problem);
-    let config = RunConfig { iterations, preconditioned: true };
+    let config = RunConfig {
+        iterations,
+        preconditioned: true,
+    };
 
     // Calibrate both models by a *common* factor: the mean measured
     // 1-thread per-iteration time over the mean prediction. Absolute scale
@@ -91,12 +94,7 @@ pub fn run_strong_scaling(
         .collect()
 }
 
-fn measure_pair(
-    problem: &Problem,
-    flops: f64,
-    config: RunConfig,
-    threads: usize,
-) -> (f64, f64) {
+fn measure_pair(problem: &Problem, flops: f64, config: RunConfig, threads: usize) -> (f64, f64) {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
@@ -114,7 +112,10 @@ fn measure_pair(
 
 /// Prints the rows in the paper's figure layout.
 pub fn print_rows(machine: &SharedMemoryMachine, rows: &[StrongRow], host_threads: usize) {
-    println!("strong scaling on modeled {} (measured on this {}-cpu host)", machine.name, host_threads);
+    println!(
+        "strong scaling on modeled {} (measured on this {}-cpu host)",
+        machine.name, host_threads
+    );
     let mut t = Table::new(&[
         "threads",
         "ALP measured",
@@ -145,13 +146,23 @@ mod tests {
         let rows = run_strong_scaling(SharedMemoryMachine::arm(), &[16, 48, 96], 8, 128, 2, 1);
         assert_eq!(rows.len(), 3);
         for r in &rows {
-            assert!(r.modeled_alp <= r.modeled_ref, "ALP wins at {} threads", r.threads);
+            assert!(
+                r.modeled_alp <= r.modeled_ref,
+                "ALP wins at {} threads",
+                r.threads
+            );
             assert!(r.modeled_alp > 0.0);
             assert!(r.measured_alp.is_none() || r.threads <= 1 || r.measured_alp.unwrap() > 0.0);
         }
         // With a paper-scale modeled working set the bandwidth term
         // dominates: more threads → faster until saturation.
-        assert!(rows[1].modeled_alp < rows[0].modeled_alp, "48 threads beat 16");
-        assert!(rows[2].modeled_alp < rows[1].modeled_alp, "two sockets beat one");
+        assert!(
+            rows[1].modeled_alp < rows[0].modeled_alp,
+            "48 threads beat 16"
+        );
+        assert!(
+            rows[2].modeled_alp < rows[1].modeled_alp,
+            "two sockets beat one"
+        );
     }
 }

@@ -257,13 +257,19 @@ mod tests {
         t.record_compute(0, 0.0, p.mem_bw_bytes_per_sec); // exactly 1 s compute
         t.record_send(0, 1, 0.5 / p.g_secs_per_byte); // 0.5 s comm
         let c = t.end_superstep(KernelClass::Smoother, Some(0), true);
-        assert!((c.total_secs() - (1.0 + p.l_secs)).abs() < 1e-9, "overlap hides comm");
+        assert!(
+            (c.total_secs() - (1.0 + p.l_secs)).abs() < 1e-9,
+            "overlap hides comm"
+        );
 
         let mut t2 = tracker(2);
         t2.record_compute(0, 0.0, p.mem_bw_bytes_per_sec);
         t2.record_send(0, 1, 0.5 / p.g_secs_per_byte);
         let c2 = t2.end_superstep(KernelClass::Smoother, Some(0), false);
-        assert!((c2.total_secs() - (1.5 + p.l_secs)).abs() < 1e-9, "blocking adds comm");
+        assert!(
+            (c2.total_secs() - (1.5 + p.l_secs)).abs() < 1e-9,
+            "blocking adds comm"
+        );
     }
 
     #[test]

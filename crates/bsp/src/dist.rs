@@ -140,7 +140,14 @@ impl Geometric3D {
             nx.is_multiple_of(px) && ny.is_multiple_of(py) && nz.is_multiple_of(pz),
             "process grid {px}x{py}x{pz} must divide point grid {nx}x{ny}x{nz}"
         );
-        Geometric3D { nx, ny, nz, px, py, pz }
+        Geometric3D {
+            nx,
+            ny,
+            nz,
+            px,
+            py,
+            pz,
+        }
     }
 
     /// Local box dimensions `(sx, sy, sz)`.
@@ -176,10 +183,18 @@ impl Geometric3D {
     pub fn node_box(
         &self,
         node: usize,
-    ) -> (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>) {
+    ) -> (
+        std::ops::Range<usize>,
+        std::ops::Range<usize>,
+        std::ops::Range<usize>,
+    ) {
         let (sx, sy, sz) = self.local_dims();
         let (ix, iy, iz) = self.node_coords(node);
-        (ix * sx..(ix + 1) * sx, iy * sy..(iy + 1) * sy, iz * sz..(iz + 1) * sz)
+        (
+            ix * sx..(ix + 1) * sx,
+            iy * sy..(iy + 1) * sy,
+            iz * sz..(iz + 1) * sz,
+        )
     }
 }
 

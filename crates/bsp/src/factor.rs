@@ -26,8 +26,11 @@ pub fn factor3d(p: usize, nx: usize, ny: usize, nz: usize) -> (usize, usize, usi
                 continue;
             }
             let pz = rest / py;
-            let (sx, sy, sz) =
-                (nx as f64 / px as f64, ny as f64 / py as f64, nz as f64 / pz as f64);
+            let (sx, sy, sz) = (
+                nx as f64 / px as f64,
+                ny as f64 / py as f64,
+                nz as f64 / pz as f64,
+            );
             let surface = 2.0 * (sx * sy + sy * sz + sx * sz);
             let aspect = {
                 let mx = sx.max(sy).max(sz);
@@ -106,7 +109,10 @@ mod tests {
         // Grid much longer in z: split z first.
         let (px, py, pz) = factor3d(4, 16, 16, 256);
         assert_eq!(px * py * pz, 4);
-        assert_eq!(pz, 4, "the long dimension takes all the cuts, got ({px},{py},{pz})");
+        assert_eq!(
+            pz, 4,
+            "the long dimension takes all the cuts, got ({px},{py},{pz})"
+        );
     }
 
     #[test]

@@ -10,14 +10,11 @@
 use crate::backend::Backend;
 use crate::container::matrix::CsrMatrix;
 use crate::container::vector::Vector;
-use crate::descriptor::Descriptor;
+use crate::context::ctx;
 use crate::error::{check_dims, GrbError, Result};
-use crate::exec::ewise::waxpby;
-use crate::exec::mxv::mxv;
-use crate::exec::reduce::{dot, reduce};
 use crate::ops::binary::{Lor, Max, Plus};
 use crate::ops::monoid::Monoid;
-use crate::ops::semiring::{MinPlus, PlusTimes, Semiring};
+use crate::ops::semiring::{MinPlus, Semiring};
 
 /// Logical-or/and semiring for reachability propagation.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -36,7 +33,10 @@ pub fn bfs_levels<B: Backend>(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<i
     check_dims("bfs", "adjacency must be square", a.nrows(), a.ncols())?;
     let n = a.nrows();
     if source >= n {
-        return Err(GrbError::IndexOutOfBounds { index: source, len: n });
+        return Err(GrbError::IndexOutOfBounds {
+            index: source,
+            len: n,
+        });
     }
     let mut levels = vec![-1i64; n];
     levels[source] = 0;
@@ -45,7 +45,7 @@ pub fn bfs_levels<B: Backend>(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<i
     frontier.as_mut_slice()[source] = 1.0;
     let mut next = Vector::<f64>::zeros(n);
     for depth in 1..=n as i64 {
-        mxv::<f64, LorLand, B>(&mut next, None, Descriptor::DEFAULT, a, &frontier, LorLand)?;
+        ctx::<B>().mxv(a, &frontier).ring(LorLand).into(&mut next)?;
         // Prune already-visited vertices and record fresh ones.
         let mut any = false;
         {
@@ -77,13 +77,16 @@ pub fn sssp<B: Backend>(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<f64>> {
     check_dims("sssp", "adjacency must be square", a.nrows(), a.ncols())?;
     let n = a.nrows();
     if source >= n {
-        return Err(GrbError::IndexOutOfBounds { index: source, len: n });
+        return Err(GrbError::IndexOutOfBounds {
+            index: source,
+            len: n,
+        });
     }
     let mut dist = Vector::<f64>::filled(n, f64::INFINITY);
     dist.as_mut_slice()[source] = 0.0;
     let mut relaxed = Vector::<f64>::zeros(n);
     for round in 0..n {
-        mxv::<f64, MinPlus, B>(&mut relaxed, None, Descriptor::DEFAULT, a, &dist, MinPlus)?;
+        ctx::<B>().mxv(a, &dist).ring(MinPlus).into(&mut relaxed)?;
         // d ← min(d, relaxed) element-wise; track whether anything moved.
         let mut changed = false;
         {
@@ -116,26 +119,38 @@ pub fn pagerank<B: Backend>(
     tol: f64,
     max_iters: usize,
 ) -> Result<(Vector<f64>, usize)> {
-    check_dims("pagerank", "transition must be square", m.nrows(), m.ncols())?;
+    check_dims(
+        "pagerank",
+        "transition must be square",
+        m.nrows(),
+        m.ncols(),
+    )?;
     if !(0.0..1.0).contains(&damping) {
-        return Err(GrbError::InvalidInput(format!("damping {damping} outside [0, 1)")));
+        return Err(GrbError::InvalidInput(format!(
+            "damping {damping} outside [0, 1)"
+        )));
     }
     let n = m.nrows();
     if n == 0 {
         return Ok((Vector::zeros(0), 0));
     }
+    let exec = ctx::<B>();
     let teleport = Vector::filled(n, (1.0 - damping) / n as f64);
     let mut rank = Vector::filled(n, 1.0 / n as f64);
     let mut next = Vector::zeros(n);
     for iter in 1..=max_iters {
-        mxv::<f64, PlusTimes, B>(&mut next, None, Descriptor::DEFAULT, m, &rank, PlusTimes)?;
+        exec.mxv(m, &rank).into(&mut next)?;
         let scaled = next.clone();
-        waxpby::<f64, B>(&mut next, damping, &scaled, 1.0, &teleport)?;
+        exec.ewise(&scaled, &teleport)
+            .scaled(damping, 1.0)
+            .into(&mut next)?;
         // Convergence via the max-abs-difference monoid fold.
         let mut diff_vec = Vector::zeros(n);
-        waxpby::<f64, B>(&mut diff_vec, 1.0, &next, -1.0, &rank)?;
+        exec.ewise(&next, &rank)
+            .scaled(1.0, -1.0)
+            .into(&mut diff_vec)?;
         let diff_abs = Vector::from_dense(diff_vec.as_slice().iter().map(|v| v.abs()).collect());
-        let diff = reduce::<f64, Max, B>(&diff_abs, None, Descriptor::DEFAULT)?;
+        let diff = exec.reduce(&diff_abs).monoid(Max).compute()?;
         std::mem::swap(&mut rank, &mut next);
         if diff < tol {
             return Ok((rank, iter));
@@ -149,7 +164,7 @@ pub fn pagerank<B: Backend>(
 /// element-wise dot — a staple GraphBLAS benchmark kernel.
 pub fn triangle_count<B: Backend>(a: &CsrMatrix<f64>) -> Result<usize> {
     check_dims("tricount", "adjacency must be square", a.nrows(), a.ncols())?;
-    let a2 = crate::exec::mxm::mxm::<f64, PlusTimes, B>(a, a, Descriptor::DEFAULT, PlusTimes)?;
+    let a2 = ctx::<B>().mxm(a, a).compute()?;
     let mut total = 0.0;
     for r in 0..a.nrows() {
         let (cols_a, vals_a) = a.row(r);
@@ -174,7 +189,7 @@ pub fn triangle_count<B: Backend>(a: &CsrMatrix<f64>) -> Result<usize> {
 /// Sum of a vector's entries over `Plus` — convenience used by examples.
 pub fn mass<B: Backend>(x: &Vector<f64>) -> Result<f64> {
     let ones = Vector::filled(x.len(), 1.0);
-    dot::<f64, PlusTimes, B>(x, &ones, PlusTimes)
+    ctx::<B>().dot(x, &ones).compute()
 }
 
 // Suppress an unused-import lint path: Monoid is used via bounds above.
@@ -188,19 +203,19 @@ mod tests {
     /// Directed path 0→1→2→3 plus a shortcut 0→3 (weight 10).
     fn path_graph() -> CsrMatrix<f64> {
         // A[j, i] = w for edge i→j.
-        CsrMatrix::from_triplets(
-            4,
-            4,
-            &[(1, 0, 1.0), (2, 1, 1.0), (3, 2, 1.0), (3, 0, 10.0)],
-        )
-        .unwrap()
+        CsrMatrix::from_triplets(4, 4, &[(1, 0, 1.0), (2, 1, 1.0), (3, 2, 1.0), (3, 0, 10.0)])
+            .unwrap()
     }
 
     #[test]
     fn bfs_levels_on_path() {
         let a = path_graph();
         let levels = bfs_levels::<Sequential>(&a, 0).unwrap();
-        assert_eq!(levels, vec![0, 1, 2, 1], "vertex 3 reached in one hop via the shortcut");
+        assert_eq!(
+            levels,
+            vec![0, 1, 2, 1],
+            "vertex 3 reached in one hop via the shortcut"
+        );
         let from2 = bfs_levels::<Sequential>(&a, 2).unwrap();
         assert_eq!(from2, vec![-1, -1, 0, 1], "no back edges");
     }
@@ -215,7 +230,11 @@ mod tests {
     fn sssp_prefers_cheap_path() {
         let a = path_graph();
         let d = sssp::<Sequential>(&a, 0).unwrap();
-        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0], "3 hops of cost 1 beat the cost-10 shortcut");
+        assert_eq!(
+            d,
+            vec![0.0, 1.0, 2.0, 3.0],
+            "3 hops of cost 1 beat the cost-10 shortcut"
+        );
     }
 
     #[test]
@@ -229,9 +248,11 @@ mod tests {
 
     #[test]
     fn sssp_detects_negative_cycle() {
-        let a =
-            CsrMatrix::from_triplets(2, 2, &[(1, 0, -1.0), (0, 1, -1.0)]).unwrap();
-        assert!(matches!(sssp::<Sequential>(&a, 0), Err(GrbError::InvalidInput(_))));
+        let a = CsrMatrix::from_triplets(2, 2, &[(1, 0, -1.0), (0, 1, -1.0)]).unwrap();
+        assert!(matches!(
+            sssp::<Sequential>(&a, 0),
+            Err(GrbError::InvalidInput(_))
+        ));
     }
 
     #[test]
@@ -246,13 +267,18 @@ mod tests {
         for &(s, _) in &edges {
             outdeg[s] += 1;
         }
-        let trips: Vec<(usize, usize, f64)> =
-            edges.iter().map(|&(s, d)| (d, s, 1.0 / outdeg[s] as f64)).collect();
+        let trips: Vec<(usize, usize, f64)> = edges
+            .iter()
+            .map(|&(s, d)| (d, s, 1.0 / outdeg[s] as f64))
+            .collect();
         let m = CsrMatrix::from_triplets(n, n, &trips).unwrap();
         let (rank, iters) = pagerank::<Sequential>(&m, 0.85, 1e-12, 500).unwrap();
         assert!(iters < 500, "must converge");
         let total = mass::<Sequential>(&rank).unwrap();
-        assert!((total - 1.0).abs() < 1e-9, "probability mass conserved, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "probability mass conserved, got {total}"
+        );
         let best = rank
             .as_slice()
             .iter()
@@ -275,7 +301,14 @@ mod tests {
         let tri = CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (0, 2, 1.0), (2, 0, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (0, 2, 1.0),
+                (2, 0, 1.0),
+            ],
         )
         .unwrap();
         assert_eq!(triangle_count::<Sequential>(&tri).unwrap(), 1);
@@ -336,7 +369,11 @@ mod tests {
         let levels = bfs_levels::<Sequential>(&a, idx(0, 0)).unwrap();
         for y in 0..n {
             for x in 0..n {
-                assert_eq!(levels[idx(x, y)], x.max(y) as i64, "Chebyshev distance at ({x},{y})");
+                assert_eq!(
+                    levels[idx(x, y)],
+                    x.max(y) as i64,
+                    "Chebyshev distance at ({x},{y})"
+                );
             }
         }
     }

@@ -23,7 +23,10 @@ const MIN_CHUNK: usize = 512;
 /// All methods take `Fn` closures (not `FnMut`): parallel backends invoke
 /// them concurrently, so any mutation must go through interior-mutability
 /// wrappers whose disjointness the *kernel* (not the user) guarantees.
-pub trait Backend: Copy + Default + Send + Sync + 'static {
+///
+/// Every backend is also an [`Exec`](crate::context::Exec) dispatcher, so a
+/// `B: Backend` bound suffices to build a `ctx::<B>()` execution context.
+pub trait Backend: Copy + Default + Send + Sync + 'static + crate::context::Exec {
     /// Human-readable backend name, used by benchmark reports.
     const NAME: &'static str;
 
@@ -134,7 +137,9 @@ impl Backend for Parallel {
                 f(i as usize);
             }
         } else {
-            idx.par_iter().with_min_len(MIN_CHUNK).for_each(|&i| f(i as usize));
+            idx.par_iter()
+                .with_min_len(MIN_CHUNK)
+                .for_each(|&i| f(i as usize));
         }
     }
 

@@ -31,13 +31,23 @@ impl<T: Scalar> CsrMatrix<T> {
     ///
     /// Duplicate `(row, col)` entries are combined by domain addition, the
     /// GraphBLAS build-with-`plus`-dup semantics.
-    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, T)]) -> Result<Self> {
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(usize, usize, T)],
+    ) -> Result<Self> {
         for &(r, c, _) in triplets {
             if r >= nrows {
-                return Err(GrbError::IndexOutOfBounds { index: r, len: nrows });
+                return Err(GrbError::IndexOutOfBounds {
+                    index: r,
+                    len: nrows,
+                });
             }
             if c >= ncols {
-                return Err(GrbError::IndexOutOfBounds { index: c, len: ncols });
+                return Err(GrbError::IndexOutOfBounds {
+                    index: c,
+                    len: ncols,
+                });
             }
         }
         // Counting sort by row, then sort each row segment by column.
@@ -110,12 +120,17 @@ impl<T: Scalar> CsrMatrix<T> {
         check_dims("from_csr", "values vs col_idx", col_idx.len(), values.len())?;
         for r in 0..nrows {
             if row_ptr[r] > row_ptr[r + 1] {
-                return Err(GrbError::InvalidInput(format!("row_ptr not monotone at row {r}")));
+                return Err(GrbError::InvalidInput(format!(
+                    "row_ptr not monotone at row {r}"
+                )));
             }
             let seg = &col_idx[row_ptr[r]..row_ptr[r + 1]];
             for (k, &c) in seg.iter().enumerate() {
                 if c as usize >= ncols {
-                    return Err(GrbError::IndexOutOfBounds { index: c as usize, len: ncols });
+                    return Err(GrbError::IndexOutOfBounds {
+                        index: c as usize,
+                        len: ncols,
+                    });
                 }
                 if k > 0 && seg[k - 1] >= c {
                     return Err(GrbError::InvalidInput(format!(
@@ -137,7 +152,14 @@ impl<T: Scalar> CsrMatrix<T> {
             }
             free
         };
-        Ok(CsrMatrix { nrows, ncols, row_ptr, col_idx, values, columns_conflict_free })
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+            columns_conflict_free,
+        })
     }
 
     /// Builds row-by-row via a generator callback.
@@ -300,7 +322,9 @@ impl<T: Scalar> CsrMatrix<T> {
     pub fn iter_entries(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
         (0..self.nrows).flat_map(move |r| {
             let (cols, vals) = self.row(r);
-            cols.iter().zip(vals).map(move |(&c, &v)| (r, c as usize, v))
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (r, c as usize, v))
         })
     }
 
@@ -324,7 +348,13 @@ mod tests {
         CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            &[
+                (0, 0, 2.0),
+                (0, 2, 1.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
     }
@@ -367,8 +397,9 @@ mod tests {
         // last != nnz
         assert!(CsrMatrix::<f64>::from_csr(1, 2, vec![0, 2], vec![0], vec![1.0]).is_err());
         // non-monotone
-        assert!(CsrMatrix::<f64>::from_csr(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0])
-            .is_err());
+        assert!(
+            CsrMatrix::<f64>::from_csr(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err()
+        );
         // columns not increasing
         assert!(CsrMatrix::<f64>::from_csr(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]).is_err());
         // column out of bounds
@@ -426,8 +457,7 @@ mod tests {
     #[test]
     fn conflict_free_columns_detection() {
         // Injection-like: each column referenced at most once.
-        let inj =
-            CsrMatrix::from_triplets(2, 8, &[(0, 0, 1.0), (1, 4, 1.0)]).unwrap();
+        let inj = CsrMatrix::from_triplets(2, 8, &[(0, 0, 1.0), (1, 4, 1.0)]).unwrap();
         assert!(inj.columns_conflict_free());
         // Column 0 used twice.
         let dup = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0)]).unwrap();

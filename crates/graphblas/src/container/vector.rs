@@ -26,17 +26,26 @@ pub struct Vector<T> {
 impl<T: Scalar> Vector<T> {
     /// A dense vector of `n` domain zeros.
     pub fn zeros(n: usize) -> Self {
-        Vector { values: vec![T::ZERO; n], pattern: None }
+        Vector {
+            values: vec![T::ZERO; n],
+            pattern: None,
+        }
     }
 
     /// A dense vector with every entry equal to `value`.
     pub fn filled(n: usize, value: T) -> Self {
-        Vector { values: vec![value; n], pattern: None }
+        Vector {
+            values: vec![value; n],
+            pattern: None,
+        }
     }
 
     /// Wraps an existing dense buffer.
     pub fn from_dense(values: Vec<T>) -> Self {
-        Vector { values, pattern: None }
+        Vector {
+            values,
+            pattern: None,
+        }
     }
 
     /// A sparse vector of logical length `n` whose stored entries are
@@ -49,7 +58,10 @@ impl<T: Scalar> Vector<T> {
         for &i in &indices {
             values[i as usize] = value;
         }
-        Ok(Vector { values, pattern: Some(indices) })
+        Ok(Vector {
+            values,
+            pattern: Some(indices),
+        })
     }
 
     /// A sparse vector from `(index, value)` entries with strictly
@@ -61,7 +73,10 @@ impl<T: Scalar> Vector<T> {
         for &(i, v) in entries {
             values[i as usize] = v;
         }
-        Ok(Vector { values, pattern: Some(indices) })
+        Ok(Vector {
+            values,
+            pattern: Some(indices),
+        })
     }
 
     /// Logical length of the vector.
@@ -129,7 +144,10 @@ impl<T: Scalar> Vector<T> {
 
     /// Iterates `(index, value)` over stored entries in increasing index order.
     pub fn iter_stored(&self) -> StoredIter<'_, T> {
-        StoredIter { vector: self, cursor: 0 }
+        StoredIter {
+            vector: self,
+            cursor: 0,
+        }
     }
 
     /// Sets every stored entry to `value` (dense: every entry).
@@ -217,7 +235,10 @@ impl<T: Scalar> Iterator for StoredIter<'_, T> {
 fn validate_pattern(n: usize, indices: &[u32]) -> Result<()> {
     for (k, &i) in indices.iter().enumerate() {
         if i as usize >= n {
-            return Err(GrbError::IndexOutOfBounds { index: i as usize, len: n });
+            return Err(GrbError::IndexOutOfBounds {
+                index: i as usize,
+                len: n,
+            });
         }
         if k > 0 && indices[k - 1] >= i {
             return Err(GrbError::InvalidInput(format!(
@@ -306,7 +327,11 @@ mod tests {
         let mut s = Vector::<f64>::from_entries(3, &[(0, 5.0)]).unwrap();
         s.densify();
         assert!(s.is_dense());
-        assert_eq!(s.get(2), Some(0.0), "densified entries become explicit zeros");
+        assert_eq!(
+            s.get(2),
+            Some(0.0),
+            "densified entries become explicit zeros"
+        );
 
         let mut t = Vector::<f64>::from_entries(3, &[(0, 5.0)]).unwrap();
         t.clear();

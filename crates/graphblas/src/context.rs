@@ -1,0 +1,1066 @@
+//! Execution contexts and fluent operation builders — the public face of
+//! the primitive layer.
+//!
+//! ALP pairs its single-source/compile-time-backend kernels with a launcher
+//! object that owns execution configuration (paper §IV). [`Ctx`] is that
+//! object here: it carries the backend choice and descriptor defaults, and
+//! every primitive family hangs off it as a **builder** —
+//!
+//! ```
+//! use graphblas::{ctx, CsrMatrix, Plus, Sequential, Vector};
+//!
+//! let a = CsrMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+//! let x = Vector::from_dense(vec![1.0, 2.0]);
+//! let mut y = Vector::from_dense(vec![10.0, 10.0]);
+//! let exec = ctx::<Sequential>();
+//! exec.mxv(&a, &x).accum(Plus).into(&mut y).unwrap();   // y += A·x
+//! assert_eq!(y.as_slice(), &[12.0, 16.0]);
+//! ```
+//!
+//! — so mask, descriptor flags and accumulator are typed, optional,
+//! self-documenting builder state instead of positional arguments, and the
+//! historical `mxv`/`mxv_accum`-style twin entry points collapse into one
+//! builder with an optional [`accum`](MxvBuilder::accum).
+//!
+//! # Backends: compile-time or runtime
+//!
+//! `Ctx` is generic over an [`Exec`] dispatcher. [`Sequential`] and
+//! [`Parallel`] implement it statically — `ctx::<Parallel>()` monomorphizes
+//! every kernel exactly like the old turbofish form, a zero-cost wrapper.
+//! [`BackendKind`] implements it by matching at each operation, giving the
+//! runtime-selected [`DynCtx`] (`--backend seq|par` in the benchmark
+//! binaries, `GRB_BACKEND` in the environment):
+//!
+//! ```
+//! use graphblas::{BackendKind, DynCtx, Vector};
+//!
+//! let exec = DynCtx::from_env_or(BackendKind::Sequential);
+//! let x = Vector::from_dense(vec![3.0, 4.0]);
+//! assert_eq!(exec.norm2_squared(&x).unwrap(), 25.0);
+//! ```
+
+use crate::backend::{Backend, Parallel, Sequential};
+use crate::container::matrix::CsrMatrix;
+use crate::container::vector::Vector;
+use crate::descriptor::Descriptor;
+use crate::error::{GrbError, Result};
+use crate::exec::apply::{apply_exec, ewise_lambda_exec};
+use crate::exec::ewise::{axpy_exec, ewise_exec};
+use crate::exec::mxm::mxm_exec;
+use crate::exec::mxv::mxv_exec;
+use crate::exec::reduce::{dot_exec, reduce_exec};
+use crate::ops::accum::{AccumMode, AccumWith, NoAccum};
+use crate::ops::binary::{BinaryOp, Plus};
+use crate::ops::monoid::Monoid;
+use crate::ops::scalar::Scalar;
+use crate::ops::semiring::{PlusTimes, Semiring};
+use crate::ops::unary::{Identity, UnaryOp};
+use std::marker::PhantomData;
+
+/// A backend chosen at runtime — the dispatch target of [`DynCtx`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Single-threaded reference backend.
+    Sequential,
+    /// Shared-memory data-parallel backend.
+    Parallel,
+}
+
+impl BackendKind {
+    /// Parses `"seq"`/`"sequential"` or `"par"`/`"parallel"`.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "seq" | "sequential" => Some(BackendKind::Sequential),
+            "par" | "parallel" => Some(BackendKind::Parallel),
+            _ => None,
+        }
+    }
+
+    /// Reads the `GRB_BACKEND` environment variable, if set and valid.
+    pub fn from_env() -> Option<BackendKind> {
+        std::env::var("GRB_BACKEND")
+            .ok()
+            .and_then(|v| BackendKind::parse(&v))
+    }
+
+    /// The short flag spelling (`"seq"` / `"par"`).
+    pub const fn flag(self) -> &'static str {
+        match self {
+            BackendKind::Sequential => "seq",
+            BackendKind::Parallel => "par",
+        }
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = GrbError;
+    fn from_str(s: &str) -> Result<BackendKind> {
+        BackendKind::parse(s).ok_or_else(|| {
+            GrbError::InvalidInput(format!("unknown backend {s:?} (expected seq|par)"))
+        })
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.flag())
+    }
+}
+
+/// The execution dispatcher behind a [`Ctx`]: forwards each kernel either
+/// statically (a [`Backend`] type — zero cost) or through a runtime match
+/// ([`BackendKind`]).
+///
+/// The `run_*` methods are plumbing between the builders and the kernels in
+/// [`crate::exec`]; user code never calls them directly.
+pub trait Exec: Copy + Send + Sync + 'static {
+    /// The degree of parallelism operations will use.
+    fn threads(self) -> usize;
+
+    /// Human-readable backend name.
+    fn backend_name(self) -> &'static str;
+
+    #[doc(hidden)]
+    fn run_mxv<T: Scalar, R: Semiring<T>, A: AccumMode<T>>(
+        self,
+        y: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        a: &CsrMatrix<T>,
+        x: &Vector<T>,
+    ) -> Result<()>;
+
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    fn run_ewise<T: Scalar, Op: BinaryOp<T>, A: AccumMode<T>>(
+        self,
+        w: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        x: &Vector<T>,
+        y: &Vector<T>,
+        scale: Option<(T, T)>,
+    ) -> Result<()>;
+
+    #[doc(hidden)]
+    fn run_axpy<T: Scalar>(self, x: &mut Vector<T>, alpha: T, y: &Vector<T>) -> Result<()>;
+
+    #[doc(hidden)]
+    fn run_apply<T: Scalar, Op: UnaryOp<T>, A: AccumMode<T>>(
+        self,
+        out: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        input: &Vector<T>,
+    ) -> Result<()>;
+
+    #[doc(hidden)]
+    fn run_lambda<T: Scalar, F: Fn(usize, &mut T) + Send + Sync>(
+        self,
+        out: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        f: F,
+    ) -> Result<()>;
+
+    #[doc(hidden)]
+    fn run_reduce<T: Scalar, M: Monoid<T>>(
+        self,
+        x: &Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+    ) -> Result<T>;
+
+    #[doc(hidden)]
+    fn run_dot<T: Scalar, R: Semiring<T>>(self, x: &Vector<T>, y: &Vector<T>) -> Result<T>;
+
+    #[doc(hidden)]
+    fn run_mxm<T: Scalar, R: Semiring<T>>(
+        self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        desc: Descriptor,
+    ) -> Result<CsrMatrix<T>>;
+}
+
+macro_rules! impl_exec_for_backend {
+    ($backend:ty) => {
+        impl Exec for $backend {
+            fn threads(self) -> usize {
+                <$backend as Backend>::threads()
+            }
+
+            fn backend_name(self) -> &'static str {
+                <$backend as Backend>::NAME
+            }
+
+            fn run_mxv<T: Scalar, R: Semiring<T>, A: AccumMode<T>>(
+                self,
+                y: &mut Vector<T>,
+                mask: Option<&Vector<bool>>,
+                desc: Descriptor,
+                a: &CsrMatrix<T>,
+                x: &Vector<T>,
+            ) -> Result<()> {
+                mxv_exec::<T, R, A, $backend>(y, mask, desc, a, x)
+            }
+
+            fn run_ewise<T: Scalar, Op: BinaryOp<T>, A: AccumMode<T>>(
+                self,
+                w: &mut Vector<T>,
+                mask: Option<&Vector<bool>>,
+                desc: Descriptor,
+                x: &Vector<T>,
+                y: &Vector<T>,
+                scale: Option<(T, T)>,
+            ) -> Result<()> {
+                ewise_exec::<T, Op, A, $backend>(w, mask, desc, x, y, scale)
+            }
+
+            fn run_axpy<T: Scalar>(self, x: &mut Vector<T>, alpha: T, y: &Vector<T>) -> Result<()> {
+                axpy_exec::<T, $backend>(x, alpha, y)
+            }
+
+            fn run_apply<T: Scalar, Op: UnaryOp<T>, A: AccumMode<T>>(
+                self,
+                out: &mut Vector<T>,
+                mask: Option<&Vector<bool>>,
+                desc: Descriptor,
+                input: &Vector<T>,
+            ) -> Result<()> {
+                apply_exec::<T, Op, A, $backend>(out, mask, desc, input)
+            }
+
+            fn run_lambda<T: Scalar, F: Fn(usize, &mut T) + Send + Sync>(
+                self,
+                out: &mut Vector<T>,
+                mask: Option<&Vector<bool>>,
+                desc: Descriptor,
+                f: F,
+            ) -> Result<()> {
+                ewise_lambda_exec::<T, $backend, F>(out, mask, desc, f)
+            }
+
+            fn run_reduce<T: Scalar, M: Monoid<T>>(
+                self,
+                x: &Vector<T>,
+                mask: Option<&Vector<bool>>,
+                desc: Descriptor,
+            ) -> Result<T> {
+                reduce_exec::<T, M, $backend>(x, mask, desc)
+            }
+
+            fn run_dot<T: Scalar, R: Semiring<T>>(self, x: &Vector<T>, y: &Vector<T>) -> Result<T> {
+                dot_exec::<T, R, $backend>(x, y)
+            }
+
+            fn run_mxm<T: Scalar, R: Semiring<T>>(
+                self,
+                a: &CsrMatrix<T>,
+                b: &CsrMatrix<T>,
+                desc: Descriptor,
+            ) -> Result<CsrMatrix<T>> {
+                mxm_exec::<T, R, $backend>(a, b, desc)
+            }
+        }
+    };
+}
+
+impl_exec_for_backend!(Sequential);
+impl_exec_for_backend!(Parallel);
+
+/// Forwards every kernel through a two-way match — the single place runtime
+/// backend selection pays its (branch-predictable) cost.
+macro_rules! kind_dispatch {
+    ($self:ident, $b:ident => $call:expr) => {
+        match $self {
+            BackendKind::Sequential => {
+                let $b = Sequential;
+                $call
+            }
+            BackendKind::Parallel => {
+                let $b = Parallel;
+                $call
+            }
+        }
+    };
+}
+
+impl Exec for BackendKind {
+    fn threads(self) -> usize {
+        kind_dispatch!(self, b => b.threads())
+    }
+
+    fn backend_name(self) -> &'static str {
+        kind_dispatch!(self, b => b.backend_name())
+    }
+
+    fn run_mxv<T: Scalar, R: Semiring<T>, A: AccumMode<T>>(
+        self,
+        y: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        a: &CsrMatrix<T>,
+        x: &Vector<T>,
+    ) -> Result<()> {
+        kind_dispatch!(self, b => b.run_mxv::<T, R, A>(y, mask, desc, a, x))
+    }
+
+    fn run_ewise<T: Scalar, Op: BinaryOp<T>, A: AccumMode<T>>(
+        self,
+        w: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        x: &Vector<T>,
+        y: &Vector<T>,
+        scale: Option<(T, T)>,
+    ) -> Result<()> {
+        kind_dispatch!(self, b => b.run_ewise::<T, Op, A>(w, mask, desc, x, y, scale))
+    }
+
+    fn run_axpy<T: Scalar>(self, x: &mut Vector<T>, alpha: T, y: &Vector<T>) -> Result<()> {
+        kind_dispatch!(self, b => b.run_axpy::<T>(x, alpha, y))
+    }
+
+    fn run_apply<T: Scalar, Op: UnaryOp<T>, A: AccumMode<T>>(
+        self,
+        out: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        input: &Vector<T>,
+    ) -> Result<()> {
+        kind_dispatch!(self, b => b.run_apply::<T, Op, A>(out, mask, desc, input))
+    }
+
+    fn run_lambda<T: Scalar, F: Fn(usize, &mut T) + Send + Sync>(
+        self,
+        out: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        f: F,
+    ) -> Result<()> {
+        kind_dispatch!(self, b => b.run_lambda::<T, F>(out, mask, desc, f))
+    }
+
+    fn run_reduce<T: Scalar, M: Monoid<T>>(
+        self,
+        x: &Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+    ) -> Result<T> {
+        kind_dispatch!(self, b => b.run_reduce::<T, M>(x, mask, desc))
+    }
+
+    fn run_dot<T: Scalar, R: Semiring<T>>(self, x: &Vector<T>, y: &Vector<T>) -> Result<T> {
+        kind_dispatch!(self, b => b.run_dot::<T, R>(x, y))
+    }
+
+    fn run_mxm<T: Scalar, R: Semiring<T>>(
+        self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        desc: Descriptor,
+    ) -> Result<CsrMatrix<T>> {
+        kind_dispatch!(self, b2 => b2.run_mxm::<T, R>(a, b, desc))
+    }
+}
+
+/// An execution context: backend choice + descriptor defaults, the entry
+/// point of every operation builder. See the [module docs](self) for the
+/// overall shape.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Ctx<E: Exec> {
+    exec: E,
+    defaults: Descriptor,
+}
+
+/// A context whose backend is chosen at runtime (CLI flag / environment).
+pub type DynCtx = Ctx<BackendKind>;
+
+/// Creates a compile-time-backend context: `ctx::<Parallel>()`.
+pub fn ctx<B: Backend>() -> Ctx<B> {
+    Ctx {
+        exec: B::default(),
+        defaults: Descriptor::DEFAULT,
+    }
+}
+
+impl<B: Backend> Ctx<B> {
+    /// Creates a context on the statically chosen backend `B`.
+    pub fn new() -> Ctx<B> {
+        ctx::<B>()
+    }
+}
+
+impl DynCtx {
+    /// Creates a runtime-dispatched context on the given backend.
+    pub fn runtime(kind: BackendKind) -> DynCtx {
+        Ctx {
+            exec: kind,
+            defaults: Descriptor::DEFAULT,
+        }
+    }
+
+    /// Creates a runtime-dispatched context from `GRB_BACKEND`, falling
+    /// back to `default` when unset or invalid.
+    pub fn from_env_or(default: BackendKind) -> DynCtx {
+        DynCtx::runtime(BackendKind::from_env().unwrap_or(default))
+    }
+
+    /// The runtime backend this context dispatches to.
+    pub fn kind(&self) -> BackendKind {
+        self.exec
+    }
+}
+
+impl<E: Exec> Ctx<E> {
+    /// Returns this context with `defaults` OR-ed into every builder's
+    /// starting descriptor (e.g. make all masked operations structural).
+    #[must_use]
+    pub fn with_defaults(mut self, defaults: Descriptor) -> Ctx<E> {
+        self.defaults = self.defaults.with(defaults);
+        self
+    }
+
+    /// The descriptor every builder starts from.
+    pub fn defaults(&self) -> Descriptor {
+        self.defaults
+    }
+
+    /// The degree of parallelism operations on this context will use.
+    pub fn threads(&self) -> usize {
+        self.exec.threads()
+    }
+
+    /// Human-readable backend name, used by benchmark reports.
+    pub fn backend_name(&self) -> &'static str {
+        self.exec.backend_name()
+    }
+
+    /// Starts `y = A ⊕.⊗ x` (default ring: [`PlusTimes`]).
+    pub fn mxv<'a, T: Scalar>(
+        &self,
+        a: &'a CsrMatrix<T>,
+        x: &'a Vector<T>,
+    ) -> MxvBuilder<'a, T, PlusTimes, NoAccum, E> {
+        MxvBuilder {
+            exec: self.exec,
+            a,
+            x,
+            mask: None,
+            desc: self.defaults,
+            _algebra: PhantomData,
+        }
+    }
+
+    /// Starts `y = xᵀA` (`vxm`), equal to `Aᵀx`: an [`MxvBuilder`] with the
+    /// transposition pre-toggled.
+    pub fn vxm<'a, T: Scalar>(
+        &self,
+        x: &'a Vector<T>,
+        a: &'a CsrMatrix<T>,
+    ) -> MxvBuilder<'a, T, PlusTimes, NoAccum, E> {
+        MxvBuilder {
+            exec: self.exec,
+            a,
+            x,
+            mask: None,
+            desc: self.defaults.toggled_transpose(),
+            _algebra: PhantomData,
+        }
+    }
+
+    /// Starts `C = A ⊕.⊗ B` (default ring: [`PlusTimes`]).
+    pub fn mxm<'a, T: Scalar>(
+        &self,
+        a: &'a CsrMatrix<T>,
+        b: &'a CsrMatrix<T>,
+    ) -> MxmBuilder<'a, T, PlusTimes, E> {
+        MxmBuilder {
+            exec: self.exec,
+            a,
+            b,
+            desc: self.defaults,
+            _algebra: PhantomData,
+        }
+    }
+
+    /// Starts `w = Op(x, y)` element-wise (default op: [`Plus`]).
+    pub fn ewise<'a, T: Scalar>(
+        &self,
+        x: &'a Vector<T>,
+        y: &'a Vector<T>,
+    ) -> EwiseBuilder<'a, T, Plus, NoAccum, E> {
+        EwiseBuilder {
+            exec: self.exec,
+            x,
+            y,
+            mask: None,
+            desc: self.defaults,
+            scale: None,
+            _algebra: PhantomData,
+        }
+    }
+
+    /// Starts `out = Op(input)` element-wise (default op: [`Identity`]).
+    pub fn apply<'a, T: Scalar>(
+        &self,
+        input: &'a Vector<T>,
+    ) -> ApplyBuilder<'a, T, Identity, NoAccum, E> {
+        ApplyBuilder {
+            exec: self.exec,
+            input,
+            mask: None,
+            desc: self.defaults,
+            _algebra: PhantomData,
+        }
+    }
+
+    /// Starts an in-place indexed update of `out` — the paper's
+    /// `eWiseLambda` (Listing 3): the terminal
+    /// [`apply`](TransformBuilder::apply) receives `(i, &mut out[i])` at
+    /// every selected index.
+    pub fn transform<'a, T: Scalar>(&self, out: &'a mut Vector<T>) -> TransformBuilder<'a, T, E> {
+        TransformBuilder {
+            exec: self.exec,
+            out,
+            mask: None,
+            desc: self.defaults,
+        }
+    }
+
+    /// Starts a fold of `x` over a monoid (default: [`Plus`]).
+    pub fn reduce<'a, T: Scalar>(&self, x: &'a Vector<T>) -> ReduceBuilder<'a, T, Plus, E> {
+        ReduceBuilder {
+            exec: self.exec,
+            x,
+            mask: None,
+            desc: self.defaults,
+            _algebra: PhantomData,
+        }
+    }
+
+    /// Starts `⟨x, y⟩` (default ring: [`PlusTimes`]).
+    pub fn dot<'a, T: Scalar>(
+        &self,
+        x: &'a Vector<T>,
+        y: &'a Vector<T>,
+    ) -> DotBuilder<'a, T, PlusTimes, E> {
+        DotBuilder {
+            exec: self.exec,
+            x,
+            y,
+            _algebra: PhantomData,
+        }
+    }
+
+    /// `‖x‖² = ⟨x, x⟩` over the arithmetic semiring.
+    pub fn norm2_squared<T: Scalar>(&self, x: &Vector<T>) -> Result<T>
+    where
+        PlusTimes: Semiring<T>,
+    {
+        self.exec.run_dot::<T, PlusTimes>(x, x)
+    }
+
+    /// `x = x + α·y` — in-place `axpy`. Stays a direct method because the
+    /// output aliases an input, which the two-operand `ewise` builder
+    /// cannot express under Rust's borrow rules.
+    pub fn axpy<T: Scalar>(&self, x: &mut Vector<T>, alpha: T, y: &Vector<T>) -> Result<()> {
+        self.exec.run_axpy::<T>(x, alpha, y)
+    }
+}
+
+/// Builder for `y⟨mask⟩ = y ⊙? (A ⊕.⊗ x)` (see [`Ctx::mxv`] / [`Ctx::vxm`]).
+#[must_use = "builders do nothing until the terminal `.into(&mut y)`"]
+pub struct MxvBuilder<'a, T: Scalar, R, A, E: Exec> {
+    exec: E,
+    a: &'a CsrMatrix<T>,
+    x: &'a Vector<T>,
+    mask: Option<&'a Vector<bool>>,
+    desc: Descriptor,
+    _algebra: PhantomData<(R, A)>,
+}
+
+impl<'a, T: Scalar, R, A, E: Exec> MxvBuilder<'a, T, R, A, E> {
+    /// Computes only the output positions selected by `mask`.
+    pub fn mask(mut self, mask: &'a Vector<bool>) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Toggles use of the matrix's transpose (no materialization). On a
+    /// [`Ctx::vxm`] builder this undoes the implicit transposition.
+    pub fn transpose(mut self) -> Self {
+        self.desc = self.desc.toggled_transpose();
+        self
+    }
+
+    /// ORs explicit descriptor flags into the builder state.
+    pub fn descriptor(mut self, desc: Descriptor) -> Self {
+        self.desc = self.desc.with(desc);
+        self
+    }
+
+    /// Switches the semiring (default: [`PlusTimes`]).
+    pub fn ring<R2>(self, _ring: R2) -> MxvBuilder<'a, T, R2, A, E> {
+        MxvBuilder {
+            exec: self.exec,
+            a: self.a,
+            x: self.x,
+            mask: self.mask,
+            desc: self.desc,
+            _algebra: PhantomData,
+        }
+    }
+
+    /// Accumulates into the output through `Op` (`y = Op(y, t)`) instead of
+    /// overwriting — the GraphBLAS `accum` parameter.
+    pub fn accum<Op>(self, _op: Op) -> MxvBuilder<'a, T, R, AccumWith<Op>, E> {
+        MxvBuilder {
+            exec: self.exec,
+            a: self.a,
+            x: self.x,
+            mask: self.mask,
+            desc: self.desc,
+            _algebra: PhantomData,
+        }
+    }
+}
+
+impl<T: Scalar, R: Semiring<T>, A: AccumMode<T>, E: Exec> MxvBuilder<'_, T, R, A, E> {
+    /// Executes into `y`. Unselected positions keep their prior values.
+    pub fn into(self, y: &mut Vector<T>) -> Result<()> {
+        self.exec
+            .run_mxv::<T, R, A>(y, self.mask, self.desc, self.a, self.x)
+    }
+}
+
+/// Builder for `C = A ⊕.⊗ B` (see [`Ctx::mxm`]).
+#[must_use = "builders do nothing until the terminal `.compute()`"]
+pub struct MxmBuilder<'a, T: Scalar, R, E: Exec> {
+    exec: E,
+    a: &'a CsrMatrix<T>,
+    b: &'a CsrMatrix<T>,
+    desc: Descriptor,
+    _algebra: PhantomData<R>,
+}
+
+impl<'a, T: Scalar, R, E: Exec> MxmBuilder<'a, T, R, E> {
+    /// Toggles use of `Aᵀ` (materialized once; `mxm` is setup-time).
+    pub fn transpose(mut self) -> Self {
+        self.desc = self.desc.toggled_transpose();
+        self
+    }
+
+    /// Switches the semiring (default: [`PlusTimes`]).
+    pub fn ring<R2>(self, _ring: R2) -> MxmBuilder<'a, T, R2, E> {
+        MxmBuilder {
+            exec: self.exec,
+            a: self.a,
+            b: self.b,
+            desc: self.desc,
+            _algebra: PhantomData,
+        }
+    }
+}
+
+impl<T: Scalar, R: Semiring<T>, E: Exec> MxmBuilder<'_, T, R, E> {
+    /// Executes, returning the product matrix.
+    pub fn compute(self) -> Result<CsrMatrix<T>> {
+        self.exec.run_mxm::<T, R>(self.a, self.b, self.desc)
+    }
+}
+
+/// Builder for `w⟨mask⟩ = w ⊙? Op(α·x, β·y)` (see [`Ctx::ewise`]).
+#[must_use = "builders do nothing until the terminal `.into(&mut w)`"]
+pub struct EwiseBuilder<'a, T: Scalar, Op, A, E: Exec> {
+    exec: E,
+    x: &'a Vector<T>,
+    y: &'a Vector<T>,
+    mask: Option<&'a Vector<bool>>,
+    desc: Descriptor,
+    scale: Option<(T, T)>,
+    _algebra: PhantomData<(Op, A)>,
+}
+
+impl<'a, T: Scalar, Op, A, E: Exec> EwiseBuilder<'a, T, Op, A, E> {
+    /// Computes only the output positions selected by `mask`.
+    pub fn mask(mut self, mask: &'a Vector<bool>) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Scales the operands before the operator: `Op(α·x, β·y)`. With the
+    /// default [`Plus`] this is HPCG's fused `waxpby` kernel.
+    pub fn scaled(mut self, alpha: T, beta: T) -> Self {
+        self.scale = Some((alpha, beta));
+        self
+    }
+
+    /// Switches the element-wise operator (default: [`Plus`]).
+    pub fn op<Op2>(self, _op: Op2) -> EwiseBuilder<'a, T, Op2, A, E> {
+        EwiseBuilder {
+            exec: self.exec,
+            x: self.x,
+            y: self.y,
+            mask: self.mask,
+            desc: self.desc,
+            scale: self.scale,
+            _algebra: PhantomData,
+        }
+    }
+
+    /// Accumulates into the output through `AccOp` instead of overwriting.
+    pub fn accum<AccOp>(self, _op: AccOp) -> EwiseBuilder<'a, T, Op, AccumWith<AccOp>, E> {
+        EwiseBuilder {
+            exec: self.exec,
+            x: self.x,
+            y: self.y,
+            mask: self.mask,
+            desc: self.desc,
+            scale: self.scale,
+            _algebra: PhantomData,
+        }
+    }
+}
+
+impl<T: Scalar, Op: BinaryOp<T>, A: AccumMode<T>, E: Exec> EwiseBuilder<'_, T, Op, A, E> {
+    /// Executes into `w`. Unselected positions keep their prior values.
+    pub fn into(self, w: &mut Vector<T>) -> Result<()> {
+        self.exec
+            .run_ewise::<T, Op, A>(w, self.mask, self.desc, self.x, self.y, self.scale)
+    }
+}
+
+/// Builder for `out⟨mask⟩ = out ⊙? Op(input)` (see [`Ctx::apply`]).
+#[must_use = "builders do nothing until the terminal `.into(&mut out)`"]
+pub struct ApplyBuilder<'a, T: Scalar, Op, A, E: Exec> {
+    exec: E,
+    input: &'a Vector<T>,
+    mask: Option<&'a Vector<bool>>,
+    desc: Descriptor,
+    _algebra: PhantomData<(Op, A)>,
+}
+
+impl<'a, T: Scalar, Op, A, E: Exec> ApplyBuilder<'a, T, Op, A, E> {
+    /// Computes only the output positions selected by `mask`.
+    pub fn mask(mut self, mask: &'a Vector<bool>) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Switches the unary operator (default: [`Identity`]).
+    pub fn op<Op2>(self, _op: Op2) -> ApplyBuilder<'a, T, Op2, A, E> {
+        ApplyBuilder {
+            exec: self.exec,
+            input: self.input,
+            mask: self.mask,
+            desc: self.desc,
+            _algebra: PhantomData,
+        }
+    }
+
+    /// Accumulates into the output through `AccOp` instead of overwriting.
+    pub fn accum<AccOp>(self, _op: AccOp) -> ApplyBuilder<'a, T, Op, AccumWith<AccOp>, E> {
+        ApplyBuilder {
+            exec: self.exec,
+            input: self.input,
+            mask: self.mask,
+            desc: self.desc,
+            _algebra: PhantomData,
+        }
+    }
+}
+
+impl<T: Scalar, Op: UnaryOp<T>, A: AccumMode<T>, E: Exec> ApplyBuilder<'_, T, Op, A, E> {
+    /// Executes into `out`. Unselected positions keep their prior values.
+    pub fn into(self, out: &mut Vector<T>) -> Result<()> {
+        self.exec
+            .run_apply::<T, Op, A>(out, self.mask, self.desc, self.input)
+    }
+}
+
+/// Builder for the in-place indexed update (see [`Ctx::transform`]).
+#[must_use = "builders do nothing until the terminal `.apply(f)`"]
+pub struct TransformBuilder<'a, T: Scalar, E: Exec> {
+    exec: E,
+    out: &'a mut Vector<T>,
+    mask: Option<&'a Vector<bool>>,
+    desc: Descriptor,
+}
+
+impl<'a, T: Scalar, E: Exec> TransformBuilder<'a, T, E> {
+    /// Updates only the positions selected by `mask`.
+    pub fn mask(mut self, mask: &'a Vector<bool>) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Executes `f(i, &mut out[i])` at every selected index. The closure
+    /// may capture shared references to other vectors (as the paper's
+    /// `eWiseLambda` captures `r`, `tmp`, `A_diag`); under a parallel
+    /// backend it runs concurrently for different `i`.
+    pub fn apply<F: Fn(usize, &mut T) + Send + Sync>(self, f: F) -> Result<()> {
+        self.exec
+            .run_lambda::<T, F>(self.out, self.mask, self.desc, f)
+    }
+}
+
+/// Builder for a monoid fold of a vector (see [`Ctx::reduce`]).
+#[must_use = "builders do nothing until the terminal `.compute()`"]
+pub struct ReduceBuilder<'a, T: Scalar, M, E: Exec> {
+    exec: E,
+    x: &'a Vector<T>,
+    mask: Option<&'a Vector<bool>>,
+    desc: Descriptor,
+    _algebra: PhantomData<M>,
+}
+
+impl<'a, T: Scalar, M, E: Exec> ReduceBuilder<'a, T, M, E> {
+    /// Folds only the positions selected by `mask`.
+    pub fn mask(mut self, mask: &'a Vector<bool>) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Switches the monoid (default: [`Plus`]).
+    pub fn monoid<M2>(self, _monoid: M2) -> ReduceBuilder<'a, T, M2, E> {
+        ReduceBuilder {
+            exec: self.exec,
+            x: self.x,
+            mask: self.mask,
+            desc: self.desc,
+            _algebra: PhantomData,
+        }
+    }
+}
+
+impl<T: Scalar, M: Monoid<T>, E: Exec> ReduceBuilder<'_, T, M, E> {
+    /// Executes, returning the fold (the monoid identity on empty
+    /// selections).
+    pub fn compute(self) -> Result<T> {
+        self.exec.run_reduce::<T, M>(self.x, self.mask, self.desc)
+    }
+}
+
+/// Builder for `⟨x, y⟩` (see [`Ctx::dot`]).
+#[must_use = "builders do nothing until the terminal `.compute()`"]
+pub struct DotBuilder<'a, T: Scalar, R, E: Exec> {
+    exec: E,
+    x: &'a Vector<T>,
+    y: &'a Vector<T>,
+    _algebra: PhantomData<R>,
+}
+
+impl<'a, T: Scalar, R, E: Exec> DotBuilder<'a, T, R, E> {
+    /// Switches the semiring (default: [`PlusTimes`]).
+    pub fn ring<R2>(self, _ring: R2) -> DotBuilder<'a, T, R2, E> {
+        DotBuilder {
+            exec: self.exec,
+            x: self.x,
+            y: self.y,
+            _algebra: PhantomData,
+        }
+    }
+}
+
+impl<T: Scalar, R: Semiring<T>, E: Exec> DotBuilder<'_, T, R, E> {
+    /// Executes, returning the inner product.
+    pub fn compute(self) -> Result<T> {
+        self.exec.run_dot::<T, R>(self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::Times;
+    use crate::ops::semiring::MinPlus;
+
+    fn a2() -> CsrMatrix<f64> {
+        CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn backend_kind_parsing() {
+        assert_eq!(BackendKind::parse("seq"), Some(BackendKind::Sequential));
+        assert_eq!(
+            BackendKind::parse("SEQUENTIAL"),
+            Some(BackendKind::Sequential)
+        );
+        assert_eq!(BackendKind::parse("par"), Some(BackendKind::Parallel));
+        assert_eq!(
+            BackendKind::parse(" Parallel "),
+            Some(BackendKind::Parallel)
+        );
+        assert_eq!(BackendKind::parse("gpu"), None);
+        assert!("par".parse::<BackendKind>().is_ok());
+        assert!("tpu".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::Sequential.to_string(), "seq");
+    }
+
+    #[test]
+    fn static_and_dynamic_contexts_agree() {
+        let a = a2();
+        let x = Vector::from_dense(vec![1.0, 2.0]);
+        let mut y_static = Vector::zeros(2);
+        ctx::<Sequential>().mxv(&a, &x).into(&mut y_static).unwrap();
+        for kind in [BackendKind::Sequential, BackendKind::Parallel] {
+            let mut y_dyn = Vector::zeros(2);
+            DynCtx::runtime(kind).mxv(&a, &x).into(&mut y_dyn).unwrap();
+            assert_eq!(y_static.as_slice(), y_dyn.as_slice(), "backend {kind}");
+        }
+    }
+
+    #[test]
+    fn dyn_ctx_reports_backend() {
+        let seq = DynCtx::runtime(BackendKind::Sequential);
+        assert_eq!(seq.kind(), BackendKind::Sequential);
+        assert_eq!(seq.threads(), 1);
+        assert_eq!(seq.backend_name(), "sequential");
+        let par = DynCtx::runtime(BackendKind::Parallel);
+        assert!(par.threads() >= 1);
+    }
+
+    #[test]
+    fn defaults_seed_every_builder() {
+        let a = a2();
+        let x = Vector::from_dense(vec![1.0, 1.0]);
+        let mask = Vector::<bool>::from_entries(2, &[(0, false), (1, true)]).unwrap();
+        // A context whose masks are structural by default: the stored-but-
+        // false entry still selects.
+        let exec = ctx::<Sequential>().with_defaults(Descriptor::STRUCTURAL);
+        assert!(exec.defaults().is_structural());
+        let mut y = Vector::from_dense(vec![-1.0, -1.0]);
+        exec.mxv(&a, &x).mask(&mask).into(&mut y).unwrap();
+        assert_eq!(
+            y.as_slice(),
+            &[3.0, 3.0],
+            "structural default selects both rows"
+        );
+    }
+
+    #[test]
+    fn fluent_chain_composes_every_axis() {
+        // The ISSUE's canonical chain: mask + structural + transpose + accum.
+        let a = a2();
+        let x = Vector::from_dense(vec![1.0, 2.0]);
+        let m = Vector::<bool>::sparse_filled(2, vec![1], true).unwrap();
+        let mut y = Vector::from_dense(vec![5.0, 5.0]);
+        ctx::<Sequential>()
+            .mxv(&a, &x)
+            .mask(&m)
+            .structural()
+            .transpose()
+            .accum(Plus)
+            .into(&mut y)
+            .unwrap();
+        // (Aᵀx)[1] = 1·1 + 3·2 = 7, accumulated onto 5; index 0 untouched.
+        assert_eq!(y.as_slice(), &[5.0, 12.0]);
+    }
+
+    #[test]
+    fn ring_rebinding_composes_with_dyn() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 2.0)]).unwrap();
+        let x = Vector::from_dense(vec![0.0, 10.0]);
+        let mut y = Vector::zeros(2);
+        DynCtx::runtime(BackendKind::Parallel)
+            .mxv(&a, &x)
+            .ring(MinPlus)
+            .into(&mut y)
+            .unwrap();
+        assert_eq!(y.as_slice(), &[11.0, 2.0]);
+    }
+
+    #[test]
+    fn mxm_builder_transposes() {
+        let a = a2();
+        let exec = ctx::<Sequential>();
+        let direct = exec.mxm(&a, &a).compute().unwrap();
+        assert_eq!(direct.get(0, 1), Some(5.0), "(A²)[0,1] = 2·1 + 1·3");
+        let at_a = exec.mxm(&a, &a).transpose().compute().unwrap();
+        let manual = exec.mxm(&a.transpose(), &a).compute().unwrap();
+        assert_eq!(at_a, manual);
+    }
+
+    #[test]
+    fn ewise_times_and_dot_builders() {
+        let exec = ctx::<Sequential>();
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let y = Vector::from_dense(vec![4.0, 5.0, 6.0]);
+        let mut w = Vector::zeros(3);
+        exec.ewise(&x, &y).op(Times).into(&mut w).unwrap();
+        assert_eq!(w.as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(exec.dot(&x, &y).compute().unwrap(), 32.0);
+        assert_eq!(exec.dot(&x, &y).ring(MinPlus).compute().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn env_fallback_used_when_var_absent() {
+        // GRB_BACKEND is not set in the test environment.
+        if std::env::var("GRB_BACKEND").is_err() {
+            let exec = DynCtx::from_env_or(BackendKind::Parallel);
+            assert_eq!(exec.kind(), BackendKind::Parallel);
+        }
+    }
+}

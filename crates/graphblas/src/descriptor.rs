@@ -24,20 +24,32 @@ pub struct Descriptor {
 
 impl Descriptor {
     /// No modifiers: mask values are honored, matrices untransposed.
-    pub const DEFAULT: Descriptor =
-        Descriptor { structural: false, transpose: false, invert_mask: false };
+    pub const DEFAULT: Descriptor = Descriptor {
+        structural: false,
+        transpose: false,
+        invert_mask: false,
+    };
 
     /// Use only the sparsity pattern of the mask (ignore stored values).
-    pub const STRUCTURAL: Descriptor =
-        Descriptor { structural: true, transpose: false, invert_mask: false };
+    pub const STRUCTURAL: Descriptor = Descriptor {
+        structural: true,
+        transpose: false,
+        invert_mask: false,
+    };
 
     /// Use the matrix operand transposed, without materializing it.
-    pub const TRANSPOSE: Descriptor =
-        Descriptor { structural: false, transpose: true, invert_mask: false };
+    pub const TRANSPOSE: Descriptor = Descriptor {
+        structural: false,
+        transpose: true,
+        invert_mask: false,
+    };
 
     /// Select where the mask does **not** (complement semantics).
-    pub const INVERT_MASK: Descriptor =
-        Descriptor { structural: false, transpose: false, invert_mask: true };
+    pub const INVERT_MASK: Descriptor = Descriptor {
+        structural: false,
+        transpose: false,
+        invert_mask: true,
+    };
 
     /// Combines this descriptor with another, or-ing all flags.
     #[must_use]
@@ -46,6 +58,16 @@ impl Descriptor {
             structural: self.structural || other.structural,
             transpose: self.transpose || other.transpose,
             invert_mask: self.invert_mask || other.invert_mask,
+        }
+    }
+
+    /// This descriptor with the transpose flag flipped — used by `vxm`
+    /// (`xᵀA == Aᵀx`) and by builders toggling transposition fluently.
+    #[must_use]
+    pub const fn toggled_transpose(self) -> Descriptor {
+        Descriptor {
+            transpose: !self.transpose,
+            ..self
         }
     }
 

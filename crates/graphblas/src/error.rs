@@ -37,7 +37,10 @@ impl fmt::Display for GrbError {
                 write!(f, "dimension mismatch in {op}: {detail}")
             }
             GrbError::IndexOutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for container of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for container of length {len}"
+                )
             }
             GrbError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             GrbError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
@@ -69,8 +72,14 @@ mod tests {
 
     #[test]
     fn display_dimension_mismatch() {
-        let e = GrbError::DimensionMismatch { op: "mxv", detail: "x: expected 4, got 3".into() };
-        assert_eq!(e.to_string(), "dimension mismatch in mxv: x: expected 4, got 3");
+        let e = GrbError::DimensionMismatch {
+            op: "mxv",
+            detail: "x: expected 4, got 3".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in mxv: x: expected 4, got 3"
+        );
     }
 
     #[test]

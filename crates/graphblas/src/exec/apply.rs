@@ -7,27 +7,33 @@
 //! the C++ capture-by-reference lambda as a closure that borrows the read
 //! vectors and receives `&mut` access to the one output slot — the
 //! disjointness of masked indices makes the parallel version sound.
+//!
+//! The public way in is [`Ctx::apply`](crate::Ctx::apply) /
+//! [`Ctx::transform`](crate::Ctx::transform); the free functions remain as
+//! deprecated shims for one release.
 
 use crate::backend::Backend;
 use crate::container::vector::Vector;
 use crate::descriptor::Descriptor;
 use crate::error::Result;
 use crate::exec::for_each_selected;
+use crate::ops::accum::{AccumMode, NoAccum};
 use crate::ops::scalar::Scalar;
 use crate::ops::unary::UnaryOp;
 use crate::util::UnsafeSlice;
 
-/// `out⟨mask⟩ = Op(input)` element-wise; unselected outputs untouched.
-pub fn apply<T, Op, B>(
+/// `out⟨mask⟩ = out ⊙? Op(input)` — the unary-application kernel behind the
+/// builder API.
+pub(crate) fn apply_exec<T, Op, A, B>(
     out: &mut Vector<T>,
     mask: Option<&Vector<bool>>,
     desc: Descriptor,
     input: &Vector<T>,
-    _op: Op,
 ) -> Result<()>
 where
     T: Scalar,
     Op: UnaryOp<T>,
+    A: AccumMode<T>,
     B: Backend,
 {
     crate::error::check_dims("apply", "input vs output", out.len(), input.len())?;
@@ -36,18 +42,14 @@ where
     let slots = UnsafeSlice::new(out.as_mut_slice());
     for_each_selected::<B, _>(n, mask, desc, |i| {
         // SAFETY: selected indices are unique per the mask contract.
-        unsafe { slots.write(i, Op::apply(xs[i])) };
+        unsafe { A::store(slots.get_mut(i), Op::apply(xs[i])) };
     })?;
     Ok(())
 }
 
-/// Applies `f(i, &mut out[i])` at every selected index.
-///
-/// The closure may capture shared references to any other vectors (as the
-/// paper's `eWiseLambda` captures `r`, `tmp`, `A_diag`); it receives
-/// exclusive access to the single output slot `out[i]`. Under a parallel
-/// backend the closure runs concurrently for different `i`.
-pub fn ewise_lambda<T, B, F>(
+/// Applies `f(i, &mut out[i])` at every selected index — the kernel behind
+/// [`Ctx::transform`](crate::Ctx::transform).
+pub(crate) fn ewise_lambda_exec<T, B, F>(
     out: &mut Vector<T>,
     mask: Option<&Vector<bool>>,
     desc: Descriptor,
@@ -68,17 +70,66 @@ where
     Ok(())
 }
 
+/// `out⟨mask⟩ = Op(input)` element-wise; unselected outputs untouched.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the execution-context builder: `ctx.apply(&input).op(Op).into(&mut out)`"
+)]
+pub fn apply<T, Op, B>(
+    out: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    desc: Descriptor,
+    input: &Vector<T>,
+    _op: Op,
+) -> Result<()>
+where
+    T: Scalar,
+    Op: UnaryOp<T>,
+    B: Backend,
+{
+    apply_exec::<T, Op, NoAccum, B>(out, mask, desc, input)
+}
+
+/// Applies `f(i, &mut out[i])` at every selected index.
+///
+/// The closure may capture shared references to any other vectors (as the
+/// paper's `eWiseLambda` captures `r`, `tmp`, `A_diag`); it receives
+/// exclusive access to the single output slot `out[i]`. Under a parallel
+/// backend the closure runs concurrently for different `i`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the execution-context builder: `ctx.transform(&mut out).apply(f)`"
+)]
+pub fn ewise_lambda<T, B, F>(
+    out: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    desc: Descriptor,
+    f: F,
+) -> Result<()>
+where
+    T: Scalar,
+    B: Backend,
+    F: Fn(usize, &mut T) + Send + Sync,
+{
+    ewise_lambda_exec::<T, B, F>(out, mask, desc, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::backend::{Parallel, Sequential};
+    use crate::context::ctx;
+    use crate::ops::binary::Plus;
     use crate::ops::unary::{Abs, AdditiveInverse, MultiplicativeInverse};
 
     #[test]
     fn apply_unmasked() {
         let x = Vector::from_dense(vec![1.0, -2.0, 3.0]);
         let mut y = Vector::zeros(3);
-        apply::<f64, AdditiveInverse, Sequential>(&mut y, None, Descriptor::DEFAULT, &x, AdditiveInverse)
+        ctx::<Sequential>()
+            .apply(&x)
+            .op(AdditiveInverse)
+            .into(&mut y)
             .unwrap();
         assert_eq!(y.as_slice(), &[-1.0, 2.0, -3.0]);
     }
@@ -88,37 +139,50 @@ mod tests {
         let x = Vector::from_dense(vec![-1.0, -2.0, -3.0, -4.0]);
         let mut y = Vector::from_dense(vec![9.0; 4]);
         let mask = Vector::<bool>::sparse_filled(4, vec![1, 3], true).unwrap();
-        apply::<f64, Abs, Sequential>(&mut y, Some(&mask), Descriptor::STRUCTURAL, &x, Abs)
+        ctx::<Sequential>()
+            .apply(&x)
+            .op(Abs)
+            .mask(&mask)
+            .structural()
+            .into(&mut y)
             .unwrap();
         assert_eq!(y.as_slice(), &[9.0, 2.0, 9.0, 4.0]);
+    }
+
+    #[test]
+    fn apply_accumulates() {
+        let x = Vector::from_dense(vec![1.0, 2.0]);
+        let mut y = Vector::from_dense(vec![10.0, 20.0]);
+        ctx::<Sequential>()
+            .apply(&x)
+            .op(Abs)
+            .accum(Plus)
+            .into(&mut y)
+            .unwrap();
+        assert_eq!(y.as_slice(), &[11.0, 22.0]);
     }
 
     #[test]
     fn apply_dim_mismatch() {
         let x = Vector::<f64>::zeros(3);
         let mut y = Vector::<f64>::zeros(4);
-        assert!(
-            apply::<f64, Abs, Sequential>(&mut y, None, Descriptor::DEFAULT, &x, Abs).is_err()
-        );
+        assert!(ctx::<Sequential>().apply(&x).op(Abs).into(&mut y).is_err());
     }
 
     #[test]
     fn apply_in_place_via_same_length() {
         let x = Vector::from_dense(vec![4.0, 0.5]);
         let mut y = Vector::zeros(2);
-        apply::<f64, MultiplicativeInverse, Sequential>(
-            &mut y,
-            None,
-            Descriptor::DEFAULT,
-            &x,
-            MultiplicativeInverse,
-        )
-        .unwrap();
+        ctx::<Sequential>()
+            .apply(&x)
+            .op(MultiplicativeInverse)
+            .into(&mut y)
+            .unwrap();
         assert_eq!(y.as_slice(), &[0.25, 2.0]);
     }
 
     #[test]
-    fn ewise_lambda_rbgs_update_shape() {
+    fn transform_rbgs_update_shape() {
         // The exact update of Listing 3: x[i] = (r[i] - tmp[i] + x[i]*d)/d.
         let r = Vector::from_dense(vec![10.0, 20.0, 30.0]);
         let tmp = Vector::from_dense(vec![1.0, 2.0, 3.0]);
@@ -126,31 +190,39 @@ mod tests {
         let mut x = Vector::from_dense(vec![1.0, 1.0, 1.0]);
         let mask = Vector::<bool>::sparse_filled(3, vec![0, 2], true).unwrap();
         let (rs, ts, ds) = (r.as_slice(), tmp.as_slice(), diag.as_slice());
-        ewise_lambda::<f64, Sequential, _>(&mut x, Some(&mask), Descriptor::STRUCTURAL, |i, xi| {
-            let d = ds[i];
-            *xi = (rs[i] - ts[i] + *xi * d) / d;
-        })
-        .unwrap();
+        ctx::<Sequential>()
+            .transform(&mut x)
+            .mask(&mask)
+            .structural()
+            .apply(|i, xi| {
+                let d = ds[i];
+                *xi = (rs[i] - ts[i] + *xi * d) / d;
+            })
+            .unwrap();
         assert_eq!(x.as_slice()[0], (10.0 - 1.0 + 2.0) / 2.0);
         assert_eq!(x.as_slice()[1], 1.0, "unmasked slot untouched");
         assert_eq!(x.as_slice()[2], (30.0 - 3.0 + 5.0) / 5.0);
     }
 
     #[test]
-    fn ewise_lambda_parallel_matches_sequential() {
+    fn transform_parallel_matches_sequential() {
         let n = 10_000;
         let r: Vector<f64> = Vector::from_dense((0..n).map(|i| (i % 7) as f64).collect());
         let mut x1 = Vector::from_dense((0..n).map(|i| (i % 3) as f64).collect());
         let mut x2 = x1.clone();
         let rs = r.as_slice();
-        ewise_lambda::<f64, Sequential, _>(&mut x1, None, Descriptor::DEFAULT, |i, xi| {
-            *xi = *xi * 2.0 + rs[i];
-        })
-        .unwrap();
-        ewise_lambda::<f64, Parallel, _>(&mut x2, None, Descriptor::DEFAULT, |i, xi| {
-            *xi = *xi * 2.0 + rs[i];
-        })
-        .unwrap();
+        ctx::<Sequential>()
+            .transform(&mut x1)
+            .apply(|i, xi| {
+                *xi = *xi * 2.0 + rs[i];
+            })
+            .unwrap();
+        ctx::<Parallel>()
+            .transform(&mut x2)
+            .apply(|i, xi| {
+                *xi = *xi * 2.0 + rs[i];
+            })
+            .unwrap();
         assert_eq!(x1.as_slice(), x2.as_slice());
     }
 }

@@ -1,34 +1,39 @@
 //! Element-wise binary operations on vectors.
 //!
 //! Covers HPCG's `waxpby` kernel (`w = α·x + β·y`, paper §II-C) plus the
-//! general GraphBLAS `eWiseApply`. `waxpby` gets a dedicated kernel because
-//! it is one of CG's three hot operations and fusing the two scalings with
-//! the addition halves memory traffic versus two passes.
+//! general GraphBLAS `eWiseApply`. All variants funnel into one kernel,
+//! [`ewise_exec`], generic over the operator, an optional operand scaling
+//! (which turns `Plus` into `waxpby` — fusing the two scalings with the
+//! addition halves memory traffic versus two passes) and an
+//! [`AccumMode`] (which turns `Times` + `AccumWith<Plus>` into the old
+//! `ewise_mul_add`). The public way in is [`Ctx::ewise`](crate::Ctx::ewise);
+//! the free functions remain as deprecated shims for one release.
 
 use crate::backend::Backend;
 use crate::container::vector::Vector;
 use crate::descriptor::Descriptor;
 use crate::error::{check_dims, Result};
 use crate::exec::for_each_selected;
-use crate::ops::binary::BinaryOp;
+use crate::ops::accum::{AccumMode, AccumWith, NoAccum};
+use crate::ops::binary::{BinaryOp, Plus, Times};
 use crate::ops::scalar::Scalar;
 use crate::util::UnsafeSlice;
 
-/// `w⟨mask⟩ = Op(x, y)` element-wise over the full index space.
-///
-/// This is GraphBLAS `eWiseApply` with set-union semantics on dense
-/// operands: both inputs are read densely (absent entries are domain zero).
-pub fn ewise<T, Op, B>(
+/// `w⟨mask⟩ = w ⊙? Op(α·x, β·y)` — the single element-wise kernel behind
+/// the builder API. The `scale` branch sits outside the loop, so the
+/// unscaled form pays nothing for the option.
+pub(crate) fn ewise_exec<T, Op, A, B>(
     w: &mut Vector<T>,
     mask: Option<&Vector<bool>>,
     desc: Descriptor,
     x: &Vector<T>,
     y: &Vector<T>,
-    _op: Op,
+    scale: Option<(T, T)>,
 ) -> Result<()>
 where
     T: Scalar,
     Op: BinaryOp<T>,
+    A: AccumMode<T>,
     B: Backend,
 {
     check_dims("ewise", "x vs output", w.len(), x.len())?;
@@ -37,39 +42,29 @@ where
     let ys = y.as_slice();
     let n = w.len();
     let slots = UnsafeSlice::new(w.as_mut_slice());
-    for_each_selected::<B, _>(n, mask, desc, |i| {
-        // SAFETY: selected indices are unique per the mask contract.
-        unsafe { slots.write(i, Op::apply(xs[i], ys[i])) };
-    })?;
-    Ok(())
-}
-
-/// `w = α·x + β·y` — HPCG's `waxpby`.
-///
-/// `w` may alias neither `x` nor `y` through Rust's borrow rules, but the
-/// common in-place forms (`x = x + βy`) are expressed by passing the same
-/// vector as `w` after cloning is avoided at the call site via
-/// [`axpy_in_place`].
-pub fn waxpby<T, B>(w: &mut Vector<T>, alpha: T, x: &Vector<T>, beta: T, y: &Vector<T>) -> Result<()>
-where
-    T: Scalar,
-    B: Backend,
-{
-    check_dims("waxpby", "x vs output", w.len(), x.len())?;
-    check_dims("waxpby", "y vs output", w.len(), y.len())?;
-    let xs = x.as_slice();
-    let ys = y.as_slice();
-    let n = w.len();
-    let slots = UnsafeSlice::new(w.as_mut_slice());
-    B::for_n(n, |i| {
-        // SAFETY: each index visited exactly once.
-        unsafe { slots.write(i, alpha.mul(xs[i]).add(beta.mul(ys[i]))) };
-    });
+    match scale {
+        None => for_each_selected::<B, _>(n, mask, desc, |i| {
+            // SAFETY: selected indices are unique per the mask contract.
+            unsafe { A::store(slots.get_mut(i), Op::apply(xs[i], ys[i])) };
+        })?,
+        Some((alpha, beta)) => for_each_selected::<B, _>(n, mask, desc, |i| {
+            // SAFETY: selected indices are unique per the mask contract.
+            unsafe {
+                A::store(
+                    slots.get_mut(i),
+                    Op::apply(alpha.mul(xs[i]), beta.mul(ys[i])),
+                )
+            };
+        })?,
+    }
     Ok(())
 }
 
 /// `x = x + α·y` — the in-place `axpy` CG uses for its vector updates.
-pub fn axpy_in_place<T, B>(x: &mut Vector<T>, alpha: T, y: &Vector<T>) -> Result<()>
+///
+/// Stays a dedicated kernel because the output aliases an input, which the
+/// two-operand builder form cannot express under Rust's borrow rules.
+pub(crate) fn axpy_exec<T, B>(x: &mut Vector<T>, alpha: T, y: &Vector<T>) -> Result<()>
 where
     T: Scalar,
     B: Backend,
@@ -88,44 +83,88 @@ where
     Ok(())
 }
 
-/// `w = w ⊕ (x ⊗ y)` element-wise with explicit accumulate — GraphBLAS
-/// `eWiseMult` with a `plus` accumulator, exposed for solver fusion
-/// experiments (see the `fused` module of the `hpcg` crate).
+/// `w⟨mask⟩ = Op(x, y)` element-wise over the full index space.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the execution-context builder: `ctx.ewise(&x, &y).op(Op).into(&mut w)`"
+)]
+pub fn ewise<T, Op, B>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    desc: Descriptor,
+    x: &Vector<T>,
+    y: &Vector<T>,
+    _op: Op,
+) -> Result<()>
+where
+    T: Scalar,
+    Op: BinaryOp<T>,
+    B: Backend,
+{
+    ewise_exec::<T, Op, NoAccum, B>(w, mask, desc, x, y, None)
+}
+
+/// `w = α·x + β·y` — HPCG's `waxpby`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the execution-context builder: `ctx.ewise(&x, &y).scaled(alpha, beta).into(&mut w)`"
+)]
+pub fn waxpby<T, B>(
+    w: &mut Vector<T>,
+    alpha: T,
+    x: &Vector<T>,
+    beta: T,
+    y: &Vector<T>,
+) -> Result<()>
+where
+    T: Scalar,
+    B: Backend,
+{
+    ewise_exec::<T, Plus, NoAccum, B>(w, None, Descriptor::DEFAULT, x, y, Some((alpha, beta)))
+}
+
+/// `x = x + α·y` — the in-place `axpy` CG uses for its vector updates.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the execution-context convenience: `ctx.axpy(&mut x, alpha, &y)`"
+)]
+pub fn axpy_in_place<T, B>(x: &mut Vector<T>, alpha: T, y: &Vector<T>) -> Result<()>
+where
+    T: Scalar,
+    B: Backend,
+{
+    axpy_exec::<T, B>(x, alpha, y)
+}
+
+/// `w = w ⊕ (x ⊗ y)` element-wise with explicit accumulate.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the execution-context builder: `ctx.ewise(&x, &y).op(Times).accum(Plus).into(&mut w)`"
+)]
 pub fn ewise_mul_add<T, B>(w: &mut Vector<T>, x: &Vector<T>, y: &Vector<T>) -> Result<()>
 where
     T: Scalar,
     B: Backend,
 {
-    check_dims("ewise_mul_add", "x vs output", w.len(), x.len())?;
-    check_dims("ewise_mul_add", "y vs output", w.len(), y.len())?;
-    let xs = x.as_slice();
-    let ys = y.as_slice();
-    let n = w.len();
-    let slots = UnsafeSlice::new(w.as_mut_slice());
-    B::for_n(n, |i| {
-        // SAFETY: each index visited exactly once.
-        unsafe {
-            let slot = slots.get_mut(i);
-            *slot = slot.add(xs[i].mul(ys[i]));
-        }
-    });
-    Ok(())
+    ewise_exec::<T, Times, AccumWith<Plus>, B>(w, None, Descriptor::DEFAULT, x, y, None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::backend::{Parallel, Sequential};
+    use crate::context::ctx;
     use crate::ops::binary::{Minus, Plus, Times};
 
     #[test]
     fn ewise_plus_and_minus() {
         let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
         let y = Vector::from_dense(vec![10.0, 20.0, 30.0]);
+        let exec = ctx::<Sequential>();
         let mut w = Vector::zeros(3);
-        ewise::<f64, Plus, Sequential>(&mut w, None, Descriptor::DEFAULT, &x, &y, Plus).unwrap();
+        exec.ewise(&x, &y).op(Plus).into(&mut w).unwrap();
         assert_eq!(w.as_slice(), &[11.0, 22.0, 33.0]);
-        ewise::<f64, Minus, Sequential>(&mut w, None, Descriptor::DEFAULT, &y, &x, Minus).unwrap();
+        exec.ewise(&y, &x).op(Minus).into(&mut w).unwrap();
         assert_eq!(w.as_slice(), &[9.0, 18.0, 27.0]);
     }
 
@@ -135,7 +174,12 @@ mod tests {
         let y = Vector::from_dense(vec![3.0, 4.0]);
         let mut w = Vector::from_dense(vec![0.5, 0.5]);
         let mask = Vector::<bool>::sparse_filled(2, vec![1], true).unwrap();
-        ewise::<f64, Times, Sequential>(&mut w, Some(&mask), Descriptor::STRUCTURAL, &x, &y, Times)
+        ctx::<Sequential>()
+            .ewise(&x, &y)
+            .op(Times)
+            .mask(&mask)
+            .structural()
+            .into(&mut w)
             .unwrap();
         assert_eq!(w.as_slice(), &[0.5, 8.0]);
     }
@@ -145,7 +189,11 @@ mod tests {
         let x = Vector::from_dense(vec![1.0, 2.0]);
         let y = Vector::from_dense(vec![10.0, 20.0]);
         let mut w = Vector::zeros(2);
-        waxpby::<f64, Sequential>(&mut w, 2.0, &x, -1.0, &y).unwrap();
+        ctx::<Sequential>()
+            .ewise(&x, &y)
+            .scaled(2.0, -1.0)
+            .into(&mut w)
+            .unwrap();
         assert_eq!(w.as_slice(), &[-8.0, -16.0]);
     }
 
@@ -156,8 +204,16 @@ mod tests {
         let y = Vector::from_dense((0..n).map(|i| (i % 5) as f64).collect());
         let mut w1 = Vector::zeros(n);
         let mut w2 = Vector::zeros(n);
-        waxpby::<f64, Sequential>(&mut w1, 3.0, &x, -2.0, &y).unwrap();
-        waxpby::<f64, Parallel>(&mut w2, 3.0, &x, -2.0, &y).unwrap();
+        ctx::<Sequential>()
+            .ewise(&x, &y)
+            .scaled(3.0, -2.0)
+            .into(&mut w1)
+            .unwrap();
+        ctx::<Parallel>()
+            .ewise(&x, &y)
+            .scaled(3.0, -2.0)
+            .into(&mut w2)
+            .unwrap();
         assert_eq!(w1.as_slice(), w2.as_slice());
     }
 
@@ -165,7 +221,7 @@ mod tests {
     fn axpy_in_place_updates() {
         let mut x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
         let y = Vector::from_dense(vec![1.0, 1.0, 1.0]);
-        axpy_in_place::<f64, Sequential>(&mut x, 0.5, &y).unwrap();
+        ctx::<Sequential>().axpy(&mut x, 0.5, &y).unwrap();
         assert_eq!(x.as_slice(), &[1.5, 2.5, 3.5]);
     }
 
@@ -174,27 +230,71 @@ mod tests {
         let mut w = Vector::from_dense(vec![1.0, 1.0]);
         let x = Vector::from_dense(vec![2.0, 3.0]);
         let y = Vector::from_dense(vec![10.0, 10.0]);
-        ewise_mul_add::<f64, Sequential>(&mut w, &x, &y).unwrap();
+        ctx::<Sequential>()
+            .ewise(&x, &y)
+            .op(Times)
+            .accum(Plus)
+            .into(&mut w)
+            .unwrap();
         assert_eq!(w.as_slice(), &[21.0, 31.0]);
     }
 
     #[test]
+    fn scaled_op_composes_with_accum() {
+        // w = w ⊙ (αx + βy): the collapse the builder enables — previously
+        // required a temporary plus two passes.
+        let mut w = Vector::from_dense(vec![100.0, 200.0]);
+        let x = Vector::from_dense(vec![1.0, 2.0]);
+        let y = Vector::from_dense(vec![10.0, 20.0]);
+        ctx::<Sequential>()
+            .ewise(&x, &y)
+            .scaled(2.0, 1.0)
+            .accum(Minus)
+            .into(&mut w)
+            .unwrap();
+        assert_eq!(w.as_slice(), &[100.0 - 12.0, 200.0 - 24.0]);
+    }
+
+    #[test]
     fn dim_mismatches_rejected() {
+        let exec = ctx::<Sequential>();
         let short = Vector::<f64>::zeros(2);
         let long = Vector::<f64>::zeros(3);
         let mut w = Vector::<f64>::zeros(3);
-        assert!(ewise::<f64, Plus, Sequential>(
-            &mut w,
-            None,
-            Descriptor::DEFAULT,
-            &short,
-            &long,
-            Plus
-        )
-        .is_err());
-        assert!(waxpby::<f64, Sequential>(&mut w, 1.0, &short, 1.0, &long).is_err());
+        assert!(exec.ewise(&short, &long).op(Plus).into(&mut w).is_err());
+        assert!(exec
+            .ewise(&short, &long)
+            .scaled(1.0, 1.0)
+            .into(&mut w)
+            .is_err());
         let mut x = Vector::<f64>::zeros(3);
-        assert!(axpy_in_place::<f64, Sequential>(&mut x, 1.0, &short).is_err());
-        assert!(ewise_mul_add::<f64, Sequential>(&mut w, &short, &long).is_err());
+        assert!(exec.axpy(&mut x, 1.0, &short).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_functions_match_builders() {
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let y = Vector::from_dense(vec![10.0, 20.0, 30.0]);
+        let mut shim = Vector::zeros(3);
+        waxpby::<f64, Sequential>(&mut shim, 2.0, &x, -1.0, &y).unwrap();
+        let mut builder = Vector::zeros(3);
+        ctx::<Sequential>()
+            .ewise(&x, &y)
+            .scaled(2.0, -1.0)
+            .into(&mut builder)
+            .unwrap();
+        assert_eq!(shim.as_slice(), builder.as_slice());
+
+        let mut shim_acc = Vector::from_dense(vec![1.0, 1.0, 1.0]);
+        ewise_mul_add::<f64, Sequential>(&mut shim_acc, &x, &y).unwrap();
+        let mut builder_acc = Vector::from_dense(vec![1.0, 1.0, 1.0]);
+        ctx::<Sequential>()
+            .ewise(&x, &y)
+            .op(Times)
+            .accum(Plus)
+            .into(&mut builder_acc)
+            .unwrap();
+        assert_eq!(shim_acc.as_slice(), builder_acc.as_slice());
     }
 }

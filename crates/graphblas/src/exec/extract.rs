@@ -22,7 +22,10 @@ where
     check_dims("extract", "output vs index list", indices.len(), out.len())?;
     for &i in indices {
         if i as usize >= x.len() {
-            return Err(GrbError::IndexOutOfBounds { index: i as usize, len: x.len() });
+            return Err(GrbError::IndexOutOfBounds {
+                index: i as usize,
+                len: x.len(),
+            });
         }
     }
     let xs = x.as_slice();
@@ -41,15 +44,25 @@ where
     T: Scalar,
     B: Backend,
 {
-    check_dims("assign", "values vs index list", indices.len(), values.len())?;
+    check_dims(
+        "assign",
+        "values vs index list",
+        indices.len(),
+        values.len(),
+    )?;
     let mut seen = vec![false; x.len()];
     for &i in indices {
         let i = i as usize;
         if i >= x.len() {
-            return Err(GrbError::IndexOutOfBounds { index: i, len: x.len() });
+            return Err(GrbError::IndexOutOfBounds {
+                index: i,
+                len: x.len(),
+            });
         }
         if seen[i] {
-            return Err(GrbError::InvalidInput(format!("duplicate assign index {i}")));
+            return Err(GrbError::InvalidInput(format!(
+                "duplicate assign index {i}"
+            )));
         }
         seen[i] = true;
     }
@@ -67,28 +80,32 @@ where
 /// `rows` and `cols` are explicit index lists; `cols` must be strictly
 /// increasing (keeps the output's column order sorted in one pass), `rows`
 /// may repeat or reorder — the `GrB_Matrix_extract` contract.
-pub fn extract_submatrix<T, B>(
-    a: &CsrMatrix<T>,
-    rows: &[u32],
-    cols: &[u32],
-) -> Result<CsrMatrix<T>>
+pub fn extract_submatrix<T, B>(a: &CsrMatrix<T>, rows: &[u32], cols: &[u32]) -> Result<CsrMatrix<T>>
 where
     T: Scalar,
     B: Backend,
 {
     for &r in rows {
         if r as usize >= a.nrows() {
-            return Err(GrbError::IndexOutOfBounds { index: r as usize, len: a.nrows() });
+            return Err(GrbError::IndexOutOfBounds {
+                index: r as usize,
+                len: a.nrows(),
+            });
         }
     }
     // Inverse column map: global column -> output column (or absent).
     let mut col_map: Vec<u32> = vec![u32::MAX; a.ncols()];
     for (k, &c) in cols.iter().enumerate() {
         if c as usize >= a.ncols() {
-            return Err(GrbError::IndexOutOfBounds { index: c as usize, len: a.ncols() });
+            return Err(GrbError::IndexOutOfBounds {
+                index: c as usize,
+                len: a.ncols(),
+            });
         }
         if k > 0 && cols[k - 1] >= c {
-            return Err(GrbError::InvalidInput("extract columns must be strictly increasing".into()));
+            return Err(GrbError::InvalidInput(
+                "extract columns must be strictly increasing".into(),
+            ));
         }
         col_map[c as usize] = k as u32;
     }
@@ -149,7 +166,14 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0), (1, 2, 4.0), (2, 0, 5.0), (2, 2, 6.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 1, 2.0),
+                (1, 1, 3.0),
+                (1, 2, 4.0),
+                (2, 0, 5.0),
+                (2, 2, 6.0),
+            ],
         )
         .unwrap();
         // Rows [2, 0], columns [0, 2] → [[5, 6], [1, 0]].
@@ -167,7 +191,10 @@ mod tests {
         let a = CsrMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 1.0)]).unwrap();
         assert!(extract_submatrix::<f64, Sequential>(&a, &[5], &[0]).is_err());
         assert!(extract_submatrix::<f64, Sequential>(&a, &[0], &[5]).is_err());
-        assert!(extract_submatrix::<f64, Sequential>(&a, &[0], &[1, 0]).is_err(), "cols must increase");
+        assert!(
+            extract_submatrix::<f64, Sequential>(&a, &[0], &[1, 0]).is_err(),
+            "cols must increase"
+        );
     }
 
     #[test]
@@ -175,7 +202,13 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 2.0), (0, 2, -1.0), (2, 0, -1.0), (1, 1, 3.0), (2, 2, 2.0)],
+            &[
+                (0, 0, 2.0),
+                (0, 2, -1.0),
+                (2, 0, -1.0),
+                (1, 1, 3.0),
+                (2, 2, 2.0),
+            ],
         )
         .unwrap();
         let sub = extract_submatrix::<f64, Sequential>(&a, &[0, 2], &[0, 2]).unwrap();

@@ -8,8 +8,8 @@
 //! relies on.
 
 pub mod apply;
-pub mod extract;
 pub mod ewise;
+pub mod extract;
 pub mod mxm;
 pub mod mxv;
 pub mod reduce;
@@ -115,7 +115,13 @@ where
         (None, true) => M::identity(),
         (_, false) => {
             let vals = m.as_slice();
-            B::fold::<T, M, _>(n, |i| if vals[i] != inverted { map(i) } else { M::identity() })
+            B::fold::<T, M, _>(n, |i| {
+                if vals[i] != inverted {
+                    map(i)
+                } else {
+                    M::identity()
+                }
+            })
         }
     })
 }
@@ -127,34 +133,40 @@ mod tests {
     use crate::ops::binary::Plus;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
-    fn collect_selected(
-        n: usize,
-        mask: Option<&Vector<bool>>,
-        desc: Descriptor,
-    ) -> Vec<usize> {
-        let hits = parking_lot::Mutex::new(Vec::new());
-        for_each_selected::<Sequential, _>(n, mask, desc, |i| hits.lock().push(i)).unwrap();
-        let mut v = hits.into_inner();
+    fn collect_selected(n: usize, mask: Option<&Vector<bool>>, desc: Descriptor) -> Vec<usize> {
+        let hits = std::sync::Mutex::new(Vec::new());
+        for_each_selected::<Sequential, _>(n, mask, desc, |i| hits.lock().unwrap().push(i))
+            .unwrap();
+        let mut v = hits.into_inner().unwrap();
         v.sort_unstable();
         v
     }
 
     #[test]
     fn no_mask_selects_all() {
-        assert_eq!(collect_selected(4, None, Descriptor::DEFAULT), vec![0, 1, 2, 3]);
+        assert_eq!(
+            collect_selected(4, None, Descriptor::DEFAULT),
+            vec![0, 1, 2, 3]
+        );
     }
 
     #[test]
     fn sparse_structural_fast_path() {
         let m = Vector::<bool>::sparse_filled(6, vec![1, 4], true).unwrap();
-        assert_eq!(collect_selected(6, Some(&m), Descriptor::STRUCTURAL), vec![1, 4]);
+        assert_eq!(
+            collect_selected(6, Some(&m), Descriptor::STRUCTURAL),
+            vec![1, 4]
+        );
     }
 
     #[test]
     fn sparse_structural_ignores_values() {
         // Stored-but-false entries still select under structural.
         let m = Vector::<bool>::from_entries(4, &[(0, false), (2, true)]).unwrap();
-        assert_eq!(collect_selected(4, Some(&m), Descriptor::STRUCTURAL), vec![0, 2]);
+        assert_eq!(
+            collect_selected(4, Some(&m), Descriptor::STRUCTURAL),
+            vec![0, 2]
+        );
         // ... but not under value semantics.
         assert_eq!(collect_selected(4, Some(&m), Descriptor::DEFAULT), vec![2]);
     }
@@ -192,9 +204,13 @@ mod tests {
     #[test]
     fn fold_selected_matches_for_each() {
         let m = Vector::<bool>::sparse_filled(10, vec![2, 3, 7], true).unwrap();
-        let s: usize =
-            fold_selected::<Sequential, usize, Plus, _>(10, Some(&m), Descriptor::STRUCTURAL, |i| i)
-                .unwrap();
+        let s: usize = fold_selected::<Sequential, usize, Plus, _>(
+            10,
+            Some(&m),
+            Descriptor::STRUCTURAL,
+            |i| i,
+        )
+        .unwrap();
         assert_eq!(s, 2 + 3 + 7);
         let all: usize =
             fold_selected::<Sequential, usize, Plus, _>(10, None, Descriptor::DEFAULT, |i| i)

@@ -17,11 +17,29 @@ use crate::ops::semiring::Semiring;
 /// `C = A ⊕.⊗ B` (or `Aᵀ B` under [`Descriptor::TRANSPOSE`], which
 /// materializes `Aᵀ` once — `mxm` is a setup-time operation in this crate,
 /// not an inner-loop one).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the execution-context builder: `ctx.mxm(&a, &b).compute()`"
+)]
 pub fn mxm<T, R, B>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
     desc: Descriptor,
     _ring: R,
+) -> Result<CsrMatrix<T>>
+where
+    T: Scalar,
+    R: Semiring<T>,
+    B: Backend,
+{
+    mxm_exec::<T, R, B>(a, b, desc)
+}
+
+/// The mxm kernel behind the builder API (two-pass row-wise Gustavson).
+pub(crate) fn mxm_exec<T, R, B>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    desc: Descriptor,
 ) -> Result<CsrMatrix<T>>
 where
     T: Scalar,
@@ -74,7 +92,7 @@ where
     // Pass 2 (numeric): per-row sparse accumulator. Rows are independent, so
     // this pass could parallelize over disjoint output slices; it runs
     // sequentially because mxm sits outside every benchmarked loop.
-    let _ = B::threads();
+    let _ = <B as Backend>::threads();
     {
         let mut accum: Vec<T> = vec![R::zero(); n];
         let mut pattern: Vec<u32> = Vec::with_capacity(64);
@@ -110,7 +128,7 @@ where
 mod tests {
     use super::*;
     use crate::backend::Sequential;
-    use crate::ops::semiring::PlusTimes;
+    use crate::context::ctx;
 
     fn dense_to_csr(rows: &[&[f64]]) -> CsrMatrix<f64> {
         let nrows = rows.len();
@@ -130,7 +148,7 @@ mod tests {
     fn small_product() {
         let a = dense_to_csr(&[&[1.0, 2.0], &[0.0, 3.0]]);
         let b = dense_to_csr(&[&[4.0, 0.0], &[1.0, 5.0]]);
-        let c = mxm::<f64, PlusTimes, Sequential>(&a, &b, Descriptor::DEFAULT, PlusTimes).unwrap();
+        let c = ctx::<Sequential>().mxm(&a, &b).compute().unwrap();
         // [[1*4+2*1, 2*5], [3*1, 3*5]]
         assert_eq!(c.get(0, 0), Some(6.0));
         assert_eq!(c.get(0, 1), Some(10.0));
@@ -142,7 +160,7 @@ mod tests {
     fn identity_is_neutral() {
         let a = dense_to_csr(&[&[1.0, 2.0, 0.0], &[0.0, 0.0, 3.0], &[4.0, 0.0, 5.0]]);
         let i3 = dense_to_csr(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
-        let c = mxm::<f64, PlusTimes, Sequential>(&a, &i3, Descriptor::DEFAULT, PlusTimes).unwrap();
+        let c = ctx::<Sequential>().mxm(&a, &i3).compute().unwrap();
         for (r, col, v) in a.iter_entries() {
             assert_eq!(c.get(r, col), Some(v));
         }
@@ -153,10 +171,13 @@ mod tests {
     fn transpose_descriptor() {
         let a = dense_to_csr(&[&[1.0, 0.0], &[2.0, 3.0]]);
         let b = dense_to_csr(&[&[1.0, 1.0], &[0.0, 1.0]]);
-        let c = mxm::<f64, PlusTimes, Sequential>(&a, &b, Descriptor::TRANSPOSE, PlusTimes).unwrap();
+        let c = ctx::<Sequential>()
+            .mxm(&a, &b)
+            .transpose()
+            .compute()
+            .unwrap();
         let at = a.transpose();
-        let expected =
-            mxm::<f64, PlusTimes, Sequential>(&at, &b, Descriptor::DEFAULT, PlusTimes).unwrap();
+        let expected = ctx::<Sequential>().mxm(&at, &b).compute().unwrap();
         assert_eq!(c, expected);
     }
 
@@ -167,9 +188,12 @@ mod tests {
         let a = dense_to_csr(&[&[2.0, -1.0], &[-1.0, 2.0]]);
         // P has P[i, perm(i)] = 1 with perm = [1, 0].
         let p = dense_to_csr(&[&[0.0, 1.0], &[1.0, 0.0]]);
-        let ap = mxm::<f64, PlusTimes, Sequential>(&a, &p, Descriptor::DEFAULT, PlusTimes).unwrap();
-        let ptap =
-            mxm::<f64, PlusTimes, Sequential>(&p, &ap, Descriptor::TRANSPOSE, PlusTimes).unwrap();
+        let ap = ctx::<Sequential>().mxm(&a, &p).compute().unwrap();
+        let ptap = ctx::<Sequential>()
+            .mxm(&p, &ap)
+            .transpose()
+            .compute()
+            .unwrap();
         // Symmetric tridiagonal is invariant under this swap.
         assert_eq!(ptap.get(0, 0), Some(2.0));
         assert_eq!(ptap.get(0, 1), Some(-1.0));
@@ -180,7 +204,7 @@ mod tests {
     fn dimension_mismatch() {
         let a = dense_to_csr(&[&[1.0, 2.0]]);
         let b = dense_to_csr(&[&[1.0]]);
-        assert!(mxm::<f64, PlusTimes, Sequential>(&a, &b, Descriptor::DEFAULT, PlusTimes).is_err());
+        assert!(ctx::<Sequential>().mxm(&a, &b).compute().is_err());
     }
 
     #[test]
@@ -189,7 +213,7 @@ mod tests {
         // pattern is value-independent).
         let a = dense_to_csr(&[&[1.0, -1.0]]);
         let b = dense_to_csr(&[&[1.0], &[1.0]]);
-        let c = mxm::<f64, PlusTimes, Sequential>(&a, &b, Descriptor::DEFAULT, PlusTimes).unwrap();
+        let c = ctx::<Sequential>().mxm(&a, &b).compute().unwrap();
         assert_eq!(c.get(0, 0), Some(0.0));
         assert_eq!(c.nnz(), 1);
     }

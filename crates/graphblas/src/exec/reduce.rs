@@ -3,6 +3,10 @@
 //! `dot` is the second of CG's three hot kernels (paper §II-C). In BSP terms
 //! it is also the kernel that forces a global synchronization per CG
 //! iteration, which the distributed simulation accounts for.
+//!
+//! The public way in is [`Ctx::reduce`](crate::Ctx::reduce) /
+//! [`Ctx::dot`](crate::Ctx::dot); the free functions remain as deprecated
+//! shims for one release.
 
 use crate::backend::Backend;
 use crate::container::vector::Vector;
@@ -13,8 +17,13 @@ use crate::ops::monoid::Monoid;
 use crate::ops::scalar::Scalar;
 use crate::ops::semiring::Semiring;
 
-/// Folds the selected entries of `x` over monoid `M`.
-pub fn reduce<T, M, B>(x: &Vector<T>, mask: Option<&Vector<bool>>, desc: Descriptor) -> Result<T>
+/// Folds the selected entries of `x` over monoid `M` — the kernel behind
+/// the reduce builder.
+pub(crate) fn reduce_exec<T, M, B>(
+    x: &Vector<T>,
+    mask: Option<&Vector<bool>>,
+    desc: Descriptor,
+) -> Result<T>
 where
     T: Scalar,
     M: Monoid<T>,
@@ -24,8 +33,9 @@ where
     fold_selected::<B, T, M, _>(x.len(), mask, desc, |i| xs[i])
 }
 
-/// `⟨x, y⟩ = ⊕_i x_i ⊗ y_i` over semiring `R`.
-pub fn dot<T, R, B>(x: &Vector<T>, y: &Vector<T>, _ring: R) -> Result<T>
+/// `⟨x, y⟩ = ⊕_i x_i ⊗ y_i` over semiring `R` — the kernel behind the dot
+/// builder.
+pub(crate) fn dot_exec<T, R, B>(x: &Vector<T>, y: &Vector<T>) -> Result<T>
 where
     T: Scalar,
     R: Semiring<T>,
@@ -37,32 +47,66 @@ where
     Ok(B::fold::<T, R::Add, _>(x.len(), |i| R::mul(xs[i], ys[i])))
 }
 
-/// `‖x‖² = ⟨x, x⟩` over the arithmetic semiring — the residual norm CG
-/// tracks each iteration.
-pub fn norm2_squared<T, R, B>(x: &Vector<T>, ring: R) -> Result<T>
+/// Folds the selected entries of `x` over monoid `M`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the execution-context builder: `ctx.reduce(&x).monoid(M).compute()`"
+)]
+pub fn reduce<T, M, B>(x: &Vector<T>, mask: Option<&Vector<bool>>, desc: Descriptor) -> Result<T>
+where
+    T: Scalar,
+    M: Monoid<T>,
+    B: Backend,
+{
+    reduce_exec::<T, M, B>(x, mask, desc)
+}
+
+/// `⟨x, y⟩ = ⊕_i x_i ⊗ y_i` over semiring `R`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the execution-context builder: `ctx.dot(&x, &y).compute()`"
+)]
+pub fn dot<T, R, B>(x: &Vector<T>, y: &Vector<T>, _ring: R) -> Result<T>
 where
     T: Scalar,
     R: Semiring<T>,
     B: Backend,
 {
-    dot::<T, R, B>(x, x, ring)
+    dot_exec::<T, R, B>(x, y)
+}
+
+/// `‖x‖² = ⟨x, x⟩` over the arithmetic semiring — the residual norm CG
+/// tracks each iteration.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the execution-context convenience: `ctx.norm2_squared(&x)`"
+)]
+pub fn norm2_squared<T, R, B>(x: &Vector<T>, _ring: R) -> Result<T>
+where
+    T: Scalar,
+    R: Semiring<T>,
+    B: Backend,
+{
+    dot_exec::<T, R, B>(x, x)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::backend::{Parallel, Sequential};
-    use crate::ops::binary::{Max, Min, Plus};
-    use crate::ops::semiring::PlusTimes;
+    use crate::context::ctx;
+    use crate::ops::binary::{Max, Min};
+    use crate::ops::semiring::MinPlus;
 
     #[test]
     fn reduce_sum_min_max() {
         let x = Vector::from_dense(vec![3.0, -1.0, 4.0, 1.0, -5.0]);
-        let s = reduce::<f64, Plus, Sequential>(&x, None, Descriptor::DEFAULT).unwrap();
+        let exec = ctx::<Sequential>();
+        let s = exec.reduce(&x).compute().unwrap();
         assert_eq!(s, 2.0);
-        let mn = reduce::<f64, Min, Sequential>(&x, None, Descriptor::DEFAULT).unwrap();
+        let mn = exec.reduce(&x).monoid(Min).compute().unwrap();
         assert_eq!(mn, -5.0);
-        let mx = reduce::<f64, Max, Sequential>(&x, None, Descriptor::DEFAULT).unwrap();
+        let mx = exec.reduce(&x).monoid(Max).compute().unwrap();
         assert_eq!(mx, 4.0);
     }
 
@@ -70,19 +114,26 @@ mod tests {
     fn reduce_masked() {
         let x = Vector::from_dense(vec![1.0, 2.0, 4.0, 8.0]);
         let mask = Vector::<bool>::sparse_filled(4, vec![0, 2], true).unwrap();
-        let s = reduce::<f64, Plus, Sequential>(&x, Some(&mask), Descriptor::STRUCTURAL).unwrap();
+        let exec = ctx::<Sequential>();
+        let s = exec.reduce(&x).mask(&mask).structural().compute().unwrap();
         assert_eq!(s, 5.0);
-        let inv = Descriptor::STRUCTURAL.with(Descriptor::INVERT_MASK);
-        let s = reduce::<f64, Plus, Sequential>(&x, Some(&mask), inv).unwrap();
+        let s = exec
+            .reduce(&x)
+            .mask(&mask)
+            .structural()
+            .invert_mask()
+            .compute()
+            .unwrap();
         assert_eq!(s, 10.0);
     }
 
     #[test]
     fn reduce_empty_is_identity() {
         let x = Vector::<f64>::zeros(0);
-        assert_eq!(reduce::<f64, Plus, Sequential>(&x, None, Descriptor::DEFAULT).unwrap(), 0.0);
+        let exec = ctx::<Sequential>();
+        assert_eq!(exec.reduce(&x).compute().unwrap(), 0.0);
         assert_eq!(
-            reduce::<f64, Min, Sequential>(&x, None, Descriptor::DEFAULT).unwrap(),
+            exec.reduce(&x).monoid(Min).compute().unwrap(),
             f64::INFINITY
         );
     }
@@ -91,20 +142,35 @@ mod tests {
     fn dot_basic() {
         let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
         let y = Vector::from_dense(vec![4.0, -5.0, 6.0]);
-        assert_eq!(dot::<f64, PlusTimes, Sequential>(&x, &y, PlusTimes).unwrap(), 12.0);
+        assert_eq!(ctx::<Sequential>().dot(&x, &y).compute().unwrap(), 12.0);
+    }
+
+    #[test]
+    fn dot_over_tropical_ring() {
+        // min_i (x_i + y_i): the ring parameter stays fully generic.
+        let x = Vector::from_dense(vec![3.0, 1.0, 9.0]);
+        let y = Vector::from_dense(vec![2.0, 5.0, 1.0]);
+        assert_eq!(
+            ctx::<Sequential>()
+                .dot(&x, &y)
+                .ring(MinPlus)
+                .compute()
+                .unwrap(),
+            5.0
+        );
     }
 
     #[test]
     fn dot_dim_mismatch() {
         let x = Vector::<f64>::zeros(2);
         let y = Vector::<f64>::zeros(3);
-        assert!(dot::<f64, PlusTimes, Sequential>(&x, &y, PlusTimes).is_err());
+        assert!(ctx::<Sequential>().dot(&x, &y).compute().is_err());
     }
 
     #[test]
     fn norm2() {
         let x = Vector::from_dense(vec![3.0, 4.0]);
-        assert_eq!(norm2_squared::<f64, PlusTimes, Sequential>(&x, PlusTimes).unwrap(), 25.0);
+        assert_eq!(ctx::<Sequential>().norm2_squared(&x).unwrap(), 25.0);
     }
 
     #[test]
@@ -112,8 +178,8 @@ mod tests {
         let n = 50_000;
         let x = Vector::from_dense((0..n).map(|i| ((i % 17) as f64) - 8.0).collect());
         let y = Vector::from_dense((0..n).map(|i| ((i % 13) as f64) - 6.0).collect());
-        let a = dot::<f64, PlusTimes, Sequential>(&x, &y, PlusTimes).unwrap();
-        let b = dot::<f64, PlusTimes, Parallel>(&x, &y, PlusTimes).unwrap();
+        let a = ctx::<Sequential>().dot(&x, &y).compute().unwrap();
+        let b = ctx::<Parallel>().dot(&x, &y).compute().unwrap();
         // Small-integer-valued products sum exactly in f64 at this size.
         assert_eq!(a, b);
     }

@@ -44,11 +44,15 @@ pub fn read_matrix_market<R: BufRead>(r: R) -> Result<CsrMatrix<f64>> {
         .map_err(io_err)?;
     let header_lc = header.to_ascii_lowercase();
     if !header_lc.starts_with("%%matrixmarket matrix coordinate real") {
-        return Err(GrbError::InvalidInput(format!("unsupported header: {header}")));
+        return Err(GrbError::InvalidInput(format!(
+            "unsupported header: {header}"
+        )));
     }
     let symmetric = header_lc.contains("symmetric");
     if !symmetric && !header_lc.contains("general") {
-        return Err(GrbError::InvalidInput(format!("unsupported symmetry in: {header}")));
+        return Err(GrbError::InvalidInput(format!(
+            "unsupported symmetry in: {header}"
+        )));
     }
 
     let mut dims: Option<(usize, usize, usize)> = None;
@@ -70,11 +74,15 @@ pub fn read_matrix_market<R: BufRead>(r: R) -> Result<CsrMatrix<f64>> {
         }
         let r: usize = parse(it.next(), "row index")?;
         let c: usize = parse(it.next(), "col index")?;
-        let v: f64 = it.next().unwrap_or("1").parse().map_err(|_| {
-            GrbError::InvalidInput(format!("bad value in line: {line}"))
-        })?;
+        let v: f64 = it
+            .next()
+            .unwrap_or("1")
+            .parse()
+            .map_err(|_| GrbError::InvalidInput(format!("bad value in line: {line}")))?;
         if r == 0 || c == 0 {
-            return Err(GrbError::InvalidInput("Matrix Market indices are 1-based".into()));
+            return Err(GrbError::InvalidInput(
+                "Matrix Market indices are 1-based".into(),
+            ));
         }
         triplets.push((r - 1, c - 1, v));
         if symmetric && r != c {
@@ -104,9 +112,14 @@ pub fn read_vector_market<R: BufRead>(r: R) -> Result<Vector<f64>> {
         let line = line.map_err(io_err)?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('%') {
-            if k == 0 && !line.to_ascii_lowercase().starts_with("%%matrixmarket matrix array real")
+            if k == 0
+                && !line
+                    .to_ascii_lowercase()
+                    .starts_with("%%matrixmarket matrix array real")
             {
-                return Err(GrbError::InvalidInput(format!("unsupported header: {line}")));
+                return Err(GrbError::InvalidInput(format!(
+                    "unsupported header: {line}"
+                )));
             }
             continue;
         }
@@ -115,7 +128,9 @@ pub fn read_vector_market<R: BufRead>(r: R) -> Result<Vector<f64>> {
             let n: usize = parse(it.next(), "length")?;
             let cols: usize = parse(it.next(), "columns")?;
             if cols != 1 {
-                return Err(GrbError::InvalidInput("only single-column vectors supported".into()));
+                return Err(GrbError::InvalidInput(
+                    "only single-column vectors supported".into(),
+                ));
             }
             expect = Some(n);
             values.reserve(n);
@@ -128,7 +143,10 @@ pub fn read_vector_market<R: BufRead>(r: R) -> Result<Vector<f64>> {
     }
     let n = expect.ok_or_else(|| GrbError::InvalidInput("missing size line".into()))?;
     if values.len() != n {
-        return Err(GrbError::InvalidInput(format!("declared {n} values, found {}", values.len())));
+        return Err(GrbError::InvalidInput(format!(
+            "declared {n} values, found {}",
+            values.len()
+        )));
     }
     Ok(Vector::from_dense(values))
 }
@@ -171,7 +189,8 @@ mod tests {
 
     #[test]
     fn symmetric_expansion() {
-        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 2.0\n2 1 -1.0\n3 3 5.0\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 2.0\n2 1 -1.0\n3 3 5.0\n";
         let a = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
         assert_eq!(a.get(0, 1), Some(-1.0), "mirrored entry");
         assert_eq!(a.get(1, 0), Some(-1.0));

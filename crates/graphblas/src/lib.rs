@@ -7,42 +7,75 @@
 //!
 //! * **containers are opaque** — [`Vector`] and [`CsrMatrix`] expose no
 //!   storage details to algorithms, only algebraic operations;
-//! * **operations are algebraic** — every primitive ([`mxv`], [`dot`],
-//!   [`ewise`], [`reduce`], …) is parameterized by an algebraic structure
-//!   ([`BinaryOp`], [`Monoid`], [`Semiring`]) expressed as a zero-sized Rust
-//!   type, the analogue of ALP's C++ template metaprogramming: the operation
-//!   monomorphizes and inlines to exactly the arithmetic the caller chose;
-//! * **backends are swappable** — the same algorithm text runs sequentially
-//!   ([`Sequential`]) or data-parallel via rayon ([`Parallel`]), mirroring
-//!   ALP's compile-time backend selection (§IV of the paper);
-//! * **descriptors pass domain information** — [`Descriptor::STRUCTURAL`]
-//!   makes masked operations follow only the sparsity pattern of the mask and
-//!   [`Descriptor::TRANSPOSE`] uses a matrix's transpose without
-//!   materializing it, both of which the paper's HPCG port relies on
-//!   (Listing 3 and §III-B).
+//! * **operations are algebraic** — every primitive is parameterized by an
+//!   algebraic structure ([`BinaryOp`], [`Monoid`], [`Semiring`]) expressed
+//!   as a zero-sized Rust type, the analogue of ALP's C++ template
+//!   metaprogramming: the operation monomorphizes and inlines to exactly
+//!   the arithmetic the caller chose;
+//! * **execution is owned by a context** — a [`Ctx`] pairs the kernels with
+//!   an execution configuration, mirroring ALP's launcher (§IV). The
+//!   backend is either fixed at compile time (`ctx::<Sequential>()`,
+//!   `ctx::<Parallel>()` — rayon data-parallel) or selected at runtime
+//!   through [`DynCtx`] and [`BackendKind`] (`--backend seq|par`,
+//!   `GRB_BACKEND=par`);
+//! * **modifiers are builder state** — masks, the structural/transpose/
+//!   inverted-mask descriptor flags and the optional accumulator chain
+//!   fluently off each operation instead of riding along as positional
+//!   arguments.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use graphblas::{CsrMatrix, Vector, Descriptor, PlusTimes, Sequential, mxv};
+//! use graphblas::{ctx, CsrMatrix, Plus, Sequential, Vector};
 //!
 //! // A 2x2 matrix [[2, 0], [1, 3]] from (row, col, value) triplets.
 //! let a = CsrMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0)]).unwrap();
 //! let x = Vector::from_dense(vec![1.0, 2.0]);
+//! let exec = ctx::<Sequential>();          // or ctx::<Parallel>()
+//!
+//! // y = A ⊕.⊗ x over the default arithmetic semiring.
 //! let mut y = Vector::zeros(2);
-//! mxv::<f64, PlusTimes, Sequential>(&mut y, None, Descriptor::DEFAULT, &a, &x, PlusTimes).unwrap();
+//! exec.mxv(&a, &x).into(&mut y).unwrap();
 //! assert_eq!(y.as_slice(), &[2.0, 7.0]);
+//!
+//! // Modifiers are fluent builder state: y += Aᵀ·x at masked rows only.
+//! let mask = Vector::<bool>::sparse_filled(2, vec![1], true).unwrap();
+//! exec.mxv(&a, &x).transpose().mask(&mask).structural().accum(Plus)
+//!     .into(&mut y)
+//!     .unwrap();
+//! assert_eq!(y.as_slice(), &[2.0, 13.0]);
+//!
+//! // Reductions and element-wise kernels hang off the same context.
+//! assert_eq!(exec.dot(&x, &y).compute().unwrap(), 28.0);
+//! let mut w = Vector::zeros(2);
+//! exec.ewise(&x, &y).scaled(2.0, -1.0).into(&mut w).unwrap();   // w = 2x − y
+//! assert_eq!(w.as_slice(), &[0.0, -9.0]);
 //! ```
+//!
+//! Runtime backend selection uses the same builders through [`DynCtx`]:
+//!
+//! ```
+//! use graphblas::{BackendKind, DynCtx, Vector};
+//!
+//! let exec = DynCtx::from_env_or(BackendKind::Parallel);  // honors GRB_BACKEND
+//! let x = Vector::from_dense(vec![3.0, 4.0]);
+//! assert_eq!(exec.norm2_squared(&x).unwrap(), 25.0);
+//! ```
+//!
+//! The pre-0.2 free functions (`mxv(&mut y, None, Descriptor::DEFAULT, …)`)
+//! remain available as `#[deprecated]` shims for one release; they forward
+//! to the same kernels the builders lower onto.
 //!
 //! # Module map
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`ops`] | algebraic structures: binary/unary operators, monoids, semirings |
+//! | [`context`] | [`Ctx`], [`DynCtx`], [`BackendKind`] and the operation builders |
+//! | [`ops`] | algebraic structures: binary/unary operators, monoids, semirings, accumulation modes |
 //! | [`container`] | [`Vector`] (dense or sparse pattern) and [`CsrMatrix`] |
 //! | [`descriptor`] | operation descriptors (structural mask, transpose, …) |
 //! | [`backend`] | [`Sequential`] and [`Parallel`] execution backends |
-//! | [`exec`] | the primitives: `mxv`, `vxm`, `mxm`, `ewise*`, `apply`, `reduce`, `dot` |
+//! | [`exec`] | the kernels behind the builders (+ deprecated free-function shims) |
 //! | [`linop`] | matrix-free [`LinearOperator`] extension (paper §VII-A) |
 
 #![warn(missing_docs)]
@@ -51,6 +84,7 @@
 pub mod algorithms;
 pub mod backend;
 pub mod container;
+pub mod context;
 pub mod descriptor;
 pub mod error;
 pub mod exec;
@@ -62,17 +96,30 @@ pub(crate) mod util;
 pub use backend::{Backend, Parallel, Sequential};
 pub use container::matrix::CsrMatrix;
 pub use container::vector::Vector;
+pub use context::{
+    ctx, ApplyBuilder, BackendKind, Ctx, DotBuilder, DynCtx, EwiseBuilder, Exec, MxmBuilder,
+    MxvBuilder, ReduceBuilder, TransformBuilder,
+};
 pub use descriptor::Descriptor;
 pub use error::{GrbError, Result};
-pub use exec::apply::{apply, ewise_lambda};
-pub use exec::extract::{assign_vector, extract_submatrix, extract_vector};
-pub use exec::ewise::{axpy_in_place, ewise, ewise_mul_add, waxpby};
-pub use exec::mxm::mxm;
-pub use exec::mxv::{mxv, mxv_accum, vxm};
-pub use exec::reduce::{dot, norm2_squared, reduce};
 pub use linop::{InjectionOperator, LinearOperator};
+pub use ops::accum::{AccumMode, AccumWith, NoAccum};
 pub use ops::binary::{BinaryOp, Divide, First, Land, Lor, Max, Min, Minus, Plus, Second, Times};
 pub use ops::monoid::Monoid;
 pub use ops::scalar::Scalar;
 pub use ops::semiring::{MaxTimes, MinPlus, PlusTimes, Semiring};
 pub use ops::unary::{Abs, AdditiveInverse, Identity, MultiplicativeInverse, UnaryOp};
+
+// Deprecated free-function shims, re-exported for source compatibility with
+// pre-0.2 call sites. Each forwards to the kernel its builder lowers onto.
+#[allow(deprecated)]
+pub use exec::apply::{apply, ewise_lambda};
+#[allow(deprecated)]
+pub use exec::ewise::{axpy_in_place, ewise, ewise_mul_add, waxpby};
+pub use exec::extract::{assign_vector, extract_submatrix, extract_vector};
+#[allow(deprecated)]
+pub use exec::mxm::mxm;
+#[allow(deprecated)]
+pub use exec::mxv::{mxv, mxv_accum, vxm};
+#[allow(deprecated)]
+pub use exec::reduce::{dot, norm2_squared, reduce};

@@ -13,11 +13,9 @@
 use crate::backend::Backend;
 use crate::container::matrix::CsrMatrix;
 use crate::container::vector::Vector;
-use crate::descriptor::Descriptor;
+use crate::context::ctx;
 use crate::error::{check_dims, Result};
-use crate::exec::mxv::mxv;
 use crate::ops::scalar::Scalar;
-use crate::ops::semiring::PlusTimes;
 use crate::util::UnsafeSlice;
 
 /// An abstract linear map `Tⁿ → Tᵐ` with an applyable transpose.
@@ -49,11 +47,11 @@ impl<T: Scalar> LinearOperator<T> for CsrMatrix<T> {
     }
 
     fn apply<B: Backend>(&self, y: &mut Vector<T>, x: &Vector<T>) -> Result<()> {
-        mxv::<T, PlusTimes, B>(y, None, Descriptor::DEFAULT, self, x, PlusTimes)
+        ctx::<B>().mxv(self, x).into(y)
     }
 
     fn apply_transpose<B: Backend>(&self, y: &mut Vector<T>, x: &Vector<T>) -> Result<()> {
-        mxv::<T, PlusTimes, B>(y, None, Descriptor::TRANSPOSE, self, x, PlusTimes)
+        ctx::<B>().mxv(self, x).transpose().into(y)
     }
 
     fn storage_bytes(&self) -> usize {

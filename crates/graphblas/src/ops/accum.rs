@@ -1,0 +1,87 @@
+//! Output accumulation modes — the GraphBLAS `accum` parameter as a
+//! zero-sized strategy type.
+//!
+//! Every primitive that writes a vector does so through an [`AccumMode`]:
+//! [`NoAccum`] overwrites the selected output slots (the GraphBLAS
+//! "no accumulator" case) and [`AccumWith`]`<Op>` combines the freshly
+//! computed value with the previous content through `Op` (`z = z ⊙ t`).
+//! Like the operator types, both are zero-sized: after monomorphization the
+//! kernels contain exactly a store or exactly the fused read-modify-write,
+//! with no runtime flag. This is what lets the builder API collapse the
+//! historical `mxv`/`mxv_accum` and `ewise`/`ewise_mul_add` twin entry
+//! points into one code path.
+
+use super::binary::BinaryOp;
+use std::marker::PhantomData;
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// How a kernel combines a computed value with the output slot's previous
+/// content. Sealed: the two provided modes are the only lawful ones.
+pub trait AccumMode<T>: Copy + Default + Send + Sync + 'static + sealed::Sealed {
+    /// `true` when the mode reads the previous slot value.
+    const ACCUMULATES: bool;
+
+    /// Stores `value` into `slot` under this mode.
+    fn store(slot: &mut T, value: T);
+}
+
+/// Overwrite the output slot (`z = t`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NoAccum;
+
+impl sealed::Sealed for NoAccum {}
+
+impl<T> AccumMode<T> for NoAccum {
+    const ACCUMULATES: bool = false;
+
+    #[inline(always)]
+    fn store(slot: &mut T, value: T) {
+        *slot = value;
+    }
+}
+
+/// Combine with the previous content through `Op` (`z = Op(z, t)`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccumWith<Op>(PhantomData<Op>);
+
+impl<Op> sealed::Sealed for AccumWith<Op> {}
+
+impl<T: Copy, Op: BinaryOp<T>> AccumMode<T> for AccumWith<Op> {
+    const ACCUMULATES: bool = true;
+
+    #[inline(always)]
+    fn store(slot: &mut T, value: T) {
+        *slot = Op::apply(*slot, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::{Minus, Plus};
+
+    #[test]
+    fn no_accum_overwrites() {
+        let mut slot = 7.0;
+        <NoAccum as AccumMode<f64>>::store(&mut slot, 2.0);
+        assert_eq!(slot, 2.0);
+        let accumulates = <NoAccum as AccumMode<f64>>::ACCUMULATES;
+        assert!(!accumulates);
+    }
+
+    #[test]
+    fn accum_with_combines() {
+        let mut slot = 7.0;
+        <AccumWith<Plus> as AccumMode<f64>>::store(&mut slot, 2.0);
+        assert_eq!(slot, 9.0);
+        // Non-commutative ops see the previous content on the left.
+        let mut slot = 7.0;
+        <AccumWith<Minus> as AccumMode<f64>>::store(&mut slot, 2.0);
+        assert_eq!(slot, 5.0);
+        let accumulates = <AccumWith<Plus> as AccumMode<f64>>::ACCUMULATES;
+        assert!(accumulates);
+    }
+}

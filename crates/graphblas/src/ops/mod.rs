@@ -16,6 +16,7 @@
 //! the paper's Listing 3, where a `Ring` object is threaded through) costs
 //! nothing after monomorphization — verified by the `zst_sizes` test below.
 
+pub mod accum;
 pub mod binary;
 pub mod monoid;
 pub mod scalar;

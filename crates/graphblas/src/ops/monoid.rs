@@ -69,9 +69,9 @@ mod tests {
     use super::*;
 
     fn is_identity<M: Monoid<f64>>(samples: &[f64]) -> bool {
-        samples.iter().all(|&x| {
-            M::apply(M::identity(), x) == x && M::apply(x, M::identity()) == x
-        })
+        samples
+            .iter()
+            .all(|&x| M::apply(M::identity(), x) == x && M::apply(x, M::identity()) == x)
     }
 
     #[test]
@@ -86,9 +86,18 @@ mod tests {
     #[test]
     fn identities_hold_i32() {
         for x in [i32::MIN, -7, 0, 3, i32::MAX] {
-            assert_eq!(<Plus as BinaryOp<i32>>::apply(<Plus as Monoid<i32>>::identity(), x), x);
-            assert_eq!(<Min as BinaryOp<i32>>::apply(<Min as Monoid<i32>>::identity(), x), x);
-            assert_eq!(<Max as BinaryOp<i32>>::apply(<Max as Monoid<i32>>::identity(), x), x);
+            assert_eq!(
+                <Plus as BinaryOp<i32>>::apply(<Plus as Monoid<i32>>::identity(), x),
+                x
+            );
+            assert_eq!(
+                <Min as BinaryOp<i32>>::apply(<Min as Monoid<i32>>::identity(), x),
+                x
+            );
+            assert_eq!(
+                <Max as BinaryOp<i32>>::apply(<Max as Monoid<i32>>::identity(), x),
+                x
+            );
         }
     }
 

@@ -201,7 +201,11 @@ mod tests {
     #[test]
     fn int_wrapping_semantics() {
         assert_eq!(i32::MAX.add(1), i32::MIN);
-        assert_eq!(5i64.div(0), 0, "division by zero is absorbed to zero, not a panic");
+        assert_eq!(
+            5i64.div(0),
+            0,
+            "division by zero is absorbed to zero, not a panic"
+        );
         assert_eq!((-7i32).abs_of(), 7);
         assert_eq!(7u32.abs_of(), 7);
     }

@@ -28,7 +28,9 @@ impl<'a, T> UnsafeSlice<'a, T> {
         // SAFETY: `&mut [T]` and `&[UnsafeCell<T>]` have identical layout and
         // we hold the unique borrow for 'a.
         let ptr = slice as *mut [T] as *const [UnsafeCell<T>];
-        Self { slice: unsafe { &*ptr } }
+        Self {
+            slice: unsafe { &*ptr },
+        }
     }
 
     /// Number of elements.

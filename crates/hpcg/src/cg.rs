@@ -32,7 +32,12 @@ pub struct CgWorkspace<V> {
 impl<V> CgWorkspace<V> {
     /// Allocates fine-level scratch from `k`.
     pub fn new<K: Kernels<V = V>>(k: &K) -> CgWorkspace<V> {
-        CgWorkspace { r: k.alloc(0), z: k.alloc(0), p: k.alloc(0), ap: k.alloc(0) }
+        CgWorkspace {
+            r: k.alloc(0),
+            z: k.alloc(0),
+            p: k.alloc(0),
+            ap: k.alloc(0),
+        }
     }
 }
 
@@ -119,8 +124,16 @@ mod tests {
         let mut cg_ws = CgWorkspace::new(&k);
         let mut mg_ws = MgWorkspace::new(&k);
         let mut x = k.alloc(0);
-        let res =
-            cg_solve(&mut k, &mut cg_ws, &mut mg_ws, &b, &mut x, max_iters, tol, preconditioned);
+        let res = cg_solve(
+            &mut k,
+            &mut cg_ws,
+            &mut mg_ws,
+            &b,
+            &mut x,
+            max_iters,
+            tol,
+            preconditioned,
+        );
         (res, x.as_slice().to_vec())
     }
 

@@ -39,7 +39,9 @@ impl Coloring {
                     used[color[j] as usize] = true;
                 }
             }
-            let c = (0..256).find(|&c| !used[c]).expect("more than 255 colors required") as u8;
+            let c = (0..256)
+                .find(|&c| !used[c])
+                .expect("more than 255 colors required") as u8;
             color[i] = c;
             num_colors = num_colors.max(c as usize + 1);
             // Reset the scratch flags touched by this row.
@@ -58,7 +60,8 @@ impl Coloring {
     pub fn verify<T: Scalar>(&self, a: &CsrMatrix<T>) -> bool {
         (0..a.nrows()).all(|i| {
             let (cols, _) = a.row(i);
-            cols.iter().all(|&j| j as usize == i || self.color[j as usize] != self.color[i])
+            cols.iter()
+                .all(|&j| j as usize == i || self.color[j as usize] != self.color[i])
         })
     }
 
@@ -157,7 +160,10 @@ mod tests {
         let greedy = Coloring::greedy(&a);
         let octant = octant_coloring(grid);
         assert_eq!(greedy.num_colors, octant.num_colors);
-        assert!(octant.verify(&a), "octant coloring is a valid coloring of the stencil");
+        assert!(
+            octant.verify(&a),
+            "octant coloring is a valid coloring of the stencil"
+        );
         // Class sizes agree for even cubic grids (each octant has n/8).
         for c in 0..8u8 {
             assert_eq!(greedy.class_size(c), grid.len() / 8);

@@ -17,10 +17,7 @@ use crate::timers::{Kernel, KernelTimers};
 use bsp::cost::{CostTracker, KernelClass};
 use bsp::dist::BlockCyclic1D;
 use bsp::machine::MachineParams;
-use graphblas::{
-    axpy_in_place, dot, ewise_lambda, mxv, mxv_accum, waxpby, Descriptor, PlusTimes, Sequential,
-    Vector,
-};
+use graphblas::{ctx, Ctx, Plus, Sequential, Vector};
 
 /// Block size of the block-cyclic distribution (ALP default-like). Small
 /// enough that even the coarsest multigrid level spreads across all nodes.
@@ -76,15 +73,22 @@ impl AlpDistHpcg {
         machine: MachineParams,
         layout: AlpLayout,
     ) -> AlpDistHpcg {
-        let dists: Vec<BlockCyclic1D> =
-            problem.levels.iter().map(|l| BlockCyclic1D::new(l.n(), nodes, BLOCK)).collect();
+        let dists: Vec<BlockCyclic1D> = problem
+            .levels
+            .iter()
+            .map(|l| BlockCyclic1D::new(l.n(), nodes, BLOCK))
+            .collect();
         let parts = problem
             .levels
             .iter()
             .zip(&dists)
             .map(|(l, d)| LevelPartition::new(l, d))
             .collect();
-        let tmp = problem.levels.iter().map(|l| Vector::zeros(l.n())).collect();
+        let tmp = problem
+            .levels
+            .iter()
+            .map(|l| Vector::zeros(l.n()))
+            .collect();
         let timers = KernelTimers::new(problem.levels.len());
         AlpDistHpcg {
             problem,
@@ -114,6 +118,13 @@ impl AlpDistHpcg {
     /// The underlying problem.
     pub fn problem(&self) -> &Problem {
         &self.problem
+    }
+
+    /// The execution context node-local kernels run on. The simulated
+    /// distributed backend executes its per-node work sequentially — the
+    /// parallelism being modeled lives across nodes, not threads.
+    fn exec() -> Ctx<Sequential> {
+        ctx::<Sequential>()
     }
 
     /// Records the pre-`mxv` vector exchange at `level`. Under the 1D
@@ -155,7 +166,8 @@ impl AlpDistHpcg {
         for node in 0..p {
             let nnz = self.parts[level].local_nnz[node];
             let rows = self.parts[level].local_n[node];
-            self.tracker.record_compute(node, 2.0 * nnz as f64, spmv_bytes(nnz, rows));
+            self.tracker
+                .record_compute(node, 2.0 * nnz as f64, spmv_bytes(nnz, rows));
         }
     }
 
@@ -165,7 +177,8 @@ impl AlpDistHpcg {
         let p = self.tracker.nodes();
         for node in 0..p {
             let n = self.parts[level].local_n[node];
-            self.tracker.record_compute(node, flops_per_elem * n as f64, stream_bytes(k, n));
+            self.tracker
+                .record_compute(node, flops_per_elem * n as f64, stream_bytes(k, n));
         }
     }
 
@@ -192,36 +205,48 @@ impl Kernels for AlpDistHpcg {
     fn set_zero(&mut self, level: usize, v: &mut Vector<f64>) {
         v.clear();
         self.record_stream(level, 1, 0.0);
-        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        let c = self
+            .tracker
+            .end_local_step(KernelClass::Waxpby, Some(level));
         self.charge(level, Kernel::Waxpby, c.total_secs());
     }
 
     fn copy(&mut self, level: usize, src: &Vector<f64>, dst: &mut Vector<f64>) {
         dst.as_mut_slice().copy_from_slice(src.as_slice());
         self.record_stream(level, 2, 0.0);
-        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        let c = self
+            .tracker
+            .end_local_step(KernelClass::Waxpby, Some(level));
         self.charge(level, Kernel::Waxpby, c.total_secs());
     }
 
     fn spmv(&mut self, level: usize, y: &mut Vector<f64>, x: &Vector<f64>) {
         let a = &self.problem.levels[level].a;
-        mxv::<f64, PlusTimes, Sequential>(y, None, Descriptor::DEFAULT, a, x, PlusTimes)
+        Self::exec()
+            .mxv(a, x)
+            .into(y)
             .expect("spmv dimensions fixed at setup");
         self.record_allgather(level);
         self.record_spmv_work(level);
-        let c = self.tracker.end_superstep(KernelClass::SpMV, Some(level), false);
+        let c = self
+            .tracker
+            .end_superstep(KernelClass::SpMV, Some(level), false);
         self.charge(level, Kernel::SpMV, c.total_secs());
     }
 
     fn dot(&mut self, level: usize, x: &Vector<f64>, y: &Vector<f64>) -> f64 {
-        let v = dot::<f64, PlusTimes, Sequential>(x, y, PlusTimes)
+        let v = Self::exec()
+            .dot(x, y)
+            .compute()
             .expect("dot dimensions fixed at setup");
         self.record_stream(level, 2, 2.0);
         let p = self.tracker.nodes();
         for from in 0..p {
             self.tracker.record_send_all(from, F64);
         }
-        let c = self.tracker.end_superstep(KernelClass::Dot, Some(level), false);
+        let c = self
+            .tracker
+            .end_superstep(KernelClass::Dot, Some(level), false);
         self.charge(level, Kernel::Dot, c.total_secs());
         v
     }
@@ -235,38 +260,56 @@ impl Kernels for AlpDistHpcg {
         beta: f64,
         y: &Vector<f64>,
     ) {
-        waxpby::<f64, Sequential>(w, alpha, x, beta, y).expect("waxpby dimensions fixed at setup");
+        Self::exec()
+            .ewise(x, y)
+            .scaled(alpha, beta)
+            .into(w)
+            .expect("waxpby dimensions fixed at setup");
         self.record_stream(level, 3, 3.0);
-        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        let c = self
+            .tracker
+            .end_local_step(KernelClass::Waxpby, Some(level));
         self.charge(level, Kernel::Waxpby, c.total_secs());
     }
 
     fn axpy(&mut self, level: usize, x: &mut Vector<f64>, alpha: f64, y: &Vector<f64>) {
-        axpy_in_place::<f64, Sequential>(x, alpha, y).expect("axpy dimensions fixed at setup");
+        Self::exec()
+            .axpy(x, alpha, y)
+            .expect("axpy dimensions fixed at setup");
         self.record_stream(level, 3, 2.0);
-        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        let c = self
+            .tracker
+            .end_local_step(KernelClass::Waxpby, Some(level));
         self.charge(level, Kernel::Waxpby, c.total_secs());
     }
 
     fn xpay(&mut self, level: usize, p: &mut Vector<f64>, beta: f64, z: &Vector<f64>) {
         let zs = z.as_slice();
-        ewise_lambda::<f64, Sequential, _>(p, None, Descriptor::DEFAULT, |i, pi| {
-            *pi = zs[i] + beta * *pi;
-        })
-        .expect("xpay dimensions fixed at setup");
+        Self::exec()
+            .transform(p)
+            .apply(|i, pi| {
+                *pi = zs[i] + beta * *pi;
+            })
+            .expect("xpay dimensions fixed at setup");
         self.record_stream(level, 3, 2.0);
-        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        let c = self
+            .tracker
+            .end_local_step(KernelClass::Waxpby, Some(level));
         self.charge(level, Kernel::Waxpby, c.total_secs());
     }
 
     fn sub_reverse(&mut self, level: usize, w: &mut Vector<f64>, r: &Vector<f64>) {
         let rs = r.as_slice();
-        ewise_lambda::<f64, Sequential, _>(w, None, Descriptor::DEFAULT, |i, wi| {
-            *wi = rs[i] - *wi;
-        })
-        .expect("sub dimensions fixed at setup");
+        Self::exec()
+            .transform(w)
+            .apply(|i, wi| {
+                *wi = rs[i] - *wi;
+            })
+            .expect("sub dimensions fixed at setup");
         self.record_stream(level, 3, 1.0);
-        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        let c = self
+            .tracker
+            .end_local_step(KernelClass::Waxpby, Some(level));
         self.charge(level, Kernel::Waxpby, c.total_secs());
     }
 
@@ -275,7 +318,7 @@ impl Kernels for AlpDistHpcg {
         {
             let l = &self.problem.levels[level];
             let tmp = &mut self.tmp[level];
-            rbgs_grb::rbgs_symmetric::<Sequential>(&l.a, &l.a_diag, &l.color_masks, r, x, tmp)
+            rbgs_grb::rbgs_symmetric(Self::exec(), &l.a, &l.a_diag, &l.color_masks, r, x, tmp)
                 .expect("smoother dimensions fixed at setup");
         }
         // Account one superstep per color step, forward + backward: each
@@ -298,7 +341,9 @@ impl Kernels for AlpDistHpcg {
                         spmv_bytes(nnz, rows) + stream_bytes(4, rows),
                     );
                 }
-                let c = self.tracker.end_superstep(KernelClass::Smoother, Some(level), false);
+                let c = self
+                    .tracker
+                    .end_superstep(KernelClass::Smoother, Some(level), false);
                 secs += c.total_secs();
             }
         }
@@ -310,7 +355,9 @@ impl Kernels for AlpDistHpcg {
             .restriction
             .as_ref()
             .expect("restrict_to needs a coarser level");
-        mxv::<f64, PlusTimes, Sequential>(rc, None, Descriptor::DEFAULT, r, rf, PlusTimes)
+        Self::exec()
+            .mxv(r, rf)
+            .into(rc)
             .expect("restriction dimensions fixed at setup");
         // mxv with the restriction matrix: allgather the *fine* vector,
         // then each node computes its owned coarse rows (1 nonzero each).
@@ -318,9 +365,12 @@ impl Kernels for AlpDistHpcg {
         let p = self.tracker.nodes();
         for node in 0..p {
             let rows = self.parts[level + 1].local_n[node];
-            self.tracker.record_compute(node, 2.0 * rows as f64, spmv_bytes(rows, rows));
+            self.tracker
+                .record_compute(node, 2.0 * rows as f64, spmv_bytes(rows, rows));
         }
-        let c = self.tracker.end_superstep(KernelClass::RestrictRefine, Some(level), false);
+        let c = self
+            .tracker
+            .end_superstep(KernelClass::RestrictRefine, Some(level), false);
         self.charge(level, Kernel::RestrictRefine, c.total_secs());
     }
 
@@ -329,7 +379,11 @@ impl Kernels for AlpDistHpcg {
             .restriction
             .as_ref()
             .expect("prolong_add needs a coarser level");
-        mxv_accum::<f64, PlusTimes, Sequential>(zf, None, Descriptor::TRANSPOSE, r, zc, PlusTimes)
+        Self::exec()
+            .mxv(r, zc)
+            .transpose()
+            .accum(Plus)
+            .into(zf)
             .expect("refinement dimensions fixed at setup");
         // Transposed mxv: allgather the *coarse* vector, then each node
         // updates its owned fine entries.
@@ -340,9 +394,12 @@ impl Kernels for AlpDistHpcg {
         }
         for node in 0..p {
             let rows = self.parts[level].local_n[node];
-            self.tracker.record_compute(node, rows as f64, stream_bytes(2, rows));
+            self.tracker
+                .record_compute(node, rows as f64, stream_bytes(2, rows));
         }
-        let c = self.tracker.end_superstep(KernelClass::RestrictRefine, Some(level), false);
+        let c = self
+            .tracker
+            .end_superstep(KernelClass::RestrictRefine, Some(level), false);
         self.charge(level, Kernel::RestrictRefine, c.total_secs());
     }
 
@@ -443,12 +500,20 @@ mod layout_tests {
         let mut y2 = two_d.alloc(0);
         one_d.spmv(0, &mut y1, &x);
         two_d.spmv(0, &mut y2, &x);
-        assert_eq!(y1.as_slice(), y2.as_slice(), "layout changes cost, not numerics");
+        assert_eq!(
+            y1.as_slice(),
+            y2.as_slice(),
+            "layout changes cost, not numerics"
+        );
         let h1 = one_d.tracker().steps()[0].h_bytes;
         let h2 = two_d.tracker().steps()[0].h_bytes;
         // 1D: (p-1)*n/p elements; 2D: (pr-1 + pc-1)*n/p = 6*n/p vs 15*n/p.
         assert!(h2 < h1, "2D must communicate less: {h2} vs {h1}");
-        assert!((h1 / h2 - 15.0 / 6.0).abs() < 0.01, "exact ratio 15/6, got {}", h1 / h2);
+        assert!(
+            (h1 / h2 - 15.0 / 6.0).abs() < 0.01,
+            "exact ratio 15/6, got {}",
+            h1 / h2
+        );
         assert!(h2 > 0.0);
     }
 

@@ -72,7 +72,12 @@ impl LevelPartition {
             rows_by_color[node][color] += 1;
             nnz_by_color[node][color] += nnz;
         }
-        LevelPartition { local_n, local_nnz, rows_by_color, nnz_by_color }
+        LevelPartition {
+            local_n,
+            local_nnz,
+            rows_by_color,
+            nnz_by_color,
+        }
     }
 }
 
@@ -108,8 +113,14 @@ mod tests {
             assert_eq!(part.local_n.iter().sum::<usize>(), l.n());
             assert_eq!(part.local_nnz.iter().sum::<usize>(), l.a.nnz());
             for node in 0..nodes {
-                assert_eq!(part.rows_by_color[node].iter().sum::<usize>(), part.local_n[node]);
-                assert_eq!(part.nnz_by_color[node].iter().sum::<usize>(), part.local_nnz[node]);
+                assert_eq!(
+                    part.rows_by_color[node].iter().sum::<usize>(),
+                    part.local_n[node]
+                );
+                assert_eq!(
+                    part.nnz_by_color[node].iter().sum::<usize>(),
+                    part.local_nnz[node]
+                );
             }
         }
     }

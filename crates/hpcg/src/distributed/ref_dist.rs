@@ -143,7 +143,8 @@ impl RefDistHpcg {
         let p = self.tracker.nodes();
         for node in 0..p {
             let n = self.parts[level].local_n[node];
-            self.tracker.record_compute(node, flops_per_elem * n as f64, stream_bytes(k, n));
+            self.tracker
+                .record_compute(node, flops_per_elem * n as f64, stream_bytes(k, n));
         }
     }
 
@@ -153,13 +154,13 @@ impl RefDistHpcg {
 }
 
 fn spmv_rows_seq(a: &graphblas::CsrMatrix<f64>, x: &[f64], y: &mut [f64]) {
-    for i in 0..a.nrows() {
+    for (i, slot) in y.iter_mut().enumerate().take(a.nrows()) {
         let (cols, vals) = a.row(i);
         let mut acc = 0.0;
         for (&c, &v) in cols.iter().zip(vals) {
             acc += v * x[c as usize];
         }
-        y[i] = acc;
+        *slot = acc;
     }
 }
 
@@ -181,14 +182,18 @@ impl Kernels for RefDistHpcg {
     fn set_zero(&mut self, level: usize, v: &mut Vec<f64>) {
         v.iter_mut().for_each(|x| *x = 0.0);
         self.record_stream(level, 1, 0.0);
-        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        let c = self
+            .tracker
+            .end_local_step(KernelClass::Waxpby, Some(level));
         self.charge(level, Kernel::Waxpby, c.total_secs());
     }
 
     fn copy(&mut self, level: usize, src: &Vec<f64>, dst: &mut Vec<f64>) {
         dst.copy_from_slice(src);
         self.record_stream(level, 2, 0.0);
-        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        let c = self
+            .tracker
+            .end_local_step(KernelClass::Waxpby, Some(level));
         self.charge(level, Kernel::Waxpby, c.total_secs());
     }
 
@@ -200,10 +205,13 @@ impl Kernels for RefDistHpcg {
         for node in 0..p {
             let nnz = self.parts[level].local_nnz[node];
             let rows = self.parts[level].local_n[node];
-            self.tracker.record_compute(node, 2.0 * nnz as f64, spmv_bytes(nnz, rows));
+            self.tracker
+                .record_compute(node, 2.0 * nnz as f64, spmv_bytes(nnz, rows));
         }
         // Irecv/Isend overlap (paper §IV).
-        let c = self.tracker.end_superstep(KernelClass::SpMV, Some(level), true);
+        let c = self
+            .tracker
+            .end_superstep(KernelClass::SpMV, Some(level), true);
         self.charge(level, Kernel::SpMV, c.total_secs());
     }
 
@@ -214,7 +222,9 @@ impl Kernels for RefDistHpcg {
         for from in 0..p {
             self.tracker.record_send_all(from, F64);
         }
-        let c = self.tracker.end_superstep(KernelClass::Dot, Some(level), false);
+        let c = self
+            .tracker
+            .end_superstep(KernelClass::Dot, Some(level), false);
         self.charge(level, Kernel::Dot, c.total_secs());
         v
     }
@@ -232,7 +242,9 @@ impl Kernels for RefDistHpcg {
             w[i] = alpha * x[i] + beta * y[i];
         }
         self.record_stream(level, 3, 3.0);
-        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        let c = self
+            .tracker
+            .end_local_step(KernelClass::Waxpby, Some(level));
         self.charge(level, Kernel::Waxpby, c.total_secs());
     }
 
@@ -241,7 +253,9 @@ impl Kernels for RefDistHpcg {
             x[i] += alpha * y[i];
         }
         self.record_stream(level, 3, 2.0);
-        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        let c = self
+            .tracker
+            .end_local_step(KernelClass::Waxpby, Some(level));
         self.charge(level, Kernel::Waxpby, c.total_secs());
     }
 
@@ -250,7 +264,9 @@ impl Kernels for RefDistHpcg {
             p[i] = z[i] + beta * p[i];
         }
         self.record_stream(level, 3, 2.0);
-        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        let c = self
+            .tracker
+            .end_local_step(KernelClass::Waxpby, Some(level));
         self.charge(level, Kernel::Waxpby, c.total_secs());
     }
 
@@ -259,7 +275,9 @@ impl Kernels for RefDistHpcg {
             w[i] = r[i] - w[i];
         }
         self.record_stream(level, 3, 1.0);
-        let c = self.tracker.end_local_step(KernelClass::Waxpby, Some(level));
+        let c = self
+            .tracker
+            .end_local_step(KernelClass::Waxpby, Some(level));
         self.charge(level, Kernel::Waxpby, c.total_secs());
     }
 
@@ -276,7 +294,9 @@ impl Kernels for RefDistHpcg {
         let p = self.tracker.nodes();
         let mut secs = 0.0;
         self.record_halo_exchange(level);
-        let c = self.tracker.end_superstep(KernelClass::Smoother, Some(level), true);
+        let c = self
+            .tracker
+            .end_superstep(KernelClass::Smoother, Some(level), true);
         secs += c.total_secs();
         for sweep in 0..2 {
             for step in 0..ncolors {
@@ -291,7 +311,9 @@ impl Kernels for RefDistHpcg {
                         spmv_bytes(nnz, rows) + stream_bytes(2, rows),
                     );
                 }
-                let c = self.tracker.end_superstep(KernelClass::Smoother, Some(level), true);
+                let c = self
+                    .tracker
+                    .end_superstep(KernelClass::Smoother, Some(level), true);
                 secs += c.total_secs();
             }
         }
@@ -308,9 +330,12 @@ impl Kernels for RefDistHpcg {
         let p = self.tracker.nodes();
         for node in 0..p {
             let rows = self.parts[level + 1].local_n[node];
-            self.tracker.record_compute(node, rows as f64, stream_bytes(2, rows));
+            self.tracker
+                .record_compute(node, rows as f64, stream_bytes(2, rows));
         }
-        let c = self.tracker.end_local_step(KernelClass::RestrictRefine, Some(level));
+        let c = self
+            .tracker
+            .end_local_step(KernelClass::RestrictRefine, Some(level));
         self.charge(level, Kernel::RestrictRefine, c.total_secs());
     }
 
@@ -325,9 +350,12 @@ impl Kernels for RefDistHpcg {
         let p = self.tracker.nodes();
         for node in 0..p {
             let rows = self.parts[level + 1].local_n[node];
-            self.tracker.record_compute(node, rows as f64, stream_bytes(3, rows));
+            self.tracker
+                .record_compute(node, rows as f64, stream_bytes(3, rows));
         }
-        let c = self.tracker.end_local_step(KernelClass::RestrictRefine, Some(level));
+        let c = self
+            .tracker
+            .end_local_step(KernelClass::RestrictRefine, Some(level));
         self.charge(level, Kernel::RestrictRefine, c.total_secs());
     }
 

@@ -71,7 +71,11 @@ impl DistReport {
 
 /// Runs `iterations` of preconditioned CG on a distributed implementation
 /// and collects the modeled-cost report.
-pub fn run_distributed<K: DistKernels>(k: &mut K, b: &K::V, iterations: usize) -> (DistReport, CgResult) {
+pub fn run_distributed<K: DistKernels>(
+    k: &mut K,
+    b: &K::V,
+    iterations: usize,
+) -> (DistReport, CgResult) {
     k.bsp_tracker_mut().reset();
     k.timers_mut().reset();
     let mut cg_ws = CgWorkspace::new(k);
@@ -82,7 +86,12 @@ pub fn run_distributed<K: DistKernels>(k: &mut K, b: &K::V, iterations: usize) -
     let total = k.bsp_tracker().total_secs();
     k.timers_mut().set_total_secs(total);
     let levels = (0..k.levels())
-        .map(|l| (k.timers().secs(l, Kernel::Smoother), k.timers().secs(l, Kernel::RestrictRefine)))
+        .map(|l| {
+            (
+                k.timers().secs(l, Kernel::Smoother),
+                k.timers().secs(l, Kernel::RestrictRefine),
+            )
+        })
         .collect();
     let report = DistReport {
         name: k.name(),
@@ -178,7 +187,10 @@ mod tests {
         assert!(r.modeled_secs > 0.0);
         assert!(r.supersteps > 0);
         let smoother_total: f64 = (0..3).map(|l| r.smoother_percent(l)).sum();
-        assert!(smoother_total > 30.0, "smoother dominates: {smoother_total}%");
+        assert!(
+            smoother_total > 30.0,
+            "smoother dominates: {smoother_total}%"
+        );
         assert!(smoother_total <= 100.0);
     }
 

@@ -22,7 +22,10 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { iterations: 50, preconditioned: true }
+        RunConfig {
+            iterations: 50,
+            preconditioned: true,
+        }
     }
 }
 
@@ -212,12 +215,24 @@ mod tests {
         let fpi = flops_per_iteration(&p);
         let b = p.b.clone();
         let mut k = GrbHpcg::<Sequential>::new(p);
-        let (report, cg) = run_with_rhs(&mut k, &b, fpi, RunConfig { iterations: 5, preconditioned: true });
+        let (report, cg) = run_with_rhs(
+            &mut k,
+            &b,
+            fpi,
+            RunConfig {
+                iterations: 5,
+                preconditioned: true,
+            },
+        );
         assert_eq!(report.iterations, 5);
         assert_eq!(cg.iterations, 5);
         assert!(report.total_secs > 0.0);
         assert!(report.gflops > 0.0);
-        assert!(report.smoother_fraction() > 0.3, "RBGS dominates: {}", report.smoother_fraction());
+        assert!(
+            report.smoother_fraction() > 0.3,
+            "RBGS dominates: {}",
+            report.smoother_fraction()
+        );
         assert!(report.mg_fraction() > report.smoother_fraction());
         assert!(report.relative_residual < 1e-2);
     }
@@ -230,7 +245,10 @@ mod tests {
         let b_grb = p.b.clone();
         let mut kr = RefHpcg::new(p.clone());
         let mut kg = GrbHpcg::<Sequential>::new(p);
-        let cfg = RunConfig { iterations: 10, preconditioned: true };
+        let cfg = RunConfig {
+            iterations: 10,
+            preconditioned: true,
+        };
         let (_, cg_r) = run_with_rhs(&mut kr, &b_vec, fpi, cfg);
         let (_, cg_g) = run_with_rhs(&mut kg, &b_grb, fpi, cfg);
         // Same schedule, different rounding in dots → agree to ~1e-12.
@@ -249,6 +267,9 @@ mod tests {
         let p2 = Problem::build_with(Grid3::cube(16), 2, RhsVariant::Reference).unwrap();
         let (f1, f2) = (flops_per_iteration(&p1), flops_per_iteration(&p2));
         let ratio = f2 / f1;
-        assert!(ratio > 6.0 && ratio < 10.0, "Θ(n) model: 8x points → ~8x flops, got {ratio}");
+        assert!(
+            ratio > 6.0 && ratio < 10.0,
+            "Θ(n) model: 8x points → ~8x flops, got {ratio}"
+        );
     }
 }

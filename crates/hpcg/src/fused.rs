@@ -55,7 +55,7 @@ mod tests {
     use super::*;
     use crate::geometry::Grid3;
     use crate::problem::build_stencil_matrix;
-    use graphblas::{dot, mxv, Descriptor, PlusTimes, Sequential};
+    use graphblas::{ctx, Sequential};
 
     #[test]
     fn fused_spmv_dot_matches_unfused() {
@@ -64,10 +64,10 @@ mod tests {
         let mut y_f = Vector::zeros(a.nrows());
         let d_f = spmv_dot_fused(&a, &x, &mut y_f);
 
+        let exec = ctx::<Sequential>();
         let mut y_u = Vector::zeros(a.nrows());
-        mxv::<f64, PlusTimes, Sequential>(&mut y_u, None, Descriptor::DEFAULT, &a, &x, PlusTimes)
-            .unwrap();
-        let d_u = dot::<f64, PlusTimes, Sequential>(&x, &y_u, PlusTimes).unwrap();
+        exec.mxv(&a, &x).into(&mut y_u).unwrap();
+        let d_u = exec.dot(&x, &y_u).compute().unwrap();
 
         assert_eq!(y_f.as_slice(), y_u.as_slice());
         assert!((d_f - d_u).abs() <= 1e-12 * d_u.abs().max(1.0));
@@ -83,8 +83,9 @@ mod tests {
 
         let norm_f = axpy_norm_fused(&mut r1, alpha, &q);
 
-        graphblas::axpy_in_place::<f64, Sequential>(&mut r2, -alpha, &q).unwrap();
-        let norm_u = dot::<f64, PlusTimes, Sequential>(&r2, &r2, PlusTimes).unwrap();
+        let exec = ctx::<Sequential>();
+        exec.axpy(&mut r2, -alpha, &q).unwrap();
+        let norm_u = exec.norm2_squared(&r2).unwrap();
 
         assert_eq!(r1.as_slice(), r2.as_slice());
         assert!((norm_f - norm_u).abs() <= 1e-12 * norm_u.max(1.0));

@@ -20,7 +20,10 @@ pub struct Grid3 {
 impl Grid3 {
     /// Creates a grid; all dimensions must be positive.
     pub fn new(nx: usize, ny: usize, nz: usize) -> Grid3 {
-        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid dimensions must be positive"
+        );
         Grid3 { nx, ny, nz }
     }
 
@@ -51,7 +54,11 @@ impl Grid3 {
     #[inline(always)]
     pub fn coords(&self, g: usize) -> (usize, usize, usize) {
         debug_assert!(g < self.len());
-        (g % self.nx, (g / self.nx) % self.ny, g / (self.nx * self.ny))
+        (
+            g % self.nx,
+            (g / self.nx) % self.ny,
+            g / (self.nx * self.ny),
+        )
     }
 
     /// Visits the (up to 27, including the point itself) stencil neighbors
@@ -97,7 +104,12 @@ impl Grid3 {
 
     /// Whether the grid can coarsen by 2 in every dimension (§II-F).
     pub fn coarsenable(&self) -> bool {
-        self.nx.is_multiple_of(2) && self.ny.is_multiple_of(2) && self.nz.is_multiple_of(2) && self.nx >= 2 && self.ny >= 2 && self.nz >= 2
+        self.nx.is_multiple_of(2)
+            && self.ny.is_multiple_of(2)
+            && self.nz.is_multiple_of(2)
+            && self.nx >= 2
+            && self.ny >= 2
+            && self.nz >= 2
     }
 
     /// The coarse grid of half the points per dimension.
@@ -179,7 +191,10 @@ mod tests {
         let c = g.coarsen();
         assert_eq!(c, Grid3::new(8, 4, 2));
         assert!(!Grid3::new(3, 4, 4).coarsenable());
-        assert!(!Grid3::new(2, 2, 2).coarsen().coarsenable(), "1-point dims stop coarsening");
+        assert!(
+            !Grid3::new(2, 2, 2).coarsen().coarsenable(),
+            "1-point dims stop coarsening"
+        );
     }
 
     #[test]
@@ -192,8 +207,9 @@ mod tests {
             assert_eq!((x % 2, y % 2, z % 2), (0, 0, 0));
         }
         // Injection is injective and increasing in gc.
-        let maps: Vec<usize> =
-            (0..coarse.len()).map(|gc| fine.fine_index_of_coarse(coarse, gc)).collect();
+        let maps: Vec<usize> = (0..coarse.len())
+            .map(|gc| fine.fine_index_of_coarse(coarse, gc))
+            .collect();
         assert!(maps.windows(2).all(|w| w[0] < w[1]));
     }
 

@@ -18,27 +18,52 @@ use crate::kernels::Kernels;
 use crate::problem::Problem;
 use crate::smoother::rbgs_grb;
 use crate::timers::{Kernel, KernelTimers};
-use graphblas::{
-    axpy_in_place, dot, ewise_lambda, mxv, mxv_accum, waxpby, Backend, Descriptor, PlusTimes,
-    Vector,
-};
-use std::marker::PhantomData;
+use graphblas::{ctx, Backend, Ctx, Exec, Plus, Vector};
 
 /// The GraphBLAS-based HPCG implementation.
-pub struct GrbHpcg<B: Backend> {
+///
+/// Generic over the execution dispatcher: `GrbHpcg<Sequential>` /
+/// `GrbHpcg<Parallel>` monomorphize the kernels (ALP's compile-time
+/// backend), while `GrbHpcg<BackendKind>` — built via
+/// [`GrbHpcg::with_ctx`] from a [`graphblas::DynCtx`] — selects the
+/// backend at runtime (`--backend seq|par`).
+pub struct GrbHpcg<E: Exec> {
     problem: Problem,
     /// Per-level workspace for the RBGS `tmp` buffer (Listing 3 line 7).
     tmp: Vec<Vector<f64>>,
     timers: KernelTimers,
-    _backend: PhantomData<B>,
+    /// The execution context every kernel lowers through (ALP's launcher).
+    ctx: Ctx<E>,
 }
 
 impl<B: Backend> GrbHpcg<B> {
-    /// Wraps a generated problem.
+    /// Wraps a generated problem on the compile-time backend `B`.
     pub fn new(problem: Problem) -> GrbHpcg<B> {
-        let tmp = problem.levels.iter().map(|l| Vector::zeros(l.n())).collect();
+        GrbHpcg::with_ctx(problem, ctx::<B>())
+    }
+}
+
+impl<E: Exec> GrbHpcg<E> {
+    /// Wraps a generated problem on an explicit execution context
+    /// (including the runtime-dispatched [`graphblas::DynCtx`]).
+    pub fn with_ctx(problem: Problem, ctx: Ctx<E>) -> GrbHpcg<E> {
+        let tmp = problem
+            .levels
+            .iter()
+            .map(|l| Vector::zeros(l.n()))
+            .collect();
         let timers = KernelTimers::new(problem.levels.len());
-        GrbHpcg { problem, tmp, timers, _backend: PhantomData }
+        GrbHpcg {
+            problem,
+            tmp,
+            timers,
+            ctx,
+        }
+    }
+
+    /// The execution context kernels run on.
+    pub fn ctx(&self) -> Ctx<E> {
+        self.ctx
     }
 
     /// The underlying problem (levels, rhs).
@@ -52,7 +77,7 @@ impl<B: Backend> GrbHpcg<B> {
     }
 }
 
-impl<B: Backend> Kernels for GrbHpcg<B> {
+impl<E: Exec> Kernels for GrbHpcg<E> {
     type V = Vector<f64>;
 
     fn levels(&self) -> usize {
@@ -77,15 +102,20 @@ impl<B: Backend> Kernels for GrbHpcg<B> {
 
     fn spmv(&mut self, level: usize, y: &mut Vector<f64>, x: &Vector<f64>) {
         let a = &self.problem.levels[level].a;
+        let exec = self.ctx;
         self.timers.time(level, Kernel::SpMV, || {
-            mxv::<f64, PlusTimes, B>(y, None, Descriptor::DEFAULT, a, x, PlusTimes)
+            exec.mxv(a, x)
+                .into(y)
                 .expect("spmv dimensions fixed at setup");
         });
     }
 
     fn dot(&mut self, level: usize, x: &Vector<f64>, y: &Vector<f64>) -> f64 {
+        let exec = self.ctx;
         self.timers.time(level, Kernel::Dot, || {
-            dot::<f64, PlusTimes, B>(x, y, PlusTimes).expect("dot dimensions fixed at setup")
+            exec.dot(x, y)
+                .compute()
+                .expect("dot dimensions fixed at setup")
         })
     }
 
@@ -98,42 +128,53 @@ impl<B: Backend> Kernels for GrbHpcg<B> {
         beta: f64,
         y: &Vector<f64>,
     ) {
+        let exec = self.ctx;
         self.timers.time(level, Kernel::Waxpby, || {
-            waxpby::<f64, B>(w, alpha, x, beta, y).expect("waxpby dimensions fixed at setup");
+            exec.ewise(x, y)
+                .scaled(alpha, beta)
+                .into(w)
+                .expect("waxpby dimensions fixed at setup");
         });
     }
 
     fn axpy(&mut self, level: usize, x: &mut Vector<f64>, alpha: f64, y: &Vector<f64>) {
+        let exec = self.ctx;
         self.timers.time(level, Kernel::Waxpby, || {
-            axpy_in_place::<f64, B>(x, alpha, y).expect("axpy dimensions fixed at setup");
+            exec.axpy(x, alpha, y)
+                .expect("axpy dimensions fixed at setup");
         });
     }
 
     fn xpay(&mut self, level: usize, p: &mut Vector<f64>, beta: f64, z: &Vector<f64>) {
         let zs = z.as_slice();
+        let exec = self.ctx;
         self.timers.time(level, Kernel::Waxpby, || {
-            ewise_lambda::<f64, B, _>(p, None, Descriptor::DEFAULT, |i, pi| {
-                *pi = zs[i] + beta * *pi;
-            })
-            .expect("xpay dimensions fixed at setup");
+            exec.transform(p)
+                .apply(|i, pi| {
+                    *pi = zs[i] + beta * *pi;
+                })
+                .expect("xpay dimensions fixed at setup");
         });
     }
 
     fn sub_reverse(&mut self, level: usize, w: &mut Vector<f64>, r: &Vector<f64>) {
         let rs = r.as_slice();
+        let exec = self.ctx;
         self.timers.time(level, Kernel::Waxpby, || {
-            ewise_lambda::<f64, B, _>(w, None, Descriptor::DEFAULT, |i, wi| {
-                *wi = rs[i] - *wi;
-            })
-            .expect("sub dimensions fixed at setup");
+            exec.transform(w)
+                .apply(|i, wi| {
+                    *wi = rs[i] - *wi;
+                })
+                .expect("sub dimensions fixed at setup");
         });
     }
 
     fn smooth(&mut self, level: usize, x: &mut Vector<f64>, r: &Vector<f64>) {
         let l = &self.problem.levels[level];
         let tmp = &mut self.tmp[level];
+        let exec = self.ctx;
         self.timers.time(level, Kernel::Smoother, || {
-            rbgs_grb::rbgs_symmetric::<B>(&l.a, &l.a_diag, &l.color_masks, r, x, tmp)
+            rbgs_grb::rbgs_symmetric(exec, &l.a, &l.a_diag, &l.color_masks, r, x, tmp)
                 .expect("smoother dimensions fixed at setup");
         });
     }
@@ -143,8 +184,10 @@ impl<B: Backend> Kernels for GrbHpcg<B> {
             .restriction
             .as_ref()
             .expect("restrict_to called on a level with a coarser system");
+        let exec = self.ctx;
         self.timers.time(level, Kernel::RestrictRefine, || {
-            mxv::<f64, PlusTimes, B>(rc, None, Descriptor::DEFAULT, r, rf, PlusTimes)
+            exec.mxv(r, rf)
+                .into(rc)
                 .expect("restriction dimensions fixed at setup");
         });
     }
@@ -154,8 +197,12 @@ impl<B: Backend> Kernels for GrbHpcg<B> {
             .restriction
             .as_ref()
             .expect("prolong_add called on a level with a coarser system");
+        let exec = self.ctx;
         self.timers.time(level, Kernel::RestrictRefine, || {
-            mxv_accum::<f64, PlusTimes, B>(zf, None, Descriptor::TRANSPOSE, r, zc, PlusTimes)
+            exec.mxv(r, zc)
+                .transpose()
+                .accum(Plus)
+                .into(zf)
                 .expect("refinement dimensions fixed at setup");
         });
     }
@@ -170,6 +217,10 @@ impl<B: Backend> Kernels for GrbHpcg<B> {
 
     fn name(&self) -> &'static str {
         "ALP (GraphBLAS)"
+    }
+
+    fn backend_name(&self) -> &'static str {
+        self.ctx.backend_name()
     }
 }
 
@@ -196,7 +247,10 @@ mod tests {
         let mut rc = k.alloc(1);
         let rf = Vector::filled(512, 1.0);
         k.restrict_to(0, &mut rc, &rf);
-        assert!(rc.as_slice().iter().all(|&v| v == 1.0), "injection of constant is constant");
+        assert!(
+            rc.as_slice().iter().all(|&v| v == 1.0),
+            "injection of constant is constant"
+        );
     }
 
     #[test]

@@ -76,4 +76,10 @@ pub trait Kernels {
 
     /// Implementation name for reports.
     fn name(&self) -> &'static str;
+
+    /// Backend the kernels execute on, for reports (implementations with a
+    /// fixed execution strategy keep the default).
+    fn backend_name(&self) -> &'static str {
+        "-"
+    }
 }

@@ -53,8 +53,8 @@ pub mod ref_impl;
 pub mod reporting;
 pub mod smoother;
 pub mod timers;
-pub mod validation;
 pub(crate) mod util;
+pub mod validation;
 
 pub use cg::{cg_solve, CgResult, CgWorkspace};
 pub use driver::{bytes_per_iteration, flops_per_iteration, run_with_rhs, RunConfig, RunReport};

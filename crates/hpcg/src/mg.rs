@@ -144,7 +144,11 @@ mod tests {
         let mut z2 = k.alloc(0);
         mg_precondition(&mut k, &mut ws, &b, &mut z1);
         mg_precondition(&mut k, &mut ws, &b, &mut z2);
-        assert_eq!(z1.as_slice(), z2.as_slice(), "workspace reuse must not leak state");
+        assert_eq!(
+            z1.as_slice(),
+            z2.as_slice(),
+            "workspace reuse must not leak state"
+        );
 
         // MG(0) = 0: GS from zero guess on zero rhs stays zero.
         let zero = k.alloc(0);

@@ -56,8 +56,9 @@ pub fn build_rhs(a: &CsrMatrix<f64>, variant: RhsVariant) -> Vector<f64> {
     match variant {
         RhsVariant::Ones => Vector::filled(a.nrows(), 1.0),
         RhsVariant::Reference => {
-            let vals: Vec<f64> =
-                (0..a.nrows()).map(|r| DIAG_VALUE - (a.row_nnz(r) as f64 - 1.0)).collect();
+            let vals: Vec<f64> = (0..a.nrows())
+                .map(|r| DIAG_VALUE - (a.row_nnz(r) as f64 - 1.0))
+                .collect();
             Vector::from_dense(vals)
         }
     }
@@ -128,10 +129,15 @@ impl Problem {
         rhs: RhsVariant,
     ) -> Result<Problem, GrbError> {
         if num_levels == 0 {
-            return Err(GrbError::InvalidInput("need at least one multigrid level".into()));
+            return Err(GrbError::InvalidInput(
+                "need at least one multigrid level".into(),
+            ));
         }
         let factor = 1usize << (num_levels - 1);
-        if !grid.nx.is_multiple_of(factor) || !grid.ny.is_multiple_of(factor) || !grid.nz.is_multiple_of(factor) {
+        if !grid.nx.is_multiple_of(factor)
+            || !grid.ny.is_multiple_of(factor)
+            || !grid.nz.is_multiple_of(factor)
+        {
             return Err(GrbError::InvalidInput(format!(
                 "grid {}x{}x{} not divisible by 2^{} for {} levels",
                 grid.nx,
@@ -247,7 +253,11 @@ mod tests {
             if let Some(r) = &l.restriction {
                 assert_eq!(r.nrows(), p.levels[i + 1].n());
                 assert_eq!(r.ncols(), l.n());
-                assert_eq!(r.nnz(), r.nrows(), "straight injection: one nonzero per row");
+                assert_eq!(
+                    r.nnz(),
+                    r.nrows(),
+                    "straight injection: one nonzero per row"
+                );
                 assert!(r.columns_conflict_free());
             }
         }
@@ -286,7 +296,10 @@ mod tests {
     fn total_nnz_dominated_by_finest() {
         let p = Problem::build(Grid3::cube(16)).unwrap();
         let finest = p.levels[0].a.nnz();
-        assert!(finest * 2 > p.total_nnz(), "coarser levels add less than the finest level");
+        assert!(
+            finest * 2 > p.total_nnz(),
+            "coarser levels add less than the finest level"
+        );
         assert_eq!(p.n(), 4096);
     }
 }

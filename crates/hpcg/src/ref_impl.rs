@@ -100,11 +100,13 @@ fn par_update(w: &mut [f64], y: &[f64], f: impl Fn(f64, f64) -> f64 + Send + Syn
             w[i] = f(w[i], y[i]);
         }
     } else {
-        w.par_chunks_mut(CHUNK).zip(y.par_chunks(CHUNK)).for_each(|(cw, cy)| {
-            for i in 0..cw.len() {
-                cw[i] = f(cw[i], cy[i]);
-            }
-        });
+        w.par_chunks_mut(CHUNK)
+            .zip(y.par_chunks(CHUNK))
+            .for_each(|(cw, cy)| {
+                for i in 0..cw.len() {
+                    cw[i] = f(cw[i], cy[i]);
+                }
+            });
     }
 }
 
@@ -149,20 +151,26 @@ impl Kernels for RefHpcg {
         beta: f64,
         y: &Vec<f64>,
     ) {
-        self.timers
-            .time(level, Kernel::Waxpby, || par_map2(w, x, y, |a, b| alpha * a + beta * b));
+        self.timers.time(level, Kernel::Waxpby, || {
+            par_map2(w, x, y, |a, b| alpha * a + beta * b)
+        });
     }
 
     fn axpy(&mut self, level: usize, x: &mut Vec<f64>, alpha: f64, y: &Vec<f64>) {
-        self.timers.time(level, Kernel::Waxpby, || par_update(x, y, |a, b| a + alpha * b));
+        self.timers.time(level, Kernel::Waxpby, || {
+            par_update(x, y, |a, b| a + alpha * b)
+        });
     }
 
     fn xpay(&mut self, level: usize, p: &mut Vec<f64>, beta: f64, z: &Vec<f64>) {
-        self.timers.time(level, Kernel::Waxpby, || par_update(p, z, |a, b| b + beta * a));
+        self.timers.time(level, Kernel::Waxpby, || {
+            par_update(p, z, |a, b| b + beta * a)
+        });
     }
 
     fn sub_reverse(&mut self, level: usize, w: &mut Vec<f64>, r: &Vec<f64>) {
-        self.timers.time(level, Kernel::Waxpby, || par_update(w, r, |a, b| b - a));
+        self.timers
+            .time(level, Kernel::Waxpby, || par_update(w, r, |a, b| b - a));
     }
 
     fn smooth(&mut self, level: usize, x: &mut Vec<f64>, r: &Vec<f64>) {
@@ -182,12 +190,14 @@ impl Kernels for RefHpcg {
                     *slot = rf[f2c[i] as usize];
                 }
             } else {
-                rc.par_chunks_mut(CHUNK).enumerate().for_each(|(chunk, slots)| {
-                    let base = chunk * CHUNK;
-                    for (k, slot) in slots.iter_mut().enumerate() {
-                        *slot = rf[f2c[base + k] as usize];
-                    }
-                });
+                rc.par_chunks_mut(CHUNK)
+                    .enumerate()
+                    .for_each(|(chunk, slots)| {
+                        let base = chunk * CHUNK;
+                        for (k, slot) in slots.iter_mut().enumerate() {
+                            *slot = rf[f2c[base + k] as usize];
+                        }
+                    });
             }
         });
     }
@@ -204,7 +214,10 @@ impl Kernels for RefHpcg {
             if zc.len() < CHUNK {
                 (0..zc.len()).for_each(run);
             } else {
-                (0..zc.len()).into_par_iter().with_min_len(CHUNK / 8).for_each(run);
+                (0..zc.len())
+                    .into_par_iter()
+                    .with_min_len(CHUNK / 8)
+                    .for_each(run);
             }
         });
     }
@@ -240,9 +253,9 @@ mod tests {
         let mut y = k.alloc(0);
         k.spmv(0, &mut y, &x);
         // Row sums of the stencil: 26 - (nnz-1).
-        for i in 0..512 {
+        for (i, &yi) in y.iter().enumerate().take(512) {
             let expected = 26.0 - (k.problem().levels[0].a.row_nnz(i) as f64 - 1.0);
-            assert!((y[i] - expected).abs() < 1e-12);
+            assert!((yi - expected).abs() < 1e-12);
         }
     }
 
@@ -269,8 +282,12 @@ mod tests {
 
     #[test]
     fn deterministic_dot() {
-        let x: Vec<f64> = (0..100_000).map(|i| ((i * 31) % 101) as f64 * 0.125).collect();
-        let y: Vec<f64> = (0..100_000).map(|i| ((i * 17) % 97) as f64 * 0.25).collect();
+        let x: Vec<f64> = (0..100_000)
+            .map(|i| ((i * 31) % 101) as f64 * 0.125)
+            .collect();
+        let y: Vec<f64> = (0..100_000)
+            .map(|i| ((i * 17) % 97) as f64 * 0.25)
+            .collect();
         let a = det_dot(&x, &y);
         let b = det_dot(&x, &y);
         assert_eq!(a, b);

@@ -73,36 +73,74 @@ pub fn render_report(
     let _ = writeln!(out, "  nz: {}", g0.nz);
     let _ = writeln!(out, "Linear System Information:");
     let _ = writeln!(out, "  Number of Equations: {}", run.n);
-    let _ = writeln!(out, "  Number of Nonzero Terms: {}", problem.levels[0].a.nnz());
+    let _ = writeln!(
+        out,
+        "  Number of Nonzero Terms: {}",
+        problem.levels[0].a.nnz()
+    );
     let _ = writeln!(out, "Multigrid Information:");
-    let _ = writeln!(out, "  Number of coarse grid levels: {}", problem.levels.len() - 1);
+    let _ = writeln!(
+        out,
+        "  Number of coarse grid levels: {}",
+        problem.levels.len() - 1
+    );
     for (i, l) in problem.levels.iter().enumerate() {
         let _ = writeln!(out, "  level {} equations: {}", i, l.n());
     }
     if let Some(v) = validation {
         let _ = writeln!(out, "Validation Testing:");
-        let _ = writeln!(out, "  spmv symmetry defect: {:.3e}", v.spmv_symmetry_defect);
+        let _ = writeln!(
+            out,
+            "  spmv symmetry defect: {:.3e}",
+            v.spmv_symmetry_defect
+        );
         let _ = writeln!(out, "  MG symmetry defect: {:.3e}", v.mg_symmetry_defect);
         let _ = writeln!(out, "  PCG iterations to 1e-8: {}", v.pcg_iterations);
-        let _ = writeln!(out, "  unpreconditioned CG iterations: {}", v.plain_cg_iterations);
-        let _ = writeln!(out, "  result: {}", if v.passed { "PASSED" } else { "FAILED" });
+        let _ = writeln!(
+            out,
+            "  unpreconditioned CG iterations: {}",
+            v.plain_cg_iterations
+        );
+        let _ = writeln!(
+            out,
+            "  result: {}",
+            if v.passed { "PASSED" } else { "FAILED" }
+        );
     }
     let _ = writeln!(out, "Iteration Count Information:");
-    let _ = writeln!(out, "  Total number of optimized iterations: {}", run.iterations);
-    let _ = writeln!(out, "  Final relative residual: {:.6e}", run.relative_residual);
+    let _ = writeln!(
+        out,
+        "  Total number of optimized iterations: {}",
+        run.iterations
+    );
+    let _ = writeln!(
+        out,
+        "  Final relative residual: {:.6e}",
+        run.relative_residual
+    );
     let _ = writeln!(out, "Benchmark Time Summary:");
     let _ = writeln!(out, "  Total: {:.6}", run.total_secs);
     let _ = writeln!(out, "  DDOT: {:.6}", run.dot_secs);
     let _ = writeln!(out, "  WAXPBY: {:.6}", run.waxpby_secs);
-    let _ = writeln!(out, "  SpMV: {:.6}", run.levels.first().map(|l| l.spmv_secs).unwrap_or(0.0));
+    let _ = writeln!(
+        out,
+        "  SpMV: {:.6}",
+        run.levels.first().map(|l| l.spmv_secs).unwrap_or(0.0)
+    );
     let mg_secs: f64 = run
         .levels
         .iter()
-        .map(|l| l.smoother_secs + l.restrict_refine_secs + if l.level > 0 { l.spmv_secs } else { 0.0 })
+        .map(|l| {
+            l.smoother_secs + l.restrict_refine_secs + if l.level > 0 { l.spmv_secs } else { 0.0 }
+        })
         .sum();
     let _ = writeln!(out, "  MG: {:.6}", mg_secs);
     let _ = writeln!(out, "GFLOP/s Summary:");
-    let _ = writeln!(out, "  Raw DDOT: {:.4}", flops.ddot * iters / run.dot_secs.max(1e-300) / 1e9);
+    let _ = writeln!(
+        out,
+        "  Raw DDOT: {:.4}",
+        flops.ddot * iters / run.dot_secs.max(1e-300) / 1e9
+    );
     let _ = writeln!(
         out,
         "  Raw WAXPBY: {:.4}",
@@ -112,13 +150,30 @@ pub fn render_report(
         out,
         "  Raw SpMV: {:.4}",
         flops.spmv * iters
-            / run.levels.first().map(|l| l.spmv_secs).unwrap_or(0.0).max(1e-300)
+            / run
+                .levels
+                .first()
+                .map(|l| l.spmv_secs)
+                .unwrap_or(0.0)
+                .max(1e-300)
             / 1e9
     );
-    let _ = writeln!(out, "  Raw MG: {:.4}", flops.mg * iters / mg_secs.max(1e-300) / 1e9);
-    let _ = writeln!(out, "  Raw Total: {:.4}", flops.total() * iters / secs / 1e9);
+    let _ = writeln!(
+        out,
+        "  Raw MG: {:.4}",
+        flops.mg * iters / mg_secs.max(1e-300) / 1e9
+    );
+    let _ = writeln!(
+        out,
+        "  Raw Total: {:.4}",
+        flops.total() * iters / secs / 1e9
+    );
     let _ = writeln!(out, "Final Summary:");
-    let _ = writeln!(out, "  HPCG result is VALID with a GFLOP/s rating of: {:.4}", run.gflops);
+    let _ = writeln!(
+        out,
+        "  HPCG result is VALID with a GFLOP/s rating of: {:.4}",
+        run.gflops
+    );
     out
 }
 
@@ -138,7 +193,15 @@ mod tests {
         let fpi = flops_per_iteration(&p);
         let b = p.b.clone();
         let mut k = GrbHpcg::<Sequential>::new(p.clone());
-        let (run, _) = run_with_rhs(&mut k, &b, fpi, RunConfig { iterations: 3, preconditioned: true });
+        let (run, _) = run_with_rhs(
+            &mut k,
+            &b,
+            fpi,
+            RunConfig {
+                iterations: 3,
+                preconditioned: true,
+            },
+        );
         let v = validate(&mut k, &b, 100);
         let text = render_report(&p, &run, Some(&v));
         for section in [
@@ -171,7 +234,15 @@ mod tests {
         let fpi = flops_per_iteration(&p);
         let b = p.b.clone();
         let mut k = GrbHpcg::<Sequential>::new(p.clone());
-        let (run, _) = run_with_rhs(&mut k, &b, fpi, RunConfig { iterations: 2, preconditioned: true });
+        let (run, _) = run_with_rhs(
+            &mut k,
+            &b,
+            fpi,
+            RunConfig {
+                iterations: 2,
+                preconditioned: true,
+            },
+        );
         let text = render_report(&p, &run, None);
         assert!(!text.contains("Validation Testing:"));
         assert!(text.contains("Final Summary:"));

@@ -1,28 +1,30 @@
 //! Red-Black Gauss-Seidel on GraphBLAS primitives (paper Listings 2 & 3).
 //!
-//! Per color `k`, two primitives:
+//! Per color `k`, two primitives off the caller's execution context:
 //!
 //! 1. a **structural masked `mxv`** computing `s_i = Σ_j A_ij·x_j` only for
 //!    `i ∈ C_k` — the structural descriptor makes the kernel follow the
 //!    mask's sparsity pattern without reading its boolean values;
-//! 2. a **masked `eWiseLambda`** applying
+//! 2. a **masked `transform`** (the paper's `eWiseLambda`) applying
 //!    `x_i ← (r_i − s_i + x_i·A_ii) / A_ii` at the same indices, reading the
 //!    separately stored diagonal vector (GraphBLAS offers no constant-time
 //!    matrix element access, §III-A).
 //!
 //! Colors run sequentially (the `for` of Listing 2 line 2); parallelism
-//! lives inside each primitive, supplied by the [`Backend`] type parameter
-//! — the exact division of labor ALP's shared-memory backend uses.
+//! lives inside each primitive, supplied by the [`Ctx`]'s backend — the
+//! exact division of labor ALP's shared-memory backend uses. The context is
+//! an explicit parameter (rather than a type-level choice here) so the same
+//! smoother text serves compile-time backends and the runtime-dispatched
+//! [`DynCtx`](graphblas::DynCtx).
 
-use graphblas::{
-    ewise_lambda, mxv, Backend, CsrMatrix, Descriptor, PlusTimes, Result, Vector,
-};
+use graphblas::{CsrMatrix, Ctx, Exec, Result, Vector};
 
 /// One forward RBGS pass (Listing 3's `grb_rbgs_forward`).
 ///
 /// `tmp` is the caller-provided workspace buffer (Listing 3 line 7) — MG
 /// reuses one per level to avoid per-sweep allocation.
-pub fn rbgs_forward<B: Backend>(
+pub fn rbgs_forward<E: Exec>(
+    exec: Ctx<E>,
     a: &CsrMatrix<f64>,
     a_diag: &Vector<f64>,
     colors: &[Vector<bool>],
@@ -31,13 +33,14 @@ pub fn rbgs_forward<B: Backend>(
     tmp: &mut Vector<f64>,
 ) -> Result<()> {
     for mask in colors {
-        color_step::<B>(a, a_diag, mask, r, x, tmp)?;
+        color_step(exec, a, a_diag, mask, r, x, tmp)?;
     }
     Ok(())
 }
 
 /// One backward RBGS pass: identical update, colors in reverse.
-pub fn rbgs_backward<B: Backend>(
+pub fn rbgs_backward<E: Exec>(
+    exec: Ctx<E>,
     a: &CsrMatrix<f64>,
     a_diag: &Vector<f64>,
     colors: &[Vector<bool>],
@@ -46,13 +49,14 @@ pub fn rbgs_backward<B: Backend>(
     tmp: &mut Vector<f64>,
 ) -> Result<()> {
     for mask in colors.iter().rev() {
-        color_step::<B>(a, a_diag, mask, r, x, tmp)?;
+        color_step(exec, a, a_diag, mask, r, x, tmp)?;
     }
     Ok(())
 }
 
 /// One symmetric sweep (forward + backward) — the MG smoother call.
-pub fn rbgs_symmetric<B: Backend>(
+pub fn rbgs_symmetric<E: Exec>(
+    exec: Ctx<E>,
     a: &CsrMatrix<f64>,
     a_diag: &Vector<f64>,
     colors: &[Vector<bool>],
@@ -60,12 +64,14 @@ pub fn rbgs_symmetric<B: Backend>(
     x: &mut Vector<f64>,
     tmp: &mut Vector<f64>,
 ) -> Result<()> {
-    rbgs_forward::<B>(a, a_diag, colors, r, x, tmp)?;
-    rbgs_backward::<B>(a, a_diag, colors, r, x, tmp)
+    rbgs_forward(exec, a, a_diag, colors, r, x, tmp)?;
+    rbgs_backward(exec, a, a_diag, colors, r, x, tmp)
 }
 
 #[inline]
-fn color_step<B: Backend>(
+#[allow(clippy::too_many_arguments)]
+fn color_step<E: Exec>(
+    exec: Ctx<E>,
     a: &CsrMatrix<f64>,
     a_diag: &Vector<f64>,
     mask: &Vector<bool>,
@@ -74,12 +80,12 @@ fn color_step<B: Backend>(
     tmp: &mut Vector<f64>,
 ) -> Result<()> {
     // Listing 3 line 11: tmp⟨mask, structural⟩ = A ⊕.⊗ x.
-    mxv::<f64, PlusTimes, B>(tmp, Some(mask), Descriptor::STRUCTURAL, a, &*x, PlusTimes)?;
+    exec.mxv(a, &*x).mask(mask).structural().into(tmp)?;
     // Listing 3 lines 13-17: the masked lambda update.
     let rs = r.as_slice();
     let ts = tmp.as_slice();
     let ds = a_diag.as_slice();
-    ewise_lambda::<f64, B, _>(x, Some(mask), Descriptor::STRUCTURAL, |i, xi| {
+    exec.transform(x).mask(mask).structural().apply(|i, xi| {
         let d = ds[i];
         *xi = (rs[i] - ts[i] + *xi * d) / d;
     })
@@ -91,7 +97,7 @@ mod tests {
     use crate::coloring::Coloring;
     use crate::geometry::Grid3;
     use crate::problem::{build_rhs, build_stencil_matrix, RhsVariant};
-    use graphblas::Sequential;
+    use graphblas::{ctx, BackendKind, DynCtx, Sequential};
 
     fn setup(n: usize) -> (CsrMatrix<f64>, Vector<f64>, Vec<Vector<bool>>, Vector<f64>) {
         let grid = Grid3::cube(n);
@@ -108,7 +114,11 @@ mod tests {
         (0..a.nrows())
             .map(|i| {
                 let (cols, vals) = a.row(i);
-                let ax: f64 = cols.iter().zip(vals).map(|(&c, &v)| v * xs[c as usize]).sum();
+                let ax: f64 = cols
+                    .iter()
+                    .zip(vals)
+                    .map(|(&c, &v)| v * xs[c as usize])
+                    .sum();
                 (bs[i] - ax) * (bs[i] - ax)
             })
             .sum::<f64>()
@@ -121,7 +131,7 @@ mod tests {
         let mut x = Vector::zeros(a.nrows());
         let mut tmp = Vector::zeros(a.nrows());
         let r0 = residual_norm(&a, &b, &x);
-        rbgs_forward::<Sequential>(&a, &diag, &masks, &b, &mut x, &mut tmp).unwrap();
+        rbgs_forward(ctx::<Sequential>(), &a, &diag, &masks, &b, &mut x, &mut tmp).unwrap();
         assert!(residual_norm(&a, &b, &x) < r0);
     }
 
@@ -131,11 +141,34 @@ mod tests {
         let mut x = Vector::zeros(a.nrows());
         let mut tmp = Vector::zeros(a.nrows());
         for _ in 0..25 {
-            rbgs_symmetric::<Sequential>(&a, &diag, &masks, &b, &mut x, &mut tmp).unwrap();
+            rbgs_symmetric(ctx::<Sequential>(), &a, &diag, &masks, &b, &mut x, &mut tmp).unwrap();
         }
         for &v in x.as_slice() {
             assert!((v - 1.0).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn runtime_context_matches_static_backend() {
+        // The same smoother text on a DynCtx must be bit-identical per
+        // backend (the smoother is deterministic on either backend).
+        let (a, diag, masks, b) = setup(4);
+        let mut x_static = Vector::zeros(a.nrows());
+        let mut x_dyn = Vector::zeros(a.nrows());
+        let mut tmp = Vector::zeros(a.nrows());
+        rbgs_symmetric(
+            ctx::<Sequential>(),
+            &a,
+            &diag,
+            &masks,
+            &b,
+            &mut x_static,
+            &mut tmp,
+        )
+        .unwrap();
+        let dyn_ctx = DynCtx::runtime(BackendKind::Sequential);
+        rbgs_symmetric(dyn_ctx, &a, &diag, &masks, &b, &mut x_dyn, &mut tmp).unwrap();
+        assert_eq!(x_static.as_slice(), x_dyn.as_slice());
     }
 
     #[test]
@@ -145,7 +178,16 @@ mod tests {
         let (a, diag, masks, b) = setup(4);
         let mut x = Vector::zeros(a.nrows());
         let mut tmp = Vector::zeros(a.nrows());
-        rbgs_forward::<Sequential>(&a, &diag, &masks[..4], &b, &mut x, &mut tmp).unwrap();
+        rbgs_forward(
+            ctx::<Sequential>(),
+            &a,
+            &diag,
+            &masks[..4],
+            &b,
+            &mut x,
+            &mut tmp,
+        )
+        .unwrap();
         let untouched: usize = masks[4..]
             .iter()
             .flat_map(|m| m.pattern().unwrap().iter())

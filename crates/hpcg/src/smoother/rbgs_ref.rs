@@ -112,7 +112,11 @@ mod tests {
         (0..a.nrows())
             .map(|i| {
                 let (cols, vals) = a.row(i);
-                let ax: f64 = cols.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum();
+                let ax: f64 = cols
+                    .iter()
+                    .zip(vals)
+                    .map(|(&c, &v)| v * x[c as usize])
+                    .sum();
                 (b[i] - ax) * (b[i] - ax)
             })
             .sum::<f64>()

@@ -55,7 +55,11 @@ mod tests {
         (0..a.nrows())
             .map(|i| {
                 let (cols, vals) = a.row(i);
-                let ax: f64 = cols.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum();
+                let ax: f64 = cols
+                    .iter()
+                    .zip(vals)
+                    .map(|(&c, &v)| v * x[c as usize])
+                    .sum();
                 (b[i] - ax) * (b[i] - ax)
             })
             .sum::<f64>()
@@ -77,8 +81,7 @@ mod tests {
     fn forward_sweep_uses_fresh_values() {
         // Lower-triangular system: forward GS is exact forward substitution.
         // [2 0; -1 2] x = [2; 0] → x = [1, 0.5].
-        let a =
-            CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 0, -1.0), (1, 1, 2.0)]).unwrap();
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 0, -1.0), (1, 1, 2.0)]).unwrap();
         let mut x = [0.0; 2];
         gs_forward(&a, &[2.0, 2.0], &[2.0, 0.0], &mut x);
         assert_eq!(x, [1.0, 0.5]);
@@ -88,8 +91,7 @@ mod tests {
     fn backward_sweep_is_backward_substitution() {
         // Upper-triangular: backward GS exact.
         // [2 -1; 0 2] x = [0; 2] → x = [0.5, 1].
-        let a =
-            CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, -1.0), (1, 1, 2.0)]).unwrap();
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, -1.0), (1, 1, 2.0)]).unwrap();
         let mut x = [0.0; 2];
         gs_backward(&a, &[2.0, 2.0], &[0.0, 2.0], &mut x);
         assert_eq!(x, [0.5, 1.0]);

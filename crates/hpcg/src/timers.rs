@@ -23,8 +23,13 @@ pub enum Kernel {
 }
 
 /// All kernels, for iteration in reports.
-pub const ALL_KERNELS: [Kernel; 5] =
-    [Kernel::Smoother, Kernel::RestrictRefine, Kernel::SpMV, Kernel::Dot, Kernel::Waxpby];
+pub const ALL_KERNELS: [Kernel; 5] = [
+    Kernel::Smoother,
+    Kernel::RestrictRefine,
+    Kernel::SpMV,
+    Kernel::Dot,
+    Kernel::Waxpby,
+];
 
 /// Accumulated seconds per `(mg level, kernel)` cell.
 ///
@@ -53,7 +58,12 @@ fn kernel_slot(k: Kernel) -> usize {
 impl KernelTimers {
     /// Timers for a hierarchy of `levels` grids.
     pub fn new(levels: usize) -> KernelTimers {
-        KernelTimers { levels, secs: vec![[0.0; 5]; levels], run_start: None, total_secs: 0.0 }
+        KernelTimers {
+            levels,
+            secs: vec![[0.0; 5]; levels],
+            run_start: None,
+            total_secs: 0.0,
+        }
     }
 
     /// Number of levels tracked.

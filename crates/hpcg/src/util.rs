@@ -22,7 +22,9 @@ impl<'a, T> SyncSlice<'a, T> {
     pub(crate) fn new(slice: &'a mut [T]) -> Self {
         // SAFETY: identical layout; unique borrow held for 'a.
         let ptr = slice as *mut [T] as *const [UnsafeCell<T>];
-        Self { slice: unsafe { &*ptr } }
+        Self {
+            slice: unsafe { &*ptr },
+        }
     }
 
     /// # Safety

@@ -97,7 +97,9 @@ where
     let mut x0 = k.alloc(0);
     let pcg = cg_solve(k, &mut cg_ws, &mut mg_ws, b, &mut x0, max_iters, 1e-8, true);
     let mut x1 = k.alloc(0);
-    let plain = cg_solve(k, &mut cg_ws, &mut mg_ws, b, &mut x1, max_iters, 1e-8, false);
+    let plain = cg_solve(
+        k, &mut cg_ws, &mut mg_ws, b, &mut x1, max_iters, 1e-8, false,
+    );
 
     let passed = spmv_defect < SYMMETRY_TOL
         && mg_defect < SYMMETRY_TOL
@@ -128,10 +130,7 @@ mod tests {
         let b = p.b.clone();
         let mut k = GrbHpcg::<Sequential>::new(p);
         let report = validate(&mut k, &b, 500);
-        assert!(
-            report.passed,
-            "validation failed: {report:?}"
-        );
+        assert!(report.passed, "validation failed: {report:?}");
         assert!(report.spmv_symmetry_defect < SYMMETRY_TOL);
         assert!(report.mg_symmetry_defect < SYMMETRY_TOL);
     }

@@ -1,0 +1,302 @@
+//! Offline shim for the subset of [criterion](https://docs.rs/criterion)
+//! this workspace uses.
+//!
+//! Supports `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `Throughput`, `BenchmarkId` and `Bencher::iter`. Measurement is a
+//! calibrated wall-clock sampler: each sample batches enough iterations to
+//! exceed ~2 ms, `sample_size` samples are taken, and median/min/max plus
+//! derived throughput are printed as plain text. When invoked with
+//! `--test` (as `cargo test` does for benches), every benchmark runs a
+//! single iteration and no timing is reported.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Work-volume annotation for derived rates.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier (`BenchmarkId::new("kernel", "variant")`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter rendering.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    test_mode: bool,
+    /// Per-sample mean iteration time, filled by [`Bencher::iter`].
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, collecting `sample_size` batched samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm-up + calibration: find an iteration count ≥ ~2 ms per batch.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t0.elapsed() / iters_per_sample as u32);
+        }
+        self.samples.sort_unstable();
+    }
+}
+
+/// A named group of related benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work volume per iteration for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion
+            .run_one(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (report lines are emitted eagerly; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: self.sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = id.into().label;
+        let samples = self.sample_size;
+        self.run_one(&label, samples, None, f);
+        self
+    }
+
+    fn run_one(
+        &self,
+        label: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let mut b = Bencher {
+            sample_size,
+            test_mode: self.test_mode,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {label} ... ok (bench shim, single iteration)");
+            return;
+        }
+        if b.samples.is_empty() {
+            println!("{label:<50} (no measurement — closure never called iter)");
+            return;
+        }
+        let median = b.samples[b.samples.len() / 2];
+        let min = b.samples[0];
+        let max = *b.samples.last().unwrap();
+        let mut line = format!(
+            "{label:<50} time: [{} {} {}]",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(max)
+        );
+        if let Some(t) = throughput {
+            let secs = median.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => {
+                    let _ = write!(line, "  thrpt: {:.3} Melem/s", n as f64 / secs / 1e6);
+                }
+                Throughput::Bytes(n) => {
+                    let _ = write!(
+                        line,
+                        "  thrpt: {:.3} MiB/s",
+                        n as f64 / secs / (1 << 20) as f64
+                    );
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner (`name = …; config = …; targets = …`
+/// form, plus the positional form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function(BenchmarkId::new("id", "form"), |b| b.iter(|| 2 * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn runs_in_test_mode_quickly() {
+        let mut c = Criterion {
+            sample_size: 5,
+            test_mode: true,
+        };
+        trivial(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| 3 * 3));
+    }
+
+    #[test]
+    fn measures_when_not_in_test_mode() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+        };
+        let mut g = c.benchmark_group("measured");
+        g.sample_size(2);
+        g.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..500).sum::<i64>()))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for serde's derive macros.
+//!
+//! The workspace annotates a few plain-old-data types with
+//! `#[derive(Serialize, Deserialize)]` so they serialize once a real serde
+//! is available, but nothing in-tree performs serialization. With no
+//! registry access, this proc-macro crate accepts the derives and expands
+//! to nothing, keeping the annotations compiling. Swap the workspace `serde`
+//! path dependency for the registry crate to get real implementations.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

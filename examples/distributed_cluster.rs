@@ -19,18 +19,23 @@ fn main() {
     let iterations = 5;
     let local = 16; // 16³ points per node
 
-    println!("simulated ARM cluster: g = {:.2} ns/byte, l = {:.1} µs, {} CG iterations",
-        machine.g_secs_per_byte * 1e9, machine.l_secs * 1e6, iterations);
+    println!(
+        "simulated ARM cluster: g = {:.2} ns/byte, l = {:.1} µs, {} CG iterations",
+        machine.g_secs_per_byte * 1e9,
+        machine.l_secs * 1e6,
+        iterations
+    );
     println!("weak scaling with {local}³ points per node\n");
-    println!("{:>5}  {:>9}  {:>12} {:>12}  {:>10} {:>10}  {:>6} {:>6}",
-        "nodes", "n", "Ref time", "ALP time", "Ref comm", "ALP comm", "Ref ss", "ALP ss");
+    println!(
+        "{:>5}  {:>9}  {:>12} {:>12}  {:>10} {:>10}  {:>6} {:>6}",
+        "nodes", "n", "Ref time", "ALP time", "Ref comm", "ALP comm", "Ref ss", "ALP ss"
+    );
 
     for nodes in [2usize, 4, 8] {
         // Grow the grid along the axes the 3D factorization splits.
         let (px, py, pz) = bsp::factor3d(nodes, local * nodes, local * nodes, local * nodes);
         let grid = Grid3::new(local * px, local * py, local * pz);
-        let problem =
-            Problem::build_with(grid, 4, RhsVariant::Reference).expect("divisible by 8");
+        let problem = Problem::build_with(grid, 4, RhsVariant::Reference).expect("divisible by 8");
 
         let b_grb = problem.b.clone();
         let mut alp = AlpDistHpcg::new(problem.clone(), nodes, machine);
@@ -61,5 +66,7 @@ fn main() {
 
     println!("\nRef stays flat while ALP grows with the node count — the Table I");
     println!("asymptotics (halo ∛(n²/p²) vs allgather n(p−1)/p) made visible.");
-    println!("Run `cargo run --release -p hpcg-bench --bin fig3_weak_scaling` for the full figure.");
+    println!(
+        "Run `cargo run --release -p hpcg-bench --bin fig3_weak_scaling` for the full figure."
+    );
 }

@@ -14,13 +14,12 @@
 use graphblas::{Parallel, Vector};
 use hpcg::cg::{cg_solve, CgWorkspace};
 use hpcg::mg::MgWorkspace;
-use hpcg::{Grid3, GrbHpcg, Kernels, Problem, RhsVariant};
+use hpcg::{GrbHpcg, Grid3, Kernels, Problem, RhsVariant};
 
 fn main() {
     let n_side = 32;
     let grid = Grid3::cube(n_side);
-    let problem =
-        Problem::build_with(grid, 4, RhsVariant::Ones).expect("32 is divisible by 8");
+    let problem = Problem::build_with(grid, 4, RhsVariant::Ones).expect("32 is divisible by 8");
 
     // A localized heat source: power injected in a 4³ region at the center.
     let mut source = vec![0.0f64; grid.len()];
@@ -38,8 +37,16 @@ fn main() {
     let mut cg_ws = CgWorkspace::new(&solver);
     let mut mg_ws = MgWorkspace::new(&solver);
     let mut temperature = solver.alloc(0);
-    let result =
-        cg_solve(&mut solver, &mut cg_ws, &mut mg_ws, &b, &mut temperature, 100, 1e-9, true);
+    let result = cg_solve(
+        &mut solver,
+        &mut cg_ws,
+        &mut mg_ws,
+        &b,
+        &mut temperature,
+        100,
+        1e-9,
+        true,
+    );
     println!(
         "solved steady-state heat on a {n_side}³ grid in {} CG iterations (relative residual {:.2e})",
         result.iterations, result.relative_residual
@@ -61,7 +68,10 @@ fn main() {
     let center_t = t[grid.index(c, c, c)];
     let edge_t = t[grid.index(1, c, c)];
     println!("\ncenter temperature {center_t:.3} vs near-boundary {edge_t:.3}");
-    assert!(center_t > 10.0 * edge_t.abs().max(1e-12), "heat must concentrate at the source");
+    assert!(
+        center_t > 10.0 * edge_t.abs().max(1e-12),
+        "heat must concentrate at the source"
+    );
 
     // Energy balance: the stencil row sums are nonnegative (dissipative),
     // so the solution stays nonnegative for a nonnegative source.

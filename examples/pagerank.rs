@@ -10,11 +10,18 @@
 //! cargo run --release --example pagerank
 //! ```
 
-use graphblas::{
-    dot, mxv, waxpby, CsrMatrix, Descriptor, Max, Parallel, PlusTimes, Vector,
-};
+use graphblas::{BackendKind, CsrMatrix, DynCtx, Max, Vector};
 
 fn main() {
+    // Runtime backend selection: `GRB_BACKEND=seq cargo run --example
+    // pagerank` flips the whole power iteration to the sequential backend.
+    let exec = DynCtx::from_env_or(BackendKind::Parallel);
+    println!(
+        "backend: {}, {} thread(s)",
+        exec.backend_name(),
+        exec.threads()
+    );
+
     // A directed graph: 2 hubs (0, 1) that everyone links to, hubs link to
     // each other and to a few spokes, spokes link in a ring.
     let n = 12usize;
@@ -34,8 +41,10 @@ fn main() {
     for &(src, _) in &edges {
         outdeg[src] += 1;
     }
-    let triplets: Vec<(usize, usize, f64)> =
-        edges.iter().map(|&(src, dst)| (dst, src, 1.0 / outdeg[src] as f64)).collect();
+    let triplets: Vec<(usize, usize, f64)> = edges
+        .iter()
+        .map(|&(src, dst)| (dst, src, 1.0 / outdeg[src] as f64))
+        .collect();
     let m = CsrMatrix::from_triplets(n, n, &triplets).expect("valid graph");
 
     // Power iteration: r ← d·M·r + (1−d)/n, until the rank vector settles.
@@ -45,11 +54,15 @@ fn main() {
     let mut next = Vector::zeros(n);
     let mut iterations = 0;
     loop {
-        mxv::<f64, PlusTimes, Parallel>(&mut next, None, Descriptor::DEFAULT, &m, &rank, PlusTimes)
+        exec.mxv(&m, &rank)
+            .into(&mut next)
             .expect("dimensions fixed");
         // next ← d·next + 1·teleport
         let scaled = next.clone();
-        waxpby::<f64, Parallel>(&mut next, damping, &scaled, 1.0, &teleport).expect("dims");
+        exec.ewise(&scaled, &teleport)
+            .scaled(damping, 1.0)
+            .into(&mut next)
+            .expect("dims");
         // Convergence: max |next - rank|.
         let diff: f64 = next
             .as_slice()
@@ -64,7 +77,9 @@ fn main() {
         }
     }
 
-    let total = dot::<f64, PlusTimes, Parallel>(&rank, &Vector::filled(n, 1.0), PlusTimes)
+    let total = exec
+        .dot(&rank, &Vector::filled(n, 1.0))
+        .compute()
         .expect("dims");
     println!("pagerank converged in {iterations} iterations (mass {total:.6})");
 
@@ -76,12 +91,19 @@ fn main() {
             0 | 1 => "hub",
             _ => "spoke",
         };
-        println!("  #{:<2} page {:>2} ({label:>5})  rank {:.4}", place + 1, page, rank.as_slice()[page]);
+        println!(
+            "  #{:<2} page {:>2} ({label:>5})  rank {:.4}",
+            place + 1,
+            page,
+            rank.as_slice()[page]
+        );
     }
 
-    assert!(order[0] <= 1 && order[1] <= 1, "the two hubs must rank first");
-    let top = graphblas::reduce::<f64, Max, Parallel>(&rank, None, Descriptor::DEFAULT)
-        .expect("reduce");
+    assert!(
+        order[0] <= 1 && order[1] <= 1,
+        "the two hubs must rank first"
+    );
+    let top = exec.reduce(&rank).monoid(Max).compute().expect("reduce");
     assert!((top - rank.as_slice()[order[0]]).abs() < 1e-15);
     println!("\nhubs rank first — GraphBLAS primitives compose beyond HPCG.");
 }

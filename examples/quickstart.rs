@@ -5,15 +5,16 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use graphblas::{LinearOperator, Parallel};
+use graphblas::{BackendKind, DynCtx, LinearOperator, Minus, Parallel, Vector};
 use hpcg::driver::{flops_per_iteration, run_with_rhs, RunConfig};
-use hpcg::{validate, Grid3, GrbHpcg, Kernels, Problem, RefHpcg, RhsVariant};
+use hpcg::{validate, GrbHpcg, Grid3, Kernels, Problem, RefHpcg, RhsVariant};
 
 fn main() {
     // 1. Generate the benchmark problem: a 32³ grid, 4 multigrid levels,
     //    27-point stencil, rhs whose exact solution is the ones vector.
     let grid = Grid3::cube(32);
-    let problem = Problem::build_with(grid, 4, RhsVariant::Reference).expect("32 is divisible by 8");
+    let problem =
+        Problem::build_with(grid, 4, RhsVariant::Reference).expect("32 is divisible by 8");
     println!(
         "problem: {}x{}x{} grid, n = {}, nnz = {} over {} levels",
         grid.nx,
@@ -29,14 +30,23 @@ fn main() {
             format!("{}³", l.grid.nx),
             l.n(),
             l.coloring.num_colors,
-            if l.has_coarse() { "materialized n/8 x n CSR" } else { "none (coarsest)" }
+            if l.has_coarse() {
+                "materialized n/8 x n CSR"
+            } else {
+                "none (coarsest)"
+            }
         );
     }
 
     // 2. Run 25 preconditioned CG iterations through the GraphBLAS (ALP)
-    //    implementation on the parallel backend.
+    //    implementation on the parallel backend. (`GrbHpcg::with_ctx` with
+    //    a `DynCtx` would select the backend at runtime instead — that is
+    //    what `hpcg_report --backend seq|par` does.)
     let flops = flops_per_iteration(&problem);
-    let config = RunConfig { iterations: 25, preconditioned: true };
+    let config = RunConfig {
+        iterations: 25,
+        preconditioned: true,
+    };
     let b = problem.b.clone();
     let mut alp = GrbHpcg::<Parallel>::new(problem.clone());
     let (report, cg) = run_with_rhs(&mut alp, &b, flops, config);
@@ -75,7 +85,27 @@ fn main() {
         if v.passed { "PASSED" } else { "FAILED" }
     );
 
-    // 5. The §VII-A storage trade-off: materialized restriction matrix vs
+    // 5. The execution-context API directly: for the reference rhs the
+    //    exact solution is the ones vector, so A·1 must reproduce b.
+    //    Verify it with fluent builders on a runtime-selected backend
+    //    (set GRB_BACKEND=seq to flip it).
+    let exec = DynCtx::from_env_or(BackendKind::Parallel);
+    let a0 = &problem.levels[0].a;
+    let ones = Vector::filled(problem.n(), 1.0);
+    let mut a_ones = Vector::zeros(problem.n());
+    exec.mxv(a0, &ones).into(&mut a_ones).expect("dims fixed");
+    let mut diff = Vector::zeros(problem.n());
+    exec.ewise(&b, &a_ones)
+        .op(Minus)
+        .into(&mut diff)
+        .expect("dims fixed");
+    let defect = exec.norm2_squared(&diff).unwrap().sqrt();
+    println!(
+        "\nctx check on '{}': ‖b − A·1‖ = {defect:.2e} (the reference rhs solves to ones)",
+        exec.backend_name()
+    );
+
+    // 6. The §VII-A storage trade-off: materialized restriction matrix vs
     //    matrix-free injection operator.
     let l0 = &problem.levels[0];
     let csr_bytes = LinearOperator::<f64>::storage_bytes(l0.restriction.as_ref().unwrap());

@@ -4,7 +4,9 @@
 //! extraction, and the 2D distributed layout inside a full CG run.
 
 use bsp::machine::MachineParams;
-use graphblas::io::{read_matrix_market, read_vector_market, write_matrix_market, write_vector_market};
+use graphblas::io::{
+    read_matrix_market, read_vector_market, write_matrix_market, write_vector_market,
+};
 use graphblas::{algorithms, extract_submatrix, CsrMatrix, Sequential, Vector};
 use hpcg::distributed::{run_distributed, AlpDistHpcg};
 use hpcg::problem::{build_rhs, build_stencil_matrix, Problem, RhsVariant};
@@ -34,9 +36,9 @@ fn bfs_on_the_stencil_graph_is_chebyshev_distance() {
     let grid = Grid3::cube(5);
     let a = build_stencil_matrix(grid);
     let levels = algorithms::bfs_levels::<Sequential>(&a, 0).unwrap();
-    for g in 0..grid.len() {
+    for (g, &level) in levels.iter().enumerate() {
         let (x, y, z) = grid.coords(g);
-        assert_eq!(levels[g], x.max(y).max(z) as i64, "at {:?}", (x, y, z));
+        assert_eq!(level, x.max(y).max(z) as i64, "at {:?}", (x, y, z));
     }
 }
 
@@ -142,7 +144,10 @@ fn block2d_distributed_cg_matches_1d_numerics() {
     let (r1, cg1) = run_distributed(&mut one_d, &b, 5);
     let mut two_d = AlpDistHpcg::new_2d(p, 4, MachineParams::arm_cluster());
     let (r2, cg2) = run_distributed(&mut two_d, &b, 5);
-    assert_eq!(cg1.residual_history, cg2.residual_history, "layout is cost-only");
+    assert_eq!(
+        cg1.residual_history, cg2.residual_history,
+        "layout is cost-only"
+    );
     assert!(r2.comm_bytes < r1.comm_bytes, "2D exchanges less");
     assert!(r2.modeled_secs <= r1.modeled_secs + 1e-12);
 }
@@ -160,9 +165,10 @@ fn heat_source_superposition() {
     let mut k = GrbHpcg::<Parallel>::new(p);
     let mut cg_ws = CgWorkspace::new(&k);
     let mut mg_ws = MgWorkspace::new(&k);
-    let solve = |b: &Vector<f64>, k: &mut GrbHpcg<Parallel>,
-                     cg_ws: &mut CgWorkspace<Vector<f64>>,
-                     mg_ws: &mut MgWorkspace<Vector<f64>>| {
+    let solve = |b: &Vector<f64>,
+                 k: &mut GrbHpcg<Parallel>,
+                 cg_ws: &mut CgWorkspace<Vector<f64>>,
+                 mg_ws: &mut MgWorkspace<Vector<f64>>| {
         let mut x = k.alloc(0);
         let r = cg_solve(k, cg_ws, mg_ws, b, &mut x, 200, 1e-12, true);
         assert!(r.relative_residual <= 1e-12);
@@ -171,7 +177,11 @@ fn heat_source_superposition() {
     let b1 = Vector::from_dense((0..n).map(|i| ((i % 7) as f64) - 3.0).collect());
     let b2 = Vector::from_dense((0..n).map(|i| ((i % 5) as f64) * 0.5).collect());
     let mut b12 = Vector::zeros(n);
-    graphblas::waxpby::<f64, Sequential>(&mut b12, 1.0, &b1, 1.0, &b2).unwrap();
+    graphblas::ctx::<Sequential>()
+        .ewise(&b1, &b2)
+        .scaled(1.0, 1.0)
+        .into(&mut b12)
+        .unwrap();
     let x1 = solve(&b1, &mut k, &mut cg_ws, &mut mg_ws);
     let x2 = solve(&b2, &mut k, &mut cg_ws, &mut mg_ws);
     let x12 = solve(&b12, &mut k, &mut cg_ws, &mut mg_ws);

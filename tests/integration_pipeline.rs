@@ -8,7 +8,7 @@ use hpcg::cg::{cg_solve, CgWorkspace};
 use hpcg::distributed::{run_distributed, AlpDistHpcg, RefDistHpcg};
 use hpcg::driver::{flops_per_iteration, run_with_rhs, RunConfig};
 use hpcg::mg::MgWorkspace;
-use hpcg::{validate, Grid3, GrbHpcg, Kernels, Problem, RefHpcg, RhsVariant};
+use hpcg::{validate, GrbHpcg, Grid3, Kernels, Problem, RefHpcg, RhsVariant};
 
 fn problem(cube: usize, levels: usize) -> Problem {
     Problem::build_with(Grid3::cube(cube), levels, RhsVariant::Reference).unwrap()
@@ -48,7 +48,10 @@ fn end_to_end_ref_solves_to_ones() {
 fn alp_and_ref_residual_histories_agree() {
     let p = problem(16, 3);
     let flops = flops_per_iteration(&p);
-    let cfg = RunConfig { iterations: 15, preconditioned: true };
+    let cfg = RunConfig {
+        iterations: 15,
+        preconditioned: true,
+    };
 
     let b_grb = p.b.clone();
     let mut alp = GrbHpcg::<Sequential>::new(p.clone());
@@ -68,7 +71,10 @@ fn alp_and_ref_residual_histories_agree() {
 fn parallel_and_sequential_backends_converge_alike() {
     let p = problem(16, 3);
     let flops = flops_per_iteration(&p);
-    let cfg = RunConfig { iterations: 10, preconditioned: true };
+    let cfg = RunConfig {
+        iterations: 10,
+        preconditioned: true,
+    };
     let b = p.b.clone();
 
     let mut seq = GrbHpcg::<Sequential>::new(p.clone());
@@ -92,8 +98,16 @@ fn distributed_runs_match_shared_memory_and_each_other() {
     let mut cg_ws = CgWorkspace::new(&shared);
     let mut mg_ws = MgWorkspace::new(&shared);
     let mut x = shared.alloc(0);
-    let cg_shared =
-        cg_solve(&mut shared, &mut cg_ws, &mut mg_ws, &b_grb, &mut x, iters, 0.0, true);
+    let cg_shared = cg_solve(
+        &mut shared,
+        &mut cg_ws,
+        &mut mg_ws,
+        &b_grb,
+        &mut x,
+        iters,
+        0.0,
+        true,
+    );
 
     let mut alp = AlpDistHpcg::new(p.clone(), 4, MachineParams::arm_cluster());
     let (_, cg_alp) = run_distributed(&mut alp, &b_grb, iters);
@@ -122,9 +136,12 @@ fn weak_scaling_shape_ref_flat_alp_linear() {
     let mut alp_times = Vec::new();
     for nodes in [2usize, 4, 8] {
         let (px, py, pz) = bsp::factor3d(nodes, 16 * nodes, 16 * nodes, 16 * nodes);
-        let p =
-            Problem::build_with(Grid3::new(16 * px, 16 * py, 16 * pz), 2, RhsVariant::Reference)
-                .unwrap();
+        let p = Problem::build_with(
+            Grid3::new(16 * px, 16 * py, 16 * pz),
+            2,
+            RhsVariant::Reference,
+        )
+        .unwrap();
         let b_vec = p.b.as_slice().to_vec();
         let mut rd = RefDistHpcg::new(p.clone(), nodes, machine);
         let (rr, _) = run_distributed(&mut rd, &b_vec, 3);
@@ -164,7 +181,15 @@ fn gflops_reporting_is_positive_and_consistent() {
     let flops = flops_per_iteration(&p);
     let b = p.b.clone();
     let mut alp = GrbHpcg::<Sequential>::new(p);
-    let (report, _) = run_with_rhs(&mut alp, &b, flops, RunConfig { iterations: 5, preconditioned: true });
+    let (report, _) = run_with_rhs(
+        &mut alp,
+        &b,
+        flops,
+        RunConfig {
+            iterations: 5,
+            preconditioned: true,
+        },
+    );
     assert!(report.gflops > 0.0);
     assert!(report.total_secs > 0.0);
     assert_eq!(report.levels.len(), 2);
@@ -176,5 +201,9 @@ fn gflops_reporting_is_positive_and_consistent() {
         .sum::<f64>()
         + report.dot_secs
         + report.waxpby_secs;
-    assert!(sum <= report.total_secs * 1.05, "kernel sum {sum} vs total {}", report.total_secs);
+    assert!(
+        sum <= report.total_secs * 1.05,
+        "kernel sum {sum} vs total {}",
+        report.total_secs
+    );
 }

@@ -1,28 +1,30 @@
-//! Property-based tests of the GraphBLAS substrate's algebraic contracts.
+//! Property-based tests of the GraphBLAS substrate's algebraic contracts
+//! and of the builder API's equivalence with the legacy free functions.
 //!
 //! Values are drawn from small integer ranges mapped into `f64`, so every
 //! arithmetic identity holds *exactly* (no floating-point tolerance games):
 //! linearity of `mxv`, transpose involution, mask decomposition, semiring
-//! annihilation, monoid laws.
+//! annihilation, monoid laws — and bit-identity of the `Ctx` builder path
+//! against the deprecated positional entry points across every
+//! masked/structural/inverted/transposed/accumulated combination, on both
+//! backends.
 
 use graphblas::{
-    dot, ewise, mxv, mxv_accum, reduce, waxpby, CsrMatrix, Descriptor, Max, Min, MinPlus, Plus,
-    PlusTimes, Sequential, Times, Vector,
+    ctx, Backend, CsrMatrix, Descriptor, Max, Min, MinPlus, Parallel, Plus, Sequential, Vector,
 };
 use proptest::prelude::*;
 
 /// A random sparse matrix with integer-valued entries.
 fn arb_matrix(max_dim: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
     (1..max_dim, 1..max_dim).prop_flat_map(|(nrows, ncols)| {
-        proptest::collection::vec(
-            (0..nrows, 0..ncols, -4i64..=4),
-            0..(nrows * ncols).min(64),
-        )
-        .prop_map(move |trips| {
-            let t: Vec<(usize, usize, f64)> =
-                trips.into_iter().map(|(r, c, v)| (r, c, v as f64)).collect();
-            CsrMatrix::from_triplets(nrows, ncols, &t).unwrap()
-        })
+        proptest::collection::vec((0..nrows, 0..ncols, -4i64..=4), 0..(nrows * ncols).min(64))
+            .prop_map(move |trips| {
+                let t: Vec<(usize, usize, f64)> = trips
+                    .into_iter()
+                    .map(|(r, c, v)| (r, c, v as f64))
+                    .collect();
+                CsrMatrix::from_triplets(nrows, ncols, &t).unwrap()
+            })
     })
 }
 
@@ -33,7 +35,7 @@ fn arb_vector(len: usize) -> impl Strategy<Value = Vector<f64>> {
 
 fn run_mxv(a: &CsrMatrix<f64>, x: &Vector<f64>) -> Vector<f64> {
     let mut y = Vector::zeros(a.nrows());
-    mxv::<f64, PlusTimes, Sequential>(&mut y, None, Descriptor::DEFAULT, a, x, PlusTimes).unwrap();
+    ctx::<Sequential>().mxv(a, x).into(&mut y).unwrap();
     y
 }
 
@@ -43,18 +45,19 @@ proptest! {
     #[test]
     fn mxv_is_linear(a in arb_matrix(12)) {
         let n = a.ncols();
+        let exec = ctx::<Sequential>();
         let strategy = (arb_vector(n), arb_vector(n), -3i64..=3, -3i64..=3);
         proptest!(|((x, y, alpha, beta) in strategy)| {
             let (alpha, beta) = (alpha as f64, beta as f64);
             // A(αx + βy)
             let mut combo = Vector::zeros(n);
-            waxpby::<f64, Sequential>(&mut combo, alpha, &x, beta, &y).unwrap();
+            exec.ewise(&x, &y).scaled(alpha, beta).into(&mut combo).unwrap();
             let lhs = run_mxv(&a, &combo);
             // αAx + βAy
             let ax = run_mxv(&a, &x);
             let ay = run_mxv(&a, &y);
             let mut rhs = Vector::zeros(a.nrows());
-            waxpby::<f64, Sequential>(&mut rhs, alpha, &ax, beta, &ay).unwrap();
+            exec.ewise(&ax, &ay).scaled(alpha, beta).into(&mut rhs).unwrap();
             prop_assert_eq!(lhs.as_slice(), rhs.as_slice());
         });
     }
@@ -76,9 +79,7 @@ proptest! {
             (0..a.nrows()).map(|i| ((i as u64 * 7 + seed) % 9) as f64 - 4.0).collect(),
         );
         let mut via_desc = Vector::zeros(a.ncols());
-        mxv::<f64, PlusTimes, Sequential>(
-            &mut via_desc, None, Descriptor::TRANSPOSE, &a, &x, PlusTimes,
-        ).unwrap();
+        ctx::<Sequential>().mxv(&a, &x).transpose().into(&mut via_desc).unwrap();
         let at = a.transpose();
         let via_mat = run_mxv(&at, &x);
         prop_assert_eq!(via_desc.as_slice(), via_mat.as_slice());
@@ -87,16 +88,16 @@ proptest! {
     #[test]
     fn dot_transpose_adjoint(a in arb_matrix(10)) {
         // ⟨Ax, y⟩ == ⟨x, Aᵀy⟩ exactly for integer data.
+        let exec = ctx::<Sequential>();
         let nr = a.nrows();
         let nc = a.ncols();
         let x = Vector::from_dense((0..nc).map(|i| ((i * 3) % 7) as f64 - 3.0).collect());
         let y = Vector::from_dense((0..nr).map(|i| ((i * 5) % 9) as f64 - 4.0).collect());
         let ax = run_mxv(&a, &x);
-        let lhs = dot::<f64, PlusTimes, Sequential>(&ax, &y, PlusTimes).unwrap();
+        let lhs = exec.dot(&ax, &y).compute().unwrap();
         let mut aty = Vector::zeros(nc);
-        mxv::<f64, PlusTimes, Sequential>(&mut aty, None, Descriptor::TRANSPOSE, &a, &y, PlusTimes)
-            .unwrap();
-        let rhs = dot::<f64, PlusTimes, Sequential>(&x, &aty, PlusTimes).unwrap();
+        exec.mxv(&a, &y).transpose().into(&mut aty).unwrap();
+        let rhs = exec.dot(&x, &aty).compute().unwrap();
         prop_assert_eq!(lhs, rhs);
     }
 
@@ -114,24 +115,16 @@ proptest! {
         }
         let mask = Vector::<bool>::sparse_filled(n, idx, true).unwrap();
         let x = Vector::from_dense((0..a.ncols()).map(|i| (i % 5) as f64 - 2.0).collect());
+        let exec = ctx::<Sequential>();
 
         let full = run_mxv(&a, &x);
         let mut masked = Vector::from_dense(vec![f64::NAN; n]);
-        mxv::<f64, PlusTimes, Sequential>(
-            &mut masked, Some(&mask), Descriptor::STRUCTURAL, &a, &x, PlusTimes,
-        ).unwrap();
+        exec.mxv(&a, &x).mask(&mask).structural().into(&mut masked).unwrap();
         let mut complement = Vector::from_dense(vec![f64::NAN; n]);
-        mxv::<f64, PlusTimes, Sequential>(
-            &mut complement,
-            Some(&mask),
-            Descriptor::STRUCTURAL.with(Descriptor::INVERT_MASK),
-            &a,
-            &x,
-            PlusTimes,
-        ).unwrap();
+        exec.mxv(&a, &x).mask(&mask).structural().invert_mask().into(&mut complement).unwrap();
 
-        for i in 0..n {
-            if bits[i] {
+        for (i, &bit) in bits.iter().enumerate() {
+            if bit {
                 prop_assert_eq!(masked.as_slice()[i], full.as_slice()[i]);
                 prop_assert!(complement.as_slice()[i].is_nan(), "complement untouched at {}", i);
             } else {
@@ -143,27 +136,54 @@ proptest! {
 
     #[test]
     fn mxv_accum_is_mxv_plus_previous(a in arb_matrix(12)) {
+        let exec = ctx::<Sequential>();
         let x = Vector::from_dense((0..a.ncols()).map(|i| (i % 3) as f64).collect());
         let y0 = Vector::from_dense((0..a.nrows()).map(|i| (i % 4) as f64 - 1.0).collect());
         let mut accumed = y0.clone();
-        mxv_accum::<f64, PlusTimes, Sequential>(
-            &mut accumed, None, Descriptor::DEFAULT, &a, &x, PlusTimes,
-        ).unwrap();
+        exec.mxv(&a, &x).accum(Plus).into(&mut accumed).unwrap();
         let ax = run_mxv(&a, &x);
         let mut expected = Vector::zeros(a.nrows());
-        waxpby::<f64, Sequential>(&mut expected, 1.0, &y0, 1.0, &ax).unwrap();
+        exec.ewise(&y0, &ax).scaled(1.0, 1.0).into(&mut expected).unwrap();
         prop_assert_eq!(accumed.as_slice(), expected.as_slice());
     }
 
     #[test]
+    fn masked_transpose_equals_masked_materialized_transpose(
+        a in arb_matrix(12),
+        mask_bits in proptest::collection::vec(proptest::bool::ANY, 0..12),
+    ) {
+        // The satellite fix: TRANSPOSE + mask (formerly Unsupported) must
+        // agree with masking the materialized-transpose product.
+        let n = a.ncols();
+        let bits: Vec<bool> = (0..n).map(|i| mask_bits.get(i).copied().unwrap_or(false)).collect();
+        let idx: Vec<u32> =
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i as u32).collect();
+        if idx.is_empty() {
+            return Ok(());
+        }
+        let mask = Vector::<bool>::sparse_filled(n, idx, true).unwrap();
+        let x = Vector::from_dense((0..a.nrows()).map(|i| (i % 7) as f64 - 3.0).collect());
+        let exec = ctx::<Sequential>();
+
+        let mut via_desc = Vector::from_dense(vec![-9.0; n]);
+        exec.mxv(&a, &x).transpose().mask(&mask).structural().into(&mut via_desc).unwrap();
+
+        let at = a.transpose();
+        let mut via_mat = Vector::from_dense(vec![-9.0; n]);
+        exec.mxv(&at, &x).mask(&mask).structural().into(&mut via_mat).unwrap();
+        prop_assert_eq!(via_desc.as_slice(), via_mat.as_slice());
+    }
+
+    #[test]
     fn reduce_agrees_with_iterator_folds(v in proptest::collection::vec(-50i64..=50, 0..64)) {
+        let exec = ctx::<Sequential>();
         let x = Vector::from_dense(v.iter().map(|&i| i as f64).collect::<Vec<_>>());
-        let sum = reduce::<f64, Plus, Sequential>(&x, None, Descriptor::DEFAULT).unwrap();
+        let sum = exec.reduce(&x).compute().unwrap();
         prop_assert_eq!(sum, v.iter().sum::<i64>() as f64);
-        let mn = reduce::<f64, Min, Sequential>(&x, None, Descriptor::DEFAULT).unwrap();
+        let mn = exec.reduce(&x).monoid(Min).compute().unwrap();
         let expected_min = v.iter().copied().min().map(|m| m as f64).unwrap_or(f64::INFINITY);
         prop_assert_eq!(mn, expected_min);
-        let mx = reduce::<f64, Max, Sequential>(&x, None, Descriptor::DEFAULT).unwrap();
+        let mx = exec.reduce(&x).monoid(Max).compute().unwrap();
         let expected_max = v.iter().copied().max().map(|m| m as f64).unwrap_or(f64::NEG_INFINITY);
         prop_assert_eq!(mx, expected_max);
     }
@@ -174,8 +194,7 @@ proptest! {
         // reachable through an edge: y_i = min_j (A_ij + x_j) ≤ A_ik + x_k.
         let x = Vector::from_dense((0..a.ncols()).map(|i| (i % 6) as f64).collect());
         let mut y = Vector::zeros(a.nrows());
-        mxv::<f64, MinPlus, Sequential>(&mut y, None, Descriptor::DEFAULT, &a, &x, MinPlus)
-            .unwrap();
+        ctx::<Sequential>().mxv(&a, &x).ring(MinPlus).into(&mut y).unwrap();
         for (r, c, v) in a.iter_entries() {
             prop_assert!(y.as_slice()[r] <= v + x.as_slice()[c] + 1e-12);
         }
@@ -186,9 +205,204 @@ proptest! {
         let x = Vector::from_dense((0..len).map(|i| (i % 7) as f64 - 3.0).collect());
         let y = Vector::from_dense((0..len).map(|i| (i % 5) as f64 - 2.0).collect());
         let mut w = Vector::zeros(len);
-        ewise::<f64, Times, Sequential>(&mut w, None, Descriptor::DEFAULT, &x, &y, Times).unwrap();
+        ctx::<Sequential>().ewise(&x, &y).op(graphblas::Times).into(&mut w).unwrap();
         for i in 0..len {
             prop_assert_eq!(w.as_slice()[i], x.as_slice()[i] * y.as_slice()[i]);
+        }
+    }
+}
+
+/// Bit-identity of the builder path against the legacy free functions, the
+/// acceptance contract for the API redesign: for every combination of
+/// mask presence × structural × inverted × transposed × accumulator, on
+/// both backends, `ctx.…` must produce exactly the bytes `mxv(...)` did.
+#[allow(deprecated)]
+mod builder_equals_legacy {
+    use super::*;
+    use graphblas::{dot, ewise, mxv, mxv_accum, reduce, waxpby, PlusTimes, Times};
+
+    /// Builds the descriptor the legacy calls expect from the flag triple.
+    fn legacy_desc(structural: bool, inverted: bool, transposed: bool) -> Descriptor {
+        let mut d = Descriptor::DEFAULT;
+        if structural {
+            d = d.with(Descriptor::STRUCTURAL);
+        }
+        if inverted {
+            d = d.with(Descriptor::INVERT_MASK);
+        }
+        if transposed {
+            d = d.with(Descriptor::TRANSPOSE);
+        }
+        d
+    }
+
+    fn mask_for(len: usize, bits: &[bool]) -> Option<Vector<bool>> {
+        let idx: Vec<u32> = (0..len)
+            .filter(|&i| bits.get(i).copied().unwrap_or(false))
+            .map(|i| i as u32)
+            .collect();
+        if idx.is_empty() {
+            None
+        } else {
+            Some(Vector::<bool>::sparse_filled(len, idx, true).unwrap())
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_mxv_equivalence<B: Backend>(
+        a: &CsrMatrix<f64>,
+        x_rows: &Vector<f64>,
+        x_cols: &Vector<f64>,
+        mask_bits: &[bool],
+        structural: bool,
+        inverted: bool,
+        transposed: bool,
+        accumulate: bool,
+    ) -> Result<(), TestCaseError> {
+        let (x, out_len) = if transposed {
+            (x_rows, a.ncols())
+        } else {
+            (x_cols, a.nrows())
+        };
+        let mask = mask_for(out_len, mask_bits);
+        let desc = legacy_desc(structural, inverted, transposed);
+        let y0: Vector<f64> =
+            Vector::from_dense((0..out_len).map(|i| (i % 5) as f64 - 2.0).collect());
+
+        let mut y_legacy = y0.clone();
+        let legacy_result = if accumulate {
+            mxv_accum::<f64, PlusTimes, B>(&mut y_legacy, mask.as_ref(), desc, a, x, PlusTimes)
+        } else {
+            mxv::<f64, PlusTimes, B>(&mut y_legacy, mask.as_ref(), desc, a, x, PlusTimes)
+        };
+
+        let mut y_builder = y0.clone();
+        let mut b = ctx::<B>().mxv(a, x);
+        if let Some(m) = mask.as_ref() {
+            b = b.mask(m);
+        }
+        if structural {
+            b = b.structural();
+        }
+        if inverted {
+            b = b.invert_mask();
+        }
+        if transposed {
+            b = b.transpose();
+        }
+        let builder_result = if accumulate {
+            b.accum(Plus).into(&mut y_builder)
+        } else {
+            b.into(&mut y_builder)
+        };
+
+        prop_assert_eq!(legacy_result.is_ok(), builder_result.is_ok());
+        if legacy_result.is_ok() {
+            prop_assert_eq!(y_legacy.as_slice(), y_builder.as_slice());
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn mxv_builder_bit_identical_to_legacy(
+            a in arb_matrix(10),
+            mask_bits in proptest::collection::vec(proptest::bool::ANY, 0..10),
+            flags in (proptest::bool::ANY, proptest::bool::ANY, proptest::bool::ANY, proptest::bool::ANY),
+        ) {
+            let (structural, inverted, transposed, accumulate) = flags;
+            let x_rows = Vector::from_dense((0..a.nrows()).map(|i| (i % 7) as f64 - 3.0).collect());
+            let x_cols = Vector::from_dense((0..a.ncols()).map(|i| (i % 7) as f64 - 3.0).collect());
+            check_mxv_equivalence::<Sequential>(
+                &a, &x_rows, &x_cols, &mask_bits, structural, inverted, transposed, accumulate,
+            )?;
+            check_mxv_equivalence::<Parallel>(
+                &a, &x_rows, &x_cols, &mask_bits, structural, inverted, transposed, accumulate,
+            )?;
+        }
+
+        #[test]
+        fn ewise_builder_bit_identical_to_legacy(
+            len in 1usize..24,
+            mask_bits in proptest::collection::vec(proptest::bool::ANY, 0..24),
+            structural in proptest::bool::ANY,
+            inverted in proptest::bool::ANY,
+            scale in (-3i64..=3, -3i64..=3),
+        ) {
+            let x = Vector::from_dense((0..len).map(|i| (i % 7) as f64 - 3.0).collect());
+            let y = Vector::from_dense((0..len).map(|i| (i % 5) as f64 - 2.0).collect());
+            let mask = mask_for(len, &mask_bits);
+            let desc = legacy_desc(structural, inverted, false);
+            let w0: Vector<f64> = Vector::from_dense(vec![9.0; len]);
+
+            // Plain ewise over Times, masked, both backends.
+            for par in [false, true] {
+                let mut w_legacy = w0.clone();
+                let mut w_builder = w0.clone();
+                if par {
+                    ewise::<f64, Times, Parallel>(&mut w_legacy, mask.as_ref(), desc, &x, &y, Times)
+                        .unwrap();
+                    let mut b = ctx::<Parallel>().ewise(&x, &y).op(Times);
+                    if let Some(m) = mask.as_ref() { b = b.mask(m); }
+                    if structural { b = b.structural(); }
+                    if inverted { b = b.invert_mask(); }
+                    b.into(&mut w_builder).unwrap();
+                } else {
+                    ewise::<f64, Times, Sequential>(&mut w_legacy, mask.as_ref(), desc, &x, &y, Times)
+                        .unwrap();
+                    let mut b = ctx::<Sequential>().ewise(&x, &y).op(Times);
+                    if let Some(m) = mask.as_ref() { b = b.mask(m); }
+                    if structural { b = b.structural(); }
+                    if inverted { b = b.invert_mask(); }
+                    b.into(&mut w_builder).unwrap();
+                }
+                prop_assert_eq!(w_legacy.as_slice(), w_builder.as_slice());
+            }
+
+            // waxpby against the scaled builder form.
+            let (alpha, beta) = (scale.0 as f64, scale.1 as f64);
+            let mut w_legacy = w0.clone();
+            waxpby::<f64, Sequential>(&mut w_legacy, alpha, &x, beta, &y).unwrap();
+            let mut w_builder = w0.clone();
+            ctx::<Sequential>().ewise(&x, &y).scaled(alpha, beta).into(&mut w_builder).unwrap();
+            prop_assert_eq!(w_legacy.as_slice(), w_builder.as_slice());
+        }
+
+        #[test]
+        fn reduce_and_dot_builders_bit_identical_to_legacy(
+            v in proptest::collection::vec(-9i64..=9, 1..48),
+            mask_bits in proptest::collection::vec(proptest::bool::ANY, 0..48),
+            structural in proptest::bool::ANY,
+            inverted in proptest::bool::ANY,
+        ) {
+            let x = Vector::from_dense(v.iter().map(|&i| i as f64).collect::<Vec<_>>());
+            let y = Vector::from_dense(v.iter().map(|&i| (i * 2 % 5) as f64).collect::<Vec<_>>());
+            let mask = mask_for(x.len(), &mask_bits);
+            let desc = legacy_desc(structural, inverted, false);
+
+            let legacy_sum = reduce::<f64, Plus, Sequential>(&x, mask.as_ref(), desc).unwrap();
+            let mut b = ctx::<Sequential>().reduce(&x);
+            if let Some(m) = mask.as_ref() { b = b.mask(m); }
+            if structural { b = b.structural(); }
+            if inverted { b = b.invert_mask(); }
+            prop_assert_eq!(legacy_sum, b.compute().unwrap());
+
+            let legacy_par = reduce::<f64, Max, Parallel>(&x, mask.as_ref(), desc).unwrap();
+            let mut b = ctx::<Parallel>().reduce(&x).monoid(Max);
+            if let Some(m) = mask.as_ref() { b = b.mask(m); }
+            if structural { b = b.structural(); }
+            if inverted { b = b.invert_mask(); }
+            prop_assert_eq!(legacy_par, b.compute().unwrap());
+
+            let legacy_dot = dot::<f64, PlusTimes, Sequential>(&x, &y, PlusTimes).unwrap();
+            prop_assert_eq!(legacy_dot, ctx::<Sequential>().dot(&x, &y).compute().unwrap());
+            let legacy_dot_min = dot::<f64, MinPlus, Parallel>(&x, &y, MinPlus).unwrap();
+            prop_assert_eq!(
+                legacy_dot_min,
+                ctx::<Parallel>().dot(&x, &y).ring(MinPlus).compute().unwrap()
+            );
         }
     }
 }

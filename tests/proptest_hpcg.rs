@@ -2,7 +2,7 @@
 //! coloring validity, smoother equivalences and solver behaviour on
 //! randomly shaped (small) grids.
 
-use graphblas::{Sequential, Vector};
+use graphblas::{ctx, Sequential, Vector};
 use hpcg::coloring::{octant_coloring, Coloring};
 use hpcg::problem::{build_rhs, build_stencil_matrix, Problem, RhsVariant};
 use hpcg::smoother::{rbgs_grb, rbgs_ref};
@@ -68,7 +68,7 @@ proptest! {
         let mut tmp = Vector::zeros(a.nrows());
         for _ in 0..sweeps {
             rbgs_ref::rbgs_symmetric(&a, diag.as_slice(), &classes, b.as_slice(), &mut x_ref);
-            rbgs_grb::rbgs_symmetric::<Sequential>(&a, &diag, &masks, &b, &mut x_grb, &mut tmp)
+            rbgs_grb::rbgs_symmetric(ctx::<Sequential>(), &a, &diag, &masks, &b, &mut x_grb, &mut tmp)
                 .unwrap();
         }
         prop_assert_eq!(x_ref.as_slice(), x_grb.as_slice());
