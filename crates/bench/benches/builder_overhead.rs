@@ -1,15 +1,16 @@
 //! Zero-cost check of the execution-context API: the fluent builders must
-//! lower onto the kernels with no measurable overhead versus the direct
-//! (deprecated) free-function path, and the runtime-dispatched `DynCtx`
-//! must add only its one predictable branch per operation.
+//! lower onto the kernels with no measurable overhead versus calling the
+//! monomorphized kernel through a static context, the runtime-dispatched
+//! `DynCtx` must add only its one predictable branch per operation, and a
+//! deferred `Ctx::pipeline()` recording of the same single op must cost
+//! only its small constant graph setup.
 //!
-//! Acceptance gate for the API redesign: builder-API `mxv`/`dot` within
-//! noise (≤2 %) of the direct-kernel path.
-
-#![allow(deprecated)]
+//! Acceptance gate for the API redesign (PR 1) and the pipeline layer:
+//! builder-API `mxv`/`dot` within noise (≤2 %) of the static path, and the
+//! single-op pipeline path within a few percent on kernels this size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use graphblas::{ctx, dot, mxv, BackendKind, Descriptor, DynCtx, PlusTimes, Sequential, Vector};
+use graphblas::{ctx, BackendKind, DynCtx, Sequential, Vector};
 use hpcg::problem::build_stencil_matrix;
 use hpcg::Grid3;
 use std::hint::black_box;
@@ -24,19 +25,6 @@ fn bench_mxv_paths(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("mxv_path");
     g.throughput(Throughput::Elements(a.nnz() as u64));
-    g.bench_function(BenchmarkId::new("free_function", "sequential"), |b| {
-        b.iter(|| {
-            mxv::<f64, PlusTimes, Sequential>(
-                &mut y,
-                None,
-                Descriptor::DEFAULT,
-                black_box(&a),
-                black_box(&x),
-                PlusTimes,
-            )
-            .unwrap();
-        })
-    });
     g.bench_function(BenchmarkId::new("builder", "sequential"), |b| {
         let exec = ctx::<Sequential>();
         b.iter(|| {
@@ -47,6 +35,14 @@ fn bench_mxv_paths(c: &mut Criterion) {
         let exec = DynCtx::runtime(BackendKind::Sequential);
         b.iter(|| {
             exec.mxv(black_box(&a), black_box(&x)).into(&mut y).unwrap();
+        })
+    });
+    g.bench_function(BenchmarkId::new("pipeline", "sequential"), |b| {
+        let exec = ctx::<Sequential>();
+        b.iter(|| {
+            let mut pl = exec.pipeline();
+            pl.mxv(black_box(&a), black_box(&x)).into(&mut y);
+            pl.finish().unwrap();
         })
     });
     g.finish();
@@ -59,11 +55,6 @@ fn bench_dot_paths(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("dot_path");
     g.throughput(Throughput::Elements(n as u64));
-    g.bench_function(BenchmarkId::new("free_function", "sequential"), |b| {
-        b.iter(|| {
-            dot::<f64, PlusTimes, Sequential>(black_box(&x), black_box(&y), PlusTimes).unwrap()
-        })
-    });
     g.bench_function(BenchmarkId::new("builder", "sequential"), |b| {
         let exec = ctx::<Sequential>();
         b.iter(|| exec.dot(black_box(&x), black_box(&y)).compute().unwrap())
@@ -71,6 +62,14 @@ fn bench_dot_paths(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("builder", "dyn_runtime"), |b| {
         let exec = DynCtx::runtime(BackendKind::Sequential);
         b.iter(|| exec.dot(black_box(&x), black_box(&y)).compute().unwrap())
+    });
+    g.bench_function(BenchmarkId::new("pipeline", "sequential"), |b| {
+        let exec = ctx::<Sequential>();
+        b.iter(|| {
+            let mut pl = exec.pipeline();
+            let d = pl.dot(black_box(&x), black_box(&y)).result();
+            pl.finish().unwrap()[d]
+        })
     });
     g.finish();
 }

@@ -1,11 +1,21 @@
 //! Ablation of kernel fusion (paper §VI / nonblocking-execution [32]):
-//! fused `spmv+dot` and `axpy+norm` vs the unfused GraphBLAS pairs.
-//! Fusion halves the streaming traffic of the paired kernels, the saving
-//! the Tianhe-2 work the paper cites reports at machine scale.
+//! three-way comparison per kernel pair —
+//!
+//! * **unfused** — the eager GraphBLAS pair (two passes over the data);
+//! * **hand_fused** — the hand-written single-pass oracle
+//!   (`hpcg::fused::*_hand`), what HPCG vendors ship;
+//! * **pipeline_fused** — the pair recorded into a `Ctx::pipeline()` op
+//!   graph and merged by the generic fusion pass.
+//!
+//! Acceptance gate: pipeline-fused within 10 % of hand-fused (and faster
+//! than unfused) for both `spmv+dot` and `axpy+norm`, with bit-identical
+//! results (pinned by tests, not timed here). Fusion halves the streaming
+//! traffic of the paired kernels, the saving the Tianhe-2 work the paper
+//! cites reports at machine scale.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use graphblas::{ctx, Sequential, Vector};
-use hpcg::fused::{axpy_norm_fused, spmv_dot_fused};
+use hpcg::fused::{axpy_norm_fused, axpy_norm_hand, spmv_dot_fused, spmv_dot_hand};
 use hpcg::problem::build_stencil_matrix;
 use hpcg::Grid3;
 use std::hint::black_box;
@@ -27,8 +37,12 @@ fn bench_spmv_dot(c: &mut Criterion) {
             exec.dot(&x, &y).compute().unwrap()
         })
     });
-    g.bench_function("fused", |b| {
-        b.iter(|| spmv_dot_fused(black_box(&a), black_box(&x), &mut y))
+    g.bench_function("hand_fused", |b| {
+        b.iter(|| spmv_dot_hand(black_box(&a), black_box(&x), &mut y))
+    });
+    g.bench_function("pipeline_fused", |b| {
+        let exec = ctx::<Sequential>();
+        b.iter(|| spmv_dot_fused(exec, black_box(&a), black_box(&x), &mut y))
     });
     g.finish();
 }
@@ -48,16 +62,25 @@ fn bench_axpy_norm(c: &mut Criterion) {
             exec.norm2_squared(&r).unwrap()
         })
     });
-    g.bench_function("fused", |b| {
+    g.bench_function("hand_fused", |b| {
         let mut r = r0.clone();
-        b.iter(|| axpy_norm_fused(&mut r, 0.5, black_box(&q)))
+        b.iter(|| axpy_norm_hand(&mut r, 0.5, black_box(&q)))
+    });
+    g.bench_function("pipeline_fused", |b| {
+        let exec = ctx::<Sequential>();
+        let mut r = r0.clone();
+        b.iter(|| axpy_norm_fused(exec, &mut r, 0.5, black_box(&q)))
     });
     g.finish();
 }
 
 criterion_group!(
     name = benches;
-    config = Criterion::default().sample_size(20);
+    // A high sample count keeps the statistics stable enough to resolve
+    // the ≤10 % hand-vs-pipeline acceptance gate on shared machines; when
+    // runs still jitter, compare the *minimum* (first bracketed value) —
+    // it is the noise-robust statistic for arms that run sequentially.
+    config = Criterion::default().sample_size(100);
     targets = bench_spmv_dot, bench_axpy_norm
 );
 criterion_main!(benches);

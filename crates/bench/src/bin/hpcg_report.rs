@@ -6,9 +6,14 @@
 //! through one [`graphblas::DynCtx`] — the same binary drives the paper's
 //! ALP-vs-Ref comparison on either backend.
 //!
+//! `--pipeline on|off` (default: on) toggles deferred (fused) execution of
+//! the ALP hot loops — the nonblocking-execution mode of paper §VI. Both
+//! modes are bit-identical; the toggle exists for ablation.
+//!
 //! ```text
 //! cargo run --release -p hpcg-bench --bin hpcg_report \
-//!     [--size 32] [--iters 50] [--threads N] [--backend seq|par]
+//!     [--size 32] [--iters 50] [--threads N] [--backend seq|par] \
+//!     [--pipeline on|off]
 //! ```
 
 use graphblas::{BackendKind, DynCtx};
@@ -31,10 +36,19 @@ fn main() {
             .ok();
     }
     let exec = DynCtx::runtime(args.get_backend(BackendKind::Parallel));
+    let pipeline = match args.get_str("pipeline").unwrap_or("on") {
+        "on" | "true" | "1" => true,
+        "off" | "false" | "0" => false,
+        other => {
+            eprintln!("error: invalid --pipeline {other:?} (expected on|off)");
+            std::process::exit(2);
+        }
+    };
     println!(
-        "ALP backend: {} ({} thread(s))\n",
+        "ALP backend: {} ({} thread(s)), pipeline {}\n",
         exec.backend_name(),
-        exec.threads()
+        exec.threads(),
+        if pipeline { "on" } else { "off" },
     );
 
     let problem = Problem::build_with(Grid3::cube(size), 4, RhsVariant::Reference)
@@ -47,6 +61,7 @@ fn main() {
 
     let b = problem.b.clone();
     let mut alp = GrbHpcg::with_ctx(problem.clone(), exec);
+    alp.set_pipeline(pipeline);
     let v = validate(&mut alp, &b, 500);
     let (run, _) = run_with_rhs(&mut alp, &b, flops, config);
     println!("{}", render_report(&problem, &run, Some(&v)));

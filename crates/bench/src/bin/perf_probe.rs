@@ -1,0 +1,104 @@
+//! Min-of-N probe for the fusion acceptance gate — a noise-robust
+//! complement to the `fusion_ablation` criterion bench.
+//!
+//! On shared/1-CPU containers the criterion medians drift between arms
+//! (they run sequentially, seconds apart); the minimum of many direct
+//! calls is stable to ~1 %. This probe prints, for each fusable pair, the
+//! hand-written single pass, the raw fused `Exec` kernel, the full
+//! record-fuse-finish pipeline, and the unfused eager pair:
+//!
+//! ```text
+//! cargo run --release -p hpcg-bench --bin perf_probe [--size 24] [--reps 300]
+//! ```
+//!
+//! Acceptance: `pipeline` within 10 % of `hand` (the probe regularly shows
+//! them equal) and ahead of `unfused`.
+
+use graphblas::{ctx, Exec, PlusTimes, Sequential, Vector};
+use hpcg::fused::{axpy_norm_fused, axpy_norm_hand, spmv_dot_fused, spmv_dot_hand};
+use hpcg::problem::build_stencil_matrix;
+use hpcg::Grid3;
+use hpcg_bench::cli::Args;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn min_time<F: FnMut() -> f64>(mut f: F, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut sink = 0.0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        sink += f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    black_box(sink);
+    best
+}
+
+fn main() {
+    let args = Args::from_env();
+    let size = args.get_usize("size", 24);
+    let reps = args.get_usize("reps", 300);
+    let exec = ctx::<Sequential>();
+
+    let a = build_stencil_matrix(Grid3::cube(size));
+    let n = a.nrows();
+    let x = Vector::from_dense((0..n).map(|i| (i % 17) as f64).collect());
+    let mut y = Vector::zeros(n);
+
+    let hand = min_time(|| spmv_dot_hand(black_box(&a), black_box(&x), &mut y), reps);
+    let raw = min_time(
+        || {
+            Sequential
+                .run_spmv_dot::<f64, PlusTimes>(
+                    &mut y,
+                    black_box(&a),
+                    black_box(&x),
+                    Some(&x),
+                    false,
+                )
+                .unwrap()
+        },
+        reps,
+    );
+    let pipe = min_time(
+        || spmv_dot_fused(exec, black_box(&a), black_box(&x), &mut y),
+        reps,
+    );
+    let unfused = min_time(
+        || {
+            exec.mxv(black_box(&a), black_box(&x)).into(&mut y).unwrap();
+            exec.dot(&x, &y).compute().unwrap()
+        },
+        reps,
+    );
+    println!(
+        "spmv+dot ({} rows, {} nnz, min of {reps}):\n  hand {:9.1} us\n  raw  {:9.1} us\n  pipe {:9.1} us ({:+.1}% vs hand)\n  unf  {:9.1} us",
+        n,
+        a.nnz(),
+        hand * 1e6,
+        raw * 1e6,
+        pipe * 1e6,
+        (pipe / hand - 1.0) * 100.0,
+        unfused * 1e6,
+    );
+
+    let m = n * 8;
+    let q = Vector::from_dense((0..m).map(|i| (i % 7) as f64).collect());
+    let mut r = Vector::from_dense((0..m).map(|i| (i % 13) as f64).collect());
+    let hand = min_time(|| axpy_norm_hand(&mut r, 0.5, black_box(&q)), reps);
+    let pipe = min_time(|| axpy_norm_fused(exec, &mut r, 0.5, black_box(&q)), reps);
+    let unfused = min_time(
+        || {
+            exec.axpy(&mut r, -0.5, black_box(&q)).unwrap();
+            exec.norm2_squared(&r).unwrap()
+        },
+        reps,
+    );
+    println!(
+        "axpy+norm ({m} elements, min of {reps}):\n  hand {:9.1} us\n  pipe {:9.1} us ({:+.1}% vs hand)\n  unf  {:9.1} us",
+        hand * 1e6,
+        pipe * 1e6,
+        (pipe / hand - 1.0) * 100.0,
+        unfused * 1e6,
+    );
+}

@@ -80,15 +80,23 @@ impl Args {
 
     /// The execution backend: `--backend seq|par`, falling back to the
     /// `GRB_BACKEND` environment variable, then `default`. An unknown
-    /// spelling warns and uses the default rather than aborting a long
-    /// benchmark run.
+    /// `--backend` spelling warns and uses the default rather than
+    /// aborting a long benchmark run; a set-but-invalid `GRB_BACKEND` is a
+    /// hard error (the environment silently steering a run onto the wrong
+    /// backend is worse than stopping).
     pub fn get_backend(&self, default: BackendKind) -> BackendKind {
         match self.get_str("backend") {
             Some(s) => BackendKind::parse(s).unwrap_or_else(|| {
                 eprintln!("warning: unknown --backend {s:?} (expected seq|par), using {default}");
                 default
             }),
-            None => BackendKind::from_env().unwrap_or(default),
+            None => match BackendKind::from_env() {
+                Ok(kind) => kind.unwrap_or(default),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            },
         }
     }
 }

@@ -34,10 +34,16 @@
 //! ```
 //! use graphblas::{BackendKind, DynCtx, Vector};
 //!
-//! let exec = DynCtx::from_env_or(BackendKind::Sequential);
+//! let exec = DynCtx::from_env_or(BackendKind::Sequential).unwrap();
 //! let x = Vector::from_dense(vec![3.0, 4.0]);
 //! assert_eq!(exec.norm2_squared(&x).unwrap(), 25.0);
 //! ```
+//!
+//! # Deferred (nonblocking) execution
+//!
+//! [`Ctx::pipeline`] returns a [`Pipeline`] on which the same builders
+//! *record* operations instead of executing them; `finish()` runs a fusion
+//! pass and executes the fused schedule. See [`crate::pipeline`].
 
 use crate::backend::{Backend, Parallel, Sequential};
 use crate::container::matrix::CsrMatrix;
@@ -46,6 +52,7 @@ use crate::descriptor::Descriptor;
 use crate::error::{GrbError, Result};
 use crate::exec::apply::{apply_exec, ewise_lambda_exec};
 use crate::exec::ewise::{axpy_exec, ewise_exec};
+use crate::exec::fused::{axpy_norm_exec, spmv_dot_exec};
 use crate::exec::mxm::mxm_exec;
 use crate::exec::mxv::mxv_exec;
 use crate::exec::reduce::{dot_exec, reduce_exec};
@@ -55,6 +62,7 @@ use crate::ops::monoid::Monoid;
 use crate::ops::scalar::Scalar;
 use crate::ops::semiring::{PlusTimes, Semiring};
 use crate::ops::unary::{Identity, UnaryOp};
+use crate::pipeline::Pipeline;
 use std::marker::PhantomData;
 
 /// A backend chosen at runtime — the dispatch target of [`DynCtx`].
@@ -76,11 +84,22 @@ impl BackendKind {
         }
     }
 
-    /// Reads the `GRB_BACKEND` environment variable, if set and valid.
-    pub fn from_env() -> Option<BackendKind> {
-        std::env::var("GRB_BACKEND")
-            .ok()
-            .and_then(|v| BackendKind::parse(&v))
+    /// Reads the `GRB_BACKEND` environment variable.
+    ///
+    /// Returns `Ok(None)` when unset, `Ok(Some(kind))` when set to a valid
+    /// spelling, and an error when the variable holds an unrecognized value
+    /// — a typo in `GRB_BACKEND` must never silently run on a different
+    /// backend than the operator asked for.
+    pub fn from_env() -> Result<Option<BackendKind>> {
+        match std::env::var("GRB_BACKEND") {
+            Err(_) => Ok(None),
+            Ok(v) => match BackendKind::parse(&v) {
+                Some(kind) => Ok(Some(kind)),
+                None => Err(GrbError::InvalidInput(format!(
+                    "invalid GRB_BACKEND value {v:?} (expected seq|par)"
+                ))),
+            },
+        }
     }
 
     /// The short flag spelling (`"seq"` / `"par"`).
@@ -181,6 +200,27 @@ pub trait Exec: Copy + Send + Sync + 'static {
         b: &CsrMatrix<T>,
         desc: Descriptor,
     ) -> Result<CsrMatrix<T>>;
+
+    #[doc(hidden)]
+    fn run_for_each<F: Fn(usize) + Send + Sync>(self, n: usize, f: F);
+
+    #[doc(hidden)]
+    fn run_spmv_dot<T: Scalar, R: Semiring<T>>(
+        self,
+        y: &mut Vector<T>,
+        a: &CsrMatrix<T>,
+        x: &Vector<T>,
+        w: Option<&Vector<T>>,
+        product_on_left: bool,
+    ) -> Result<T>;
+
+    #[doc(hidden)]
+    fn run_axpy_norm<T: Scalar, R: Semiring<T>>(
+        self,
+        x: &mut Vector<T>,
+        alpha: T,
+        y: &Vector<T>,
+    ) -> Result<T>;
 }
 
 macro_rules! impl_exec_for_backend {
@@ -261,6 +301,30 @@ macro_rules! impl_exec_for_backend {
                 desc: Descriptor,
             ) -> Result<CsrMatrix<T>> {
                 mxm_exec::<T, R, $backend>(a, b, desc)
+            }
+
+            fn run_for_each<F: Fn(usize) + Send + Sync>(self, n: usize, f: F) {
+                <$backend as Backend>::for_n(n, f)
+            }
+
+            fn run_spmv_dot<T: Scalar, R: Semiring<T>>(
+                self,
+                y: &mut Vector<T>,
+                a: &CsrMatrix<T>,
+                x: &Vector<T>,
+                w: Option<&Vector<T>>,
+                product_on_left: bool,
+            ) -> Result<T> {
+                spmv_dot_exec::<T, R, $backend>(y, a, x, w, product_on_left)
+            }
+
+            fn run_axpy_norm<T: Scalar, R: Semiring<T>>(
+                self,
+                x: &mut Vector<T>,
+                alpha: T,
+                y: &Vector<T>,
+            ) -> Result<T> {
+                axpy_norm_exec::<T, R, $backend>(x, alpha, y)
             }
         }
     };
@@ -363,6 +427,30 @@ impl Exec for BackendKind {
     ) -> Result<CsrMatrix<T>> {
         kind_dispatch!(self, b2 => b2.run_mxm::<T, R>(a, b, desc))
     }
+
+    fn run_for_each<F: Fn(usize) + Send + Sync>(self, n: usize, f: F) {
+        kind_dispatch!(self, b => b.run_for_each::<F>(n, f))
+    }
+
+    fn run_spmv_dot<T: Scalar, R: Semiring<T>>(
+        self,
+        y: &mut Vector<T>,
+        a: &CsrMatrix<T>,
+        x: &Vector<T>,
+        w: Option<&Vector<T>>,
+        product_on_left: bool,
+    ) -> Result<T> {
+        kind_dispatch!(self, b => b.run_spmv_dot::<T, R>(y, a, x, w, product_on_left))
+    }
+
+    fn run_axpy_norm<T: Scalar, R: Semiring<T>>(
+        self,
+        x: &mut Vector<T>,
+        alpha: T,
+        y: &Vector<T>,
+    ) -> Result<T> {
+        kind_dispatch!(self, b => b.run_axpy_norm::<T, R>(x, alpha, y))
+    }
 }
 
 /// An execution context: backend choice + descriptor defaults, the entry
@@ -402,9 +490,12 @@ impl DynCtx {
     }
 
     /// Creates a runtime-dispatched context from `GRB_BACKEND`, falling
-    /// back to `default` when unset or invalid.
-    pub fn from_env_or(default: BackendKind) -> DynCtx {
-        DynCtx::runtime(BackendKind::from_env().unwrap_or(default))
+    /// back to `default` when the variable is unset.
+    ///
+    /// A set-but-invalid `GRB_BACKEND` is an **error**, not a silent
+    /// fallback: a typo must never run a benchmark on the wrong backend.
+    pub fn from_env_or(default: BackendKind) -> Result<DynCtx> {
+        Ok(DynCtx::runtime(BackendKind::from_env()?.unwrap_or(default)))
     }
 
     /// The runtime backend this context dispatches to.
@@ -567,6 +658,14 @@ impl<E: Exec> Ctx<E> {
     /// cannot express under Rust's borrow rules.
     pub fn axpy<T: Scalar>(&self, x: &mut Vector<T>, alpha: T, y: &Vector<T>) -> Result<()> {
         self.exec.run_axpy::<T>(x, alpha, y)
+    }
+
+    /// Starts a deferred-execution [`Pipeline`]: the same operation
+    /// builders *record* into an op graph instead of executing, and
+    /// [`Pipeline::finish`] fuses compatible stages before running them on
+    /// this context's backend. See the [`crate::pipeline`] module docs.
+    pub fn pipeline<'a, T: Scalar>(&self) -> Pipeline<'a, T, E> {
+        Pipeline::new(self.exec, self.defaults)
     }
 }
 
@@ -1055,12 +1154,33 @@ mod tests {
         assert_eq!(exec.dot(&x, &y).ring(MinPlus).compute().unwrap(), 5.0);
     }
 
+    /// Serializes the tests that read or mutate `GRB_BACKEND` — tests in
+    /// one binary share the process environment.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn env_fallback_used_when_var_absent() {
+        let _guard = ENV_LOCK.lock().unwrap();
         // GRB_BACKEND is not set in the test environment.
         if std::env::var("GRB_BACKEND").is_err() {
-            let exec = DynCtx::from_env_or(BackendKind::Parallel);
+            let exec = DynCtx::from_env_or(BackendKind::Parallel).unwrap();
             assert_eq!(exec.kind(), BackendKind::Parallel);
+            assert_eq!(BackendKind::from_env().unwrap(), None);
         }
+    }
+
+    #[test]
+    fn invalid_env_value_is_an_error_not_a_fallback() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let previous = std::env::var("GRB_BACKEND").ok();
+        std::env::set_var("GRB_BACKEND", "gpu");
+        let err = DynCtx::from_env_or(BackendKind::Sequential);
+        match previous {
+            Some(v) => std::env::set_var("GRB_BACKEND", v),
+            None => std::env::remove_var("GRB_BACKEND"),
+        }
+        let err = err.expect_err("invalid GRB_BACKEND must not silently fall back");
+        assert!(err.to_string().contains("GRB_BACKEND"), "got: {err}");
+        assert!(err.to_string().contains("gpu"), "got: {err}");
     }
 }

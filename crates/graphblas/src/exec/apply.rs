@@ -8,16 +8,17 @@
 //! vectors and receives `&mut` access to the one output slot — the
 //! disjointness of masked indices makes the parallel version sound.
 //!
-//! The public way in is [`Ctx::apply`](crate::Ctx::apply) /
-//! [`Ctx::transform`](crate::Ctx::transform); the free functions remain as
-//! deprecated shims for one release.
+//! The public ways in are [`Ctx::apply`](crate::Ctx::apply) /
+//! [`Ctx::transform`](crate::Ctx::transform) and their deferred
+//! counterparts on [`Pipeline`](crate::Pipeline); the pre-0.2 free
+//! functions were removed in 0.3.
 
 use crate::backend::Backend;
 use crate::container::vector::Vector;
 use crate::descriptor::Descriptor;
 use crate::error::Result;
 use crate::exec::for_each_selected;
-use crate::ops::accum::{AccumMode, NoAccum};
+use crate::ops::accum::AccumMode;
 use crate::ops::scalar::Scalar;
 use crate::ops::unary::UnaryOp;
 use crate::util::UnsafeSlice;
@@ -68,50 +69,6 @@ where
         f(i, unsafe { slots.get_mut(i) });
     })?;
     Ok(())
-}
-
-/// `out⟨mask⟩ = Op(input)` element-wise; unselected outputs untouched.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the execution-context builder: `ctx.apply(&input).op(Op).into(&mut out)`"
-)]
-pub fn apply<T, Op, B>(
-    out: &mut Vector<T>,
-    mask: Option<&Vector<bool>>,
-    desc: Descriptor,
-    input: &Vector<T>,
-    _op: Op,
-) -> Result<()>
-where
-    T: Scalar,
-    Op: UnaryOp<T>,
-    B: Backend,
-{
-    apply_exec::<T, Op, NoAccum, B>(out, mask, desc, input)
-}
-
-/// Applies `f(i, &mut out[i])` at every selected index.
-///
-/// The closure may capture shared references to any other vectors (as the
-/// paper's `eWiseLambda` captures `r`, `tmp`, `A_diag`); it receives
-/// exclusive access to the single output slot `out[i]`. Under a parallel
-/// backend the closure runs concurrently for different `i`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the execution-context builder: `ctx.transform(&mut out).apply(f)`"
-)]
-pub fn ewise_lambda<T, B, F>(
-    out: &mut Vector<T>,
-    mask: Option<&Vector<bool>>,
-    desc: Descriptor,
-    f: F,
-) -> Result<()>
-where
-    T: Scalar,
-    B: Backend,
-    F: Fn(usize, &mut T) + Send + Sync,
-{
-    ewise_lambda_exec::<T, B, F>(out, mask, desc, f)
 }
 
 #[cfg(test)]

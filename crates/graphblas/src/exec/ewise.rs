@@ -6,16 +6,17 @@
 //! (which turns `Plus` into `waxpby` — fusing the two scalings with the
 //! addition halves memory traffic versus two passes) and an
 //! [`AccumMode`] (which turns `Times` + `AccumWith<Plus>` into the old
-//! `ewise_mul_add`). The public way in is [`Ctx::ewise`](crate::Ctx::ewise);
-//! the free functions remain as deprecated shims for one release.
+//! `ewise_mul_add`). The public ways in are [`Ctx::ewise`](crate::Ctx::ewise)
+//! (eager) and [`Pipeline::ewise`](crate::Pipeline::ewise) (deferred); the
+//! pre-0.2 free functions were removed in 0.3.
 
 use crate::backend::Backend;
 use crate::container::vector::Vector;
 use crate::descriptor::Descriptor;
 use crate::error::{check_dims, Result};
 use crate::exec::for_each_selected;
-use crate::ops::accum::{AccumMode, AccumWith, NoAccum};
-use crate::ops::binary::{BinaryOp, Plus, Times};
+use crate::ops::accum::AccumMode;
+use crate::ops::binary::BinaryOp;
 use crate::ops::scalar::Scalar;
 use crate::util::UnsafeSlice;
 
@@ -81,72 +82,6 @@ where
         }
     });
     Ok(())
-}
-
-/// `w⟨mask⟩ = Op(x, y)` element-wise over the full index space.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the execution-context builder: `ctx.ewise(&x, &y).op(Op).into(&mut w)`"
-)]
-pub fn ewise<T, Op, B>(
-    w: &mut Vector<T>,
-    mask: Option<&Vector<bool>>,
-    desc: Descriptor,
-    x: &Vector<T>,
-    y: &Vector<T>,
-    _op: Op,
-) -> Result<()>
-where
-    T: Scalar,
-    Op: BinaryOp<T>,
-    B: Backend,
-{
-    ewise_exec::<T, Op, NoAccum, B>(w, mask, desc, x, y, None)
-}
-
-/// `w = α·x + β·y` — HPCG's `waxpby`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the execution-context builder: `ctx.ewise(&x, &y).scaled(alpha, beta).into(&mut w)`"
-)]
-pub fn waxpby<T, B>(
-    w: &mut Vector<T>,
-    alpha: T,
-    x: &Vector<T>,
-    beta: T,
-    y: &Vector<T>,
-) -> Result<()>
-where
-    T: Scalar,
-    B: Backend,
-{
-    ewise_exec::<T, Plus, NoAccum, B>(w, None, Descriptor::DEFAULT, x, y, Some((alpha, beta)))
-}
-
-/// `x = x + α·y` — the in-place `axpy` CG uses for its vector updates.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the execution-context convenience: `ctx.axpy(&mut x, alpha, &y)`"
-)]
-pub fn axpy_in_place<T, B>(x: &mut Vector<T>, alpha: T, y: &Vector<T>) -> Result<()>
-where
-    T: Scalar,
-    B: Backend,
-{
-    axpy_exec::<T, B>(x, alpha, y)
-}
-
-/// `w = w ⊕ (x ⊗ y)` element-wise with explicit accumulate.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the execution-context builder: `ctx.ewise(&x, &y).op(Times).accum(Plus).into(&mut w)`"
-)]
-pub fn ewise_mul_add<T, B>(w: &mut Vector<T>, x: &Vector<T>, y: &Vector<T>) -> Result<()>
-where
-    T: Scalar,
-    B: Backend,
-{
-    ewise_exec::<T, Times, AccumWith<Plus>, B>(w, None, Descriptor::DEFAULT, x, y, None)
 }
 
 #[cfg(test)]
@@ -269,32 +204,5 @@ mod tests {
             .is_err());
         let mut x = Vector::<f64>::zeros(3);
         assert!(exec.axpy(&mut x, 1.0, &short).is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_free_functions_match_builders() {
-        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
-        let y = Vector::from_dense(vec![10.0, 20.0, 30.0]);
-        let mut shim = Vector::zeros(3);
-        waxpby::<f64, Sequential>(&mut shim, 2.0, &x, -1.0, &y).unwrap();
-        let mut builder = Vector::zeros(3);
-        ctx::<Sequential>()
-            .ewise(&x, &y)
-            .scaled(2.0, -1.0)
-            .into(&mut builder)
-            .unwrap();
-        assert_eq!(shim.as_slice(), builder.as_slice());
-
-        let mut shim_acc = Vector::from_dense(vec![1.0, 1.0, 1.0]);
-        ewise_mul_add::<f64, Sequential>(&mut shim_acc, &x, &y).unwrap();
-        let mut builder_acc = Vector::from_dense(vec![1.0, 1.0, 1.0]);
-        ctx::<Sequential>()
-            .ewise(&x, &y)
-            .op(Times)
-            .accum(Plus)
-            .into(&mut builder_acc)
-            .unwrap();
-        assert_eq!(shim_acc.as_slice(), builder_acc.as_slice());
     }
 }

@@ -10,6 +10,7 @@
 pub mod apply;
 pub mod ewise;
 pub mod extract;
+pub mod fused;
 pub mod mxm;
 pub mod mxv;
 pub mod reduce;

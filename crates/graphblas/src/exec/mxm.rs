@@ -14,28 +14,9 @@ use crate::error::{check_dims, GrbError, Result};
 use crate::ops::scalar::Scalar;
 use crate::ops::semiring::Semiring;
 
-/// `C = A ⊕.⊗ B` (or `Aᵀ B` under [`Descriptor::TRANSPOSE`], which
-/// materializes `Aᵀ` once — `mxm` is a setup-time operation in this crate,
-/// not an inner-loop one).
-#[deprecated(
-    since = "0.2.0",
-    note = "use the execution-context builder: `ctx.mxm(&a, &b).compute()`"
-)]
-pub fn mxm<T, R, B>(
-    a: &CsrMatrix<T>,
-    b: &CsrMatrix<T>,
-    desc: Descriptor,
-    _ring: R,
-) -> Result<CsrMatrix<T>>
-where
-    T: Scalar,
-    R: Semiring<T>,
-    B: Backend,
-{
-    mxm_exec::<T, R, B>(a, b, desc)
-}
-
 /// The mxm kernel behind the builder API (two-pass row-wise Gustavson).
+/// `Aᵀ B` under [`Descriptor::TRANSPOSE`] materializes `Aᵀ` once — `mxm`
+/// is a setup-time operation in this crate, not an inner-loop one.
 pub(crate) fn mxm_exec<T, R, B>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,

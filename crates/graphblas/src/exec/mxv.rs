@@ -21,9 +21,10 @@
 //! All variants funnel into one kernel, [`mxv_exec`], generic over an
 //! [`AccumMode`]: `NoAccum` overwrites selected outputs, `AccumWith<Op>`
 //! fuses `y = y ⊙ (A ⊕.⊗ x)` — the collapse of the historical
-//! `mxv`/`mxv_accum` twin entry points. The public way in is
-//! [`Ctx::mxv`](crate::Ctx::mxv); the free functions remain as deprecated
-//! shims for one release.
+//! `mxv`/`mxv_accum` twin entry points. The public ways in are
+//! [`Ctx::mxv`](crate::Ctx::mxv) (eager) and
+//! [`Pipeline::mxv`](crate::Pipeline::mxv) (deferred); the pre-0.2 free
+//! functions were removed in 0.3.
 
 use crate::backend::Backend;
 use crate::container::matrix::CsrMatrix;
@@ -31,7 +32,7 @@ use crate::container::vector::Vector;
 use crate::descriptor::Descriptor;
 use crate::error::{check_dims, Result};
 use crate::exec::for_each_selected;
-use crate::ops::accum::{AccumMode, AccumWith, NoAccum};
+use crate::ops::accum::{AccumMode, AccumWith};
 use crate::ops::scalar::Scalar;
 use crate::ops::semiring::Semiring;
 use crate::util::UnsafeSlice;
@@ -174,77 +175,13 @@ where
     Ok(())
 }
 
-/// `y⟨mask⟩ = A ⊕.⊗ x` (or `Aᵀ` under [`Descriptor::TRANSPOSE`]).
-#[deprecated(
-    since = "0.2.0",
-    note = "use the execution-context builder: `ctx.mxv(&a, &x).mask(&m).into(&mut y)`"
-)]
-pub fn mxv<T, R, B>(
-    y: &mut Vector<T>,
-    mask: Option<&Vector<bool>>,
-    desc: Descriptor,
-    a: &CsrMatrix<T>,
-    x: &Vector<T>,
-    _ring: R,
-) -> Result<()>
-where
-    T: Scalar,
-    R: Semiring<T>,
-    B: Backend,
-{
-    mxv_exec::<T, R, NoAccum, B>(y, mask, desc, a, x)
-}
-
-/// `y = xᵀA` — the vector–matrix product, equal to `Aᵀx`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the execution-context builder: `ctx.vxm(&x, &a).into(&mut y)`"
-)]
-pub fn vxm<T, R, B>(
-    y: &mut Vector<T>,
-    mask: Option<&Vector<bool>>,
-    desc: Descriptor,
-    x: &Vector<T>,
-    a: &CsrMatrix<T>,
-    _ring: R,
-) -> Result<()>
-where
-    T: Scalar,
-    R: Semiring<T>,
-    B: Backend,
-{
-    mxv_exec::<T, R, NoAccum, B>(y, mask, desc.toggled_transpose(), a, x)
-}
-
-/// `y⟨mask⟩ = y ⊕ (A ⊕.⊗ x)` — `mxv` with an additive accumulator, the
-/// GraphBLAS `accum` parameter specialized to the semiring's own monoid.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the execution-context builder: `ctx.mxv(&a, &x).accum(Plus).into(&mut y)`"
-)]
-pub fn mxv_accum<T, R, B>(
-    y: &mut Vector<T>,
-    mask: Option<&Vector<bool>>,
-    desc: Descriptor,
-    a: &CsrMatrix<T>,
-    x: &Vector<T>,
-    _ring: R,
-) -> Result<()>
-where
-    T: Scalar,
-    R: Semiring<T>,
-    B: Backend,
-{
-    mxv_exec::<T, R, AccumWith<R::Add>, B>(y, mask, desc, a, x)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::backend::{Parallel, Sequential};
     use crate::context::ctx;
     use crate::ops::binary::Plus;
-    use crate::ops::semiring::{MinPlus, PlusTimes};
+    use crate::ops::semiring::MinPlus;
 
     fn a3() -> CsrMatrix<f64> {
         // [[2, 0, 1],
@@ -452,48 +389,6 @@ mod tests {
             &[3.0, 0.0],
             "empty row yields additive identity"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_free_functions_match_builders() {
-        // The shims must stay bit-identical to the builder path until removal.
-        let a = a3();
-        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
-        let mut via_shim = Vector::zeros(3);
-        mxv::<f64, PlusTimes, Sequential>(
-            &mut via_shim,
-            None,
-            Descriptor::DEFAULT,
-            &a,
-            &x,
-            PlusTimes,
-        )
-        .unwrap();
-        let mut via_builder = Vector::zeros(3);
-        ctx::<Sequential>()
-            .mxv(&a, &x)
-            .into(&mut via_builder)
-            .unwrap();
-        assert_eq!(via_shim.as_slice(), via_builder.as_slice());
-
-        let mut shim_accum = Vector::from_dense(vec![1.0, 1.0, 1.0]);
-        mxv_accum::<f64, PlusTimes, Sequential>(
-            &mut shim_accum,
-            None,
-            Descriptor::DEFAULT,
-            &a,
-            &x,
-            PlusTimes,
-        )
-        .unwrap();
-        let mut builder_accum = Vector::from_dense(vec![1.0, 1.0, 1.0]);
-        ctx::<Sequential>()
-            .mxv(&a, &x)
-            .accum(Plus)
-            .into(&mut builder_accum)
-            .unwrap();
-        assert_eq!(shim_accum.as_slice(), builder_accum.as_slice());
     }
 }
 

@@ -4,9 +4,10 @@
 //! it is also the kernel that forces a global synchronization per CG
 //! iteration, which the distributed simulation accounts for.
 //!
-//! The public way in is [`Ctx::reduce`](crate::Ctx::reduce) /
-//! [`Ctx::dot`](crate::Ctx::dot); the free functions remain as deprecated
-//! shims for one release.
+//! The public ways in are [`Ctx::reduce`](crate::Ctx::reduce) /
+//! [`Ctx::dot`](crate::Ctx::dot) and their deferred counterparts on
+//! [`Pipeline`](crate::Pipeline); the pre-0.2 free functions were removed
+//! in 0.3.
 
 use crate::backend::Backend;
 use crate::container::vector::Vector;
@@ -45,49 +46,6 @@ where
     let xs = x.as_slice();
     let ys = y.as_slice();
     Ok(B::fold::<T, R::Add, _>(x.len(), |i| R::mul(xs[i], ys[i])))
-}
-
-/// Folds the selected entries of `x` over monoid `M`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the execution-context builder: `ctx.reduce(&x).monoid(M).compute()`"
-)]
-pub fn reduce<T, M, B>(x: &Vector<T>, mask: Option<&Vector<bool>>, desc: Descriptor) -> Result<T>
-where
-    T: Scalar,
-    M: Monoid<T>,
-    B: Backend,
-{
-    reduce_exec::<T, M, B>(x, mask, desc)
-}
-
-/// `⟨x, y⟩ = ⊕_i x_i ⊗ y_i` over semiring `R`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the execution-context builder: `ctx.dot(&x, &y).compute()`"
-)]
-pub fn dot<T, R, B>(x: &Vector<T>, y: &Vector<T>, _ring: R) -> Result<T>
-where
-    T: Scalar,
-    R: Semiring<T>,
-    B: Backend,
-{
-    dot_exec::<T, R, B>(x, y)
-}
-
-/// `‖x‖² = ⟨x, x⟩` over the arithmetic semiring — the residual norm CG
-/// tracks each iteration.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the execution-context convenience: `ctx.norm2_squared(&x)`"
-)]
-pub fn norm2_squared<T, R, B>(x: &Vector<T>, _ring: R) -> Result<T>
-where
-    T: Scalar,
-    R: Semiring<T>,
-    B: Backend,
-{
-    dot_exec::<T, R, B>(x, x)
 }
 
 #[cfg(test)]

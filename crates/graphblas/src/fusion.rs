@@ -1,0 +1,221 @@
+//! The generic fusion pass over recorded pipeline op graphs.
+//!
+//! Given the node list a [`Pipeline`](crate::pipeline::Pipeline) recorded,
+//! [`fuse`] partitions it into execution stages, merging patterns the
+//! backends have fused kernels for (paper §VI — the hand-optimizations
+//! HPCG vendors apply, recovered here from the op graph):
+//!
+//! * **SpMV with epilogue** — an unmasked, untransposed, non-accumulating
+//!   `mxv` over the arithmetic semiring immediately consumed by a `dot` (or
+//!   norm) of its output: one row sweep computes the product and folds the
+//!   epilogue, so `y` is never re-streamed (CG's `⟨p, Ap⟩`).
+//! * **Axpy with norm** — an `axpy` immediately followed by the squared
+//!   norm of its output: one stream updates and reduces (CG's residual
+//!   update + convergence check).
+//! * **Element-wise loops** — maximal runs of adjacent unmasked
+//!   element-wise stages of one length collapse into a single index loop,
+//!   as long as no stage reads a vector another stage *in the same run*
+//!   writes (same-index dataflow stays legal because element-wise stages
+//!   only touch index `i`; cross-stage reads of a run member's output would
+//!   observe a half-written vector, so they split the run instead).
+//!
+//! Everything else runs as a single stage through the exact kernel its
+//! eager builder would call. The pass never reorders nodes, which together
+//! with the per-element equivalence of the fused kernels keeps pipeline
+//! execution bit-identical to eager execution.
+
+use crate::ops::scalar::Scalar;
+use crate::pipeline::{Node, RingTag};
+
+/// One execution stage of a fused schedule (indices into the node list).
+pub(crate) enum Stage {
+    /// A lone node, executed through its eager kernel.
+    Single(usize),
+    /// `mxv` + `dot`/norm of its output in one sweep.
+    SpmvDot {
+        /// Index of the `mxv` node.
+        mxv: usize,
+        /// Index of the consuming `dot` node.
+        dot: usize,
+    },
+    /// `axpy` + squared norm of its output in one sweep.
+    AxpyNorm {
+        /// Index of the `axpy` node.
+        axpy: usize,
+        /// Index of the consuming `dot` node.
+        dot: usize,
+    },
+    /// Adjacent element-wise stages sharing a single index loop.
+    Loop(Vec<usize>),
+}
+
+/// Public description of a planned stage — what [`Pipeline::plan`]
+/// (crate::pipeline::Pipeline::plan) reports for tests and debugging.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlannedStage {
+    /// An unfused stage running the named eager kernel.
+    Single(&'static str),
+    /// A fused SpMV-with-dot-epilogue sweep.
+    SpmvDot,
+    /// A fused axpy-with-norm stream.
+    AxpyNorm,
+    /// A single loop executing this many element-wise stages.
+    FusedLoop(usize),
+}
+
+impl Stage {
+    pub(crate) fn describe<T: Scalar>(&self, nodes: &[Node<'_, T>]) -> PlannedStage {
+        match self {
+            Stage::Single(i) => PlannedStage::Single(nodes[*i].name()),
+            Stage::SpmvDot { .. } => PlannedStage::SpmvDot,
+            Stage::AxpyNorm { .. } => PlannedStage::AxpyNorm,
+            Stage::Loop(run) => PlannedStage::FusedLoop(run.len()),
+        }
+    }
+}
+
+/// The output registry slot a node writes, if any.
+fn node_out<T: Scalar>(node: &Node<'_, T>) -> Option<usize> {
+    match node {
+        Node::Mxv { out, .. }
+        | Node::Ewise { out, .. }
+        | Node::Apply { out, .. }
+        | Node::Axpy { out, .. }
+        | Node::Lambda { out, .. }
+        | Node::LambdaZip { out, .. } => Some(*out),
+        Node::Dot { .. } | Node::Reduce { .. } => None,
+    }
+}
+
+/// The registry slots a node reads (vector operands that are handles).
+fn node_input_outs<T: Scalar>(node: &Node<'_, T>) -> [Option<usize>; 2] {
+    match node {
+        Node::Mxv { x, .. } => [x.out_index(), None],
+        Node::Ewise { x, y, .. } => [x.out_index(), y.out_index()],
+        Node::Apply { input, .. } => [input.out_index(), None],
+        Node::Axpy { y, .. } => [y.out_index(), None],
+        Node::Lambda { .. } => [None, None],
+        Node::LambdaZip { src, .. } => [src.out_index(), None],
+        Node::Dot { x, y, .. } => [x.out_index(), y.out_index()],
+        Node::Reduce { x, .. } => [x.out_index(), None],
+    }
+}
+
+/// Whether `nodes[i]` + `nodes[i + 1]` form a fusable SpMV-with-epilogue.
+fn spmv_dot_fusable<T: Scalar>(nodes: &[Node<'_, T>], i: usize) -> bool {
+    let Some(Node::Mxv {
+        out,
+        mask,
+        desc,
+        ring,
+        accum,
+        ..
+    }) = nodes.get(i)
+    else {
+        return false;
+    };
+    if mask.is_some() || desc.is_transposed() || *ring != RingTag::PlusTimes || accum.is_some() {
+        return false;
+    }
+    match nodes.get(i + 1) {
+        Some(Node::Dot { x, y, ring, .. }) => {
+            *ring == RingTag::PlusTimes
+                && (x.out_index() == Some(*out) || y.out_index() == Some(*out))
+        }
+        _ => false,
+    }
+}
+
+/// Whether `nodes[i]` + `nodes[i + 1]` form a fusable axpy-with-norm.
+fn axpy_norm_fusable<T: Scalar>(nodes: &[Node<'_, T>], i: usize) -> bool {
+    let Some(Node::Axpy { out, .. }) = nodes.get(i) else {
+        return false;
+    };
+    match nodes.get(i + 1) {
+        Some(Node::Dot { x, y, ring, .. }) => {
+            *ring == RingTag::PlusTimes
+                && x.out_index() == Some(*out)
+                && y.out_index() == Some(*out)
+        }
+        _ => false,
+    }
+}
+
+/// Whether a node can participate in a fused element-wise loop.
+fn loop_candidate<T: Scalar>(node: &Node<'_, T>) -> bool {
+    match node {
+        Node::Ewise { mask, .. }
+        | Node::Apply { mask, .. }
+        | Node::Lambda { mask, .. }
+        | Node::LambdaZip { mask, .. } => mask.is_none(),
+        Node::Axpy { .. } => true,
+        Node::Mxv { .. } | Node::Dot { .. } | Node::Reduce { .. } => false,
+    }
+}
+
+/// Partitions the recorded nodes into a fused execution schedule.
+pub(crate) fn fuse<T: Scalar>(nodes: &[Node<'_, T>], out_lens: &[usize]) -> Vec<Stage> {
+    let mut stages = Vec::new();
+    let mut i = 0;
+    while i < nodes.len() {
+        if spmv_dot_fusable(nodes, i) {
+            stages.push(Stage::SpmvDot { mxv: i, dot: i + 1 });
+            i += 2;
+            continue;
+        }
+        if axpy_norm_fusable(nodes, i) {
+            stages.push(Stage::AxpyNorm {
+                axpy: i,
+                dot: i + 1,
+            });
+            i += 2;
+            continue;
+        }
+        if !loop_candidate(&nodes[i]) {
+            stages.push(Stage::Single(i));
+            i += 1;
+            continue;
+        }
+        // Grow a maximal legal element-wise run starting at i.
+        let n = out_lens[node_out(&nodes[i]).expect("element-wise nodes write a vector")];
+        let mut run = vec![i];
+        let mut outs_in_run = vec![node_out(&nodes[i]).unwrap()];
+        let mut inputs_in_run: Vec<usize> = node_input_outs(&nodes[i])
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        let mut j = i + 1;
+        while j < nodes.len() {
+            if !loop_candidate(&nodes[j]) || axpy_norm_fusable(nodes, j) {
+                break;
+            }
+            let out = node_out(&nodes[j]).unwrap();
+            // One loop may not contain two writers of a slot, a reader of a
+            // slot the run writes (it would observe a half-written vector),
+            // or a writer of a slot the run reads (an earlier member's
+            // shared view would alias the write).
+            if out_lens[out] != n || outs_in_run.contains(&out) || inputs_in_run.contains(&out) {
+                break;
+            }
+            let reads_run_output = node_input_outs(&nodes[j])
+                .iter()
+                .flatten()
+                .any(|o| outs_in_run.contains(o));
+            if reads_run_output {
+                break;
+            }
+            outs_in_run.push(out);
+            inputs_in_run.extend(node_input_outs(&nodes[j]).iter().flatten());
+            run.push(j);
+            j += 1;
+        }
+        if run.len() >= 2 {
+            stages.push(Stage::Loop(run));
+        } else {
+            stages.push(Stage::Single(i));
+        }
+        i = j;
+    }
+    stages
+}

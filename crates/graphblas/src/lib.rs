@@ -57,25 +57,51 @@
 //! ```
 //! use graphblas::{BackendKind, DynCtx, Vector};
 //!
-//! let exec = DynCtx::from_env_or(BackendKind::Parallel);  // honors GRB_BACKEND
+//! // Honors GRB_BACKEND; a set-but-invalid value is an error.
+//! let exec = DynCtx::from_env_or(BackendKind::Parallel).unwrap();
 //! let x = Vector::from_dense(vec![3.0, 4.0]);
 //! assert_eq!(exec.norm2_squared(&x).unwrap(), 25.0);
 //! ```
 //!
-//! The pre-0.2 free functions (`mxv(&mut y, None, Descriptor::DEFAULT, …)`)
-//! remain available as `#[deprecated]` shims for one release; they forward
-//! to the same kernels the builders lower onto.
+//! # Deferred execution (nonblocking pipelines)
+//!
+//! The same builders can *record* instead of executing: [`Ctx::pipeline`]
+//! returns a [`Pipeline`] whose terminals push typed ops into a small
+//! dependency graph, and `finish()` runs a fusion pass before executing —
+//! an `mxv` feeding a `dot` becomes one SpMV-with-epilogue sweep, an `axpy`
+//! feeding a norm one fused stream, adjacent element-wise stages one loop.
+//! Results are bit-identical to the eager path on either backend.
+//!
+//! ```
+//! use graphblas::{ctx, CsrMatrix, Sequential, Vector};
+//!
+//! let a = CsrMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+//! let p = Vector::from_dense(vec![1.0, 2.0]);
+//! let mut ap = Vector::zeros(2);
+//!
+//! let mut pl = ctx::<Sequential>().pipeline();
+//! let ap_h = pl.mxv(&a, &p).into(&mut ap);   // recorded, not yet executed
+//! let p_ap = pl.dot(&p, ap_h).result();      // reads the recorded output
+//! let out = pl.finish().unwrap();            // one fused SpMV+dot pass
+//! assert_eq!(out[p_ap], 14.0);
+//! ```
+//!
+//! The pre-0.2 free functions (`mxv(&mut y, None, Descriptor::DEFAULT, …)`),
+//! deprecated in 0.2, have been **removed** in 0.3 as promised; every entry
+//! point now goes through a context or a pipeline.
 //!
 //! # Module map
 //!
 //! | module | contents |
 //! |--------|----------|
 //! | [`context`] | [`Ctx`], [`DynCtx`], [`BackendKind`] and the operation builders |
+//! | [`pipeline`] | [`Pipeline`]: deferred op graphs recorded off a context |
+//! | [`fusion`] | the generic fusion pass `Pipeline::finish` runs |
 //! | [`ops`] | algebraic structures: binary/unary operators, monoids, semirings, accumulation modes |
 //! | [`container`] | [`Vector`] (dense or sparse pattern) and [`CsrMatrix`] |
 //! | [`descriptor`] | operation descriptors (structural mask, transpose, …) |
 //! | [`backend`] | [`Sequential`] and [`Parallel`] execution backends |
-//! | [`exec`] | the kernels behind the builders (+ deprecated free-function shims) |
+//! | [`exec`] | the kernels behind the builders (incl. the fused entry points) |
 //! | [`linop`] | matrix-free [`LinearOperator`] extension (paper §VII-A) |
 
 #![warn(missing_docs)]
@@ -88,9 +114,11 @@ pub mod context;
 pub mod descriptor;
 pub mod error;
 pub mod exec;
+pub mod fusion;
 pub mod io;
 pub mod linop;
 pub mod ops;
+pub mod pipeline;
 pub(crate) mod util;
 
 pub use backend::{Backend, Parallel, Sequential};
@@ -102,6 +130,7 @@ pub use context::{
 };
 pub use descriptor::Descriptor;
 pub use error::{GrbError, Result};
+pub use fusion::PlannedStage;
 pub use linop::{InjectionOperator, LinearOperator};
 pub use ops::accum::{AccumMode, AccumWith, NoAccum};
 pub use ops::binary::{BinaryOp, Divide, First, Land, Lor, Max, Min, Minus, Plus, Second, Times};
@@ -109,17 +138,9 @@ pub use ops::monoid::Monoid;
 pub use ops::scalar::Scalar;
 pub use ops::semiring::{MaxTimes, MinPlus, PlusTimes, Semiring};
 pub use ops::unary::{Abs, AdditiveInverse, Identity, MultiplicativeInverse, UnaryOp};
+pub use pipeline::{
+    BinOpTag, MonoidTag, PipeInput, Pipeline, PipelineResults, RingTag, ScalarHandle, TaggedBinOp,
+    TaggedMonoid, TaggedRing, TaggedUnaryOp, UnaryOpTag, VecHandle,
+};
 
-// Deprecated free-function shims, re-exported for source compatibility with
-// pre-0.2 call sites. Each forwards to the kernel its builder lowers onto.
-#[allow(deprecated)]
-pub use exec::apply::{apply, ewise_lambda};
-#[allow(deprecated)]
-pub use exec::ewise::{axpy_in_place, ewise, ewise_mul_add, waxpby};
 pub use exec::extract::{assign_vector, extract_submatrix, extract_vector};
-#[allow(deprecated)]
-pub use exec::mxm::mxm;
-#[allow(deprecated)]
-pub use exec::mxv::{mxv, mxv_accum, vxm};
-#[allow(deprecated)]
-pub use exec::reduce::{dot, norm2_squared, reduce};

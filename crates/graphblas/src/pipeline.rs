@@ -1,0 +1,1850 @@
+//! Deferred (nonblocking) execution: record operations, fuse, then run.
+//!
+//! The paper cites the ALP nonblocking extension as the GraphBLAS answer to
+//! the hand-fused kernels HPCG vendors ship: the program *expresses* each
+//! primitive separately and the runtime merges compatible stages so paired
+//! kernels stream their operands once. [`Pipeline`] is that subsystem here:
+//!
+//! ```
+//! use graphblas::{ctx, CsrMatrix, Sequential, Vector};
+//!
+//! let a = CsrMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+//! let p = Vector::from_dense(vec![1.0, 2.0]);
+//! let mut ap = Vector::zeros(2);
+//!
+//! let mut pl = ctx::<Sequential>().pipeline();
+//! let ap_h = pl.mxv(&a, &p).into(&mut ap);      // records, nothing runs yet
+//! let p_ap = pl.dot(&p, ap_h).result();         // ⟨p, A·p⟩, also deferred
+//! let out = pl.finish().unwrap();               // fuses into one SpMV pass
+//! assert_eq!(out[p_ap], 1.0 * 2.0 + 2.0 * 6.0);
+//! assert_eq!(ap.as_slice(), &[2.0, 6.0]);
+//! ```
+//!
+//! # Recording model
+//!
+//! The fluent builders off a [`Pipeline`] mirror the eager ones on
+//! [`Ctx`](crate::Ctx) — `mxv`, `vxm`, `ewise`, `apply`, `axpy`,
+//! `transform`, `dot`, `reduce`, `norm2_squared` with the same
+//! mask/descriptor/ring/accumulator modifiers — but their terminals push a
+//! typed node into a small dependency graph instead of executing. Dataflow
+//! between recorded stages is expressed with handles:
+//!
+//! * writing a vector (`.into(&mut y)`, `axpy`, `transform`) borrows it
+//!   exclusively for the pipeline's lifetime and returns a [`VecHandle`];
+//!   later stages use the handle as an *input* operand (the borrow checker
+//!   rules out touching `y` directly until the pipeline is finished);
+//! * in-place updates of an already-recorded vector go through the
+//!   handle-taking forms (`axpy_at`, `transform_at`, `.into_handle`);
+//! * scalar-producing stages return a [`ScalarHandle`], redeemed against
+//!   the [`PipelineResults`] that [`Pipeline::finish`] returns.
+//!
+//! Because outputs are registered exactly once as `&mut` and inputs as `&`,
+//! the usual borrow rules statically guarantee the graph's vectors don't
+//! alias — the same property that makes the fused loops sound.
+//!
+//! # Fusion
+//!
+//! `finish()` runs the generic pass in [`crate::fusion`]: element-wise
+//! chains collapse into single loops, an `mxv` feeding a `dot`/norm becomes
+//! one SpMV-with-epilogue sweep, and an `axpy` feeding a norm becomes one
+//! fused update-and-reduce stream. Everything else executes stage by stage
+//! through the exact kernels the eager builders use, so pipeline execution
+//! is **bit-identical** to eager execution on either backend (a property
+//! the workspace pins down with dedicated tests).
+//!
+//! # Algebra at recording time
+//!
+//! A deferred op must remember its algebra at runtime; the zero-sized
+//! operator types are recorded as tags ([`RingTag`], [`BinOpTag`],
+//! [`UnaryOpTag`], [`MonoidTag`]) and re-monomorphized at execution. The
+//! taggable subset (arithmetic + tropical rings, the arithmetic/min/max
+//! operator families) covers HPCG and the workspace's graph workloads;
+//! `mxm` stays eager-only (it is a setup-time primitive).
+
+use crate::container::matrix::CsrMatrix;
+use crate::container::vector::Vector;
+use crate::context::Exec;
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, Result};
+use crate::fusion::{fuse, PlannedStage, Stage};
+use crate::ops::accum::{AccumWith, NoAccum};
+use crate::ops::binary::{Divide, Max, Min, Minus, Plus, Times};
+use crate::ops::scalar::Scalar;
+use crate::ops::semiring::{MaxTimes, MinPlus, PlusTimes};
+use crate::ops::unary::{Abs, AdditiveInverse, Identity, MultiplicativeInverse};
+use crate::util::UnsafeSlice;
+use std::marker::PhantomData;
+
+// ---------------------------------------------------------------------------
+// Runtime algebra tags
+// ---------------------------------------------------------------------------
+
+/// Runtime identifier of a semiring a recorded op executes over.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RingTag {
+    /// The arithmetic semiring `(+, ×)`.
+    PlusTimes,
+    /// The tropical semiring `(min, +)`.
+    MinPlus,
+    /// The `(max, ×)` semiring.
+    MaxTimes,
+}
+
+/// Runtime identifier of a binary operator (element-wise op or accumulator).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BinOpTag {
+    /// Addition.
+    Plus,
+    /// Subtraction.
+    Minus,
+    /// Multiplication.
+    Times,
+    /// Division.
+    Divide,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Runtime identifier of a unary operator.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum UnaryOpTag {
+    /// The identity function.
+    Identity,
+    /// Absolute value.
+    Abs,
+    /// Additive inverse.
+    AdditiveInverse,
+    /// Multiplicative inverse.
+    MultiplicativeInverse,
+}
+
+/// Runtime identifier of a reduction monoid.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MonoidTag {
+    /// Sum.
+    Plus,
+    /// Product.
+    Times,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Zero-sized semirings a pipeline can record (the runtime-taggable subset).
+pub trait TaggedRing: Copy {
+    /// The runtime tag of this semiring.
+    const TAG: RingTag;
+}
+impl TaggedRing for PlusTimes {
+    const TAG: RingTag = RingTag::PlusTimes;
+}
+impl TaggedRing for MinPlus {
+    const TAG: RingTag = RingTag::MinPlus;
+}
+impl TaggedRing for MaxTimes {
+    const TAG: RingTag = RingTag::MaxTimes;
+}
+
+/// Zero-sized binary operators a pipeline can record.
+pub trait TaggedBinOp: Copy {
+    /// The runtime tag of this operator.
+    const TAG: BinOpTag;
+}
+impl TaggedBinOp for Plus {
+    const TAG: BinOpTag = BinOpTag::Plus;
+}
+impl TaggedBinOp for Minus {
+    const TAG: BinOpTag = BinOpTag::Minus;
+}
+impl TaggedBinOp for Times {
+    const TAG: BinOpTag = BinOpTag::Times;
+}
+impl TaggedBinOp for Divide {
+    const TAG: BinOpTag = BinOpTag::Divide;
+}
+impl TaggedBinOp for Min {
+    const TAG: BinOpTag = BinOpTag::Min;
+}
+impl TaggedBinOp for Max {
+    const TAG: BinOpTag = BinOpTag::Max;
+}
+
+/// Zero-sized unary operators a pipeline can record.
+pub trait TaggedUnaryOp: Copy {
+    /// The runtime tag of this operator.
+    const TAG: UnaryOpTag;
+}
+impl TaggedUnaryOp for Identity {
+    const TAG: UnaryOpTag = UnaryOpTag::Identity;
+}
+impl TaggedUnaryOp for Abs {
+    const TAG: UnaryOpTag = UnaryOpTag::Abs;
+}
+impl TaggedUnaryOp for AdditiveInverse {
+    const TAG: UnaryOpTag = UnaryOpTag::AdditiveInverse;
+}
+impl TaggedUnaryOp for MultiplicativeInverse {
+    const TAG: UnaryOpTag = UnaryOpTag::MultiplicativeInverse;
+}
+
+/// Zero-sized monoids a pipeline can record.
+pub trait TaggedMonoid: Copy {
+    /// The runtime tag of this monoid.
+    const TAG: MonoidTag;
+}
+impl TaggedMonoid for Plus {
+    const TAG: MonoidTag = MonoidTag::Plus;
+}
+impl TaggedMonoid for Times {
+    const TAG: MonoidTag = MonoidTag::Times;
+}
+impl TaggedMonoid for Min {
+    const TAG: MonoidTag = MonoidTag::Min;
+}
+impl TaggedMonoid for Max {
+    const TAG: MonoidTag = MonoidTag::Max;
+}
+
+impl BinOpTag {
+    /// Applies the tagged operator — exactly the arithmetic its zero-sized
+    /// counterpart inlines to, so fused loops match eager kernels bitwise.
+    #[inline(always)]
+    pub(crate) fn apply<T: Scalar>(self, a: T, b: T) -> T {
+        match self {
+            BinOpTag::Plus => a.add(b),
+            BinOpTag::Minus => a.sub(b),
+            BinOpTag::Times => a.mul(b),
+            BinOpTag::Divide => a.div(b),
+            BinOpTag::Min => a.min_of(b),
+            BinOpTag::Max => a.max_of(b),
+        }
+    }
+}
+
+impl UnaryOpTag {
+    /// Applies the tagged operator (see [`BinOpTag::apply`]).
+    #[inline(always)]
+    pub(crate) fn apply<T: Scalar>(self, a: T) -> T {
+        match self {
+            UnaryOpTag::Identity => a,
+            UnaryOpTag::Abs => a.abs_of(),
+            UnaryOpTag::AdditiveInverse => T::ZERO.sub(a),
+            UnaryOpTag::MultiplicativeInverse => T::ONE.div(a),
+        }
+    }
+}
+
+/// Re-monomorphizes a [`RingTag`] into its zero-sized semiring.
+macro_rules! with_ring {
+    ($tag:expr, $R:ident => $body:expr) => {
+        match $tag {
+            RingTag::PlusTimes => {
+                type $R = PlusTimes;
+                $body
+            }
+            RingTag::MinPlus => {
+                type $R = MinPlus;
+                $body
+            }
+            RingTag::MaxTimes => {
+                type $R = MaxTimes;
+                $body
+            }
+        }
+    };
+}
+
+/// Re-monomorphizes an optional accumulator tag into an `AccumMode`.
+macro_rules! with_accum {
+    ($tag:expr, $A:ident => $body:expr) => {
+        match $tag {
+            None => {
+                type $A = NoAccum;
+                $body
+            }
+            Some(BinOpTag::Plus) => {
+                type $A = AccumWith<Plus>;
+                $body
+            }
+            Some(BinOpTag::Minus) => {
+                type $A = AccumWith<Minus>;
+                $body
+            }
+            Some(BinOpTag::Times) => {
+                type $A = AccumWith<Times>;
+                $body
+            }
+            Some(BinOpTag::Divide) => {
+                type $A = AccumWith<Divide>;
+                $body
+            }
+            Some(BinOpTag::Min) => {
+                type $A = AccumWith<Min>;
+                $body
+            }
+            Some(BinOpTag::Max) => {
+                type $A = AccumWith<Max>;
+                $body
+            }
+        }
+    };
+}
+
+/// Re-monomorphizes a [`BinOpTag`] into its zero-sized operator type.
+macro_rules! with_binop {
+    ($tag:expr, $Op:ident => $body:expr) => {
+        match $tag {
+            BinOpTag::Plus => {
+                type $Op = Plus;
+                $body
+            }
+            BinOpTag::Minus => {
+                type $Op = Minus;
+                $body
+            }
+            BinOpTag::Times => {
+                type $Op = Times;
+                $body
+            }
+            BinOpTag::Divide => {
+                type $Op = Divide;
+                $body
+            }
+            BinOpTag::Min => {
+                type $Op = Min;
+                $body
+            }
+            BinOpTag::Max => {
+                type $Op = Max;
+                $body
+            }
+        }
+    };
+}
+
+/// Re-monomorphizes a [`UnaryOpTag`] into its zero-sized operator type.
+macro_rules! with_unop {
+    ($tag:expr, $Op:ident => $body:expr) => {
+        match $tag {
+            UnaryOpTag::Identity => {
+                type $Op = Identity;
+                $body
+            }
+            UnaryOpTag::Abs => {
+                type $Op = Abs;
+                $body
+            }
+            UnaryOpTag::AdditiveInverse => {
+                type $Op = AdditiveInverse;
+                $body
+            }
+            UnaryOpTag::MultiplicativeInverse => {
+                type $Op = MultiplicativeInverse;
+                $body
+            }
+        }
+    };
+}
+
+/// Re-monomorphizes a [`MonoidTag`] into its zero-sized monoid type.
+macro_rules! with_monoid {
+    ($tag:expr, $M:ident => $body:expr) => {
+        match $tag {
+            MonoidTag::Plus => {
+                type $M = Plus;
+                $body
+            }
+            MonoidTag::Times => {
+                type $M = Times;
+                $body
+            }
+            MonoidTag::Min => {
+                type $M = Min;
+                $body
+            }
+            MonoidTag::Max => {
+                type $M = Max;
+                $body
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Handles, operands, nodes
+// ---------------------------------------------------------------------------
+
+/// Names the vector output of a recorded stage (or a vector bound with
+/// [`Pipeline::bind`]); later stages use it as an input operand. Handles
+/// are branded with the issuing pipeline's id, so passing one to another
+/// pipeline panics instead of silently resolving to the wrong vector.
+#[derive(Copy, Clone, Debug)]
+pub struct VecHandle {
+    pl: u64,
+    pub(crate) idx: usize,
+}
+
+/// Names the scalar result of a recorded `dot`/`reduce`/norm stage; redeem
+/// it against [`PipelineResults`] after [`Pipeline::finish`]. Branded like
+/// [`VecHandle`].
+#[derive(Copy, Clone, Debug)]
+pub struct ScalarHandle {
+    pl: u64,
+    pub(crate) idx: usize,
+}
+
+/// An input operand of a recorded stage: a vector outside the pipeline or
+/// the output of an earlier stage.
+#[derive(Copy, Clone)]
+pub enum PipeInput<'a, T: Scalar> {
+    /// A vector the pipeline only reads (borrowed for its whole lifetime).
+    Ref(&'a Vector<T>),
+    /// The output of an earlier recorded stage.
+    Out(VecHandle),
+}
+
+impl<'a, T: Scalar> From<&'a Vector<T>> for PipeInput<'a, T> {
+    fn from(v: &'a Vector<T>) -> Self {
+        PipeInput::Ref(v)
+    }
+}
+
+impl<T: Scalar> From<VecHandle> for PipeInput<'_, T> {
+    fn from(h: VecHandle) -> Self {
+        PipeInput::Out(h)
+    }
+}
+
+/// A resolved operand (handle checked against this pipeline's registry).
+#[derive(Copy, Clone)]
+pub(crate) enum Src<'a, T: Scalar> {
+    /// A read-only vector outside the pipeline.
+    Ref(&'a Vector<T>),
+    /// Index into the pipeline's output registry.
+    Out(usize),
+}
+
+impl<T: Scalar> Src<'_, T> {
+    pub(crate) fn out_index(&self) -> Option<usize> {
+        match self {
+            Src::Ref(_) => None,
+            Src::Out(o) => Some(*o),
+        }
+    }
+}
+
+pub(crate) type ElemFn<'a, T> = Box<dyn Fn(usize, &mut T) + Send + Sync + 'a>;
+pub(crate) type ZipFn<'a, T> = Box<dyn Fn(usize, &mut T, T) + Send + Sync + 'a>;
+
+/// One recorded operation. Field meanings mirror the eager kernels.
+pub(crate) enum Node<'a, T: Scalar> {
+    Mxv {
+        out: usize,
+        a: &'a CsrMatrix<T>,
+        x: Src<'a, T>,
+        mask: Option<&'a Vector<bool>>,
+        desc: Descriptor,
+        ring: RingTag,
+        accum: Option<BinOpTag>,
+    },
+    Ewise {
+        out: usize,
+        x: Src<'a, T>,
+        y: Src<'a, T>,
+        mask: Option<&'a Vector<bool>>,
+        desc: Descriptor,
+        op: BinOpTag,
+        scale: Option<(T, T)>,
+        accum: Option<BinOpTag>,
+    },
+    Apply {
+        out: usize,
+        input: Src<'a, T>,
+        mask: Option<&'a Vector<bool>>,
+        desc: Descriptor,
+        op: UnaryOpTag,
+        accum: Option<BinOpTag>,
+    },
+    Axpy {
+        out: usize,
+        alpha: T,
+        y: Src<'a, T>,
+    },
+    Lambda {
+        out: usize,
+        mask: Option<&'a Vector<bool>>,
+        desc: Descriptor,
+        f: ElemFn<'a, T>,
+    },
+    LambdaZip {
+        out: usize,
+        src: Src<'a, T>,
+        mask: Option<&'a Vector<bool>>,
+        desc: Descriptor,
+        f: ZipFn<'a, T>,
+    },
+    Dot {
+        sid: usize,
+        x: Src<'a, T>,
+        y: Src<'a, T>,
+        ring: RingTag,
+    },
+    Reduce {
+        sid: usize,
+        x: Src<'a, T>,
+        mask: Option<&'a Vector<bool>>,
+        desc: Descriptor,
+        monoid: MonoidTag,
+    },
+}
+
+impl<T: Scalar> Node<'_, T> {
+    /// Short kernel name for plans and debugging.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            Node::Mxv { .. } => "mxv",
+            Node::Ewise { .. } => "ewise",
+            Node::Apply { .. } => "apply",
+            Node::Axpy { .. } => "axpy",
+            Node::Lambda { .. } => "transform",
+            Node::LambdaZip { .. } => "transform_zip",
+            Node::Dot { .. } => "dot",
+            Node::Reduce { .. } => "reduce",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pipeline
+// ---------------------------------------------------------------------------
+
+/// A deferred-execution context: records operations into an op graph,
+/// fuses, and executes on [`finish`](Pipeline::finish). Created by
+/// [`Ctx::pipeline`](crate::Ctx::pipeline); see the [module docs](self).
+pub struct Pipeline<'a, T: Scalar, E: Exec> {
+    /// Process-unique id branding this pipeline's handles.
+    id: u64,
+    exec: E,
+    defaults: Descriptor,
+    nodes: Vec<Node<'a, T>>,
+    /// Output registry: one slot per exclusively borrowed vector.
+    outs: Vec<*mut Vector<T>>,
+    /// Logical length of each registered output (fixed for the lifetime).
+    out_lens: Vec<usize>,
+    scalars: usize,
+    /// Holds the `'a` borrows of every registered output.
+    _borrows: PhantomData<&'a mut Vector<T>>,
+}
+
+impl<'a, T: Scalar, E: Exec> Pipeline<'a, T, E> {
+    pub(crate) fn new(exec: E, defaults: Descriptor) -> Pipeline<'a, T, E> {
+        static NEXT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        Pipeline {
+            id: NEXT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            exec,
+            defaults,
+            nodes: Vec::new(),
+            outs: Vec::new(),
+            out_lens: Vec::new(),
+            scalars: 0,
+            _borrows: PhantomData,
+        }
+    }
+
+    /// Number of operations recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn register(&mut self, v: &'a mut Vector<T>) -> usize {
+        let idx = self.outs.len();
+        self.out_lens.push(v.len());
+        self.outs.push(v as *mut Vector<T>);
+        idx
+    }
+
+    fn vec_handle(&self, idx: usize) -> VecHandle {
+        VecHandle { pl: self.id, idx }
+    }
+
+    fn check_handle(&self, h: VecHandle) -> usize {
+        assert!(
+            h.pl == self.id && h.idx < self.outs.len(),
+            "VecHandle does not belong to this pipeline"
+        );
+        h.idx
+    }
+
+    fn resolve(&self, input: PipeInput<'a, T>) -> Src<'a, T> {
+        match input {
+            PipeInput::Ref(v) => Src::Ref(v),
+            PipeInput::Out(h) => Src::Out(self.check_handle(h)),
+        }
+    }
+
+    fn new_scalar(&mut self) -> ScalarHandle {
+        let sid = self.scalars;
+        self.scalars += 1;
+        ScalarHandle {
+            pl: self.id,
+            idx: sid,
+        }
+    }
+
+    /// Registers a vector the pipeline will update in place (e.g. the
+    /// iterate a recorded smoother sweep refines), without recording an
+    /// operation. Returns its handle for use as operand or in-place target.
+    pub fn bind(&mut self, v: &'a mut Vector<T>) -> VecHandle {
+        let idx = self.register(v);
+        self.vec_handle(idx)
+    }
+
+    /// Starts recording `y = A ⊕.⊗ x` (default ring: `PlusTimes`).
+    pub fn mxv(
+        &mut self,
+        a: &'a CsrMatrix<T>,
+        x: impl Into<PipeInput<'a, T>>,
+    ) -> PipeMxv<'_, 'a, T, E> {
+        let x = self.resolve(x.into());
+        let desc = self.defaults;
+        PipeMxv {
+            pl: self,
+            a,
+            x,
+            mask: None,
+            desc,
+            ring: RingTag::PlusTimes,
+            accum: None,
+        }
+    }
+
+    /// Starts recording `y = xᵀA` — an mxv with the transposition
+    /// pre-toggled, exactly like the eager `vxm` builder.
+    pub fn vxm(
+        &mut self,
+        x: impl Into<PipeInput<'a, T>>,
+        a: &'a CsrMatrix<T>,
+    ) -> PipeMxv<'_, 'a, T, E> {
+        let mut b = self.mxv(a, x);
+        b.desc = b.desc.toggled_transpose();
+        b
+    }
+
+    /// Starts recording `w = Op(x, y)` element-wise (default op: `Plus`).
+    pub fn ewise(
+        &mut self,
+        x: impl Into<PipeInput<'a, T>>,
+        y: impl Into<PipeInput<'a, T>>,
+    ) -> PipeEwise<'_, 'a, T, E> {
+        let x = self.resolve(x.into());
+        let y = self.resolve(y.into());
+        let desc = self.defaults;
+        PipeEwise {
+            pl: self,
+            x,
+            y,
+            mask: None,
+            desc,
+            op: BinOpTag::Plus,
+            scale: None,
+            accum: None,
+        }
+    }
+
+    /// Starts recording `out = Op(input)` (default op: `Identity`).
+    pub fn apply(&mut self, input: impl Into<PipeInput<'a, T>>) -> PipeApply<'_, 'a, T, E> {
+        let input = self.resolve(input.into());
+        let desc = self.defaults;
+        PipeApply {
+            pl: self,
+            input,
+            mask: None,
+            desc,
+            op: UnaryOpTag::Identity,
+            accum: None,
+        }
+    }
+
+    /// Records `x = x + α·y` on a vector entering the pipeline here.
+    pub fn axpy(
+        &mut self,
+        x: &'a mut Vector<T>,
+        alpha: T,
+        y: impl Into<PipeInput<'a, T>>,
+    ) -> VecHandle {
+        let out = self.register(x);
+        self.push_axpy(out, alpha, y.into())
+    }
+
+    /// Records `x = x + α·y` on an already-registered vector.
+    pub fn axpy_at(&mut self, x: VecHandle, alpha: T, y: impl Into<PipeInput<'a, T>>) -> VecHandle {
+        let out = self.check_handle(x);
+        self.push_axpy(out, alpha, y.into())
+    }
+
+    fn push_axpy(&mut self, out: usize, alpha: T, y: PipeInput<'a, T>) -> VecHandle {
+        let y = self.resolve(y);
+        assert!(
+            y.out_index() != Some(out),
+            "axpy operand may not alias its output"
+        );
+        self.nodes.push(Node::Axpy { out, alpha, y });
+        self.vec_handle(out)
+    }
+
+    /// Starts recording an in-place indexed update of `out` (the eager
+    /// `transform` / `eWiseLambda`).
+    pub fn transform(&mut self, out: &'a mut Vector<T>) -> PipeTransform<'_, 'a, T, E> {
+        let out = self.register(out);
+        let desc = self.defaults;
+        PipeTransform {
+            pl: self,
+            out,
+            mask: None,
+            desc,
+        }
+    }
+
+    /// Starts recording an in-place indexed update of an already-registered
+    /// vector.
+    pub fn transform_at(&mut self, out: VecHandle) -> PipeTransform<'_, 'a, T, E> {
+        let out = self.check_handle(out);
+        let desc = self.defaults;
+        PipeTransform {
+            pl: self,
+            out,
+            mask: None,
+            desc,
+        }
+    }
+
+    /// Starts recording `⟨x, y⟩` (default ring: `PlusTimes`).
+    pub fn dot(
+        &mut self,
+        x: impl Into<PipeInput<'a, T>>,
+        y: impl Into<PipeInput<'a, T>>,
+    ) -> PipeDot<'_, 'a, T, E> {
+        let x = self.resolve(x.into());
+        let y = self.resolve(y.into());
+        PipeDot {
+            pl: self,
+            x,
+            y,
+            ring: RingTag::PlusTimes,
+        }
+    }
+
+    /// Records `‖x‖² = ⟨x, x⟩` over the arithmetic semiring.
+    pub fn norm2_squared(&mut self, x: impl Into<PipeInput<'a, T>>) -> ScalarHandle {
+        let x = self.resolve(x.into());
+        let h = self.new_scalar();
+        self.nodes.push(Node::Dot {
+            sid: h.idx,
+            x,
+            y: x,
+            ring: RingTag::PlusTimes,
+        });
+        h
+    }
+
+    /// Starts recording a fold of `x` over a monoid (default: `Plus`).
+    pub fn reduce(&mut self, x: impl Into<PipeInput<'a, T>>) -> PipeReduce<'_, 'a, T, E> {
+        let x = self.resolve(x.into());
+        let desc = self.defaults;
+        PipeReduce {
+            pl: self,
+            x,
+            mask: None,
+            desc,
+            monoid: MonoidTag::Plus,
+        }
+    }
+
+    /// The fusion plan `finish` would execute right now — for tests,
+    /// benchmarks and debugging.
+    pub fn plan(&self) -> Vec<PlannedStage> {
+        fuse(&self.nodes, &self.out_lens)
+            .iter()
+            .map(|s| s.describe(&self.nodes))
+            .collect()
+    }
+
+    /// Runs the fusion pass and executes the fused schedule, consuming the
+    /// pipeline (and releasing its borrows). On error, already-executed
+    /// stages have taken effect; the contents of output vectors recorded
+    /// after the failing stage are unspecified.
+    pub fn finish(self) -> Result<PipelineResults<T>> {
+        let stages = fuse(&self.nodes, &self.out_lens);
+        let mut scalars = vec![T::ZERO; self.scalars];
+        for stage in &stages {
+            self.run_stage(stage, &mut scalars)?;
+        }
+        Ok(PipelineResults {
+            pipeline_id: self.id,
+            values: scalars,
+        })
+    }
+
+    // -- execution ----------------------------------------------------------
+
+    /// Reborrows a registered output.
+    ///
+    /// # Safety
+    ///
+    /// The caller must not hold any other reference to the same registry
+    /// slot for the returned lifetime. Record-time assertions guarantee a
+    /// stage's inputs never name its own output; distinct slots never alias
+    /// because each vector is registered from a distinct `&'a mut`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn out_mut(&self, idx: usize) -> &mut Vector<T> {
+        let ptr = self.outs[idx];
+        unsafe { &mut *ptr }
+    }
+
+    fn src_vec<'s>(&'s self, s: &Src<'a, T>) -> &'s Vector<T> {
+        match s {
+            Src::Ref(v) => v,
+            // SAFETY: shared reborrow of a registry slot; stages that hold
+            // an exclusive reborrow of the same slot are never executed
+            // while this one is live (record-time assertions).
+            Src::Out(o) => unsafe { &*self.outs[*o] },
+        }
+    }
+
+    fn run_stage(&self, stage: &Stage, scalars: &mut [T]) -> Result<()> {
+        match stage {
+            Stage::Single(i) => self.run_node(&self.nodes[*i], scalars),
+            Stage::SpmvDot { mxv, dot } => self.run_spmv_dot(*mxv, *dot, scalars),
+            Stage::AxpyNorm { axpy, dot } => self.run_axpy_norm(*axpy, *dot, scalars),
+            Stage::Loop(run) => self.run_fused_loop(run),
+        }
+    }
+
+    fn run_node(&self, node: &Node<'a, T>, scalars: &mut [T]) -> Result<()> {
+        let exec = self.exec;
+        match node {
+            Node::Mxv {
+                out,
+                a,
+                x,
+                mask,
+                desc,
+                ring,
+                accum,
+            } => {
+                let x = self.src_vec(x);
+                // SAFETY: record-time assertion — `x` never names `out`.
+                let y = unsafe { self.out_mut(*out) };
+                with_ring!(*ring, R => with_accum!(*accum, A =>
+                    exec.run_mxv::<T, R, A>(y, *mask, *desc, a, x)))
+            }
+            Node::Ewise {
+                out,
+                x,
+                y,
+                mask,
+                desc,
+                op,
+                scale,
+                accum,
+            } => {
+                let xs = self.src_vec(x);
+                let ys = self.src_vec(y);
+                // SAFETY: record-time assertion — inputs never name `out`.
+                let w = unsafe { self.out_mut(*out) };
+                with_binop!(*op, Op => with_accum!(*accum, A =>
+                    exec.run_ewise::<T, Op, A>(w, *mask, *desc, xs, ys, *scale)))
+            }
+            Node::Apply {
+                out,
+                input,
+                mask,
+                desc,
+                op,
+                accum,
+            } => {
+                let input = self.src_vec(input);
+                // SAFETY: record-time assertion — `input` never names `out`.
+                let o = unsafe { self.out_mut(*out) };
+                with_unop!(*op, Op => with_accum!(*accum, A =>
+                    exec.run_apply::<T, Op, A>(o, *mask, *desc, input)))
+            }
+            Node::Axpy { out, alpha, y } => {
+                let ys = self.src_vec(y);
+                // SAFETY: record-time assertion — `y` never names `out`.
+                let x = unsafe { self.out_mut(*out) };
+                exec.run_axpy::<T>(x, *alpha, ys)
+            }
+            Node::Lambda { out, mask, desc, f } => {
+                // SAFETY: sole reference to the slot during this call.
+                let o = unsafe { self.out_mut(*out) };
+                exec.run_lambda(o, *mask, *desc, f)
+            }
+            Node::LambdaZip {
+                out,
+                src,
+                mask,
+                desc,
+                f,
+            } => {
+                let ss = self.src_vec(src).as_slice();
+                // SAFETY: record-time assertion — `src` never names `out`.
+                let o = unsafe { self.out_mut(*out) };
+                exec.run_lambda(o, *mask, *desc, move |i, t| f(i, t, ss[i]))
+            }
+            Node::Dot { sid, x, y, ring } => {
+                let xs = self.src_vec(x);
+                let ys = self.src_vec(y);
+                scalars[*sid] = with_ring!(*ring, R => exec.run_dot::<T, R>(xs, ys))?;
+                Ok(())
+            }
+            Node::Reduce {
+                sid,
+                x,
+                mask,
+                desc,
+                monoid,
+            } => {
+                let xs = self.src_vec(x);
+                scalars[*sid] =
+                    with_monoid!(*monoid, M => exec.run_reduce::<T, M>(xs, *mask, *desc))?;
+                Ok(())
+            }
+        }
+    }
+
+    fn run_spmv_dot(&self, mxv: usize, dot: usize, scalars: &mut [T]) -> Result<()> {
+        let (out, a, x) = match &self.nodes[mxv] {
+            Node::Mxv { out, a, x, .. } => (*out, *a, x),
+            _ => unreachable!("fusion pass pairs SpmvDot with an mxv node"),
+        };
+        let (sid, dx, dy) = match &self.nodes[dot] {
+            Node::Dot { sid, x, y, .. } => (*sid, x, y),
+            _ => unreachable!("fusion pass pairs SpmvDot with a dot node"),
+        };
+        let xs = self.src_vec(x);
+        let product_on_left = dx.out_index() == Some(out);
+        let other = if product_on_left { dy } else { dx };
+        let w = if other.out_index() == Some(out) {
+            None
+        } else {
+            Some(self.src_vec(other))
+        };
+        // SAFETY: neither `x` nor the dot's other operand names `out`
+        // (record-time assertion / the `None` branch above).
+        let y = unsafe { self.out_mut(out) };
+        scalars[sid] = self
+            .exec
+            .run_spmv_dot::<T, PlusTimes>(y, a, xs, w, product_on_left)?;
+        Ok(())
+    }
+
+    fn run_axpy_norm(&self, axpy: usize, dot: usize, scalars: &mut [T]) -> Result<()> {
+        let (out, alpha, y) = match &self.nodes[axpy] {
+            Node::Axpy { out, alpha, y } => (*out, *alpha, y),
+            _ => unreachable!("fusion pass pairs AxpyNorm with an axpy node"),
+        };
+        let sid = match &self.nodes[dot] {
+            Node::Dot { sid, .. } => *sid,
+            _ => unreachable!("fusion pass pairs AxpyNorm with a dot node"),
+        };
+        let ys = self.src_vec(y);
+        // SAFETY: record-time assertion — `y` never names `out`.
+        let x = unsafe { self.out_mut(out) };
+        scalars[sid] = self.exec.run_axpy_norm::<T, PlusTimes>(x, alpha, ys)?;
+        Ok(())
+    }
+
+    fn run_fused_loop(&self, run: &[usize]) -> Result<()> {
+        let n = match &self.nodes[run[0]] {
+            Node::Ewise { out, .. }
+            | Node::Apply { out, .. }
+            | Node::Axpy { out, .. }
+            | Node::Lambda { out, .. }
+            | Node::LambdaZip { out, .. } => self.out_lens[*out],
+            _ => unreachable!("fusion pass only loops element-wise nodes"),
+        };
+        let mut elems: Vec<Elem<'_, 'a, T>> = Vec::with_capacity(run.len());
+        for &i in run {
+            match &self.nodes[i] {
+                Node::Ewise {
+                    out,
+                    x,
+                    y,
+                    op,
+                    scale,
+                    accum,
+                    ..
+                } => {
+                    let xs = self.src_vec(x).as_slice();
+                    let ys = self.src_vec(y).as_slice();
+                    check_dims("ewise", "x vs output", n, xs.len())?;
+                    check_dims("ewise", "y vs output", n, ys.len())?;
+                    // SAFETY: loop legality — outputs in a run are distinct
+                    // and never read as another run member's input.
+                    let w = unsafe { self.out_mut(*out) };
+                    elems.push(Elem::Ewise {
+                        w: UnsafeSlice::new(w.as_mut_slice()),
+                        xs,
+                        ys,
+                        op: *op,
+                        scale: *scale,
+                        accum: *accum,
+                    });
+                }
+                Node::Apply {
+                    out,
+                    input,
+                    op,
+                    accum,
+                    ..
+                } => {
+                    let xs = self.src_vec(input).as_slice();
+                    check_dims("apply", "input vs output", n, xs.len())?;
+                    // SAFETY: see the Ewise arm.
+                    let o = unsafe { self.out_mut(*out) };
+                    elems.push(Elem::Apply {
+                        out: UnsafeSlice::new(o.as_mut_slice()),
+                        xs,
+                        op: *op,
+                        accum: *accum,
+                    });
+                }
+                Node::Axpy { out, alpha, y } => {
+                    let ys = self.src_vec(y).as_slice();
+                    check_dims("axpy", "y vs x", n, ys.len())?;
+                    // SAFETY: see the Ewise arm.
+                    let x = unsafe { self.out_mut(*out) };
+                    elems.push(Elem::Axpy {
+                        x: UnsafeSlice::new(x.as_mut_slice()),
+                        alpha: *alpha,
+                        ys,
+                    });
+                }
+                Node::Lambda { out, f, .. } => {
+                    // SAFETY: see the Ewise arm.
+                    let o = unsafe { self.out_mut(*out) };
+                    elems.push(Elem::Lambda {
+                        out: UnsafeSlice::new(o.as_mut_slice()),
+                        f,
+                    });
+                }
+                Node::LambdaZip { out, src, f, .. } => {
+                    let ss = self.src_vec(src).as_slice();
+                    check_dims("transform_zip", "src vs output", n, ss.len())?;
+                    // SAFETY: see the Ewise arm.
+                    let o = unsafe { self.out_mut(*out) };
+                    elems.push(Elem::LambdaZip {
+                        out: UnsafeSlice::new(o.as_mut_slice()),
+                        ss,
+                        f,
+                    });
+                }
+                _ => unreachable!("fusion pass only loops element-wise nodes"),
+            }
+        }
+        let elems = &elems;
+        self.exec.run_for_each(n, move |i| {
+            for e in elems {
+                // SAFETY: each index is visited by exactly one invocation
+                // and run outputs are pairwise disjoint.
+                unsafe { e.apply(i) };
+            }
+        });
+        Ok(())
+    }
+}
+
+/// One element-wise stage of a fused loop, pre-resolved for the hot loop.
+enum Elem<'s, 'a, T: Scalar> {
+    Ewise {
+        w: UnsafeSlice<'s, T>,
+        xs: &'s [T],
+        ys: &'s [T],
+        op: BinOpTag,
+        scale: Option<(T, T)>,
+        accum: Option<BinOpTag>,
+    },
+    Apply {
+        out: UnsafeSlice<'s, T>,
+        xs: &'s [T],
+        op: UnaryOpTag,
+        accum: Option<BinOpTag>,
+    },
+    Axpy {
+        x: UnsafeSlice<'s, T>,
+        alpha: T,
+        ys: &'s [T],
+    },
+    Lambda {
+        out: UnsafeSlice<'s, T>,
+        f: &'s ElemFn<'a, T>,
+    },
+    LambdaZip {
+        out: UnsafeSlice<'s, T>,
+        ss: &'s [T],
+        f: &'s ZipFn<'a, T>,
+    },
+}
+
+impl<T: Scalar> Elem<'_, '_, T> {
+    /// Applies this stage at index `i` — the same per-element arithmetic
+    /// the eager kernel monomorphizes, so the fused loop is bit-identical.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds and handed to at most one concurrent caller.
+    #[inline(always)]
+    unsafe fn apply(&self, i: usize) {
+        match self {
+            Elem::Ewise {
+                w,
+                xs,
+                ys,
+                op,
+                scale,
+                accum,
+            } => {
+                let (a, b) = match scale {
+                    None => (xs[i], ys[i]),
+                    Some((alpha, beta)) => (alpha.mul(xs[i]), beta.mul(ys[i])),
+                };
+                let v = op.apply(a, b);
+                // SAFETY: forwarded contract.
+                let slot = unsafe { w.get_mut(i) };
+                match accum {
+                    None => *slot = v,
+                    Some(acc) => *slot = acc.apply(*slot, v),
+                }
+            }
+            Elem::Apply { out, xs, op, accum } => {
+                let v = op.apply(xs[i]);
+                // SAFETY: forwarded contract.
+                let slot = unsafe { out.get_mut(i) };
+                match accum {
+                    None => *slot = v,
+                    Some(acc) => *slot = acc.apply(*slot, v),
+                }
+            }
+            Elem::Axpy { x, alpha, ys } => {
+                // SAFETY: forwarded contract.
+                let slot = unsafe { x.get_mut(i) };
+                *slot = slot.add(alpha.mul(ys[i]));
+            }
+            // SAFETY: forwarded contract.
+            Elem::Lambda { out, f } => f(i, unsafe { out.get_mut(i) }),
+            // SAFETY: forwarded contract.
+            Elem::LambdaZip { out, ss, f } => f(i, unsafe { out.get_mut(i) }, ss[i]),
+        }
+    }
+}
+
+/// Scalar results of an executed pipeline, indexed by [`ScalarHandle`].
+#[derive(Clone, Debug)]
+pub struct PipelineResults<T> {
+    pipeline_id: u64,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> PipelineResults<T> {
+    /// The value a recorded scalar stage produced.
+    pub fn get(&self, h: ScalarHandle) -> T {
+        self[h]
+    }
+}
+
+impl<T: Scalar> std::ops::Index<ScalarHandle> for PipelineResults<T> {
+    type Output = T;
+    fn index(&self, h: ScalarHandle) -> &T {
+        assert!(
+            h.pl == self.pipeline_id,
+            "ScalarHandle does not belong to this pipeline"
+        );
+        &self.values[h.idx]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording builders
+// ---------------------------------------------------------------------------
+
+/// Records `y⟨mask⟩ = y ⊙? (A ⊕.⊗ x)` (see [`Pipeline::mxv`]).
+#[must_use = "recording builders do nothing until the terminal `.into(..)`"]
+pub struct PipeMxv<'p, 'a, T: Scalar, E: Exec> {
+    pl: &'p mut Pipeline<'a, T, E>,
+    a: &'a CsrMatrix<T>,
+    x: Src<'a, T>,
+    mask: Option<&'a Vector<bool>>,
+    desc: Descriptor,
+    ring: RingTag,
+    accum: Option<BinOpTag>,
+}
+
+impl<'a, T: Scalar, E: Exec> PipeMxv<'_, 'a, T, E> {
+    /// Computes only the output positions selected by `mask`.
+    pub fn mask(mut self, mask: &'a Vector<bool>) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Toggles use of the matrix's transpose.
+    pub fn transpose(mut self) -> Self {
+        self.desc = self.desc.toggled_transpose();
+        self
+    }
+
+    /// ORs explicit descriptor flags into the builder state.
+    pub fn descriptor(mut self, desc: Descriptor) -> Self {
+        self.desc = self.desc.with(desc);
+        self
+    }
+
+    /// Switches the semiring (default: `PlusTimes`).
+    pub fn ring<R: TaggedRing>(mut self, _ring: R) -> Self {
+        self.ring = R::TAG;
+        self
+    }
+
+    /// Accumulates into the output through `Op` instead of overwriting.
+    pub fn accum<Op: TaggedBinOp>(mut self, _op: Op) -> Self {
+        self.accum = Some(Op::TAG);
+        self
+    }
+
+    /// Records the operation writing into `y`, returning its handle.
+    pub fn into(self, y: &'a mut Vector<T>) -> VecHandle {
+        let out = self.pl.register(y);
+        self.record(out)
+    }
+
+    /// Records the operation writing into an already-registered vector.
+    pub fn into_handle(self, y: VecHandle) -> VecHandle {
+        let out = self.pl.check_handle(y);
+        self.record(out)
+    }
+
+    fn record(self, out: usize) -> VecHandle {
+        assert!(
+            self.x.out_index() != Some(out),
+            "mxv input may not alias its output"
+        );
+        self.pl.nodes.push(Node::Mxv {
+            out,
+            a: self.a,
+            x: self.x,
+            mask: self.mask,
+            desc: self.desc,
+            ring: self.ring,
+            accum: self.accum,
+        });
+        self.pl.vec_handle(out)
+    }
+}
+
+/// Records `w⟨mask⟩ = w ⊙? Op(α·x, β·y)` (see [`Pipeline::ewise`]).
+#[must_use = "recording builders do nothing until the terminal `.into(..)`"]
+pub struct PipeEwise<'p, 'a, T: Scalar, E: Exec> {
+    pl: &'p mut Pipeline<'a, T, E>,
+    x: Src<'a, T>,
+    y: Src<'a, T>,
+    mask: Option<&'a Vector<bool>>,
+    desc: Descriptor,
+    op: BinOpTag,
+    scale: Option<(T, T)>,
+    accum: Option<BinOpTag>,
+}
+
+impl<'a, T: Scalar, E: Exec> PipeEwise<'_, 'a, T, E> {
+    /// Computes only the output positions selected by `mask`.
+    pub fn mask(mut self, mask: &'a Vector<bool>) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Scales the operands before the operator: `Op(α·x, β·y)`.
+    pub fn scaled(mut self, alpha: T, beta: T) -> Self {
+        self.scale = Some((alpha, beta));
+        self
+    }
+
+    /// Switches the element-wise operator (default: `Plus`).
+    pub fn op<Op: TaggedBinOp>(mut self, _op: Op) -> Self {
+        self.op = Op::TAG;
+        self
+    }
+
+    /// Accumulates into the output through `AccOp` instead of overwriting.
+    pub fn accum<AccOp: TaggedBinOp>(mut self, _op: AccOp) -> Self {
+        self.accum = Some(AccOp::TAG);
+        self
+    }
+
+    /// Records the operation writing into `w`, returning its handle.
+    pub fn into(self, w: &'a mut Vector<T>) -> VecHandle {
+        let out = self.pl.register(w);
+        self.record(out)
+    }
+
+    /// Records the operation writing into an already-registered vector.
+    pub fn into_handle(self, w: VecHandle) -> VecHandle {
+        let out = self.pl.check_handle(w);
+        self.record(out)
+    }
+
+    fn record(self, out: usize) -> VecHandle {
+        assert!(
+            self.x.out_index() != Some(out) && self.y.out_index() != Some(out),
+            "ewise operands may not alias the output"
+        );
+        self.pl.nodes.push(Node::Ewise {
+            out,
+            x: self.x,
+            y: self.y,
+            mask: self.mask,
+            desc: self.desc,
+            op: self.op,
+            scale: self.scale,
+            accum: self.accum,
+        });
+        self.pl.vec_handle(out)
+    }
+}
+
+/// Records `out⟨mask⟩ = out ⊙? Op(input)` (see [`Pipeline::apply`]).
+#[must_use = "recording builders do nothing until the terminal `.into(..)`"]
+pub struct PipeApply<'p, 'a, T: Scalar, E: Exec> {
+    pl: &'p mut Pipeline<'a, T, E>,
+    input: Src<'a, T>,
+    mask: Option<&'a Vector<bool>>,
+    desc: Descriptor,
+    op: UnaryOpTag,
+    accum: Option<BinOpTag>,
+}
+
+impl<'a, T: Scalar, E: Exec> PipeApply<'_, 'a, T, E> {
+    /// Computes only the output positions selected by `mask`.
+    pub fn mask(mut self, mask: &'a Vector<bool>) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Switches the unary operator (default: `Identity`).
+    pub fn op<Op: TaggedUnaryOp>(mut self, _op: Op) -> Self {
+        self.op = Op::TAG;
+        self
+    }
+
+    /// Accumulates into the output through `AccOp` instead of overwriting.
+    pub fn accum<AccOp: TaggedBinOp>(mut self, _op: AccOp) -> Self {
+        self.accum = Some(AccOp::TAG);
+        self
+    }
+
+    /// Records the operation writing into `out`, returning its handle.
+    pub fn into(self, out: &'a mut Vector<T>) -> VecHandle {
+        let out = self.pl.register(out);
+        self.record(out)
+    }
+
+    /// Records the operation writing into an already-registered vector.
+    pub fn into_handle(self, out: VecHandle) -> VecHandle {
+        let out = self.pl.check_handle(out);
+        self.record(out)
+    }
+
+    fn record(self, out: usize) -> VecHandle {
+        assert!(
+            self.input.out_index() != Some(out),
+            "apply input may not alias its output"
+        );
+        self.pl.nodes.push(Node::Apply {
+            out,
+            input: self.input,
+            mask: self.mask,
+            desc: self.desc,
+            op: self.op,
+            accum: self.accum,
+        });
+        self.pl.vec_handle(out)
+    }
+}
+
+/// Records an in-place indexed update (see [`Pipeline::transform`]).
+#[must_use = "recording builders do nothing until the terminal `.apply(f)`"]
+pub struct PipeTransform<'p, 'a, T: Scalar, E: Exec> {
+    pl: &'p mut Pipeline<'a, T, E>,
+    out: usize,
+    mask: Option<&'a Vector<bool>>,
+    desc: Descriptor,
+}
+
+impl<'p, 'a, T: Scalar, E: Exec> PipeTransform<'p, 'a, T, E> {
+    /// Updates only the positions selected by `mask`.
+    pub fn mask(mut self, mask: &'a Vector<bool>) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Pairs the update with a second vector read at the same index: the
+    /// terminal closure receives `(i, &mut out[i], src[i])`. This is how a
+    /// recorded stage reads another stage's output inside a lambda (boxed
+    /// closures cannot capture handles).
+    pub fn zip(self, src: impl Into<PipeInput<'a, T>>) -> PipeTransformZip<'p, 'a, T, E> {
+        let src = self.pl.resolve(src.into());
+        assert!(
+            src.out_index() != Some(self.out),
+            "zip source may not alias the transform output"
+        );
+        PipeTransformZip {
+            pl: self.pl,
+            out: self.out,
+            src,
+            mask: self.mask,
+            desc: self.desc,
+        }
+    }
+
+    /// Records `f(i, &mut out[i])` at every selected index.
+    pub fn apply(self, f: impl Fn(usize, &mut T) + Send + Sync + 'a) -> VecHandle {
+        self.pl.nodes.push(Node::Lambda {
+            out: self.out,
+            mask: self.mask,
+            desc: self.desc,
+            f: Box::new(f),
+        });
+        self.pl.vec_handle(self.out)
+    }
+}
+
+/// Records an in-place indexed update reading a paired source (see
+/// [`PipeTransform::zip`]).
+#[must_use = "recording builders do nothing until the terminal `.apply(f)`"]
+pub struct PipeTransformZip<'p, 'a, T: Scalar, E: Exec> {
+    pl: &'p mut Pipeline<'a, T, E>,
+    out: usize,
+    src: Src<'a, T>,
+    mask: Option<&'a Vector<bool>>,
+    desc: Descriptor,
+}
+
+impl<'a, T: Scalar, E: Exec> PipeTransformZip<'_, 'a, T, E> {
+    /// Records `f(i, &mut out[i], src[i])` at every selected index.
+    pub fn apply(self, f: impl Fn(usize, &mut T, T) + Send + Sync + 'a) -> VecHandle {
+        self.pl.nodes.push(Node::LambdaZip {
+            out: self.out,
+            src: self.src,
+            mask: self.mask,
+            desc: self.desc,
+            f: Box::new(f),
+        });
+        self.pl.vec_handle(self.out)
+    }
+}
+
+/// Records `⟨x, y⟩` (see [`Pipeline::dot`]).
+#[must_use = "recording builders do nothing until the terminal `.result()`"]
+pub struct PipeDot<'p, 'a, T: Scalar, E: Exec> {
+    pl: &'p mut Pipeline<'a, T, E>,
+    x: Src<'a, T>,
+    y: Src<'a, T>,
+    ring: RingTag,
+}
+
+impl<T: Scalar, E: Exec> PipeDot<'_, '_, T, E> {
+    /// Switches the semiring (default: `PlusTimes`).
+    pub fn ring<R: TaggedRing>(mut self, _ring: R) -> Self {
+        self.ring = R::TAG;
+        self
+    }
+
+    /// Records the dot product, returning the handle of its result.
+    pub fn result(self) -> ScalarHandle {
+        let h = self.pl.new_scalar();
+        self.pl.nodes.push(Node::Dot {
+            sid: h.idx,
+            x: self.x,
+            y: self.y,
+            ring: self.ring,
+        });
+        h
+    }
+}
+
+/// Records a monoid fold (see [`Pipeline::reduce`]).
+#[must_use = "recording builders do nothing until the terminal `.result()`"]
+pub struct PipeReduce<'p, 'a, T: Scalar, E: Exec> {
+    pl: &'p mut Pipeline<'a, T, E>,
+    x: Src<'a, T>,
+    mask: Option<&'a Vector<bool>>,
+    desc: Descriptor,
+    monoid: MonoidTag,
+}
+
+impl<'a, T: Scalar, E: Exec> PipeReduce<'_, 'a, T, E> {
+    /// Folds only the positions selected by `mask`.
+    pub fn mask(mut self, mask: &'a Vector<bool>) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Switches the monoid (default: `Plus`).
+    pub fn monoid<M: TaggedMonoid>(mut self, _monoid: M) -> Self {
+        self.monoid = M::TAG;
+        self
+    }
+
+    /// Records the fold, returning the handle of its result.
+    pub fn result(self) -> ScalarHandle {
+        let h = self.pl.new_scalar();
+        self.pl.nodes.push(Node::Reduce {
+            sid: h.idx,
+            x: self.x,
+            mask: self.mask,
+            desc: self.desc,
+            monoid: self.monoid,
+        });
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Parallel, Sequential};
+    use crate::context::{ctx, BackendKind, DynCtx};
+
+    fn a3() -> CsrMatrix<f64> {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 2, 1.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deferred_mxv_runs_nothing_until_finish() {
+        let a = a3();
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let mut y = Vector::zeros(3);
+        let mut pl = ctx::<Sequential>().pipeline();
+        let _ = pl.mxv(&a, &x).into(&mut y);
+        assert_eq!(pl.len(), 1);
+        pl.finish().unwrap();
+        assert_eq!(y.as_slice(), &[5.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn spmv_dot_fuses_and_matches_eager() {
+        let a = a3();
+        let p = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let mut ap_pipe = Vector::zeros(3);
+        let mut pl = ctx::<Sequential>().pipeline();
+        let ap_h = pl.mxv(&a, &p).into(&mut ap_pipe);
+        let d = pl.dot(&p, ap_h).result();
+        assert_eq!(pl.plan(), vec![PlannedStage::SpmvDot]);
+        let out = pl.finish().unwrap();
+
+        let exec = ctx::<Sequential>();
+        let mut ap = Vector::zeros(3);
+        exec.mxv(&a, &p).into(&mut ap).unwrap();
+        let d_eager = exec.dot(&p, &ap).compute().unwrap();
+        assert_eq!(ap.as_slice(), ap_pipe.as_slice());
+        assert_eq!(out[d].to_bits(), d_eager.to_bits());
+    }
+
+    #[test]
+    fn spmv_norm_epilogue_fuses() {
+        let a = a3();
+        let x = Vector::from_dense(vec![1.0, -1.0, 2.0]);
+        let mut y = Vector::zeros(3);
+        let mut pl = ctx::<Sequential>().pipeline();
+        let yh = pl.mxv(&a, &x).into(&mut y);
+        let n = pl.norm2_squared(yh);
+        assert_eq!(pl.plan(), vec![PlannedStage::SpmvDot]);
+        let out = pl.finish().unwrap();
+        let expected = ctx::<Sequential>().norm2_squared(&y).unwrap();
+        assert_eq!(out[n], expected);
+    }
+
+    #[test]
+    fn axpy_norm_fuses_and_matches_eager() {
+        let q = Vector::from_dense((0..500).map(|i| (i % 7) as f64 - 3.0).collect::<Vec<_>>());
+        let r0 = Vector::from_dense((0..500).map(|i| (i % 5) as f64).collect::<Vec<_>>());
+
+        let mut r_pipe = r0.clone();
+        let mut pl = ctx::<Parallel>().pipeline();
+        let rh = pl.axpy(&mut r_pipe, -0.25, &q);
+        let nh = pl.norm2_squared(rh);
+        assert_eq!(pl.plan(), vec![PlannedStage::AxpyNorm]);
+        let out = pl.finish().unwrap();
+
+        let exec = ctx::<Parallel>();
+        let mut r = r0.clone();
+        exec.axpy(&mut r, -0.25, &q).unwrap();
+        let n_eager = exec.norm2_squared(&r).unwrap();
+        assert_eq!(r.as_slice(), r_pipe.as_slice());
+        assert_eq!(out[nh].to_bits(), n_eager.to_bits());
+    }
+
+    #[test]
+    fn elementwise_chain_fuses_into_one_loop() {
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let y = Vector::from_dense(vec![10.0, 20.0, 30.0]);
+        let mut w = Vector::zeros(3);
+        let mut z = Vector::from_dense(vec![1.0, 1.0, 1.0]);
+        let mut pl = ctx::<Sequential>().pipeline();
+        let wh = pl.ewise(&x, &y).scaled(2.0, -1.0).into(&mut w);
+        pl.axpy(&mut z, 0.5, &x);
+        let _ = wh;
+        assert_eq!(pl.plan(), vec![PlannedStage::FusedLoop(2)]);
+        pl.finish().unwrap();
+        assert_eq!(w.as_slice(), &[-8.0, -16.0, -24.0]);
+        assert_eq!(z.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn chain_reading_prior_output_splits_the_loop() {
+        // The second stage reads the first stage's output, so they may not
+        // share one loop (the read must see the fully written vector only
+        // in the same-index sense — legality keeps them separate).
+        let x = Vector::from_dense(vec![1.0, 2.0]);
+        let y = Vector::from_dense(vec![3.0, 4.0]);
+        let mut w = Vector::zeros(2);
+        let mut v = Vector::zeros(2);
+        let mut pl = ctx::<Sequential>().pipeline();
+        let wh = pl.ewise(&x, &y).into(&mut w);
+        let _ = pl.ewise(wh, &x).op(Times).into(&mut v);
+        assert_eq!(
+            pl.plan(),
+            vec![PlannedStage::Single("ewise"), PlannedStage::Single("ewise")]
+        );
+        pl.finish().unwrap();
+        assert_eq!(w.as_slice(), &[4.0, 6.0]);
+        assert_eq!(v.as_slice(), &[4.0, 12.0]);
+    }
+
+    #[test]
+    fn masked_stages_stay_unfused_but_execute() {
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let y = Vector::from_dense(vec![1.0, 1.0, 1.0]);
+        let mask = Vector::<bool>::sparse_filled(3, vec![1], true).unwrap();
+        let mut w = Vector::from_dense(vec![9.0, 9.0, 9.0]);
+        let mut v = Vector::zeros(3);
+        let mut pl = ctx::<Sequential>().pipeline();
+        pl.ewise(&x, &y).mask(&mask).structural().into(&mut w);
+        pl.apply(&x).op(AdditiveInverse).into(&mut v);
+        assert_eq!(
+            pl.plan(),
+            vec![PlannedStage::Single("ewise"), PlannedStage::Single("apply")]
+        );
+        pl.finish().unwrap();
+        assert_eq!(w.as_slice(), &[9.0, 3.0, 9.0]);
+        assert_eq!(v.as_slice(), &[-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn bind_and_transform_zip_express_rbgs_shape() {
+        // One masked color step: tmp⟨m⟩ = A·x, then x⟨m⟩ updated reading tmp.
+        let a = a3();
+        let r = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let diag = Vector::from_dense(vec![2.0, 3.0, 5.0]);
+        let mask = Vector::<bool>::sparse_filled(3, vec![0, 2], true).unwrap();
+        let mut x_pipe = Vector::from_dense(vec![0.5, 0.5, 0.5]);
+        let mut tmp_pipe = Vector::zeros(3);
+
+        let (rs, ds) = (r.as_slice(), diag.as_slice());
+        let mut pl = ctx::<Sequential>().pipeline();
+        let xh = pl.bind(&mut x_pipe);
+        let th = pl.mxv(&a, xh).mask(&mask).structural().into(&mut tmp_pipe);
+        pl.transform_at(xh)
+            .mask(&mask)
+            .structural()
+            .zip(th)
+            .apply(move |i, xi, ti| {
+                let d = ds[i];
+                *xi = (rs[i] - ti + *xi * d) / d;
+            });
+        pl.finish().unwrap();
+
+        // Eager reference.
+        let exec = ctx::<Sequential>();
+        let mut x = Vector::from_dense(vec![0.5, 0.5, 0.5]);
+        let mut tmp = Vector::zeros(3);
+        exec.mxv(&a, &x)
+            .mask(&mask)
+            .structural()
+            .into(&mut tmp)
+            .unwrap();
+        let ts = tmp.as_slice();
+        exec.transform(&mut x)
+            .mask(&mask)
+            .structural()
+            .apply(|i, xi| {
+                let d = ds[i];
+                *xi = (rs[i] - ts[i] + *xi * d) / d;
+            })
+            .unwrap();
+        assert_eq!(x.as_slice(), x_pipe.as_slice());
+        assert_eq!(tmp.as_slice(), tmp_pipe.as_slice());
+    }
+
+    #[test]
+    fn dyn_ctx_pipeline_matches_static() {
+        let a = a3();
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        for kind in [BackendKind::Sequential, BackendKind::Parallel] {
+            let mut y = Vector::zeros(3);
+            let mut pl = DynCtx::runtime(kind).pipeline();
+            let yh = pl.mxv(&a, &x).into(&mut y);
+            let d = pl.dot(&x, yh).result();
+            let out = pl.finish().unwrap();
+            let mut y_ref = Vector::zeros(3);
+            ctx::<Sequential>().mxv(&a, &x).into(&mut y_ref).unwrap();
+            let d_ref = ctx::<Sequential>().dot(&x, &y_ref).compute().unwrap();
+            assert_eq!(y.as_slice(), y_ref.as_slice(), "backend {kind}");
+            assert_eq!(out[d], d_ref, "backend {kind}");
+        }
+    }
+
+    #[test]
+    fn transposed_and_accumulated_mxv_records_faithfully() {
+        let a = a3();
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let mut y_pipe = Vector::from_dense(vec![1.0, 1.0, 1.0]);
+        let mut pl = ctx::<Sequential>().pipeline();
+        pl.mxv(&a, &x).transpose().accum(Plus).into(&mut y_pipe);
+        pl.finish().unwrap();
+
+        let mut y = Vector::from_dense(vec![1.0, 1.0, 1.0]);
+        ctx::<Sequential>()
+            .mxv(&a, &x)
+            .transpose()
+            .accum(Plus)
+            .into(&mut y)
+            .unwrap();
+        assert_eq!(y.as_slice(), y_pipe.as_slice());
+    }
+
+    #[test]
+    fn reduce_and_ring_dot_through_pipeline() {
+        use crate::ops::semiring::MinPlus;
+        let x = Vector::from_dense(vec![3.0, 1.0, 9.0]);
+        let y = Vector::from_dense(vec![2.0, 5.0, 1.0]);
+        let mut pl = ctx::<Sequential>().pipeline();
+        let s = pl.reduce(&x).monoid(Max).result();
+        let d = pl.dot(&x, &y).ring(MinPlus).result();
+        let out = pl.finish().unwrap();
+        assert_eq!(out.get(s), 9.0);
+        assert_eq!(out[d], 5.0);
+    }
+
+    #[test]
+    fn dimension_error_propagates_from_finish() {
+        let a = a3();
+        let x_bad = Vector::from_dense(vec![1.0, 2.0]);
+        let mut y = Vector::zeros(3);
+        let mut pl = ctx::<Sequential>().pipeline();
+        pl.mxv(&a, &x_bad).into(&mut y);
+        assert!(pl.finish().is_err());
+    }
+
+    #[test]
+    fn fused_loop_dimension_error_propagates() {
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let y_bad = Vector::from_dense(vec![1.0]);
+        let mut w = Vector::zeros(3);
+        let mut z = Vector::zeros(3);
+        let mut pl = ctx::<Sequential>().pipeline();
+        pl.ewise(&x, &y_bad).into(&mut w);
+        pl.axpy(&mut z, 1.0, &x);
+        assert!(pl.finish().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong to this pipeline")]
+    fn foreign_handle_is_rejected() {
+        let x = Vector::from_dense(vec![1.0]);
+        let mut y = Vector::<f64>::zeros(1);
+        let mut w = Vector::zeros(1);
+        let mut other = ctx::<Sequential>().pipeline::<f64>();
+        let h = other.apply(&x).into(&mut w);
+        drop(other);
+        let mut pl = ctx::<Sequential>().pipeline::<f64>();
+        pl.apply(h).into(&mut y);
+    }
+}

@@ -3,26 +3,56 @@
 //! The related-work section singles out kernel fusion as the key
 //! hand-optimization HPCG vendors apply ("[29] stresses the importance of
 //! kernels fusion to improve access locality and save on bandwidth"), and
-//! cites the ALP nonblocking extension [32] as the GraphBLAS answer. This
-//! module implements the two fusions CG admits without changing numerics
-//! *semantics* (the fused dot reduces in a slightly different association
-//! order, like any parallel reduction):
+//! cites the ALP nonblocking extension [32] as the GraphBLAS answer. Since
+//! the context layer grew its deferred-execution pipeline, fusion is a
+//! property of the execution layer: [`spmv_dot_fused`] and
+//! [`axpy_norm_fused`] are now **thin wrappers** that record the unfused
+//! op pair into a [`Pipeline`](graphblas::Pipeline) on the caller's
+//! context and let the generic fusion pass merge it — the one
+//! implementation the solver kernels and the ablation bench share.
 //!
-//! * [`spmv_dot_fused`] — `y = A·x` and `⟨x, y⟩` in one pass: CG needs
-//!   `p·Ap` right after `Ap`, so fusing saves re-streaming `y` and `x`;
-//! * [`axpy_norm_fused`] — `r ← r − α·q` and `‖r‖²` in one pass: CG needs
-//!   the residual norm right after the update.
-//!
-//! The `fusion_ablation` bench measures the bandwidth saving; the tests
-//! here pin down exact agreement with the unfused pair.
+//! The original hand-written single-pass loops survive as
+//! [`spmv_dot_hand`] / [`axpy_norm_hand`]: they are the oracles the tests
+//! pin the generic pass against (bit-identical on the sequential backend)
+//! and the "hand-fused" arm of the `fusion_ablation` benchmark's three-way
+//! comparison (hand-fused vs pipeline-fused vs unfused).
 
-use graphblas::{CsrMatrix, Vector};
+use graphblas::{CsrMatrix, Ctx, Exec, Vector};
 
-/// Computes `y = A·x` and returns `⟨x, y⟩`, reading `x` once.
-///
-/// Sequential kernel: the fusion story is about memory traffic, and the
-/// ablation bench compares like with like (both sides single-threaded).
-pub fn spmv_dot_fused(a: &CsrMatrix<f64>, x: &Vector<f64>, y: &mut Vector<f64>) -> f64 {
+/// Computes `y = A·x` and returns `⟨x, y⟩`, reading `x` once — the op pair
+/// recorded into a pipeline on `exec` and merged by the generic fusion
+/// pass. This is the single implementation `GrbHpcg::spmv_dot` and the
+/// ablation bench share.
+pub fn spmv_dot_fused<E: Exec>(
+    exec: Ctx<E>,
+    a: &CsrMatrix<f64>,
+    x: &Vector<f64>,
+    y: &mut Vector<f64>,
+) -> f64 {
+    let mut pl = exec.pipeline();
+    let yh = pl.mxv(a, x).into(y);
+    let d = pl.dot(x, yh).result();
+    pl.finish().expect("spmv_dot dimensions fixed by caller")[d]
+}
+
+/// Computes `r ← r − α·q` and returns `‖r‖²`, streaming `r` once — the op
+/// pair recorded into a pipeline on `exec` and merged by the generic
+/// fusion pass (shared by `GrbHpcg::axpy_norm2` and the ablation bench).
+pub fn axpy_norm_fused<E: Exec>(
+    exec: Ctx<E>,
+    r: &mut Vector<f64>,
+    alpha: f64,
+    q: &Vector<f64>,
+) -> f64 {
+    let mut pl = exec.pipeline();
+    let rh = pl.axpy(r, -alpha, q);
+    let n = pl.norm2_squared(rh);
+    pl.finish().expect("axpy_norm dimensions fixed by caller")[n]
+}
+
+/// The hand-written `y = A·x` + `⟨x, y⟩` single pass — the ablation's
+/// hand-fused oracle the generic pass must match bit for bit.
+pub fn spmv_dot_hand(a: &CsrMatrix<f64>, x: &Vector<f64>, y: &mut Vector<f64>) -> f64 {
     let xs = x.as_slice();
     let ys = y.as_mut_slice();
     let mut acc = 0.0;
@@ -38,8 +68,9 @@ pub fn spmv_dot_fused(a: &CsrMatrix<f64>, x: &Vector<f64>, y: &mut Vector<f64>) 
     acc
 }
 
-/// Computes `r ← r − α·q` and returns `‖r‖²`, streaming `r` once.
-pub fn axpy_norm_fused(r: &mut Vector<f64>, alpha: f64, q: &Vector<f64>) -> f64 {
+/// The hand-written `r ← r − α·q` + `‖r‖²` single pass — the ablation's
+/// hand-fused oracle the generic pass must match bit for bit.
+pub fn axpy_norm_hand(r: &mut Vector<f64>, alpha: f64, q: &Vector<f64>) -> f64 {
     let qs = q.as_slice();
     let rs = r.as_mut_slice();
     let mut acc = 0.0;
@@ -58,11 +89,33 @@ mod tests {
     use graphblas::{ctx, Sequential};
 
     #[test]
+    fn generic_fusion_matches_hand_oracle_bitwise() {
+        let a = build_stencil_matrix(Grid3::cube(6));
+        let x = Vector::from_dense((0..a.nrows()).map(|i| ((i % 7) as f64) - 3.0).collect());
+
+        let mut y_hand = Vector::zeros(a.nrows());
+        let d_hand = spmv_dot_hand(&a, &x, &mut y_hand);
+        let mut y_pipe = Vector::zeros(a.nrows());
+        let d_pipe = spmv_dot_fused(ctx::<Sequential>(), &a, &x, &mut y_pipe);
+        assert_eq!(y_hand.as_slice(), y_pipe.as_slice());
+        assert_eq!(d_hand.to_bits(), d_pipe.to_bits());
+
+        let q = Vector::from_dense((0..1000).map(|i| (i % 5) as f64 - 2.0).collect::<Vec<_>>());
+        let mut r_hand =
+            Vector::from_dense((0..1000).map(|i| (i % 13) as f64 - 6.0).collect::<Vec<_>>());
+        let mut r_pipe = r_hand.clone();
+        let n_hand = axpy_norm_hand(&mut r_hand, 0.37, &q);
+        let n_pipe = axpy_norm_fused(ctx::<Sequential>(), &mut r_pipe, 0.37, &q);
+        assert_eq!(r_hand.as_slice(), r_pipe.as_slice());
+        assert_eq!(n_hand.to_bits(), n_pipe.to_bits());
+    }
+
+    #[test]
     fn fused_spmv_dot_matches_unfused() {
         let a = build_stencil_matrix(Grid3::cube(6));
         let x = Vector::from_dense((0..a.nrows()).map(|i| ((i % 7) as f64) - 3.0).collect());
         let mut y_f = Vector::zeros(a.nrows());
-        let d_f = spmv_dot_fused(&a, &x, &mut y_f);
+        let d_f = spmv_dot_fused(ctx::<Sequential>(), &a, &x, &mut y_f);
 
         let exec = ctx::<Sequential>();
         let mut y_u = Vector::zeros(a.nrows());
@@ -70,7 +123,7 @@ mod tests {
         let d_u = exec.dot(&x, &y_u).compute().unwrap();
 
         assert_eq!(y_f.as_slice(), y_u.as_slice());
-        assert!((d_f - d_u).abs() <= 1e-12 * d_u.abs().max(1.0));
+        assert_eq!(d_f.to_bits(), d_u.to_bits(), "fused pass is bit-identical");
     }
 
     #[test]
@@ -81,14 +134,18 @@ mod tests {
         let q = Vector::from_dense((0..n).map(|i| (i % 5) as f64 - 2.0).collect());
         let alpha = 0.37;
 
-        let norm_f = axpy_norm_fused(&mut r1, alpha, &q);
+        let norm_f = axpy_norm_fused(ctx::<Sequential>(), &mut r1, alpha, &q);
 
         let exec = ctx::<Sequential>();
         exec.axpy(&mut r2, -alpha, &q).unwrap();
         let norm_u = exec.norm2_squared(&r2).unwrap();
 
         assert_eq!(r1.as_slice(), r2.as_slice());
-        assert!((norm_f - norm_u).abs() <= 1e-12 * norm_u.max(1.0));
+        assert_eq!(
+            norm_f.to_bits(),
+            norm_u.to_bits(),
+            "fused pass is bit-identical"
+        );
     }
 
     #[test]
@@ -98,6 +155,6 @@ mod tests {
         let a = build_stencil_matrix(Grid3::cube(4));
         let x = Vector::from_dense((0..a.nrows()).map(|i| (i as f64).sin()).collect());
         let mut y = Vector::zeros(a.nrows());
-        assert!(spmv_dot_fused(&a, &x, &mut y) > 0.0);
+        assert!(spmv_dot_fused(ctx::<Sequential>(), &a, &x, &mut y) > 0.0);
     }
 }

@@ -13,12 +13,22 @@
 //!
 //! The backend type parameter `B` selects sequential or shared-memory
 //! parallel execution, the analogue of ALP's compile-time backend choice.
+//!
+//! # Deferred (nonblocking) execution
+//!
+//! By default the hot loops run through [`Ctx::pipeline`] op graphs: the
+//! CG pairs `spmv`+`⟨p, Ap⟩` and residual-`axpy`+`‖r‖²` fuse into single
+//! passes, the MG residual/restrict chain and the RBGS sweep execute as
+//! recorded graphs. [`GrbHpcg::set_pipeline`] switches back to eager
+//! per-primitive execution (`hpcg_report --pipeline off`); both modes are
+//! bit-identical, which the workspace's property tests pin down.
 
 use crate::kernels::Kernels;
 use crate::problem::Problem;
 use crate::smoother::rbgs_grb;
 use crate::timers::{Kernel, KernelTimers};
 use graphblas::{ctx, Backend, Ctx, Exec, Plus, Vector};
+use std::time::Instant;
 
 /// The GraphBLAS-based HPCG implementation.
 ///
@@ -34,6 +44,8 @@ pub struct GrbHpcg<E: Exec> {
     timers: KernelTimers,
     /// The execution context every kernel lowers through (ALP's launcher).
     ctx: Ctx<E>,
+    /// Whether hot loops run through deferred (fused) pipelines.
+    pipeline: bool,
 }
 
 impl<B: Backend> GrbHpcg<B> {
@@ -58,7 +70,19 @@ impl<E: Exec> GrbHpcg<E> {
             tmp,
             timers,
             ctx,
+            pipeline: true,
         }
+    }
+
+    /// Enables or disables deferred (pipeline-fused) execution of the hot
+    /// loops. On by default; both modes produce bit-identical results.
+    pub fn set_pipeline(&mut self, enabled: bool) {
+        self.pipeline = enabled;
+    }
+
+    /// Whether hot loops run through deferred pipelines.
+    pub fn pipeline_enabled(&self) -> bool {
+        self.pipeline
     }
 
     /// The execution context kernels run on.
@@ -169,13 +193,121 @@ impl<E: Exec> Kernels for GrbHpcg<E> {
         });
     }
 
+    fn spmv_dot(&mut self, level: usize, y: &mut Vector<f64>, x: &Vector<f64>) -> f64 {
+        if !self.pipeline {
+            self.spmv(level, y, x);
+            return self.dot(level, x, y);
+        }
+        let a = &self.problem.levels[level].a;
+        let exec = self.ctx;
+        let t0 = Instant::now();
+        let d = crate::fused::spmv_dot_fused(exec, a, x, y);
+        // A fused pass cannot time its halves separately; attribute the
+        // wall-clock to the SpMV and Dot cells in proportion to their
+        // modeled flops (2·nnz vs 2·n, the constants reporting.rs uses) so
+        // the breakdown figures stay comparable with the eager path.
+        let elapsed = t0.elapsed().as_secs_f64();
+        let (spmv_w, dot_w) = (2.0 * a.nnz() as f64, 2.0 * x.len() as f64);
+        let spmv_frac = spmv_w / (spmv_w + dot_w);
+        self.timers
+            .add_secs(level, Kernel::SpMV, elapsed * spmv_frac);
+        self.timers
+            .add_secs(level, Kernel::Dot, elapsed * (1.0 - spmv_frac));
+        d
+    }
+
+    fn axpy_norm2(
+        &mut self,
+        level: usize,
+        x: &mut Vector<f64>,
+        alpha: f64,
+        y: &Vector<f64>,
+    ) -> f64 {
+        if !self.pipeline {
+            self.axpy(level, x, alpha, y);
+            let xs = &*x;
+            return self.dot(level, xs, xs);
+        }
+        let exec = self.ctx;
+        let t0 = Instant::now();
+        // The shared wrapper computes `x ← x − α·y`; negate to keep this
+        // method's `x ← x + α·y` contract.
+        let n = crate::fused::axpy_norm_fused(exec, x, -alpha, y);
+        // Update and norm model 2·n flops each: split the fused time
+        // evenly between the Waxpby and Dot cells (see spmv_dot).
+        let half = t0.elapsed().as_secs_f64() * 0.5;
+        self.timers.add_secs(level, Kernel::Waxpby, half);
+        self.timers.add_secs(level, Kernel::Dot, half);
+        n
+    }
+
+    fn residual_restrict(
+        &mut self,
+        level: usize,
+        f: &mut Vector<f64>,
+        z: &Vector<f64>,
+        r: &Vector<f64>,
+        rc: &mut Vector<f64>,
+    ) {
+        if !self.pipeline {
+            self.spmv(level, f, z);
+            self.sub_reverse(level, f, r);
+            self.restrict_to(level, rc, f);
+            return;
+        }
+        let l = &self.problem.levels[level];
+        let rmat = l
+            .restriction
+            .as_ref()
+            .expect("residual_restrict called on a level with a coarser system");
+        let a = &l.a;
+        let rs = r.as_slice();
+        let exec = self.ctx;
+        let t0 = Instant::now();
+        let mut pl = exec.pipeline();
+        let fh = pl.mxv(a, z).into(f);
+        pl.transform_at(fh).apply(move |i, fi| *fi = rs[i] - *fi);
+        let _ = pl.mxv(rmat, fh).into(rc);
+        pl.finish()
+            .expect("residual_restrict dimensions fixed at setup");
+        // Flop-proportional attribution across the three cells the eager
+        // path charges (see spmv_dot): spmv / subtract / restriction.
+        let elapsed = t0.elapsed().as_secs_f64();
+        let (w_spmv, w_sub, w_restrict) = (
+            2.0 * a.nnz() as f64,
+            f.len() as f64,
+            2.0 * rmat.nnz() as f64,
+        );
+        let total = w_spmv + w_sub + w_restrict;
+        self.timers
+            .add_secs(level, Kernel::SpMV, elapsed * w_spmv / total);
+        self.timers
+            .add_secs(level, Kernel::Waxpby, elapsed * w_sub / total);
+        self.timers
+            .add_secs(level, Kernel::RestrictRefine, elapsed * w_restrict / total);
+    }
+
     fn smooth(&mut self, level: usize, x: &mut Vector<f64>, r: &Vector<f64>) {
         let l = &self.problem.levels[level];
         let tmp = &mut self.tmp[level];
         let exec = self.ctx;
+        let pipelined = self.pipeline;
         self.timers.time(level, Kernel::Smoother, || {
-            rbgs_grb::rbgs_symmetric(exec, &l.a, &l.a_diag, &l.color_masks, r, x, tmp)
+            if pipelined {
+                rbgs_grb::rbgs_symmetric_pipelined(
+                    exec,
+                    &l.a,
+                    &l.a_diag,
+                    &l.color_masks,
+                    r,
+                    x,
+                    tmp,
+                )
                 .expect("smoother dimensions fixed at setup");
+            } else {
+                rbgs_grb::rbgs_symmetric(exec, &l.a, &l.a_diag, &l.color_masks, r, x, tmp)
+                    .expect("smoother dimensions fixed at setup");
+            }
         });
     }
 
@@ -287,6 +419,47 @@ mod tests {
         assert!(k.timers().secs(1, Kernel::Smoother) > 0.0);
         assert_eq!(k.timers().secs(0, Kernel::Smoother), 0.0);
         assert_eq!(k.timers().secs(1, Kernel::SpMV), 0.0);
+    }
+
+    #[test]
+    fn fused_kernel_overrides_match_eager_mode() {
+        let p = Problem::build_with(Grid3::cube(8), 2, RhsVariant::Reference).unwrap();
+        let mut fused = GrbHpcg::<Sequential>::new(p.clone());
+        let mut eager = GrbHpcg::<Sequential>::new(p);
+        eager.set_pipeline(false);
+        assert!(fused.pipeline_enabled());
+        assert!(!eager.pipeline_enabled());
+
+        let x = Vector::from_dense((0..512).map(|i| (i % 7) as f64 - 3.0).collect::<Vec<_>>());
+        let mut y_f = fused.alloc(0);
+        let mut y_e = eager.alloc(0);
+        let d_f = fused.spmv_dot(0, &mut y_f, &x);
+        let d_e = eager.spmv_dot(0, &mut y_e, &x);
+        assert_eq!(y_f.as_slice(), y_e.as_slice());
+        assert_eq!(d_f.to_bits(), d_e.to_bits());
+
+        let q = Vector::from_dense((0..512).map(|i| (i % 5) as f64).collect::<Vec<_>>());
+        let n_f = fused.axpy_norm2(0, &mut y_f, -0.25, &q);
+        let n_e = eager.axpy_norm2(0, &mut y_e, -0.25, &q);
+        assert_eq!(y_f.as_slice(), y_e.as_slice());
+        assert_eq!(n_f.to_bits(), n_e.to_bits());
+
+        let z = Vector::from_dense((0..512).map(|i| (i % 3) as f64).collect::<Vec<_>>());
+        let r = Vector::from_dense((0..512).map(|i| (i % 11) as f64 - 5.0).collect::<Vec<_>>());
+        let mut f_f = fused.alloc(0);
+        let mut f_e = eager.alloc(0);
+        let mut rc_f = fused.alloc(1);
+        let mut rc_e = eager.alloc(1);
+        fused.residual_restrict(0, &mut f_f, &z, &r, &mut rc_f);
+        eager.residual_restrict(0, &mut f_e, &z, &r, &mut rc_e);
+        assert_eq!(f_f.as_slice(), f_e.as_slice());
+        assert_eq!(rc_f.as_slice(), rc_e.as_slice());
+
+        let mut x_f = fused.alloc(0);
+        let mut x_e = eager.alloc(0);
+        fused.smooth(0, &mut x_f, &r);
+        eager.smooth(0, &mut x_e, &r);
+        assert_eq!(x_f.as_slice(), x_e.as_slice());
     }
 
     #[test]

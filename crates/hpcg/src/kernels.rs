@@ -53,6 +53,42 @@ pub trait Kernels {
     /// `x ← x + α·y`.
     fn axpy(&mut self, level: usize, x: &mut Self::V, alpha: f64, y: &Self::V);
 
+    /// `y ← A_level · x` and `⟨x, y⟩` as one logical step — CG needs
+    /// `⟨p, Ap⟩` immediately after `Ap`, so implementations may fuse the
+    /// pair into a single pass (the nonblocking-execution optimization,
+    /// paper §VI). The default runs the unfused pair; fused
+    /// implementations must stay bit-identical to it.
+    fn spmv_dot(&mut self, level: usize, y: &mut Self::V, x: &Self::V) -> f64 {
+        self.spmv(level, y, x);
+        self.dot(level, x, y)
+    }
+
+    /// `x ← x + α·y` and `‖x‖²` of the update as one logical step — CG
+    /// needs the residual norm immediately after the residual update. Same
+    /// fusion contract as [`spmv_dot`](Kernels::spmv_dot).
+    fn axpy_norm2(&mut self, level: usize, x: &mut Self::V, alpha: f64, y: &Self::V) -> f64 {
+        self.axpy(level, x, alpha, y);
+        let xs = &*x;
+        self.dot(level, xs, xs)
+    }
+
+    /// The MG residual-and-restrict step: `f ← A_level · z`, `f ← r − f`,
+    /// `rc ← R_level · f` (`rc` sized for `level + 1`). Implementations may
+    /// run the three ops through one deferred pipeline; the default runs
+    /// them eagerly.
+    fn residual_restrict(
+        &mut self,
+        level: usize,
+        f: &mut Self::V,
+        z: &Self::V,
+        r: &Self::V,
+        rc: &mut Self::V,
+    ) {
+        self.spmv(level, f, z);
+        self.sub_reverse(level, f, r);
+        self.restrict_to(level, rc, f);
+    }
+
     /// `p ← z + β·p` (CG's search-direction update, in place).
     fn xpay(&mut self, level: usize, p: &mut Self::V, beta: f64, z: &Self::V);
 

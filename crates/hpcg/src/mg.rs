@@ -69,20 +69,17 @@ pub fn vcycle<K: Kernels>(k: &mut K, ws: &mut MgWorkspace<K::V>, level: usize) {
     if level + 1 >= k.levels() {
         return;
     }
-    // Line 5: f ← A·z, then f ← r − f.
+    // Lines 5-6: f ← A·z, f ← r − f, rc ← restrict(f) — one combined
+    // kernel entry point so implementations can pipeline the three ops.
     {
-        let (f, z) = (&mut ws.f[level], &ws.z[level]);
-        k.spmv(level, f, z);
-    }
-    {
-        let (f, r) = (&mut ws.f[level], &ws.r[level]);
-        k.sub_reverse(level, f, r);
-    }
-    // Line 6: rc ← restrict(r − f).
-    {
-        let (head, tail) = ws.r.split_at_mut(level + 1);
-        let _ = head;
-        k.restrict_to(level, &mut tail[0], &ws.f[level]);
+        let (r_head, r_tail) = ws.r.split_at_mut(level + 1);
+        k.residual_restrict(
+            level,
+            &mut ws.f[level],
+            &ws.z[level],
+            &r_head[level],
+            &mut r_tail[0],
+        );
     }
     // Lines 7-8: zc ← 0, recurse.
     k.set_zero(level + 1, &mut ws.z[level + 1]);

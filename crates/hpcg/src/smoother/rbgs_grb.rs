@@ -68,6 +68,48 @@ pub fn rbgs_symmetric<E: Exec>(
     rbgs_backward(exec, a, a_diag, colors, r, x, tmp)
 }
 
+/// One symmetric sweep recorded as a single deferred op graph: all
+/// `2 × colors` masked `mxv` + masked update pairs go into one
+/// [`Pipeline`](graphblas::Pipeline) and execute on `finish`.
+///
+/// The iterate and the scratch buffer are *bound* (in-out) vectors; each
+/// color's update reads the scratch through a [`zip`] stage, the deferred
+/// rendering of Listing 3's capture-by-reference lambda. Color steps are
+/// not fusable with each other (the masked `mxv` is not element-wise), so
+/// the graph executes the exact eager kernels in the exact eager order —
+/// bit-identical to [`rbgs_symmetric`] by construction, which the tests
+/// below assert.
+///
+/// [`zip`]: graphblas::pipeline::PipeTransform::zip
+pub fn rbgs_symmetric_pipelined<E: Exec>(
+    exec: Ctx<E>,
+    a: &CsrMatrix<f64>,
+    a_diag: &Vector<f64>,
+    colors: &[Vector<bool>],
+    r: &Vector<f64>,
+    x: &mut Vector<f64>,
+    tmp: &mut Vector<f64>,
+) -> Result<()> {
+    let mut pl = exec.pipeline::<f64>();
+    let xh = pl.bind(x);
+    let th = pl.bind(tmp);
+    let rs = r.as_slice();
+    let ds = a_diag.as_slice();
+    for mask in colors.iter().chain(colors.iter().rev()) {
+        pl.mxv(a, xh).mask(mask).structural().into_handle(th);
+        pl.transform_at(xh)
+            .mask(mask)
+            .structural()
+            .zip(th)
+            .apply(move |i, xi, ti| {
+                let d = ds[i];
+                *xi = (rs[i] - ti + *xi * d) / d;
+            });
+    }
+    pl.finish()?;
+    Ok(())
+}
+
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn color_step<E: Exec>(
@@ -169,6 +211,25 @@ mod tests {
         let dyn_ctx = DynCtx::runtime(BackendKind::Sequential);
         rbgs_symmetric(dyn_ctx, &a, &diag, &masks, &b, &mut x_dyn, &mut tmp).unwrap();
         assert_eq!(x_static.as_slice(), x_dyn.as_slice());
+    }
+
+    #[test]
+    fn pipelined_sweep_is_bit_identical_to_eager() {
+        let (a, diag, masks, b) = setup(6);
+        for kind in [BackendKind::Sequential, BackendKind::Parallel] {
+            let exec = DynCtx::runtime(kind);
+            let mut x_eager = Vector::from_dense((0..a.nrows()).map(|i| (i % 3) as f64).collect());
+            let mut x_pipe = x_eager.clone();
+            let mut tmp_eager = Vector::zeros(a.nrows());
+            let mut tmp_pipe = Vector::zeros(a.nrows());
+            for _ in 0..3 {
+                rbgs_symmetric(exec, &a, &diag, &masks, &b, &mut x_eager, &mut tmp_eager).unwrap();
+                rbgs_symmetric_pipelined(exec, &a, &diag, &masks, &b, &mut x_pipe, &mut tmp_pipe)
+                    .unwrap();
+            }
+            assert_eq!(x_eager.as_slice(), x_pipe.as_slice(), "backend {kind}");
+            assert_eq!(tmp_eager.as_slice(), tmp_pipe.as_slice(), "backend {kind}");
+        }
     }
 
     #[test]

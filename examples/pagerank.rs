@@ -15,7 +15,7 @@ use graphblas::{BackendKind, CsrMatrix, DynCtx, Max, Vector};
 fn main() {
     // Runtime backend selection: `GRB_BACKEND=seq cargo run --example
     // pagerank` flips the whole power iteration to the sequential backend.
-    let exec = DynCtx::from_env_or(BackendKind::Parallel);
+    let exec = DynCtx::from_env_or(BackendKind::Parallel).expect("invalid GRB_BACKEND");
     println!(
         "backend: {}, {} thread(s)",
         exec.backend_name(),

@@ -89,7 +89,7 @@ fn main() {
     //    exact solution is the ones vector, so A·1 must reproduce b.
     //    Verify it with fluent builders on a runtime-selected backend
     //    (set GRB_BACKEND=seq to flip it).
-    let exec = DynCtx::from_env_or(BackendKind::Parallel);
+    let exec = DynCtx::from_env_or(BackendKind::Parallel).expect("invalid GRB_BACKEND");
     let a0 = &problem.levels[0].a;
     let ones = Vector::filled(problem.n(), 1.0);
     let mut a_ones = Vector::zeros(problem.n());

@@ -1,0 +1,222 @@
+//! Property tests of the deferred-execution contract on the **full CG op
+//! sequence**: every vector and scalar a pipelined CG iteration produces —
+//! the fused `spmv`+`⟨p, Ap⟩`, the update loop, the fused residual
+//! `axpy`+`‖r‖²`, the masked smoother step (structural / inverted masks),
+//! and the transposed accumulating refinement — must be **bit-identical**
+//! to the eager builder path, on both backends.
+//!
+//! Entries are small integers in `f64`, so any divergence is a real
+//! scheduling/fusion bug, never floating-point noise; on top of that the
+//! fused reductions are required to match the eager fold bit for bit even
+//! for non-associative data, which the end-to-end solver test below checks
+//! with genuinely irrational values.
+
+use graphblas::{ctx, Backend, CsrMatrix, Parallel, Plus, Sequential, Vector};
+use hpcg::cg::{cg_solve, CgWorkspace};
+use hpcg::mg::MgWorkspace;
+use hpcg::{GrbHpcg, Grid3, Kernels, Problem, RhsVariant};
+use proptest::prelude::*;
+
+/// A random square sparse matrix with integer-valued entries.
+fn arb_square(max_dim: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
+    (2..max_dim).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, -4i64..=4), 0..(n * n).min(64)).prop_map(
+            move |trips| {
+                let t: Vec<(usize, usize, f64)> = trips
+                    .into_iter()
+                    .map(|(r, c, v)| (r, c, v as f64))
+                    .collect();
+                CsrMatrix::from_triplets(n, n, &t).unwrap()
+            },
+        )
+    })
+}
+
+fn mask_for(len: usize, bits: &[bool]) -> Option<Vector<bool>> {
+    let idx: Vec<u32> = (0..len)
+        .filter(|&i| bits.get(i).copied().unwrap_or(false))
+        .map(|i| i as u32)
+        .collect();
+    if idx.is_empty() {
+        None
+    } else {
+        Some(Vector::<bool>::sparse_filled(len, idx, true).unwrap())
+    }
+}
+
+fn vec_mod(n: usize, m: usize, off: i64) -> Vector<f64> {
+    Vector::from_dense((0..n).map(|i| (i as i64 % m as i64 + off) as f64).collect())
+}
+
+/// One CG-iteration-shaped op sequence with decorated smoother/refinement
+/// steps, executed eagerly and through pipelines, compared bitwise.
+#[allow(clippy::too_many_arguments)]
+fn check_cg_sequence<B: Backend>(
+    a: &CsrMatrix<f64>,
+    mask_bits: &[bool],
+    structural: bool,
+    inverted: bool,
+) -> Result<(), TestCaseError> {
+    let n = a.nrows();
+    let p = vec_mod(n, 7, -3);
+    let diag = Vector::from_dense((0..n).map(|i| (i % 4 + 1) as f64).collect::<Vec<_>>());
+    let r0 = vec_mod(n, 5, -2);
+    let mask = mask_for(n, mask_bits);
+    let exec = ctx::<B>();
+
+    // --- eager reference ---------------------------------------------------
+    let mut ap_e = Vector::zeros(n);
+    exec.mxv(a, &p).into(&mut ap_e).unwrap();
+    let pap_e = exec.dot(&p, &ap_e).compute().unwrap();
+    let alpha = if pap_e != 0.0 { 1.0 / pap_e } else { 0.5 };
+    let mut x_e = Vector::zeros(n);
+    exec.axpy(&mut x_e, alpha, &p).unwrap();
+    let mut r_e = r0.clone();
+    exec.axpy(&mut r_e, -alpha, &ap_e).unwrap();
+    let norm_e = exec.norm2_squared(&r_e).unwrap();
+    // Smoother-shaped masked step on x.
+    let mut tmp_e = Vector::zeros(n);
+    {
+        let mut b = exec.mxv(a, &x_e);
+        if let Some(m) = mask.as_ref() {
+            b = b.mask(m);
+        }
+        if structural {
+            b = b.structural();
+        }
+        if inverted {
+            b = b.invert_mask();
+        }
+        b.into(&mut tmp_e).unwrap();
+    }
+    {
+        let (rs, ts, ds) = (r_e.as_slice(), tmp_e.as_slice(), diag.as_slice());
+        let mut b = exec.transform(&mut x_e);
+        if let Some(m) = mask.as_ref() {
+            b = b.mask(m);
+        }
+        if structural {
+            b = b.structural();
+        }
+        if inverted {
+            b = b.invert_mask();
+        }
+        b.apply(|i, xi| {
+            let d = ds[i];
+            *xi = (rs[i] - ts[i] + *xi * d) / d;
+        })
+        .unwrap();
+    }
+    // Refinement-shaped transposed accumulating mxv.
+    let mut z_e = vec_mod(n, 3, 0);
+    exec.mxv(a, &x_e)
+        .transpose()
+        .accum(Plus)
+        .into(&mut z_e)
+        .unwrap();
+
+    // --- pipelined ---------------------------------------------------------
+    // Pipeline 1: fused spmv + dot.
+    let mut ap_p = Vector::zeros(n);
+    let mut pl = exec.pipeline();
+    let ap_h = pl.mxv(a, &p).into(&mut ap_p);
+    let pap_h = pl.dot(&p, ap_h).result();
+    let out = pl.finish().unwrap();
+    let pap_p = out[pap_h];
+    prop_assert_eq!(pap_e.to_bits(), pap_p.to_bits());
+    let alpha_p = if pap_p != 0.0 { 1.0 / pap_p } else { 0.5 };
+
+    // Pipeline 2: the update loop + fused axpy/norm.
+    let mut x_p = Vector::zeros(n);
+    let mut r_p = r0.clone();
+    let mut pl = exec.pipeline();
+    pl.axpy(&mut x_p, alpha_p, &p);
+    let rh = pl.axpy(&mut r_p, -alpha_p, &ap_p);
+    let norm_h = pl.norm2_squared(rh);
+    let out = pl.finish().unwrap();
+    prop_assert_eq!(norm_e.to_bits(), out[norm_h].to_bits());
+
+    // Pipeline 3: the masked smoother step + transposed accum refinement.
+    let mut tmp_p = Vector::zeros(n);
+    let mut z_p = vec_mod(n, 3, 0);
+    let mut pl = exec.pipeline();
+    let xh = pl.bind(&mut x_p);
+    let th = {
+        let mut b = pl.mxv(a, xh);
+        if let Some(m) = mask.as_ref() {
+            b = b.mask(m);
+        }
+        if structural {
+            b = b.structural();
+        }
+        if inverted {
+            b = b.invert_mask();
+        }
+        b.into(&mut tmp_p)
+    };
+    {
+        let (rs, ds) = (r_p.as_slice(), diag.as_slice());
+        let mut b = pl.transform_at(xh);
+        if let Some(m) = mask.as_ref() {
+            b = b.mask(m);
+        }
+        if structural {
+            b = b.structural();
+        }
+        if inverted {
+            b = b.invert_mask();
+        }
+        b.zip(th).apply(move |i, xi, ti| {
+            let d = ds[i];
+            *xi = (rs[i] - ti + *xi * d) / d;
+        });
+    }
+    let _ = pl.mxv(a, xh).transpose().accum(Plus).into(&mut z_p);
+    pl.finish().unwrap();
+
+    prop_assert_eq!(ap_e.as_slice(), ap_p.as_slice());
+    prop_assert_eq!(x_e.as_slice(), x_p.as_slice());
+    prop_assert_eq!(r_e.as_slice(), r_p.as_slice());
+    prop_assert_eq!(tmp_e.as_slice(), tmp_p.as_slice());
+    prop_assert_eq!(z_e.as_slice(), z_p.as_slice());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn cg_op_sequence_pipeline_bit_identical_on_both_backends(
+        a in arb_square(12),
+        mask_bits in proptest::collection::vec(proptest::bool::ANY, 0..12),
+        structural in proptest::bool::ANY,
+        inverted in proptest::bool::ANY,
+    ) {
+        check_cg_sequence::<Sequential>(&a, &mask_bits, structural, inverted)?;
+        check_cg_sequence::<Parallel>(&a, &mask_bits, structural, inverted)?;
+    }
+}
+
+/// End-to-end contract on genuinely non-associative data: a full
+/// preconditioned solve with pipelines on vs off is bit-identical, on both
+/// backends (the residual involves irrational intermediate values, so this
+/// would catch any fused reduction whose association order drifts).
+#[test]
+fn full_solver_pipeline_on_off_bit_identical_both_backends() {
+    fn run<B: Backend>(p: &Problem, pipelined: bool) -> (Vec<u64>, Vec<u64>) {
+        let b = p.b.clone();
+        let mut k = GrbHpcg::<B>::new(p.clone());
+        k.set_pipeline(pipelined);
+        let mut cg_ws = CgWorkspace::new(&k);
+        let mut mg_ws = MgWorkspace::new(&k);
+        let mut x = k.alloc(0);
+        let res = cg_solve(&mut k, &mut cg_ws, &mut mg_ws, &b, &mut x, 9, 0.0, true);
+        (
+            x.as_slice().iter().map(|v| v.to_bits()).collect(),
+            res.residual_history.iter().map(|v| v.to_bits()).collect(),
+        )
+    }
+    let p = Problem::build_with(Grid3::cube(8), 2, RhsVariant::Reference).unwrap();
+    assert_eq!(run::<Sequential>(&p, true), run::<Sequential>(&p, false));
+    assert_eq!(run::<Parallel>(&p, true), run::<Parallel>(&p, false));
+}

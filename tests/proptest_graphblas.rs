@@ -1,16 +1,17 @@
 //! Property-based tests of the GraphBLAS substrate's algebraic contracts
-//! and of the builder API's equivalence with the legacy free functions.
+//! and of the deferred (pipeline) path's equivalence with the eager
+//! builders.
 //!
 //! Values are drawn from small integer ranges mapped into `f64`, so every
 //! arithmetic identity holds *exactly* (no floating-point tolerance games):
 //! linearity of `mxv`, transpose involution, mask decomposition, semiring
-//! annihilation, monoid laws — and bit-identity of the `Ctx` builder path
-//! against the deprecated positional entry points across every
+//! annihilation, monoid laws — and bit-identity of the `ctx.pipeline()`
+//! recording path against the eager builders across every
 //! masked/structural/inverted/transposed/accumulated combination, on both
 //! backends.
 
 use graphblas::{
-    ctx, Backend, CsrMatrix, Descriptor, Max, Min, MinPlus, Parallel, Plus, Sequential, Vector,
+    ctx, Backend, CsrMatrix, Max, Min, MinPlus, Parallel, Plus, Sequential, Times, Vector,
 };
 use proptest::prelude::*;
 
@@ -212,29 +213,14 @@ proptest! {
     }
 }
 
-/// Bit-identity of the builder path against the legacy free functions, the
-/// acceptance contract for the API redesign: for every combination of
-/// mask presence × structural × inverted × transposed × accumulator, on
-/// both backends, `ctx.…` must produce exactly the bytes `mxv(...)` did.
-#[allow(deprecated)]
-mod builder_equals_legacy {
+/// Bit-identity of the deferred (pipeline) path against the eager builder
+/// path, the acceptance contract for the nonblocking-execution subsystem:
+/// for every combination of mask presence × structural × inverted ×
+/// transposed × accumulator, on both backends, recording the op into a
+/// `ctx.pipeline()` and finishing must produce exactly the bytes the eager
+/// builder did.
+mod pipeline_equals_eager {
     use super::*;
-    use graphblas::{dot, ewise, mxv, mxv_accum, reduce, waxpby, PlusTimes, Times};
-
-    /// Builds the descriptor the legacy calls expect from the flag triple.
-    fn legacy_desc(structural: bool, inverted: bool, transposed: bool) -> Descriptor {
-        let mut d = Descriptor::DEFAULT;
-        if structural {
-            d = d.with(Descriptor::STRUCTURAL);
-        }
-        if inverted {
-            d = d.with(Descriptor::INVERT_MASK);
-        }
-        if transposed {
-            d = d.with(Descriptor::TRANSPOSE);
-        }
-        d
-    }
 
     fn mask_for(len: usize, bits: &[bool]) -> Option<Vector<bool>> {
         let idx: Vec<u32> = (0..len)
@@ -265,18 +251,10 @@ mod builder_equals_legacy {
             (x_cols, a.nrows())
         };
         let mask = mask_for(out_len, mask_bits);
-        let desc = legacy_desc(structural, inverted, transposed);
         let y0: Vector<f64> =
             Vector::from_dense((0..out_len).map(|i| (i % 5) as f64 - 2.0).collect());
 
-        let mut y_legacy = y0.clone();
-        let legacy_result = if accumulate {
-            mxv_accum::<f64, PlusTimes, B>(&mut y_legacy, mask.as_ref(), desc, a, x, PlusTimes)
-        } else {
-            mxv::<f64, PlusTimes, B>(&mut y_legacy, mask.as_ref(), desc, a, x, PlusTimes)
-        };
-
-        let mut y_builder = y0.clone();
+        let mut y_eager = y0.clone();
         let mut b = ctx::<B>().mxv(a, x);
         if let Some(m) = mask.as_ref() {
             b = b.mask(m);
@@ -290,15 +268,38 @@ mod builder_equals_legacy {
         if transposed {
             b = b.transpose();
         }
-        let builder_result = if accumulate {
-            b.accum(Plus).into(&mut y_builder)
+        let eager_result = if accumulate {
+            b.accum(Plus).into(&mut y_eager)
         } else {
-            b.into(&mut y_builder)
+            b.into(&mut y_eager)
         };
 
-        prop_assert_eq!(legacy_result.is_ok(), builder_result.is_ok());
-        if legacy_result.is_ok() {
-            prop_assert_eq!(y_legacy.as_slice(), y_builder.as_slice());
+        let mut y_pipe = y0.clone();
+        let mut pl = ctx::<B>().pipeline();
+        {
+            let mut pb = pl.mxv(a, x);
+            if let Some(m) = mask.as_ref() {
+                pb = pb.mask(m);
+            }
+            if structural {
+                pb = pb.structural();
+            }
+            if inverted {
+                pb = pb.invert_mask();
+            }
+            if transposed {
+                pb = pb.transpose();
+            }
+            if accumulate {
+                pb = pb.accum(Plus);
+            }
+            pb.into(&mut y_pipe);
+        }
+        let pipe_result = pl.finish();
+
+        prop_assert_eq!(eager_result.is_ok(), pipe_result.is_ok());
+        if eager_result.is_ok() {
+            prop_assert_eq!(y_eager.as_slice(), y_pipe.as_slice());
         }
         Ok(())
     }
@@ -307,7 +308,7 @@ mod builder_equals_legacy {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
         #[test]
-        fn mxv_builder_bit_identical_to_legacy(
+        fn mxv_pipeline_bit_identical_to_eager(
             a in arb_matrix(10),
             mask_bits in proptest::collection::vec(proptest::bool::ANY, 0..10),
             flags in (proptest::bool::ANY, proptest::bool::ANY, proptest::bool::ANY, proptest::bool::ANY),
@@ -324,54 +325,54 @@ mod builder_equals_legacy {
         }
 
         #[test]
-        fn ewise_builder_bit_identical_to_legacy(
+        fn ewise_pipeline_bit_identical_to_eager(
             len in 1usize..24,
             mask_bits in proptest::collection::vec(proptest::bool::ANY, 0..24),
             structural in proptest::bool::ANY,
             inverted in proptest::bool::ANY,
+            accumulate in proptest::bool::ANY,
             scale in (-3i64..=3, -3i64..=3),
         ) {
             let x = Vector::from_dense((0..len).map(|i| (i % 7) as f64 - 3.0).collect());
             let y = Vector::from_dense((0..len).map(|i| (i % 5) as f64 - 2.0).collect());
             let mask = mask_for(len, &mask_bits);
-            let desc = legacy_desc(structural, inverted, false);
+            let (alpha, beta) = (scale.0 as f64, scale.1 as f64);
             let w0: Vector<f64> = Vector::from_dense(vec![9.0; len]);
 
-            // Plain ewise over Times, masked, both backends.
             for par in [false, true] {
-                let mut w_legacy = w0.clone();
-                let mut w_builder = w0.clone();
-                if par {
-                    ewise::<f64, Times, Parallel>(&mut w_legacy, mask.as_ref(), desc, &x, &y, Times)
-                        .unwrap();
-                    let mut b = ctx::<Parallel>().ewise(&x, &y).op(Times);
-                    if let Some(m) = mask.as_ref() { b = b.mask(m); }
-                    if structural { b = b.structural(); }
-                    if inverted { b = b.invert_mask(); }
-                    b.into(&mut w_builder).unwrap();
-                } else {
-                    ewise::<f64, Times, Sequential>(&mut w_legacy, mask.as_ref(), desc, &x, &y, Times)
-                        .unwrap();
-                    let mut b = ctx::<Sequential>().ewise(&x, &y).op(Times);
-                    if let Some(m) = mask.as_ref() { b = b.mask(m); }
-                    if structural { b = b.structural(); }
-                    if inverted { b = b.invert_mask(); }
-                    b.into(&mut w_builder).unwrap();
-                }
-                prop_assert_eq!(w_legacy.as_slice(), w_builder.as_slice());
-            }
+                macro_rules! run_both {
+                    ($B:ty) => {{
+                        let mut w_eager = w0.clone();
+                        let mut b = ctx::<$B>().ewise(&x, &y).op(Times).scaled(alpha, beta);
+                        if let Some(m) = mask.as_ref() { b = b.mask(m); }
+                        if structural { b = b.structural(); }
+                        if inverted { b = b.invert_mask(); }
+                        if accumulate {
+                            b.accum(Plus).into(&mut w_eager).unwrap();
+                        } else {
+                            b.into(&mut w_eager).unwrap();
+                        }
 
-            // waxpby against the scaled builder form.
-            let (alpha, beta) = (scale.0 as f64, scale.1 as f64);
-            let mut w_legacy = w0.clone();
-            waxpby::<f64, Sequential>(&mut w_legacy, alpha, &x, beta, &y).unwrap();
-            let mut w_builder = w0.clone();
-            ctx::<Sequential>().ewise(&x, &y).scaled(alpha, beta).into(&mut w_builder).unwrap();
-            prop_assert_eq!(w_legacy.as_slice(), w_builder.as_slice());
+                        let mut w_pipe = w0.clone();
+                        let mut pl = ctx::<$B>().pipeline();
+                        {
+                            let mut pb = pl.ewise(&x, &y).op(Times).scaled(alpha, beta);
+                            if let Some(m) = mask.as_ref() { pb = pb.mask(m); }
+                            if structural { pb = pb.structural(); }
+                            if inverted { pb = pb.invert_mask(); }
+                            if accumulate { pb = pb.accum(Plus); }
+                            pb.into(&mut w_pipe);
+                        }
+                        pl.finish().unwrap();
+                        prop_assert_eq!(w_eager.as_slice(), w_pipe.as_slice());
+                    }};
+                }
+                if par { run_both!(Parallel) } else { run_both!(Sequential) }
+            }
         }
 
         #[test]
-        fn reduce_and_dot_builders_bit_identical_to_legacy(
+        fn reduce_and_dot_pipeline_bit_identical_to_eager(
             v in proptest::collection::vec(-9i64..=9, 1..48),
             mask_bits in proptest::collection::vec(proptest::bool::ANY, 0..48),
             structural in proptest::bool::ANY,
@@ -380,29 +381,42 @@ mod builder_equals_legacy {
             let x = Vector::from_dense(v.iter().map(|&i| i as f64).collect::<Vec<_>>());
             let y = Vector::from_dense(v.iter().map(|&i| (i * 2 % 5) as f64).collect::<Vec<_>>());
             let mask = mask_for(x.len(), &mask_bits);
-            let desc = legacy_desc(structural, inverted, false);
 
-            let legacy_sum = reduce::<f64, Plus, Sequential>(&x, mask.as_ref(), desc).unwrap();
-            let mut b = ctx::<Sequential>().reduce(&x);
-            if let Some(m) = mask.as_ref() { b = b.mask(m); }
-            if structural { b = b.structural(); }
-            if inverted { b = b.invert_mask(); }
-            prop_assert_eq!(legacy_sum, b.compute().unwrap());
+            macro_rules! reduce_eager {
+                ($B:ty, $monoid:expr) => {{
+                    let mut b = ctx::<$B>().reduce(&x).monoid($monoid);
+                    if let Some(m) = mask.as_ref() { b = b.mask(m); }
+                    if structural { b = b.structural(); }
+                    if inverted { b = b.invert_mask(); }
+                    b.compute().unwrap()
+                }};
+            }
+            macro_rules! reduce_pipe {
+                ($B:ty, $monoid:expr) => {{
+                    let mut pl = ctx::<$B>().pipeline();
+                    let h = {
+                        let mut pb = pl.reduce(&x).monoid($monoid);
+                        if let Some(m) = mask.as_ref() { pb = pb.mask(m); }
+                        if structural { pb = pb.structural(); }
+                        if inverted { pb = pb.invert_mask(); }
+                        pb.result()
+                    };
+                    pl.finish().unwrap()[h]
+                }};
+            }
 
-            let legacy_par = reduce::<f64, Max, Parallel>(&x, mask.as_ref(), desc).unwrap();
-            let mut b = ctx::<Parallel>().reduce(&x).monoid(Max);
-            if let Some(m) = mask.as_ref() { b = b.mask(m); }
-            if structural { b = b.structural(); }
-            if inverted { b = b.invert_mask(); }
-            prop_assert_eq!(legacy_par, b.compute().unwrap());
+            prop_assert_eq!(reduce_eager!(Sequential, Plus), reduce_pipe!(Sequential, Plus));
+            prop_assert_eq!(reduce_eager!(Parallel, Max), reduce_pipe!(Parallel, Max));
 
-            let legacy_dot = dot::<f64, PlusTimes, Sequential>(&x, &y, PlusTimes).unwrap();
-            prop_assert_eq!(legacy_dot, ctx::<Sequential>().dot(&x, &y).compute().unwrap());
-            let legacy_dot_min = dot::<f64, MinPlus, Parallel>(&x, &y, MinPlus).unwrap();
-            prop_assert_eq!(
-                legacy_dot_min,
-                ctx::<Parallel>().dot(&x, &y).ring(MinPlus).compute().unwrap()
-            );
+            let dot_eager = ctx::<Parallel>().dot(&x, &y).compute().unwrap();
+            let mut pl = ctx::<Parallel>().pipeline();
+            let dh = pl.dot(&x, &y).result();
+            prop_assert_eq!(dot_eager, pl.finish().unwrap()[dh]);
+
+            let min_eager = ctx::<Sequential>().dot(&x, &y).ring(MinPlus).compute().unwrap();
+            let mut pl = ctx::<Sequential>().pipeline();
+            let mh = pl.dot(&x, &y).ring(MinPlus).result();
+            prop_assert_eq!(min_eager, pl.finish().unwrap()[mh]);
         }
     }
 }
