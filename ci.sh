@@ -16,6 +16,13 @@ echo "==> cargo bench --no-run"
 # Benches must at least compile so they cannot rot silently.
 cargo bench --no-run
 
+echo "==> scaling_report smoke sweep (BENCH_dist.json)"
+# A small distributed sweep so the modeled-perf trajectory stays
+# machine-readable; the bin cross-checks recorded allgather volumes
+# against the Table I closed form.
+cargo run --release -p hpcg-bench --bin scaling_report -- \
+    --size 8 --iters 2 --nodes 1,2,4 --out BENCH_dist.json
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -2,9 +2,12 @@
 //! run) and prints the official-style summary for both implementations.
 //!
 //! The GraphBLAS (ALP) implementation executes on the runtime-selected
-//! backend: `--backend seq|par` (or `GRB_BACKEND=seq|par`), dispatched
-//! through one [`graphblas::DynCtx`] — the same binary drives the paper's
-//! ALP-vs-Ref comparison on either backend.
+//! backend: `--backend seq|par|dist[:<nodes>]` (or `GRB_BACKEND=...`),
+//! dispatched through one [`graphblas::DynCtx`] — the same binary drives
+//! the paper's ALP-vs-Ref comparison on any backend. On the distributed
+//! backend `--nodes N` sizes the simulated cluster and the summary gains
+//! the modeled BSP wall-clock (the Fig 3 y-axis) next to the measured
+//! single-machine time.
 //!
 //! `--pipeline on|off` (default: on) toggles deferred (fused) execution of
 //! the ALP hot loops — the nonblocking-execution mode of paper §VI. Both
@@ -12,8 +15,8 @@
 //!
 //! ```text
 //! cargo run --release -p hpcg-bench --bin hpcg_report \
-//!     [--size 32] [--iters 50] [--threads N] [--backend seq|par] \
-//!     [--pipeline on|off]
+//!     [--size 32] [--iters 50] [--threads N] \
+//!     [--backend seq|par|dist[:<nodes>]] [--nodes N] [--pipeline on|off]
 //! ```
 
 use graphblas::{BackendKind, DynCtx};
@@ -63,8 +66,26 @@ fn main() {
     let mut alp = GrbHpcg::with_ctx(problem.clone(), exec);
     alp.set_pipeline(pipeline);
     let v = validate(&mut alp, &b, 500);
+    if let BackendKind::Dist(d) = exec.kind() {
+        // Validation already ran through the cluster; the modeled numbers
+        // below must cover exactly the timed run.
+        d.reset_costs();
+    }
     let (run, _) = run_with_rhs(&mut alp, &b, flops, config);
     println!("{}", render_report(&problem, &run, Some(&v)));
+    if let BackendKind::Dist(d) = exec.kind() {
+        println!(
+            "distributed model ({} nodes): modeled BSP wall-clock {:.3} s \
+             vs measured {:.3} s ({:.2} MB communicated, {} supersteps)\n",
+            d.nodes(),
+            d.total_modeled_secs(),
+            run.total_secs,
+            d.total_h_bytes() / 1e6,
+            d.supersteps(),
+        );
+        print!("{}", d.cost_summary());
+        println!();
+    }
 
     let b_vec = problem.b.as_slice().to_vec();
     let mut reference = RefHpcg::new(problem.clone());

@@ -78,18 +78,34 @@ impl Args {
         self.flags.get(key).map(String::as_str)
     }
 
-    /// The execution backend: `--backend seq|par`, falling back to the
-    /// `GRB_BACKEND` environment variable, then `default`. An unknown
-    /// `--backend` spelling warns and uses the default rather than
+    /// The execution backend: `--backend seq|par|dist[:<nodes>]`, falling
+    /// back to the `GRB_BACKEND` environment variable, then `default`. An
+    /// unknown `--backend` spelling warns and uses the default rather than
     /// aborting a long benchmark run; a set-but-invalid `GRB_BACKEND` is a
     /// hard error (the environment silently steering a run onto the wrong
     /// backend is worse than stopping).
+    ///
+    /// A bare `--backend dist` combines with a `--nodes N` flag into
+    /// `dist:N` (so `--backend dist --nodes 8` reads naturally next to
+    /// `--backend dist:8`); an explicit `dist:<count>` wins over `--nodes`.
     pub fn get_backend(&self, default: BackendKind) -> BackendKind {
         match self.get_str("backend") {
-            Some(s) => BackendKind::parse(s).unwrap_or_else(|| {
-                eprintln!("warning: unknown --backend {s:?} (expected seq|par), using {default}");
-                default
-            }),
+            Some(s) => {
+                // Fold a bare `dist --nodes N` into one `dist:N` spec up
+                // front: registering a cluster is a side effect of parsing
+                // a dist spelling, so parse the final shape exactly once.
+                let trimmed = s.trim().to_ascii_lowercase();
+                let spec = match self.get_str("nodes") {
+                    Some(n) if trimmed == "dist" || trimmed == "distributed" => {
+                        format!("{trimmed}:{}", n.trim())
+                    }
+                    _ => s.to_string(),
+                };
+                BackendKind::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("warning: {e}, using {default}");
+                    default
+                })
+            }
             None => match BackendKind::from_env() {
                 Ok(kind) => kind.unwrap_or(default),
                 Err(e) => {
@@ -147,6 +163,24 @@ mod tests {
                 BackendKind::Sequential
             );
         }
+    }
+
+    #[test]
+    fn dist_backend_flag_and_nodes() {
+        match parse("--backend dist:3").get_backend(BackendKind::Sequential) {
+            BackendKind::Dist(d) => assert_eq!(d.nodes(), 3),
+            other => panic!("expected dist, got {other}"),
+        }
+        // --nodes resizes the cluster of a dist backend...
+        match parse("--backend dist --nodes 8").get_backend(BackendKind::Sequential) {
+            BackendKind::Dist(d) => assert_eq!(d.nodes(), 8),
+            other => panic!("expected dist, got {other}"),
+        }
+        // ...and is ignored for shared-memory backends.
+        assert_eq!(
+            parse("--backend par --nodes 8").get_backend(BackendKind::Sequential),
+            BackendKind::Parallel
+        );
     }
 
     #[test]

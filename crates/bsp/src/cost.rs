@@ -210,6 +210,18 @@ impl CostTracker {
     pub fn reset(&mut self) {
         self.steps.clear();
     }
+
+    /// Drains and returns the closed steps, leaving the history empty —
+    /// how a harness moves recorded cost into its own attribution buckets.
+    pub fn take_steps(&mut self) -> Vec<StepCost> {
+        std::mem::take(&mut self.steps)
+    }
+
+    /// Appends an externally recorded closed step (e.g. one drained from a
+    /// shared tracker via [`take_steps`](CostTracker::take_steps)).
+    pub fn import_step(&mut self, step: StepCost) {
+        self.steps.push(step);
+    }
 }
 
 #[cfg(test)]

@@ -4,13 +4,16 @@
 //! primitives serves "multiple applications on sparse data". This module
 //! is the evidence within this crate: breadth-first search (boolean
 //! semiring), single-source shortest paths (tropical `MinPlus` semiring)
-//! and PageRank (`PlusTimes`), each a thin loop over [`mxv`]-family calls
-//! — no algorithm-specific sparse code.
+//! and PageRank (`PlusTimes`), each a thin loop over `mxv`-family calls
+//! off an execution context — no algorithm-specific sparse code, and no
+//! backend-specific code either: the same functions run sequential,
+//! shared-memory parallel, or distributed over the simulated BSP cluster
+//! (`Distributed::new(p).ctx()`), where every `mxv` records its allgather
+//! and every reduction its allreduce.
 
-use crate::backend::Backend;
 use crate::container::matrix::CsrMatrix;
 use crate::container::vector::Vector;
-use crate::context::ctx;
+use crate::context::{Ctx, Exec};
 use crate::error::{check_dims, GrbError, Result};
 use crate::ops::binary::{Lor, Max, Plus};
 use crate::ops::monoid::Monoid;
@@ -29,7 +32,7 @@ impl Semiring<f64> for LorLand {
 /// `i→j` is a stored entry at `A[j, i]`, the usual GraphBLAS "push"
 /// orientation). Returns per-vertex levels: `0` for the source, `k` for
 /// vertices first reached after `k` hops, `-1` for unreachable.
-pub fn bfs_levels<B: Backend>(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<i64>> {
+pub fn bfs_levels<E: Exec>(exec: Ctx<E>, a: &CsrMatrix<f64>, source: usize) -> Result<Vec<i64>> {
     check_dims("bfs", "adjacency must be square", a.nrows(), a.ncols())?;
     let n = a.nrows();
     if source >= n {
@@ -45,7 +48,7 @@ pub fn bfs_levels<B: Backend>(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<i
     frontier.as_mut_slice()[source] = 1.0;
     let mut next = Vector::<f64>::zeros(n);
     for depth in 1..=n as i64 {
-        ctx::<B>().mxv(a, &frontier).ring(LorLand).into(&mut next)?;
+        exec.mxv(a, &frontier).ring(LorLand).into(&mut next)?;
         // Prune already-visited vertices and record fresh ones.
         let mut any = false;
         {
@@ -73,7 +76,7 @@ pub fn bfs_levels<B: Backend>(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<i
 /// tropical semiring: `d ← min(d, A ⊕.⊗ d)` with `⊕ = min`, `⊗ = +`.
 /// Edge `i→j` with weight `w` is `A[j, i] = w`. Returns `+∞` for
 /// unreachable vertices; errors on negative cycles.
-pub fn sssp<B: Backend>(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<f64>> {
+pub fn sssp<E: Exec>(exec: Ctx<E>, a: &CsrMatrix<f64>, source: usize) -> Result<Vec<f64>> {
     check_dims("sssp", "adjacency must be square", a.nrows(), a.ncols())?;
     let n = a.nrows();
     if source >= n {
@@ -86,7 +89,7 @@ pub fn sssp<B: Backend>(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<f64>> {
     dist.as_mut_slice()[source] = 0.0;
     let mut relaxed = Vector::<f64>::zeros(n);
     for round in 0..n {
-        ctx::<B>().mxv(a, &dist).ring(MinPlus).into(&mut relaxed)?;
+        exec.mxv(a, &dist).ring(MinPlus).into(&mut relaxed)?;
         // d ← min(d, relaxed) element-wise; track whether anything moved.
         let mut changed = false;
         {
@@ -113,7 +116,8 @@ pub fn sssp<B: Backend>(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<f64>> {
 /// per-vertex change drops below `tol`. `m` must be column-stochastic
 /// (`M[j, i] = 1/outdeg(i)` for each edge `i→j`). Returns the rank vector
 /// and the iteration count.
-pub fn pagerank<B: Backend>(
+pub fn pagerank<E: Exec>(
+    exec: Ctx<E>,
     m: &CsrMatrix<f64>,
     damping: f64,
     tol: f64,
@@ -134,7 +138,6 @@ pub fn pagerank<B: Backend>(
     if n == 0 {
         return Ok((Vector::zeros(0), 0));
     }
-    let exec = ctx::<B>();
     let teleport = Vector::filled(n, (1.0 - damping) / n as f64);
     let mut rank = Vector::filled(n, 1.0 / n as f64);
     let mut next = Vector::zeros(n);
@@ -162,9 +165,9 @@ pub fn pagerank<B: Backend>(
 /// Number of triangles in an undirected graph via the Burkhardt formula
 /// `tr(A³)/6`, computed as `Σ_i ⟨(A²)_i, A_i⟩ / 6` with one `mxm` and an
 /// element-wise dot — a staple GraphBLAS benchmark kernel.
-pub fn triangle_count<B: Backend>(a: &CsrMatrix<f64>) -> Result<usize> {
+pub fn triangle_count<E: Exec>(exec: Ctx<E>, a: &CsrMatrix<f64>) -> Result<usize> {
     check_dims("tricount", "adjacency must be square", a.nrows(), a.ncols())?;
-    let a2 = ctx::<B>().mxm(a, a).compute()?;
+    let a2 = exec.mxm(a, a).compute()?;
     let mut total = 0.0;
     for r in 0..a.nrows() {
         let (cols_a, vals_a) = a.row(r);
@@ -187,9 +190,9 @@ pub fn triangle_count<B: Backend>(a: &CsrMatrix<f64>) -> Result<usize> {
 }
 
 /// Sum of a vector's entries over `Plus` — convenience used by examples.
-pub fn mass<B: Backend>(x: &Vector<f64>) -> Result<f64> {
+pub fn mass<E: Exec>(exec: Ctx<E>, x: &Vector<f64>) -> Result<f64> {
     let ones = Vector::filled(x.len(), 1.0);
-    ctx::<B>().dot(x, &ones).compute()
+    exec.dot(x, &ones).compute()
 }
 
 // Suppress an unused-import lint path: Monoid is used via bounds above.
@@ -199,6 +202,7 @@ const _: fn() -> f64 = <Plus as Monoid<f64>>::identity;
 mod tests {
     use super::*;
     use crate::backend::Sequential;
+    use crate::context::ctx;
 
     /// Directed path 0→1→2→3 plus a shortcut 0→3 (weight 10).
     fn path_graph() -> CsrMatrix<f64> {
@@ -210,26 +214,26 @@ mod tests {
     #[test]
     fn bfs_levels_on_path() {
         let a = path_graph();
-        let levels = bfs_levels::<Sequential>(&a, 0).unwrap();
+        let levels = bfs_levels(ctx::<Sequential>(), &a, 0).unwrap();
         assert_eq!(
             levels,
             vec![0, 1, 2, 1],
             "vertex 3 reached in one hop via the shortcut"
         );
-        let from2 = bfs_levels::<Sequential>(&a, 2).unwrap();
+        let from2 = bfs_levels(ctx::<Sequential>(), &a, 2).unwrap();
         assert_eq!(from2, vec![-1, -1, 0, 1], "no back edges");
     }
 
     #[test]
     fn bfs_bad_source() {
         let a = path_graph();
-        assert!(bfs_levels::<Sequential>(&a, 99).is_err());
+        assert!(bfs_levels(ctx::<Sequential>(), &a, 99).is_err());
     }
 
     #[test]
     fn sssp_prefers_cheap_path() {
         let a = path_graph();
-        let d = sssp::<Sequential>(&a, 0).unwrap();
+        let d = sssp(ctx::<Sequential>(), &a, 0).unwrap();
         assert_eq!(
             d,
             vec![0.0, 1.0, 2.0, 3.0],
@@ -240,7 +244,7 @@ mod tests {
     #[test]
     fn sssp_unreachable_is_infinite() {
         let a = CsrMatrix::from_triplets(3, 3, &[(1, 0, 2.0)]).unwrap();
-        let d = sssp::<Sequential>(&a, 0).unwrap();
+        let d = sssp(ctx::<Sequential>(), &a, 0).unwrap();
         assert_eq!(d[0], 0.0);
         assert_eq!(d[1], 2.0);
         assert_eq!(d[2], f64::INFINITY);
@@ -250,7 +254,7 @@ mod tests {
     fn sssp_detects_negative_cycle() {
         let a = CsrMatrix::from_triplets(2, 2, &[(1, 0, -1.0), (0, 1, -1.0)]).unwrap();
         assert!(matches!(
-            sssp::<Sequential>(&a, 0),
+            sssp(ctx::<Sequential>(), &a, 0),
             Err(GrbError::InvalidInput(_))
         ));
     }
@@ -272,9 +276,9 @@ mod tests {
             .map(|&(s, d)| (d, s, 1.0 / outdeg[s] as f64))
             .collect();
         let m = CsrMatrix::from_triplets(n, n, &trips).unwrap();
-        let (rank, iters) = pagerank::<Sequential>(&m, 0.85, 1e-12, 500).unwrap();
+        let (rank, iters) = pagerank(ctx::<Sequential>(), &m, 0.85, 1e-12, 500).unwrap();
         assert!(iters < 500, "must converge");
-        let total = mass::<Sequential>(&rank).unwrap();
+        let total = mass(ctx::<Sequential>(), &rank).unwrap();
         assert!(
             (total - 1.0).abs() < 1e-9,
             "probability mass conserved, got {total}"
@@ -292,7 +296,7 @@ mod tests {
     #[test]
     fn pagerank_rejects_bad_damping() {
         let m = CsrMatrix::<f64>::from_triplets(1, 1, &[(0, 0, 1.0)]).unwrap();
-        assert!(pagerank::<Sequential>(&m, 1.5, 1e-6, 10).is_err());
+        assert!(pagerank(ctx::<Sequential>(), &m, 1.5, 1e-6, 10).is_err());
     }
 
     #[test]
@@ -311,7 +315,7 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(triangle_count::<Sequential>(&tri).unwrap(), 1);
+        assert_eq!(triangle_count(ctx::<Sequential>(), &tri).unwrap(), 1);
 
         // K4 has C(4,3) = 4 triangles.
         let mut e = Vec::new();
@@ -323,7 +327,7 @@ mod tests {
             }
         }
         let k4 = CsrMatrix::from_triplets(4, 4, &e).unwrap();
-        assert_eq!(triangle_count::<Sequential>(&k4).unwrap(), 4);
+        assert_eq!(triangle_count(ctx::<Sequential>(), &k4).unwrap(), 4);
 
         // Triangle-free square.
         let sq = CsrMatrix::from_triplets(
@@ -341,7 +345,7 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(triangle_count::<Sequential>(&sq).unwrap(), 0);
+        assert_eq!(triangle_count(ctx::<Sequential>(), &sq).unwrap(), 0);
     }
 
     #[test]
@@ -366,7 +370,7 @@ mod tests {
             }
         }
         let a = CsrMatrix::from_triplets(n * n, n * n, &trips).unwrap();
-        let levels = bfs_levels::<Sequential>(&a, idx(0, 0)).unwrap();
+        let levels = bfs_levels(ctx::<Sequential>(), &a, idx(0, 0)).unwrap();
         for y in 0..n {
             for x in 0..n {
                 assert_eq!(

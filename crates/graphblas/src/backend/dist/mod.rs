@@ -1,0 +1,749 @@
+//! The distributed backend: the whole GraphBLAS surface on a simulated
+//! BSP cluster.
+//!
+//! The paper's hybrid ALP/GraphBLAS backend runs unmodified GraphBLAS
+//! programs on an LPF/BSP cluster (§IV): containers are opaque, rows and
+//! vector entries are sharded over a 1D node grid, and — because the
+//! layout is domain-oblivious — every `mxv` is preceded by an allgather
+//! of the full input vector (`Θ(n(p−1)/p)` bytes, Table I). This module
+//! is that backend over the workspace's simulated cluster:
+//!
+//! * [`Distributed`] implements [`Exec`], so `Ctx<Distributed>` — and with
+//!   it every fluent builder, mask/accumulator/descriptor combination and
+//!   recorded [`Pipeline`](crate::Pipeline) — runs distributed, including
+//!   the fused `spmv+dot` / `axpy+norm` entry points;
+//! * numerics execute **once on global state** through the [`Sequential`]
+//!   kernels, so results are bit-identical to the sequential backend (the
+//!   property the workspace pins down with property tests); what is
+//!   distributed is the **cost**: per-node work and h-relations recorded
+//!   superstep-by-superstep into a [`bsp::CostTracker`];
+//! * the row/element sharding is a configurable [`ShardLayout`] (1D block
+//!   or block-cyclic), and the machine is a [`bsp::MachineParams`] preset.
+//!
+//! ```
+//! use graphblas::{CsrMatrix, Distributed, Vector};
+//!
+//! let a = CsrMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+//! let x = Vector::from_dense(vec![1.0, 2.0]);
+//! let mut y = Vector::zeros(2);
+//!
+//! let cluster = Distributed::new(4);           // 4 simulated nodes
+//! cluster.ctx().mxv(&a, &x).into(&mut y).unwrap();
+//! assert_eq!(y.as_slice(), &[2.0, 6.0]);       // bit-identical to Sequential
+//! assert_eq!(cluster.supersteps(), 1);         // one allgather + sweep
+//! assert!(cluster.total_h_bytes() > 0.0);
+//! ```
+//!
+//! A [`Distributed`] value is a `Copy` **handle** onto shared cluster
+//! state (a process-wide registry keeps the state alive), which is what
+//! lets it satisfy the [`Exec`] bounds while accumulating a cost trace
+//! across operations. Handles compare equal only to themselves, and
+//! [`BackendKind::Dist`](crate::BackendKind) carries one for runtime
+//! backend selection (`--backend dist:<nodes>`, `GRB_BACKEND=dist:4`).
+
+pub mod cost;
+pub mod layout;
+
+pub use layout::ShardLayout;
+
+use crate::backend::Backend;
+use crate::container::matrix::CsrMatrix;
+use crate::container::vector::Vector;
+use crate::context::Exec;
+use crate::descriptor::Descriptor;
+use crate::error::Result;
+use crate::exec::apply::{apply_exec, ewise_lambda_exec};
+use crate::exec::ewise::{axpy_exec, ewise_exec};
+use crate::exec::fused::{axpy_norm_exec, spmv_dot_exec};
+use crate::exec::mxm::mxm_exec;
+use crate::exec::mxv::mxv_exec;
+use crate::exec::reduce::{dot_exec, reduce_exec};
+use crate::ops::accum::AccumMode;
+use crate::ops::binary::BinaryOp;
+use crate::ops::monoid::Monoid;
+use crate::ops::scalar::Scalar;
+use crate::ops::semiring::Semiring;
+use crate::ops::unary::UnaryOp;
+use crate::Sequential;
+use bsp::cost::{CostTracker, KernelClass, StepCost};
+use bsp::machine::MachineParams;
+use cost::{ClusterState, Scope};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Configuration of a simulated cluster: node count, machine parameters
+/// and data layout.
+#[derive(Copy, Clone, Debug)]
+pub struct DistConfig {
+    /// Number of simulated nodes (`p`).
+    pub nodes: usize,
+    /// BSP machine parameters (compute roofline, gap `g`, latency `l`).
+    pub machine: MachineParams,
+    /// Row/element sharding over the 1D node grid.
+    pub layout: ShardLayout,
+    /// `Some((pr, pc))` replaces the 1D pre-`mxv` allgather with the
+    /// §VII-B(ii) 2D expand/fold exchange over a `pr×pc` process grid.
+    pub grid2d: Option<(usize, usize)>,
+}
+
+impl DistConfig {
+    /// A `nodes`-node cluster with the paper's ARM machine parameters and
+    /// a contiguous 1D block layout.
+    pub fn new(nodes: usize) -> DistConfig {
+        DistConfig {
+            nodes,
+            machine: MachineParams::arm_cluster(),
+            layout: ShardLayout::Block,
+            grid2d: None,
+        }
+    }
+
+    /// Sets the machine parameters.
+    #[must_use]
+    pub fn machine(mut self, machine: MachineParams) -> DistConfig {
+        self.machine = machine;
+        self
+    }
+
+    /// Sets the shard layout.
+    #[must_use]
+    pub fn layout(mut self, layout: ShardLayout) -> DistConfig {
+        self.layout = layout;
+        self
+    }
+
+    /// Switches the pre-`mxv` exchange to a 2D `pr×pc` process grid.
+    #[must_use]
+    pub fn grid2d(mut self, pr: usize, pc: usize) -> DistConfig {
+        assert!(pr * pc == self.nodes, "process grid must cover all nodes");
+        self.grid2d = Some((pr, pc));
+        self
+    }
+}
+
+/// Process-wide registry keeping every cluster's state alive; a
+/// [`Distributed`] handle is an index into it.
+fn registry() -> &'static RwLock<Vec<Arc<Mutex<ClusterState>>>> {
+    static REGISTRY: OnceLock<RwLock<Vec<Arc<Mutex<ClusterState>>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// The distributed execution backend: a `Copy` handle onto one simulated
+/// cluster. See the [module docs](self).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Distributed {
+    id: usize,
+}
+
+impl Distributed {
+    /// Creates a `nodes`-node cluster with default configuration
+    /// ([`DistConfig::new`]): ARM machine parameters, 1D block layout.
+    pub fn new(nodes: usize) -> Distributed {
+        Self::with_config(DistConfig::new(nodes))
+    }
+
+    /// Creates a cluster with explicit configuration.
+    pub fn with_config(config: DistConfig) -> Distributed {
+        let mut state = ClusterState::new(config.nodes, config.machine, config.layout);
+        state.grid2d = config.grid2d;
+        let mut reg = registry().write().unwrap();
+        let id = reg.len();
+        reg.push(Arc::new(Mutex::new(state)));
+        Distributed { id }
+    }
+
+    fn state(&self) -> Arc<Mutex<ClusterState>> {
+        registry().read().unwrap()[self.id].clone()
+    }
+
+    fn record<R>(&self, f: impl FnOnce(&mut ClusterState) -> R) -> R {
+        let state = self.state();
+        let mut guard = state.lock().unwrap();
+        f(&mut guard)
+    }
+
+    /// Number of simulated nodes.
+    pub fn nodes(&self) -> usize {
+        self.record(|s| s.tracker.nodes())
+    }
+
+    /// The machine parameters of the simulated cluster.
+    pub fn machine(&self) -> MachineParams {
+        self.record(|s| s.tracker.params())
+    }
+
+    /// The shard layout in use.
+    pub fn layout(&self) -> ShardLayout {
+        self.record(|s| s.layout)
+    }
+
+    /// An execution context dispatching to this cluster — the distributed
+    /// sibling of `ctx::<Sequential>()`.
+    pub fn ctx(self) -> crate::Ctx<Distributed> {
+        crate::context::ctx_on(self)
+    }
+
+    /// A snapshot of the accumulated BSP cost trace.
+    pub fn tracker(&self) -> CostTracker {
+        self.record(|s| s.tracker.clone())
+    }
+
+    /// Drains and returns the closed supersteps recorded since the last
+    /// drain — how a harness attributes modeled cost to its own phases.
+    pub fn take_steps(&self) -> Vec<StepCost> {
+        self.record(|s| s.tracker.take_steps())
+    }
+
+    /// Clears the cost trace (e.g. between a warm-up and a measured run).
+    pub fn reset_costs(&self) {
+        self.record(|s| s.tracker.reset())
+    }
+
+    /// Records a purely local streaming step that did not go through a
+    /// context operation: `n` elements across `k` vectors, no
+    /// communication, no barrier. Harnesses use this for raw buffer moves
+    /// (HPCG's `copy`/`set_zero`) so the modeled trace stays faithful to
+    /// work the simulated nodes would still perform.
+    pub fn record_local_stream(&self, n: usize, k: usize) {
+        self.record(|s| {
+            s.record_stream(n, None, crate::Descriptor::DEFAULT, k, 0.0);
+        })
+    }
+
+    /// Forces a kernel class and/or multigrid level onto every superstep
+    /// recorded until [`clear_scope`](Distributed::clear_scope) — how the
+    /// HPCG harness tags smoother and grid-transfer steps.
+    pub fn set_scope(&self, class: Option<KernelClass>, level: Option<usize>) {
+        self.record(|s| s.scope = Scope { class, level })
+    }
+
+    /// Resets the attribution scope to per-operation defaults.
+    pub fn clear_scope(&self) {
+        self.record(|s| s.scope = Scope::default())
+    }
+
+    /// Total modeled BSP wall-clock of all recorded supersteps.
+    pub fn total_modeled_secs(&self) -> f64 {
+        self.record(|s| s.tracker.total_secs())
+    }
+
+    /// Total communicated bytes (sum over steps of the per-step max
+    /// h-relation — the quantity Table I bounds).
+    pub fn total_h_bytes(&self) -> f64 {
+        self.record(|s| s.tracker.total_h_bytes())
+    }
+
+    /// Number of recorded supersteps.
+    pub fn supersteps(&self) -> usize {
+        self.record(|s| s.tracker.superstep_count())
+    }
+
+    /// The per-kernel-class cost breakdown of everything recorded so far.
+    pub fn cost_summary(&self) -> CostSummary {
+        self.record(|s| {
+            CostSummary::from_steps(s.tracker.nodes(), s.layout.name(), s.tracker.steps())
+        })
+    }
+}
+
+/// Modeled cost of one kernel class within a [`CostSummary`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ClassCost {
+    /// The kernel class the steps were attributed to.
+    pub class: KernelClass,
+    /// Modeled seconds across all steps of the class.
+    pub secs: f64,
+    /// h-relation bytes across all steps of the class.
+    pub h_bytes: f64,
+    /// Number of recorded steps of the class.
+    pub steps: usize,
+}
+
+/// Per-kernel-class breakdown of a cluster's recorded BSP costs — the
+/// report the distributed graph-algorithm examples and the scaling
+/// harness print.
+#[derive(Clone, Debug)]
+pub struct CostSummary {
+    /// Simulated nodes.
+    pub nodes: usize,
+    /// Shard layout name.
+    pub layout: &'static str,
+    /// Total modeled wall-clock.
+    pub total_secs: f64,
+    /// Total h-relation bytes.
+    pub total_h_bytes: f64,
+    /// Total recorded steps.
+    pub supersteps: usize,
+    /// Per-class breakdown, in first-recorded order.
+    pub per_class: Vec<ClassCost>,
+}
+
+impl CostSummary {
+    /// Aggregates a recorded step sequence into the per-class breakdown —
+    /// works on a live cluster's trace ([`Distributed::cost_summary`]) or
+    /// on steps a harness drained into its own tracker.
+    pub fn from_steps(nodes: usize, layout: &'static str, steps: &[StepCost]) -> CostSummary {
+        let mut per_class: Vec<ClassCost> = Vec::new();
+        for step in steps {
+            match per_class.iter_mut().find(|c| c.class == step.class) {
+                Some(c) => {
+                    c.secs += step.total_secs();
+                    c.h_bytes += step.h_bytes;
+                    c.steps += 1;
+                }
+                None => per_class.push(ClassCost {
+                    class: step.class,
+                    secs: step.total_secs(),
+                    h_bytes: step.h_bytes,
+                    steps: 1,
+                }),
+            }
+        }
+        CostSummary {
+            nodes,
+            layout,
+            total_secs: steps.iter().map(StepCost::total_secs).sum(),
+            total_h_bytes: steps.iter().map(|s| s.h_bytes).sum(),
+            supersteps: steps.len(),
+            per_class,
+        }
+    }
+
+    /// Stable display name of a [`KernelClass`] for machine-readable
+    /// reports (the same spelling [`Display`](std::fmt::Display) uses).
+    pub fn class_name(class: KernelClass) -> &'static str {
+        class_name(class)
+    }
+}
+
+/// Stable display name of a [`KernelClass`] for reports.
+pub(crate) fn class_name(class: KernelClass) -> &'static str {
+    match class {
+        KernelClass::SpMV => "spmv",
+        KernelClass::Dot => "dot/reduce",
+        KernelClass::Waxpby => "vector update",
+        KernelClass::Smoother => "smoother",
+        KernelClass::RestrictRefine => "restrict/refine",
+        KernelClass::Other => "other",
+    }
+}
+
+impl std::fmt::Display for CostSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "modeled BSP cost on {} node(s), {} layout: {:.3} ms, {:.2} MB communicated, {} supersteps",
+            self.nodes,
+            self.layout,
+            self.total_secs * 1e3,
+            self.total_h_bytes / 1e6,
+            self.supersteps,
+        )?;
+        for c in &self.per_class {
+            writeln!(
+                f,
+                "  {:<15} {:>10.3} ms  {:>9.2} MB  {:>6} step(s)",
+                class_name(c.class),
+                c.secs * 1e3,
+                c.h_bytes / 1e6,
+                c.steps,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Exec for Distributed {
+    fn threads(self) -> usize {
+        // The parallelism being modeled lives across nodes, not threads.
+        self.nodes()
+    }
+
+    fn backend_name(self) -> &'static str {
+        "distributed(bsp)"
+    }
+
+    fn run_mxv<T: Scalar, R: Semiring<T>, A: AccumMode<T>>(
+        self,
+        y: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        a: &CsrMatrix<T>,
+        x: &Vector<T>,
+    ) -> Result<()> {
+        mxv_exec::<T, R, A, Sequential>(y, mask, desc, a, x)?;
+        self.record(|s| s.record_mxv(a, x.len(), mask, desc, false));
+        Ok(())
+    }
+
+    fn run_ewise<T: Scalar, Op: BinaryOp<T>, A: AccumMode<T>>(
+        self,
+        w: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        x: &Vector<T>,
+        y: &Vector<T>,
+        scale: Option<(T, T)>,
+    ) -> Result<()> {
+        ewise_exec::<T, Op, A, Sequential>(w, mask, desc, x, y, scale)?;
+        let flops = if scale.is_some() { 3.0 } else { 1.0 };
+        self.record(|s| s.record_stream(w.len(), mask, desc, 3, flops));
+        Ok(())
+    }
+
+    fn run_axpy<T: Scalar>(self, x: &mut Vector<T>, alpha: T, y: &Vector<T>) -> Result<()> {
+        axpy_exec::<T, Sequential>(x, alpha, y)?;
+        self.record(|s| s.record_stream(x.len(), None, Descriptor::DEFAULT, 3, 2.0));
+        Ok(())
+    }
+
+    fn run_apply<T: Scalar, Op: UnaryOp<T>, A: AccumMode<T>>(
+        self,
+        out: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        input: &Vector<T>,
+    ) -> Result<()> {
+        apply_exec::<T, Op, A, Sequential>(out, mask, desc, input)?;
+        self.record(|s| s.record_stream(out.len(), mask, desc, 2, 1.0));
+        Ok(())
+    }
+
+    fn run_lambda<T: Scalar, F: Fn(usize, &mut T) + Send + Sync>(
+        self,
+        out: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        f: F,
+    ) -> Result<()> {
+        ewise_lambda_exec::<T, Sequential, F>(out, mask, desc, f)?;
+        // A lambda typically reads a captured vector besides the in-place
+        // output; model it as a three-stream update (the xpay shape).
+        self.record(|s| s.record_stream(out.len(), mask, desc, 3, 2.0));
+        Ok(())
+    }
+
+    fn run_reduce<T: Scalar, M: Monoid<T>>(
+        self,
+        x: &Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+    ) -> Result<T> {
+        let v = reduce_exec::<T, M, Sequential>(x, mask, desc)?;
+        self.record(|s| s.record_reduction(x.len(), mask, desc, 1, 1.0));
+        Ok(v)
+    }
+
+    fn run_dot<T: Scalar, R: Semiring<T>>(self, x: &Vector<T>, y: &Vector<T>) -> Result<T> {
+        let v = dot_exec::<T, R, Sequential>(x, y)?;
+        self.record(|s| s.record_reduction(x.len(), None, Descriptor::DEFAULT, 2, 2.0));
+        Ok(v)
+    }
+
+    fn run_mxm<T: Scalar, R: Semiring<T>>(
+        self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        desc: Descriptor,
+    ) -> Result<CsrMatrix<T>> {
+        let c = mxm_exec::<T, R, Sequential>(a, b, desc)?;
+        self.record(|s| s.record_mxm(a, b));
+        Ok(c)
+    }
+
+    fn run_for_each<F: Fn(usize) + Send + Sync>(self, n: usize, f: F) {
+        Sequential::for_n(n, f);
+        self.record(|s| s.record_stream(n, None, Descriptor::DEFAULT, 2, 1.0));
+    }
+
+    fn run_spmv_dot<T: Scalar, R: Semiring<T>>(
+        self,
+        y: &mut Vector<T>,
+        a: &CsrMatrix<T>,
+        x: &Vector<T>,
+        w: Option<&Vector<T>>,
+        product_on_left: bool,
+    ) -> Result<T> {
+        let v = spmv_dot_exec::<T, R, Sequential>(y, a, x, w, product_on_left)?;
+        // One sweep with the dot epilogue plus one Θ(p) allreduce — not
+        // two full supersteps (the nonblocking-execution payoff, §VI).
+        self.record(|s| s.record_mxv(a, x.len(), None, Descriptor::DEFAULT, true));
+        Ok(v)
+    }
+
+    fn run_axpy_norm<T: Scalar, R: Semiring<T>>(
+        self,
+        x: &mut Vector<T>,
+        alpha: T,
+        y: &Vector<T>,
+    ) -> Result<T> {
+        let v = axpy_norm_exec::<T, R, Sequential>(x, alpha, y)?;
+        self.record(|s| s.record_stream_with_norm(x.len(), 3, 4.0));
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::binary::{Max, Plus, Times};
+    use crate::ops::semiring::MinPlus;
+    use crate::{ctx, BackendKind};
+    use bsp::collectives::{allgather_h_bytes, allreduce_h_bytes};
+
+    fn a3() -> CsrMatrix<f64> {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 2, 1.0),
+                (1, 1, 3.0),
+                (2, 0, -1.0),
+                (2, 2, 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn results_bit_identical_to_sequential() {
+        let a = a3();
+        let x = Vector::from_dense(vec![1.0, -2.0, 3.0]);
+        let m = Vector::<bool>::sparse_filled(3, vec![0, 2], true).unwrap();
+        let seq = ctx::<Sequential>();
+        let dist = Distributed::new(3).ctx();
+
+        let mut y_s = Vector::from_dense(vec![7.0; 3]);
+        let mut y_d = y_s.clone();
+        seq.mxv(&a, &x)
+            .mask(&m)
+            .structural()
+            .transpose()
+            .accum(Plus)
+            .into(&mut y_s)
+            .unwrap();
+        dist.mxv(&a, &x)
+            .mask(&m)
+            .structural()
+            .transpose()
+            .accum(Plus)
+            .into(&mut y_d)
+            .unwrap();
+        assert_eq!(y_s.as_slice(), y_d.as_slice());
+
+        assert_eq!(
+            seq.dot(&x, &y_s).ring(MinPlus).compute().unwrap(),
+            dist.dot(&x, &y_d).ring(MinPlus).compute().unwrap()
+        );
+        let mut w_s = Vector::zeros(3);
+        let mut w_d = Vector::zeros(3);
+        seq.ewise(&x, &y_s)
+            .op(Times)
+            .scaled(2.0, -1.0)
+            .into(&mut w_s)
+            .unwrap();
+        dist.ewise(&x, &y_d)
+            .op(Times)
+            .scaled(2.0, -1.0)
+            .into(&mut w_d)
+            .unwrap();
+        assert_eq!(w_s.as_slice(), w_d.as_slice());
+        assert_eq!(
+            seq.reduce(&w_s).monoid(Max).compute().unwrap(),
+            dist.reduce(&w_d).monoid(Max).compute().unwrap()
+        );
+    }
+
+    #[test]
+    fn mxv_records_one_allgather_superstep() {
+        let n = 64usize;
+        let a =
+            CsrMatrix::<f64>::from_triplets(n, n, &(0..n).map(|i| (i, i, 1.0)).collect::<Vec<_>>())
+                .unwrap();
+        let x = Vector::filled(n, 1.0);
+        let mut y = Vector::zeros(n);
+        let cluster = Distributed::new(4);
+        cluster.ctx().mxv(&a, &x).into(&mut y).unwrap();
+        let t = cluster.tracker();
+        assert_eq!(t.superstep_count(), 1);
+        // Even split → the closed form of Table I exactly.
+        assert_eq!(t.steps()[0].h_bytes, allgather_h_bytes(4, n / 4, 8));
+        assert!(t.steps()[0].sync_secs > 0.0, "mxv is a barriered superstep");
+    }
+
+    #[test]
+    fn fused_spmv_dot_costs_one_sweep_plus_allreduce() {
+        let n = 64usize;
+        let a =
+            CsrMatrix::<f64>::from_triplets(n, n, &(0..n).map(|i| (i, i, 2.0)).collect::<Vec<_>>())
+                .unwrap();
+        let x = Vector::filled(n, 1.0);
+        let p = 4usize;
+
+        // Fused: the pipeline lowers mxv + dot onto run_spmv_dot.
+        let fused = Distributed::new(p);
+        let mut y = Vector::zeros(n);
+        let mut pl = fused.ctx().pipeline();
+        let yh = pl.mxv(&a, &x).into(&mut y);
+        let d = pl.dot(&x, yh).result();
+        let out = pl.finish().unwrap();
+        assert_eq!(out[d], 2.0 * n as f64);
+
+        // Unfused: eager mxv then dot.
+        let eager = Distributed::new(p);
+        let mut y2 = Vector::zeros(n);
+        eager.ctx().mxv(&a, &x).into(&mut y2).unwrap();
+        eager.ctx().dot(&x, &y2).compute().unwrap();
+
+        let (tf, te) = (fused.tracker(), eager.tracker());
+        assert_eq!(tf.superstep_count(), 2, "sweep + allreduce");
+        assert_eq!(te.superstep_count(), 2);
+        // Both pay the same allgather; the fused allreduce step carries no
+        // fresh vector stream, so its compute time vanishes next to the
+        // eager dot's two-vector read.
+        assert_eq!(tf.steps()[0].h_bytes, te.steps()[0].h_bytes);
+        assert_eq!(tf.steps()[1].h_bytes, allreduce_h_bytes(p, 8));
+        assert!(tf.steps()[1].compute_secs < te.steps()[1].compute_secs / 10.0);
+        assert!(tf.total_secs() < te.total_secs());
+    }
+
+    #[test]
+    fn masked_mxv_charges_only_selected_rows() {
+        let n = 64usize;
+        let mut trips = Vec::new();
+        for i in 0..n {
+            trips.push((i, i, 1.0));
+            trips.push((i, (i + 1) % n, 1.0));
+        }
+        let a = CsrMatrix::<f64>::from_triplets(n, n, &trips).unwrap();
+        let x = Vector::filled(n, 1.0);
+        let m = Vector::<bool>::sparse_filled(n, vec![0, 1], true).unwrap();
+
+        let full = Distributed::new(2);
+        let mut y = Vector::zeros(n);
+        full.ctx().mxv(&a, &x).into(&mut y).unwrap();
+        let masked = Distributed::new(2);
+        masked
+            .ctx()
+            .mxv(&a, &x)
+            .mask(&m)
+            .structural()
+            .into(&mut y)
+            .unwrap();
+        // The allgather is identical (opaque containers), the work is not.
+        assert_eq!(
+            full.tracker().steps()[0].h_bytes,
+            masked.tracker().steps()[0].h_bytes
+        );
+        assert!(
+            masked.tracker().steps()[0].compute_secs < full.tracker().steps()[0].compute_secs / 4.0
+        );
+    }
+
+    #[test]
+    fn local_ops_close_barrier_free_steps() {
+        let cluster = Distributed::new(4);
+        let x = Vector::filled(128, 1.0);
+        let y = Vector::filled(128, 2.0);
+        let mut w = Vector::zeros(128);
+        cluster
+            .ctx()
+            .ewise(&x, &y)
+            .scaled(2.0, 1.0)
+            .into(&mut w)
+            .unwrap();
+        cluster.ctx().axpy(&mut w, 0.5, &x).unwrap();
+        let t = cluster.tracker();
+        assert_eq!(t.superstep_count(), 2);
+        for s in t.steps() {
+            assert_eq!(s.h_bytes, 0.0, "vector updates are communication-free");
+            assert_eq!(s.sync_secs, 0.0, "and synchronize with nobody");
+        }
+    }
+
+    #[test]
+    fn dot_pays_exactly_one_allreduce() {
+        let p = 8usize;
+        let cluster = Distributed::new(p);
+        let x = Vector::filled(100, 1.0);
+        assert_eq!(cluster.ctx().norm2_squared(&x).unwrap(), 100.0);
+        let t = cluster.tracker();
+        assert_eq!(t.superstep_count(), 1);
+        assert_eq!(t.steps()[0].h_bytes, allreduce_h_bytes(p, 8));
+    }
+
+    #[test]
+    fn handle_accumulates_and_resets() {
+        let cluster = Distributed::new(2);
+        let x = Vector::filled(16, 1.0);
+        cluster.ctx().norm2_squared(&x).unwrap();
+        cluster.ctx().norm2_squared(&x).unwrap();
+        assert_eq!(cluster.supersteps(), 2);
+        let drained = cluster.take_steps();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(cluster.supersteps(), 0);
+        cluster.ctx().norm2_squared(&x).unwrap();
+        cluster.reset_costs();
+        assert_eq!(cluster.supersteps(), 0);
+        assert_eq!(cluster.total_h_bytes(), 0.0);
+    }
+
+    #[test]
+    fn cost_summary_breaks_down_by_class() {
+        let cluster = Distributed::new(3);
+        let a = a3();
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let mut y = Vector::zeros(3);
+        cluster.ctx().mxv(&a, &x).into(&mut y).unwrap();
+        cluster.ctx().dot(&x, &y).compute().unwrap();
+        cluster.ctx().axpy(&mut y, 1.0, &x).unwrap();
+        let summary = cluster.cost_summary();
+        assert_eq!(summary.nodes, 3);
+        assert_eq!(summary.supersteps, 3);
+        let classes: Vec<KernelClass> = summary.per_class.iter().map(|c| c.class).collect();
+        assert_eq!(
+            classes,
+            vec![KernelClass::SpMV, KernelClass::Dot, KernelClass::Waxpby]
+        );
+        let rendered = summary.to_string();
+        assert!(rendered.contains("spmv"), "{rendered}");
+        assert!(rendered.contains("3 node(s)"), "{rendered}");
+    }
+
+    #[test]
+    fn errors_record_no_cost() {
+        let cluster = Distributed::new(2);
+        let a = a3();
+        let bad = Vector::filled(5, 1.0); // wrong length
+        let mut y = Vector::zeros(3);
+        assert!(cluster.ctx().mxv(&a, &bad).into(&mut y).is_err());
+        assert_eq!(cluster.supersteps(), 0);
+    }
+
+    #[test]
+    fn exec_surface_reports_cluster_shape() {
+        let cluster = Distributed::new(5);
+        assert_eq!(cluster.nodes(), 5);
+        assert_eq!(cluster.ctx().threads(), 5);
+        assert_eq!(cluster.ctx().backend_name(), "distributed(bsp)");
+        assert_eq!(cluster.layout(), ShardLayout::Block);
+        // Handles are identities: a second cluster is a different backend.
+        let other = Distributed::new(5);
+        assert_ne!(cluster, other);
+        assert_eq!(BackendKind::Dist(cluster), BackendKind::Dist(cluster));
+    }
+
+    #[test]
+    fn block_cyclic_config_shards_cyclically() {
+        let cluster = Distributed::with_config(
+            DistConfig::new(2)
+                .layout(ShardLayout::BlockCyclic { block: 4 })
+                .machine(MachineParams::slow_network()),
+        );
+        assert_eq!(cluster.layout(), ShardLayout::BlockCyclic { block: 4 });
+        assert_eq!(
+            cluster.machine().g_secs_per_byte,
+            MachineParams::slow_network().g_secs_per_byte
+        );
+    }
+}

@@ -6,11 +6,13 @@
 //! generic over [`Backend`], and callers pick [`Sequential`] or [`Parallel`]
 //! (rayon work-stealing, the guides' prescribed data-parallel substrate).
 //!
-//! The distributed ("hybrid") backend of the paper lives one crate up:
-//! `bsp` provides the simulated multi-node machine and `hpcg::distributed`
-//! runs the block-cyclic algorithm on it, because distribution in the paper
-//! is a property of the *application-level* data layout, not of these
-//! shared-memory kernels.
+//! The distributed ("hybrid") backend of the paper lives in [`dist`]: a
+//! cost-accounted [`Exec`](crate::context::Exec) dispatcher over the `bsp`
+//! crate's simulated multi-node machine. It is not a [`Backend`] — its
+//! parallelism lives across simulated nodes, not inside these data-parallel
+//! loops — but a `Ctx<Distributed>` drives the exact same builder surface.
+
+pub mod dist;
 
 use crate::ops::monoid::Monoid;
 use rayon::prelude::*;

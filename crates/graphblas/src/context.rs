@@ -45,6 +45,7 @@
 //! *record* operations instead of executing them; `finish()` runs a fusion
 //! pass and executes the fused schedule. See [`crate::pipeline`].
 
+use crate::backend::dist::Distributed;
 use crate::backend::{Backend, Parallel, Sequential};
 use crate::container::matrix::CsrMatrix;
 use crate::container::vector::Vector;
@@ -72,41 +73,86 @@ pub enum BackendKind {
     Sequential,
     /// Shared-memory data-parallel backend.
     Parallel,
+    /// Distributed backend over a simulated BSP cluster. Carries the
+    /// cluster handle; two parses of `"dist:4"` create two *distinct*
+    /// clusters (each with its own cost trace), so compare kinds with
+    /// `matches!` rather than `==` when the identity does not matter.
+    Dist(Distributed),
 }
 
+/// Node count used for `"dist"` when the `:<nodes>` suffix is omitted.
+pub const DEFAULT_DIST_NODES: usize = 4;
+
 impl BackendKind {
-    /// Parses `"seq"`/`"sequential"` or `"par"`/`"parallel"`.
-    pub fn parse(s: &str) -> Option<BackendKind> {
-        match s.trim().to_ascii_lowercase().as_str() {
-            "seq" | "sequential" => Some(BackendKind::Sequential),
-            "par" | "parallel" => Some(BackendKind::Parallel),
-            _ => None,
+    /// Parses a backend spelling: `"seq"`/`"sequential"`,
+    /// `"par"`/`"parallel"`, or the parameterized `"dist"` /
+    /// `"dist:<nodes>"` (default node count: [`DEFAULT_DIST_NODES`]).
+    ///
+    /// Malformed values produce precise errors — an operator's typo must
+    /// name exactly what was wrong, never silently pick a backend.
+    ///
+    /// Note that successfully parsing a `dist` spelling **registers a new
+    /// cluster** (its state lives for the rest of the process, see
+    /// [`Distributed`]): parse a spec once per intended cluster, not per
+    /// validation round-trip.
+    pub fn parse(s: &str) -> Result<BackendKind> {
+        let norm = s.trim().to_ascii_lowercase();
+        match norm.as_str() {
+            "seq" | "sequential" => return Ok(BackendKind::Sequential),
+            "par" | "parallel" => return Ok(BackendKind::Parallel),
+            "dist" | "distributed" => {
+                return Ok(BackendKind::Dist(Distributed::new(DEFAULT_DIST_NODES)))
+            }
+            _ => {}
         }
+        if let Some(nodes) = norm
+            .strip_prefix("dist:")
+            .or_else(|| norm.strip_prefix("distributed:"))
+        {
+            let n: usize = nodes.parse().map_err(|_| {
+                GrbError::InvalidInput(format!(
+                    "invalid node count {nodes:?} in backend {s:?} \
+                     (expected dist:<nodes> with a positive integer)"
+                ))
+            })?;
+            if n == 0 {
+                return Err(GrbError::InvalidInput(format!(
+                    "invalid node count 0 in backend {s:?} (a cluster needs at least one node)"
+                )));
+            }
+            return Ok(BackendKind::Dist(Distributed::new(n)));
+        }
+        Err(GrbError::InvalidInput(format!(
+            "unknown backend {s:?} (expected seq|par|dist[:<nodes>])"
+        )))
     }
 
     /// Reads the `GRB_BACKEND` environment variable.
     ///
     /// Returns `Ok(None)` when unset, `Ok(Some(kind))` when set to a valid
-    /// spelling, and an error when the variable holds an unrecognized value
-    /// — a typo in `GRB_BACKEND` must never silently run on a different
-    /// backend than the operator asked for.
+    /// spelling (including `dist:<nodes>`), and an error when the variable
+    /// holds an unrecognized value — a typo in `GRB_BACKEND` must never
+    /// silently run on a different backend than the operator asked for.
     pub fn from_env() -> Result<Option<BackendKind>> {
         match std::env::var("GRB_BACKEND") {
             Err(_) => Ok(None),
             Ok(v) => match BackendKind::parse(&v) {
-                Some(kind) => Ok(Some(kind)),
-                None => Err(GrbError::InvalidInput(format!(
-                    "invalid GRB_BACKEND value {v:?} (expected seq|par)"
+                Ok(kind) => Ok(Some(kind)),
+                Err(e) => Err(GrbError::InvalidInput(format!(
+                    "invalid GRB_BACKEND value {v:?}: {e}"
                 ))),
             },
         }
     }
 
-    /// The short flag spelling (`"seq"` / `"par"`).
+    /// The short flag spelling (`"seq"` / `"par"` / `"dist"`); the
+    /// [`Display`](std::fmt::Display) form additionally carries the node
+    /// count (`"dist:4"`).
     pub const fn flag(self) -> &'static str {
         match self {
             BackendKind::Sequential => "seq",
             BackendKind::Parallel => "par",
+            BackendKind::Dist(_) => "dist",
         }
     }
 }
@@ -114,15 +160,16 @@ impl BackendKind {
 impl std::str::FromStr for BackendKind {
     type Err = GrbError;
     fn from_str(s: &str) -> Result<BackendKind> {
-        BackendKind::parse(s).ok_or_else(|| {
-            GrbError::InvalidInput(format!("unknown backend {s:?} (expected seq|par)"))
-        })
+        BackendKind::parse(s)
     }
 }
 
 impl std::fmt::Display for BackendKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.flag())
+        match self {
+            BackendKind::Dist(d) => write!(f, "dist:{}", d.nodes()),
+            other => f.write_str(other.flag()),
+        }
     }
 }
 
@@ -346,6 +393,7 @@ macro_rules! kind_dispatch {
                 let $b = Parallel;
                 $call
             }
+            BackendKind::Dist($b) => $call,
         }
     };
 }
@@ -469,6 +517,16 @@ pub type DynCtx = Ctx<BackendKind>;
 pub fn ctx<B: Backend>() -> Ctx<B> {
     Ctx {
         exec: B::default(),
+        defaults: Descriptor::DEFAULT,
+    }
+}
+
+/// Creates a context on an explicit dispatcher value — the entry point for
+/// dispatchers that carry state, like a [`Distributed`] cluster handle
+/// (`ctx_on(Distributed::new(4))`, or equivalently `Distributed::new(4).ctx()`).
+pub fn ctx_on<E: Exec>(exec: E) -> Ctx<E> {
+    Ctx {
+        exec,
         defaults: Descriptor::DEFAULT,
     }
 }
@@ -1042,20 +1100,75 @@ mod tests {
 
     #[test]
     fn backend_kind_parsing() {
-        assert_eq!(BackendKind::parse("seq"), Some(BackendKind::Sequential));
+        assert_eq!(BackendKind::parse("seq").unwrap(), BackendKind::Sequential);
         assert_eq!(
-            BackendKind::parse("SEQUENTIAL"),
-            Some(BackendKind::Sequential)
+            BackendKind::parse("SEQUENTIAL").unwrap(),
+            BackendKind::Sequential
         );
-        assert_eq!(BackendKind::parse("par"), Some(BackendKind::Parallel));
+        assert_eq!(BackendKind::parse("par").unwrap(), BackendKind::Parallel);
         assert_eq!(
-            BackendKind::parse(" Parallel "),
-            Some(BackendKind::Parallel)
+            BackendKind::parse(" Parallel ").unwrap(),
+            BackendKind::Parallel
         );
-        assert_eq!(BackendKind::parse("gpu"), None);
+        assert!(BackendKind::parse("gpu").is_err());
         assert!("par".parse::<BackendKind>().is_ok());
         assert!("tpu".parse::<BackendKind>().is_err());
         assert_eq!(BackendKind::Sequential.to_string(), "seq");
+    }
+
+    #[test]
+    fn dist_backend_parsing() {
+        match BackendKind::parse("dist:3").unwrap() {
+            BackendKind::Dist(d) => assert_eq!(d.nodes(), 3),
+            other => panic!("expected dist, got {other}"),
+        }
+        // Default node count when the suffix is omitted.
+        match BackendKind::parse("dist").unwrap() {
+            BackendKind::Dist(d) => assert_eq!(d.nodes(), DEFAULT_DIST_NODES),
+            other => panic!("expected dist, got {other}"),
+        }
+        // The long spelling and case folding work too.
+        assert!(matches!(
+            BackendKind::parse("Distributed:2").unwrap(),
+            BackendKind::Dist(_)
+        ));
+        // Display carries the node count; flag stays the family name.
+        let kind = BackendKind::parse("dist:7").unwrap();
+        assert_eq!(kind.to_string(), "dist:7");
+        assert_eq!(kind.flag(), "dist");
+    }
+
+    #[test]
+    fn malformed_dist_spellings_name_the_problem() {
+        let e = BackendKind::parse("dist:abc").unwrap_err().to_string();
+        assert!(e.contains("abc") && e.contains("node count"), "got: {e}");
+        let e = BackendKind::parse("dist:0").unwrap_err().to_string();
+        assert!(e.contains("at least one node"), "got: {e}");
+        let e = BackendKind::parse("dist:-2").unwrap_err().to_string();
+        assert!(e.contains("-2"), "got: {e}");
+        let e = BackendKind::parse("dist:").unwrap_err().to_string();
+        assert!(e.contains("node count"), "got: {e}");
+        let e = BackendKind::parse("dust:4").unwrap_err().to_string();
+        assert!(e.contains("dist[:<nodes>]"), "got: {e}");
+    }
+
+    #[test]
+    fn dyn_ctx_dispatches_to_dist() {
+        let a = a2();
+        let x = Vector::from_dense(vec![1.0, 2.0]);
+        let mut y_seq = Vector::zeros(2);
+        ctx::<Sequential>().mxv(&a, &x).into(&mut y_seq).unwrap();
+        let kind = BackendKind::parse("dist:3").unwrap();
+        let exec = DynCtx::runtime(kind);
+        assert_eq!(exec.threads(), 3);
+        assert_eq!(exec.backend_name(), "distributed(bsp)");
+        let mut y = Vector::zeros(2);
+        exec.mxv(&a, &x).into(&mut y).unwrap();
+        assert_eq!(y.as_slice(), y_seq.as_slice());
+        match kind {
+            BackendKind::Dist(d) => assert!(d.total_h_bytes() > 0.0, "cost was recorded"),
+            _ => unreachable!(),
+        }
     }
 
     #[test]

@@ -101,6 +101,7 @@
 //! | [`container`] | [`Vector`] (dense or sparse pattern) and [`CsrMatrix`] |
 //! | [`descriptor`] | operation descriptors (structural mask, transpose, …) |
 //! | [`backend`] | [`Sequential`] and [`Parallel`] execution backends |
+//! | [`backend::dist`] | [`Distributed`]: the whole surface on a simulated BSP cluster, costs recorded per superstep |
 //! | [`exec`] | the kernels behind the builders (incl. the fused entry points) |
 //! | [`linop`] | matrix-free [`LinearOperator`] extension (paper §VII-A) |
 
@@ -121,12 +122,13 @@ pub mod ops;
 pub mod pipeline;
 pub(crate) mod util;
 
+pub use backend::dist::{ClassCost, CostSummary, DistConfig, Distributed, ShardLayout};
 pub use backend::{Backend, Parallel, Sequential};
 pub use container::matrix::CsrMatrix;
 pub use container::vector::Vector;
 pub use context::{
-    ctx, ApplyBuilder, BackendKind, Ctx, DotBuilder, DynCtx, EwiseBuilder, Exec, MxmBuilder,
-    MxvBuilder, ReduceBuilder, TransformBuilder,
+    ctx, ctx_on, ApplyBuilder, BackendKind, Ctx, DotBuilder, DynCtx, EwiseBuilder, Exec,
+    MxmBuilder, MxvBuilder, ReduceBuilder, TransformBuilder, DEFAULT_DIST_NODES,
 };
 pub use descriptor::Descriptor;
 pub use error::{GrbError, Result};

@@ -7,7 +7,11 @@
 //!   before *every* `mxv` (including each RBGS color step and each grid
 //!   transfer) all nodes must receive the full input vector — the
 //!   `Θ(n(p−1)/p)` allgather of Table I. GraphBLAS semantics are blocking:
-//!   no compute/communication overlap.
+//!   no compute/communication overlap. Since the generic distributed
+//!   backend landed this is literally [`crate::grb_impl::GrbHpcg`] on a
+//!   `Ctx<graphblas::Distributed>`: the allgather/allreduce recording
+//!   lives in the backend, and this type only scopes each superstep to
+//!   its multigrid level and kernel class.
 //! * [`ref_dist::RefDistHpcg`] — the reference design: **3D geometric**
 //!   boxes with 2D halo exchange, `Θ(∛(n²/p²))` per `mxv`, color-sliced
 //!   halo messages inside RBGS, `MPI_Irecv/Isend`-style overlap
@@ -41,7 +45,9 @@ pub use report::{run_distributed, DistReport};
 use crate::problem::MgLevel;
 use bsp::dist::Distribution;
 
-/// Per-level, per-node partition metadata the cost recorders index.
+/// Per-level, per-node partition metadata the Ref-design cost recorder
+/// indexes (the ALP design now gets its partitions from the generic
+/// backend's [`graphblas::ShardLayout`]).
 #[derive(Clone, Debug)]
 pub(crate) struct LevelPartition {
     /// Unknowns owned by each node.
@@ -84,17 +90,10 @@ impl LevelPartition {
 /// Bytes of one `f64`.
 pub(crate) const F64: f64 = 8.0;
 
-/// Roofline byte estimate of an spmv over `nnz` nonzeroes and `rows` rows:
-/// values (8) + column indices (4) per nonzero, input gather (8) per
-/// nonzero, output + row pointer per row.
-pub(crate) fn spmv_bytes(nnz: usize, rows: usize) -> f64 {
-    (nnz * (8 + 4 + 8) + rows * 16) as f64
-}
-
-/// Byte estimate of a streaming vector op touching `k` vectors of length `n`.
-pub(crate) fn stream_bytes(k: usize, n: usize) -> f64 {
-    (k * n * 8) as f64
-}
+// One roofline price list for every distributed cost model: the Ref-design
+// simulator below uses the exact helpers the generic backend records with,
+// so the ALP-vs-Ref comparison can never drift apples-to-oranges.
+pub(crate) use graphblas::backend::dist::cost::{spmv_bytes, stream_bytes};
 
 #[cfg(test)]
 mod tests {

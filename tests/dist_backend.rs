@@ -1,0 +1,259 @@
+//! The distributed backend's two contracts, end to end:
+//!
+//! 1. **Numerics**: `Ctx<Distributed>` is bit-identical to
+//!    `ctx::<Sequential>()` across the builder surface (masks, structural
+//!    / inverted descriptors, accumulators, scaling) and through whole
+//!    graph algorithms — distribution is a *cost* property, never a
+//!    numerical one (the per-op combinations and pipelines are
+//!    property-tested in `proptest_deferred.rs`; this file adds the
+//!    eager element-wise family and the algorithm layer).
+//! 2. **Costs**: the recorded communication volumes reproduce what the
+//!    hand-written `AlpDistHpcg` accounting used to record, and both
+//!    match Table I's closed forms (`Θ(n(p−1)/p)` allgather per `mxv`,
+//!    `Θ(p)` allreduce per reduction).
+
+use bsp::collectives::{allgather_h_bytes, allreduce_h_bytes};
+use bsp::cost::KernelClass;
+use bsp::machine::MachineParams;
+use graphblas::{
+    algorithms, ctx, CsrMatrix, Ctx, DistConfig, Distributed, Exec, Max, Min, Plus, Sequential,
+    ShardLayout, Times, Vector,
+};
+use hpcg::distributed::AlpDistHpcg;
+use hpcg::problem::build_stencil_matrix;
+use hpcg::{Grid3, Kernels, Problem, RhsVariant};
+use proptest::prelude::*;
+
+/// A directed graph with weights, as (dst, src, w) triplets of `n` nodes.
+fn web_graph(n: usize) -> CsrMatrix<f64> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for v in 1..n {
+        edges.push((v, v / 2)); // binary-tree links
+        edges.push((v / 2, v));
+        edges.push((v, (v + 1) % n)); // ring
+    }
+    let mut outdeg = vec![0usize; n];
+    for &(s, _) in &edges {
+        outdeg[s] += 1;
+    }
+    let trips: Vec<(usize, usize, f64)> = edges
+        .iter()
+        .map(|&(s, d)| (d, s, 1.0 / outdeg[s] as f64))
+        .collect();
+    CsrMatrix::from_triplets(n, n, &trips).unwrap()
+}
+
+#[test]
+fn graph_algorithms_bit_identical_and_cost_accounted() {
+    let a = build_stencil_matrix(Grid3::cube(4));
+    let unit = CsrMatrix::from_row_fn(a.nrows(), a.ncols(), a.nnz(), |r, row| {
+        let (cols, _) = a.row(r);
+        for &c in cols {
+            if c as usize != r {
+                row.push((c, 1.0));
+            }
+        }
+    })
+    .unwrap();
+    let m = web_graph(50);
+    let cluster = Distributed::new(4);
+    let dist = cluster.ctx();
+    let seq = ctx::<Sequential>();
+
+    assert_eq!(
+        algorithms::bfs_levels(seq, &unit, 0).unwrap(),
+        algorithms::bfs_levels(dist, &unit, 0).unwrap()
+    );
+    assert_eq!(
+        algorithms::sssp(seq, &unit, 0).unwrap(),
+        algorithms::sssp(dist, &unit, 0).unwrap()
+    );
+    let (rank_s, it_s) = algorithms::pagerank(seq, &m, 0.85, 1e-10, 500).unwrap();
+    let (rank_d, it_d) = algorithms::pagerank(dist, &m, 0.85, 1e-10, 500).unwrap();
+    assert_eq!(it_s, it_d);
+    let bits = |v: &Vector<f64>| -> Vec<u64> { v.as_slice().iter().map(|x| x.to_bits()).collect() };
+    assert_eq!(bits(&rank_s), bits(&rank_d));
+    assert_eq!(
+        algorithms::triangle_count(seq, &unit).unwrap(),
+        algorithms::triangle_count(dist, &unit).unwrap()
+    );
+
+    // The per-kernel cost report covers everything the algorithms ran:
+    // spmv (with its allgathers), reductions (with allreduces), updates.
+    let summary = cluster.cost_summary();
+    assert!(summary.total_secs > 0.0);
+    assert!(summary.total_h_bytes > 0.0);
+    let class = |k: KernelClass| summary.per_class.iter().find(|c| c.class == k);
+    let spmv = class(KernelClass::SpMV).expect("mxv steps recorded");
+    assert!(spmv.h_bytes > 0.0, "every mxv paid an allgather");
+    let dots = class(KernelClass::Dot).expect("reduce/dot steps recorded");
+    assert!(dots.steps > 0);
+    assert!(
+        class(KernelClass::Other).is_some(),
+        "mxm recorded (tricount)"
+    );
+}
+
+#[test]
+fn allgather_volume_matches_paper_closed_form() {
+    // Θ(n(p−1)/p) of Table I, exactly, for every even split — and per
+    // reduction, the Θ(p) allreduce.
+    for p in [2usize, 4, 8] {
+        let n = 512usize;
+        let a = build_stencil_matrix(Grid3::cube(8));
+        let x = Vector::filled(n, 1.0);
+        let mut y = Vector::zeros(n);
+        let cluster = Distributed::new(p);
+        cluster.ctx().mxv(&a, &x).into(&mut y).unwrap();
+        cluster.ctx().dot(&x, &y).compute().unwrap();
+        let t = cluster.tracker();
+        assert_eq!(
+            t.steps()[0].h_bytes,
+            allgather_h_bytes(p, n / p, 8),
+            "p={p}"
+        );
+        assert_eq!(t.steps()[1].h_bytes, allreduce_h_bytes(p, 8), "p={p}");
+        // The closed form approaches n·8 from below as p grows.
+        assert!(t.steps()[0].h_bytes < n as f64 * 8.0);
+    }
+}
+
+#[test]
+fn generic_backend_reproduces_alp_dist_recorded_volumes() {
+    // The rebased AlpDistHpcg drives the generic backend with the same
+    // BLOCK=64 block-cyclic layout the hand-rolled accounting used; a
+    // from-scratch cluster with that layout must record identical
+    // communication for the same kernel sequence.
+    let prob = Problem::build_with(Grid3::cube(8), 2, RhsVariant::Reference).unwrap();
+    let n = prob.n();
+    let p = 4usize;
+    let mut alp = AlpDistHpcg::new(prob.clone(), p, MachineParams::arm_cluster());
+    let x = Vector::filled(n, 1.0);
+    let mut y = alp.alloc(0);
+    alp.spmv(0, &mut y, &x);
+    let d = alp.dot(0, &x, &y);
+
+    let cluster =
+        Distributed::with_config(DistConfig::new(p).layout(ShardLayout::BlockCyclic { block: 64 }));
+    let mut y2 = Vector::zeros(n);
+    cluster
+        .ctx()
+        .mxv(&prob.levels[0].a, &x)
+        .into(&mut y2)
+        .unwrap();
+    let d2 = cluster.ctx().dot(&x, &y2).compute().unwrap();
+
+    assert_eq!(d.to_bits(), d2.to_bits());
+    let (ta, tg) = (alp.tracker().clone(), cluster.tracker());
+    assert_eq!(ta.superstep_count(), tg.superstep_count());
+    for (sa, sg) in ta.steps().iter().zip(tg.steps()) {
+        assert_eq!(sa.h_bytes, sg.h_bytes, "same exchange, byte for byte");
+    }
+    // ... and those volumes are Table I's closed forms (n divides by p·64
+    // evenly here, so the block-cyclic shares are exact n/p).
+    assert_eq!(ta.steps()[0].h_bytes, allgather_h_bytes(p, n / p, 8));
+    assert_eq!(ta.steps()[1].h_bytes, allreduce_h_bytes(p, 8));
+}
+
+#[test]
+fn uneven_shards_make_the_straggler_pay() {
+    // 10 elements on 3 block-sharded nodes: node 0 holds 4, so both its
+    // send volume and its compute dominate the h-relation/work maxima.
+    let n = 10usize;
+    let a = CsrMatrix::<f64>::from_triplets(n, n, &(0..n).map(|i| (i, i, 1.0)).collect::<Vec<_>>())
+        .unwrap();
+    let x = Vector::filled(n, 1.0);
+    let mut y = Vector::zeros(n);
+    let cluster = Distributed::new(3);
+    cluster.ctx().mxv(&a, &x).into(&mut y).unwrap();
+    let step = cluster.tracker().steps()[0];
+    assert_eq!(
+        step.h_bytes,
+        2.0 * 4.0 * 8.0,
+        "the 4-element shard fans out"
+    );
+}
+
+/// Eager element-wise / apply / reduce builder combinations, Distributed
+/// vs Sequential, bit for bit (integer-valued data → any divergence is a
+/// scheduling bug).
+fn check_elementwise_family<E: Exec>(
+    exec: Ctx<E>,
+    xs: &[i64],
+    ys: &[i64],
+    mask_bits: &[bool],
+    structural: bool,
+    inverted: bool,
+) -> (Vec<u64>, u64, u64) {
+    let n = xs.len();
+    let x = Vector::from_dense(xs.iter().map(|&v| v as f64).collect());
+    let y = Vector::from_dense(ys.iter().map(|&v| v as f64).collect());
+    let idx: Vec<u32> = (0..n)
+        .filter(|&i| mask_bits.get(i).copied().unwrap_or(false))
+        .map(|i| i as u32)
+        .collect();
+    let mask = if idx.is_empty() {
+        None
+    } else {
+        Some(Vector::<bool>::sparse_filled(n, idx, true).unwrap())
+    };
+    let mut w = Vector::from_dense((0..n).map(|i| (i % 3) as f64).collect::<Vec<_>>());
+    {
+        let mut b = exec.ewise(&x, &y).op(Times).scaled(2.0, -3.0).accum(Plus);
+        if let Some(m) = mask.as_ref() {
+            b = b.mask(m);
+        }
+        if structural {
+            b = b.structural();
+        }
+        if inverted {
+            b = b.invert_mask();
+        }
+        b.into(&mut w).unwrap();
+    }
+    {
+        let mut b = exec.apply(&x).op(graphblas::Abs).accum(Max);
+        if let Some(m) = mask.as_ref() {
+            b = b.mask(m);
+        }
+        if structural {
+            b = b.structural();
+        }
+        b.into(&mut w).unwrap();
+    }
+    let reduced = {
+        let mut b = exec.reduce(&w).monoid(Min);
+        if let Some(m) = mask.as_ref() {
+            b = b.mask(m);
+        }
+        if inverted {
+            b = b.invert_mask();
+        }
+        b.compute().unwrap()
+    };
+    let dotted = exec.dot(&w, &y).compute().unwrap();
+    (
+        w.as_slice().iter().map(|v| v.to_bits()).collect(),
+        reduced.to_bits(),
+        dotted.to_bits(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn elementwise_family_bit_identical_distributed_vs_sequential(
+        xs in proptest::collection::vec(-5i64..=5, 1..24),
+        ys_seed in proptest::collection::vec(-5i64..=5, 1..24),
+        mask_bits in proptest::collection::vec(proptest::bool::ANY, 0..24),
+        structural in proptest::bool::ANY,
+        inverted in proptest::bool::ANY,
+    ) {
+        let n = xs.len();
+        let ys: Vec<i64> = (0..n).map(|i| ys_seed.get(i).copied().unwrap_or(1)).collect();
+        let seq = check_elementwise_family(ctx::<Sequential>(), &xs, &ys, &mask_bits, structural, inverted);
+        let dist = check_elementwise_family(Distributed::new(3).ctx(), &xs, &ys, &mask_bits, structural, inverted);
+        prop_assert_eq!(seq, dist);
+    }
+}

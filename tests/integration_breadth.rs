@@ -7,7 +7,7 @@ use bsp::machine::MachineParams;
 use graphblas::io::{
     read_matrix_market, read_vector_market, write_matrix_market, write_vector_market,
 };
-use graphblas::{algorithms, extract_submatrix, CsrMatrix, Sequential, Vector};
+use graphblas::{algorithms, ctx, extract_submatrix, CsrMatrix, Sequential, Vector};
 use hpcg::distributed::{run_distributed, AlpDistHpcg};
 use hpcg::problem::{build_rhs, build_stencil_matrix, Problem, RhsVariant};
 use hpcg::Grid3;
@@ -35,7 +35,7 @@ fn matrix_market_roundtrip_preserves_solver_behaviour() {
 fn bfs_on_the_stencil_graph_is_chebyshev_distance() {
     let grid = Grid3::cube(5);
     let a = build_stencil_matrix(grid);
-    let levels = algorithms::bfs_levels::<Sequential>(&a, 0).unwrap();
+    let levels = algorithms::bfs_levels(ctx::<Sequential>(), &a, 0).unwrap();
     for (g, &level) in levels.iter().enumerate() {
         let (x, y, z) = grid.coords(g);
         assert_eq!(level, x.max(y).max(z) as i64, "at {:?}", (x, y, z));
@@ -57,8 +57,8 @@ fn sssp_on_uniform_stencil_weights_matches_bfs() {
         }
     })
     .unwrap();
-    let dist = algorithms::sssp::<Sequential>(&unit, 0).unwrap();
-    let levels = algorithms::bfs_levels::<Sequential>(&unit, 0).unwrap();
+    let dist = algorithms::sssp(ctx::<Sequential>(), &unit, 0).unwrap();
+    let levels = algorithms::bfs_levels(ctx::<Sequential>(), &unit, 0).unwrap();
     for g in 0..grid.len() {
         assert_eq!(dist[g], levels[g] as f64);
     }
@@ -79,8 +79,8 @@ fn stencil_interior_triangle_count_is_positive_and_symmetric() {
         }
     })
     .unwrap();
-    let t1 = algorithms::triangle_count::<Sequential>(&simple).unwrap();
-    let t2 = algorithms::triangle_count::<Sequential>(&simple.transpose()).unwrap();
+    let t1 = algorithms::triangle_count(ctx::<Sequential>(), &simple).unwrap();
+    let t2 = algorithms::triangle_count(ctx::<Sequential>(), &simple.transpose()).unwrap();
     assert!(t1 > 0);
     assert_eq!(t1, t2);
 }
@@ -129,7 +129,7 @@ fn pagerank_on_stencil_graph_is_uniform_for_interior_symmetry() {
         }
     })
     .unwrap();
-    let (rank, iters) = algorithms::pagerank::<Sequential>(&m, 0.85, 1e-10, 500).unwrap();
+    let (rank, iters) = algorithms::pagerank(ctx::<Sequential>(), &m, 0.85, 1e-10, 500).unwrap();
     assert!(iters < 500);
     let total: f64 = rank.as_slice().iter().sum();
     assert!((total - 1.0).abs() < 1e-8);

@@ -11,7 +11,7 @@
 //! for non-associative data, which the end-to-end solver test below checks
 //! with genuinely irrational values.
 
-use graphblas::{ctx, Backend, CsrMatrix, Parallel, Plus, Sequential, Vector};
+use graphblas::{ctx, CsrMatrix, Ctx, Distributed, Exec, Parallel, Plus, Sequential, Vector};
 use hpcg::cg::{cg_solve, CgWorkspace};
 use hpcg::mg::MgWorkspace;
 use hpcg::{GrbHpcg, Grid3, Kernels, Problem, RhsVariant};
@@ -49,9 +49,12 @@ fn vec_mod(n: usize, m: usize, off: i64) -> Vector<f64> {
 }
 
 /// One CG-iteration-shaped op sequence with decorated smoother/refinement
-/// steps, executed eagerly and through pipelines, compared bitwise.
+/// steps, executed eagerly and through pipelines, compared bitwise. Takes
+/// the execution context by value so the same check drives the static
+/// backends and a `Distributed` cluster handle.
 #[allow(clippy::too_many_arguments)]
-fn check_cg_sequence<B: Backend>(
+fn check_cg_sequence<E: Exec>(
+    exec: Ctx<E>,
     a: &CsrMatrix<f64>,
     mask_bits: &[bool],
     structural: bool,
@@ -62,7 +65,6 @@ fn check_cg_sequence<B: Backend>(
     let diag = Vector::from_dense((0..n).map(|i| (i % 4 + 1) as f64).collect::<Vec<_>>());
     let r0 = vec_mod(n, 5, -2);
     let mask = mask_for(n, mask_bits);
-    let exec = ctx::<B>();
 
     // --- eager reference ---------------------------------------------------
     let mut ap_e = Vector::zeros(n);
@@ -186,14 +188,18 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
     #[test]
-    fn cg_op_sequence_pipeline_bit_identical_on_both_backends(
+    fn cg_op_sequence_pipeline_bit_identical_on_all_backends(
         a in arb_square(12),
         mask_bits in proptest::collection::vec(proptest::bool::ANY, 0..12),
         structural in proptest::bool::ANY,
         inverted in proptest::bool::ANY,
     ) {
-        check_cg_sequence::<Sequential>(&a, &mask_bits, structural, inverted)?;
-        check_cg_sequence::<Parallel>(&a, &mask_bits, structural, inverted)?;
+        check_cg_sequence(ctx::<Sequential>(), &a, &mask_bits, structural, inverted)?;
+        check_cg_sequence(ctx::<Parallel>(), &a, &mask_bits, structural, inverted)?;
+        // The distributed backend computes on global state through the
+        // sequential kernels while recording BSP costs: it is held to the
+        // same bitwise contract, eager and pipelined.
+        check_cg_sequence(Distributed::new(3).ctx(), &a, &mask_bits, structural, inverted)?;
     }
 }
 
@@ -202,10 +208,10 @@ proptest! {
 /// backends (the residual involves irrational intermediate values, so this
 /// would catch any fused reduction whose association order drifts).
 #[test]
-fn full_solver_pipeline_on_off_bit_identical_both_backends() {
-    fn run<B: Backend>(p: &Problem, pipelined: bool) -> (Vec<u64>, Vec<u64>) {
+fn full_solver_pipeline_on_off_bit_identical_all_backends() {
+    fn run_on<E: Exec>(p: &Problem, exec: Ctx<E>, pipelined: bool) -> (Vec<u64>, Vec<u64>) {
         let b = p.b.clone();
-        let mut k = GrbHpcg::<B>::new(p.clone());
+        let mut k = GrbHpcg::with_ctx(p.clone(), exec);
         k.set_pipeline(pipelined);
         let mut cg_ws = CgWorkspace::new(&k);
         let mut mg_ws = MgWorkspace::new(&k);
@@ -217,6 +223,14 @@ fn full_solver_pipeline_on_off_bit_identical_both_backends() {
         )
     }
     let p = Problem::build_with(Grid3::cube(8), 2, RhsVariant::Reference).unwrap();
-    assert_eq!(run::<Sequential>(&p, true), run::<Sequential>(&p, false));
-    assert_eq!(run::<Parallel>(&p, true), run::<Parallel>(&p, false));
+    let seq = run_on(&p, ctx::<Sequential>(), true);
+    assert_eq!(seq, run_on(&p, ctx::<Sequential>(), false));
+    assert_eq!(
+        run_on(&p, ctx::<Parallel>(), true),
+        run_on(&p, ctx::<Parallel>(), false)
+    );
+    // The whole solver on the simulated cluster: bit-identical to the
+    // sequential runs, fused or not.
+    assert_eq!(run_on(&p, Distributed::new(4).ctx(), true), seq);
+    assert_eq!(run_on(&p, Distributed::new(4).ctx(), false), seq);
 }
