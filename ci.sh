@@ -23,6 +23,29 @@ echo "==> scaling_report smoke sweep (BENCH_dist.json)"
 cargo run --release -p hpcg-bench --bin scaling_report -- \
     --size 8 --iters 2 --nodes 1,2,4 --out BENCH_dist.json
 
+echo "==> perf_probe smoke (BENCH_shared.json)"
+# Shared-memory kernel timings in machine-readable form — the
+# counterpart of BENCH_dist.json for SpMV/dot regressions.
+cargo run --release -p hpcg-bench --bin perf_probe -- \
+    --size 16 --reps 40 --out BENCH_shared.json
+python3 -c "import json; json.load(open('BENCH_shared.json'))" \
+    || { echo "BENCH_shared.json is not valid JSON" >&2; exit 1; }
+
+echo "==> serve smoke (mixed two-tenant load, bit-exact verify, BENCH_serve.json)"
+# Concurrent two-tenant mixed jobs across seq/par/dist:2; --verify
+# asserts every response bit-identical to direct Sequential execution.
+cargo run --release -p hpcg-bench --bin serve_bench -- \
+    --threads 4 --jobs 12 --n 32 --workers 2 --verify --out BENCH_serve.json
+python3 -c "
+import json
+d = json.load(open('BENCH_serve.json'))
+assert d['total_jobs'] == 48, d['total_jobs']
+assert d['verified'] is not None and d['verified'] > 0, 'verify did not run'
+assert {t['tenant'] for t in d['tenants']} >= {'acme', 'zeta'}, d['tenants']
+print('BENCH_serve.json well-formed:', d['total_jobs'], 'jobs,',
+      d['verified'], 'verified bit-exact')
+" || { echo "BENCH_serve.json malformed" >&2; exit 1; }
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -5,10 +5,13 @@
 //! (they run sequentially, seconds apart); the minimum of many direct
 //! calls is stable to ~1 %. This probe prints, for each fusable pair, the
 //! hand-written single pass, the raw fused `Exec` kernel, the full
-//! record-fuse-finish pipeline, and the unfused eager pair:
+//! record-fuse-finish pipeline, and the unfused eager pair, and writes
+//! the same numbers as JSON — the shared-memory counterpart of
+//! `BENCH_dist.json`, so both backends have a diffable perf file:
 //!
 //! ```text
-//! cargo run --release -p hpcg-bench --bin perf_probe [--size 24] [--reps 300]
+//! cargo run --release -p hpcg-bench --bin perf_probe -- \
+//!     [--size 24] [--reps 300] [--out BENCH_shared.json]
 //! ```
 //!
 //! Acceptance: `pipeline` within 10 % of `hand` (the probe regularly shows
@@ -19,6 +22,7 @@ use hpcg::fused::{axpy_norm_fused, axpy_norm_hand, spmv_dot_fused, spmv_dot_hand
 use hpcg::problem::build_stencil_matrix;
 use hpcg::Grid3;
 use hpcg_bench::cli::Args;
+use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -34,10 +38,25 @@ fn min_time<F: FnMut() -> f64>(mut f: F, reps: usize) -> f64 {
     best
 }
 
+/// One probed kernel: its name, working-set descriptor, and arm timings
+/// (seconds; `raw` only exists for the spmv+dot pair).
+struct Probe {
+    kernel: &'static str,
+    elements: usize,
+    hand: f64,
+    raw: Option<f64>,
+    pipe: f64,
+    unfused: f64,
+}
+
 fn main() {
     let args = Args::from_env();
     let size = args.get_usize("size", 24);
     let reps = args.get_usize("reps", 300);
+    let out_path = args
+        .get_str("out")
+        .unwrap_or("BENCH_shared.json")
+        .to_string();
     let exec = ctx::<Sequential>();
 
     let a = build_stencil_matrix(Grid3::cube(size));
@@ -81,6 +100,14 @@ fn main() {
         (pipe / hand - 1.0) * 100.0,
         unfused * 1e6,
     );
+    let spmv_probe = Probe {
+        kernel: "spmv_dot",
+        elements: a.nnz(),
+        hand,
+        raw: Some(raw),
+        pipe,
+        unfused,
+    };
 
     let m = n * 8;
     let q = Vector::from_dense((0..m).map(|i| (i % 7) as f64).collect());
@@ -101,4 +128,41 @@ fn main() {
         (pipe / hand - 1.0) * 100.0,
         unfused * 1e6,
     );
+    let axpy_probe = Probe {
+        kernel: "axpy_norm",
+        elements: m,
+        hand,
+        raw: None,
+        pipe,
+        unfused,
+    };
+
+    let mut kernels_json = String::new();
+    for (i, p) in [spmv_probe, axpy_probe].iter().enumerate() {
+        let raw_field = match p.raw {
+            Some(r) => format!("{r:.9e}"),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            kernels_json,
+            "{}    {{\n      \"kernel\": \"{}\",\n      \"elements\": {},\n      \
+             \"hand_secs\": {:.9e},\n      \"raw_exec_secs\": {raw_field},\n      \
+             \"pipeline_secs\": {:.9e},\n      \"unfused_secs\": {:.9e},\n      \
+             \"pipeline_vs_hand\": {:.4}\n    }}",
+            if i == 0 { "" } else { ",\n" },
+            p.kernel,
+            p.elements,
+            p.hand,
+            p.pipe,
+            p.unfused,
+            p.pipe / p.hand,
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"perf_probe\",\n  \"backend\": \"sequential (shared memory)\",\n  \
+         \"grid\": {size},\n  \"n\": {n},\n  \"reps\": {reps},\n  \"timing\": \"min of reps\",\n  \
+         \"kernels\": [\n{kernels_json}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("writing the JSON report must succeed");
+    println!("wrote {out_path} ({} bytes)", json.len());
 }

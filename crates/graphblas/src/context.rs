@@ -1150,6 +1150,29 @@ mod tests {
         assert!(e.contains("node count"), "got: {e}");
         let e = BackendKind::parse("dust:4").unwrap_err().to_string();
         assert!(e.contains("dist[:<nodes>]"), "got: {e}");
+        // Non-integer, internal-whitespace, and overflowing counts all
+        // name the offending token instead of silently defaulting.
+        let e = BackendKind::parse("dist:3.5").unwrap_err().to_string();
+        assert!(e.contains("3.5"), "got: {e}");
+        let e = BackendKind::parse("dist: 4").unwrap_err().to_string();
+        assert!(e.contains("node count"), "got: {e}");
+        let e = BackendKind::parse("distributed:").unwrap_err().to_string();
+        assert!(e.contains("node count"), "got: {e}");
+        let e = BackendKind::parse("dist:99999999999999999999999")
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("node count"), "got: {e}");
+    }
+
+    #[test]
+    fn empty_and_whitespace_specs_are_rejected() {
+        let e = BackendKind::parse("").unwrap_err().to_string();
+        assert!(e.contains("unknown backend"), "got: {e}");
+        let e = BackendKind::parse("   \t ").unwrap_err().to_string();
+        assert!(e.contains("unknown backend"), "got: {e}");
+        assert!("".parse::<BackendKind>().is_err());
+        // A separator with no family name is not a dist spelling.
+        assert!(BackendKind::parse(":4").is_err());
     }
 
     #[test]
@@ -1295,5 +1318,55 @@ mod tests {
         let err = err.expect_err("invalid GRB_BACKEND must not silently fall back");
         assert!(err.to_string().contains("GRB_BACKEND"), "got: {err}");
         assert!(err.to_string().contains("gpu"), "got: {err}");
+    }
+
+    /// Runs `f` with `GRB_BACKEND` set to `value`, restoring the previous
+    /// state afterwards (under [`ENV_LOCK`], which the caller must hold).
+    fn with_env_backend<R>(value: &str, f: impl FnOnce() -> R) -> R {
+        let previous = std::env::var("GRB_BACKEND").ok();
+        std::env::set_var("GRB_BACKEND", value);
+        let out = f();
+        match previous {
+            Some(v) => std::env::set_var("GRB_BACKEND", v),
+            None => std::env::remove_var("GRB_BACKEND"),
+        }
+        out
+    }
+
+    #[test]
+    fn malformed_dist_env_values_error_with_the_value() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        for bad in ["dist:zero", "dist:0", "dist:-1", "dist:"] {
+            let err = with_env_backend(bad, || DynCtx::from_env_or(BackendKind::Sequential))
+                .expect_err("malformed dist count in GRB_BACKEND must error");
+            let msg = err.to_string();
+            assert!(msg.contains("GRB_BACKEND"), "{bad}: got {msg}");
+            assert!(msg.contains(bad), "{bad}: got {msg}");
+        }
+    }
+
+    #[test]
+    fn empty_env_value_is_an_error_not_unset() {
+        // `GRB_BACKEND=` (set but empty) is a malformed request, not the
+        // absence of one: the default must NOT kick in silently.
+        let _guard = ENV_LOCK.lock().unwrap();
+        let err = with_env_backend("", || DynCtx::from_env_or(BackendKind::Parallel))
+            .expect_err("empty GRB_BACKEND must error");
+        assert!(err.to_string().contains("GRB_BACKEND"), "got: {err}");
+        let err = with_env_backend("", BackendKind::from_env)
+            .expect_err("from_env agrees with from_env_or");
+        assert!(err.to_string().contains("invalid"), "got: {err}");
+    }
+
+    #[test]
+    fn valid_env_value_overrides_the_default() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let exec = with_env_backend("seq", || DynCtx::from_env_or(BackendKind::Parallel))
+            .expect("valid GRB_BACKEND parses");
+        assert_eq!(exec.kind(), BackendKind::Sequential);
+        // Whitespace is tolerated in a *valid* spelling.
+        let exec = with_env_backend("  PAR  ", || DynCtx::from_env_or(BackendKind::Sequential))
+            .expect("padded GRB_BACKEND parses");
+        assert_eq!(exec.kind(), BackendKind::Parallel);
     }
 }

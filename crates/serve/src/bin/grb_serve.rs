@@ -1,0 +1,57 @@
+//! The standalone solve-service daemon.
+//!
+//! ```text
+//! grb_serve [--socket PATH] [--workers N] [--queue-bound K]
+//! ```
+//!
+//! Binds the wire protocol on a Unix socket and serves until killed.
+//! Talk to it with [`serve::net::Client`] or any program that speaks the
+//! framed line grammar in [`serve::protocol`].
+
+use serve::net::SocketServer;
+use serve::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn parse_args() -> Result<(PathBuf, ServerConfig), String> {
+    let mut socket = PathBuf::from("/tmp/grb_serve.sock");
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| args.next().ok_or_else(|| format!("{what} expects a value"));
+        match flag.as_str() {
+            "--socket" => socket = PathBuf::from(value("--socket")?),
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects an integer".to_string())?;
+            }
+            "--queue-bound" => {
+                config.queue_bound = value("--queue-bound")?
+                    .parse()
+                    .map_err(|_| "--queue-bound expects an integer".to_string())?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if config.workers == 0 {
+        return Err("the daemon needs at least one worker".into());
+    }
+    Ok((socket, config))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (socket, config) = parse_args()?;
+    let server = Arc::new(Server::start(config));
+    let frontend = SocketServer::bind(Arc::clone(&server), &socket)?;
+    println!(
+        "grb_serve listening on {} ({} workers, queue bound {})",
+        frontend.path().display(),
+        config.workers,
+        config.queue_bound
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,148 @@
+//! Typed service errors and their wire codes.
+//!
+//! The service's error discipline extends the GraphBLAS one (errors are
+//! values, callers decide policy) with the conditions only a long-running
+//! server has: admission-control rejection ([`ServeError::Overloaded`]),
+//! protocol violations, unknown registry names, and shutdown races. Every
+//! variant maps onto a stable wire code so remote clients can branch on
+//! the condition without parsing prose.
+
+use graphblas::GrbError;
+use std::fmt;
+
+/// The error type of every fallible service operation, in-process or on
+/// the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control rejected the job: the bounded queue already holds
+    /// `bound` jobs. The request was **not** enqueued; the client owns the
+    /// retry policy (the typed alternative to queueing unboundedly).
+    Overloaded {
+        /// The queue bound that was hit.
+        bound: usize,
+    },
+    /// The request line failed to parse or asked for something malformed
+    /// (bad backend spec, bad vector literal, wrong token count).
+    BadRequest(String),
+    /// The named matrix is not in the registry.
+    NoSuchMatrix(String),
+    /// The job executed and the kernel layer reported an error
+    /// (dimension mismatch, negative cycle, ...).
+    Exec(GrbError),
+    /// A socket/framing failure.
+    Io(String),
+    /// The server shut down while the job was queued or in flight.
+    Shutdown,
+}
+
+impl ServeError {
+    /// The stable wire code of this error (`err <code> <message>`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::NoSuchMatrix(_) => "no_such_matrix",
+            ServeError::Exec(_) => "exec",
+            ServeError::Io(_) => "io",
+            ServeError::Shutdown => "shutdown",
+        }
+    }
+
+    /// Reconstructs an error from its wire code and message (lossy: the
+    /// structured fields collapse into prose on the wire).
+    pub fn from_wire(code: &str, message: &str) -> ServeError {
+        match code {
+            "overloaded" => ServeError::Overloaded {
+                bound: message
+                    .split_whitespace()
+                    .find_map(|t| t.trim_matches(|c: char| !c.is_ascii_digit()).parse().ok())
+                    .unwrap_or(0),
+            },
+            "no_such_matrix" => {
+                // Recover the name from `no matrix named "x" is registered`.
+                let name = message.split('"').nth(1).unwrap_or(message).to_string();
+                ServeError::NoSuchMatrix(name)
+            }
+            "exec" => ServeError::Exec(GrbError::InvalidInput(message.to_string())),
+            "io" => ServeError::Io(message.to_string()),
+            "shutdown" => ServeError::Shutdown,
+            _ => ServeError::BadRequest(message.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { bound } => {
+                write!(f, "queue full at bound {bound}, job rejected")
+            }
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::NoSuchMatrix(name) => write!(f, "no matrix named {name:?} is registered"),
+            ServeError::Exec(e) => write!(f, "execution failed: {e}"),
+            ServeError::Io(msg) => write!(f, "i/o failure: {msg}"),
+            ServeError::Shutdown => write!(f, "server shut down before the job completed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<GrbError> for ServeError {
+    fn from(e: GrbError) -> ServeError {
+        ServeError::Exec(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used throughout the service.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errors = [
+            ServeError::Overloaded { bound: 4 },
+            ServeError::BadRequest("x".into()),
+            ServeError::NoSuchMatrix("a".into()),
+            ServeError::Exec(GrbError::Unsupported("y")),
+            ServeError::Io("pipe".into()),
+            ServeError::Shutdown,
+        ];
+        let codes: Vec<&str> = errors.iter().map(ServeError::code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "overloaded",
+                "bad_request",
+                "no_such_matrix",
+                "exec",
+                "io",
+                "shutdown"
+            ]
+        );
+    }
+
+    #[test]
+    fn overloaded_round_trips_its_bound() {
+        let e = ServeError::Overloaded { bound: 7 };
+        let back = ServeError::from_wire(e.code(), &e.to_string());
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn display_names_the_condition() {
+        let e = ServeError::Overloaded { bound: 3 };
+        assert!(e.to_string().contains("bound 3"));
+        let e = ServeError::NoSuchMatrix("web".into());
+        assert!(e.to_string().contains("web"));
+    }
+}

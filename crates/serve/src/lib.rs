@@ -1,0 +1,213 @@
+//! A long-running solve service over the GraphBLAS execution contexts.
+//!
+//! Everything else in this workspace is a one-shot binary; this crate is
+//! the piece the ROADMAP's production north star needs — a server that
+//! stays up and takes **concurrent** jobs: CG/HPCG solves, the graph
+//! algorithms (`bfs`/`sssp`/`pagerank`/`tricount`), and raw `mxv`/`dot`
+//! micro-ops. One `Exec` surface means a job runs unchanged on `seq`,
+//! `par`, or `dist:<p>` — the request just names its backend.
+//!
+//! The server owns:
+//!
+//! * a [`Registry`] of named matrices (plus a cache of generated HPCG
+//!   problems),
+//! * a **bounded** [`JobQueue`] with admission control — a full queue
+//!   rejects with the typed [`ServeError::Overloaded`] instead of
+//!   queueing unboundedly,
+//! * a worker pool where each worker owns its own execution state
+//!   (per-worker cluster cache, per-job `DynCtx` — no shared-pool
+//!   contention),
+//! * cross-request batching of small same-matrix SpMVs into one sweep
+//!   ([`batcher`]), bit-identical to unbatched execution,
+//! * per-tenant [`Metering`] in the distributed backend's BSP cost
+//!   currency, so every response carries the tenant's cumulative
+//!   modeled seconds and h-relation bytes.
+//!
+//! Remote access speaks a length-prefixed line protocol over a Unix
+//! socket ([`net`]); in-process callers (tests, benches) use
+//! [`Server::call`] directly — both paths run the same queue and
+//! workers.
+//!
+//! ```
+//! use serve::{Server, ServerConfig};
+//! use serve::protocol::{BackendSpec, JobSpec, Payload, Request};
+//!
+//! let server = Server::start(ServerConfig::default());
+//! server
+//!     .call(Request {
+//!         tenant: "docs".into(),
+//!         backend: BackendSpec::Seq,
+//!         job: JobSpec::Put {
+//!             name: "a".into(),
+//!             nrows: 2,
+//!             ncols: 2,
+//!             triplets: vec![(0, 0, 2.0), (1, 1, 3.0)],
+//!         },
+//!     })
+//!     .unwrap();
+//! let (payload, meter) = server
+//!     .call(Request {
+//!         tenant: "docs".into(),
+//!         backend: BackendSpec::Seq,
+//!         job: JobSpec::Mxv { matrix: "a".into(), x: vec![1.0, 1.0] },
+//!     })
+//!     .unwrap();
+//! assert_eq!(payload, Payload::Vector(vec![2.0, 3.0]));
+//! assert_eq!(meter.jobs, 2);
+//! server.shutdown();
+//! ```
+
+pub mod batcher;
+pub mod error;
+pub mod metering;
+pub mod net;
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+pub mod worker;
+
+pub use error::{Result, ServeError};
+pub use metering::Metering;
+pub use protocol::{BackendSpec, JobSpec, MeterSnapshot, Payload, Request, Response};
+pub use queue::JobQueue;
+pub use registry::Registry;
+pub use worker::{Job, ServeStats};
+
+use std::sync::{mpsc, Arc};
+use worker::Worker;
+
+/// Server sizing knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads. `0` is allowed (nothing drains the queue — what
+    /// the backpressure tests use to fill it deterministically).
+    pub workers: usize,
+    /// Queued-job admission bound; the `workers+1`-th .. in-flight jobs
+    /// queue here and the bound caps that queue.
+    pub queue_bound: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_bound: 64,
+        }
+    }
+}
+
+/// A pending response: hold it while the job runs, [`wait`](JobTicket::wait)
+/// for the result.
+pub struct JobTicket {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl JobTicket {
+    /// Blocks until the job's response arrives.
+    pub fn wait(self) -> Result<(Payload, MeterSnapshot)> {
+        match self.rx.recv() {
+            Ok(response) => response.into_result(),
+            // The worker dropped the sender without replying: shutdown.
+            Err(_) => Err(ServeError::Shutdown),
+        }
+    }
+}
+
+/// The long-running solve service (in-process handle).
+pub struct Server {
+    queue: Arc<JobQueue<Job>>,
+    registry: Arc<Registry>,
+    metering: Arc<Metering>,
+    stats: Arc<ServeStats>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool and returns the handle.
+    pub fn start(config: ServerConfig) -> Server {
+        let queue = Arc::new(JobQueue::new(config.queue_bound));
+        let registry = Arc::new(Registry::new());
+        let metering = Arc::new(Metering::new());
+        let stats = Arc::new(ServeStats::default());
+        let handles = (0..config.workers)
+            .map(|i| {
+                let worker = Worker::new(
+                    Arc::clone(&queue),
+                    Arc::clone(&registry),
+                    Arc::clone(&metering),
+                    Arc::clone(&stats),
+                );
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker.run())
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Server {
+            queue,
+            registry,
+            metering,
+            stats,
+            handles,
+        }
+    }
+
+    /// Submits a job without waiting. Fails fast with
+    /// [`ServeError::Overloaded`] when the queue is at its bound.
+    pub fn submit(&self, request: Request) -> Result<JobTicket> {
+        let (tx, rx) = mpsc::channel();
+        self.queue.try_push(Job { request, reply: tx })?;
+        Ok(JobTicket { rx })
+    }
+
+    /// Submits a job and blocks for its result.
+    pub fn call(&self, request: Request) -> Result<(Payload, MeterSnapshot)> {
+        self.submit(request)?.wait()
+    }
+
+    /// The shared matrix registry (also reachable through `put` jobs).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The per-tenant meter.
+    pub fn metering(&self) -> &Metering {
+        &self.metering
+    }
+
+    /// Observability counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The admission bound the queue enforces.
+    pub fn queue_bound(&self) -> usize {
+        self.queue.bound()
+    }
+
+    /// Jobs currently queued (excludes jobs being executed).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Graceful shutdown: stop admitting, drain queued jobs, join the
+    /// workers.
+    pub fn shutdown(mut self) {
+        self.queue.close();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // `shutdown()` drains `handles`, so this only fires on a handle
+        // dropped without an explicit shutdown; close so workers exit
+        // rather than park forever.
+        self.queue.close();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

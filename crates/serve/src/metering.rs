@@ -1,0 +1,166 @@
+//! Per-tenant cost accounting.
+//!
+//! Every job a tenant runs is billed in the same currency the
+//! distributed backend already speaks: BSP [`StepCost`] supersteps.
+//! Jobs that actually ran on a `dist:<p>` cluster contribute the steps
+//! that cluster recorded (taken with `Distributed::take_steps` right
+//! after the job, while the worker still owns the cluster exclusively).
+//! Jobs that ran on `seq`/`par` are charged through a dedicated 1-node
+//! *gauge* cluster: the worker sets the tenant's kernel class as the
+//! attribution scope (`Distributed::set_scope`), records the job's
+//! touched-data volume as a local stream, and takes the tagged steps —
+//! so one `CostSummary` mechanism prices every backend. Snapshots for
+//! responses come from [`CostSummary::from_steps`] over the tenant's
+//! accumulated trace.
+
+use crate::protocol::MeterSnapshot;
+use bsp::{KernelClass, StepCost};
+use graphblas::{CostSummary, Distributed};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+#[derive(Default)]
+struct TenantState {
+    steps: Vec<StepCost>,
+    jobs: u64,
+}
+
+struct Inner {
+    tenants: HashMap<String, TenantState>,
+    gauge: Distributed,
+}
+
+/// Thread-safe per-tenant meter shared by all workers.
+pub struct Metering {
+    inner: Mutex<Inner>,
+}
+
+impl Metering {
+    /// Creates a meter with its private 1-node gauge cluster.
+    pub fn new() -> Metering {
+        Metering {
+            inner: Mutex::new(Inner {
+                tenants: HashMap::new(),
+                gauge: Distributed::new(1),
+            }),
+        }
+    }
+
+    /// Bills `tenant` for a local (`seq`/`par`) job: `n` elements
+    /// streamed across `k` logical vectors, attributed to `class`. The
+    /// gauge cluster converts the volume into modeled seconds under the
+    /// same machine model distributed jobs are priced with.
+    pub fn charge_local(&self, tenant: &str, class: KernelClass, n: usize, k: usize) {
+        let mut inner = self.inner.lock().expect("meter lock poisoned");
+        let gauge = inner.gauge;
+        gauge.set_scope(Some(class), None);
+        gauge.record_local_stream(n, k);
+        gauge.clear_scope();
+        let steps = gauge.take_steps();
+        inner
+            .tenants
+            .entry(tenant.to_string())
+            .or_default()
+            .steps
+            .extend(steps);
+    }
+
+    /// Bills `tenant` with steps recorded by the cluster a distributed
+    /// job actually ran on.
+    pub fn charge_steps(&self, tenant: &str, steps: Vec<StepCost>) {
+        if steps.is_empty() {
+            return;
+        }
+        self.inner
+            .lock()
+            .expect("meter lock poisoned")
+            .tenants
+            .entry(tenant.to_string())
+            .or_default()
+            .steps
+            .extend(steps);
+    }
+
+    /// Marks one job finished for `tenant` and returns the cumulative
+    /// snapshot the response carries.
+    pub fn complete_job(&self, tenant: &str) -> MeterSnapshot {
+        let mut inner = self.inner.lock().expect("meter lock poisoned");
+        let state = inner.tenants.entry(tenant.to_string()).or_default();
+        state.jobs += 1;
+        let summary = CostSummary::from_steps(1, "tenant", &state.steps);
+        MeterSnapshot {
+            modeled_secs: summary.total_secs,
+            h_bytes: summary.total_h_bytes,
+            supersteps: summary.supersteps,
+            jobs: state.jobs,
+        }
+    }
+
+    /// The tenant's full per-class cost breakdown (`None` if the tenant
+    /// has never completed a job).
+    pub fn summary(&self, tenant: &str) -> Option<CostSummary> {
+        let inner = self.inner.lock().expect("meter lock poisoned");
+        inner
+            .tenants
+            .get(tenant)
+            .map(|s| CostSummary::from_steps(1, "tenant", &s.steps))
+    }
+
+    /// All tenants that have been billed, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        let inner = self.inner.lock().expect("meter lock poisoned");
+        let mut names: Vec<String> = inner.tenants.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl Default for Metering {
+    fn default() -> Metering {
+        Metering::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_charges_accumulate_under_the_scoped_class() {
+        let m = Metering::new();
+        m.charge_local("acme", KernelClass::SpMV, 1024, 1);
+        m.charge_local("acme", KernelClass::Dot, 1024, 2);
+        let s = m.summary("acme").unwrap();
+        assert_eq!(s.supersteps, 2);
+        assert!(s.total_secs > 0.0);
+        let classes: Vec<KernelClass> = s.per_class.iter().map(|c| c.class).collect();
+        assert_eq!(classes, vec![KernelClass::SpMV, KernelClass::Dot]);
+    }
+
+    #[test]
+    fn tenants_are_disjoint() {
+        let m = Metering::new();
+        m.charge_local("a", KernelClass::SpMV, 100, 1);
+        m.charge_local("b", KernelClass::Dot, 200, 2);
+        let sa = m.summary("a").unwrap();
+        let sb = m.summary("b").unwrap();
+        assert_eq!(sa.supersteps, 1);
+        assert_eq!(sb.supersteps, 1);
+        assert_eq!(sa.per_class[0].class, KernelClass::SpMV);
+        assert_eq!(sb.per_class[0].class, KernelClass::Dot);
+        assert!(m.summary("c").is_none());
+    }
+
+    #[test]
+    fn snapshots_count_jobs_cumulatively() {
+        let m = Metering::new();
+        m.charge_local("t", KernelClass::SpMV, 10, 1);
+        let s1 = m.complete_job("t");
+        m.charge_local("t", KernelClass::SpMV, 10, 1);
+        let s2 = m.complete_job("t");
+        assert_eq!(s1.jobs, 1);
+        assert_eq!(s2.jobs, 2);
+        assert!(s2.modeled_secs >= s1.modeled_secs);
+        assert_eq!(s2.supersteps, 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! The socket frontend: the wire protocol over a Unix-domain socket.
+//!
+//! One accept loop hands each connection to its own thread; a connection
+//! is a sequence of framed request lines answered in order (pipelining
+//! across a single connection is sequential by design — concurrency
+//! comes from multiple connections, all funneling into the same bounded
+//! queue and worker pool as in-process callers). Admission rejections
+//! (`Overloaded`) are answered inline without occupying a worker, so the
+//! socket stays responsive exactly when the service is saturated.
+
+use crate::error::{Result, ServeError};
+use crate::protocol::{read_frame, write_frame, MeterSnapshot, Payload, Request, Response};
+use crate::Server;
+use std::io::BufReader;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running socket frontend; dropping or [`stop`](SocketServer::stop)-ping
+/// it unbinds the socket. The [`Server`] itself keeps running.
+pub struct SocketServer {
+    path: PathBuf,
+    stopping: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SocketServer {
+    /// Binds `path` and starts accepting connections for `server`.
+    pub fn bind(server: Arc<Server>, path: &Path) -> Result<SocketServer> {
+        // A stale socket file from a dead process would fail the bind.
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let stopping = Arc::clone(&stopping);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stopping.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let server = Arc::clone(&server);
+                        let _ = std::thread::Builder::new()
+                            .name("serve-conn".into())
+                            .spawn(move || handle_connection(&server, stream));
+                    }
+                })
+                .expect("failed to spawn accept thread")
+        };
+        Ok(SocketServer {
+            path: path.to_path_buf(),
+            stopping,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound socket path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stops accepting and unbinds the socket. In-flight connections
+    /// finish on their own threads.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Poke the listener so the blocking accept observes the flag.
+        let _ = UnixStream::connect(&self.path);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Serves one connection until EOF or an unrecoverable i/o error.
+fn handle_connection(server: &Server, stream: UnixStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = write_half;
+    loop {
+        let line = match read_frame(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => return, // clean EOF
+            Err(e) => {
+                // One best-effort complaint, then hang up: after a framing
+                // error the stream position is unreliable.
+                let resp = Response::from_error(&ServeError::Io(e.to_string()));
+                let _ = write_frame(&mut writer, &resp.to_line());
+                return;
+            }
+        };
+        let response = match Request::parse_line(&line) {
+            Ok(request) => match server.submit(request) {
+                Ok(ticket) => match ticket.wait() {
+                    Ok((payload, meter)) => Response::Ok { payload, meter },
+                    Err(e) => Response::from_error(&e),
+                },
+                Err(e) => Response::from_error(&e),
+            },
+            Err(e) => Response::from_error(&e),
+        };
+        if write_frame(&mut writer, &response.to_line()).is_err() {
+            return;
+        }
+    }
+}
+
+/// A blocking protocol client for one connection.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to a [`SocketServer`] at `path`.
+    pub fn connect(path: &Path) -> Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn call(&mut self, request: &Request) -> Result<(Payload, MeterSnapshot)> {
+        write_frame(&mut self.writer, &request.to_line())?;
+        match read_frame(&mut self.reader)? {
+            Some(line) => Response::parse_line(&line)?.into_result(),
+            None => Err(ServeError::Io("server closed the connection".into())),
+        }
+    }
+}

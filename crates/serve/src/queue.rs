@@ -1,0 +1,160 @@
+//! A bounded MPMC job queue with admission control.
+//!
+//! The producer side never blocks and never grows without bound:
+//! [`JobQueue::try_push`] either enqueues or returns the typed
+//! [`ServeError::Overloaded`] rejection immediately, which is the
+//! service's whole backpressure story — clients own the retry policy,
+//! the server's memory stays bounded. The consumer side blocks
+//! ([`JobQueue::pop`]) until a job or shutdown arrives, and additionally
+//! supports [`JobQueue::drain_where`] so a worker holding one job can
+//! opportunistically claim queued jobs that batch with it.
+
+use crate::error::{Result, ServeError};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded multi-producer/multi-consumer queue.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    bound: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue admitting at most `bound` queued jobs (jobs being
+    /// executed by workers no longer count against the bound).
+    pub fn new(bound: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            bound,
+        }
+    }
+
+    /// The admission bound this queue enforces.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Admits `item`, or rejects it without blocking: `Overloaded` when
+    /// the queue is full, `Shutdown` once the queue is closed.
+    pub fn try_push(&self, item: T) -> Result<()> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Err(ServeError::Shutdown);
+        }
+        if inner.items.len() >= self.bound {
+            return Err(ServeError::Overloaded { bound: self.bound });
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job arrives (returning `Some`) or the queue closes
+    /// with nothing left to drain (returning `None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Removes and returns every queued job matching `pred`, preserving
+    /// arrival order, without blocking. Used by the batcher: the worker
+    /// that popped an SpMV claims all queued SpMVs on the same matrix.
+    pub fn drain_where<F: FnMut(&T) -> bool>(&self, mut pred: F) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut matched = Vec::new();
+        let mut kept = VecDeque::with_capacity(inner.items.len());
+        for item in inner.items.drain(..) {
+            if pred(&item) {
+                matched.push(item);
+            } else {
+                kept.push_back(item);
+            }
+        }
+        inner.items = kept;
+        matched
+    }
+
+    /// Number of queued (not yet claimed) jobs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: future pushes fail with `Shutdown`, and blocked
+    /// consumers wake up. Already-queued jobs are still handed out so a
+    /// graceful shutdown drains rather than drops.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bound_is_enforced_with_typed_rejection() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let e = q.try_push(3).unwrap_err();
+        assert_eq!(e, ServeError::Overloaded { bound: 2 });
+        // Draining one admits one more.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers_and_drains() {
+        let q = Arc::new(JobQueue::new(4));
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8).unwrap_err(), ServeError::Shutdown);
+        assert_eq!(q.pop(), Some(7), "queued work survives close");
+        assert_eq!(q.pop(), None);
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn drain_where_preserves_order_and_remainder() {
+        let q = JobQueue::new(8);
+        for i in 0..6 {
+            q.try_push(i).unwrap();
+        }
+        let evens = q.drain_where(|i| i % 2 == 0);
+        assert_eq!(evens, vec![0, 2, 4]);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(5));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Shared, named state the server owns across requests.
+//!
+//! Two maps live here: the tenant-visible matrix registry (`put` jobs
+//! install into it, every by-name job reads from it) and a server-side
+//! cache of generated HPCG problems keyed by `(size, levels)` — building
+//! a multigrid hierarchy dwarfs a small solve, so repeated `hpcg` jobs
+//! must not rebuild it. Both maps hand out `Arc`s: workers read matrices
+//! concurrently without copying, and a `put` overwriting a name cannot
+//! invalidate a job already running against the old matrix.
+
+use crate::error::{Result, ServeError};
+use graphblas::CsrMatrix;
+use hpcg::{Grid3, Problem, RhsVariant};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Named-matrix registry plus the HPCG problem cache.
+#[derive(Default)]
+pub struct Registry {
+    matrices: RwLock<HashMap<String, Arc<CsrMatrix<f64>>>>,
+    problems: RwLock<HashMap<(usize, usize), Arc<Problem>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Builds a matrix from triplets and installs it under `name`,
+    /// replacing any previous holder of the name.
+    pub fn put(
+        &self,
+        name: &str,
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<()> {
+        let m = CsrMatrix::from_triplets(nrows, ncols, triplets)?;
+        self.matrices
+            .write()
+            .expect("registry lock poisoned")
+            .insert(name.to_string(), Arc::new(m));
+        Ok(())
+    }
+
+    /// Looks up a registered matrix by name.
+    pub fn get(&self, name: &str) -> Result<Arc<CsrMatrix<f64>>> {
+        self.matrices
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::NoSuchMatrix(name.to_string()))
+    }
+
+    /// Registered matrix names, for introspection.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .matrices
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Returns the cached `(size, levels)` HPCG problem, building it on
+    /// first use. Always uses the reference rhs so solves are comparable
+    /// across backends and sessions.
+    pub fn hpcg_problem(&self, size: usize, levels: usize) -> Result<Arc<Problem>> {
+        if let Some(p) = self
+            .problems
+            .read()
+            .expect("problem cache poisoned")
+            .get(&(size, levels))
+        {
+            return Ok(Arc::clone(p));
+        }
+        // Build outside the lock: hierarchy construction is the slow part
+        // and two racing builders simply produce identical problems.
+        let built = Arc::new(Problem::build_with(
+            Grid3::cube(size),
+            levels,
+            RhsVariant::Reference,
+        )?);
+        let mut cache = self.problems.write().expect("problem cache poisoned");
+        Ok(Arc::clone(cache.entry((size, levels)).or_insert(built)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_and_missing_name() {
+        let reg = Registry::new();
+        reg.put("a", 2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        let m = reg.get("a").unwrap();
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.nnz(), 2);
+        let e = reg.get("missing").unwrap_err();
+        assert_eq!(e, ServeError::NoSuchMatrix("missing".into()));
+    }
+
+    #[test]
+    fn put_rejects_out_of_bounds_triplets() {
+        let reg = Registry::new();
+        let e = reg.put("bad", 2, 2, &[(5, 0, 1.0)]).unwrap_err();
+        assert!(matches!(e, ServeError::Exec(_)));
+    }
+
+    #[test]
+    fn old_matrix_survives_replacement() {
+        let reg = Registry::new();
+        reg.put("a", 1, 1, &[(0, 0, 1.0)]).unwrap();
+        let old = reg.get("a").unwrap();
+        reg.put("a", 1, 1, &[(0, 0, 9.0)]).unwrap();
+        assert_eq!(old.get(0, 0), Some(1.0), "in-flight handle unchanged");
+        assert_eq!(reg.get("a").unwrap().get(0, 0), Some(9.0));
+    }
+
+    #[test]
+    fn hpcg_problems_are_cached() {
+        let reg = Registry::new();
+        let p1 = reg.hpcg_problem(4, 2).unwrap();
+        let p2 = reg.hpcg_problem(4, 2).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "second lookup hits the cache");
+    }
+}

@@ -1,0 +1,390 @@
+//! The worker pool: each worker owns its execution state.
+//!
+//! A worker is one OS thread looping on the shared [`JobQueue`]. Per the
+//! no-shared-pool-contention rule, everything execution-related is
+//! worker-private: the worker builds a fresh `DynCtx` per job from the
+//! request's [`BackendSpec`] and keeps its **own** cache of simulated
+//! clusters keyed by node count (clusters live in a process-wide registry
+//! and are never freed, so a per-job `Distributed::new` would leak one
+//! registry slot per request; per-worker caching also means nobody else
+//! can interleave cost steps into a cluster while a job runs on it —
+//! which is exactly what lets `take_steps()` attribute the whole trace
+//! to the job's tenant).
+//!
+//! Batching: when a worker pops a plain `mxv`, it drains every queued
+//! `mxv` against the same matrix with the same backend spelling and runs
+//! them as one shared sweep ([`batch_mxv`]). Results stay bit-identical
+//! to unbatched sequential execution; each job is billed as if it ran
+//! alone (server-side coalescing is the operator's win, not a billing
+//! discount), so metering totals are independent of batching luck.
+
+use crate::batcher::batch_mxv;
+use crate::error::{Result, ServeError};
+use crate::metering::Metering;
+use crate::protocol::{BackendSpec, JobSpec, Payload, Request, Response};
+use crate::queue::JobQueue;
+use crate::registry::Registry;
+use bsp::KernelClass;
+use graphblas::{ctx_on, BackendKind, Ctx, Distributed, Exec, Vector};
+use hpcg::{flops_per_iteration, run_with_rhs, GrbHpcg, RunConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// One unit of queued work: the request plus where to send its response.
+pub struct Job {
+    /// The parsed request.
+    pub request: Request,
+    /// Response channel; a vanished receiver is not the worker's problem.
+    pub reply: mpsc::Sender<Response>,
+}
+
+/// Server-wide observability counters.
+#[derive(Default)]
+pub struct ServeStats {
+    /// Jobs that completed successfully.
+    pub jobs_ok: AtomicU64,
+    /// Jobs that returned a typed error.
+    pub jobs_err: AtomicU64,
+    /// Batched sweeps executed (each covering ≥ 2 jobs).
+    pub batched_sweeps: AtomicU64,
+    /// Jobs that rode in a batched sweep instead of a private one.
+    pub batched_jobs: AtomicU64,
+}
+
+/// The per-thread worker state.
+pub(crate) struct Worker {
+    queue: Arc<JobQueue<Job>>,
+    registry: Arc<Registry>,
+    metering: Arc<Metering>,
+    stats: Arc<ServeStats>,
+    clusters: HashMap<usize, Distributed>,
+}
+
+impl Worker {
+    pub(crate) fn new(
+        queue: Arc<JobQueue<Job>>,
+        registry: Arc<Registry>,
+        metering: Arc<Metering>,
+        stats: Arc<ServeStats>,
+    ) -> Worker {
+        Worker {
+            queue,
+            registry,
+            metering,
+            stats,
+            clusters: HashMap::new(),
+        }
+    }
+
+    /// Main loop: runs until the queue closes and drains.
+    pub(crate) fn run(mut self) {
+        while let Some(job) = self.queue.pop() {
+            if let Some(batch) = self.try_claim_batch(&job) {
+                self.run_batch(batch);
+            } else {
+                self.run_single(job);
+            }
+        }
+    }
+
+    /// If `job` is a batchable SpMV, claims every queued SpMV on the same
+    /// matrix with the same backend and returns the whole group.
+    fn try_claim_batch(&self, job: &Job) -> Option<Vec<Job>> {
+        let (name, backend) = match (&job.request.job, job.request.backend) {
+            // Distributed SpMVs run individually so their cost steps come
+            // from the actual cluster, not a local estimate.
+            (JobSpec::Mxv { matrix, .. }, b @ (BackendSpec::Seq | BackendSpec::Par)) => {
+                (matrix.clone(), b)
+            }
+            _ => return None,
+        };
+        let mates = self.queue.drain_where(|other| {
+            other.request.backend == backend
+                && matches!(&other.request.job, JobSpec::Mxv { matrix, .. } if *matrix == name)
+        });
+        if mates.is_empty() {
+            return None;
+        }
+        let mut batch = Vec::with_capacity(mates.len() + 1);
+        // Safe: the caller hands the popped job over in run().
+        batch.push(Job {
+            request: job.request.clone(),
+            reply: job.reply.clone(),
+        });
+        batch.extend(mates);
+        Some(batch)
+    }
+
+    /// Runs a group of same-matrix SpMVs as one shared sweep.
+    fn run_batch(&mut self, batch: Vec<Job>) {
+        let name = match &batch[0].request.job {
+            JobSpec::Mxv { matrix, .. } => matrix.clone(),
+            _ => unreachable!("try_claim_batch only groups mxv jobs"),
+        };
+        let outcome = self.registry.get(&name).and_then(|a| {
+            let xs: Vec<Vector<f64>> = batch
+                .iter()
+                .map(|j| match &j.request.job {
+                    JobSpec::Mxv { x, .. } => Vector::from_dense(x.clone()),
+                    _ => unreachable!(),
+                })
+                .collect();
+            let refs: Vec<&Vector<f64>> = xs.iter().collect();
+            let ys = batch_mxv(&a, &refs)?;
+            Ok((a.nnz(), ys))
+        });
+        match outcome {
+            Ok((nnz, ys)) => {
+                self.stats.batched_sweeps.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .batched_jobs
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                for (job, y) in batch.iter().zip(ys) {
+                    // Billed exactly like a lone SpMV (see module docs).
+                    self.metering
+                        .charge_local(&job.request.tenant, KernelClass::SpMV, nnz, 1);
+                    let meter = self.metering.complete_job(&job.request.tenant);
+                    self.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(Response::Ok {
+                        payload: Payload::Vector(y.as_slice().to_vec()),
+                        meter,
+                    });
+                }
+            }
+            Err(e) => {
+                let resp = Response::from_error(&e);
+                for job in &batch {
+                    self.stats.jobs_err.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(resp.clone());
+                }
+            }
+        }
+    }
+
+    /// Runs one job end to end and replies.
+    fn run_single(&mut self, job: Job) {
+        let response = match self.execute(&job.request) {
+            Ok(payload) => {
+                let meter = self.metering.complete_job(&job.request.tenant);
+                self.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
+                Response::Ok { payload, meter }
+            }
+            Err(e) => {
+                self.stats.jobs_err.fetch_add(1, Ordering::Relaxed);
+                Response::from_error(&e)
+            }
+        };
+        let _ = job.reply.send(response);
+    }
+
+    /// The worker's cached cluster for `p` nodes.
+    fn cluster(&mut self, p: usize) -> Distributed {
+        *self
+            .clusters
+            .entry(p)
+            .or_insert_with(|| Distributed::new(p))
+    }
+
+    /// Executes `req`, charging its tenant.
+    fn execute(&mut self, req: &Request) -> Result<Payload> {
+        // `put` mutates the registry, no backend involved.
+        if let JobSpec::Put {
+            name,
+            nrows,
+            ncols,
+            triplets,
+        } = &req.job
+        {
+            self.registry.put(name, *nrows, *ncols, triplets)?;
+            self.metering
+                .charge_local(&req.tenant, KernelClass::Other, triplets.len(), 1);
+            return Ok(Payload::Ack);
+        }
+        match req.backend {
+            BackendSpec::Seq => {
+                let (payload, charge) = run_job(ctx_on(BackendKind::Sequential), self, req)?;
+                self.metering
+                    .charge_local(&req.tenant, charge.0, charge.1, charge.2);
+                Ok(payload)
+            }
+            BackendSpec::Par => {
+                let (payload, charge) = run_job(ctx_on(BackendKind::Parallel), self, req)?;
+                self.metering
+                    .charge_local(&req.tenant, charge.0, charge.1, charge.2);
+                Ok(payload)
+            }
+            BackendSpec::Dist(p) => {
+                let cluster = self.cluster(p);
+                let result = run_job(ctx_on(BackendKind::Dist(cluster)), self, req);
+                // Bill the steps the cluster actually recorded — the whole
+                // point of reusing the BSP cost model as the meter. Taken
+                // on the error path too, so a failed job cannot leak its
+                // steps into the next job's bill.
+                let steps = cluster.take_steps();
+                match result {
+                    Ok((payload, _)) => {
+                        self.metering.charge_steps(&req.tenant, steps);
+                        Ok(payload)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+}
+
+/// A local-billing estimate: `(class, elements, vectors)`.
+type Charge = (KernelClass, usize, usize);
+
+/// Runs the compute of one job on `exec`; returns the payload plus the
+/// charge used when the backend has no cost trace of its own.
+fn run_job<E: Exec>(exec: Ctx<E>, w: &Worker, req: &Request) -> Result<(Payload, Charge)> {
+    match &req.job {
+        JobSpec::Put { .. } => unreachable!("put handled before backend dispatch"),
+        JobSpec::Mxv { matrix, x } => {
+            let a = w.registry.get(matrix)?;
+            let x = Vector::from_dense(x.clone());
+            let mut y = Vector::zeros(a.nrows());
+            exec.mxv(&a, &x).into(&mut y)?;
+            Ok((
+                Payload::Vector(y.as_slice().to_vec()),
+                (KernelClass::SpMV, a.nnz(), 1),
+            ))
+        }
+        JobSpec::Dot { x, y } => {
+            let n = x.len();
+            let xv = Vector::from_dense(x.clone());
+            let yv = Vector::from_dense(y.clone());
+            let d = exec.dot(&xv, &yv).compute()?;
+            Ok((Payload::Scalar(d), (KernelClass::Dot, n, 2)))
+        }
+        JobSpec::Bfs { matrix, source } => {
+            let a = w.registry.get(matrix)?;
+            let levels = graphblas::algorithms::bfs_levels(exec, &a, *source)?;
+            let rounds = levels.iter().copied().max().unwrap_or(0).max(1) as usize;
+            Ok((
+                Payload::Levels(levels),
+                (KernelClass::SpMV, a.nnz(), rounds),
+            ))
+        }
+        JobSpec::Sssp { matrix, source } => {
+            let a = w.registry.get(matrix)?;
+            let dist = graphblas::algorithms::sssp(exec, &a, *source)?;
+            Ok((
+                Payload::Vector(dist),
+                (KernelClass::SpMV, a.nnz(), a.nrows().max(1)),
+            ))
+        }
+        JobSpec::Pagerank {
+            matrix,
+            damping,
+            tol,
+            max_iters,
+        } => {
+            let a = w.registry.get(matrix)?;
+            let (ranks, iters) =
+                graphblas::algorithms::pagerank(exec, &a, *damping, *tol, *max_iters)?;
+            Ok((
+                Payload::Vector(ranks.as_slice().to_vec()),
+                (KernelClass::SpMV, a.nnz(), iters.max(1)),
+            ))
+        }
+        JobSpec::TriangleCount { matrix } => {
+            let a = w.registry.get(matrix)?;
+            let count = graphblas::algorithms::triangle_count(exec, &a)?;
+            Ok((Payload::Count(count), (KernelClass::Other, a.nnz(), 1)))
+        }
+        JobSpec::Cg { matrix, iters, b } => {
+            let a = w.registry.get(matrix)?;
+            let result = cg_plain(exec, &a, b, *iters)?;
+            Ok((result, (KernelClass::SpMV, a.nnz(), (*iters).max(1))))
+        }
+        JobSpec::Hpcg {
+            size,
+            levels,
+            iters,
+        } => {
+            let problem = w.registry.hpcg_problem(*size, *levels)?;
+            let flops = flops_per_iteration(&problem);
+            let fine_nnz = problem.levels[0].a.nnz();
+            let b = problem.b.clone();
+            let mut k = GrbHpcg::with_ctx(problem.as_ref().clone(), exec);
+            let (_report, cg) = run_with_rhs(
+                &mut k,
+                &b,
+                flops,
+                RunConfig {
+                    iterations: *iters,
+                    preconditioned: true,
+                },
+            );
+            Ok((
+                Payload::Solve {
+                    iterations: cg.iterations,
+                    relative_residual: cg.relative_residual,
+                    x: Vec::new(),
+                },
+                (KernelClass::Smoother, fine_nnz, (*iters).max(1)),
+            ))
+        }
+    }
+}
+
+/// Unpreconditioned CG on an arbitrary registered SPD matrix, built from
+/// context operations only, so one implementation serves every backend
+/// (and records real cost steps on `dist:<p>`).
+fn cg_plain<E: Exec>(
+    exec: Ctx<E>,
+    a: &graphblas::CsrMatrix<f64>,
+    b: &[f64],
+    iters: usize,
+) -> Result<Payload> {
+    if b.len() != a.nrows() {
+        return Err(ServeError::BadRequest(format!(
+            "cg rhs has length {} but the matrix has {} rows",
+            b.len(),
+            a.nrows()
+        )));
+    }
+    let bv = Vector::from_dense(b.to_vec());
+    let mut x = Vector::zeros(a.nrows());
+    // x = 0 ⇒ r = b.
+    let mut r = bv.clone();
+    let mut p = r.clone();
+    let mut ap = Vector::zeros(a.nrows());
+    let mut rs_old = exec.norm2_squared(&r)?;
+    let norm0 = rs_old.sqrt();
+    let mut iterations = 0;
+    let mut rs_new = rs_old;
+    for _ in 1..=iters {
+        if rs_old == 0.0 {
+            break;
+        }
+        exec.mxv(a, &p).into(&mut ap)?;
+        let p_ap = exec.dot(&p, &ap).compute()?;
+        if p_ap == 0.0 {
+            break;
+        }
+        let alpha = rs_old / p_ap;
+        exec.axpy(&mut x, alpha, &p)?;
+        exec.axpy(&mut r, -alpha, &ap)?;
+        rs_new = exec.norm2_squared(&r)?;
+        iterations += 1;
+        let beta = rs_new / rs_old;
+        // p ← r + β·p.
+        let mut p_next = r.clone();
+        exec.axpy(&mut p_next, beta, &p)?;
+        p = p_next;
+        rs_old = rs_new;
+    }
+    Ok(Payload::Solve {
+        iterations,
+        relative_residual: if norm0 > 0.0 {
+            rs_new.sqrt() / norm0
+        } else {
+            0.0
+        },
+        x: x.as_slice().to_vec(),
+    })
+}

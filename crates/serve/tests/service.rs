@@ -1,0 +1,500 @@
+//! End-to-end service tests: the acceptance criteria of the serve
+//! subsystem — concurrent bit-identical execution across backends,
+//! typed backpressure, per-tenant metering, batching, and the socket
+//! frontend.
+
+use serve::net::{Client, SocketServer};
+use serve::protocol::{BackendSpec, JobSpec, Payload, Request};
+use serve::{ServeError, Server, ServerConfig};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use graphblas::{ctx, CsrMatrix, Sequential, Vector};
+
+/// A small graph with awkward float weights: any reassociation of a sum
+/// shows up in the low bits.
+fn graph_triplets(n: usize) -> Vec<(usize, usize, f64)> {
+    let mut t = Vec::new();
+    for i in 0..n {
+        t.push((i, (i + 1) % n, 0.1 + i as f64 / 3.0));
+        t.push((i, (i + 3) % n, 1.0 / 7.0 + i as f64));
+        if i % 2 == 0 {
+            t.push((i, (i + 5) % n, 0.3));
+        }
+    }
+    t
+}
+
+/// A small SPD matrix (diagonally dominant) for CG jobs.
+fn spd_triplets(n: usize) -> Vec<(usize, usize, f64)> {
+    let mut t = Vec::new();
+    for i in 0..n {
+        t.push((i, i, 4.0 + 0.1 * i as f64));
+        if i + 1 < n {
+            t.push((i, i + 1, -1.0 / 3.0));
+            t.push((i + 1, i, -1.0 / 3.0));
+        }
+    }
+    t
+}
+
+fn put(server: &Server, name: &str, n: usize, triplets: Vec<(usize, usize, f64)>) {
+    server
+        .call(Request {
+            tenant: "setup".into(),
+            backend: BackendSpec::Seq,
+            job: JobSpec::Put {
+                name: name.into(),
+                nrows: n,
+                ncols: n,
+                triplets,
+            },
+        })
+        .expect("put failed");
+}
+
+#[test]
+fn concurrent_mixed_backend_jobs_match_direct_sequential() {
+    let n = 40;
+    let server = Arc::new(Server::start(ServerConfig {
+        workers: 4,
+        queue_bound: 256,
+    }));
+    put(&server, "g", n, graph_triplets(n));
+    put(&server, "spd", n, spd_triplets(n));
+
+    // Direct sequential ground truth, computed without the service.
+    let g = CsrMatrix::from_triplets(n, n, &graph_triplets(n)).unwrap();
+    let sctx = ctx::<Sequential>();
+    let x_for = |t: usize| -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 + 0.1 * t as f64) / 3.0 - 7.0 / 11.0)
+            .collect()
+    };
+    let expected_mxv: Vec<Vec<f64>> = (0..8)
+        .map(|t| {
+            let x = Vector::from_dense(x_for(t));
+            let mut y = Vector::zeros(n);
+            sctx.mxv(&g, &x).into(&mut y).unwrap();
+            y.as_slice().to_vec()
+        })
+        .collect();
+    let expected_bfs = graphblas::algorithms::bfs_levels(sctx, &g, 0).unwrap();
+    let expected_sssp = graphblas::algorithms::sssp(sctx, &g, 1).unwrap();
+    let expected_tri = graphblas::algorithms::triangle_count(sctx, &g).unwrap();
+    let expected_dot: f64 = sctx
+        .dot(&Vector::from_dense(x_for(0)), &Vector::from_dense(x_for(1)))
+        .compute()
+        .unwrap();
+
+    // Mixed backends. Distributed executes through sequential kernels and
+    // parallel keeps per-row/fixed-chunk determinism, so every spelling
+    // must be bit-identical to the direct sequential run for these jobs.
+    let backends = [
+        BackendSpec::Seq,
+        BackendSpec::Par,
+        BackendSpec::Dist(2),
+        BackendSpec::Dist(4),
+    ];
+    let mut threads = Vec::new();
+    for t in 0..8usize {
+        let server = Arc::clone(&server);
+        let expected_mxv = expected_mxv[t].clone();
+        let expected_bfs = expected_bfs.clone();
+        let expected_sssp = expected_sssp.clone();
+        let backend = backends[t % backends.len()];
+        let x = x_for(t);
+        let x0 = x_for(0);
+        let x1 = x_for(1);
+        threads.push(std::thread::spawn(move || {
+            let tenant = format!("tenant-{}", t % 2);
+            let (payload, meter) = server
+                .call(Request {
+                    tenant: tenant.clone(),
+                    backend,
+                    job: JobSpec::Mxv {
+                        matrix: "g".into(),
+                        x,
+                    },
+                })
+                .expect("mxv failed");
+            match payload {
+                Payload::Vector(y) => {
+                    for (a, b) in y.iter().zip(&expected_mxv) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "mxv diverged on {backend}");
+                    }
+                }
+                other => panic!("unexpected payload {other:?}"),
+            }
+            assert!(meter.jobs > 0, "response carries the tenant meter");
+
+            let (payload, _) = server
+                .call(Request {
+                    tenant: tenant.clone(),
+                    backend,
+                    job: JobSpec::Bfs {
+                        matrix: "g".into(),
+                        source: 0,
+                    },
+                })
+                .expect("bfs failed");
+            assert_eq!(payload, Payload::Levels(expected_bfs));
+
+            let (payload, _) = server
+                .call(Request {
+                    tenant: tenant.clone(),
+                    backend,
+                    job: JobSpec::Sssp {
+                        matrix: "g".into(),
+                        source: 1,
+                    },
+                })
+                .expect("sssp failed");
+            match payload {
+                Payload::Vector(d) => {
+                    for (a, b) in d.iter().zip(&expected_sssp) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "sssp diverged on {backend}");
+                    }
+                }
+                other => panic!("unexpected payload {other:?}"),
+            }
+
+            let (payload, _) = server
+                .call(Request {
+                    tenant: tenant.clone(),
+                    backend,
+                    job: JobSpec::Dot { x: x0, y: x1 },
+                })
+                .expect("dot failed");
+            // Dist dot runs sequential kernels; Par dot reassociates, so
+            // only pin the non-par backends to the exact bits.
+            if backend != BackendSpec::Par {
+                assert_eq!(payload, Payload::Scalar(expected_dot));
+            }
+
+            let (payload, _) = server
+                .call(Request {
+                    tenant,
+                    backend,
+                    job: JobSpec::TriangleCount { matrix: "g".into() },
+                })
+                .expect("tricount failed");
+            assert_eq!(payload, Payload::Count(expected_tri));
+        }));
+    }
+    for t in threads {
+        t.join().expect("worker thread panicked");
+    }
+
+    // CG across seq and dist:<p> (floating accumulation order matters, so
+    // par is exercised elsewhere): bit-identical solves.
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 / 3.0).collect();
+    let solve = |backend: BackendSpec| {
+        let (payload, _) = server
+            .call(Request {
+                tenant: "cg".into(),
+                backend,
+                job: JobSpec::Cg {
+                    matrix: "spd".into(),
+                    iters: 12,
+                    b: b.clone(),
+                },
+            })
+            .expect("cg failed");
+        match payload {
+            Payload::Solve {
+                iterations,
+                relative_residual,
+                x,
+            } => (iterations, relative_residual, x),
+            other => panic!("unexpected payload {other:?}"),
+        }
+    };
+    let (it_seq, rr_seq, x_seq) = solve(BackendSpec::Seq);
+    let (it_dist, rr_dist, x_dist) = solve(BackendSpec::Dist(3));
+    assert_eq!(it_seq, 12);
+    assert!(rr_seq < 1e-6, "CG converged: {rr_seq}");
+    assert_eq!(it_seq, it_dist);
+    assert_eq!(rr_seq.to_bits(), rr_dist.to_bits());
+    for (a, b) in x_seq.iter().zip(&x_dist) {
+        assert_eq!(a.to_bits(), b.to_bits(), "dist CG solution diverged");
+    }
+
+    // HPCG solves agree bit-exactly between seq and dist too.
+    let hpcg = |backend: BackendSpec| {
+        let (payload, _) = server
+            .call(Request {
+                tenant: "cg".into(),
+                backend,
+                job: JobSpec::Hpcg {
+                    size: 8,
+                    levels: 2,
+                    iters: 3,
+                },
+            })
+            .expect("hpcg failed");
+        match payload {
+            Payload::Solve {
+                relative_residual, ..
+            } => relative_residual,
+            other => panic!("unexpected payload {other:?}"),
+        }
+    };
+    assert_eq!(
+        hpcg(BackendSpec::Seq).to_bits(),
+        hpcg(BackendSpec::Dist(2)).to_bits()
+    );
+
+    Arc::try_unwrap(server)
+        .map_err(|_| "server still shared")
+        .unwrap()
+        .shutdown();
+}
+
+#[test]
+fn backpressure_rejects_with_typed_overloaded() {
+    // No workers: nothing drains the queue, so admission is deterministic.
+    let server = Server::start(ServerConfig {
+        workers: 0,
+        queue_bound: 3,
+    });
+    let req = |i: usize| Request {
+        tenant: format!("t{i}"),
+        backend: BackendSpec::Seq,
+        job: JobSpec::Dot {
+            x: vec![1.0],
+            y: vec![2.0],
+        },
+    };
+    let _tickets: Vec<_> = (0..3).map(|i| server.submit(req(i)).unwrap()).collect();
+    assert_eq!(server.queued(), 3);
+    let e = match server.submit(req(3)) {
+        Ok(_) => panic!("4th job must be rejected"),
+        Err(e) => e,
+    };
+    assert_eq!(e, ServeError::Overloaded { bound: 3 }, "typed rejection");
+    assert_eq!(e.code(), "overloaded");
+    assert_eq!(server.queued(), 3, "rejected job was not enqueued");
+    server.shutdown();
+}
+
+#[test]
+fn per_tenant_metering_is_disjoint_and_pinned() {
+    let n = 24;
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_bound: 64,
+    });
+    put(&server, "g", n, graph_triplets(n));
+
+    // Tenant A: two SpMVs and a dot on seq. Tenant B: one distributed
+    // SpMV on 4 nodes. Different mixes, one meter each.
+    let x: Vec<f64> = (0..n).map(|i| i as f64 / 3.0).collect();
+    let mut last_a = None;
+    for _ in 0..2 {
+        let (_, m) = server
+            .call(Request {
+                tenant: "alice".into(),
+                backend: BackendSpec::Seq,
+                job: JobSpec::Mxv {
+                    matrix: "g".into(),
+                    x: x.clone(),
+                },
+            })
+            .unwrap();
+        last_a = Some(m);
+    }
+    let (_, ma) = server
+        .call(Request {
+            tenant: "alice".into(),
+            backend: BackendSpec::Seq,
+            job: JobSpec::Dot {
+                x: x.clone(),
+                y: x.clone(),
+            },
+        })
+        .unwrap();
+    let (_, mb) = server
+        .call(Request {
+            tenant: "bob".into(),
+            backend: BackendSpec::Dist(4),
+            job: JobSpec::Mxv {
+                matrix: "g".into(),
+                x: x.clone(),
+            },
+        })
+        .unwrap();
+
+    // Pinned: alice billed exactly one gauge step per job (2 SpMV + 1
+    // Dot), cumulative and monotonic; bob billed the distributed job's
+    // real superstep trace, with actual communicated bytes.
+    assert_eq!(ma.jobs, 3);
+    assert_eq!(ma.supersteps, 3);
+    assert!(ma.modeled_secs > last_a.unwrap().modeled_secs);
+    assert_eq!(ma.h_bytes, 0.0, "local jobs communicate nothing");
+    assert_eq!(mb.jobs, 1);
+    assert!(mb.supersteps >= 1);
+    assert!(mb.h_bytes > 0.0, "4-node SpMV must move bytes");
+    assert!(mb.modeled_secs > 0.0);
+
+    // The server-side summaries attribute classes per tenant, disjointly.
+    let sa = server.metering().summary("alice").unwrap();
+    assert_eq!(sa.supersteps, 3);
+    let mut counts: Vec<(bsp::KernelClass, usize)> =
+        sa.per_class.iter().map(|c| (c.class, c.steps)).collect();
+    counts.sort_by_key(|(c, _)| format!("{c:?}"));
+    assert_eq!(
+        counts,
+        vec![(bsp::KernelClass::Dot, 1), (bsp::KernelClass::SpMV, 2)]
+    );
+    let sb = server.metering().summary("bob").unwrap();
+    assert!(sb.total_h_bytes > 0.0);
+    assert!(
+        (sa.total_secs - ma.modeled_secs).abs() < 1e-12,
+        "summary and response meter agree"
+    );
+    assert!(server.metering().summary("nobody").is_none());
+    // Setup put is billed to its own tenant, not to alice/bob.
+    assert_eq!(server.metering().summary("setup").unwrap().supersteps, 1);
+    server.shutdown();
+}
+
+#[test]
+fn queued_same_matrix_spmvs_are_batched_and_bit_identical() {
+    let n = 32;
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_bound: 64,
+    });
+    put(&server, "g", n, graph_triplets(n));
+
+    // Occupy the single worker with a slow solve, then queue up SpMVs on
+    // the same matrix: when the worker frees up it pops the first and
+    // must drain the rest into one sweep.
+    let slow = server
+        .submit(Request {
+            tenant: "slow".into(),
+            backend: BackendSpec::Seq,
+            job: JobSpec::Hpcg {
+                size: 16,
+                levels: 2,
+                iters: 4,
+            },
+        })
+        .unwrap();
+    let xs: Vec<Vec<f64>> = (0..6)
+        .map(|t| (0..n).map(|i| (i + t) as f64 / 7.0 - 1.5).collect())
+        .collect();
+    let tickets: Vec<_> = xs
+        .iter()
+        .cloned()
+        .map(|x| {
+            server
+                .submit(Request {
+                    tenant: "batch".into(),
+                    backend: BackendSpec::Seq,
+                    job: JobSpec::Mxv {
+                        matrix: "g".into(),
+                        x,
+                    },
+                })
+                .unwrap()
+        })
+        .collect();
+    slow.wait().expect("hpcg failed");
+
+    let g = CsrMatrix::from_triplets(n, n, &graph_triplets(n)).unwrap();
+    for (x, ticket) in xs.iter().zip(tickets) {
+        let (payload, _) = ticket.wait().expect("batched mxv failed");
+        let mut expected = Vector::zeros(n);
+        ctx::<Sequential>()
+            .mxv(&g, &Vector::from_dense(x.clone()))
+            .into(&mut expected)
+            .unwrap();
+        match payload {
+            Payload::Vector(y) => {
+                for (a, b) in y.iter().zip(expected.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "batched result diverged");
+                }
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+    assert!(
+        server.stats().batched_jobs.load(Ordering::Relaxed) >= 2,
+        "at least one multi-job sweep ran"
+    );
+    assert!(server.stats().batched_sweeps.load(Ordering::Relaxed) >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn socket_round_trip_matches_in_process() {
+    let n = 16;
+    let server = Arc::new(Server::start(ServerConfig {
+        workers: 2,
+        queue_bound: 32,
+    }));
+    let path = std::env::temp_dir().join(format!("serve_test_{}.sock", std::process::id()));
+    let frontend = SocketServer::bind(Arc::clone(&server), &path).unwrap();
+
+    let mut client = Client::connect(&path).unwrap();
+    let (payload, _) = client
+        .call(&Request {
+            tenant: "wire".into(),
+            backend: BackendSpec::Seq,
+            job: JobSpec::Put {
+                name: "m".into(),
+                nrows: n,
+                ncols: n,
+                triplets: graph_triplets(n),
+            },
+        })
+        .unwrap();
+    assert_eq!(payload, Payload::Ack);
+
+    let x: Vec<f64> = (0..n).map(|i| 0.1 * i as f64 + 1.0 / 3.0).collect();
+    let (wire_payload, wire_meter) = client
+        .call(&Request {
+            tenant: "wire".into(),
+            backend: BackendSpec::Par,
+            job: JobSpec::Mxv {
+                matrix: "m".into(),
+                x: x.clone(),
+            },
+        })
+        .unwrap();
+    let (direct_payload, _) = server
+        .call(Request {
+            tenant: "direct".into(),
+            backend: BackendSpec::Seq,
+            job: JobSpec::Mxv {
+                matrix: "m".into(),
+                x,
+            },
+        })
+        .unwrap();
+    // The wire used shortest round-trip f64 formatting, so even the
+    // cross-process result is bit-identical to the in-process one.
+    assert_eq!(wire_payload, direct_payload);
+    assert_eq!(wire_meter.jobs, 2);
+
+    // Typed errors survive the wire.
+    let e = client
+        .call(&Request {
+            tenant: "wire".into(),
+            backend: BackendSpec::Seq,
+            job: JobSpec::TriangleCount {
+                matrix: "ghost".into(),
+            },
+        })
+        .unwrap_err();
+    assert_eq!(e, ServeError::NoSuchMatrix("ghost".into()));
+
+    frontend.stop();
+    assert!(!path.exists(), "socket file cleaned up");
+    // The connection thread may still hold its server Arc briefly; the
+    // last Arc's drop performs the close-and-join shutdown.
+    drop(client);
+    drop(server);
+}

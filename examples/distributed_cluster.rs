@@ -11,10 +11,11 @@
 //! ```
 
 use bsp::machine::MachineParams;
+use graphblas::GrbError;
 use hpcg::distributed::{run_distributed, AlpDistHpcg, RefDistHpcg};
 use hpcg::{Grid3, Problem, RhsVariant};
 
-fn main() {
+fn main() -> Result<(), GrbError> {
     let machine = MachineParams::arm_cluster();
     let iterations = 5;
     let local = 16; // 16³ points per node
@@ -35,7 +36,7 @@ fn main() {
         // Grow the grid along the axes the 3D factorization splits.
         let (px, py, pz) = bsp::factor3d(nodes, local * nodes, local * nodes, local * nodes);
         let grid = Grid3::new(local * px, local * py, local * pz);
-        let problem = Problem::build_with(grid, 4, RhsVariant::Reference).expect("divisible by 8");
+        let problem = Problem::build_with(grid, 4, RhsVariant::Reference)?;
 
         let b_grb = problem.b.clone();
         let mut alp = AlpDistHpcg::new(problem.clone(), nodes, machine);
@@ -69,4 +70,5 @@ fn main() {
     println!(
         "Run `cargo run --release -p hpcg-bench --bin fig3_weak_scaling` for the full figure."
     );
+    Ok(())
 }

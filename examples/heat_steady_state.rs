@@ -11,15 +11,15 @@
 //! cargo run --release --example heat_steady_state
 //! ```
 
-use graphblas::{Parallel, Vector};
+use graphblas::{GrbError, Parallel, Vector};
 use hpcg::cg::{cg_solve, CgWorkspace};
 use hpcg::mg::MgWorkspace;
 use hpcg::{GrbHpcg, Grid3, Kernels, Problem, RhsVariant};
 
-fn main() {
+fn main() -> Result<(), GrbError> {
     let n_side = 32;
     let grid = Grid3::cube(n_side);
-    let problem = Problem::build_with(grid, 4, RhsVariant::Ones).expect("32 is divisible by 8");
+    let problem = Problem::build_with(grid, 4, RhsVariant::Ones)?;
 
     // A localized heat source: power injected in a 4³ region at the center.
     let mut source = vec![0.0f64; grid.len()];
@@ -77,4 +77,5 @@ fn main() {
     // so the solution stays nonnegative for a nonnegative source.
     let min_t = t.iter().cloned().fold(f64::INFINITY, f64::min);
     println!("minimum temperature {min_t:.2e} (≥ ~0 for a dissipative operator)");
+    Ok(())
 }

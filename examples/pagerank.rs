@@ -16,9 +16,9 @@
 //! example prints the per-kernel modeled cost report: every `mxv` paid a
 //! full allgather of the rank vector, every reduction an allreduce.
 
-use graphblas::{BackendKind, CsrMatrix, DynCtx, Max, Vector};
+use graphblas::{BackendKind, CsrMatrix, DynCtx, GrbError, Max, Vector};
 
-fn main() {
+fn main() -> Result<(), GrbError> {
     // Runtime backend selection: `GRB_BACKEND=seq cargo run --example
     // pagerank` flips the whole power iteration to the sequential backend,
     // `GRB_BACKEND=dist:4` (or `--dist 4`) to the simulated cluster.
@@ -28,9 +28,9 @@ fn main() {
             // Reuse the validated backend-spec parser: same diagnostics as
             // `GRB_BACKEND=dist:<n>` for the same input space.
             let spec = format!("dist:{}", value.as_deref().unwrap_or(""));
-            DynCtx::runtime(BackendKind::parse(&spec).expect("--dist expects a node count"))
+            DynCtx::runtime(BackendKind::parse(&spec)?)
         }
-        (None, _) => DynCtx::from_env_or(BackendKind::Parallel).expect("invalid GRB_BACKEND"),
+        (None, _) => DynCtx::from_env_or(BackendKind::Parallel)?,
     };
     println!(
         "backend: {}, {} thread(s)/node(s)",
@@ -61,7 +61,7 @@ fn main() {
         .iter()
         .map(|&(src, dst)| (dst, src, 1.0 / outdeg[src] as f64))
         .collect();
-    let m = CsrMatrix::from_triplets(n, n, &triplets).expect("valid graph");
+    let m = CsrMatrix::from_triplets(n, n, &triplets)?;
 
     // Power iteration: r ← d·M·r + (1−d)/n, until the rank vector settles.
     let damping = 0.85;
@@ -70,15 +70,12 @@ fn main() {
     let mut next = Vector::zeros(n);
     let mut iterations = 0;
     loop {
-        exec.mxv(&m, &rank)
-            .into(&mut next)
-            .expect("dimensions fixed");
+        exec.mxv(&m, &rank).into(&mut next)?;
         // next ← d·next + 1·teleport
         let scaled = next.clone();
         exec.ewise(&scaled, &teleport)
             .scaled(damping, 1.0)
-            .into(&mut next)
-            .expect("dims");
+            .into(&mut next)?;
         // Convergence: max |next - rank|.
         let diff: f64 = next
             .as_slice()
@@ -93,14 +90,11 @@ fn main() {
         }
     }
 
-    let total = exec
-        .dot(&rank, &Vector::filled(n, 1.0))
-        .compute()
-        .expect("dims");
+    let total = exec.dot(&rank, &Vector::filled(n, 1.0)).compute()?;
     println!("pagerank converged in {iterations} iterations (mass {total:.6})");
 
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| rank.as_slice()[b].partial_cmp(&rank.as_slice()[a]).unwrap());
+    order.sort_by(|&a, &b| rank.as_slice()[b].total_cmp(&rank.as_slice()[a]));
     println!("\nranking:");
     for (place, &page) in order.iter().enumerate().take(6) {
         let label = match page {
@@ -119,7 +113,7 @@ fn main() {
         order[0] <= 1 && order[1] <= 1,
         "the two hubs must rank first"
     );
-    let top = exec.reduce(&rank).monoid(Max).compute().expect("reduce");
+    let top = exec.reduce(&rank).monoid(Max).compute()?;
     assert!((top - rank.as_slice()[order[0]]).abs() < 1e-15);
     println!("\nhubs rank first — GraphBLAS primitives compose beyond HPCG.");
 
@@ -131,4 +125,5 @@ fn main() {
             "every mxv allgathered the full rank vector (opaque containers, Table I's n(p-1)/p)."
         );
     }
+    Ok(())
 }

@@ -5,16 +5,15 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use graphblas::{BackendKind, DynCtx, LinearOperator, Minus, Parallel, Vector};
+use graphblas::{BackendKind, DynCtx, GrbError, LinearOperator, Minus, Parallel, Vector};
 use hpcg::driver::{flops_per_iteration, run_with_rhs, RunConfig};
 use hpcg::{validate, GrbHpcg, Grid3, Kernels, Problem, RefHpcg, RhsVariant};
 
-fn main() {
+fn main() -> Result<(), GrbError> {
     // 1. Generate the benchmark problem: a 32³ grid, 4 multigrid levels,
     //    27-point stencil, rhs whose exact solution is the ones vector.
     let grid = Grid3::cube(32);
-    let problem =
-        Problem::build_with(grid, 4, RhsVariant::Reference).expect("32 is divisible by 8");
+    let problem = Problem::build_with(grid, 4, RhsVariant::Reference)?;
     println!(
         "problem: {}x{}x{} grid, n = {}, nnz = {} over {} levels",
         grid.nx,
@@ -89,17 +88,14 @@ fn main() {
     //    exact solution is the ones vector, so A·1 must reproduce b.
     //    Verify it with fluent builders on a runtime-selected backend
     //    (set GRB_BACKEND=seq to flip it).
-    let exec = DynCtx::from_env_or(BackendKind::Parallel).expect("invalid GRB_BACKEND");
+    let exec = DynCtx::from_env_or(BackendKind::Parallel)?;
     let a0 = &problem.levels[0].a;
     let ones = Vector::filled(problem.n(), 1.0);
     let mut a_ones = Vector::zeros(problem.n());
-    exec.mxv(a0, &ones).into(&mut a_ones).expect("dims fixed");
+    exec.mxv(a0, &ones).into(&mut a_ones)?;
     let mut diff = Vector::zeros(problem.n());
-    exec.ewise(&b, &a_ones)
-        .op(Minus)
-        .into(&mut diff)
-        .expect("dims fixed");
-    let defect = exec.norm2_squared(&diff).unwrap().sqrt();
+    exec.ewise(&b, &a_ones).op(Minus).into(&mut diff)?;
+    let defect = exec.norm2_squared(&diff)?.sqrt();
     println!(
         "\nctx check on '{}': ‖b − A·1‖ = {defect:.2e} (the reference rhs solves to ones)",
         exec.backend_name()
@@ -108,8 +104,13 @@ fn main() {
     // 6. The §VII-A storage trade-off: materialized restriction matrix vs
     //    matrix-free injection operator.
     let l0 = &problem.levels[0];
-    let csr_bytes = LinearOperator::<f64>::storage_bytes(l0.restriction.as_ref().unwrap());
-    let inj_bytes = LinearOperator::<f64>::storage_bytes(l0.injection.as_ref().unwrap());
+    let (Some(restriction), Some(injection)) = (&l0.restriction, &l0.injection) else {
+        return Err(GrbError::InvalidInput(
+            "the fine level of a 4-level hierarchy must own a restriction".into(),
+        ));
+    };
+    let csr_bytes = LinearOperator::<f64>::storage_bytes(restriction);
+    let inj_bytes = LinearOperator::<f64>::storage_bytes(injection);
     println!(
         "\nrestriction storage: materialized CSR {} KB vs matrix-free {} KB ({}x smaller)",
         csr_bytes / 1024,
@@ -117,4 +118,5 @@ fn main() {
         csr_bytes / inj_bytes.max(1)
     );
     let _ = alp.timers();
+    Ok(())
 }

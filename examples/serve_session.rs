@@ -1,0 +1,132 @@
+//! A guided session against the solve service — the `serve` crate's
+//! in-process API end to end: register a matrix, run the same jobs on
+//! three backends, watch the per-tenant bill grow, and see admission
+//! control reject work when the queue is full.
+//!
+//! ```text
+//! cargo run --release --example serve_session
+//! ```
+//!
+//! For the wire protocol over a Unix socket, run the daemon instead
+//! (`cargo run --release -p serve --bin grb_serve`) and talk to it with
+//! `serve::net::Client`.
+
+use serve::protocol::{BackendSpec, JobSpec, Payload, Request};
+use serve::{ServeError, Server, ServerConfig};
+
+fn main() -> serve::Result<()> {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_bound: 8,
+    });
+
+    // 1. Register a small directed graph under the name "web": a ring
+    //    with chords, the kind of matrix every later job refers to by
+    //    name instead of re-uploading.
+    let n = 64;
+    let mut triplets = Vec::new();
+    for i in 0..n {
+        triplets.push((i, (i + 1) % n, 1.0));
+        triplets.push((i, (i + 7) % n, 0.5 + i as f64 / 9.0));
+    }
+    server.call(Request {
+        tenant: "acme".into(),
+        backend: BackendSpec::Seq,
+        job: JobSpec::Put {
+            name: "web".into(),
+            nrows: n,
+            ncols: n,
+            triplets,
+        },
+    })?;
+
+    // 2. The same BFS on three backends — one `Exec` surface, so the
+    //    request just names where to run. Levels are bit-identical.
+    let mut levels = Vec::new();
+    for backend in [BackendSpec::Seq, BackendSpec::Par, BackendSpec::Dist(4)] {
+        let (payload, meter) = server.call(Request {
+            tenant: "acme".into(),
+            backend,
+            job: JobSpec::Bfs {
+                matrix: "web".into(),
+                source: 0,
+            },
+        })?;
+        let Payload::Levels(l) = payload else {
+            return Err(ServeError::BadRequest("bfs returns levels".into()));
+        };
+        println!(
+            "bfs on {backend:<7}  depth {}  | acme so far: {} jobs, {:.3e} modeled secs, {:.0} h-bytes",
+            l.iter().max().copied().unwrap_or(0),
+            meter.jobs,
+            meter.modeled_secs,
+            meter.h_bytes,
+        );
+        levels.push(l);
+    }
+    assert!(levels.windows(2).all(|w| w[0] == w[1]), "backends agree");
+
+    // 3. A second tenant's dot products bill to its own meter — the
+    //    scope-tagged BSP cost model is the billing currency, so the
+    //    distributed run is the only one with h-relation traffic.
+    let x: Vec<f64> = (0..n).map(|i| i as f64 / 3.0).collect();
+    let (dot, meter) = server.call(Request {
+        tenant: "zeta".into(),
+        backend: BackendSpec::Dist(4),
+        job: JobSpec::Dot { x: x.clone(), y: x },
+    })?;
+    println!(
+        "zeta dot on dist:4 = {dot:?}  | zeta bill: {} job, {:.0} h-bytes",
+        meter.jobs, meter.h_bytes
+    );
+
+    // 4. Admission control: with no workers draining, the bounded queue
+    //    fills and the next submit gets a *typed* rejection — the client
+    //    owns the retry policy, the server never grows unboundedly.
+    let idle = Server::start(ServerConfig {
+        workers: 0,
+        queue_bound: 2,
+    });
+    for _ in 0..2 {
+        let _ticket = idle.submit(Request {
+            tenant: "acme".into(),
+            backend: BackendSpec::Seq,
+            job: JobSpec::Dot {
+                x: vec![1.0],
+                y: vec![1.0],
+            },
+        })?;
+    }
+    match idle.submit(Request {
+        tenant: "acme".into(),
+        backend: BackendSpec::Seq,
+        job: JobSpec::Dot {
+            x: vec![1.0],
+            y: vec![1.0],
+        },
+    }) {
+        Err(ServeError::Overloaded { bound }) => {
+            println!("third job rejected: queue full at bound {bound} (typed backpressure)")
+        }
+        other => {
+            drop(other);
+            return Err(ServeError::BadRequest(
+                "a full queue must reject with Overloaded".into(),
+            ));
+        }
+    }
+    idle.shutdown();
+
+    // 5. The final per-tenant statement, straight from the metering ledger.
+    println!("\nper-tenant totals:");
+    for tenant in server.metering().tenants() {
+        if let Some(s) = server.metering().summary(&tenant) {
+            println!(
+                "  {tenant:<6} {:.3e} modeled secs, {:.0} h-bytes over {} superstep(s)",
+                s.total_secs, s.total_h_bytes, s.supersteps
+            );
+        }
+    }
+    server.shutdown();
+    Ok(())
+}

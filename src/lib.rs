@@ -2,3 +2,4 @@
 pub use bsp;
 pub use graphblas;
 pub use hpcg;
+pub use serve;
