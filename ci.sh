@@ -28,8 +28,21 @@ echo "==> perf_probe smoke (BENCH_shared.json)"
 # counterpart of BENCH_dist.json for SpMV/dot regressions.
 cargo run --release -p hpcg-bench --bin perf_probe -- \
     --size 16 --reps 40 --out BENCH_shared.json
-python3 -c "import json; json.load(open('BENCH_shared.json'))" \
-    || { echo "BENCH_shared.json is not valid JSON" >&2; exit 1; }
+# Compiled-plan replay must amortize: replaying a cached plan can never be
+# meaningfully slower than re-recording the pipeline it was compiled from
+# (5 % slack absorbs timer noise on these sub-millisecond kernels).
+python3 -c "
+import json
+d = json.load(open('BENCH_shared.json'))
+amort = d['amortization']
+assert amort, 'perf_probe emitted no amortization entries'
+for e in amort:
+    assert e['replay_secs'] <= e['record_secs'] * 1.05, (
+        f\"{e['kernel']}: replay {e['replay_secs']:.3e}s slower than \"
+        f\"record {e['record_secs']:.3e}s\")
+    print(f\"{e['kernel']}: replay amortizes record \"
+          f\"({e['speedup']:.2f}x)\")
+" || { echo "BENCH_shared.json replay amortization gate failed" >&2; exit 1; }
 
 echo "==> serve smoke (mixed two-tenant load, bit-exact verify, BENCH_serve.json)"
 # Concurrent two-tenant mixed jobs across seq/par/dist:2; --verify
@@ -42,8 +55,11 @@ d = json.load(open('BENCH_serve.json'))
 assert d['total_jobs'] == 48, d['total_jobs']
 assert d['verified'] is not None and d['verified'] > 0, 'verify did not run'
 assert {t['tenant'] for t in d['tenants']} >= {'acme', 'zeta'}, d['tenants']
+assert d['plan_cache_hits'] > 0, 'repeated jobs never hit the plan cache'
 print('BENCH_serve.json well-formed:', d['total_jobs'], 'jobs,',
-      d['verified'], 'verified bit-exact')
+      d['verified'], 'verified bit-exact,',
+      d['plan_cache_hits'], 'plan-cache hits /',
+      d['plan_cache_misses'], 'misses')
 " || { echo "BENCH_serve.json malformed" >&2; exit 1; }
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"

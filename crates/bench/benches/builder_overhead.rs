@@ -5,6 +5,11 @@
 //! deferred `Ctx::pipeline()` recording of the same single op must cost
 //! only its small constant graph setup.
 //!
+//! The `plan` arms run the same op through a plan compiled **once**
+//! outside the measurement loop — the replay path a CG iteration or
+//! repeated serve job takes. Replay skips per-call recording and fusion,
+//! so it must never be slower than the re-record pipeline arm.
+//!
 //! Acceptance gate for the API redesign (PR 1) and the pipeline layer:
 //! builder-API `mxv`/`dot` within noise (≤2 %) of the static path, and the
 //! single-op pipeline path within a few percent on kernels this size.
@@ -45,6 +50,25 @@ fn bench_mxv_paths(c: &mut Criterion) {
             pl.finish().unwrap();
         })
     });
+    g.bench_function(BenchmarkId::new("plan", "sequential"), |b| {
+        let exec = ctx::<Sequential>();
+        // Compiled once; the loop only rebinds and replays.
+        let plan = {
+            let mut pb = exec.plan::<f64>();
+            let am = pb.matrix(n, n);
+            let xs = pb.input(n);
+            let ys = pb.output(n);
+            pb.mxv(am, xs).into(ys);
+            pb.compile()
+        };
+        b.iter(|| {
+            let mut bnd = plan.bindings();
+            bnd.bind_matrix(plan.matrix_slot(0), black_box(&a))
+                .bind_input(plan.input_slot(0), black_box(&x))
+                .bind_output(plan.output_slot(0), &mut y);
+            plan.run(&mut bnd).unwrap();
+        })
+    });
     g.finish();
 }
 
@@ -69,6 +93,22 @@ fn bench_dot_paths(c: &mut Criterion) {
             let mut pl = exec.pipeline();
             let d = pl.dot(black_box(&x), black_box(&y)).result();
             pl.finish().unwrap()[d]
+        })
+    });
+    g.bench_function(BenchmarkId::new("plan", "sequential"), |b| {
+        let exec = ctx::<Sequential>();
+        let plan = {
+            let mut pb = exec.plan::<f64>();
+            let xs = pb.input(n);
+            let ys = pb.input(n);
+            pb.dot(xs, ys).result();
+            pb.compile()
+        };
+        b.iter(|| {
+            let mut bnd = plan.bindings();
+            bnd.bind_input(plan.input_slot(0), black_box(&x))
+                .bind_input(plan.input_slot(1), black_box(&y));
+            plan.run(&mut bnd).unwrap()[plan.scalar(0)]
         })
     });
     g.finish();

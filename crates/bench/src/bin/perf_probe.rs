@@ -18,7 +18,10 @@
 //! them equal) and ahead of `unfused`.
 
 use graphblas::{ctx, Exec, PlusTimes, Sequential, Vector};
-use hpcg::fused::{axpy_norm_fused, axpy_norm_hand, spmv_dot_fused, spmv_dot_hand};
+use hpcg::fused::{
+    axpy_norm_fused, axpy_norm_hand, axpy_norm_replay, build_axpy_norm_plan, build_spmv_dot_plan,
+    spmv_dot_fused, spmv_dot_hand, spmv_dot_replay,
+};
 use hpcg::problem::build_stencil_matrix;
 use hpcg::Grid3;
 use hpcg_bench::cli::Args;
@@ -39,13 +42,16 @@ fn min_time<F: FnMut() -> f64>(mut f: F, reps: usize) -> f64 {
 }
 
 /// One probed kernel: its name, working-set descriptor, and arm timings
-/// (seconds; `raw` only exists for the spmv+dot pair).
+/// (seconds). `pipe` records, fuses and runs the op graph every rep —
+/// the record-every-iteration cost; `replay` runs a plan compiled once
+/// outside the loop, so the gap is the amortized record+fuse overhead.
 struct Probe {
     kernel: &'static str,
     elements: usize,
     hand: f64,
-    raw: Option<f64>,
+    raw: f64,
     pipe: f64,
+    replay: f64,
     unfused: f64,
 }
 
@@ -83,6 +89,24 @@ fn main() {
         || spmv_dot_fused(exec, black_box(&a), black_box(&x), &mut y),
         reps,
     );
+    let spmv_plan = build_spmv_dot_plan(exec, n);
+    let replay = min_time(
+        || spmv_dot_replay(&spmv_plan, black_box(&a), black_box(&x), &mut y),
+        reps,
+    );
+    // Replay must be bit-identical to recording the graph fresh.
+    {
+        let mut y_rec = Vector::zeros(n);
+        let mut y_rep = Vector::zeros(n);
+        let d_rec = spmv_dot_fused(exec, &a, &x, &mut y_rec);
+        let d_rep = spmv_dot_replay(&spmv_plan, &a, &x, &mut y_rep);
+        assert_eq!(d_rec.to_bits(), d_rep.to_bits(), "spmv_dot replay diverged");
+        assert_eq!(
+            y_rec.as_slice(),
+            y_rep.as_slice(),
+            "spmv_dot replay diverged"
+        );
+    }
     let unfused = min_time(
         || {
             exec.mxv(black_box(&a), black_box(&x)).into(&mut y).unwrap();
@@ -91,21 +115,24 @@ fn main() {
         reps,
     );
     println!(
-        "spmv+dot ({} rows, {} nnz, min of {reps}):\n  hand {:9.1} us\n  raw  {:9.1} us\n  pipe {:9.1} us ({:+.1}% vs hand)\n  unf  {:9.1} us",
+        "spmv+dot ({} rows, {} nnz, min of {reps}):\n  hand {:9.1} us\n  raw  {:9.1} us\n  pipe {:9.1} us ({:+.1}% vs hand)\n  plan {:9.1} us ({:+.1}% vs pipe)\n  unf  {:9.1} us",
         n,
         a.nnz(),
         hand * 1e6,
         raw * 1e6,
         pipe * 1e6,
         (pipe / hand - 1.0) * 100.0,
+        replay * 1e6,
+        (replay / pipe - 1.0) * 100.0,
         unfused * 1e6,
     );
     let spmv_probe = Probe {
         kernel: "spmv_dot",
         elements: a.nnz(),
         hand,
-        raw: Some(raw),
+        raw,
         pipe,
+        replay,
         unfused,
     };
 
@@ -113,7 +140,38 @@ fn main() {
     let q = Vector::from_dense((0..m).map(|i| (i % 7) as f64).collect());
     let mut r = Vector::from_dense((0..m).map(|i| (i % 13) as f64).collect());
     let hand = min_time(|| axpy_norm_hand(&mut r, 0.5, black_box(&q)), reps);
+    // The raw fused kernel computes `r += alpha*q` + norm; `-0.5` matches
+    // the hand/pipeline arms' `r -= 0.5*q` convention.
+    let raw = min_time(
+        || {
+            Sequential
+                .run_axpy_norm::<f64, PlusTimes>(&mut r, -0.5, black_box(&q))
+                .unwrap()
+        },
+        reps,
+    );
     let pipe = min_time(|| axpy_norm_fused(exec, &mut r, 0.5, black_box(&q)), reps);
+    let axpy_plan = build_axpy_norm_plan(exec, m);
+    let replay = min_time(
+        || axpy_norm_replay(&axpy_plan, &mut r, 0.5, black_box(&q)),
+        reps,
+    );
+    {
+        let mut r_rec = Vector::from_dense((0..m).map(|i| (i % 13) as f64).collect::<Vec<_>>());
+        let mut r_rep = r_rec.clone();
+        let n_rec = axpy_norm_fused(exec, &mut r_rec, 0.5, &q);
+        let n_rep = axpy_norm_replay(&axpy_plan, &mut r_rep, 0.5, &q);
+        assert_eq!(
+            n_rec.to_bits(),
+            n_rep.to_bits(),
+            "axpy_norm replay diverged"
+        );
+        assert_eq!(
+            r_rec.as_slice(),
+            r_rep.as_slice(),
+            "axpy_norm replay diverged"
+        );
+    }
     let unfused = min_time(
         || {
             exec.axpy(&mut r, -0.5, black_box(&q)).unwrap();
@@ -122,46 +180,63 @@ fn main() {
         reps,
     );
     println!(
-        "axpy+norm ({m} elements, min of {reps}):\n  hand {:9.1} us\n  pipe {:9.1} us ({:+.1}% vs hand)\n  unf  {:9.1} us",
+        "axpy+norm ({m} elements, min of {reps}):\n  hand {:9.1} us\n  raw  {:9.1} us\n  pipe {:9.1} us ({:+.1}% vs hand)\n  plan {:9.1} us ({:+.1}% vs pipe)\n  unf  {:9.1} us",
         hand * 1e6,
+        raw * 1e6,
         pipe * 1e6,
         (pipe / hand - 1.0) * 100.0,
+        replay * 1e6,
+        (replay / pipe - 1.0) * 100.0,
         unfused * 1e6,
     );
     let axpy_probe = Probe {
         kernel: "axpy_norm",
         elements: m,
         hand,
-        raw: None,
+        raw,
         pipe,
+        replay,
         unfused,
     };
 
     let mut kernels_json = String::new();
+    let mut amortization_json = String::new();
     for (i, p) in [spmv_probe, axpy_probe].iter().enumerate() {
-        let raw_field = match p.raw {
-            Some(r) => format!("{r:.9e}"),
-            None => "null".to_string(),
-        };
         let _ = write!(
             kernels_json,
             "{}    {{\n      \"kernel\": \"{}\",\n      \"elements\": {},\n      \
-             \"hand_secs\": {:.9e},\n      \"raw_exec_secs\": {raw_field},\n      \
-             \"pipeline_secs\": {:.9e},\n      \"unfused_secs\": {:.9e},\n      \
-             \"pipeline_vs_hand\": {:.4}\n    }}",
+             \"hand_secs\": {:.9e},\n      \"raw_exec_secs\": {:.9e},\n      \
+             \"pipeline_secs\": {:.9e},\n      \"replay_secs\": {:.9e},\n      \
+             \"unfused_secs\": {:.9e},\n      \"pipeline_vs_hand\": {:.4}\n    }}",
             if i == 0 { "" } else { ",\n" },
             p.kernel,
             p.elements,
             p.hand,
+            p.raw,
             p.pipe,
+            p.replay,
             p.unfused,
             p.pipe / p.hand,
+        );
+        // `record_secs` re-records + fuses + runs the op graph each rep;
+        // `replay_secs` runs the once-compiled plan. The gate: replay
+        // must never cost more than re-recording.
+        let _ = write!(
+            amortization_json,
+            "{}    {{\"kernel\": \"{}\", \"record_secs\": {:.9e}, \
+             \"replay_secs\": {:.9e}, \"speedup\": {:.4}}}",
+            if i == 0 { "" } else { ",\n" },
+            p.kernel,
+            p.pipe,
+            p.replay,
+            p.pipe / p.replay,
         );
     }
     let json = format!(
         "{{\n  \"bench\": \"perf_probe\",\n  \"backend\": \"sequential (shared memory)\",\n  \
          \"grid\": {size},\n  \"n\": {n},\n  \"reps\": {reps},\n  \"timing\": \"min of reps\",\n  \
-         \"kernels\": [\n{kernels_json}\n  ]\n}}\n"
+         \"kernels\": [\n{kernels_json}\n  ],\n  \
+         \"amortization\": [\n{amortization_json}\n  ]\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("writing the JSON report must succeed");
     println!("wrote {out_path} ({} bytes)", json.len());

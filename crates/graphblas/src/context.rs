@@ -64,6 +64,7 @@ use crate::ops::scalar::Scalar;
 use crate::ops::semiring::{PlusTimes, Semiring};
 use crate::ops::unary::{Identity, UnaryOp};
 use crate::pipeline::Pipeline;
+use crate::plan::PlanBuilder;
 use std::marker::PhantomData;
 
 /// A backend chosen at runtime — the dispatch target of [`DynCtx`].
@@ -724,6 +725,15 @@ impl<E: Exec> Ctx<E> {
     /// this context's backend. See the [`crate::pipeline`] module docs.
     pub fn pipeline<'a, T: Scalar>(&self) -> Pipeline<'a, T, E> {
         Pipeline::new(self.exec, self.defaults)
+    }
+
+    /// Starts a compile-once [`PlanBuilder`]: operands are declared as
+    /// dimensioned slots, the recorded op graph compiles into a reusable
+    /// fused [`Plan`](crate::plan::Plan), and each replay binds fresh
+    /// buffers/scalars — record once, run every iteration. See the
+    /// [`crate::plan`] module docs.
+    pub fn plan<T: Scalar>(&self) -> PlanBuilder<T, E> {
+        PlanBuilder::new(self.exec, self.defaults)
     }
 }
 

@@ -23,6 +23,12 @@
 //! eager builder would call. The pass never reorders nodes, which together
 //! with the per-element equivalence of the fused kernels keeps pipeline
 //! execution bit-identical to eager execution.
+//!
+//! The pass itself is *shape generic*: it sees each recorded op only as an
+//! [`OpShape`] (kind, output slot, read slots, maskedness), so the same
+//! [`fuse_shapes`] schedule builder serves both the borrow-carrying
+//! [`Pipeline`](crate::pipeline::Pipeline) nodes and the slot-based
+//! [`Plan`](crate::plan::Plan) nodes that outlive their operands.
 
 use crate::ops::scalar::Scalar;
 use crate::pipeline::{Node, RingTag};
@@ -65,8 +71,14 @@ pub enum PlannedStage {
 
 impl Stage {
     pub(crate) fn describe<T: Scalar>(&self, nodes: &[Node<'_, T>]) -> PlannedStage {
+        self.describe_by(|i| nodes[i].name())
+    }
+
+    /// Describes the stage given a node-index → kernel-name mapping, so
+    /// both pipeline nodes and plan nodes can report schedules.
+    pub(crate) fn describe_by(&self, name_of: impl Fn(usize) -> &'static str) -> PlannedStage {
         match self {
-            Stage::Single(i) => PlannedStage::Single(nodes[*i].name()),
+            Stage::Single(i) => PlannedStage::Single(name_of(*i)),
             Stage::SpmvDot { .. } => PlannedStage::SpmvDot,
             Stage::AxpyNorm { .. } => PlannedStage::AxpyNorm,
             Stage::Loop(run) => PlannedStage::FusedLoop(run.len()),
@@ -74,96 +86,110 @@ impl Stage {
     }
 }
 
-/// The output registry slot a node writes, if any.
-fn node_out<T: Scalar>(node: &Node<'_, T>) -> Option<usize> {
-    match node {
-        Node::Mxv { out, .. }
-        | Node::Ewise { out, .. }
-        | Node::Apply { out, .. }
-        | Node::Axpy { out, .. }
-        | Node::Lambda { out, .. }
-        | Node::LambdaZip { out, .. } => Some(*out),
-        Node::Dot { .. } | Node::Reduce { .. } => None,
+/// How an op participates in fusion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum ShapeKind {
+    /// An `mxv` eligible for the SpMV-with-epilogue fusion: unmasked,
+    /// untransposed, plus-times ring, no accumulator.
+    MxvFusable,
+    /// Any other `mxv`.
+    MxvOther,
+    /// An element-wise binary op.
+    Ewise,
+    /// An element-wise unary op.
+    Apply,
+    /// An in-place `x += alpha * y` update.
+    Axpy,
+    /// An element-wise user lambda (with any number of zipped sources).
+    Lambda,
+    /// A `dot` over the plus-times ring — the only epilogue the fused
+    /// SpMV/axpy kernels implement.
+    DotPlusTimes,
+    /// A `dot` over any other ring.
+    DotOther,
+    /// A masked or monoid reduction.
+    Reduce,
+}
+
+/// The fusion-relevant footprint of one recorded op: what it writes, which
+/// registry slots it reads, and whether a mask gates it. Operands that are
+/// external borrows (not registry slots) cannot alias a registry output —
+/// the recorders enforce that — so they are invisible to the pass.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OpShape {
+    pub(crate) kind: ShapeKind,
+    pub(crate) out: Option<usize>,
+    pub(crate) reads: [Option<usize>; 3],
+    pub(crate) masked: bool,
+}
+
+impl OpShape {
+    fn reads(&self) -> impl Iterator<Item = usize> + '_ {
+        self.reads.iter().flatten().copied()
     }
 }
 
-/// The registry slots a node reads (vector operands that are handles).
-fn node_input_outs<T: Scalar>(node: &Node<'_, T>) -> [Option<usize>; 2] {
-    match node {
-        Node::Mxv { x, .. } => [x.out_index(), None],
-        Node::Ewise { x, y, .. } => [x.out_index(), y.out_index()],
-        Node::Apply { input, .. } => [input.out_index(), None],
-        Node::Axpy { y, .. } => [y.out_index(), None],
-        Node::Lambda { .. } => [None, None],
-        Node::LambdaZip { src, .. } => [src.out_index(), None],
-        Node::Dot { x, y, .. } => [x.out_index(), y.out_index()],
-        Node::Reduce { x, .. } => [x.out_index(), None],
-    }
-}
-
-/// Whether `nodes[i]` + `nodes[i + 1]` form a fusable SpMV-with-epilogue.
-fn spmv_dot_fusable<T: Scalar>(nodes: &[Node<'_, T>], i: usize) -> bool {
-    let Some(Node::Mxv {
-        out,
-        mask,
-        desc,
-        ring,
-        accum,
-        ..
-    }) = nodes.get(i)
-    else {
+/// Whether `shapes[i]` + `shapes[i + 1]` form a fusable SpMV-with-epilogue.
+fn spmv_dot_fusable(shapes: &[OpShape], i: usize) -> bool {
+    let Some(mxv) = shapes.get(i) else {
         return false;
     };
-    if mask.is_some() || desc.is_transposed() || *ring != RingTag::PlusTimes || accum.is_some() {
+    if mxv.kind != ShapeKind::MxvFusable {
         return false;
     }
-    match nodes.get(i + 1) {
-        Some(Node::Dot { x, y, ring, .. }) => {
-            *ring == RingTag::PlusTimes
-                && (x.out_index() == Some(*out) || y.out_index() == Some(*out))
-        }
-        _ => false,
+    let out = mxv.out.expect("mxv writes a vector");
+    match shapes.get(i + 1) {
+        Some(dot) => dot.kind == ShapeKind::DotPlusTimes && dot.reads().any(|r| r == out),
+        None => false,
     }
 }
 
-/// Whether `nodes[i]` + `nodes[i + 1]` form a fusable axpy-with-norm.
-fn axpy_norm_fusable<T: Scalar>(nodes: &[Node<'_, T>], i: usize) -> bool {
-    let Some(Node::Axpy { out, .. }) = nodes.get(i) else {
+/// Whether `shapes[i]` + `shapes[i + 1]` form a fusable axpy-with-norm.
+fn axpy_norm_fusable(shapes: &[OpShape], i: usize) -> bool {
+    let Some(axpy) = shapes.get(i) else {
         return false;
     };
-    match nodes.get(i + 1) {
-        Some(Node::Dot { x, y, ring, .. }) => {
-            *ring == RingTag::PlusTimes
-                && x.out_index() == Some(*out)
-                && y.out_index() == Some(*out)
+    if axpy.kind != ShapeKind::Axpy {
+        return false;
+    }
+    let out = axpy.out.expect("axpy writes a vector");
+    match shapes.get(i + 1) {
+        Some(dot) => {
+            dot.kind == ShapeKind::DotPlusTimes
+                && dot.reads[0] == Some(out)
+                && dot.reads[1] == Some(out)
         }
-        _ => false,
+        None => false,
     }
 }
 
-/// Whether a node can participate in a fused element-wise loop.
-fn loop_candidate<T: Scalar>(node: &Node<'_, T>) -> bool {
-    match node {
-        Node::Ewise { mask, .. }
-        | Node::Apply { mask, .. }
-        | Node::Lambda { mask, .. }
-        | Node::LambdaZip { mask, .. } => mask.is_none(),
-        Node::Axpy { .. } => true,
-        Node::Mxv { .. } | Node::Dot { .. } | Node::Reduce { .. } => false,
+/// Whether an op can participate in a fused element-wise loop.
+fn loop_candidate(shape: &OpShape) -> bool {
+    match shape.kind {
+        ShapeKind::Ewise | ShapeKind::Apply | ShapeKind::Lambda => !shape.masked,
+        ShapeKind::Axpy => true,
+        ShapeKind::MxvFusable
+        | ShapeKind::MxvOther
+        | ShapeKind::DotPlusTimes
+        | ShapeKind::DotOther
+        | ShapeKind::Reduce => false,
     }
 }
 
-/// Partitions the recorded nodes into a fused execution schedule.
-pub(crate) fn fuse<T: Scalar>(nodes: &[Node<'_, T>], out_lens: &[usize]) -> Vec<Stage> {
+/// Partitions a sequence of op shapes into a fused execution schedule.
+///
+/// `out_lens[s]` is the length of output registry slot `s`; element-wise
+/// runs only merge ops whose outputs share one length.
+pub(crate) fn fuse_shapes(shapes: &[OpShape], out_lens: &[usize]) -> Vec<Stage> {
     let mut stages = Vec::new();
     let mut i = 0;
-    while i < nodes.len() {
-        if spmv_dot_fusable(nodes, i) {
+    while i < shapes.len() {
+        if spmv_dot_fusable(shapes, i) {
             stages.push(Stage::SpmvDot { mxv: i, dot: i + 1 });
             i += 2;
             continue;
         }
-        if axpy_norm_fusable(nodes, i) {
+        if axpy_norm_fusable(shapes, i) {
             stages.push(Stage::AxpyNorm {
                 axpy: i,
                 dot: i + 1,
@@ -171,26 +197,22 @@ pub(crate) fn fuse<T: Scalar>(nodes: &[Node<'_, T>], out_lens: &[usize]) -> Vec<
             i += 2;
             continue;
         }
-        if !loop_candidate(&nodes[i]) {
+        if !loop_candidate(&shapes[i]) {
             stages.push(Stage::Single(i));
             i += 1;
             continue;
         }
         // Grow a maximal legal element-wise run starting at i.
-        let n = out_lens[node_out(&nodes[i]).expect("element-wise nodes write a vector")];
+        let n = out_lens[shapes[i].out.expect("element-wise ops write a vector")];
         let mut run = vec![i];
-        let mut outs_in_run = vec![node_out(&nodes[i]).unwrap()];
-        let mut inputs_in_run: Vec<usize> = node_input_outs(&nodes[i])
-            .iter()
-            .flatten()
-            .copied()
-            .collect();
+        let mut outs_in_run = vec![shapes[i].out.unwrap()];
+        let mut inputs_in_run: Vec<usize> = shapes[i].reads().collect();
         let mut j = i + 1;
-        while j < nodes.len() {
-            if !loop_candidate(&nodes[j]) || axpy_norm_fusable(nodes, j) {
+        while j < shapes.len() {
+            if !loop_candidate(&shapes[j]) || axpy_norm_fusable(shapes, j) {
                 break;
             }
-            let out = node_out(&nodes[j]).unwrap();
+            let out = shapes[j].out.unwrap();
             // One loop may not contain two writers of a slot, a reader of a
             // slot the run writes (it would observe a half-written vector),
             // or a writer of a slot the run reads (an earlier member's
@@ -198,15 +220,12 @@ pub(crate) fn fuse<T: Scalar>(nodes: &[Node<'_, T>], out_lens: &[usize]) -> Vec<
             if out_lens[out] != n || outs_in_run.contains(&out) || inputs_in_run.contains(&out) {
                 break;
             }
-            let reads_run_output = node_input_outs(&nodes[j])
-                .iter()
-                .flatten()
-                .any(|o| outs_in_run.contains(o));
+            let reads_run_output = shapes[j].reads().any(|o| outs_in_run.contains(&o));
             if reads_run_output {
                 break;
             }
             outs_in_run.push(out);
-            inputs_in_run.extend(node_input_outs(&nodes[j]).iter().flatten());
+            inputs_in_run.extend(shapes[j].reads());
             run.push(j);
             j += 1;
         }
@@ -218,4 +237,88 @@ pub(crate) fn fuse<T: Scalar>(nodes: &[Node<'_, T>], out_lens: &[usize]) -> Vec<
         i = j;
     }
     stages
+}
+
+/// The [`OpShape`] of a recorded pipeline node.
+fn node_shape<T: Scalar>(node: &Node<'_, T>) -> OpShape {
+    match node {
+        Node::Mxv {
+            out,
+            x,
+            mask,
+            desc,
+            ring,
+            accum,
+            ..
+        } => OpShape {
+            kind: if mask.is_none()
+                && !desc.is_transposed()
+                && *ring == RingTag::PlusTimes
+                && accum.is_none()
+            {
+                ShapeKind::MxvFusable
+            } else {
+                ShapeKind::MxvOther
+            },
+            out: Some(*out),
+            reads: [x.out_index(), None, None],
+            masked: mask.is_some(),
+        },
+        Node::Ewise {
+            out, x, y, mask, ..
+        } => OpShape {
+            kind: ShapeKind::Ewise,
+            out: Some(*out),
+            reads: [x.out_index(), y.out_index(), None],
+            masked: mask.is_some(),
+        },
+        Node::Apply {
+            out, input, mask, ..
+        } => OpShape {
+            kind: ShapeKind::Apply,
+            out: Some(*out),
+            reads: [input.out_index(), None, None],
+            masked: mask.is_some(),
+        },
+        Node::Axpy { out, y, .. } => OpShape {
+            kind: ShapeKind::Axpy,
+            out: Some(*out),
+            reads: [y.out_index(), None, None],
+            masked: false,
+        },
+        Node::Lambda { out, mask, .. } => OpShape {
+            kind: ShapeKind::Lambda,
+            out: Some(*out),
+            reads: [None, None, None],
+            masked: mask.is_some(),
+        },
+        Node::LambdaZip { out, src, mask, .. } => OpShape {
+            kind: ShapeKind::Lambda,
+            out: Some(*out),
+            reads: [src.out_index(), None, None],
+            masked: mask.is_some(),
+        },
+        Node::Dot { x, y, ring, .. } => OpShape {
+            kind: if *ring == RingTag::PlusTimes {
+                ShapeKind::DotPlusTimes
+            } else {
+                ShapeKind::DotOther
+            },
+            out: None,
+            reads: [x.out_index(), y.out_index(), None],
+            masked: false,
+        },
+        Node::Reduce { x, mask, .. } => OpShape {
+            kind: ShapeKind::Reduce,
+            out: None,
+            reads: [x.out_index(), None, None],
+            masked: mask.is_some(),
+        },
+    }
+}
+
+/// Partitions the recorded pipeline nodes into a fused execution schedule.
+pub(crate) fn fuse<T: Scalar>(nodes: &[Node<'_, T>], out_lens: &[usize]) -> Vec<Stage> {
+    let shapes: Vec<OpShape> = nodes.iter().map(node_shape).collect();
+    fuse_shapes(&shapes, out_lens)
 }

@@ -86,6 +86,14 @@
 //! assert_eq!(out[p_ap], 14.0);
 //! ```
 //!
+//! When the same op graph runs many times (a CG iteration body, repeated
+//! serve traffic), compile it **once** instead: [`Ctx::plan`] records the
+//! graph against dimensioned slots, [`plan::PlanBuilder::compile`] freezes
+//! the fused schedule into a reusable [`Plan`], and each replay just binds
+//! fresh buffers and scalar parameters — same kernels, bit-identical
+//! results, zero per-iteration recording or fusion cost. A [`PlanCache`]
+//! memoizes compiled plans by shape. See the [`plan`] module docs.
+//!
 //! The pre-0.2 free functions (`mxv(&mut y, None, Descriptor::DEFAULT, …)`),
 //! deprecated in 0.2, have been **removed** in 0.3 as promised; every entry
 //! point now goes through a context or a pipeline.
@@ -96,7 +104,8 @@
 //! |--------|----------|
 //! | [`context`] | [`Ctx`], [`DynCtx`], [`BackendKind`] and the operation builders |
 //! | [`pipeline`] | [`Pipeline`]: deferred op graphs recorded off a context |
-//! | [`fusion`] | the generic fusion pass `Pipeline::finish` runs |
+//! | [`plan`] | [`Plan`]: compile-once/replay pipelines over slots, plus the [`PlanCache`] |
+//! | [`fusion`] | the generic fusion pass `Pipeline::finish` and `PlanBuilder::compile` run |
 //! | [`ops`] | algebraic structures: binary/unary operators, monoids, semirings, accumulation modes |
 //! | [`container`] | [`Vector`] (dense or sparse pattern) and [`CsrMatrix`] |
 //! | [`descriptor`] | operation descriptors (structural mask, transpose, …) |
@@ -120,6 +129,7 @@ pub mod io;
 pub mod linop;
 pub mod ops;
 pub mod pipeline;
+pub mod plan;
 pub(crate) mod util;
 
 pub use backend::dist::{ClassCost, CostSummary, DistConfig, Distributed, ShardLayout};
@@ -143,6 +153,10 @@ pub use ops::unary::{Abs, AdditiveInverse, Identity, MultiplicativeInverse, Unar
 pub use pipeline::{
     BinOpTag, MonoidTag, PipeInput, Pipeline, PipelineResults, RingTag, ScalarHandle, TaggedBinOp,
     TaggedMonoid, TaggedRing, TaggedUnaryOp, UnaryOpTag, VecHandle,
+};
+pub use plan::{
+    plan_key, Bindings, InSlot, MaskSlot, MatSlot, OutSlot, Plan, PlanBuilder, PlanCache, PlanRead,
+    PlanResults, PlanScalar, ScalarParam, ScalarSlot,
 };
 
 pub use exec::extract::{assign_vector, extract_submatrix, extract_vector};

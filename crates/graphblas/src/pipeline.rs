@@ -60,6 +60,20 @@
 //! taggable subset (arithmetic + tropical rings, the arithmetic/min/max
 //! operator families) covers HPCG and the workspace's graph workloads;
 //! `mxm` stays eager-only (it is a setup-time primitive).
+//!
+//! # Compile once, replay many times
+//!
+//! A pipeline records against *borrowed* operands, so a loop body recorded
+//! this way must be re-recorded (and re-fused) every iteration. When the
+//! same op graph runs repeatedly — a CG iteration body, per-request serve
+//! work — record it once against dimensioned **slots** instead with
+//! [`Ctx::plan`](crate::Ctx::plan): `compile()` freezes the fused schedule
+//! into a reusable [`Plan`](crate::plan::Plan) and each replay binds fresh
+//! buffers (and scalar parameters) into the already-fused stages. Replay
+//! runs the same tagged kernels as `finish()` and stays bit-identical to
+//! both this module and the eager path; see [`crate::plan`] for the
+//! slot/binding model and the process-wide
+//! [`PlanCache`](crate::plan::PlanCache).
 
 use crate::container::matrix::CsrMatrix;
 use crate::container::vector::Vector;
@@ -372,6 +386,10 @@ macro_rules! with_monoid {
         }
     };
 }
+
+// The plan module replays the same tagged ops, so it shares the
+// re-monomorphization macros.
+pub(crate) use {with_accum, with_binop, with_monoid, with_ring, with_unop};
 
 // ---------------------------------------------------------------------------
 // Handles, operands, nodes

@@ -1,0 +1,2501 @@
+//! Compile-once, run-many pipelines: reusable [`Plan`]s and a [`PlanCache`].
+//!
+//! A [`Pipeline`](crate::pipeline::Pipeline) borrows its operands while
+//! recording, so its op graph lives at most as long as the vectors it
+//! touches — a CG loop re-records (and re-fuses) the same iteration body on
+//! every pass. A [`Plan`] removes that cost: operands are declared as
+//! *slots* (dimensions only), the op graph is recorded once against the
+//! slots, [`PlanBuilder::compile`] runs the same fusion pass in
+//! [`crate::fusion`] to an immutable fused schedule, and every
+//! [`Plan::run`] executes that schedule against freshly bound buffers:
+//!
+//! ```
+//! use graphblas::{ctx, CsrMatrix, Sequential, Vector};
+//!
+//! let a = CsrMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+//!
+//! // Record the op graph once, against slots instead of buffers.
+//! let mut pb = ctx::<Sequential>().plan::<f64>();
+//! let am = pb.matrix(2, 2);
+//! let xs = pb.input(2);
+//! let ys = pb.output(2);
+//! let ap = pb.mxv(am, xs).into(ys);
+//! let p_ap = pb.dot(xs, ap).result();
+//! let plan = pb.compile(); // fuses into one SpMV-with-dot sweep
+//!
+//! // Replay it — per call only the bindings change, never the schedule.
+//! let x = Vector::from_dense(vec![1.0, 2.0]);
+//! let mut y = Vector::zeros(2);
+//! let mut b = plan.bindings();
+//! b.bind_matrix(plan.matrix_slot(0), &a)
+//!     .bind_input(plan.input_slot(0), &x)
+//!     .bind_output(plan.output_slot(0), &mut y);
+//! let out = plan.run(&mut b).unwrap();
+//! assert_eq!(out[p_ap], 1.0 * 2.0 + 2.0 * 6.0);
+//! drop(b);
+//! assert_eq!(y.as_slice(), &[2.0, 6.0]);
+//! ```
+//!
+//! # Execution model
+//!
+//! `Plan::run` resolves each slot through a [`Bindings`] table and then
+//! executes the fused stages through exactly the kernels
+//! `Pipeline::finish` uses, so a replayed plan is **bit-identical** to the
+//! freshly recorded pipeline and to eager execution (pinned by tests).
+//! Scalars (CG's alpha/beta) enter as [`ScalarParam`] slots mutated with
+//! [`Bindings::set`] between runs. The borrow checker gives replay the
+//! same aliasing guarantees recording had: all bindings borrow for the
+//! lifetime of the `Bindings` value, so an input and an output can never
+//! name the same vector.
+//!
+//! # Caching
+//!
+//! [`PlanCache`] memoizes compiled plans under a caller-chosen `u64` key
+//! (see [`plan_key`]) so hot paths skip both recording and fusion. Keys
+//! should describe the op-graph *shape* — ops, masks, descriptors,
+//! dimensions — never concrete buffers; rebinding handles re-put matrices
+//! with identical dimensions, and a dimension change must be part of the
+//! key (or the stale plan's `run` fails validation rather than corrupting
+//! memory). [`Plan::structural_hash`] is that shape digest for a compiled
+//! plan. Two caveats, both documented per method: closures recorded with
+//! `transform` hash by arity and operand slots only, and a plan captures
+//! its backend handle by value, so plans for a specific
+//! [`Distributed`](crate::Distributed) cluster belong in a cache owned by
+//! that cluster's user, not in [`PlanCache::global`].
+
+use crate::container::matrix::CsrMatrix;
+use crate::container::vector::Vector;
+use crate::context::Exec;
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, GrbError, Result};
+use crate::fusion::{fuse_shapes, OpShape, PlannedStage, ShapeKind, Stage};
+use crate::ops::accum::{AccumWith, NoAccum};
+use crate::ops::binary::{Divide, Max, Min, Minus, Plus, Times};
+use crate::ops::scalar::Scalar;
+use crate::ops::semiring::{MaxTimes, MinPlus, PlusTimes};
+use crate::ops::unary::{Abs, AdditiveInverse, Identity, MultiplicativeInverse};
+use crate::pipeline::{
+    with_accum, with_binop, with_monoid, with_ring, with_unop, BinOpTag, MonoidTag, RingTag,
+    TaggedBinOp, TaggedMonoid, TaggedRing, TaggedUnaryOp, UnaryOpTag,
+};
+use crate::util::UnsafeSlice;
+use std::any::{Any, TypeId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Slots
+// ---------------------------------------------------------------------------
+
+/// Names a matrix operand slot of a plan. Branded with the issuing
+/// builder's id: passing it to another plan's bindings panics instead of
+/// silently resolving to the wrong operand.
+#[derive(Copy, Clone, Debug)]
+pub struct MatSlot {
+    plan: u64,
+    idx: usize,
+}
+
+/// Names a read-only vector operand slot of a plan (branded, see
+/// [`MatSlot`]).
+#[derive(Copy, Clone, Debug)]
+pub struct InSlot {
+    plan: u64,
+    idx: usize,
+}
+
+/// Names a mutable vector slot of a plan — recorded ops write it and may
+/// read it in place (branded, see [`MatSlot`]).
+#[derive(Copy, Clone, Debug)]
+pub struct OutSlot {
+    plan: u64,
+    idx: usize,
+}
+
+/// Names a mask operand slot of a plan (branded, see [`MatSlot`]).
+#[derive(Copy, Clone, Debug)]
+pub struct MaskSlot {
+    plan: u64,
+    idx: usize,
+}
+
+/// Names a scalar parameter of a plan (CG's alpha/beta): recorded ops use
+/// its value, and [`Bindings::set`] changes it between replays without
+/// recompiling (branded, see [`MatSlot`]).
+#[derive(Copy, Clone, Debug)]
+pub struct ScalarParam {
+    plan: u64,
+    idx: usize,
+}
+
+/// Names the scalar result of a recorded `dot`/`reduce`/norm op; redeem it
+/// against the [`PlanResults`] each [`Plan::run`] returns (branded, see
+/// [`MatSlot`]).
+#[derive(Copy, Clone, Debug)]
+pub struct ScalarSlot {
+    plan: u64,
+    idx: usize,
+}
+
+/// A readable vector operand of a recorded plan op: an input slot or the
+/// (possibly already written) contents of an output slot.
+#[derive(Copy, Clone, Debug)]
+pub enum PlanRead {
+    /// A read-only input slot.
+    In(InSlot),
+    /// An output slot read as an operand.
+    Out(OutSlot),
+}
+
+impl From<InSlot> for PlanRead {
+    fn from(s: InSlot) -> Self {
+        PlanRead::In(s)
+    }
+}
+
+impl From<OutSlot> for PlanRead {
+    fn from(s: OutSlot) -> Self {
+        PlanRead::Out(s)
+    }
+}
+
+/// A scalar operand of a recorded plan op: a value baked in at recording
+/// time or a [`ScalarParam`] resolved at each run. Mostly constructed through
+/// the `From` impls — pass a `T` or a `ScalarParam` wherever an
+/// `impl Into<PlanScalar<T>>` is accepted.
+#[derive(Copy, Clone, Debug)]
+pub enum PlanScalar<T: Scalar> {
+    /// A constant recorded into the plan.
+    Const(T),
+    /// A parameter slot read from the bindings at run time.
+    Param(ScalarParam),
+}
+
+impl<T: Scalar> From<T> for PlanScalar<T> {
+    fn from(v: T) -> Self {
+        PlanScalar::Const(v)
+    }
+}
+
+impl<T: Scalar> From<ScalarParam> for PlanScalar<T> {
+    fn from(p: ScalarParam) -> Self {
+        PlanScalar::Param(p)
+    }
+}
+
+/// A resolved readable operand (slot index checked against the builder).
+#[derive(Copy, Clone, Debug)]
+enum PlanSrc {
+    /// Index into the input-slot table.
+    In(usize),
+    /// Index into the output-slot table.
+    Out(usize),
+}
+
+impl PlanSrc {
+    fn out_index(self) -> Option<usize> {
+        match self {
+            PlanSrc::In(_) => None,
+            PlanSrc::Out(o) => Some(o),
+        }
+    }
+}
+
+/// A resolved scalar operand.
+#[derive(Copy, Clone, Debug)]
+enum ScalarRef<T> {
+    Const(T),
+    Param(usize),
+}
+
+type F0<T> = Box<dyn Fn(usize, &mut T) + Send + Sync>;
+type F1<T> = Box<dyn Fn(usize, &mut T, T) + Send + Sync>;
+type F2<T> = Box<dyn Fn(usize, &mut T, T, T) + Send + Sync>;
+type F3<T> = Box<dyn Fn(usize, &mut T, T, T, T) + Send + Sync>;
+
+/// A recorded element-wise closure with zero to three zipped sources.
+enum PlanFn<T> {
+    F0(F0<T>),
+    F1(PlanSrc, F1<T>),
+    F2([PlanSrc; 2], F2<T>),
+    F3([PlanSrc; 3], F3<T>),
+}
+
+/// One recorded plan op — the owned, `'static` mirror of the pipeline's
+/// borrow-carrying `Node`.
+enum PlanNode<T: Scalar> {
+    Mxv {
+        out: usize,
+        a: usize,
+        x: PlanSrc,
+        mask: Option<usize>,
+        desc: Descriptor,
+        ring: RingTag,
+        accum: Option<BinOpTag>,
+    },
+    Ewise {
+        out: usize,
+        x: PlanSrc,
+        y: PlanSrc,
+        mask: Option<usize>,
+        desc: Descriptor,
+        op: BinOpTag,
+        scale: Option<(ScalarRef<T>, ScalarRef<T>)>,
+        accum: Option<BinOpTag>,
+    },
+    Apply {
+        out: usize,
+        input: PlanSrc,
+        mask: Option<usize>,
+        desc: Descriptor,
+        op: UnaryOpTag,
+        accum: Option<BinOpTag>,
+    },
+    Axpy {
+        out: usize,
+        alpha: ScalarRef<T>,
+        y: PlanSrc,
+    },
+    Lambda {
+        out: usize,
+        mask: Option<usize>,
+        desc: Descriptor,
+        f: PlanFn<T>,
+    },
+    Dot {
+        sid: usize,
+        x: PlanSrc,
+        y: PlanSrc,
+        ring: RingTag,
+    },
+    Reduce {
+        sid: usize,
+        x: PlanSrc,
+        mask: Option<usize>,
+        desc: Descriptor,
+        monoid: MonoidTag,
+    },
+}
+
+impl<T: Scalar> PlanNode<T> {
+    /// Short kernel name for schedules and debugging (matches the
+    /// pipeline's names so schedule tests read the same).
+    fn name(&self) -> &'static str {
+        match self {
+            PlanNode::Mxv { .. } => "mxv",
+            PlanNode::Ewise { .. } => "ewise",
+            PlanNode::Apply { .. } => "apply",
+            PlanNode::Axpy { .. } => "axpy",
+            PlanNode::Lambda {
+                f: PlanFn::F0(_), ..
+            } => "transform",
+            PlanNode::Lambda { .. } => "transform_zip",
+            PlanNode::Dot { .. } => "dot",
+            PlanNode::Reduce { .. } => "reduce",
+        }
+    }
+
+    /// The fusion-relevant footprint of this op (see [`OpShape`]). Input
+    /// slots are invisible to the pass for the same reason a pipeline's
+    /// external borrows are: the borrow rules on [`Bindings`] keep a bound
+    /// input from aliasing a bound output.
+    fn shape(&self) -> OpShape {
+        match self {
+            PlanNode::Mxv {
+                out,
+                x,
+                mask,
+                desc,
+                ring,
+                accum,
+                ..
+            } => OpShape {
+                kind: if mask.is_none()
+                    && !desc.is_transposed()
+                    && *ring == RingTag::PlusTimes
+                    && accum.is_none()
+                {
+                    ShapeKind::MxvFusable
+                } else {
+                    ShapeKind::MxvOther
+                },
+                out: Some(*out),
+                reads: [x.out_index(), None, None],
+                masked: mask.is_some(),
+            },
+            PlanNode::Ewise {
+                out, x, y, mask, ..
+            } => OpShape {
+                kind: ShapeKind::Ewise,
+                out: Some(*out),
+                reads: [x.out_index(), y.out_index(), None],
+                masked: mask.is_some(),
+            },
+            PlanNode::Apply {
+                out, input, mask, ..
+            } => OpShape {
+                kind: ShapeKind::Apply,
+                out: Some(*out),
+                reads: [input.out_index(), None, None],
+                masked: mask.is_some(),
+            },
+            PlanNode::Axpy { out, y, .. } => OpShape {
+                kind: ShapeKind::Axpy,
+                out: Some(*out),
+                reads: [y.out_index(), None, None],
+                masked: false,
+            },
+            PlanNode::Lambda { out, mask, f, .. } => {
+                let mut reads = [None, None, None];
+                match f {
+                    PlanFn::F0(_) => {}
+                    PlanFn::F1(s, _) => reads[0] = s.out_index(),
+                    PlanFn::F2(ss, _) => {
+                        for (k, s) in ss.iter().enumerate() {
+                            reads[k] = s.out_index();
+                        }
+                    }
+                    PlanFn::F3(ss, _) => {
+                        for (k, s) in ss.iter().enumerate() {
+                            reads[k] = s.out_index();
+                        }
+                    }
+                }
+                OpShape {
+                    kind: ShapeKind::Lambda,
+                    out: Some(*out),
+                    reads,
+                    masked: mask.is_some(),
+                }
+            }
+            PlanNode::Dot { x, y, ring, .. } => OpShape {
+                kind: if *ring == RingTag::PlusTimes {
+                    ShapeKind::DotPlusTimes
+                } else {
+                    ShapeKind::DotOther
+                },
+                out: None,
+                reads: [x.out_index(), y.out_index(), None],
+                masked: false,
+            },
+            PlanNode::Reduce { x, mask, .. } => OpShape {
+                kind: ShapeKind::Reduce,
+                out: None,
+                reads: [x.out_index(), None, None],
+                masked: mask.is_some(),
+            },
+        }
+    }
+
+    /// Feeds this op's structure (not its data) into a hasher.
+    fn hash_structure<H: Hasher>(&self, h: &mut H) {
+        match self {
+            PlanNode::Mxv {
+                out,
+                a,
+                x,
+                mask,
+                desc,
+                ring,
+                accum,
+            } => {
+                0u8.hash(h);
+                out.hash(h);
+                a.hash(h);
+                hash_src(h, *x);
+                mask.hash(h);
+                hash_desc(h, *desc);
+                (*ring as u8).hash(h);
+                hash_binop_opt(h, *accum);
+            }
+            PlanNode::Ewise {
+                out,
+                x,
+                y,
+                mask,
+                desc,
+                op,
+                scale,
+                accum,
+            } => {
+                1u8.hash(h);
+                out.hash(h);
+                hash_src(h, *x);
+                hash_src(h, *y);
+                mask.hash(h);
+                hash_desc(h, *desc);
+                (*op as u8).hash(h);
+                match scale {
+                    None => 0u8.hash(h),
+                    Some((a, b)) => {
+                        1u8.hash(h);
+                        hash_scalar(h, a);
+                        hash_scalar(h, b);
+                    }
+                }
+                hash_binop_opt(h, *accum);
+            }
+            PlanNode::Apply {
+                out,
+                input,
+                mask,
+                desc,
+                op,
+                accum,
+            } => {
+                2u8.hash(h);
+                out.hash(h);
+                hash_src(h, *input);
+                mask.hash(h);
+                hash_desc(h, *desc);
+                (*op as u8).hash(h);
+                hash_binop_opt(h, *accum);
+            }
+            PlanNode::Axpy { out, alpha, y } => {
+                3u8.hash(h);
+                out.hash(h);
+                hash_scalar(h, alpha);
+                hash_src(h, *y);
+            }
+            PlanNode::Lambda { out, mask, desc, f } => {
+                4u8.hash(h);
+                out.hash(h);
+                mask.hash(h);
+                hash_desc(h, *desc);
+                // Closures hash by arity and operand slots only; see the
+                // module docs' caching caveat.
+                match f {
+                    PlanFn::F0(_) => 0u8.hash(h),
+                    PlanFn::F1(s, _) => {
+                        1u8.hash(h);
+                        hash_src(h, *s);
+                    }
+                    PlanFn::F2(ss, _) => {
+                        2u8.hash(h);
+                        for s in ss {
+                            hash_src(h, *s);
+                        }
+                    }
+                    PlanFn::F3(ss, _) => {
+                        3u8.hash(h);
+                        for s in ss {
+                            hash_src(h, *s);
+                        }
+                    }
+                }
+            }
+            PlanNode::Dot { sid, x, y, ring } => {
+                5u8.hash(h);
+                sid.hash(h);
+                hash_src(h, *x);
+                hash_src(h, *y);
+                (*ring as u8).hash(h);
+            }
+            PlanNode::Reduce {
+                sid,
+                x,
+                mask,
+                desc,
+                monoid,
+            } => {
+                6u8.hash(h);
+                sid.hash(h);
+                hash_src(h, *x);
+                mask.hash(h);
+                hash_desc(h, *desc);
+                (*monoid as u8).hash(h);
+            }
+        }
+    }
+}
+
+fn hash_src<H: Hasher>(h: &mut H, s: PlanSrc) {
+    match s {
+        PlanSrc::In(i) => {
+            0u8.hash(h);
+            i.hash(h);
+        }
+        PlanSrc::Out(o) => {
+            1u8.hash(h);
+            o.hash(h);
+        }
+    }
+}
+
+fn hash_desc<H: Hasher>(h: &mut H, d: Descriptor) {
+    d.is_structural().hash(h);
+    d.is_transposed().hash(h);
+    d.is_mask_inverted().hash(h);
+}
+
+fn hash_binop_opt<H: Hasher>(h: &mut H, t: Option<BinOpTag>) {
+    match t {
+        None => 255u8.hash(h),
+        Some(t) => (t as u8).hash(h),
+    }
+}
+
+fn hash_scalar<T: Scalar, H: Hasher>(h: &mut H, s: &ScalarRef<T>) {
+    match s {
+        // `Scalar` has no `Hash` bound (floats), so constants hash through
+        // their exact `Debug` rendering.
+        ScalarRef::Const(v) => {
+            0u8.hash(h);
+            format!("{v:?}").hash(h);
+        }
+        ScalarRef::Param(i) => {
+            1u8.hash(h);
+            i.hash(h);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The builder
+// ---------------------------------------------------------------------------
+
+/// Records an op graph against declared slots and compiles it into a
+/// reusable [`Plan`]. Created by [`Ctx::plan`](crate::Ctx::plan); see the
+/// [module docs](self).
+///
+/// The fluent recorders mirror [`Pipeline`](crate::pipeline::Pipeline)'s —
+/// `mxv`, `vxm`, `ewise`, `apply`, `axpy`, `transform`, `dot`, `reduce`,
+/// `norm2_squared` with the same mask/descriptor/ring/accumulator
+/// modifiers — but every vector operand is a slot and every tunable scalar
+/// may be a [`ScalarParam`].
+pub struct PlanBuilder<T: Scalar, E: Exec> {
+    /// Process-unique id branding this builder's slots (and its plan's).
+    id: u64,
+    exec: E,
+    defaults: Descriptor,
+    nodes: Vec<PlanNode<T>>,
+    /// Declared `(nrows, ncols)` of each matrix slot.
+    mats: Vec<(usize, usize)>,
+    /// Declared length of each input slot.
+    ins: Vec<usize>,
+    /// Declared length of each output slot.
+    outs: Vec<usize>,
+    /// Declared length of each mask slot.
+    masks: Vec<usize>,
+    /// Default value of each scalar parameter.
+    params: Vec<T>,
+    scalars: usize,
+}
+
+impl<T: Scalar, E: Exec> PlanBuilder<T, E> {
+    pub(crate) fn new(exec: E, defaults: Descriptor) -> PlanBuilder<T, E> {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+        PlanBuilder {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            exec,
+            defaults,
+            nodes: Vec::new(),
+            mats: Vec::new(),
+            ins: Vec::new(),
+            outs: Vec::new(),
+            masks: Vec::new(),
+            params: Vec::new(),
+            scalars: 0,
+        }
+    }
+
+    /// Number of operations recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Declares a matrix operand slot with the given dimensions.
+    pub fn matrix(&mut self, nrows: usize, ncols: usize) -> MatSlot {
+        let idx = self.mats.len();
+        self.mats.push((nrows, ncols));
+        MatSlot { plan: self.id, idx }
+    }
+
+    /// Declares a read-only vector operand slot of the given length.
+    pub fn input(&mut self, len: usize) -> InSlot {
+        let idx = self.ins.len();
+        self.ins.push(len);
+        InSlot { plan: self.id, idx }
+    }
+
+    /// Declares a mutable vector slot of the given length — the target of
+    /// recorded writes, readable in place by later (or in-place) ops.
+    pub fn output(&mut self, len: usize) -> OutSlot {
+        let idx = self.outs.len();
+        self.outs.push(len);
+        OutSlot { plan: self.id, idx }
+    }
+
+    /// Declares a mask operand slot of the given length.
+    pub fn mask(&mut self, len: usize) -> MaskSlot {
+        let idx = self.masks.len();
+        self.masks.push(len);
+        MaskSlot { plan: self.id, idx }
+    }
+
+    /// Declares a scalar parameter with a default value; replays override
+    /// it with [`Bindings::set`].
+    pub fn param(&mut self, default: T) -> ScalarParam {
+        let idx = self.params.len();
+        self.params.push(default);
+        ScalarParam { plan: self.id, idx }
+    }
+
+    fn check_mat(&self, s: MatSlot) -> usize {
+        assert!(
+            s.plan == self.id && s.idx < self.mats.len(),
+            "MatSlot does not belong to this plan"
+        );
+        s.idx
+    }
+
+    fn check_out(&self, s: OutSlot) -> usize {
+        assert!(
+            s.plan == self.id && s.idx < self.outs.len(),
+            "OutSlot does not belong to this plan"
+        );
+        s.idx
+    }
+
+    fn check_mask(&self, s: MaskSlot) -> usize {
+        assert!(
+            s.plan == self.id && s.idx < self.masks.len(),
+            "MaskSlot does not belong to this plan"
+        );
+        s.idx
+    }
+
+    fn resolve(&self, r: PlanRead) -> PlanSrc {
+        match r {
+            PlanRead::In(s) => {
+                assert!(
+                    s.plan == self.id && s.idx < self.ins.len(),
+                    "InSlot does not belong to this plan"
+                );
+                PlanSrc::In(s.idx)
+            }
+            PlanRead::Out(s) => PlanSrc::Out(self.check_out(s)),
+        }
+    }
+
+    fn resolve_scalar(&self, s: PlanScalar<T>) -> ScalarRef<T> {
+        match s {
+            PlanScalar::Const(v) => ScalarRef::Const(v),
+            PlanScalar::Param(p) => {
+                assert!(
+                    p.plan == self.id && p.idx < self.params.len(),
+                    "ScalarParam does not belong to this plan"
+                );
+                ScalarRef::Param(p.idx)
+            }
+        }
+    }
+
+    /// Declared length of a readable operand.
+    fn src_len(&self, s: PlanSrc) -> usize {
+        match s {
+            PlanSrc::In(i) => self.ins[i],
+            PlanSrc::Out(o) => self.outs[o],
+        }
+    }
+
+    fn new_scalar(&mut self) -> ScalarSlot {
+        let idx = self.scalars;
+        self.scalars += 1;
+        ScalarSlot { plan: self.id, idx }
+    }
+
+    /// Starts recording `y = A ⊕.⊗ x` (default ring: `PlusTimes`).
+    pub fn mxv(&mut self, a: MatSlot, x: impl Into<PlanRead>) -> PlanMxv<'_, T, E> {
+        let a = self.check_mat(a);
+        let x = self.resolve(x.into());
+        let desc = self.defaults;
+        PlanMxv {
+            pb: self,
+            a,
+            x,
+            mask: None,
+            desc,
+            ring: RingTag::PlusTimes,
+            accum: None,
+        }
+    }
+
+    /// Starts recording `y = xᵀA` — an mxv with the transposition
+    /// pre-toggled, exactly like the eager `vxm` builder.
+    pub fn vxm(&mut self, x: impl Into<PlanRead>, a: MatSlot) -> PlanMxv<'_, T, E> {
+        let mut b = self.mxv(a, x);
+        b.desc = b.desc.toggled_transpose();
+        b
+    }
+
+    /// Starts recording `w = Op(x, y)` element-wise (default op: `Plus`).
+    pub fn ewise(&mut self, x: impl Into<PlanRead>, y: impl Into<PlanRead>) -> PlanEwise<'_, T, E> {
+        let x = self.resolve(x.into());
+        let y = self.resolve(y.into());
+        let desc = self.defaults;
+        PlanEwise {
+            pb: self,
+            x,
+            y,
+            mask: None,
+            desc,
+            op: BinOpTag::Plus,
+            scale: None,
+            accum: None,
+        }
+    }
+
+    /// Starts recording `out = Op(input)` (default op: `Identity`).
+    pub fn apply(&mut self, input: impl Into<PlanRead>) -> PlanApply<'_, T, E> {
+        let input = self.resolve(input.into());
+        let desc = self.defaults;
+        PlanApply {
+            pb: self,
+            input,
+            mask: None,
+            desc,
+            op: UnaryOpTag::Identity,
+            accum: None,
+        }
+    }
+
+    /// Records `x = x + α·y`, where `α` is a constant or a
+    /// [`ScalarParam`]. Returns `x` for operand chaining.
+    pub fn axpy(
+        &mut self,
+        x: OutSlot,
+        alpha: impl Into<PlanScalar<T>>,
+        y: impl Into<PlanRead>,
+    ) -> OutSlot {
+        let out = self.check_out(x);
+        let alpha = self.resolve_scalar(alpha.into());
+        let y = self.resolve(y.into());
+        assert!(
+            y.out_index() != Some(out),
+            "axpy operand may not alias its output"
+        );
+        assert!(
+            self.src_len(y) == self.outs[out],
+            "axpy operand length must match its output slot"
+        );
+        self.nodes.push(PlanNode::Axpy { out, alpha, y });
+        x
+    }
+
+    /// Starts recording an in-place indexed update of `out` (the eager
+    /// `transform` / `eWiseLambda`). Closures recorded here must be
+    /// `'static`: values they read per index enter through
+    /// [`PlanTransform::zip`] sources, not captures.
+    pub fn transform(&mut self, out: OutSlot) -> PlanTransform<'_, T, E> {
+        let out = self.check_out(out);
+        let desc = self.defaults;
+        PlanTransform {
+            pb: self,
+            out,
+            mask: None,
+            desc,
+        }
+    }
+
+    /// Starts recording `⟨x, y⟩` (default ring: `PlusTimes`).
+    pub fn dot(&mut self, x: impl Into<PlanRead>, y: impl Into<PlanRead>) -> PlanDot<'_, T, E> {
+        let x = self.resolve(x.into());
+        let y = self.resolve(y.into());
+        PlanDot {
+            pb: self,
+            x,
+            y,
+            ring: RingTag::PlusTimes,
+        }
+    }
+
+    /// Records `‖x‖² = ⟨x, x⟩` over the arithmetic semiring.
+    pub fn norm2_squared(&mut self, x: impl Into<PlanRead>) -> ScalarSlot {
+        let x = self.resolve(x.into());
+        let h = self.new_scalar();
+        self.nodes.push(PlanNode::Dot {
+            sid: h.idx,
+            x,
+            y: x,
+            ring: RingTag::PlusTimes,
+        });
+        h
+    }
+
+    /// Starts recording a fold of `x` over a monoid (default: `Plus`).
+    pub fn reduce(&mut self, x: impl Into<PlanRead>) -> PlanReduce<'_, T, E> {
+        let x = self.resolve(x.into());
+        let desc = self.defaults;
+        PlanReduce {
+            pb: self,
+            x,
+            mask: None,
+            desc,
+            monoid: MonoidTag::Plus,
+        }
+    }
+
+    /// Digest of the recorded op-graph *shape*: ops, tags, masks,
+    /// descriptors, slot wiring, dimension signature, and the scalar/backend
+    /// types — never concrete buffers or parameter values. Two builders
+    /// that recorded the same graph over the same-shaped slots agree.
+    fn structural_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        std::any::type_name::<T>().hash(&mut h);
+        std::any::type_name::<E>().hash(&mut h);
+        self.mats.hash(&mut h);
+        self.ins.hash(&mut h);
+        self.outs.hash(&mut h);
+        self.masks.hash(&mut h);
+        self.params.len().hash(&mut h);
+        self.scalars.hash(&mut h);
+        for node in &self.nodes {
+            node.hash_structure(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Runs the fusion pass once and freezes the schedule into an
+    /// immutable, reusable [`Plan`].
+    pub fn compile(self) -> Plan<T, E> {
+        let shapes: Vec<OpShape> = self.nodes.iter().map(PlanNode::shape).collect();
+        let stages = fuse_shapes(&shapes, &self.outs);
+        let hash = self.structural_hash();
+        Plan {
+            id: self.id,
+            exec: self.exec,
+            nodes: self.nodes,
+            stages,
+            mats: self.mats,
+            ins: self.ins,
+            outs: self.outs,
+            masks: self.masks,
+            params: self.params,
+            scalars: self.scalars,
+            hash,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording builders
+// ---------------------------------------------------------------------------
+
+/// Records `y⟨mask⟩ = y ⊙? (A ⊕.⊗ x)` (see [`PlanBuilder::mxv`]).
+#[must_use = "recording builders do nothing until the terminal `.into(..)`"]
+pub struct PlanMxv<'p, T: Scalar, E: Exec> {
+    pb: &'p mut PlanBuilder<T, E>,
+    a: usize,
+    x: PlanSrc,
+    mask: Option<usize>,
+    desc: Descriptor,
+    ring: RingTag,
+    accum: Option<BinOpTag>,
+}
+
+impl<T: Scalar, E: Exec> PlanMxv<'_, T, E> {
+    /// Computes only the output positions selected by `mask`.
+    pub fn mask(mut self, mask: MaskSlot) -> Self {
+        self.mask = Some(self.pb.check_mask(mask));
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Toggles use of the matrix's transpose.
+    pub fn transpose(mut self) -> Self {
+        self.desc = self.desc.toggled_transpose();
+        self
+    }
+
+    /// ORs explicit descriptor flags into the builder state.
+    pub fn descriptor(mut self, desc: Descriptor) -> Self {
+        self.desc = self.desc.with(desc);
+        self
+    }
+
+    /// Switches the semiring (default: `PlusTimes`).
+    pub fn ring<R: TaggedRing>(mut self, _ring: R) -> Self {
+        self.ring = R::TAG;
+        self
+    }
+
+    /// Accumulates into the output through `Op` instead of overwriting.
+    pub fn accum<Op: TaggedBinOp>(mut self, _op: Op) -> Self {
+        self.accum = Some(Op::TAG);
+        self
+    }
+
+    /// Records the operation writing into `y`, returning the slot back for
+    /// operand chaining.
+    pub fn into(self, y: OutSlot) -> OutSlot {
+        let out = self.pb.check_out(y);
+        assert!(
+            self.x.out_index() != Some(out),
+            "mxv input may not alias its output"
+        );
+        self.pb.nodes.push(PlanNode::Mxv {
+            out,
+            a: self.a,
+            x: self.x,
+            mask: self.mask,
+            desc: self.desc,
+            ring: self.ring,
+            accum: self.accum,
+        });
+        y
+    }
+}
+
+/// Records `w⟨mask⟩ = w ⊙? Op(α·x, β·y)` (see [`PlanBuilder::ewise`]).
+#[must_use = "recording builders do nothing until the terminal `.into(..)`"]
+pub struct PlanEwise<'p, T: Scalar, E: Exec> {
+    pb: &'p mut PlanBuilder<T, E>,
+    x: PlanSrc,
+    y: PlanSrc,
+    mask: Option<usize>,
+    desc: Descriptor,
+    op: BinOpTag,
+    scale: Option<(ScalarRef<T>, ScalarRef<T>)>,
+    accum: Option<BinOpTag>,
+}
+
+impl<T: Scalar, E: Exec> PlanEwise<'_, T, E> {
+    /// Computes only the output positions selected by `mask`.
+    pub fn mask(mut self, mask: MaskSlot) -> Self {
+        self.mask = Some(self.pb.check_mask(mask));
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Scales the operands before the operator: `Op(α·x, β·y)`; each
+    /// factor is a constant or a [`ScalarParam`].
+    pub fn scaled(
+        mut self,
+        alpha: impl Into<PlanScalar<T>>,
+        beta: impl Into<PlanScalar<T>>,
+    ) -> Self {
+        let alpha = self.pb.resolve_scalar(alpha.into());
+        let beta = self.pb.resolve_scalar(beta.into());
+        self.scale = Some((alpha, beta));
+        self
+    }
+
+    /// Switches the element-wise operator (default: `Plus`).
+    pub fn op<Op: TaggedBinOp>(mut self, _op: Op) -> Self {
+        self.op = Op::TAG;
+        self
+    }
+
+    /// Accumulates into the output through `AccOp` instead of overwriting.
+    pub fn accum<AccOp: TaggedBinOp>(mut self, _op: AccOp) -> Self {
+        self.accum = Some(AccOp::TAG);
+        self
+    }
+
+    /// Records the operation writing into `w`, returning the slot back for
+    /// operand chaining.
+    pub fn into(self, w: OutSlot) -> OutSlot {
+        let out = self.pb.check_out(w);
+        assert!(
+            self.x.out_index() != Some(out) && self.y.out_index() != Some(out),
+            "ewise operands may not alias the output"
+        );
+        self.pb.nodes.push(PlanNode::Ewise {
+            out,
+            x: self.x,
+            y: self.y,
+            mask: self.mask,
+            desc: self.desc,
+            op: self.op,
+            scale: self.scale,
+            accum: self.accum,
+        });
+        w
+    }
+}
+
+/// Records `out⟨mask⟩ = out ⊙? Op(input)` (see [`PlanBuilder::apply`]).
+#[must_use = "recording builders do nothing until the terminal `.into(..)`"]
+pub struct PlanApply<'p, T: Scalar, E: Exec> {
+    pb: &'p mut PlanBuilder<T, E>,
+    input: PlanSrc,
+    mask: Option<usize>,
+    desc: Descriptor,
+    op: UnaryOpTag,
+    accum: Option<BinOpTag>,
+}
+
+impl<T: Scalar, E: Exec> PlanApply<'_, T, E> {
+    /// Computes only the output positions selected by `mask`.
+    pub fn mask(mut self, mask: MaskSlot) -> Self {
+        self.mask = Some(self.pb.check_mask(mask));
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Switches the unary operator (default: `Identity`).
+    pub fn op<Op: TaggedUnaryOp>(mut self, _op: Op) -> Self {
+        self.op = Op::TAG;
+        self
+    }
+
+    /// Accumulates into the output through `AccOp` instead of overwriting.
+    pub fn accum<AccOp: TaggedBinOp>(mut self, _op: AccOp) -> Self {
+        self.accum = Some(AccOp::TAG);
+        self
+    }
+
+    /// Records the operation writing into `out`, returning the slot back
+    /// for operand chaining.
+    pub fn into(self, out_slot: OutSlot) -> OutSlot {
+        let out = self.pb.check_out(out_slot);
+        assert!(
+            self.input.out_index() != Some(out),
+            "apply input may not alias its output"
+        );
+        self.pb.nodes.push(PlanNode::Apply {
+            out,
+            input: self.input,
+            mask: self.mask,
+            desc: self.desc,
+            op: self.op,
+            accum: self.accum,
+        });
+        out_slot
+    }
+}
+
+/// Records an in-place indexed update (see [`PlanBuilder::transform`]).
+#[must_use = "recording builders do nothing until the terminal `.apply(f)`"]
+pub struct PlanTransform<'p, T: Scalar, E: Exec> {
+    pb: &'p mut PlanBuilder<T, E>,
+    out: usize,
+    mask: Option<usize>,
+    desc: Descriptor,
+}
+
+impl<'p, T: Scalar, E: Exec> PlanTransform<'p, T, E> {
+    /// Updates only the positions selected by `mask`.
+    pub fn mask(mut self, mask: MaskSlot) -> Self {
+        self.mask = Some(self.pb.check_mask(mask));
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Pairs the update with a vector read at the same index: the terminal
+    /// closure receives `(i, &mut out[i], src[i])`. Chain up to three
+    /// sources — this is how a `'static` plan closure reads other slots.
+    pub fn zip(self, src: impl Into<PlanRead>) -> PlanTransformZip1<'p, T, E> {
+        let src = self.pb.resolve(src.into());
+        check_zip(self.pb, self.out, src);
+        PlanTransformZip1 {
+            pb: self.pb,
+            out: self.out,
+            srcs: [src],
+            mask: self.mask,
+            desc: self.desc,
+        }
+    }
+
+    /// Records `f(i, &mut out[i])` at every selected index.
+    pub fn apply(self, f: impl Fn(usize, &mut T) + Send + Sync + 'static) -> OutSlot {
+        let out = self.out;
+        self.pb.nodes.push(PlanNode::Lambda {
+            out,
+            mask: self.mask,
+            desc: self.desc,
+            f: PlanFn::F0(Box::new(f)),
+        });
+        OutSlot {
+            plan: self.pb.id,
+            idx: out,
+        }
+    }
+}
+
+/// Asserts a zip source is legal: it may not alias the transform output,
+/// and (unlike the pipeline, whose buffers exist at record time) its
+/// declared length must match the output's so replay can never index out
+/// of bounds.
+fn check_zip<T: Scalar, E: Exec>(pb: &PlanBuilder<T, E>, out: usize, src: PlanSrc) {
+    assert!(
+        src.out_index() != Some(out),
+        "zip source may not alias the transform output"
+    );
+    assert!(
+        pb.src_len(src) == pb.outs[out],
+        "zip source length must match the transform output"
+    );
+}
+
+/// Records an indexed update reading one paired source (see
+/// [`PlanTransform::zip`]).
+#[must_use = "recording builders do nothing until the terminal `.apply(f)`"]
+pub struct PlanTransformZip1<'p, T: Scalar, E: Exec> {
+    pb: &'p mut PlanBuilder<T, E>,
+    out: usize,
+    srcs: [PlanSrc; 1],
+    mask: Option<usize>,
+    desc: Descriptor,
+}
+
+impl<'p, T: Scalar, E: Exec> PlanTransformZip1<'p, T, E> {
+    /// Adds a second zipped source.
+    pub fn zip(self, src: impl Into<PlanRead>) -> PlanTransformZip2<'p, T, E> {
+        let src = self.pb.resolve(src.into());
+        check_zip(self.pb, self.out, src);
+        PlanTransformZip2 {
+            pb: self.pb,
+            out: self.out,
+            srcs: [self.srcs[0], src],
+            mask: self.mask,
+            desc: self.desc,
+        }
+    }
+
+    /// Records `f(i, &mut out[i], src[i])` at every selected index.
+    pub fn apply(self, f: impl Fn(usize, &mut T, T) + Send + Sync + 'static) -> OutSlot {
+        let out = self.out;
+        self.pb.nodes.push(PlanNode::Lambda {
+            out,
+            mask: self.mask,
+            desc: self.desc,
+            f: PlanFn::F1(self.srcs[0], Box::new(f)),
+        });
+        OutSlot {
+            plan: self.pb.id,
+            idx: out,
+        }
+    }
+}
+
+/// Records an indexed update reading two paired sources (see
+/// [`PlanTransform::zip`]).
+#[must_use = "recording builders do nothing until the terminal `.apply(f)`"]
+pub struct PlanTransformZip2<'p, T: Scalar, E: Exec> {
+    pb: &'p mut PlanBuilder<T, E>,
+    out: usize,
+    srcs: [PlanSrc; 2],
+    mask: Option<usize>,
+    desc: Descriptor,
+}
+
+impl<'p, T: Scalar, E: Exec> PlanTransformZip2<'p, T, E> {
+    /// Adds a third zipped source.
+    pub fn zip(self, src: impl Into<PlanRead>) -> PlanTransformZip3<'p, T, E> {
+        let src = self.pb.resolve(src.into());
+        check_zip(self.pb, self.out, src);
+        PlanTransformZip3 {
+            pb: self.pb,
+            out: self.out,
+            srcs: [self.srcs[0], self.srcs[1], src],
+            mask: self.mask,
+            desc: self.desc,
+        }
+    }
+
+    /// Records `f(i, &mut out[i], src1[i], src2[i])` at every selected
+    /// index.
+    pub fn apply(self, f: impl Fn(usize, &mut T, T, T) + Send + Sync + 'static) -> OutSlot {
+        let out = self.out;
+        self.pb.nodes.push(PlanNode::Lambda {
+            out,
+            mask: self.mask,
+            desc: self.desc,
+            f: PlanFn::F2(self.srcs, Box::new(f)),
+        });
+        OutSlot {
+            plan: self.pb.id,
+            idx: out,
+        }
+    }
+}
+
+/// Records an indexed update reading three paired sources (see
+/// [`PlanTransform::zip`]).
+#[must_use = "recording builders do nothing until the terminal `.apply(f)`"]
+pub struct PlanTransformZip3<'p, T: Scalar, E: Exec> {
+    pb: &'p mut PlanBuilder<T, E>,
+    out: usize,
+    srcs: [PlanSrc; 3],
+    mask: Option<usize>,
+    desc: Descriptor,
+}
+
+impl<T: Scalar, E: Exec> PlanTransformZip3<'_, T, E> {
+    /// Records `f(i, &mut out[i], src1[i], src2[i], src3[i])` at every
+    /// selected index.
+    pub fn apply(self, f: impl Fn(usize, &mut T, T, T, T) + Send + Sync + 'static) -> OutSlot {
+        let out = self.out;
+        self.pb.nodes.push(PlanNode::Lambda {
+            out,
+            mask: self.mask,
+            desc: self.desc,
+            f: PlanFn::F3(self.srcs, Box::new(f)),
+        });
+        OutSlot {
+            plan: self.pb.id,
+            idx: out,
+        }
+    }
+}
+
+/// Records `⟨x, y⟩` (see [`PlanBuilder::dot`]).
+#[must_use = "recording builders do nothing until the terminal `.result()`"]
+pub struct PlanDot<'p, T: Scalar, E: Exec> {
+    pb: &'p mut PlanBuilder<T, E>,
+    x: PlanSrc,
+    y: PlanSrc,
+    ring: RingTag,
+}
+
+impl<T: Scalar, E: Exec> PlanDot<'_, T, E> {
+    /// Switches the semiring (default: `PlusTimes`).
+    pub fn ring<R: TaggedRing>(mut self, _ring: R) -> Self {
+        self.ring = R::TAG;
+        self
+    }
+
+    /// Records the dot product, returning the slot of its result.
+    pub fn result(self) -> ScalarSlot {
+        let h = self.pb.new_scalar();
+        self.pb.nodes.push(PlanNode::Dot {
+            sid: h.idx,
+            x: self.x,
+            y: self.y,
+            ring: self.ring,
+        });
+        h
+    }
+}
+
+/// Records a monoid fold (see [`PlanBuilder::reduce`]).
+#[must_use = "recording builders do nothing until the terminal `.result()`"]
+pub struct PlanReduce<'p, T: Scalar, E: Exec> {
+    pb: &'p mut PlanBuilder<T, E>,
+    x: PlanSrc,
+    mask: Option<usize>,
+    desc: Descriptor,
+    monoid: MonoidTag,
+}
+
+impl<T: Scalar, E: Exec> PlanReduce<'_, T, E> {
+    /// Folds only the positions selected by `mask`.
+    pub fn mask(mut self, mask: MaskSlot) -> Self {
+        self.mask = Some(self.pb.check_mask(mask));
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Switches the monoid (default: `Plus`).
+    pub fn monoid<M: TaggedMonoid>(mut self, _monoid: M) -> Self {
+        self.monoid = M::TAG;
+        self
+    }
+
+    /// Records the fold, returning the slot of its result.
+    pub fn result(self) -> ScalarSlot {
+        let h = self.pb.new_scalar();
+        self.pb.nodes.push(PlanNode::Reduce {
+            sid: h.idx,
+            x: self.x,
+            mask: self.mask,
+            desc: self.desc,
+            monoid: self.monoid,
+        });
+        h
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The compiled plan
+// ---------------------------------------------------------------------------
+
+/// A compiled, immutable, reusable fused schedule — the product of
+/// [`PlanBuilder::compile`]. Replay it any number of times via
+/// [`Plan::run`] with fresh [`Bindings`]; see the [module docs](self).
+///
+/// A plan captures its backend handle by value. For unit backends
+/// (`Sequential`, `Parallel`) any cache may share it process-wide; a plan
+/// compiled for a specific [`Distributed`](crate::Distributed) cluster
+/// runs on *that* cluster, so cache it next to the cluster it belongs to.
+pub struct Plan<T: Scalar, E: Exec> {
+    /// Brand shared with the builder's slots and every `Bindings`.
+    id: u64,
+    exec: E,
+    nodes: Vec<PlanNode<T>>,
+    stages: Vec<Stage>,
+    mats: Vec<(usize, usize)>,
+    ins: Vec<usize>,
+    outs: Vec<usize>,
+    masks: Vec<usize>,
+    params: Vec<T>,
+    scalars: usize,
+    hash: u64,
+}
+
+impl<T: Scalar, E: Exec> Plan<T, E> {
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the plan records no operations.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The shape digest computed at compile time (see the module docs'
+    /// caching section for what it does and does not cover).
+    pub fn structural_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The fused schedule, for tests, benchmarks and debugging.
+    pub fn schedule(&self) -> Vec<PlannedStage> {
+        self.stages
+            .iter()
+            .map(|s| s.describe_by(|i| self.nodes[i].name()))
+            .collect()
+    }
+
+    /// The `i`-th declared matrix slot (declaration order). Slot accessors
+    /// exist so a consumer that got this plan from a [`PlanCache`] hit —
+    /// and therefore never saw the builder — can still bind operands.
+    pub fn matrix_slot(&self, i: usize) -> MatSlot {
+        assert!(i < self.mats.len(), "matrix slot index out of range");
+        MatSlot {
+            plan: self.id,
+            idx: i,
+        }
+    }
+
+    /// The `i`-th declared input slot (declaration order).
+    pub fn input_slot(&self, i: usize) -> InSlot {
+        assert!(i < self.ins.len(), "input slot index out of range");
+        InSlot {
+            plan: self.id,
+            idx: i,
+        }
+    }
+
+    /// The `i`-th declared output slot (declaration order).
+    pub fn output_slot(&self, i: usize) -> OutSlot {
+        assert!(i < self.outs.len(), "output slot index out of range");
+        OutSlot {
+            plan: self.id,
+            idx: i,
+        }
+    }
+
+    /// The `i`-th declared mask slot (declaration order).
+    pub fn mask_slot(&self, i: usize) -> MaskSlot {
+        assert!(i < self.masks.len(), "mask slot index out of range");
+        MaskSlot {
+            plan: self.id,
+            idx: i,
+        }
+    }
+
+    /// The `i`-th declared scalar parameter (declaration order).
+    pub fn param(&self, i: usize) -> ScalarParam {
+        assert!(i < self.params.len(), "scalar parameter index out of range");
+        ScalarParam {
+            plan: self.id,
+            idx: i,
+        }
+    }
+
+    /// The `i`-th recorded scalar result (recording order).
+    pub fn scalar(&self, i: usize) -> ScalarSlot {
+        assert!(i < self.scalars, "scalar result index out of range");
+        ScalarSlot {
+            plan: self.id,
+            idx: i,
+        }
+    }
+
+    /// An empty bindings table for this plan: every slot unbound, every
+    /// parameter at its declared default.
+    pub fn bindings<'b>(&self) -> Bindings<'b, T> {
+        Bindings {
+            plan: self.id,
+            mats: vec![None; self.mats.len()],
+            ins: vec![None; self.ins.len()],
+            masks: vec![None; self.masks.len()],
+            outs: vec![None; self.outs.len()],
+            params: self.params.clone(),
+            _borrows: PhantomData,
+        }
+    }
+
+    /// Validates the bindings and executes the fused schedule against
+    /// them. Every declared slot must be bound, with dimensions matching
+    /// the declaration — that is the whole invalidation rule: a plan can
+    /// never silently run against buffers of the wrong shape. On error,
+    /// already-executed stages have taken effect.
+    pub fn run(&self, b: &mut Bindings<'_, T>) -> Result<PlanResults<T>> {
+        assert!(b.plan == self.id, "Bindings do not belong to this plan");
+        self.validate(b)?;
+        let mut scalars = vec![T::ZERO; self.scalars];
+        for stage in &self.stages {
+            self.run_stage(b, stage, &mut scalars)?;
+        }
+        Ok(PlanResults {
+            plan_id: self.id,
+            values: scalars,
+        })
+    }
+
+    fn validate(&self, b: &Bindings<'_, T>) -> Result<()> {
+        fn unbound(what: &str, i: usize) -> GrbError {
+            GrbError::InvalidInput(format!("plan: {what} slot {i} is unbound"))
+        }
+        for (i, &(nrows, ncols)) in self.mats.iter().enumerate() {
+            let a = b.mats[i].ok_or_else(|| unbound("matrix", i))?;
+            check_dims("plan", "matrix rows vs declaration", nrows, a.nrows())?;
+            check_dims("plan", "matrix cols vs declaration", ncols, a.ncols())?;
+        }
+        for (i, &len) in self.ins.iter().enumerate() {
+            let v = b.ins[i].ok_or_else(|| unbound("input", i))?;
+            check_dims("plan", "input length vs declaration", len, v.len())?;
+        }
+        for (i, &len) in self.masks.iter().enumerate() {
+            let m = b.masks[i].ok_or_else(|| unbound("mask", i))?;
+            check_dims("plan", "mask length vs declaration", len, m.len())?;
+        }
+        for (i, &len) in self.outs.iter().enumerate() {
+            let ptr = b.outs[i].ok_or_else(|| unbound("output", i))?;
+            // SAFETY: `Bindings` holds each output's `&'a mut` exclusively;
+            // no other reference exists while we only measure its length.
+            let v = unsafe { &*ptr };
+            check_dims("plan", "output length vs declaration", len, v.len())?;
+        }
+        Ok(())
+    }
+
+    // -- execution ----------------------------------------------------------
+
+    /// Reborrows a bound output.
+    ///
+    /// # Safety
+    ///
+    /// The caller must not hold any other reference to the same slot for
+    /// the returned lifetime. Record-time assertions guarantee an op's
+    /// inputs never name its own output slot; distinct slots never alias
+    /// because each is bound from a distinct `&'a mut`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn out_mut<'s>(&self, b: &'s Bindings<'_, T>, idx: usize) -> &'s mut Vector<T> {
+        let ptr = b.outs[idx].expect("validated before execution");
+        unsafe { &mut *ptr }
+    }
+
+    fn src_vec<'s>(&self, b: &'s Bindings<'_, T>, s: PlanSrc) -> &'s Vector<T> {
+        match s {
+            PlanSrc::In(i) => b.ins[i].expect("validated before execution"),
+            // SAFETY: shared reborrow of a bound output; ops that hold an
+            // exclusive reborrow of the same slot are never executed while
+            // this one is live (record-time assertions).
+            PlanSrc::Out(o) => unsafe { &*b.outs[o].expect("validated before execution") },
+        }
+    }
+
+    fn mask_vec<'s>(&self, b: &'s Bindings<'_, T>, m: Option<usize>) -> Option<&'s Vector<bool>> {
+        m.map(|i| b.masks[i].expect("validated before execution"))
+    }
+
+    fn mat<'s>(&self, b: &'s Bindings<'_, T>, a: usize) -> &'s CsrMatrix<T> {
+        b.mats[a].expect("validated before execution")
+    }
+
+    fn scalar_val(&self, b: &Bindings<'_, T>, s: &ScalarRef<T>) -> T {
+        match s {
+            ScalarRef::Const(v) => *v,
+            ScalarRef::Param(i) => b.params[*i],
+        }
+    }
+
+    fn run_stage(&self, b: &Bindings<'_, T>, stage: &Stage, scalars: &mut [T]) -> Result<()> {
+        match stage {
+            Stage::Single(i) => self.run_node(b, &self.nodes[*i], scalars),
+            Stage::SpmvDot { mxv, dot } => self.run_spmv_dot(b, *mxv, *dot, scalars),
+            Stage::AxpyNorm { axpy, dot } => self.run_axpy_norm(b, *axpy, *dot, scalars),
+            Stage::Loop(run) => self.run_fused_loop(b, run),
+        }
+    }
+
+    fn run_node(&self, b: &Bindings<'_, T>, node: &PlanNode<T>, scalars: &mut [T]) -> Result<()> {
+        let exec = self.exec;
+        match node {
+            PlanNode::Mxv {
+                out,
+                a,
+                x,
+                mask,
+                desc,
+                ring,
+                accum,
+            } => {
+                let a = self.mat(b, *a);
+                let x = self.src_vec(b, *x);
+                let mask = self.mask_vec(b, *mask);
+                // SAFETY: record-time assertion — `x` never names `out`.
+                let y = unsafe { self.out_mut(b, *out) };
+                with_ring!(*ring, R => with_accum!(*accum, A =>
+                    exec.run_mxv::<T, R, A>(y, mask, *desc, a, x)))
+            }
+            PlanNode::Ewise {
+                out,
+                x,
+                y,
+                mask,
+                desc,
+                op,
+                scale,
+                accum,
+            } => {
+                let xs = self.src_vec(b, *x);
+                let ys = self.src_vec(b, *y);
+                let mask = self.mask_vec(b, *mask);
+                let scale = scale
+                    .as_ref()
+                    .map(|(al, be)| (self.scalar_val(b, al), self.scalar_val(b, be)));
+                // SAFETY: record-time assertion — inputs never name `out`.
+                let w = unsafe { self.out_mut(b, *out) };
+                with_binop!(*op, Op => with_accum!(*accum, A =>
+                    exec.run_ewise::<T, Op, A>(w, mask, *desc, xs, ys, scale)))
+            }
+            PlanNode::Apply {
+                out,
+                input,
+                mask,
+                desc,
+                op,
+                accum,
+            } => {
+                let input = self.src_vec(b, *input);
+                let mask = self.mask_vec(b, *mask);
+                // SAFETY: record-time assertion — `input` never names `out`.
+                let o = unsafe { self.out_mut(b, *out) };
+                with_unop!(*op, Op => with_accum!(*accum, A =>
+                    exec.run_apply::<T, Op, A>(o, mask, *desc, input)))
+            }
+            PlanNode::Axpy { out, alpha, y } => {
+                let ys = self.src_vec(b, *y);
+                let alpha = self.scalar_val(b, alpha);
+                // SAFETY: record-time assertion — `y` never names `out`.
+                let x = unsafe { self.out_mut(b, *out) };
+                exec.run_axpy::<T>(x, alpha, ys)
+            }
+            PlanNode::Lambda { out, mask, desc, f } => {
+                let mask = self.mask_vec(b, *mask);
+                // SAFETY: record-time assertions — zip sources never name
+                // `out`; sole exclusive reference to the slot.
+                let o = unsafe { self.out_mut(b, *out) };
+                match f {
+                    PlanFn::F0(f) => exec.run_lambda(o, mask, *desc, f),
+                    PlanFn::F1(s, f) => {
+                        let ss = self.src_vec(b, *s).as_slice();
+                        exec.run_lambda(o, mask, *desc, move |i, t| f(i, t, ss[i]))
+                    }
+                    PlanFn::F2(srcs, f) => {
+                        let s1 = self.src_vec(b, srcs[0]).as_slice();
+                        let s2 = self.src_vec(b, srcs[1]).as_slice();
+                        exec.run_lambda(o, mask, *desc, move |i, t| f(i, t, s1[i], s2[i]))
+                    }
+                    PlanFn::F3(srcs, f) => {
+                        let s1 = self.src_vec(b, srcs[0]).as_slice();
+                        let s2 = self.src_vec(b, srcs[1]).as_slice();
+                        let s3 = self.src_vec(b, srcs[2]).as_slice();
+                        exec.run_lambda(o, mask, *desc, move |i, t| f(i, t, s1[i], s2[i], s3[i]))
+                    }
+                }
+            }
+            PlanNode::Dot { sid, x, y, ring } => {
+                let xs = self.src_vec(b, *x);
+                let ys = self.src_vec(b, *y);
+                scalars[*sid] = with_ring!(*ring, R => exec.run_dot::<T, R>(xs, ys))?;
+                Ok(())
+            }
+            PlanNode::Reduce {
+                sid,
+                x,
+                mask,
+                desc,
+                monoid,
+            } => {
+                let xs = self.src_vec(b, *x);
+                let mask = self.mask_vec(b, *mask);
+                scalars[*sid] =
+                    with_monoid!(*monoid, M => exec.run_reduce::<T, M>(xs, mask, *desc))?;
+                Ok(())
+            }
+        }
+    }
+
+    fn run_spmv_dot(
+        &self,
+        b: &Bindings<'_, T>,
+        mxv: usize,
+        dot: usize,
+        scalars: &mut [T],
+    ) -> Result<()> {
+        let (out, a, x) = match &self.nodes[mxv] {
+            PlanNode::Mxv { out, a, x, .. } => (*out, *a, *x),
+            _ => unreachable!("fusion pass pairs SpmvDot with an mxv node"),
+        };
+        let (sid, dx, dy) = match &self.nodes[dot] {
+            PlanNode::Dot { sid, x, y, .. } => (*sid, *x, *y),
+            _ => unreachable!("fusion pass pairs SpmvDot with a dot node"),
+        };
+        let a = self.mat(b, a);
+        let xs = self.src_vec(b, x);
+        let product_on_left = dx.out_index() == Some(out);
+        let other = if product_on_left { dy } else { dx };
+        let w = if other.out_index() == Some(out) {
+            None
+        } else {
+            Some(self.src_vec(b, other))
+        };
+        // SAFETY: neither `x` nor the dot's other operand names `out`
+        // (record-time assertion / the `None` branch above).
+        let y = unsafe { self.out_mut(b, out) };
+        scalars[sid] = self
+            .exec
+            .run_spmv_dot::<T, PlusTimes>(y, a, xs, w, product_on_left)?;
+        Ok(())
+    }
+
+    fn run_axpy_norm(
+        &self,
+        b: &Bindings<'_, T>,
+        axpy: usize,
+        dot: usize,
+        scalars: &mut [T],
+    ) -> Result<()> {
+        let (out, alpha, y) = match &self.nodes[axpy] {
+            PlanNode::Axpy { out, alpha, y } => (*out, self.scalar_val(b, alpha), *y),
+            _ => unreachable!("fusion pass pairs AxpyNorm with an axpy node"),
+        };
+        let sid = match &self.nodes[dot] {
+            PlanNode::Dot { sid, .. } => *sid,
+            _ => unreachable!("fusion pass pairs AxpyNorm with a dot node"),
+        };
+        let ys = self.src_vec(b, y);
+        // SAFETY: record-time assertion — `y` never names `out`.
+        let x = unsafe { self.out_mut(b, out) };
+        scalars[sid] = self.exec.run_axpy_norm::<T, PlusTimes>(x, alpha, ys)?;
+        Ok(())
+    }
+
+    fn run_fused_loop(&self, b: &Bindings<'_, T>, run: &[usize]) -> Result<()> {
+        let n = match &self.nodes[run[0]] {
+            PlanNode::Ewise { out, .. }
+            | PlanNode::Apply { out, .. }
+            | PlanNode::Axpy { out, .. }
+            | PlanNode::Lambda { out, .. } => self.outs[*out],
+            _ => unreachable!("fusion pass only loops element-wise nodes"),
+        };
+        let mut elems: Vec<PlanElem<'_, T>> = Vec::with_capacity(run.len());
+        for &i in run {
+            match &self.nodes[i] {
+                PlanNode::Ewise {
+                    out,
+                    x,
+                    y,
+                    op,
+                    scale,
+                    accum,
+                    ..
+                } => {
+                    let xs = self.src_vec(b, *x).as_slice();
+                    let ys = self.src_vec(b, *y).as_slice();
+                    check_dims("ewise", "x vs output", n, xs.len())?;
+                    check_dims("ewise", "y vs output", n, ys.len())?;
+                    let scale = scale
+                        .as_ref()
+                        .map(|(al, be)| (self.scalar_val(b, al), self.scalar_val(b, be)));
+                    // SAFETY: loop legality — outputs in a run are distinct
+                    // and never read as another run member's input.
+                    let w = unsafe { self.out_mut(b, *out) };
+                    elems.push(PlanElem::Ewise {
+                        w: UnsafeSlice::new(w.as_mut_slice()),
+                        xs,
+                        ys,
+                        op: *op,
+                        scale,
+                        accum: *accum,
+                    });
+                }
+                PlanNode::Apply {
+                    out,
+                    input,
+                    op,
+                    accum,
+                    ..
+                } => {
+                    let xs = self.src_vec(b, *input).as_slice();
+                    check_dims("apply", "input vs output", n, xs.len())?;
+                    // SAFETY: see the Ewise arm.
+                    let o = unsafe { self.out_mut(b, *out) };
+                    elems.push(PlanElem::Apply {
+                        out: UnsafeSlice::new(o.as_mut_slice()),
+                        xs,
+                        op: *op,
+                        accum: *accum,
+                    });
+                }
+                PlanNode::Axpy { out, alpha, y } => {
+                    let ys = self.src_vec(b, *y).as_slice();
+                    check_dims("axpy", "y vs x", n, ys.len())?;
+                    let alpha = self.scalar_val(b, alpha);
+                    // SAFETY: see the Ewise arm.
+                    let x = unsafe { self.out_mut(b, *out) };
+                    elems.push(PlanElem::Axpy {
+                        x: UnsafeSlice::new(x.as_mut_slice()),
+                        alpha,
+                        ys,
+                    });
+                }
+                PlanNode::Lambda { out, f, .. } => {
+                    // SAFETY: see the Ewise arm.
+                    let o = unsafe { self.out_mut(b, *out) };
+                    let out = UnsafeSlice::new(o.as_mut_slice());
+                    elems.push(match f {
+                        PlanFn::F0(f) => PlanElem::Lambda0 { out, f },
+                        PlanFn::F1(s, f) => {
+                            let ss = self.src_vec(b, *s).as_slice();
+                            check_dims("transform_zip", "src vs output", n, ss.len())?;
+                            PlanElem::Lambda1 { out, ss, f }
+                        }
+                        PlanFn::F2(srcs, f) => {
+                            let s1 = self.src_vec(b, srcs[0]).as_slice();
+                            let s2 = self.src_vec(b, srcs[1]).as_slice();
+                            check_dims("transform_zip", "src vs output", n, s1.len())?;
+                            check_dims("transform_zip", "src vs output", n, s2.len())?;
+                            PlanElem::Lambda2 { out, s1, s2, f }
+                        }
+                        PlanFn::F3(srcs, f) => {
+                            let s1 = self.src_vec(b, srcs[0]).as_slice();
+                            let s2 = self.src_vec(b, srcs[1]).as_slice();
+                            let s3 = self.src_vec(b, srcs[2]).as_slice();
+                            check_dims("transform_zip", "src vs output", n, s1.len())?;
+                            check_dims("transform_zip", "src vs output", n, s2.len())?;
+                            check_dims("transform_zip", "src vs output", n, s3.len())?;
+                            PlanElem::Lambda3 { out, s1, s2, s3, f }
+                        }
+                    });
+                }
+                _ => unreachable!("fusion pass only loops element-wise nodes"),
+            }
+        }
+        let elems = &elems;
+        self.exec.run_for_each(n, move |i| {
+            for e in elems {
+                // SAFETY: each index is visited by exactly one invocation
+                // and run outputs are pairwise disjoint.
+                unsafe { e.apply(i) };
+            }
+        });
+        Ok(())
+    }
+}
+
+/// One element-wise op of a fused loop, pre-resolved for the hot loop —
+/// the plan-side mirror of the pipeline's `Elem`, with identical
+/// per-element arithmetic (the bit-identity invariant).
+enum PlanElem<'s, T: Scalar> {
+    Ewise {
+        w: UnsafeSlice<'s, T>,
+        xs: &'s [T],
+        ys: &'s [T],
+        op: BinOpTag,
+        scale: Option<(T, T)>,
+        accum: Option<BinOpTag>,
+    },
+    Apply {
+        out: UnsafeSlice<'s, T>,
+        xs: &'s [T],
+        op: UnaryOpTag,
+        accum: Option<BinOpTag>,
+    },
+    Axpy {
+        x: UnsafeSlice<'s, T>,
+        alpha: T,
+        ys: &'s [T],
+    },
+    Lambda0 {
+        out: UnsafeSlice<'s, T>,
+        f: &'s F0<T>,
+    },
+    Lambda1 {
+        out: UnsafeSlice<'s, T>,
+        ss: &'s [T],
+        f: &'s F1<T>,
+    },
+    Lambda2 {
+        out: UnsafeSlice<'s, T>,
+        s1: &'s [T],
+        s2: &'s [T],
+        f: &'s F2<T>,
+    },
+    Lambda3 {
+        out: UnsafeSlice<'s, T>,
+        s1: &'s [T],
+        s2: &'s [T],
+        s3: &'s [T],
+        f: &'s F3<T>,
+    },
+}
+
+impl<T: Scalar> PlanElem<'_, T> {
+    /// Applies this op at index `i` — the same per-element arithmetic the
+    /// eager kernel monomorphizes, so the fused loop is bit-identical.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds and handed to at most one concurrent caller.
+    #[inline(always)]
+    unsafe fn apply(&self, i: usize) {
+        match self {
+            PlanElem::Ewise {
+                w,
+                xs,
+                ys,
+                op,
+                scale,
+                accum,
+            } => {
+                let (a, b) = match scale {
+                    None => (xs[i], ys[i]),
+                    Some((alpha, beta)) => (alpha.mul(xs[i]), beta.mul(ys[i])),
+                };
+                let v = op.apply(a, b);
+                // SAFETY: forwarded contract.
+                let slot = unsafe { w.get_mut(i) };
+                match accum {
+                    None => *slot = v,
+                    Some(acc) => *slot = acc.apply(*slot, v),
+                }
+            }
+            PlanElem::Apply { out, xs, op, accum } => {
+                let v = op.apply(xs[i]);
+                // SAFETY: forwarded contract.
+                let slot = unsafe { out.get_mut(i) };
+                match accum {
+                    None => *slot = v,
+                    Some(acc) => *slot = acc.apply(*slot, v),
+                }
+            }
+            PlanElem::Axpy { x, alpha, ys } => {
+                // SAFETY: forwarded contract.
+                let slot = unsafe { x.get_mut(i) };
+                *slot = slot.add(alpha.mul(ys[i]));
+            }
+            // SAFETY: forwarded contract.
+            PlanElem::Lambda0 { out, f } => f(i, unsafe { out.get_mut(i) }),
+            // SAFETY: forwarded contract.
+            PlanElem::Lambda1 { out, ss, f } => f(i, unsafe { out.get_mut(i) }, ss[i]),
+            PlanElem::Lambda2 { out, s1, s2, f } => {
+                // SAFETY: forwarded contract.
+                f(i, unsafe { out.get_mut(i) }, s1[i], s2[i])
+            }
+            PlanElem::Lambda3 { out, s1, s2, s3, f } => {
+                // SAFETY: forwarded contract.
+                f(i, unsafe { out.get_mut(i) }, s1[i], s2[i], s3[i])
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bindings and results
+// ---------------------------------------------------------------------------
+
+/// Per-run operand table of a [`Plan`]: which concrete buffers fill each
+/// slot, and the current scalar parameter values. Created by
+/// [`Plan::bindings`]; all bindings borrow for the table's lifetime, so
+/// the borrow checker statically rules out an input aliasing an output —
+/// the invariant the fused loops rely on.
+pub struct Bindings<'a, T: Scalar> {
+    plan: u64,
+    mats: Vec<Option<&'a CsrMatrix<T>>>,
+    ins: Vec<Option<&'a Vector<T>>>,
+    masks: Vec<Option<&'a Vector<bool>>>,
+    outs: Vec<Option<*mut Vector<T>>>,
+    params: Vec<T>,
+    /// Holds the `'a` borrows of every bound output.
+    _borrows: PhantomData<&'a mut Vector<T>>,
+}
+
+impl<'a, T: Scalar> Bindings<'a, T> {
+    /// Binds a matrix slot.
+    pub fn bind_matrix(&mut self, s: MatSlot, a: &'a CsrMatrix<T>) -> &mut Self {
+        assert!(
+            s.plan == self.plan && s.idx < self.mats.len(),
+            "MatSlot does not belong to this plan"
+        );
+        self.mats[s.idx] = Some(a);
+        self
+    }
+
+    /// Binds an input slot.
+    pub fn bind_input(&mut self, s: InSlot, v: &'a Vector<T>) -> &mut Self {
+        assert!(
+            s.plan == self.plan && s.idx < self.ins.len(),
+            "InSlot does not belong to this plan"
+        );
+        self.ins[s.idx] = Some(v);
+        self
+    }
+
+    /// Binds a mask slot.
+    pub fn bind_mask(&mut self, s: MaskSlot, m: &'a Vector<bool>) -> &mut Self {
+        assert!(
+            s.plan == self.plan && s.idx < self.masks.len(),
+            "MaskSlot does not belong to this plan"
+        );
+        self.masks[s.idx] = Some(m);
+        self
+    }
+
+    /// Binds an output slot (exclusively, for the table's lifetime).
+    pub fn bind_output(&mut self, s: OutSlot, v: &'a mut Vector<T>) -> &mut Self {
+        assert!(
+            s.plan == self.plan && s.idx < self.outs.len(),
+            "OutSlot does not belong to this plan"
+        );
+        self.outs[s.idx] = Some(v as *mut Vector<T>);
+        self
+    }
+
+    /// Overrides a scalar parameter for subsequent runs.
+    pub fn set(&mut self, p: ScalarParam, value: T) -> &mut Self {
+        assert!(
+            p.plan == self.plan && p.idx < self.params.len(),
+            "ScalarParam does not belong to this plan"
+        );
+        self.params[p.idx] = value;
+        self
+    }
+}
+
+/// Scalar results of one plan replay, indexed by [`ScalarSlot`].
+#[derive(Clone, Debug)]
+pub struct PlanResults<T> {
+    plan_id: u64,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> PlanResults<T> {
+    /// The value a recorded scalar op produced.
+    pub fn get(&self, s: ScalarSlot) -> T {
+        self[s]
+    }
+}
+
+impl<T: Scalar> std::ops::Index<ScalarSlot> for PlanResults<T> {
+    type Output = T;
+    fn index(&self, s: ScalarSlot) -> &T {
+        assert!(
+            s.plan == self.plan_id,
+            "ScalarSlot does not belong to this plan"
+        );
+        &self.values[s.idx]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The plan cache
+// ---------------------------------------------------------------------------
+
+/// A concurrent memo table of compiled plans, keyed by `(plan type, u64)`.
+///
+/// The `u64` is caller-chosen (see [`plan_key`] and the module docs'
+/// caching section): it must describe the op-graph shape and dimension
+/// signature, never concrete buffers. The plan's scalar and backend types
+/// join the key automatically, so one cache can hold plans of mixed types.
+///
+/// Hit/miss counters feed the serve-layer metering. The cache never
+/// evicts — plan shapes per process are few (CG bodies, smoother sweeps,
+/// per-matrix serve jobs), which is the premise of compile-once.
+pub struct PlanCache {
+    map: Mutex<HashMap<(TypeId, u64), Arc<dyn Any + Send + Sync>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide cache, for plans over unit backends (`Sequential`,
+    /// `Parallel`). Plans for a specific [`Distributed`](crate::Distributed)
+    /// cluster capture that cluster's handle; keep those in a cache owned
+    /// next to the cluster (e.g. per worker) instead, or replays will run
+    /// on whichever cluster compiled first.
+    pub fn global() -> &'static PlanCache {
+        static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+        GLOBAL.get_or_init(PlanCache::new)
+    }
+
+    /// Returns the plan cached under `key`, or records, compiles and
+    /// caches one via `build`. The `bool` is `true` on a cache hit (the
+    /// builder was skipped).
+    ///
+    /// On a hit the caller never saw the builder, so operand slots come
+    /// from the plan's accessors ([`Plan::matrix_slot`] & co.), which
+    /// return them in declaration order.
+    pub fn get_or_compile<T, E, F>(&self, key: u64, build: F) -> (Arc<Plan<T, E>>, bool)
+    where
+        T: Scalar,
+        E: Exec,
+        F: FnOnce() -> Plan<T, E>,
+    {
+        let tid = TypeId::of::<Plan<T, E>>();
+        let mut map = self.map.lock().expect("plan cache lock poisoned");
+        if let Some(entry) = map.get(&(tid, key)) {
+            let plan = Arc::clone(entry)
+                .downcast::<Plan<T, E>>()
+                .expect("entry type matches its TypeId key");
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (plan, true);
+        }
+        // Build under the lock: compiling is cheap (that is the point of
+        // caching it), and this keeps one shape from compiling twice.
+        let plan = Arc::new(build());
+        map.insert((tid, key), Arc::clone(&plan) as Arc<dyn Any + Send + Sync>);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (plan, false)
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compile.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("plan cache lock poisoned").len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan (counters keep their values).
+    pub fn clear(&self) {
+        self.map.lock().expect("plan cache lock poisoned").clear();
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+/// Hashes any `Hash` value into a [`PlanCache`] key with the same hasher
+/// the structural digest uses. Key by shape — e.g.
+/// `plan_key(&("cg-iteration", matrix_name, n))` — never by buffer
+/// contents.
+pub fn plan_key<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ctx, Ctx, Distributed, Parallel, Sequential};
+
+    fn spd() -> CsrMatrix<f64> {
+        CsrMatrix::from_triplets(
+            4,
+            4,
+            &[
+                (0, 0, 4.0),
+                (0, 1, -1.0 / 3.0),
+                (1, 0, -1.0 / 3.0),
+                (1, 1, 4.1),
+                (1, 2, -1.0 / 3.0),
+                (2, 1, -1.0 / 3.0),
+                (2, 2, 4.2),
+                (2, 3, -1.0 / 3.0),
+                (3, 2, -1.0 / 3.0),
+                (3, 3, 4.3),
+            ],
+        )
+        .expect("triplets are valid")
+    }
+
+    fn v(seed: f64) -> Vector<f64> {
+        Vector::from_dense((0..4).map(|i| (i as f64 + seed) / 3.0 - 0.7).collect())
+    }
+
+    fn bits(v: &Vector<f64>) -> Vec<u64> {
+        v.as_slice().iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Compile an ⟨p, Ap⟩ plan once, replay it with rebound vectors on a
+    /// backend, and compare bitwise against the eager two-call path.
+    fn check_spmv_dot_replay<E: Exec>(exec: Ctx<E>) {
+        let a = spd();
+        let mut pb = exec.plan::<f64>();
+        let am = pb.matrix(4, 4);
+        let ps = pb.input(4);
+        let aps = pb.output(4);
+        let ap = pb.mxv(am, ps).into(aps);
+        let p_ap = pb.dot(ps, ap).result();
+        let plan = pb.compile();
+        assert_eq!(plan.schedule(), vec![PlannedStage::SpmvDot]);
+
+        for seed in [0.0, 1.0, 2.5] {
+            let p = v(seed);
+            let mut got = Vector::zeros(4);
+            let mut b = plan.bindings();
+            b.bind_matrix(am, &a)
+                .bind_input(ps, &p)
+                .bind_output(aps, &mut got);
+            let out = plan.run(&mut b).expect("replay succeeds");
+            drop(b);
+
+            let mut want = Vector::zeros(4);
+            exec.mxv(&a, &p).into(&mut want).expect("eager mxv");
+            let want_dot = exec.dot(&p, &want).compute().expect("eager dot");
+            assert_eq!(bits(&got), bits(&want), "replayed SpMV diverged");
+            assert_eq!(
+                out[p_ap].to_bits(),
+                want_dot.to_bits(),
+                "replayed dot diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn spmv_dot_plan_replays_bitwise_on_all_backends() {
+        check_spmv_dot_replay(ctx::<Sequential>());
+        check_spmv_dot_replay(ctx::<Parallel>());
+        check_spmv_dot_replay(Distributed::new(3).ctx());
+    }
+
+    #[test]
+    fn axpy_norm_plan_with_mutated_param_matches_eager() {
+        let exec = ctx::<Sequential>();
+        let mut pb = exec.plan::<f64>();
+        let xs = pb.output(4);
+        let ys = pb.input(4);
+        let alpha = pb.param(0.0);
+        pb.axpy(xs, alpha, ys);
+        let norm = pb.norm2_squared(xs);
+        let plan = pb.compile();
+        assert_eq!(plan.schedule(), vec![PlannedStage::AxpyNorm]);
+
+        for a in [0.5, -1.25, 3.0] {
+            let y = v(1.0);
+            let mut got = v(2.0);
+            let mut want = v(2.0);
+            let mut b = plan.bindings();
+            b.bind_output(xs, &mut got).bind_input(ys, &y).set(alpha, a);
+            let out = plan.run(&mut b).expect("replay succeeds");
+            drop(b);
+
+            exec.axpy(&mut want, a, &y).expect("eager axpy");
+            let want_norm = exec.norm2_squared(&want).expect("eager norm");
+            assert_eq!(bits(&got), bits(&want));
+            assert_eq!(out[norm].to_bits(), want_norm.to_bits());
+        }
+    }
+
+    #[test]
+    fn element_wise_plan_ops_fuse_into_one_loop_and_match_eager() {
+        let exec = ctx::<Sequential>();
+        let mut pb = exec.plan::<f64>();
+        let xs = pb.input(4);
+        let ys = pb.input(4);
+        let beta = pb.param(1.0);
+        let ws = pb.output(4);
+        let us = pb.output(4);
+        pb.ewise(xs, ys).scaled(2.0, beta).into(ws);
+        pb.axpy(us, -0.5, ys);
+        let plan = pb.compile();
+        assert_eq!(plan.schedule(), vec![PlannedStage::FusedLoop(2)]);
+
+        let x = v(0.0);
+        let y = v(1.0);
+        let mut w = Vector::zeros(4);
+        let mut u = v(2.0);
+        let mut b = plan.bindings();
+        b.bind_input(xs, &x)
+            .bind_input(ys, &y)
+            .bind_output(ws, &mut w)
+            .bind_output(us, &mut u)
+            .set(beta, -3.0);
+        plan.run(&mut b).expect("replay succeeds");
+        drop(b);
+
+        let mut want_w = Vector::zeros(4);
+        exec.ewise(&x, &y)
+            .scaled(2.0, -3.0)
+            .into(&mut want_w)
+            .expect("eager ewise");
+        let mut want_u = v(2.0);
+        exec.axpy(&mut want_u, -0.5, &y).expect("eager axpy");
+        assert_eq!(bits(&w), bits(&want_w));
+        assert_eq!(bits(&u), bits(&want_u));
+    }
+
+    #[test]
+    fn masked_zip3_transform_matches_capturing_pipeline() {
+        let exec = ctx::<Sequential>();
+        let mask = Vector::<bool>::sparse_filled(4, vec![0, 2, 3], true).expect("mask builds");
+        let r = v(0.5);
+        let t = v(1.5);
+        let d = Vector::from_dense(vec![4.0, 4.1, 4.2, 4.3]);
+
+        let mut pb = exec.plan::<f64>();
+        let xs = pb.output(4);
+        let rs = pb.input(4);
+        let ts = pb.input(4);
+        let ds = pb.input(4);
+        let ms = pb.mask(4);
+        pb.transform(xs)
+            .mask(ms)
+            .structural()
+            .zip(ts)
+            .zip(rs)
+            .zip(ds)
+            .apply(|_i, xi, ti, ri, di| *xi = (ri - ti + *xi * di) / di);
+        let plan = pb.compile();
+
+        let mut got = v(3.0);
+        let mut b = plan.bindings();
+        b.bind_output(xs, &mut got)
+            .bind_input(rs, &r)
+            .bind_input(ts, &t)
+            .bind_input(ds, &d)
+            .bind_mask(ms, &mask);
+        plan.run(&mut b).expect("replay succeeds");
+        drop(b);
+
+        // The pipeline-recorded equivalent captures its sources instead.
+        let mut want = v(3.0);
+        {
+            let (rs, ts, ds) = (r.as_slice(), t.as_slice(), d.as_slice());
+            let mut pl = exec.pipeline::<f64>();
+            pl.transform(&mut want)
+                .mask(&mask)
+                .structural()
+                .apply(move |i, xi| *xi = (rs[i] - ts[i] + *xi * ds[i]) / ds[i]);
+            pl.finish().expect("pipeline runs");
+        }
+        assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn replays_reflect_rebound_outputs_run_after_run() {
+        let exec = ctx::<Sequential>();
+        let mut pb = exec.plan::<f64>();
+        let xs = pb.input(4);
+        let os = pb.output(4);
+        pb.apply(xs).op(AdditiveInverse).into(os);
+        let plan = pb.compile();
+
+        let x = v(1.0);
+        let mut o1 = Vector::zeros(4);
+        let mut o2 = Vector::zeros(4);
+        let mut b = plan.bindings();
+        b.bind_input(xs, &x).bind_output(os, &mut o1);
+        plan.run(&mut b).expect("first run");
+        b.bind_output(os, &mut o2);
+        plan.run(&mut b).expect("second run");
+        drop(b);
+        assert_eq!(bits(&o1), bits(&o2));
+        assert_eq!(o1.as_slice()[1], -x.as_slice()[1]);
+    }
+
+    #[test]
+    fn plan_cache_hits_and_counters() {
+        let cache = PlanCache::new();
+        let exec = ctx::<Sequential>();
+        let key = plan_key(&("negate", 4usize));
+        let build = || {
+            let mut pb = exec.plan::<f64>();
+            let xs = pb.input(4);
+            let os = pb.output(4);
+            pb.apply(xs).op(AdditiveInverse).into(os);
+            pb.compile()
+        };
+        let (first, hit1) = cache.get_or_compile(key, build);
+        assert!(!hit1);
+        let (second, hit2) = cache
+            .get_or_compile::<f64, Sequential, _>(key, || panic!("cached entry must not rebuild"));
+        assert!(hit2);
+        assert_eq!(first.structural_hash(), second.structural_hash());
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+
+        // A hit-side consumer binds through the plan's slot accessors.
+        let x = v(0.0);
+        let mut o = Vector::zeros(4);
+        let mut b = second.bindings();
+        b.bind_input(second.input_slot(0), &x)
+            .bind_output(second.output_slot(0), &mut o);
+        second.run(&mut b).expect("cached plan runs");
+        drop(b);
+        assert_eq!(o.as_slice()[2], -x.as_slice()[2]);
+
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn structural_hash_tracks_shape_not_values() {
+        let exec = ctx::<Sequential>();
+        let build = |n: usize, alpha: f64| {
+            let mut pb = exec.plan::<f64>();
+            let xs = pb.output(n);
+            let ys = pb.input(n);
+            pb.axpy(xs, alpha, ys);
+            pb.compile()
+        };
+        // Same shape (constants included — they select the kernel's
+        // arithmetic) → same digest, across distinct builders.
+        assert_eq!(
+            build(4, 2.0).structural_hash(),
+            build(4, 2.0).structural_hash()
+        );
+        // Different dimension or constant → different digest.
+        assert_ne!(
+            build(4, 2.0).structural_hash(),
+            build(8, 2.0).structural_hash()
+        );
+        assert_ne!(
+            build(4, 2.0).structural_hash(),
+            build(4, 2.5).structural_hash()
+        );
+    }
+
+    #[test]
+    fn unbound_and_misdimensioned_slots_fail_validation() {
+        let exec = ctx::<Sequential>();
+        let mut pb = exec.plan::<f64>();
+        let xs = pb.input(4);
+        let os = pb.output(4);
+        pb.apply(xs).into(os);
+        let plan = pb.compile();
+
+        let x = v(0.0);
+        let mut o = Vector::zeros(4);
+
+        let mut b = plan.bindings();
+        b.bind_input(xs, &x);
+        assert!(matches!(plan.run(&mut b), Err(GrbError::InvalidInput(_))));
+        drop(b);
+
+        let wrong = Vector::<f64>::zeros(5);
+        let mut b = plan.bindings();
+        b.bind_input(xs, &wrong).bind_output(os, &mut o);
+        assert!(matches!(
+            plan.run(&mut b),
+            Err(GrbError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "InSlot does not belong to this plan")]
+    fn foreign_slots_panic() {
+        let exec = ctx::<Sequential>();
+        let mut other = exec.plan::<f64>();
+        let foreign = other.input(4);
+        let mut pb = exec.plan::<f64>();
+        let _ = pb.apply(foreign);
+    }
+
+    #[test]
+    #[should_panic(expected = "zip source length must match the transform output")]
+    fn zip_length_mismatch_panics_at_record_time() {
+        let exec = ctx::<Sequential>();
+        let mut pb = exec.plan::<f64>();
+        let os = pb.output(4);
+        let short = pb.input(3);
+        let _ = pb.transform(os).zip(short);
+    }
+}

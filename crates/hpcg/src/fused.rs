@@ -17,7 +17,16 @@
 //! and the "hand-fused" arm of the `fusion_ablation` benchmark's three-way
 //! comparison (hand-fused vs pipeline-fused vs unfused).
 
-use graphblas::{CsrMatrix, Ctx, Exec, Vector};
+//!
+//! Both pairs also exist in **compile-once** form: [`build_spmv_dot_plan`]
+//! and [`build_axpy_norm_plan`] record the same op graphs against
+//! dimensioned slots and freeze the fused schedule into a reusable
+//! [`Plan`](graphblas::Plan); [`spmv_dot_replay`] / [`axpy_norm_replay`]
+//! bind fresh buffers into it. The CG driver compiles each kernel once per
+//! level (through `GrbHpcg`'s plan cache) and replays it every iteration
+//! instead of re-recording and re-fusing the graph.
+
+use graphblas::{CsrMatrix, Ctx, Exec, Plan, Vector};
 
 /// Computes `y = A·x` and returns `⟨x, y⟩`, reading `x` once — the op pair
 /// recorded into a pipeline on `exec` and merged by the generic fusion
@@ -48,6 +57,70 @@ pub fn axpy_norm_fused<E: Exec>(
     let rh = pl.axpy(r, -alpha, q);
     let n = pl.norm2_squared(rh);
     pl.finish().expect("axpy_norm dimensions fixed by caller")[n]
+}
+
+/// Compiles the `y = A·x` + `⟨x, y⟩` pair for an `n × n` system into a
+/// reusable plan: matrix slot 0 is `A`, input 0 is `x`, output 0 is `y`,
+/// scalar 0 the dot. The schedule fuses into one SpMV-with-epilogue sweep,
+/// so replaying it is the compile-once form of [`spmv_dot_fused`].
+pub fn build_spmv_dot_plan<E: Exec>(exec: Ctx<E>, n: usize) -> Plan<f64, E> {
+    let mut pb = exec.plan::<f64>();
+    let am = pb.matrix(n, n);
+    let xs = pb.input(n);
+    let ys = pb.output(n);
+    let yh = pb.mxv(am, xs).into(ys);
+    pb.dot(xs, yh).result();
+    pb.compile()
+}
+
+/// Replays a [`build_spmv_dot_plan`] plan: `y = A·x`, returns `⟨x, y⟩` —
+/// bit-identical to [`spmv_dot_fused`] on the plan's backend.
+pub fn spmv_dot_replay<E: Exec>(
+    plan: &Plan<f64, E>,
+    a: &CsrMatrix<f64>,
+    x: &Vector<f64>,
+    y: &mut Vector<f64>,
+) -> f64 {
+    let mut b = plan.bindings();
+    b.bind_matrix(plan.matrix_slot(0), a)
+        .bind_input(plan.input_slot(0), x)
+        .bind_output(plan.output_slot(0), y);
+    let out = plan
+        .run(&mut b)
+        .expect("spmv_dot dimensions fixed by caller");
+    out[plan.scalar(0)]
+}
+
+/// Compiles the `r ← r − α·q` + `‖r‖²` pair for length-`n` vectors into a
+/// reusable plan: output 0 is `r`, input 0 is `q`, parameter 0 the (already
+/// negated) axpy coefficient, scalar 0 the norm.
+pub fn build_axpy_norm_plan<E: Exec>(exec: Ctx<E>, n: usize) -> Plan<f64, E> {
+    let mut pb = exec.plan::<f64>();
+    let rs = pb.output(n);
+    let qs = pb.input(n);
+    let alpha = pb.param(0.0);
+    pb.axpy(rs, alpha, qs);
+    pb.norm2_squared(rs);
+    pb.compile()
+}
+
+/// Replays a [`build_axpy_norm_plan`] plan with [`axpy_norm_fused`]'s
+/// convention — `r ← r − α·q`, returns `‖r‖²` — by rebinding the vectors
+/// and setting the coefficient parameter to `−α`.
+pub fn axpy_norm_replay<E: Exec>(
+    plan: &Plan<f64, E>,
+    r: &mut Vector<f64>,
+    alpha: f64,
+    q: &Vector<f64>,
+) -> f64 {
+    let mut b = plan.bindings();
+    b.bind_output(plan.output_slot(0), r)
+        .bind_input(plan.input_slot(0), q)
+        .set(plan.param(0), -alpha);
+    let out = plan
+        .run(&mut b)
+        .expect("axpy_norm dimensions fixed by caller");
+    out[plan.scalar(0)]
 }
 
 /// The hand-written `y = A·x` + `⟨x, y⟩` single pass — the ablation's
@@ -146,6 +219,37 @@ mod tests {
             norm_u.to_bits(),
             "fused pass is bit-identical"
         );
+    }
+
+    #[test]
+    fn compiled_plans_replay_bit_identical_to_recording() {
+        let a = build_stencil_matrix(Grid3::cube(6));
+        let n = a.nrows();
+        let exec = ctx::<Sequential>();
+        let spmv_plan = build_spmv_dot_plan(exec, n);
+        let axpy_plan = build_axpy_norm_plan(exec, n);
+
+        // Replay twice with different bindings; each must match the
+        // record-every-time wrapper bitwise.
+        for seed in [3, 11] {
+            let x = Vector::from_dense((0..n).map(|i| ((i % seed) as f64) - 2.0).collect());
+            let mut y_replay = Vector::zeros(n);
+            let mut y_record = Vector::zeros(n);
+            let d_replay = spmv_dot_replay(&spmv_plan, &a, &x, &mut y_replay);
+            let d_record = spmv_dot_fused(exec, &a, &x, &mut y_record);
+            assert_eq!(y_replay.as_slice(), y_record.as_slice());
+            assert_eq!(d_replay.to_bits(), d_record.to_bits());
+
+            let alpha = 0.1 * seed as f64;
+            let q = Vector::from_dense((0..n).map(|i| (i % 5) as f64 - 2.0).collect::<Vec<_>>());
+            let mut r_replay =
+                Vector::from_dense((0..n).map(|i| (i % 13) as f64 - 6.0).collect::<Vec<_>>());
+            let mut r_record = r_replay.clone();
+            let n_replay = axpy_norm_replay(&axpy_plan, &mut r_replay, alpha, &q);
+            let n_record = axpy_norm_fused(exec, &mut r_record, alpha, &q);
+            assert_eq!(r_replay.as_slice(), r_record.as_slice());
+            assert_eq!(n_replay.to_bits(), n_record.to_bits());
+        }
     }
 
     #[test]

@@ -22,12 +22,21 @@
 //! recorded graphs. [`GrbHpcg::set_pipeline`] switches back to eager
 //! per-primitive execution (`hpcg_report --pipeline off`); both modes are
 //! bit-identical, which the workspace's property tests pin down.
+//!
+//! Each deferred op graph is **compiled once per level** into a reusable
+//! [`Plan`](graphblas::Plan) held in a per-instance [`PlanCache`]: the
+//! first call at a level records and fuses, every later call just rebinds
+//! the iteration's buffers (and scalar parameters such as the CG `α`) and
+//! replays the frozen schedule — recording and fusion drop out of the
+//! iteration loop entirely. The cache is per-instance because a plan
+//! captures its execution handle; keys only need to name the kernel and
+//! level.
 
 use crate::kernels::Kernels;
 use crate::problem::Problem;
 use crate::smoother::rbgs_grb;
 use crate::timers::{Kernel, KernelTimers};
-use graphblas::{ctx, Backend, Ctx, Exec, Plus, Vector};
+use graphblas::{ctx, plan_key, Backend, Ctx, Exec, Plan, PlanCache, Plus, Vector};
 use std::time::Instant;
 
 /// The GraphBLAS-based HPCG implementation.
@@ -46,6 +55,9 @@ pub struct GrbHpcg<E: Exec> {
     ctx: Ctx<E>,
     /// Whether hot loops run through deferred (fused) pipelines.
     pipeline: bool,
+    /// Compiled plans for the hot op graphs, keyed by kernel and level —
+    /// each graph records and fuses once, then replays every iteration.
+    plans: PlanCache,
 }
 
 impl<B: Backend> GrbHpcg<B> {
@@ -71,6 +83,7 @@ impl<E: Exec> GrbHpcg<E> {
             timers,
             ctx,
             pipeline: true,
+            plans: PlanCache::new(),
         }
     }
 
@@ -200,8 +213,14 @@ impl<E: Exec> Kernels for GrbHpcg<E> {
         }
         let a = &self.problem.levels[level].a;
         let exec = self.ctx;
+        let n = a.nrows();
+        let (plan, _) = self
+            .plans
+            .get_or_compile(plan_key(&("hpcg.spmv_dot", level)), || {
+                crate::fused::build_spmv_dot_plan(exec, n)
+            });
         let t0 = Instant::now();
-        let d = crate::fused::spmv_dot_fused(exec, a, x, y);
+        let d = crate::fused::spmv_dot_replay(&plan, a, x, y);
         // A fused pass cannot time its halves separately; attribute the
         // wall-clock to the SpMV and Dot cells in proportion to their
         // modeled flops (2·nnz vs 2·n, the constants reporting.rs uses) so
@@ -229,10 +248,16 @@ impl<E: Exec> Kernels for GrbHpcg<E> {
             return self.dot(level, xs, xs);
         }
         let exec = self.ctx;
+        let len = x.len();
+        let (plan, _) = self
+            .plans
+            .get_or_compile(plan_key(&("hpcg.axpy_norm", level)), || {
+                crate::fused::build_axpy_norm_plan(exec, len)
+            });
         let t0 = Instant::now();
-        // The shared wrapper computes `x ← x − α·y`; negate to keep this
+        // The shared replay computes `x ← x − α·y`; negate to keep this
         // method's `x ← x + α·y` contract.
-        let n = crate::fused::axpy_norm_fused(exec, x, -alpha, y);
+        let n = crate::fused::axpy_norm_replay(&plan, x, -alpha, y);
         // Update and norm model 2·n flops each: split the fused time
         // evenly between the Waxpby and Dot cells (see spmv_dot).
         let half = t0.elapsed().as_secs_f64() * 0.5;
@@ -261,15 +286,24 @@ impl<E: Exec> Kernels for GrbHpcg<E> {
             .as_ref()
             .expect("residual_restrict called on a level with a coarser system");
         let a = &l.a;
-        let rs = r.as_slice();
         let exec = self.ctx;
+        let (n, nc) = (a.nrows(), rmat.nrows());
+        let (plan, _) = self
+            .plans
+            .get_or_compile(plan_key(&("hpcg.residual_restrict", level)), || {
+                residual_restrict_plan(exec, n, nc)
+            });
         let t0 = Instant::now();
-        let mut pl = exec.pipeline();
-        let fh = pl.mxv(a, z).into(f);
-        pl.transform_at(fh).apply(move |i, fi| *fi = rs[i] - *fi);
-        let _ = pl.mxv(rmat, fh).into(rc);
-        pl.finish()
+        let mut b = plan.bindings();
+        b.bind_matrix(plan.matrix_slot(0), a)
+            .bind_matrix(plan.matrix_slot(1), rmat)
+            .bind_input(plan.input_slot(0), z)
+            .bind_input(plan.input_slot(1), r)
+            .bind_output(plan.output_slot(0), f)
+            .bind_output(plan.output_slot(1), rc);
+        plan.run(&mut b)
             .expect("residual_restrict dimensions fixed at setup");
+        drop(b);
         // Flop-proportional attribution across the three cells the eager
         // path charges (see spmv_dot): spmv / subtract / restriction.
         let elapsed = t0.elapsed().as_secs_f64();
@@ -291,19 +325,21 @@ impl<E: Exec> Kernels for GrbHpcg<E> {
         let l = &self.problem.levels[level];
         let tmp = &mut self.tmp[level];
         let exec = self.ctx;
-        let pipelined = self.pipeline;
+        let plan = if self.pipeline {
+            let (n, colors) = (l.n(), l.color_masks.len());
+            let (plan, _) = self
+                .plans
+                .get_or_compile(plan_key(&("hpcg.rbgs", level)), || {
+                    rbgs_grb::build_rbgs_plan(exec, n, colors)
+                });
+            Some(plan)
+        } else {
+            None
+        };
         self.timers.time(level, Kernel::Smoother, || {
-            if pipelined {
-                rbgs_grb::rbgs_symmetric_pipelined(
-                    exec,
-                    &l.a,
-                    &l.a_diag,
-                    &l.color_masks,
-                    r,
-                    x,
-                    tmp,
-                )
-                .expect("smoother dimensions fixed at setup");
+            if let Some(plan) = &plan {
+                rbgs_grb::rbgs_symmetric_replay(plan, &l.a, &l.a_diag, &l.color_masks, r, x, tmp)
+                    .expect("smoother dimensions fixed at setup");
             } else {
                 rbgs_grb::rbgs_symmetric(exec, &l.a, &l.a_diag, &l.color_masks, r, x, tmp)
                     .expect("smoother dimensions fixed at setup");
@@ -354,6 +390,24 @@ impl<E: Exec> Kernels for GrbHpcg<E> {
     fn backend_name(&self) -> &'static str {
         self.ctx.backend_name()
     }
+}
+
+/// Compiles the MG residual/restrict chain — `f = A·z`, `f ← r − f`,
+/// `rc = R·f` — for an `n`-row level restricting to `nc` rows. Slots:
+/// matrices 0/1 are `A` and `R`, inputs 0/1 are `z` and `r`, outputs 0/1
+/// are `f` and `rc`.
+fn residual_restrict_plan<E: Exec>(exec: Ctx<E>, n: usize, nc: usize) -> Plan<f64, E> {
+    let mut pb = exec.plan::<f64>();
+    let am = pb.matrix(n, n);
+    let rm = pb.matrix(nc, n);
+    let zs = pb.input(n);
+    let rs = pb.input(n);
+    let fs = pb.output(n);
+    let rcs = pb.output(nc);
+    let fh = pb.mxv(am, zs).into(fs);
+    pb.transform(fh).zip(rs).apply(|_i, fi, ri| *fi = ri - *fi);
+    pb.mxv(rm, fh).into(rcs);
+    pb.compile()
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 //! smoother text serves compile-time backends and the runtime-dispatched
 //! [`DynCtx`](graphblas::DynCtx).
 
-use graphblas::{CsrMatrix, Ctx, Exec, Result, Vector};
+use graphblas::{CsrMatrix, Ctx, Exec, Plan, Result, Vector};
 
 /// One forward RBGS pass (Listing 3's `grb_rbgs_forward`).
 ///
@@ -107,6 +107,63 @@ pub fn rbgs_symmetric_pipelined<E: Exec>(
             });
     }
     pl.finish()?;
+    Ok(())
+}
+
+/// Compiles one symmetric sweep over `num_colors` colors into a reusable
+/// [`Plan`]: the `2 × num_colors` masked `mxv` + masked zipped-update
+/// pairs of [`rbgs_symmetric_pipelined`], recorded once against slots.
+///
+/// Slot layout (what [`rbgs_symmetric_replay`] binds): matrix 0 is `A`,
+/// inputs 0/1 are `r` and the diagonal, outputs 0/1 are the iterate and
+/// the scratch buffer, and mask `k` is the `k`-th color of the
+/// forward-then-backward order. The per-index update reads its operands
+/// through zip sources — the slot-based rendering of the pipeline
+/// version's capture-by-reference lambda — with identical arithmetic, so
+/// replay stays bit-identical to both other forms.
+pub fn build_rbgs_plan<E: Exec>(exec: Ctx<E>, n: usize, num_colors: usize) -> Plan<f64, E> {
+    let mut pb = exec.plan::<f64>();
+    let am = pb.matrix(n, n);
+    let rs = pb.input(n);
+    let ds = pb.input(n);
+    let xs = pb.output(n);
+    let ts = pb.output(n);
+    for _ in 0..2 * num_colors {
+        let m = pb.mask(n);
+        pb.mxv(am, xs).mask(m).structural().into(ts);
+        pb.transform(xs)
+            .mask(m)
+            .structural()
+            .zip(ts)
+            .zip(rs)
+            .zip(ds)
+            .apply(|_i, xi, ti, ri, di| *xi = (ri - ti + *xi * di) / di);
+    }
+    pb.compile()
+}
+
+/// Replays a [`build_rbgs_plan`] plan — one symmetric sweep, bit-identical
+/// to [`rbgs_symmetric`]. `colors` must have the color count the plan was
+/// compiled for.
+pub fn rbgs_symmetric_replay<E: Exec>(
+    plan: &Plan<f64, E>,
+    a: &CsrMatrix<f64>,
+    a_diag: &Vector<f64>,
+    colors: &[Vector<bool>],
+    r: &Vector<f64>,
+    x: &mut Vector<f64>,
+    tmp: &mut Vector<f64>,
+) -> Result<()> {
+    let mut b = plan.bindings();
+    b.bind_matrix(plan.matrix_slot(0), a)
+        .bind_input(plan.input_slot(0), r)
+        .bind_input(plan.input_slot(1), a_diag)
+        .bind_output(plan.output_slot(0), x)
+        .bind_output(plan.output_slot(1), tmp);
+    for (k, mask) in colors.iter().chain(colors.iter().rev()).enumerate() {
+        b.bind_mask(plan.mask_slot(k), mask);
+    }
+    plan.run(&mut b)?;
     Ok(())
 }
 
@@ -230,6 +287,24 @@ mod tests {
             assert_eq!(x_eager.as_slice(), x_pipe.as_slice(), "backend {kind}");
             assert_eq!(tmp_eager.as_slice(), tmp_pipe.as_slice(), "backend {kind}");
         }
+    }
+
+    #[test]
+    fn compiled_sweep_replays_bit_identical_to_eager() {
+        let (a, diag, masks, b) = setup(6);
+        let exec = ctx::<Sequential>();
+        let plan = build_rbgs_plan(exec, a.nrows(), masks.len());
+        let mut x_eager = Vector::from_dense((0..a.nrows()).map(|i| (i % 3) as f64).collect());
+        let mut x_plan = x_eager.clone();
+        let mut tmp_eager = Vector::zeros(a.nrows());
+        let mut tmp_plan = Vector::zeros(a.nrows());
+        for _ in 0..3 {
+            rbgs_symmetric(exec, &a, &diag, &masks, &b, &mut x_eager, &mut tmp_eager).unwrap();
+            rbgs_symmetric_replay(&plan, &a, &diag, &masks, &b, &mut x_plan, &mut tmp_plan)
+                .unwrap();
+        }
+        assert_eq!(x_eager.as_slice(), x_plan.as_slice());
+        assert_eq!(tmp_eager.as_slice(), tmp_plan.as_slice());
     }
 
     #[test]

@@ -23,6 +23,8 @@ use std::sync::Mutex;
 struct TenantState {
     steps: Vec<StepCost>,
     jobs: u64,
+    plan_hits: u64,
+    plan_misses: u64,
 }
 
 struct Inner {
@@ -81,6 +83,20 @@ impl Metering {
             .extend(steps);
     }
 
+    /// Records one compiled-plan cache lookup made on `tenant`'s behalf —
+    /// a hit means the job replayed an already-fused plan, a miss that it
+    /// paid the one-time record+fuse cost. Surfaced in every
+    /// [`MeterSnapshot`] so tenants can see their amortization.
+    pub fn note_plan(&self, tenant: &str, hit: bool) {
+        let mut inner = self.inner.lock().expect("meter lock poisoned");
+        let state = inner.tenants.entry(tenant.to_string()).or_default();
+        if hit {
+            state.plan_hits += 1;
+        } else {
+            state.plan_misses += 1;
+        }
+    }
+
     /// Marks one job finished for `tenant` and returns the cumulative
     /// snapshot the response carries.
     pub fn complete_job(&self, tenant: &str) -> MeterSnapshot {
@@ -93,6 +109,8 @@ impl Metering {
             h_bytes: summary.total_h_bytes,
             supersteps: summary.supersteps,
             jobs: state.jobs,
+            plan_hits: state.plan_hits,
+            plan_misses: state.plan_misses,
         }
     }
 
@@ -149,6 +167,19 @@ mod tests {
         assert_eq!(sa.per_class[0].class, KernelClass::SpMV);
         assert_eq!(sb.per_class[0].class, KernelClass::Dot);
         assert!(m.summary("c").is_none());
+    }
+
+    #[test]
+    fn plan_lookups_are_metered_per_tenant() {
+        let m = Metering::new();
+        m.note_plan("t", false);
+        m.note_plan("t", true);
+        m.note_plan("t", true);
+        m.note_plan("other", false);
+        let s = m.complete_job("t");
+        assert_eq!((s.plan_hits, s.plan_misses), (2, 1));
+        let o = m.complete_job("other");
+        assert_eq!((o.plan_hits, o.plan_misses), (0, 1));
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //!           | cg <name> <iters> <b-csv>
 //!           | hpcg <size> <levels> <iters>
 //!
-//! response := ok <result> meter <secs> <h-bytes> <steps> <jobs>
+//! response := ok <result> meter <secs> <h-bytes> <steps> <jobs> <plan-hits> <plan-misses>
 //!           | err <code> <message...>
 //! result   := ack | scalar <v> | vec <csv> | levels <csv>
 //!           | count <n> | solve <iters> <relres> <x-csv|->
@@ -240,6 +240,11 @@ pub struct MeterSnapshot {
     pub supersteps: usize,
     /// Jobs completed for this tenant.
     pub jobs: u64,
+    /// Compiled-plan cache hits the tenant's jobs enjoyed.
+    pub plan_hits: u64,
+    /// Compiled-plan cache misses (first-time compilations) the tenant's
+    /// jobs paid for.
+    pub plan_misses: u64,
 }
 
 /// One response: a payload plus the tenant's meter, or a typed error.
@@ -544,8 +549,13 @@ impl Response {
                     ),
                 };
                 format!(
-                    "ok {body} meter {} {} {} {}",
-                    meter.modeled_secs, meter.h_bytes, meter.supersteps, meter.jobs
+                    "ok {body} meter {} {} {} {} {} {}",
+                    meter.modeled_secs,
+                    meter.h_bytes,
+                    meter.supersteps,
+                    meter.jobs,
+                    meter.plan_hits,
+                    meter.plan_misses
                 )
             }
             Response::Err { code, message } => format!("err {code} {message}"),
@@ -592,6 +602,8 @@ impl Response {
                     h_bytes: t.next_f64("meter h-bytes")?,
                     supersteps: t.next_usize("meter steps")?,
                     jobs: t.next_usize("meter jobs")? as u64,
+                    plan_hits: t.next_usize("meter plan hits")? as u64,
+                    plan_misses: t.next_usize("meter plan misses")? as u64,
                 };
                 t.expect_end()?;
                 Ok(Response::Ok { payload, meter })
@@ -736,6 +748,8 @@ mod tests {
                 h_bytes: 4096.0,
                 supersteps: 12,
                 jobs: 3,
+                plan_hits: 5,
+                plan_misses: 1,
             },
         };
         let line = resp.to_line();

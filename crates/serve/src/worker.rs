@@ -25,7 +25,7 @@ use crate::protocol::{BackendSpec, JobSpec, Payload, Request, Response};
 use crate::queue::JobQueue;
 use crate::registry::Registry;
 use bsp::KernelClass;
-use graphblas::{ctx_on, BackendKind, Ctx, Distributed, Exec, Vector};
+use graphblas::{ctx_on, plan_key, BackendKind, Ctx, Distributed, Exec, Plan, PlanCache, Vector};
 use hpcg::{flops_per_iteration, run_with_rhs, GrbHpcg, RunConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +50,11 @@ pub struct ServeStats {
     pub batched_sweeps: AtomicU64,
     /// Jobs that rode in a batched sweep instead of a private one.
     pub batched_jobs: AtomicU64,
+    /// Compiled-plan cache hits across all workers (a job replayed an
+    /// already-fused plan instead of re-recording its op graph).
+    pub plan_cache_hits: AtomicU64,
+    /// Compiled-plan cache misses (first-time compilations).
+    pub plan_cache_misses: AtomicU64,
 }
 
 /// The per-thread worker state.
@@ -59,6 +64,11 @@ pub(crate) struct Worker {
     metering: Arc<Metering>,
     stats: Arc<ServeStats>,
     clusters: HashMap<usize, Distributed>,
+    /// Compiled plans for repeat job shapes, keyed by
+    /// `(job kind, matrix, dims, backend)`. Worker-private like the
+    /// clusters: a plan captures its execution handle, and this worker's
+    /// `dist:<p>` handle is its own cached cluster.
+    plans: PlanCache,
 }
 
 impl Worker {
@@ -74,6 +84,7 @@ impl Worker {
             metering,
             stats,
             clusters: HashMap::new(),
+            plans: PlanCache::new(),
         }
     }
 
@@ -176,6 +187,18 @@ impl Worker {
             }
         };
         let _ = job.reply.send(response);
+    }
+
+    /// Records one plan-cache lookup in the server stats and on the
+    /// tenant's meter.
+    fn note_plan(&self, tenant: &str, hit: bool) {
+        let counter = if hit {
+            &self.stats.plan_cache_hits
+        } else {
+            &self.stats.plan_cache_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.metering.note_plan(tenant, hit);
     }
 
     /// The worker's cached cluster for `p` nodes.
@@ -297,7 +320,7 @@ fn run_job<E: Exec>(exec: Ctx<E>, w: &Worker, req: &Request) -> Result<(Payload,
         }
         JobSpec::Cg { matrix, iters, b } => {
             let a = w.registry.get(matrix)?;
-            let result = cg_plain(exec, &a, b, *iters)?;
+            let result = cg_plain(exec, w, req, matrix, &a, b, *iters)?;
             Ok((result, (KernelClass::SpMV, a.nnz(), (*iters).max(1))))
         }
         JobSpec::Hpcg {
@@ -334,8 +357,19 @@ fn run_job<E: Exec>(exec: Ctx<E>, w: &Worker, req: &Request) -> Result<(Payload,
 /// Unpreconditioned CG on an arbitrary registered SPD matrix, built from
 /// context operations only, so one implementation serves every backend
 /// (and records real cost steps on `dist:<p>`).
+///
+/// The iteration body is **compiled once** per `(matrix, backend)` into
+/// two plans held in the worker's cache — `A·p` fused with `⟨p, Ap⟩`, and
+/// the `x`/`r` updates fused with `‖r‖²` — and replayed with rebound
+/// vectors and fresh `±α` parameters every iteration of every request.
+/// Replay is bit-identical to the eager per-primitive loop, so responses
+/// are unchanged; only the per-iteration record+fuse cost disappears.
+#[allow(clippy::too_many_arguments)]
 fn cg_plain<E: Exec>(
     exec: Ctx<E>,
+    w: &Worker,
+    req: &Request,
+    matrix: &str,
     a: &graphblas::CsrMatrix<f64>,
     b: &[f64],
     iters: usize,
@@ -347,12 +381,25 @@ fn cg_plain<E: Exec>(
             a.nrows()
         )));
     }
+    let n = a.nrows();
+    let (spmv_plan, hit) = w
+        .plans
+        .get_or_compile(plan_key(&("cg.spmv_dot", matrix, n, req.backend)), || {
+            hpcg::fused::build_spmv_dot_plan(exec, n)
+        });
+    w.note_plan(&req.tenant, hit);
+    let (update_plan, hit) = w.plans.get_or_compile(
+        plan_key(&("cg.update_norm", matrix, n, req.backend)),
+        || build_cg_update_plan(exec, n),
+    );
+    w.note_plan(&req.tenant, hit);
+
     let bv = Vector::from_dense(b.to_vec());
-    let mut x = Vector::zeros(a.nrows());
+    let mut x = Vector::zeros(n);
     // x = 0 ⇒ r = b.
     let mut r = bv.clone();
     let mut p = r.clone();
-    let mut ap = Vector::zeros(a.nrows());
+    let mut ap = Vector::zeros(n);
     let mut rs_old = exec.norm2_squared(&r)?;
     let norm0 = rs_old.sqrt();
     let mut iterations = 0;
@@ -361,15 +408,27 @@ fn cg_plain<E: Exec>(
         if rs_old == 0.0 {
             break;
         }
-        exec.mxv(a, &p).into(&mut ap)?;
-        let p_ap = exec.dot(&p, &ap).compute()?;
+        let p_ap = {
+            let mut bnd = spmv_plan.bindings();
+            bnd.bind_matrix(spmv_plan.matrix_slot(0), a)
+                .bind_input(spmv_plan.input_slot(0), &p)
+                .bind_output(spmv_plan.output_slot(0), &mut ap);
+            spmv_plan.run(&mut bnd)?[spmv_plan.scalar(0)]
+        };
         if p_ap == 0.0 {
             break;
         }
         let alpha = rs_old / p_ap;
-        exec.axpy(&mut x, alpha, &p)?;
-        exec.axpy(&mut r, -alpha, &ap)?;
-        rs_new = exec.norm2_squared(&r)?;
+        rs_new = {
+            let mut bnd = update_plan.bindings();
+            bnd.bind_output(update_plan.output_slot(0), &mut x)
+                .bind_output(update_plan.output_slot(1), &mut r)
+                .bind_input(update_plan.input_slot(0), &p)
+                .bind_input(update_plan.input_slot(1), &ap)
+                .set(update_plan.param(0), alpha)
+                .set(update_plan.param(1), -alpha);
+            update_plan.run(&mut bnd)?[update_plan.scalar(0)]
+        };
         iterations += 1;
         let beta = rs_new / rs_old;
         // p ← r + β·p.
@@ -387,4 +446,23 @@ fn cg_plain<E: Exec>(
         },
         x: x.as_slice().to_vec(),
     })
+}
+
+/// Compiles the CG update half-iteration — `x += α·p`, `r += (−α)·ap`,
+/// `‖r‖²` — with both coefficients as parameters. Slots: outputs 0/1 are
+/// `x` and `r`, inputs 0/1 are `p` and `ap`, params 0/1 are `α` and `−α`;
+/// scalar 0 is the norm. The residual update and norm fuse into one
+/// stream, exactly as the eager pair's fused kernel would.
+fn build_cg_update_plan<E: Exec>(exec: Ctx<E>, n: usize) -> Plan<f64, E> {
+    let mut pb = exec.plan::<f64>();
+    let xs = pb.output(n);
+    let rs = pb.output(n);
+    let ps = pb.input(n);
+    let aps = pb.input(n);
+    let alpha = pb.param(0.0);
+    let neg_alpha = pb.param(0.0);
+    pb.axpy(xs, alpha, ps);
+    pb.axpy(rs, neg_alpha, aps);
+    pb.norm2_squared(rs);
+    pb.compile()
 }

@@ -117,6 +117,36 @@ fn main() -> Result<(), GrbError> {
         inj_bytes / 1024,
         csr_bytes / inj_bytes.max(1)
     );
+    // 7. Compile once, replay many times: record an op graph against
+    //    symbolic slots, fuse it into an immutable `Plan`, then replay it
+    //    with rebound vectors and a mutated scalar parameter — no
+    //    re-recording, no re-fusion. This is the path the CG loop and the
+    //    serve workers take on every iteration after the first.
+    let n = problem.n();
+    let plan = {
+        let mut pb = exec.plan::<f64>();
+        let am = pb.matrix(n, n); // slot: the operator
+        let xs = pb.input(n); // slot: the direction vector
+        let ys = pb.output(n); // slot: receives A·x
+        let alpha = pb.param(0.0); // scalar mutated between replays
+        let yh = pb.mxv(am, xs).into(ys);
+        pb.dot(xs, yh).result(); // fuses with the mxv into one pass
+        pb.axpy(ys, alpha, xs);
+        pb.compile()
+    };
+    let mut y_out = Vector::zeros(n);
+    for (run, alpha) in [(1, 0.5), (2, -1.25)] {
+        let mut bnd = plan.bindings();
+        bnd.bind_matrix(plan.matrix_slot(0), a0)
+            .bind_input(plan.input_slot(0), &ones)
+            .bind_output(plan.output_slot(0), &mut y_out)
+            .set(plan.param(0), alpha);
+        let xt_ax = plan.run(&mut bnd)?[plan.scalar(0)];
+        println!(
+            "plan replay {run}: 1ᵀA·1 = {xt_ax:.1} with α = {alpha} (schedule compiled once, {} stages)",
+            plan.schedule().len()
+        );
+    }
     let _ = alp.timers();
     Ok(())
 }

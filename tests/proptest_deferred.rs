@@ -3,7 +3,9 @@
 //! the fused `spmv`+`⟨p, Ap⟩`, the update loop, the fused residual
 //! `axpy`+`‖r‖²`, the masked smoother step (structural / inverted masks),
 //! and the transposed accumulating refinement — must be **bit-identical**
-//! to the eager builder path, on both backends.
+//! to the eager builder path, on both backends — and the same body
+//! **compiled once** into slot-based plans must stay bit-identical under
+//! replay with rebound vectors and mutated scalar parameters.
 //!
 //! Entries are small integers in `f64`, so any divergence is a real
 //! scheduling/fusion bug, never floating-point noise; on top of that the
@@ -184,6 +186,106 @@ fn check_cg_sequence<E: Exec>(
     Ok(())
 }
 
+/// The CG iteration body **compiled once** and replayed with rebound
+/// vectors and mutated `±α` scalar parameters: every replay must be
+/// bit-identical to a freshly recorded-and-finished pipeline and to the
+/// eager path. This is the contract that lets the solver and the serve
+/// worker hoist recording and fusion out of their iteration loops.
+fn check_plan_replay<E: Exec>(
+    exec: Ctx<E>,
+    a: &CsrMatrix<f64>,
+    alphas: &[f64],
+) -> Result<(), TestCaseError> {
+    let n = a.nrows();
+    // Compile the two plans once; every round below only rebinds.
+    let spmv_plan = {
+        let mut pb = exec.plan::<f64>();
+        let am = pb.matrix(n, n);
+        let ps = pb.input(n);
+        let aps = pb.output(n);
+        let ah = pb.mxv(am, ps).into(aps);
+        pb.dot(ps, ah).result();
+        pb.compile()
+    };
+    let update_plan = {
+        let mut pb = exec.plan::<f64>();
+        let xs = pb.output(n);
+        let rs = pb.output(n);
+        let ps = pb.input(n);
+        let aps = pb.input(n);
+        let pa = pb.param(0.0);
+        let pna = pb.param(0.0);
+        pb.axpy(xs, pa, ps);
+        pb.axpy(rs, pna, aps);
+        pb.norm2_squared(rs);
+        pb.compile()
+    };
+
+    for (k, &alpha) in alphas.iter().enumerate() {
+        // Fresh operand buffers each round: the replay contract is about
+        // rebinding, not about reusing one fixed set of vectors.
+        let p = vec_mod(n, 7, -(k as i64) - 1);
+        let r0 = vec_mod(n, 5, k as i64 - 2);
+
+        let mut ap_pl = Vector::zeros(n);
+        let pap_pl = {
+            let mut bnd = spmv_plan.bindings();
+            bnd.bind_matrix(spmv_plan.matrix_slot(0), a)
+                .bind_input(spmv_plan.input_slot(0), &p)
+                .bind_output(spmv_plan.output_slot(0), &mut ap_pl);
+            spmv_plan.run(&mut bnd).unwrap()[spmv_plan.scalar(0)]
+        };
+        let mut x_pl = Vector::zeros(n);
+        let mut r_pl = r0.clone();
+        let norm_pl = {
+            let mut bnd = update_plan.bindings();
+            bnd.bind_output(update_plan.output_slot(0), &mut x_pl)
+                .bind_output(update_plan.output_slot(1), &mut r_pl)
+                .bind_input(update_plan.input_slot(0), &p)
+                .bind_input(update_plan.input_slot(1), &ap_pl)
+                .set(update_plan.param(0), alpha)
+                .set(update_plan.param(1), -alpha);
+            update_plan.run(&mut bnd).unwrap()[update_plan.scalar(0)]
+        };
+
+        // Eager reference.
+        let mut ap_e = Vector::zeros(n);
+        exec.mxv(a, &p).into(&mut ap_e).unwrap();
+        let pap_e = exec.dot(&p, &ap_e).compute().unwrap();
+        let mut x_e = Vector::zeros(n);
+        exec.axpy(&mut x_e, alpha, &p).unwrap();
+        let mut r_e = r0.clone();
+        exec.axpy(&mut r_e, -alpha, &ap_e).unwrap();
+        let norm_e = exec.norm2_squared(&r_e).unwrap();
+
+        // Freshly recorded pipeline.
+        let mut ap_pp = Vector::zeros(n);
+        let mut pl = exec.pipeline();
+        let ah = pl.mxv(a, &p).into(&mut ap_pp);
+        let ph = pl.dot(&p, ah).result();
+        let pap_pp = pl.finish().unwrap()[ph];
+        let mut x_pp = Vector::zeros(n);
+        let mut r_pp = r0.clone();
+        let mut pl = exec.pipeline();
+        pl.axpy(&mut x_pp, alpha, &p);
+        let rh = pl.axpy(&mut r_pp, -alpha, &ap_pp);
+        let nh = pl.norm2_squared(rh);
+        let norm_pp = pl.finish().unwrap()[nh];
+
+        prop_assert_eq!(pap_pl.to_bits(), pap_e.to_bits());
+        prop_assert_eq!(pap_pl.to_bits(), pap_pp.to_bits());
+        prop_assert_eq!(norm_pl.to_bits(), norm_e.to_bits());
+        prop_assert_eq!(norm_pl.to_bits(), norm_pp.to_bits());
+        prop_assert_eq!(ap_pl.as_slice(), ap_e.as_slice());
+        prop_assert_eq!(ap_pl.as_slice(), ap_pp.as_slice());
+        prop_assert_eq!(x_pl.as_slice(), x_e.as_slice());
+        prop_assert_eq!(x_pl.as_slice(), x_pp.as_slice());
+        prop_assert_eq!(r_pl.as_slice(), r_e.as_slice());
+        prop_assert_eq!(r_pl.as_slice(), r_pp.as_slice());
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -200,6 +302,17 @@ proptest! {
         // sequential kernels while recording BSP costs: it is held to the
         // same bitwise contract, eager and pipelined.
         check_cg_sequence(Distributed::new(3).ctx(), &a, &mask_bits, structural, inverted)?;
+    }
+
+    #[test]
+    fn compiled_plan_replay_bit_identical_on_all_backends(
+        a in arb_square(12),
+        raw_alphas in proptest::collection::vec(-6i64..=6, 2..5),
+    ) {
+        let alphas: Vec<f64> = raw_alphas.iter().map(|&v| v as f64 / 3.0).collect();
+        check_plan_replay(ctx::<Sequential>(), &a, &alphas)?;
+        check_plan_replay(ctx::<Parallel>(), &a, &alphas)?;
+        check_plan_replay(Distributed::new(3).ctx(), &a, &alphas)?;
     }
 }
 
