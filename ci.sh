@@ -62,6 +62,30 @@ print('BENCH_serve.json well-formed:', d['total_jobs'], 'jobs,',
       d['plan_cache_misses'], 'misses')
 " || { echo "BENCH_serve.json malformed" >&2; exit 1; }
 
+echo "==> graph_report smoke (RMAT sparse-frontier BFS, BENCH_graph.json)"
+# Direction-optimizing BFS over RMAT graphs: the bin hard-asserts the
+# sparse-frontier levels bit-identical to the dense baseline on all three
+# backends; the gate below asserts the heuristic actually exercised both
+# frontier modes and that sparse frontiers beat the dense allgather.
+cargo run --release -p hpcg-bench --bin graph_report -- \
+    --scales 8,10 --edge-factor 8 --out BENCH_graph.json
+python3 -c "
+import json
+d = json.load(open('BENCH_graph.json'))
+assert d['sweep'], 'graph_report emitted no sweep entries'
+for e in d['sweep']:
+    s = e['scale']
+    assert e['teps'] > 0, f'scale {s}: TEPS must be positive'
+    assert e['push_steps'] > 0, f'scale {s}: push mode never selected'
+    assert e['pull_steps'] > 0, f'scale {s}: pull mode never selected'
+    assert e['dist_sparse_h_bytes'] < e['dist_dense_h_bytes'], (
+        f'scale {s}: sparse frontiers must communicate less than dense')
+    print(f\"scale {s}: {e['teps']:.3e} TEPS, \"
+          f\"{e['push_steps']} push / {e['pull_steps']} pull, \"
+          f\"comm {e['dist_sparse_h_bytes']:.0f} B vs dense \"
+          f\"{e['dist_dense_h_bytes']:.0f} B\")
+" || { echo "BENCH_graph.json gate failed" >&2; exit 1; }
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

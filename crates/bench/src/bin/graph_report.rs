@@ -1,0 +1,141 @@
+//! Machine-readable sweep of the sparse-frontier graph subsystem.
+//!
+//! Generates Graph500-style RMAT graphs over a list of scales, runs BFS
+//! from the highest-degree vertex both ways — the dense-vector baseline
+//! and the direction-optimizing sparse-frontier path — on every backend,
+//! hard-asserts the level vectors identical, and writes TEPS plus the
+//! push/pull switch counts and the distributed communication volumes to
+//! `BENCH_graph.json`. The `ci.sh` smoke gate asserts nonzero TEPS and
+//! that the heuristic exercised **both** frontier modes (push on the
+//! sparse fringe, pull once the hub frontier goes dense), and that the
+//! sparse path communicates measurably less than the dense baseline on
+//! the simulated cluster.
+//!
+//! ```text
+//! cargo run --release -p hpcg-bench --bin graph_report -- \
+//!     [--scales 8,10] [--edge-factor 8] [--seed 42] [--nodes 4] \
+//!     [--out BENCH_graph.json]
+//! ```
+
+use graphblas::algorithms::{bfs_levels_dense, bfs_levels_on};
+use graphblas::{ctx, ctx_on, BackendKind, Distributed, GraphMatrix, Parallel, Sequential};
+use hpcg_bench::cli::Args;
+use hpcg_bench::rmat::{rmat_adjacency, RmatConfig};
+use hpcg_bench::table::Table;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let scales = args.get_usize_list("scales", &[8, 10]);
+    let edge_factor = args.get_usize("edge-factor", 8);
+    let seed = args.get_usize("seed", 42) as u64;
+    let nodes = args.get_usize("nodes", 4).max(2);
+    let out_path = args
+        .get_str("out")
+        .unwrap_or("BENCH_graph.json")
+        .to_string();
+
+    println!(
+        "graph sweep: RMAT scales {scales:?}, edge factor {edge_factor}, seed {seed}, \
+         dist:{nodes} for the communication comparison\n"
+    );
+    let mut table = Table::new(&[
+        "scale",
+        "vertices",
+        "edges",
+        "rounds",
+        "push/pull",
+        "sparse",
+        "dense",
+        "MTEPS",
+        "dist h sparse/dense",
+    ]);
+
+    let cluster = Distributed::new(nodes);
+    let mut entries = String::new();
+    for (i, &scale) in scales.iter().enumerate() {
+        let a = rmat_adjacency(RmatConfig {
+            scale: scale as u32,
+            edge_factor,
+            seed,
+        });
+        let g = GraphMatrix::from_csr(a.clone());
+        let n = a.nrows();
+        let edges = a.nnz() / 2;
+        // Root at the biggest hub so the traversal covers the giant
+        // component (isolated fringe vertices stay at level −1).
+        let source = (0..n).max_by_key(|&v| a.row(v).0.len()).unwrap_or(0);
+
+        // Dense baseline and sparse-frontier run, timed on Sequential.
+        let t0 = Instant::now();
+        let dense = bfs_levels_dense(ctx::<Sequential>(), &a, source).expect("dense bfs");
+        let dense_secs = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let (sparse, stats) = bfs_levels_on(ctx::<Sequential>(), &g, source).expect("sparse bfs");
+        let sparse_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            sparse, dense,
+            "sparse-frontier BFS diverged at scale {scale}"
+        );
+
+        // Bit-identical on the other two backends as well — the whole
+        // subsystem rides one Exec surface.
+        let (par, par_stats) = bfs_levels_on(ctx::<Parallel>(), &g, source).expect("par bfs");
+        assert_eq!(par, dense, "parallel sparse BFS diverged at scale {scale}");
+        assert_eq!(par_stats, stats, "backends disagreed on frontier modes");
+        let (dist, _) =
+            bfs_levels_on(ctx_on(BackendKind::Dist(cluster)), &g, source).expect("dist bfs");
+        assert_eq!(
+            dist, dense,
+            "distributed sparse BFS diverged at scale {scale}"
+        );
+        let dist_sparse_h: f64 = cluster.take_steps().iter().map(|s| s.h_bytes).sum();
+        let _ = bfs_levels_dense(ctx_on(BackendKind::Dist(cluster)), &a, source)
+            .expect("dist dense bfs");
+        let dist_dense_h: f64 = cluster.take_steps().iter().map(|s| s.h_bytes).sum();
+
+        // Graph500-style TEPS: edges incident to reached vertices (each
+        // undirected edge counted once) over the sparse traversal time.
+        let traversed: usize = (0..n)
+            .filter(|&v| dense[v] >= 0)
+            .map(|v| a.row(v).0.len())
+            .sum::<usize>()
+            / 2;
+        let teps = traversed as f64 / sparse_secs;
+        let rounds = stats.steps();
+
+        table.row(vec![
+            scale.to_string(),
+            n.to_string(),
+            edges.to_string(),
+            rounds.to_string(),
+            format!("{}/{}", stats.push_steps, stats.pull_steps),
+            format!("{:.3} ms", sparse_secs * 1e3),
+            format!("{:.3} ms", dense_secs * 1e3),
+            format!("{:.2}", teps / 1e6),
+            format!("{:.0}/{:.0} B", dist_sparse_h, dist_dense_h),
+        ]);
+        let _ = write!(
+            entries,
+            "{}    {{\n      \"scale\": {scale},\n      \"vertices\": {n},\n      \
+             \"edges\": {edges},\n      \"source\": {source},\n      \"rounds\": {rounds},\n      \
+             \"push_steps\": {},\n      \"pull_steps\": {},\n      \
+             \"sparse_secs\": {sparse_secs:.9e},\n      \"dense_secs\": {dense_secs:.9e},\n      \
+             \"teps\": {teps:.6e},\n      \"dist_sparse_h_bytes\": {dist_sparse_h:.1},\n      \
+             \"dist_dense_h_bytes\": {dist_dense_h:.1}\n    }}",
+            if i == 0 { "" } else { ",\n" },
+            stats.push_steps,
+            stats.pull_steps,
+        );
+    }
+    print!("{}", table.render());
+
+    let json = format!(
+        "{{\n  \"bench\": \"graph_report\",\n  \"generator\": \"RMAT a=0.57 b=0.19 c=0.19 \
+         (Graph500)\",\n  \"edge_factor\": {edge_factor},\n  \"seed\": {seed},\n  \
+         \"dist_nodes\": {nodes},\n  \"sweep\": [\n{entries}\n  ]\n}}\n",
+    );
+    std::fs::write(&out_path, &json).expect("writing the JSON report must succeed");
+    println!("\nwrote {out_path} ({} bytes)", json.len());
+}

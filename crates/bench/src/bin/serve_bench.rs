@@ -38,6 +38,24 @@ fn graph_triplets(n: usize) -> Vec<(usize, usize, f64)> {
     t
 }
 
+/// Pattern-symmetric closure of [`graph_triplets`]: `tricount` validates
+/// its adjacency, so triangle jobs run on the undirected version.
+fn sym_graph_triplets(n: usize) -> Vec<(usize, usize, f64)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut t = Vec::new();
+    for (r, c, v) in graph_triplets(n) {
+        if seen.insert((r, c)) {
+            t.push((r, c, v));
+        }
+    }
+    for (r, c, v) in graph_triplets(n) {
+        if seen.insert((c, r)) {
+            t.push((c, r, v));
+        }
+    }
+    t
+}
+
 fn spd_triplets(n: usize) -> Vec<(usize, usize, f64)> {
     let mut t = Vec::new();
     for i in 0..n {
@@ -74,7 +92,9 @@ fn job_for(n: usize, t: usize, i: usize) -> JobSpec {
                     source: i % n,
                 }
             } else {
-                JobSpec::TriangleCount { matrix: "g".into() }
+                JobSpec::TriangleCount {
+                    matrix: "gsym".into(),
+                }
             }
         }
         4 => JobSpec::Sssp {
@@ -93,7 +113,12 @@ fn job_for(n: usize, t: usize, i: usize) -> JobSpec {
 }
 
 /// Direct-sequential ground truth for `--verify`, bit-for-bit.
-fn expected_payload(g: &CsrMatrix<f64>, spd: &CsrMatrix<f64>, job: &JobSpec) -> Payload {
+fn expected_payload(
+    g: &CsrMatrix<f64>,
+    gsym: &CsrMatrix<f64>,
+    spd: &CsrMatrix<f64>,
+    job: &JobSpec,
+) -> Payload {
     let sctx = ctx::<Sequential>();
     match job {
         JobSpec::Mxv { x, .. } => {
@@ -118,7 +143,7 @@ fn expected_payload(g: &CsrMatrix<f64>, spd: &CsrMatrix<f64>, job: &JobSpec) -> 
             graphblas::algorithms::sssp(sctx, g, *source).expect("ground-truth sssp"),
         ),
         JobSpec::TriangleCount { .. } => Payload::Count(
-            graphblas::algorithms::triangle_count(sctx, g).expect("ground-truth tricount"),
+            graphblas::algorithms::triangle_count(sctx, gsym).expect("ground-truth tricount"),
         ),
         JobSpec::Cg { .. } => {
             // CG ground truth comes from the service itself on `seq`; the
@@ -155,7 +180,11 @@ fn main() {
         workers,
         queue_bound,
     }));
-    for (name, triplets) in [("g", graph_triplets(n)), ("spd", spd_triplets(n))] {
+    for (name, triplets) in [
+        ("g", graph_triplets(n)),
+        ("gsym", sym_graph_triplets(n)),
+        ("spd", spd_triplets(n)),
+    ] {
         server
             .call(Request {
                 tenant: "setup".into(),
@@ -170,6 +199,7 @@ fn main() {
             .expect("matrix registration");
     }
     let g = CsrMatrix::from_triplets(n, n, &graph_triplets(n)).expect("graph build");
+    let gsym = CsrMatrix::from_triplets(n, n, &sym_graph_triplets(n)).expect("sym graph build");
     let spd = CsrMatrix::from_triplets(n, n, &spd_triplets(n)).expect("spd build");
     // Pre-solve the CG job once through the service on seq: every other
     // backend's answer must match it bit-for-bit.
@@ -200,6 +230,7 @@ fn main() {
         let overload_retries = Arc::clone(&overload_retries);
         let verified = Arc::clone(&verified);
         let g = g.clone();
+        let gsym = gsym.clone();
         let spd = spd.clone();
         let expected_cg = expected_cg.clone();
         handles.push(std::thread::spawn(move || {
@@ -240,7 +271,7 @@ fn main() {
                         let expected = if matches!(request.job, JobSpec::Cg { .. }) {
                             expected_cg.clone()
                         } else {
-                            expected_payload(&g, &spd, &request.job)
+                            expected_payload(&g, &gsym, &spd, &request.job)
                         };
                         assert_eq!(
                             payload,

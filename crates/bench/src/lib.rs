@@ -11,6 +11,7 @@
 pub mod breakdown;
 pub mod cli;
 pub mod hostinfo;
+pub mod rmat;
 pub mod scaling;
 pub mod strong;
 pub mod table;

@@ -1,0 +1,196 @@
+//! Deterministic RMAT (Graph500-style) graph generation.
+//!
+//! The recursive-matrix generator of Chakrabarti, Zhan & Faloutsos drops
+//! each edge into the adjacency matrix by descending a quadtree: at every
+//! level the edge picks the top-left / top-right / bottom-left /
+//! bottom-right quadrant with probabilities `(a, b, c, d)`. The Graph500
+//! parameters `a = 0.57, b = 0.19, c = 0.19, d = 0.05` concentrate mass
+//! in the top-left corner, producing the skewed (power-law-ish) degree
+//! distribution that makes direction-optimizing BFS interesting: hub
+//! frontiers go dense fast (pull), fringe frontiers stay sparse (push).
+//!
+//! Everything is seed-deterministic — same `RmatConfig`, same graph, on
+//! every platform — via a splitmix64 PRNG, so benchmark reports are
+//! reproducible without carrying edge lists around.
+
+use graphblas::CsrMatrix;
+use std::collections::BTreeSet;
+
+/// Graph500 quadrant probability `a` (top-left).
+pub const GRAPH500_A: f64 = 0.57;
+/// Graph500 quadrant probability `b` (top-right).
+pub const GRAPH500_B: f64 = 0.19;
+/// Graph500 quadrant probability `c` (bottom-left).
+pub const GRAPH500_C: f64 = 0.19;
+
+/// Parameters of one RMAT instance.
+#[derive(Copy, Clone, Debug)]
+pub struct RmatConfig {
+    /// log2 of the vertex count: the graph has `2^scale` vertices.
+    pub scale: u32,
+    /// Target edges per vertex before dedup/self-loop removal
+    /// (Graph500 uses 16; small harnesses use less).
+    pub edge_factor: usize,
+    /// PRNG seed; same seed ⇒ same graph.
+    pub seed: u64,
+}
+
+/// splitmix64: tiny, fast, and with a full 2^64 period per seed stream.
+/// Good enough for quadrant draws and trivially portable.
+#[derive(Clone, Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Generates the directed RMAT edge set for `cfg`: deduplicated,
+/// self-loop-free `(src, dst)` pairs in sorted order.
+///
+/// The generator draws `edge_factor · 2^scale` candidate edges; dedup and
+/// self-loop removal mean the returned set is somewhat smaller, with the
+/// shortfall concentrated at the hubs (exactly as in Graph500 harnesses).
+pub fn rmat_edges(cfg: RmatConfig) -> Vec<(usize, usize)> {
+    let n = 1usize << cfg.scale;
+    let mut rng = SplitMix64(cfg.seed ^ 0x5851_f42d_4c95_7f2d);
+    let mut edges = BTreeSet::new();
+    for _ in 0..n * cfg.edge_factor {
+        let (mut r0, mut r1, mut half) = (0usize, 0usize, n >> 1);
+        while half > 0 {
+            let u = rng.next_f64();
+            if u < GRAPH500_A {
+                // top-left: neither bit set
+            } else if u < GRAPH500_A + GRAPH500_B {
+                r1 += half;
+            } else if u < GRAPH500_A + GRAPH500_B + GRAPH500_C {
+                r0 += half;
+            } else {
+                r0 += half;
+                r1 += half;
+            }
+            half >>= 1;
+        }
+        if r0 != r1 {
+            edges.insert((r0, r1));
+        }
+    }
+    edges.into_iter().collect()
+}
+
+/// The undirected (pattern-symmetric) adjacency matrix of an RMAT graph,
+/// all weights 1.0 — the input BFS/tricount harnesses want.
+pub fn rmat_adjacency(cfg: RmatConfig) -> CsrMatrix<f64> {
+    let n = 1usize << cfg.scale;
+    let mut sym = BTreeSet::new();
+    for (r, c) in rmat_edges(cfg) {
+        sym.insert((r, c));
+        sym.insert((c, r));
+    }
+    let triplets: Vec<(usize, usize, f64)> = sym.into_iter().map(|(r, c)| (r, c, 1.0)).collect();
+    CsrMatrix::from_triplets(n, n, &triplets).expect("rmat triplets are in-range and deduped")
+}
+
+/// The same adjacency with deterministic positive weights (for SSSP):
+/// weight of `i → j` derived from the endpoint ids, symmetric by
+/// construction so `A[i][j] == A[j][i]`.
+pub fn rmat_weighted_adjacency(cfg: RmatConfig) -> CsrMatrix<f64> {
+    let n = 1usize << cfg.scale;
+    let mut sym = BTreeSet::new();
+    for (r, c) in rmat_edges(cfg) {
+        sym.insert((r, c));
+        sym.insert((c, r));
+    }
+    let triplets: Vec<(usize, usize, f64)> = sym
+        .into_iter()
+        .map(|(r, c)| {
+            let (lo, hi) = (r.min(c), r.max(c));
+            (r, c, 1.0 + ((lo * 31 + hi * 17) % 97) as f64 / 13.0)
+        })
+        .collect();
+    CsrMatrix::from_triplets(n, n, &triplets).expect("rmat triplets are in-range and deduped")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: RmatConfig = RmatConfig {
+        scale: 8,
+        edge_factor: 8,
+        seed: 42,
+    };
+
+    #[test]
+    fn same_seed_same_graph_different_seed_different_graph() {
+        let a = rmat_edges(CFG);
+        let b = rmat_edges(CFG);
+        assert_eq!(a, b, "generation is seed-deterministic");
+        let c = rmat_edges(RmatConfig { seed: 43, ..CFG });
+        assert_ne!(a, c, "a different seed draws a different graph");
+    }
+
+    #[test]
+    fn edges_are_deduped_loop_free_and_in_range() {
+        let n = 1usize << CFG.scale;
+        let edges = rmat_edges(CFG);
+        assert!(!edges.is_empty());
+        for w in edges.windows(2) {
+            assert!(w[0] < w[1], "sorted and duplicate-free");
+        }
+        for &(r, c) in &edges {
+            assert_ne!(r, c, "no self-loops");
+            assert!(r < n && c < n);
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // The whole point of RMAT: hubs. The max out-degree should tower
+        // over the mean — a uniform random graph would be within a small
+        // constant of it.
+        let n = 1usize << CFG.scale;
+        let mut degree = vec![0usize; n];
+        let edges = rmat_edges(CFG);
+        for &(r, _) in &edges {
+            degree[r] += 1;
+        }
+        let max = *degree.iter().max().unwrap();
+        let mean = edges.len() as f64 / n as f64;
+        assert!(
+            max as f64 > 4.0 * mean,
+            "max degree {max} should dwarf mean {mean:.2}"
+        );
+    }
+
+    #[test]
+    fn adjacency_is_pattern_symmetric_and_square() {
+        let a = rmat_adjacency(CFG);
+        assert_eq!(a.nrows(), a.ncols());
+        assert!(a.check_pattern_symmetric().is_ok());
+        let w = rmat_weighted_adjacency(CFG);
+        assert!(w.check_pattern_symmetric().is_ok());
+        // Weighted variant keeps A[i][j] == A[j][i] numerically, too:
+        // tricount and undirected SSSP both rely on it.
+        let dense_at = |m: &CsrMatrix<f64>, i: usize, j: usize| -> f64 {
+            let (cols, vals) = m.row(i);
+            cols.iter()
+                .position(|&c| c as usize == j)
+                .map_or(0.0, |k| vals[k])
+        };
+        let (cols, _) = w.row(1);
+        for &j in cols {
+            assert_eq!(dense_at(&w, 1, j as usize), dense_at(&w, j as usize, 1));
+        }
+    }
+}

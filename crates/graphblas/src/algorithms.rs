@@ -10,11 +10,26 @@
 //! shared-memory parallel, or distributed over the simulated BSP cluster
 //! (`Distributed::new(p).ctx()`), where every `mxv` records its allgather
 //! and every reduction its allreduce.
+//!
+//! # Sparse frontiers
+//!
+//! The traversals run on [`SparseVector`] frontiers through the
+//! direction-optimizing kernel ([`Ctx::mxv_sparse`]): each step does work
+//! proportional to the frontier, not to `n`, and the kernel picks push
+//! (column scatter) or pull (dense row sweep) by frontier density. The
+//! `*_on` variants take a pre-built [`GraphMatrix`] (both orientations)
+//! and additionally return [`FrontierStats`] — the push/pull decision
+//! counts. The original signatures ([`bfs_levels`], [`sssp`],
+//! [`pagerank`]) are kept as thin wrappers, and the historical dense
+//! implementations remain as `*_dense` oracles: results are pinned
+//! bit-identical by the tests here and by the cross-backend property
+//! tests.
 
-use crate::container::matrix::CsrMatrix;
-use crate::container::vector::Vector;
+use crate::container::matrix::{CsrMatrix, GraphMatrix};
+use crate::container::vector::{SparseVector, Vector};
 use crate::context::{Ctx, Exec};
 use crate::error::{check_dims, GrbError, Result};
+use crate::exec::sparse::FrontierMode;
 use crate::ops::binary::{Lor, Max, Plus};
 use crate::ops::monoid::Monoid;
 use crate::ops::semiring::{MinPlus, Semiring};
@@ -26,21 +41,118 @@ pub struct LorLand;
 impl Semiring<f64> for LorLand {
     type Add = Lor;
     type Mul = crate::ops::binary::Land;
+
+    // `Land(a, 0.0) == 0.0` and `Lor(acc, 0.0)` re-emits acc's truth value
+    // (always an exact 0.0 or 1.0 here), so push mode may skip absent
+    // frontier entries bit-exactly.
+    const ANNIHILATING_ZERO: bool = true;
+}
+
+/// Push/pull decision counts from a sparse-frontier traversal.
+///
+/// One of the two counters is bumped per `mxv_sparse` step; the serve
+/// layer aggregates these into its service stats and per-tenant meter.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FrontierStats {
+    /// Steps executed in push (column-scatter) orientation.
+    pub push_steps: usize,
+    /// Steps executed in pull (dense row sweep) orientation.
+    pub pull_steps: usize,
+}
+
+impl FrontierStats {
+    /// Bumps the counter for one executed step.
+    pub fn note(&mut self, mode: FrontierMode) {
+        match mode {
+            FrontierMode::Push => self.push_steps += 1,
+            FrontierMode::Pull => self.pull_steps += 1,
+        }
+    }
+
+    /// Total steps recorded.
+    pub fn steps(&self) -> usize {
+        self.push_steps + self.pull_steps
+    }
+
+    /// Folds another traversal's counts into this one.
+    pub fn absorb(&mut self, other: FrontierStats) {
+        self.push_steps += other.push_steps;
+        self.pull_steps += other.pull_steps;
+    }
+}
+
+fn check_square_and_source(
+    op: &'static str,
+    n_rows: usize,
+    n_cols: usize,
+    source: usize,
+) -> Result<usize> {
+    check_dims(op, "adjacency must be square", n_rows, n_cols)?;
+    if source >= n_rows {
+        return Err(GrbError::IndexOutOfBounds {
+            index: source,
+            len: n_rows,
+        });
+    }
+    Ok(n_rows)
 }
 
 /// Breadth-first search from `source` on the pattern of `a` (an edge
 /// `i→j` is a stored entry at `A[j, i]`, the usual GraphBLAS "push"
 /// orientation). Returns per-vertex levels: `0` for the source, `k` for
 /// vertices first reached after `k` hops, `-1` for unreachable.
+///
+/// Runs on sparse frontiers via [`bfs_levels_on`] (building the
+/// [`GraphMatrix`] internally); results are bit-identical to
+/// [`bfs_levels_dense`].
 pub fn bfs_levels<E: Exec>(exec: Ctx<E>, a: &CsrMatrix<f64>, source: usize) -> Result<Vec<i64>> {
-    check_dims("bfs", "adjacency must be square", a.nrows(), a.ncols())?;
-    let n = a.nrows();
-    if source >= n {
-        return Err(GrbError::IndexOutOfBounds {
-            index: source,
-            len: n,
-        });
+    let g = GraphMatrix::from_csr(a.clone());
+    Ok(bfs_levels_on(exec, &g, source)?.0)
+}
+
+/// [`bfs_levels`] on a pre-built [`GraphMatrix`], with push/pull counts.
+pub fn bfs_levels_on<E: Exec>(
+    exec: Ctx<E>,
+    g: &GraphMatrix<f64>,
+    source: usize,
+) -> Result<(Vec<i64>, FrontierStats)> {
+    let n = check_square_and_source("bfs", g.nrows(), g.ncols(), source)?;
+    let mut levels = vec![-1i64; n];
+    levels[source] = 0;
+    let mut stats = FrontierStats::default();
+    // Frontier over the Lor-Land ring: stored 1.0 at the fresh vertices.
+    let mut frontier = SparseVector::from_entries(n, 0.0, &[(source as u32, 1.0)])?;
+    let mut next = Vector::<f64>::zeros(n);
+    for depth in 1..=n as i64 {
+        stats.note(
+            exec.mxv_sparse(g, &frontier)
+                .ring(LorLand)
+                .into(&mut next)?,
+        );
+        // Prune already-visited vertices and record fresh ones.
+        let mut fresh: Vec<(u32, f64)> = Vec::new();
+        for (i, v) in next.as_slice().iter().enumerate() {
+            if *v != 0.0 && levels[i] < 0 {
+                levels[i] = depth;
+                fresh.push((i as u32, 1.0));
+            }
+        }
+        if fresh.is_empty() {
+            break;
+        }
+        frontier = SparseVector::from_entries(n, 0.0, &fresh)?;
     }
+    Ok((levels, stats))
+}
+
+/// The historical dense-frontier BFS, kept as the bit-exactness oracle
+/// for the sparse path.
+pub fn bfs_levels_dense<E: Exec>(
+    exec: Ctx<E>,
+    a: &CsrMatrix<f64>,
+    source: usize,
+) -> Result<Vec<i64>> {
+    let n = check_square_and_source("bfs", a.nrows(), a.ncols(), source)?;
     let mut levels = vec![-1i64; n];
     levels[source] = 0;
     // Frontier and visited as 0/1-valued f64 vectors over the Lor-Land ring.
@@ -76,15 +188,62 @@ pub fn bfs_levels<E: Exec>(exec: Ctx<E>, a: &CsrMatrix<f64>, source: usize) -> R
 /// tropical semiring: `d ← min(d, A ⊕.⊗ d)` with `⊕ = min`, `⊗ = +`.
 /// Edge `i→j` with weight `w` is `A[j, i] = w`. Returns `+∞` for
 /// unreachable vertices; errors on negative cycles.
+///
+/// Runs on sparse frontiers via [`sssp_on`]; results are bit-identical
+/// to [`sssp_dense`] (each round only the vertices whose distance
+/// improved re-relax — candidates from unchanged vertices were already
+/// applied the round they last improved, so dropping them changes
+/// nothing).
 pub fn sssp<E: Exec>(exec: Ctx<E>, a: &CsrMatrix<f64>, source: usize) -> Result<Vec<f64>> {
-    check_dims("sssp", "adjacency must be square", a.nrows(), a.ncols())?;
-    let n = a.nrows();
-    if source >= n {
-        return Err(GrbError::IndexOutOfBounds {
-            index: source,
-            len: n,
-        });
+    let g = GraphMatrix::from_csr(a.clone());
+    Ok(sssp_on(exec, &g, source)?.0)
+}
+
+/// [`sssp`] on a pre-built [`GraphMatrix`], with push/pull counts.
+pub fn sssp_on<E: Exec>(
+    exec: Ctx<E>,
+    g: &GraphMatrix<f64>,
+    source: usize,
+) -> Result<(Vec<f64>, FrontierStats)> {
+    let n = check_square_and_source("sssp", g.nrows(), g.ncols(), source)?;
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source] = 0.0;
+    let mut stats = FrontierStats::default();
+    // Frontier carries the improved distances; absent entries are +∞ —
+    // the MinPlus zero, so push mode stays bit-exact.
+    let mut frontier = SparseVector::from_entries(n, f64::INFINITY, &[(source as u32, 0.0)])?;
+    let mut relaxed = Vector::<f64>::zeros(n);
+    for round in 0..n {
+        stats.note(
+            exec.mxv_sparse(g, &frontier)
+                .ring(MinPlus)
+                .into(&mut relaxed)?,
+        );
+        // d ← min(d, relaxed) element-wise; the improvers form the next
+        // frontier.
+        let rs = relaxed.as_slice();
+        let mut improved: Vec<(u32, f64)> = Vec::new();
+        for (i, d) in dist.iter_mut().enumerate() {
+            if rs[i] < *d {
+                *d = rs[i];
+                improved.push((i as u32, rs[i]));
+            }
+        }
+        if improved.is_empty() {
+            return Ok((dist, stats));
+        }
+        if round == n - 1 {
+            return Err(GrbError::InvalidInput("negative cycle detected".into()));
+        }
+        frontier = SparseVector::from_entries(n, f64::INFINITY, &improved)?;
     }
+    Ok((dist, stats))
+}
+
+/// The historical dense Bellman-Ford, kept as the bit-exactness oracle
+/// for the sparse path.
+pub fn sssp_dense<E: Exec>(exec: Ctx<E>, a: &CsrMatrix<f64>, source: usize) -> Result<Vec<f64>> {
+    let n = check_square_and_source("sssp", a.nrows(), a.ncols(), source)?;
     let mut dist = Vector::<f64>::filled(n, f64::INFINITY);
     dist.as_mut_slice()[source] = 0.0;
     let mut relaxed = Vector::<f64>::zeros(n);
@@ -116,7 +275,75 @@ pub fn sssp<E: Exec>(exec: Ctx<E>, a: &CsrMatrix<f64>, source: usize) -> Result<
 /// per-vertex change drops below `tol`. `m` must be column-stochastic
 /// (`M[j, i] = 1/outdeg(i)` for each edge `i→j`). Returns the rank vector
 /// and the iteration count.
+///
+/// The rank vector is inherently dense, so the sparse path promotes it
+/// every iteration and the direction-optimizing kernel always pulls —
+/// which *is* the dense kernel, hence bit-identical to
+/// [`pagerank_dense`] by construction.
 pub fn pagerank<E: Exec>(
+    exec: Ctx<E>,
+    m: &CsrMatrix<f64>,
+    damping: f64,
+    tol: f64,
+    max_iters: usize,
+) -> Result<(Vector<f64>, usize)> {
+    let g = GraphMatrix::from_csr(m.clone());
+    let (rank, iters, _) = pagerank_on(exec, &g, damping, tol, max_iters)?;
+    Ok((rank, iters))
+}
+
+/// [`pagerank`] on a pre-built [`GraphMatrix`], with push/pull counts.
+pub fn pagerank_on<E: Exec>(
+    exec: Ctx<E>,
+    g: &GraphMatrix<f64>,
+    damping: f64,
+    tol: f64,
+    max_iters: usize,
+) -> Result<(Vector<f64>, usize, FrontierStats)> {
+    check_dims(
+        "pagerank",
+        "transition must be square",
+        g.nrows(),
+        g.ncols(),
+    )?;
+    if !(0.0..1.0).contains(&damping) {
+        return Err(GrbError::InvalidInput(format!(
+            "damping {damping} outside [0, 1)"
+        )));
+    }
+    let n = g.nrows();
+    let mut stats = FrontierStats::default();
+    if n == 0 {
+        return Ok((Vector::zeros(0), 0, stats));
+    }
+    let teleport = Vector::filled(n, (1.0 - damping) / n as f64);
+    let mut rank = Vector::filled(n, 1.0 / n as f64);
+    let mut next = Vector::zeros(n);
+    for iter in 1..=max_iters {
+        let sparse_rank = SparseVector::promoted(rank.as_slice().to_vec(), 0.0);
+        stats.note(exec.mxv_sparse(g, &sparse_rank).into(&mut next)?);
+        let scaled = next.clone();
+        exec.ewise(&scaled, &teleport)
+            .scaled(damping, 1.0)
+            .into(&mut next)?;
+        // Convergence via the max-abs-difference monoid fold.
+        let mut diff_vec = Vector::zeros(n);
+        exec.ewise(&next, &rank)
+            .scaled(1.0, -1.0)
+            .into(&mut diff_vec)?;
+        let diff_abs = Vector::from_dense(diff_vec.as_slice().iter().map(|v| v.abs()).collect());
+        let diff = exec.reduce(&diff_abs).monoid(Max).compute()?;
+        std::mem::swap(&mut rank, &mut next);
+        if diff < tol {
+            return Ok((rank, iter, stats));
+        }
+    }
+    Ok((rank, max_iters, stats))
+}
+
+/// The historical dense power iteration, kept as the bit-exactness
+/// oracle for the sparse path.
+pub fn pagerank_dense<E: Exec>(
     exec: Ctx<E>,
     m: &CsrMatrix<f64>,
     damping: f64,
@@ -165,8 +392,20 @@ pub fn pagerank<E: Exec>(
 /// Number of triangles in an undirected graph via the Burkhardt formula
 /// `tr(A³)/6`, computed as `Σ_i ⟨(A²)_i, A_i⟩ / 6` with one `mxm` and an
 /// element-wise dot — a staple GraphBLAS benchmark kernel.
+///
+/// The formula is only meaningful on an undirected graph, so the input
+/// contract is validated up front: `a` must be square **and**
+/// pattern-symmetric (every stored `A[r, c]` mirrored by a stored
+/// `A[c, r]`; values may differ). A directed input used to silently
+/// miscount — now it is a typed [`GrbError::InvalidInput`] naming the
+/// first unmirrored entry.
 pub fn triangle_count<E: Exec>(exec: Ctx<E>, a: &CsrMatrix<f64>) -> Result<usize> {
     check_dims("tricount", "adjacency must be square", a.nrows(), a.ncols())?;
+    if let Err((r, c)) = a.check_pattern_symmetric() {
+        return Err(GrbError::InvalidInput(format!(
+            "tricount needs a pattern-symmetric adjacency: entry ({r}, {c}) has no mirrored ({c}, {r})"
+        )));
+    }
     let a2 = exec.mxm(a, a).compute()?;
     let mut total = 0.0;
     for r in 0..a.nrows() {
@@ -201,8 +440,9 @@ const _: fn() -> f64 = <Plus as Monoid<f64>>::identity;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::Sequential;
-    use crate::context::ctx;
+    use crate::backend::dist::Distributed;
+    use crate::backend::{Parallel, Sequential};
+    use crate::context::{ctx, ctx_on, BackendKind};
 
     /// Directed path 0→1→2→3 plus a shortcut 0→3 (weight 10).
     fn path_graph() -> CsrMatrix<f64> {
@@ -255,6 +495,10 @@ mod tests {
         let a = CsrMatrix::from_triplets(2, 2, &[(1, 0, -1.0), (0, 1, -1.0)]).unwrap();
         assert!(matches!(
             sssp(ctx::<Sequential>(), &a, 0),
+            Err(GrbError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            sssp_dense(ctx::<Sequential>(), &a, 0),
             Err(GrbError::InvalidInput(_))
         ));
     }
@@ -346,6 +590,162 @@ mod tests {
         )
         .unwrap();
         assert_eq!(triangle_count(ctx::<Sequential>(), &sq).unwrap(), 0);
+    }
+
+    #[test]
+    fn triangle_count_rejects_directed_input() {
+        // The path graph is directed: (1, 0) has no mirrored (0, 1).
+        let a = path_graph();
+        match triangle_count(ctx::<Sequential>(), &a) {
+            Err(GrbError::InvalidInput(msg)) => {
+                assert!(
+                    msg.contains("pattern-symmetric") && msg.contains("(1, 0)"),
+                    "error names the first unmirrored entry: {msg}"
+                );
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        // Values may differ across the diagonal — only the pattern counts.
+        let weighted = CsrMatrix::from_triplets(2, 2, &[(0, 1, 5.0), (1, 0, 7.0)]).unwrap();
+        assert_eq!(triangle_count(ctx::<Sequential>(), &weighted).unwrap(), 0);
+    }
+
+    #[test]
+    fn triangle_count_rejects_non_square() {
+        let a = CsrMatrix::<f64>::from_triplets(2, 3, &[(0, 1, 1.0)]).unwrap();
+        assert!(matches!(
+            triangle_count(ctx::<Sequential>(), &a),
+            Err(GrbError::DimensionMismatch { .. })
+        ));
+    }
+
+    /// A 2D 8-point-stencil graph: sparse frontiers early, so BFS pushes.
+    fn stencil(n: usize) -> CsrMatrix<f64> {
+        let idx = |x: usize, y: usize| x + n * y;
+        let mut trips = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        if dx == 0 && dy == 0 {
+                            continue;
+                        }
+                        let (xx, yy) = (x as i64 + dx, y as i64 + dy);
+                        if (0..n as i64).contains(&xx) && (0..n as i64).contains(&yy) {
+                            trips.push((
+                                idx(xx as usize, yy as usize),
+                                idx(x, y),
+                                1.0 + ((x + 3 * y) % 5) as f64,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        CsrMatrix::from_triplets(n * n, n * n, &trips).unwrap()
+    }
+
+    #[test]
+    fn sparse_bfs_matches_dense_on_all_backends() {
+        let a = stencil(12);
+        let expected = bfs_levels_dense(ctx::<Sequential>(), &a, 0).unwrap();
+        let g = GraphMatrix::from_csr(a.clone());
+        for kind in [
+            BackendKind::Sequential,
+            BackendKind::Parallel,
+            BackendKind::Dist(Distributed::new(3)),
+        ] {
+            let (levels, stats) = bfs_levels_on(ctx_on(kind), &g, 0).unwrap();
+            assert_eq!(levels, expected, "{kind} diverged");
+            assert!(stats.push_steps > 0, "{kind}: early frontiers must push");
+            assert!(stats.pull_steps > 0, "{kind}: late frontiers must pull");
+        }
+    }
+
+    #[test]
+    fn sparse_sssp_matches_dense_on_all_backends() {
+        let a = stencil(10);
+        let expected = sssp_dense(ctx::<Sequential>(), &a, 3).unwrap();
+        let g = GraphMatrix::from_csr(a.clone());
+        for kind in [
+            BackendKind::Sequential,
+            BackendKind::Parallel,
+            BackendKind::Dist(Distributed::new(3)),
+        ] {
+            let (dist, stats) = sssp_on(ctx_on(kind), &g, 3).unwrap();
+            for (got, want) in dist.iter().zip(&expected) {
+                assert_eq!(got.to_bits(), want.to_bits(), "{kind} diverged");
+            }
+            assert!(stats.steps() > 0);
+        }
+    }
+
+    #[test]
+    fn sparse_pagerank_matches_dense_and_always_pulls() {
+        let a = stencil(6);
+        // Column-normalize so the transition matrix is stochastic.
+        let n = a.nrows();
+        let mut coldeg = vec![0.0f64; n];
+        let (_, cols, _) = a.csr_parts();
+        for &c in cols {
+            coldeg[c as usize] += 1.0;
+        }
+        let mut trips = Vec::new();
+        for r in 0..n {
+            let (cs, _) = a.row(r);
+            for &c in cs {
+                trips.push((r, c as usize, 1.0 / coldeg[c as usize]));
+            }
+        }
+        let m = CsrMatrix::from_triplets(n, n, &trips).unwrap();
+        let (want_rank, want_iters) =
+            pagerank_dense(ctx::<Sequential>(), &m, 0.85, 1e-10, 200).unwrap();
+        let g = GraphMatrix::from_csr(m.clone());
+        for kind in [
+            BackendKind::Sequential,
+            BackendKind::Parallel,
+            BackendKind::Dist(Distributed::new(2)),
+        ] {
+            let (rank, iters, stats) = pagerank_on(ctx_on(kind), &g, 0.85, 1e-10, 200).unwrap();
+            assert_eq!(iters, want_iters, "{kind} iteration count diverged");
+            for (got, want) in rank.as_slice().iter().zip(want_rank.as_slice()) {
+                assert_eq!(got.to_bits(), want.to_bits(), "{kind} diverged");
+            }
+            assert_eq!(stats.push_steps, 0, "promoted rank vector always pulls");
+            assert_eq!(stats.pull_steps, iters);
+        }
+    }
+
+    #[test]
+    fn sparse_traversal_bills_less_communication_than_dense() {
+        // On the distributed backend the sparse frontier exchange must be
+        // cheaper than the dense allgather the old path paid every step.
+        let a = stencil(12);
+        let cluster_sparse = Distributed::new(4);
+        let (_, stats) =
+            bfs_levels_on(cluster_sparse.ctx(), &GraphMatrix::from_csr(a.clone()), 0).unwrap();
+        assert!(stats.push_steps > 0);
+        let sparse_bytes: f64 = cluster_sparse.take_steps().iter().map(|s| s.h_bytes).sum();
+        let cluster_dense = Distributed::new(4);
+        bfs_levels_dense(cluster_dense.ctx(), &a, 0).unwrap();
+        let dense_bytes: f64 = cluster_dense.take_steps().iter().map(|s| s.h_bytes).sum();
+        assert!(
+            sparse_bytes < dense_bytes,
+            "sparse frontiers must bill less than the dense allgather: {sparse_bytes} vs {dense_bytes}"
+        );
+    }
+
+    #[test]
+    fn parallel_sparse_equals_sequential_sparse() {
+        let a = stencil(9);
+        let g = GraphMatrix::from_csr(a);
+        let (seq_levels, seq_stats) = bfs_levels_on(ctx::<Sequential>(), &g, 5).unwrap();
+        let (par_levels, par_stats) = bfs_levels_on(ctx::<Parallel>(), &g, 5).unwrap();
+        assert_eq!(seq_levels, par_levels);
+        assert_eq!(
+            seq_stats, par_stats,
+            "mode decisions are data-dependent only"
+        );
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! superstep per exchange — the quantities Table I bounds.
 
 use super::layout::ShardLayout;
-use crate::container::matrix::CsrMatrix;
-use crate::container::vector::Vector;
+use crate::container::matrix::{CsrMatrix, GraphMatrix};
+use crate::container::vector::{SparseVector, Vector};
 use crate::descriptor::Descriptor;
+use crate::exec::sparse::FrontierMode;
 use bsp::cost::{CostTracker, KernelClass, StepCost};
 use bsp::dist::Distribution;
 use bsp::machine::MachineParams;
@@ -187,6 +188,86 @@ impl ClusterState {
                 .end_superstep(self.class(KernelClass::Dot), level, false);
         }
         step
+    }
+
+    /// Records one **sparse-frontier** `mxv` superstep.
+    ///
+    /// The input exchange bills only the frontier's stored entries —
+    /// value + `u32` index, 12 bytes each, `Θ(nvals·(p−1)/p)` total under
+    /// the 1D layout — instead of the dense `Θ(n·(p−1)/p)` allgather; a
+    /// promoted frontier travels like the dense vector it is. Compute is
+    /// attributed per shard owner of the touched output rows: push mode
+    /// sweeps only the columns the frontier names, pull mode bills the
+    /// full dense row sweep the kernel actually ran.
+    pub fn record_mxv_sparse<T: crate::ops::scalar::Scalar>(
+        &mut self,
+        m: &GraphMatrix<T>,
+        x: &SparseVector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        mode: FrontierMode,
+    ) -> StepCost {
+        let p = self.nodes();
+        match x.indices() {
+            Some(stored) => {
+                let dist = self.layout.dist_for(x.len(), p);
+                let mut counts = vec![0usize; p];
+                for &i in stored {
+                    counts[dist.owner(i as usize)] += 1;
+                }
+                for (from, &c) in counts.iter().enumerate() {
+                    self.tracker
+                        .record_send_all(from, c as f64 * (ELEM_BYTES + 4.0));
+                }
+            }
+            None => self.record_input_exchange(x.len()),
+        }
+        match mode {
+            FrontierMode::Pull => {
+                let (rows, nnzs) = self.mxv_partition(m.csr(), mask, desc);
+                for node in 0..p {
+                    let (r, z) = (rows[node], nnzs[node]);
+                    self.tracker
+                        .record_compute(node, 2.0 * z as f64, spmv_bytes(z, r));
+                }
+            }
+            FrontierMode::Push => {
+                let col_major = if desc.is_transposed() {
+                    m.csr()
+                } else {
+                    m.csc()
+                };
+                let out_len = if desc.is_transposed() {
+                    m.ncols()
+                } else {
+                    m.nrows()
+                };
+                let dist = self.layout.dist_for(out_len, p);
+                let mut rows = vec![0usize; p];
+                let mut nnzs = vec![0usize; p];
+                let mut touched = vec![false; out_len];
+                if let Some(stored) = x.indices() {
+                    for &j in stored {
+                        let (idx, _) = col_major.row(j as usize);
+                        for &i in idx {
+                            let node = dist.owner(i as usize);
+                            nnzs[node] += 1;
+                            if !touched[i as usize] {
+                                touched[i as usize] = true;
+                                rows[node] += 1;
+                            }
+                        }
+                    }
+                }
+                for node in 0..p {
+                    let (r, z) = (rows[node], nnzs[node]);
+                    self.tracker
+                        .record_compute(node, 2.0 * z as f64, spmv_bytes(z, r));
+                }
+            }
+        }
+        self.tracker
+            .end_superstep(self.class(KernelClass::SpMV), self.scope.level, false)
     }
 
     /// Records a purely local streaming step over the mask-selected subset

@@ -47,8 +47,8 @@ pub mod layout;
 pub use layout::ShardLayout;
 
 use crate::backend::Backend;
-use crate::container::matrix::CsrMatrix;
-use crate::container::vector::Vector;
+use crate::container::matrix::{CsrMatrix, GraphMatrix};
+use crate::container::vector::{SparseVector, Vector};
 use crate::context::Exec;
 use crate::descriptor::Descriptor;
 use crate::error::Result;
@@ -58,6 +58,7 @@ use crate::exec::fused::{axpy_norm_exec, spmv_dot_exec};
 use crate::exec::mxm::mxm_exec;
 use crate::exec::mxv::mxv_exec;
 use crate::exec::reduce::{dot_exec, reduce_exec};
+use crate::exec::sparse::{mxv_sparse_exec, FrontierMode};
 use crate::ops::accum::AccumMode;
 use crate::ops::binary::BinaryOp;
 use crate::ops::monoid::Monoid;
@@ -373,6 +374,19 @@ impl Exec for Distributed {
         mxv_exec::<T, R, A, Sequential>(y, mask, desc, a, x)?;
         self.record(|s| s.record_mxv(a, x.len(), mask, desc, false));
         Ok(())
+    }
+
+    fn run_mxv_sparse<T: Scalar, R: Semiring<T>, A: AccumMode<T>>(
+        self,
+        y: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        m: &GraphMatrix<T>,
+        x: &SparseVector<T>,
+    ) -> Result<FrontierMode> {
+        let mode = mxv_sparse_exec::<T, R, A, Sequential>(y, mask, desc, m, x)?;
+        self.record(|s| s.record_mxv_sparse(m, x, mask, desc, mode));
+        Ok(mode)
     }
 
     fn run_ewise<T: Scalar, Op: BinaryOp<T>, A: AccumMode<T>>(

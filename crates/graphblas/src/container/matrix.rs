@@ -318,6 +318,21 @@ impl<T: Scalar> CsrMatrix<T> {
         true
     }
 
+    /// Structural (pattern-only) symmetry: every stored `(r, c)` has a
+    /// stored mirror `(c, r)`, values ignored. Returns the first
+    /// unmirrored entry as `Err((r, c))` so validators can name it.
+    pub fn check_pattern_symmetric(&self) -> std::result::Result<(), (usize, usize)> {
+        for r in 0..self.nrows {
+            let (cols, _) = self.row(r);
+            for &c in cols {
+                if self.get(c as usize, r).is_none() {
+                    return Err((r, c as usize));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Iterates all stored entries as `(row, col, value)`.
     pub fn iter_entries(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
         (0..self.nrows).flat_map(move |r| {
@@ -334,6 +349,63 @@ impl<T: Scalar> CsrMatrix<T> {
         self.row_ptr.len() * std::mem::size_of::<usize>()
             + self.col_idx.len() * std::mem::size_of::<u32>()
             + self.values.len() * std::mem::size_of::<T>()
+    }
+}
+
+/// A matrix bundled with its transpose: the CSR view for pull-mode (row
+/// sweep) traversal and the CSC view — stored as the CSR of `Aᵀ` — for
+/// push-mode (column scatter) traversal.
+///
+/// Direction-optimizing `mxv` needs both orientations of the same
+/// adjacency available at kernel-selection time; `GraphMatrix` pays the
+/// transpose once at construction so per-step mode switches are free.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphMatrix<T> {
+    csr: CsrMatrix<T>,
+    csc: CsrMatrix<T>,
+}
+
+impl<T: Scalar> GraphMatrix<T> {
+    /// Bundles `a` with its materialized transpose.
+    pub fn from_csr(a: CsrMatrix<T>) -> Self {
+        let csc = a.transpose();
+        GraphMatrix { csr: a, csc }
+    }
+
+    /// The row-oriented (CSR) view of `A`.
+    #[inline(always)]
+    pub fn csr(&self) -> &CsrMatrix<T> {
+        &self.csr
+    }
+
+    /// The column-oriented view of `A`: the CSR storage of `Aᵀ`, whose
+    /// row `j` lists the `(i, A[i,j])` entries of column `j` of `A`.
+    #[inline(always)]
+    pub fn csc(&self) -> &CsrMatrix<T> {
+        &self.csc
+    }
+
+    /// Number of rows of `A`.
+    #[inline(always)]
+    pub fn nrows(&self) -> usize {
+        self.csr.nrows()
+    }
+
+    /// Number of columns of `A`.
+    #[inline(always)]
+    pub fn ncols(&self) -> usize {
+        self.csr.ncols()
+    }
+
+    /// Number of stored nonzeroes of `A`.
+    #[inline(always)]
+    pub fn nnz(&self) -> usize {
+        self.csr.nnz()
+    }
+
+    /// Resident bytes across both orientations.
+    pub fn storage_bytes(&self) -> usize {
+        self.csr.storage_bytes() + self.csc.storage_bytes()
     }
 }
 
@@ -512,5 +584,35 @@ mod tests {
         assert!(a.is_symmetric());
         let t = a.transpose();
         assert_eq!(t.nrows(), 0);
+    }
+
+    #[test]
+    fn pattern_symmetry_check() {
+        // Pattern-symmetric but numerically asymmetric: 1.0 vs 9.0.
+        let pat = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 9.0)]).unwrap();
+        assert!(!pat.is_symmetric());
+        assert_eq!(pat.check_pattern_symmetric(), Ok(()));
+        // A directed edge names its unmirrored entry.
+        let dir = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (2, 1, 1.0)]).unwrap();
+        assert_eq!(dir.check_pattern_symmetric(), Err((2, 1)));
+    }
+
+    #[test]
+    fn graph_matrix_bundles_both_orientations() {
+        let a = small();
+        let g = GraphMatrix::from_csr(a.clone());
+        assert_eq!(g.nrows(), 3);
+        assert_eq!(g.ncols(), 3);
+        assert_eq!(g.nnz(), a.nnz());
+        assert_eq!(g.csr(), &a);
+        assert_eq!(g.csc(), &a.transpose());
+        // Column 0 of A = row 0 of the CSC view: entries from rows 0 and 2.
+        let (rows, vals) = g.csc().row(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[2.0, 4.0]);
+        assert_eq!(
+            g.storage_bytes(),
+            a.storage_bytes() + g.csc().storage_bytes()
+        );
     }
 }

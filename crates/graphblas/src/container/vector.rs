@@ -1,4 +1,5 @@
-//! The GraphBLAS vector container.
+//! The GraphBLAS vector containers: dense-backed [`Vector`] and the
+//! truly sparse [`SparseVector`].
 //!
 //! A [`Vector`] is logically a map from `0..len` to `T` where absent entries
 //! mean the ambient semiring's additive identity. Storage is a dense value
@@ -9,6 +10,30 @@
 //!   color are stored. Masked operations iterate the pattern, which is what
 //!   makes the per-color cost proportional to the color size, and what the
 //!   `structural` descriptor exploits (it never touches `values`).
+//!
+//! # `SparseVector`: index+value storage for graph frontiers
+//!
+//! A [`Vector`] with a pattern still allocates `Θ(len)` values, so a BFS
+//! frontier of 10 vertices in a 10-million-vertex graph pays `Θ(n)` per
+//! step regardless of frontier size. [`SparseVector`] fixes that: it
+//! stores only `(index, value)` pairs plus an explicit **fill** value that
+//! every unstored position logically holds — `0.0` for arithmetic/boolean
+//! frontiers, `+∞` for `MinPlus` distance frontiers. Two representations:
+//!
+//! * **Compressed** — sorted index array + parallel value array, `Θ(nvals)`
+//!   storage. This is what the direction-optimizing `mxv` kernels key on:
+//!   a compressed frontier below the density threshold runs in *push* mode
+//!   (scatter along the CSC columns of the stored entries only).
+//! * **Promoted** — a dense value buffer. Construction auto-promotes when
+//!   stored density exceeds [`SparseVector::DENSE_PROMOTION_THRESHOLD`]
+//!   (the dense-threshold promotion rule): past that point the index
+//!   array costs more than it saves, and the *pull* (CSR row sweep)
+//!   kernel is the faster traversal direction anyway.
+//!
+//! The logical value of `SparseVector` — densify with `fill`, then apply
+//! the operation — is the semantics every sparse kernel is pinned against,
+//! which is what keeps sparse-frontier algorithms bit-identical to their
+//! dense counterparts.
 
 use crate::error::{GrbError, Result};
 use crate::ops::scalar::Scalar;
@@ -232,6 +257,248 @@ impl<T: Scalar> Iterator for StoredIter<'_, T> {
     }
 }
 
+/// Storage of a [`SparseVector`]: compressed index+value pairs, or a
+/// promoted dense buffer once the entries are no longer sparse enough to
+/// be worth indexing.
+#[derive(Clone, Debug, PartialEq)]
+enum SparseRepr<T> {
+    /// Strictly increasing stored indices plus their values.
+    Compressed { indices: Vec<u32>, values: Vec<T> },
+    /// Every position stored (unset positions hold the fill value).
+    Promoted(Vec<T>),
+}
+
+/// A truly sparse vector: `Θ(nvals)` storage of `(index, value)` entries,
+/// every unstored position logically holding an explicit **fill** value.
+///
+/// This is the frontier container of the large-graph subsystem — see the
+/// [module docs](self) for the storage model, the promotion rule, and how
+/// the push/pull `mxv` kernels key on the representation. Unlike
+/// [`Vector`], whose "absent" entries are pinned to the domain zero,
+/// `SparseVector` carries its fill explicitly so `MinPlus` frontiers can
+/// default to `+∞` without storing it `n` times.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseVector<T> {
+    len: usize,
+    fill: T,
+    repr: SparseRepr<T>,
+}
+
+impl<T: Scalar> SparseVector<T> {
+    /// Stored-entry density above which construction promotes to the
+    /// dense representation: past half full, the index array costs more
+    /// than it saves and pull-mode traversal wins anyway.
+    pub const DENSE_PROMOTION_THRESHOLD: f64 = 0.5;
+
+    /// An empty sparse vector of logical length `n`: every position reads
+    /// as `fill`.
+    pub fn empty(n: usize, fill: T) -> Self {
+        SparseVector {
+            len: n,
+            fill,
+            repr: SparseRepr::Compressed {
+                indices: Vec::new(),
+                values: Vec::new(),
+            },
+        }
+    }
+
+    /// A sparse vector from `(index, value)` entries with strictly
+    /// increasing indices; unlisted positions read as `fill`.
+    ///
+    /// Auto-promotes to the dense representation when the entry density
+    /// exceeds [`Self::DENSE_PROMOTION_THRESHOLD`].
+    pub fn from_entries(n: usize, fill: T, entries: &[(u32, T)]) -> Result<Self> {
+        let indices: Vec<u32> = entries.iter().map(|&(i, _)| i).collect();
+        validate_pattern(n, &indices)?;
+        let values: Vec<T> = entries.iter().map(|&(_, v)| v).collect();
+        let mut out = SparseVector {
+            len: n,
+            fill,
+            repr: SparseRepr::Compressed { indices, values },
+        };
+        out.maybe_promote();
+        Ok(out)
+    }
+
+    /// A promoted (dense-representation) sparse vector holding `values`.
+    /// The fill only matters for conversions back to compressed form.
+    pub fn promoted(values: Vec<T>, fill: T) -> Self {
+        SparseVector {
+            len: values.len(),
+            fill,
+            repr: SparseRepr::Promoted(values),
+        }
+    }
+
+    /// Compresses a dense [`Vector`]: entries equal to `fill` are dropped,
+    /// the rest stored. Auto-promotes per the density rule, so a mostly
+    /// non-fill input round-trips to the dense representation.
+    pub fn from_dense_vector(v: &Vector<T>, fill: T) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &x) in v.as_slice().iter().enumerate() {
+            if x != fill {
+                indices.push(i as u32);
+                values.push(x);
+            }
+        }
+        let mut out = SparseVector {
+            len: v.len(),
+            fill,
+            repr: SparseRepr::Compressed { indices, values },
+        };
+        out.maybe_promote();
+        out
+    }
+
+    /// Logical length.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored entries (`len()` once promoted).
+    pub fn nvals(&self) -> usize {
+        match &self.repr {
+            SparseRepr::Compressed { indices, .. } => indices.len(),
+            SparseRepr::Promoted(_) => self.len,
+        }
+    }
+
+    /// Stored-entry density `nvals / len` (`1.0` once promoted; `0.0` for
+    /// the empty-length vector).
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.nvals() as f64 / self.len as f64
+        }
+    }
+
+    /// The value unstored positions logically hold.
+    #[inline(always)]
+    pub fn fill(&self) -> T {
+        self.fill
+    }
+
+    /// Whether this vector is in the promoted (dense) representation.
+    pub fn is_promoted(&self) -> bool {
+        matches!(self.repr, SparseRepr::Promoted(_))
+    }
+
+    /// The stored indices, or `None` once promoted.
+    pub fn indices(&self) -> Option<&[u32]> {
+        match &self.repr {
+            SparseRepr::Compressed { indices, .. } => Some(indices),
+            SparseRepr::Promoted(_) => None,
+        }
+    }
+
+    /// The logical value at `i` (the fill when unstored). Out-of-range
+    /// reads are a caller bug and panic like slice indexing.
+    pub fn get(&self, i: usize) -> T {
+        assert!(
+            i < self.len,
+            "index {i} out of range for length {}",
+            self.len
+        );
+        match &self.repr {
+            SparseRepr::Promoted(values) => values[i],
+            SparseRepr::Compressed { indices, values } => indices
+                .binary_search(&(i as u32))
+                .ok()
+                .map_or(self.fill, |k| values[k]),
+        }
+    }
+
+    /// Iterates stored `(index, value)` pairs in increasing index order.
+    /// Promoted vectors yield every position (including fill values).
+    pub fn iter_stored(&self) -> SparseStoredIter<'_, T> {
+        SparseStoredIter {
+            vector: self,
+            cursor: 0,
+        }
+    }
+
+    /// Materializes the logical contents as a dense [`Vector`].
+    pub fn to_dense(&self) -> Vector<T> {
+        match &self.repr {
+            SparseRepr::Promoted(values) => Vector::from_dense(values.clone()),
+            SparseRepr::Compressed { indices, values } => {
+                let mut out = vec![self.fill; self.len];
+                for (&i, &v) in indices.iter().zip(values) {
+                    out[i as usize] = v;
+                }
+                Vector::from_dense(out)
+            }
+        }
+    }
+
+    /// Forces the dense representation (a no-op once promoted).
+    pub fn promote(&mut self) {
+        if let SparseRepr::Compressed { indices, values } = &self.repr {
+            let mut dense = vec![self.fill; self.len];
+            for (&i, &v) in indices.iter().zip(values) {
+                dense[i as usize] = v;
+            }
+            self.repr = SparseRepr::Promoted(dense);
+        }
+    }
+
+    /// Applies the promotion rule: promotes when stored density exceeds
+    /// [`Self::DENSE_PROMOTION_THRESHOLD`].
+    pub fn maybe_promote(&mut self) {
+        if !self.is_promoted() && self.density() > Self::DENSE_PROMOTION_THRESHOLD {
+            self.promote();
+        }
+    }
+}
+
+/// Iterator over a [`SparseVector`]'s stored `(index, value)` pairs. See
+/// [`SparseVector::iter_stored`].
+pub struct SparseStoredIter<'a, T> {
+    vector: &'a SparseVector<T>,
+    cursor: usize,
+}
+
+impl<T: Scalar> Iterator for SparseStoredIter<'_, T> {
+    type Item = (usize, T);
+
+    fn next(&mut self) -> Option<(usize, T)> {
+        match &self.vector.repr {
+            SparseRepr::Promoted(values) => {
+                if self.cursor < values.len() {
+                    let i = self.cursor;
+                    self.cursor += 1;
+                    Some((i, values[i]))
+                } else {
+                    None
+                }
+            }
+            SparseRepr::Compressed { indices, values } => {
+                if self.cursor < indices.len() {
+                    let k = self.cursor;
+                    self.cursor += 1;
+                    Some((indices[k] as usize, values[k]))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vector.nvals().saturating_sub(self.cursor);
+        (rem, Some(rem))
+    }
+}
+
 fn validate_pattern(n: usize, indices: &[u32]) -> Result<()> {
     for (k, &i) in indices.iter().enumerate() {
         if i as usize >= n {
@@ -354,5 +621,82 @@ mod tests {
         let v = Vector::<f64>::zeros(0);
         assert!(v.is_empty());
         assert_eq!(v.iter_stored().count(), 0);
+    }
+
+    #[test]
+    fn sparse_vector_basics() {
+        let s = SparseVector::<f64>::from_entries(8, 0.0, &[(1, 2.0), (5, -3.0)]).unwrap();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.nvals(), 2);
+        assert!(!s.is_promoted());
+        assert_eq!(s.fill(), 0.0);
+        assert_eq!(s.get(1), 2.0);
+        assert_eq!(s.get(0), 0.0, "unstored reads as fill");
+        assert_eq!(s.indices(), Some(&[1u32, 5][..]));
+        assert_eq!(
+            s.iter_stored().collect::<Vec<_>>(),
+            vec![(1, 2.0), (5, -3.0)]
+        );
+        assert_eq!(s.to_dense().as_slice()[5], -3.0);
+    }
+
+    #[test]
+    fn sparse_vector_nonzero_fill() {
+        let s = SparseVector::<f64>::from_entries(6, f64::INFINITY, &[(2, 0.0), (4, 1.5)]).unwrap();
+        assert_eq!(s.get(0), f64::INFINITY);
+        assert_eq!(s.get(2), 0.0, "a stored fill-colliding value stays stored");
+        let d = s.to_dense();
+        assert_eq!(d.as_slice()[1], f64::INFINITY);
+        assert_eq!(d.as_slice()[4], 1.5);
+    }
+
+    #[test]
+    fn sparse_vector_promotion_rule() {
+        // 2 of 8 stored: stays compressed.
+        let s = SparseVector::<f64>::from_entries(8, 0.0, &[(0, 1.0), (7, 1.0)]).unwrap();
+        assert!(!s.is_promoted());
+        assert!(s.density() <= SparseVector::<f64>::DENSE_PROMOTION_THRESHOLD);
+        // 5 of 8 stored: crosses the threshold and promotes.
+        let entries: Vec<(u32, f64)> = (0..5).map(|i| (i, 1.0)).collect();
+        let p = SparseVector::<f64>::from_entries(8, 0.0, &entries).unwrap();
+        assert!(p.is_promoted());
+        assert_eq!(p.nvals(), 8, "promoted vectors store every position");
+        assert_eq!(p.get(6), 0.0, "holes filled with the fill value");
+        // Promoted iteration covers every position.
+        assert_eq!(p.iter_stored().count(), 8);
+    }
+
+    #[test]
+    fn sparse_vector_rejects_bad_entries() {
+        assert!(SparseVector::<f64>::from_entries(4, 0.0, &[(5, 1.0)]).is_err());
+        assert!(SparseVector::<f64>::from_entries(4, 0.0, &[(2, 1.0), (2, 2.0)]).is_err());
+        assert!(SparseVector::<f64>::from_entries(4, 0.0, &[(3, 1.0), (1, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn sparse_vector_round_trips_through_dense() {
+        let v = Vector::from_dense(vec![0.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 5.0]);
+        let s = SparseVector::from_dense_vector(&v, 0.0);
+        assert!(!s.is_promoted());
+        assert_eq!(s.nvals(), 2);
+        assert_eq!(s.to_dense(), v);
+        // A mostly-stored input compresses past the threshold → promoted.
+        let w = Vector::from_dense(vec![1.0, 2.0, 3.0, 0.0]);
+        let t = SparseVector::from_dense_vector(&w, 0.0);
+        assert!(t.is_promoted());
+        assert_eq!(t.to_dense(), w);
+    }
+
+    #[test]
+    fn sparse_vector_empty_and_promote() {
+        let mut s = SparseVector::<f64>::empty(4, 0.0);
+        assert_eq!(s.nvals(), 0);
+        assert_eq!(s.density(), 0.0);
+        s.promote();
+        assert!(s.is_promoted());
+        assert_eq!(s.to_dense().as_slice(), &[0.0; 4]);
+        let z = SparseVector::<f64>::empty(0, 0.0);
+        assert!(z.is_empty());
+        assert_eq!(z.density(), 0.0);
     }
 }

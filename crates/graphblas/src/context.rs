@@ -47,8 +47,8 @@
 
 use crate::backend::dist::Distributed;
 use crate::backend::{Backend, Parallel, Sequential};
-use crate::container::matrix::CsrMatrix;
-use crate::container::vector::Vector;
+use crate::container::matrix::{CsrMatrix, GraphMatrix};
+use crate::container::vector::{SparseVector, Vector};
 use crate::descriptor::Descriptor;
 use crate::error::{GrbError, Result};
 use crate::exec::apply::{apply_exec, ewise_lambda_exec};
@@ -57,6 +57,7 @@ use crate::exec::fused::{axpy_norm_exec, spmv_dot_exec};
 use crate::exec::mxm::mxm_exec;
 use crate::exec::mxv::mxv_exec;
 use crate::exec::reduce::{dot_exec, reduce_exec};
+use crate::exec::sparse::{mxv_sparse_exec, FrontierMode};
 use crate::ops::accum::{AccumMode, AccumWith, NoAccum};
 use crate::ops::binary::{BinaryOp, Plus};
 use crate::ops::monoid::Monoid;
@@ -198,6 +199,16 @@ pub trait Exec: Copy + Send + Sync + 'static {
     ) -> Result<()>;
 
     #[doc(hidden)]
+    fn run_mxv_sparse<T: Scalar, R: Semiring<T>, A: AccumMode<T>>(
+        self,
+        y: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        m: &GraphMatrix<T>,
+        x: &SparseVector<T>,
+    ) -> Result<FrontierMode>;
+
+    #[doc(hidden)]
     #[allow(clippy::too_many_arguments)]
     fn run_ewise<T: Scalar, Op: BinaryOp<T>, A: AccumMode<T>>(
         self,
@@ -291,6 +302,17 @@ macro_rules! impl_exec_for_backend {
                 x: &Vector<T>,
             ) -> Result<()> {
                 mxv_exec::<T, R, A, $backend>(y, mask, desc, a, x)
+            }
+
+            fn run_mxv_sparse<T: Scalar, R: Semiring<T>, A: AccumMode<T>>(
+                self,
+                y: &mut Vector<T>,
+                mask: Option<&Vector<bool>>,
+                desc: Descriptor,
+                m: &GraphMatrix<T>,
+                x: &SparseVector<T>,
+            ) -> Result<FrontierMode> {
+                mxv_sparse_exec::<T, R, A, $backend>(y, mask, desc, m, x)
             }
 
             fn run_ewise<T: Scalar, Op: BinaryOp<T>, A: AccumMode<T>>(
@@ -417,6 +439,17 @@ impl Exec for BackendKind {
         x: &Vector<T>,
     ) -> Result<()> {
         kind_dispatch!(self, b => b.run_mxv::<T, R, A>(y, mask, desc, a, x))
+    }
+
+    fn run_mxv_sparse<T: Scalar, R: Semiring<T>, A: AccumMode<T>>(
+        self,
+        y: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        desc: Descriptor,
+        m: &GraphMatrix<T>,
+        x: &SparseVector<T>,
+    ) -> Result<FrontierMode> {
+        kind_dispatch!(self, b => b.run_mxv_sparse::<T, R, A>(y, mask, desc, m, x))
     }
 
     fn run_ewise<T: Scalar, Op: BinaryOp<T>, A: AccumMode<T>>(
@@ -620,6 +653,48 @@ impl<E: Exec> Ctx<E> {
         }
     }
 
+    /// Starts `y = A ⊕.⊗ x` for a **sparse frontier** `x` over a
+    /// [`GraphMatrix`] (default ring: [`PlusTimes`]).
+    ///
+    /// Same fluent surface as [`Ctx::mxv`] — mask, accumulator and
+    /// descriptor flags compose identically — but the terminal
+    /// [`into`](SparseMxvBuilder::into) additionally reports which
+    /// [`FrontierMode`] (push or pull) the direction-optimizing kernel
+    /// chose. Results are bit-identical to densifying `x` and calling
+    /// [`Ctx::mxv`]. Sparse products are eager-only: they never enter a
+    /// pipeline or plan, falling through to the exact kernels instead.
+    pub fn mxv_sparse<'a, T: Scalar>(
+        &self,
+        m: &'a GraphMatrix<T>,
+        x: &'a SparseVector<T>,
+    ) -> SparseMxvBuilder<'a, T, PlusTimes, NoAccum, E> {
+        SparseMxvBuilder {
+            exec: self.exec,
+            m,
+            x,
+            mask: None,
+            desc: self.defaults,
+            _algebra: PhantomData,
+        }
+    }
+
+    /// Starts `y = xᵀA` for a sparse frontier `x`: a [`SparseMxvBuilder`]
+    /// with the transposition pre-toggled.
+    pub fn vxm_sparse<'a, T: Scalar>(
+        &self,
+        x: &'a SparseVector<T>,
+        m: &'a GraphMatrix<T>,
+    ) -> SparseMxvBuilder<'a, T, PlusTimes, NoAccum, E> {
+        SparseMxvBuilder {
+            exec: self.exec,
+            m,
+            x,
+            mask: None,
+            desc: self.defaults.toggled_transpose(),
+            _algebra: PhantomData,
+        }
+    }
+
     /// Starts `C = A ⊕.⊗ B` (default ring: [`PlusTimes`]).
     pub fn mxm<'a, T: Scalar>(
         &self,
@@ -811,6 +886,90 @@ impl<T: Scalar, R: Semiring<T>, A: AccumMode<T>, E: Exec> MxvBuilder<'_, T, R, A
     pub fn into(self, y: &mut Vector<T>) -> Result<()> {
         self.exec
             .run_mxv::<T, R, A>(y, self.mask, self.desc, self.a, self.x)
+    }
+}
+
+/// Builder for `y⟨mask⟩ = y ⊙? (A ⊕.⊗ x)` on a **sparse frontier**
+/// (see [`Ctx::mxv_sparse`]).
+///
+/// Identical fluent surface to [`MxvBuilder`]; the terminal
+/// [`into`](SparseMxvBuilder::into) additionally returns the
+/// [`FrontierMode`] the direction-optimizing kernel selected.
+#[must_use = "builders do nothing until the terminal `.into(&mut y)`"]
+pub struct SparseMxvBuilder<'a, T: Scalar, R, A, E: Exec> {
+    exec: E,
+    m: &'a GraphMatrix<T>,
+    x: &'a SparseVector<T>,
+    mask: Option<&'a Vector<bool>>,
+    desc: Descriptor,
+    _algebra: PhantomData<(R, A)>,
+}
+
+impl<'a, T: Scalar, R, A, E: Exec> SparseMxvBuilder<'a, T, R, A, E> {
+    /// Computes only the output positions selected by `mask`.
+    pub fn mask(mut self, mask: &'a Vector<bool>) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Interprets the mask structurally (pattern only, values ignored).
+    pub fn structural(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::STRUCTURAL);
+        self
+    }
+
+    /// Selects where the mask does **not**.
+    pub fn invert_mask(mut self) -> Self {
+        self.desc = self.desc.with(Descriptor::INVERT_MASK);
+        self
+    }
+
+    /// Toggles use of the matrix's transpose (no materialization — the
+    /// [`GraphMatrix`] already carries both orientations). On a
+    /// [`Ctx::vxm_sparse`] builder this undoes the implicit transposition.
+    pub fn transpose(mut self) -> Self {
+        self.desc = self.desc.toggled_transpose();
+        self
+    }
+
+    /// ORs explicit descriptor flags into the builder state.
+    pub fn descriptor(mut self, desc: Descriptor) -> Self {
+        self.desc = self.desc.with(desc);
+        self
+    }
+
+    /// Switches the semiring (default: [`PlusTimes`]).
+    pub fn ring<R2>(self, _ring: R2) -> SparseMxvBuilder<'a, T, R2, A, E> {
+        SparseMxvBuilder {
+            exec: self.exec,
+            m: self.m,
+            x: self.x,
+            mask: self.mask,
+            desc: self.desc,
+            _algebra: PhantomData,
+        }
+    }
+
+    /// Accumulates into the output through `Op` (`y = Op(y, t)`) instead of
+    /// overwriting — the GraphBLAS `accum` parameter.
+    pub fn accum<Op>(self, _op: Op) -> SparseMxvBuilder<'a, T, R, AccumWith<Op>, E> {
+        SparseMxvBuilder {
+            exec: self.exec,
+            m: self.m,
+            x: self.x,
+            mask: self.mask,
+            desc: self.desc,
+            _algebra: PhantomData,
+        }
+    }
+}
+
+impl<T: Scalar, R: Semiring<T>, A: AccumMode<T>, E: Exec> SparseMxvBuilder<'_, T, R, A, E> {
+    /// Executes into `y`, reporting the push/pull decision. Unselected
+    /// positions keep their prior values.
+    pub fn into(self, y: &mut Vector<T>) -> Result<FrontierMode> {
+        self.exec
+            .run_mxv_sparse::<T, R, A>(y, self.mask, self.desc, self.m, self.x)
     }
 }
 

@@ -14,6 +14,7 @@ pub mod fused;
 pub mod mxm;
 pub mod mxv;
 pub mod reduce;
+pub mod sparse;
 
 use crate::backend::Backend;
 use crate::container::vector::Vector;

@@ -107,7 +107,8 @@
 //! | [`plan`] | [`Plan`]: compile-once/replay pipelines over slots, plus the [`PlanCache`] |
 //! | [`fusion`] | the generic fusion pass `Pipeline::finish` and `PlanBuilder::compile` run |
 //! | [`ops`] | algebraic structures: binary/unary operators, monoids, semirings, accumulation modes |
-//! | [`container`] | [`Vector`] (dense or sparse pattern) and [`CsrMatrix`] |
+//! | [`container`] | [`Vector`] (dense or sparse pattern), [`SparseVector`] frontiers, [`CsrMatrix`] and the dual-orientation [`GraphMatrix`] |
+//! | [`exec::sparse`] | direction-optimizing push/pull `mxv` on sparse frontiers ([`FrontierMode`]) |
 //! | [`descriptor`] | operation descriptors (structural mask, transpose, …) |
 //! | [`backend`] | [`Sequential`] and [`Parallel`] execution backends |
 //! | [`backend::dist`] | [`Distributed`]: the whole surface on a simulated BSP cluster, costs recorded per superstep |
@@ -134,11 +135,11 @@ pub(crate) mod util;
 
 pub use backend::dist::{ClassCost, CostSummary, DistConfig, Distributed, ShardLayout};
 pub use backend::{Backend, Parallel, Sequential};
-pub use container::matrix::CsrMatrix;
-pub use container::vector::Vector;
+pub use container::matrix::{CsrMatrix, GraphMatrix};
+pub use container::vector::{SparseVector, Vector};
 pub use context::{
     ctx, ctx_on, ApplyBuilder, BackendKind, Ctx, DotBuilder, DynCtx, EwiseBuilder, Exec,
-    MxmBuilder, MxvBuilder, ReduceBuilder, TransformBuilder, DEFAULT_DIST_NODES,
+    MxmBuilder, MxvBuilder, ReduceBuilder, SparseMxvBuilder, TransformBuilder, DEFAULT_DIST_NODES,
 };
 pub use descriptor::Descriptor;
 pub use error::{GrbError, Result};
@@ -160,3 +161,4 @@ pub use plan::{
 };
 
 pub use exec::extract::{assign_vector, extract_submatrix, extract_vector};
+pub use exec::sparse::{FrontierMode, PUSH_PULL_THRESHOLD};

@@ -42,6 +42,17 @@ pub trait Semiring<T>: Copy + Default + Send + Sync + 'static {
     fn zero() -> T {
         Self::Add::identity()
     }
+
+    /// Whether the additive identity annihilates under `⊗` **bitwise**:
+    /// `add(acc, mul(a, zero())) == acc` for every `a` the kernel may see.
+    ///
+    /// Push-mode sparse `mxv` skips matrix columns whose frontier entry is
+    /// absent; those columns contribute `mul(a, zero())` in the dense sweep.
+    /// Only when this flag is `true` is skipping them guaranteed to leave the
+    /// result bit-identical to the dense kernel, so the direction-optimizing
+    /// kernel falls back to pull mode for rings that leave it `false`
+    /// (e.g. [`MaxTimes`], where `a × −∞` is `±∞`, not the identity).
+    const ANNIHILATING_ZERO: bool = false;
 }
 
 /// The conventional arithmetic semiring `(+, ×)`.
@@ -55,6 +66,10 @@ where
 {
     type Add = Plus;
     type Mul = Times;
+
+    // `a × 0 == ±0` and IEEE-754 partial sums started from `+0.0` never
+    // round to `-0.0`, so `acc + (a × 0) == acc` bitwise.
+    const ANNIHILATING_ZERO: bool = true;
 }
 
 /// The tropical semiring `(min, +)`, used for shortest-path relaxations.
@@ -68,6 +83,10 @@ where
 {
     type Add = Min;
     type Mul = Plus;
+
+    // `a + ∞ == ∞` and `min(acc, ∞)` keeps `acc` (the `min` operator
+    // returns its left operand on ties and non-strict comparisons).
+    const ANNIHILATING_ZERO: bool = true;
 }
 
 /// The `(max, ×)` semiring, used for widest-path / reliability problems.
@@ -106,6 +125,42 @@ mod tests {
         assert_eq!(<MaxTimes as Semiring<f64>>::add(2.0, 3.0), 3.0);
         assert_eq!(<MaxTimes as Semiring<f64>>::mul(2.0, 0.5), 1.0);
         assert_eq!(<MaxTimes as Semiring<f64>>::zero(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn annihilating_zero_flags_match_the_rings() {
+        // A ring may declare ANNIHILATING_ZERO only if add(acc, mul(a,
+        // zero())) == acc *bitwise* for every a and every acc reachable
+        // by summing from zero() — the property push mode relies on to
+        // skip absent frontier entries. (−0.0 would violate it for
+        // PlusTimes, but IEEE sums seeded at +0.0 can never produce
+        // −0.0, so it is not a reachable accumulator.)
+        fn absorbed<R: Semiring<f64>>(acc: f64, a: f64) -> bool {
+            R::add(acc, R::mul(a, R::zero())).to_bits() == acc.to_bits()
+        }
+        let samples = [-7.5, -0.0, 0.0, 1.0 / 3.0, 4.0e200];
+        let accs = [-7.5, 0.0, 1.0 / 3.0, 4.0e200, f64::INFINITY];
+        for &acc in &accs {
+            for &a in &samples {
+                assert_eq!(
+                    absorbed::<PlusTimes>(acc, a),
+                    <PlusTimes as Semiring<f64>>::ANNIHILATING_ZERO,
+                    "PlusTimes acc={acc} a={a}"
+                );
+                assert_eq!(
+                    absorbed::<MinPlus>(acc, a),
+                    <MinPlus as Semiring<f64>>::ANNIHILATING_ZERO,
+                    "MinPlus acc={acc} a={a}"
+                );
+            }
+        }
+        // max(acc, −2 × −∞) = +∞, not acc: push mode must not skip
+        // entries under MaxTimes, and the flag says so.
+        assert_eq!(
+            absorbed::<MaxTimes>(1.0, -2.0),
+            <MaxTimes as Semiring<f64>>::ANNIHILATING_ZERO
+        );
+        assert!(!absorbed::<MaxTimes>(1.0, -2.0));
     }
 
     #[test]

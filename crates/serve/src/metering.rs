@@ -25,6 +25,8 @@ struct TenantState {
     jobs: u64,
     plan_hits: u64,
     plan_misses: u64,
+    frontier_push: u64,
+    frontier_pull: u64,
 }
 
 struct Inner {
@@ -97,6 +99,20 @@ impl Metering {
         }
     }
 
+    /// Records the push/pull decisions a traversal job made on `tenant`'s
+    /// behalf: each sparse-frontier `mxv` step ran in one of the two
+    /// direction-optimized orientations. Surfaced in every
+    /// [`MeterSnapshot`] so tenants can see the frontier machinery work.
+    pub fn note_frontier(&self, tenant: &str, stats: graphblas::algorithms::FrontierStats) {
+        if stats.steps() == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("meter lock poisoned");
+        let state = inner.tenants.entry(tenant.to_string()).or_default();
+        state.frontier_push += stats.push_steps as u64;
+        state.frontier_pull += stats.pull_steps as u64;
+    }
+
     /// Marks one job finished for `tenant` and returns the cumulative
     /// snapshot the response carries.
     pub fn complete_job(&self, tenant: &str) -> MeterSnapshot {
@@ -111,6 +127,8 @@ impl Metering {
             jobs: state.jobs,
             plan_hits: state.plan_hits,
             plan_misses: state.plan_misses,
+            frontier_push: state.frontier_push,
+            frontier_pull: state.frontier_pull,
         }
     }
 
@@ -180,6 +198,31 @@ mod tests {
         assert_eq!((s.plan_hits, s.plan_misses), (2, 1));
         let o = m.complete_job("other");
         assert_eq!((o.plan_hits, o.plan_misses), (0, 1));
+    }
+
+    #[test]
+    fn frontier_decisions_are_metered_per_tenant() {
+        use graphblas::algorithms::FrontierStats;
+        let m = Metering::new();
+        m.note_frontier(
+            "t",
+            FrontierStats {
+                push_steps: 3,
+                pull_steps: 2,
+            },
+        );
+        m.note_frontier(
+            "t",
+            FrontierStats {
+                push_steps: 1,
+                pull_steps: 0,
+            },
+        );
+        // Zero-step traversals do not create tenant state.
+        m.note_frontier("idle", FrontierStats::default());
+        let s = m.complete_job("t");
+        assert_eq!((s.frontier_push, s.frontier_pull), (4, 2));
+        assert!(!m.tenants().contains(&"idle".to_string()));
     }
 
     #[test]

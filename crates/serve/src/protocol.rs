@@ -27,6 +27,7 @@
 //!           | hpcg <size> <levels> <iters>
 //!
 //! response := ok <result> meter <secs> <h-bytes> <steps> <jobs> <plan-hits> <plan-misses>
+//!                <push-steps> <pull-steps>
 //!           | err <code> <message...>
 //! result   := ack | scalar <v> | vec <csv> | levels <csv>
 //!           | count <n> | solve <iters> <relres> <x-csv|->
@@ -245,6 +246,11 @@ pub struct MeterSnapshot {
     /// Compiled-plan cache misses (first-time compilations) the tenant's
     /// jobs paid for.
     pub plan_misses: u64,
+    /// Frontier steps the tenant's traversal jobs (`bfs`, `sssp`) ran in
+    /// **push** mode (sparse column scatter over the frontier nonzeros).
+    pub frontier_push: u64,
+    /// Frontier steps that ran in **pull** mode (dense row sweep).
+    pub frontier_pull: u64,
 }
 
 /// One response: a payload plus the tenant's meter, or a typed error.
@@ -549,13 +555,15 @@ impl Response {
                     ),
                 };
                 format!(
-                    "ok {body} meter {} {} {} {} {} {}",
+                    "ok {body} meter {} {} {} {} {} {} {} {}",
                     meter.modeled_secs,
                     meter.h_bytes,
                     meter.supersteps,
                     meter.jobs,
                     meter.plan_hits,
-                    meter.plan_misses
+                    meter.plan_misses,
+                    meter.frontier_push,
+                    meter.frontier_pull
                 )
             }
             Response::Err { code, message } => format!("err {code} {message}"),
@@ -604,6 +612,8 @@ impl Response {
                     jobs: t.next_usize("meter jobs")? as u64,
                     plan_hits: t.next_usize("meter plan hits")? as u64,
                     plan_misses: t.next_usize("meter plan misses")? as u64,
+                    frontier_push: t.next_usize("meter frontier push")? as u64,
+                    frontier_pull: t.next_usize("meter frontier pull")? as u64,
                 };
                 t.expect_end()?;
                 Ok(Response::Ok { payload, meter })
@@ -750,6 +760,8 @@ mod tests {
                 jobs: 3,
                 plan_hits: 5,
                 plan_misses: 1,
+                frontier_push: 9,
+                frontier_pull: 4,
             },
         };
         let line = resp.to_line();

@@ -25,7 +25,10 @@ use crate::protocol::{BackendSpec, JobSpec, Payload, Request, Response};
 use crate::queue::JobQueue;
 use crate::registry::Registry;
 use bsp::KernelClass;
-use graphblas::{ctx_on, plan_key, BackendKind, Ctx, Distributed, Exec, Plan, PlanCache, Vector};
+use graphblas::algorithms::FrontierStats;
+use graphblas::{
+    ctx_on, plan_key, BackendKind, Ctx, Distributed, Exec, GraphMatrix, Plan, PlanCache, Vector,
+};
 use hpcg::{flops_per_iteration, run_with_rhs, GrbHpcg, RunConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,6 +58,11 @@ pub struct ServeStats {
     pub plan_cache_hits: AtomicU64,
     /// Compiled-plan cache misses (first-time compilations).
     pub plan_cache_misses: AtomicU64,
+    /// Traversal frontier steps (`bfs`/`sssp`) the direction-optimizing
+    /// kernel ran in push mode (sparse column scatter).
+    pub frontier_push: AtomicU64,
+    /// Traversal frontier steps that ran in pull mode (dense row sweep).
+    pub frontier_pull: AtomicU64,
 }
 
 /// The per-thread worker state.
@@ -201,6 +209,18 @@ impl Worker {
         self.metering.note_plan(tenant, hit);
     }
 
+    /// Records a traversal job's push/pull frontier decisions in the
+    /// server stats and on the tenant's meter.
+    fn note_frontier(&self, tenant: &str, stats: FrontierStats) {
+        self.stats
+            .frontier_push
+            .fetch_add(stats.push_steps as u64, Ordering::Relaxed);
+        self.stats
+            .frontier_pull
+            .fetch_add(stats.pull_steps as u64, Ordering::Relaxed);
+        self.metering.note_frontier(tenant, stats);
+    }
+
     /// The worker's cached cluster for `p` nodes.
     fn cluster(&mut self, p: usize) -> Distributed {
         *self
@@ -284,7 +304,9 @@ fn run_job<E: Exec>(exec: Ctx<E>, w: &Worker, req: &Request) -> Result<(Payload,
         }
         JobSpec::Bfs { matrix, source } => {
             let a = w.registry.get(matrix)?;
-            let levels = graphblas::algorithms::bfs_levels(exec, &a, *source)?;
+            let g = GraphMatrix::from_csr((*a).clone());
+            let (levels, frontier) = graphblas::algorithms::bfs_levels_on(exec, &g, *source)?;
+            w.note_frontier(&req.tenant, frontier);
             let rounds = levels.iter().copied().max().unwrap_or(0).max(1) as usize;
             Ok((
                 Payload::Levels(levels),
@@ -293,7 +315,9 @@ fn run_job<E: Exec>(exec: Ctx<E>, w: &Worker, req: &Request) -> Result<(Payload,
         }
         JobSpec::Sssp { matrix, source } => {
             let a = w.registry.get(matrix)?;
-            let dist = graphblas::algorithms::sssp(exec, &a, *source)?;
+            let g = GraphMatrix::from_csr((*a).clone());
+            let (dist, frontier) = graphblas::algorithms::sssp_on(exec, &g, *source)?;
+            w.note_frontier(&req.tenant, frontier);
             Ok((
                 Payload::Vector(dist),
                 (KernelClass::SpMV, a.nnz(), a.nrows().max(1)),

@@ -25,6 +25,24 @@ fn graph_triplets(n: usize) -> Vec<(usize, usize, f64)> {
     t
 }
 
+/// Pattern-symmetric closure of [`graph_triplets`]: `tricount` validates
+/// its adjacency, so triangle jobs run on the undirected version.
+fn sym_graph_triplets(n: usize) -> Vec<(usize, usize, f64)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut t = Vec::new();
+    for (r, c, v) in graph_triplets(n) {
+        if seen.insert((r, c)) {
+            t.push((r, c, v));
+        }
+    }
+    for (r, c, v) in graph_triplets(n) {
+        if seen.insert((c, r)) {
+            t.push((c, r, v));
+        }
+    }
+    t
+}
+
 /// A small SPD matrix (diagonally dominant) for CG jobs.
 fn spd_triplets(n: usize) -> Vec<(usize, usize, f64)> {
     let mut t = Vec::new();
@@ -61,6 +79,7 @@ fn concurrent_mixed_backend_jobs_match_direct_sequential() {
         queue_bound: 256,
     }));
     put(&server, "g", n, graph_triplets(n));
+    put(&server, "gsym", n, sym_graph_triplets(n));
     put(&server, "spd", n, spd_triplets(n));
 
     // Direct sequential ground truth, computed without the service.
@@ -81,7 +100,8 @@ fn concurrent_mixed_backend_jobs_match_direct_sequential() {
         .collect();
     let expected_bfs = graphblas::algorithms::bfs_levels(sctx, &g, 0).unwrap();
     let expected_sssp = graphblas::algorithms::sssp(sctx, &g, 1).unwrap();
-    let expected_tri = graphblas::algorithms::triangle_count(sctx, &g).unwrap();
+    let gs = CsrMatrix::from_triplets(n, n, &sym_graph_triplets(n)).unwrap();
+    let expected_tri = graphblas::algorithms::triangle_count(sctx, &gs).unwrap();
     let expected_dot: f64 = sctx
         .dot(&Vector::from_dense(x_for(0)), &Vector::from_dense(x_for(1)))
         .compute()
@@ -128,7 +148,7 @@ fn concurrent_mixed_backend_jobs_match_direct_sequential() {
             }
             assert!(meter.jobs > 0, "response carries the tenant meter");
 
-            let (payload, _) = server
+            let (payload, meter) = server
                 .call(Request {
                     tenant: tenant.clone(),
                     backend,
@@ -139,6 +159,10 @@ fn concurrent_mixed_backend_jobs_match_direct_sequential() {
                 })
                 .expect("bfs failed");
             assert_eq!(payload, Payload::Levels(expected_bfs));
+            assert!(
+                meter.frontier_push + meter.frontier_pull > 0,
+                "bfs meters its push/pull frontier decisions"
+            );
 
             let (payload, _) = server
                 .call(Request {
@@ -176,7 +200,9 @@ fn concurrent_mixed_backend_jobs_match_direct_sequential() {
                 .call(Request {
                     tenant,
                     backend,
-                    job: JobSpec::TriangleCount { matrix: "g".into() },
+                    job: JobSpec::TriangleCount {
+                        matrix: "gsym".into(),
+                    },
                 })
                 .expect("tricount failed");
             assert_eq!(payload, Payload::Count(expected_tri));

@@ -1,0 +1,148 @@
+//! Property-based pinning of the sparse-frontier subsystem to the dense
+//! baseline.
+//!
+//! The contract under test is **bit-identity**: the direction-optimizing
+//! sparse-frontier traversals (`bfs_levels_on`, `sssp_on`, `pagerank_on`)
+//! and the sparse `mxv` kernel must return exactly the bits the dense
+//! vector path returns — on every backend, under masks and accumulators.
+//! Values are small integers mapped into `f64` for the mxv laws (so
+//! nothing relies on tolerance), but the traversal properties run on
+//! awkward fractional weights precisely because the push kernel's scatter
+//! order must still reproduce the dense kernel's bits.
+
+use graphblas::algorithms::{
+    bfs_levels_dense, bfs_levels_on, pagerank_dense, pagerank_on, sssp_dense, sssp_on,
+};
+use graphblas::{
+    ctx, ctx_on, BackendKind, CsrMatrix, Distributed, GraphMatrix, Parallel, Plus, Sequential,
+    SparseVector, Vector,
+};
+use proptest::prelude::*;
+
+/// A random square graph: every vertex gets a couple of out-edges with
+/// awkward fractional positive weights, plus extra random edges.
+fn arb_graph(max_dim: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
+    (4..max_dim).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 1i64..=40), 0..(3 * n)).prop_map(move |extra| {
+            let mut t: Vec<(usize, usize, f64)> = Vec::new();
+            for i in 0..n {
+                // Edge i→j is stored at A[j][i] (column = source).
+                t.push(((i + 1) % n, i, 0.1 + i as f64 / 3.0));
+                t.push(((i + 7) % n, i, 1.0 / 7.0 + (i % 5) as f64));
+            }
+            for (r, c, w) in extra {
+                t.push((r, c, w as f64 / 7.0));
+            }
+            // Dedupe on position: keep the first spelling of each edge.
+            t.sort_by_key(|&(r, c, _)| (r, c));
+            t.dedup_by_key(|&mut (r, c, _)| (r, c));
+            CsrMatrix::from_triplets(n, n, &t).unwrap()
+        })
+    })
+}
+
+/// A random sparse frontier with fill 0.0 and integer-ish values.
+fn arb_frontier(n: usize) -> impl Strategy<Value = SparseVector<f64>> {
+    proptest::collection::vec((0..n, -4i64..=4), 0..n.div_ceil(4)).prop_map(move |entries| {
+        let mut e: Vec<(u32, f64)> = entries
+            .into_iter()
+            .map(|(i, v)| (i as u32, v as f64))
+            .collect();
+        e.sort_by_key(|&(i, _)| i);
+        e.dedup_by_key(|&mut (i, _)| i);
+        SparseVector::from_entries(n, 0.0, &e).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BFS, SSSP and PageRank on sparse frontiers return exactly the
+    /// dense path's bits on all three backends.
+    #[test]
+    fn traversals_match_dense_on_every_backend(a in arb_graph(24), seed in 0usize..1000) {
+        let n = a.nrows();
+        let source = seed % n;
+        let g = GraphMatrix::from_csr(a.clone());
+        let sctx = ctx::<Sequential>();
+
+        let dense_bfs = bfs_levels_dense(sctx, &a, source).unwrap();
+        let dense_sssp = sssp_dense(sctx, &a, source).unwrap();
+        let (dense_pr, dense_iters) = pagerank_dense(sctx, &a, 0.85, 1e-8, 30).unwrap();
+
+        for backend in [
+            BackendKind::Sequential,
+            BackendKind::Parallel,
+            BackendKind::Dist(Distributed::new(3)),
+        ] {
+            let exec = ctx_on(backend);
+            let (bfs, _) = bfs_levels_on(exec, &g, source).unwrap();
+            prop_assert_eq!(&bfs, &dense_bfs);
+            let (sssp, _) = sssp_on(exec, &g, source).unwrap();
+            for (s, d) in sssp.iter().zip(&dense_sssp) {
+                prop_assert_eq!(s.to_bits(), d.to_bits());
+            }
+            let (pr, iters, stats) = pagerank_on(exec, &g, 0.85, 1e-8, 30).unwrap();
+            prop_assert_eq!(iters, dense_iters);
+            prop_assert_eq!(stats.push_steps, 0, "promoted rank vectors always pull");
+            for (s, d) in pr.as_slice().iter().zip(dense_pr.as_slice()) {
+                prop_assert_eq!(s.to_bits(), d.to_bits());
+            }
+        }
+    }
+
+    /// Masked/accumulated `mxv` over a `SparseVector` is bit-identical to
+    /// the dense `mxv` on the densified frontier, whichever mode the
+    /// push/pull heuristic picks.
+    #[test]
+    fn sparse_mxv_matches_dense_under_masks_and_accum(a in arb_graph(20), seed in 0u64..1000) {
+        let n = a.nrows();
+        let g = GraphMatrix::from_csr(a.clone());
+        let exec = ctx::<Sequential>();
+        let pexec = ctx::<Parallel>();
+        proptest!(|(x in arb_frontier(n))| {
+            let xd = x.to_dense();
+            let mask = Vector::<bool>::from_dense(
+                (0..n)
+                    .map(|i| !(i as u64 * 13 + seed).is_multiple_of(3))
+                    .collect(),
+            );
+            let y0: Vec<f64> = (0..n).map(|i| ((i as u64 * 5 + seed) % 7) as f64 - 3.0).collect();
+
+            // Plain, masked, inverted-masked, and accumulated spellings.
+            for variant in 0..4 {
+                let mut want = Vector::from_dense(y0.clone());
+                let mut got = Vector::from_dense(y0.clone());
+                let mut got_par = Vector::from_dense(y0.clone());
+                match variant {
+                    0 => {
+                        exec.mxv(&a, &xd).into(&mut want).unwrap();
+                        exec.mxv_sparse(&g, &x).into(&mut got).unwrap();
+                        pexec.mxv_sparse(&g, &x).into(&mut got_par).unwrap();
+                    }
+                    1 => {
+                        exec.mxv(&a, &xd).mask(&mask).into(&mut want).unwrap();
+                        exec.mxv_sparse(&g, &x).mask(&mask).into(&mut got).unwrap();
+                        pexec.mxv_sparse(&g, &x).mask(&mask).into(&mut got_par).unwrap();
+                    }
+                    2 => {
+                        exec.mxv(&a, &xd).mask(&mask).invert_mask().into(&mut want).unwrap();
+                        exec.mxv_sparse(&g, &x).mask(&mask).invert_mask().into(&mut got).unwrap();
+                        pexec.mxv_sparse(&g, &x).mask(&mask).invert_mask().into(&mut got_par).unwrap();
+                    }
+                    _ => {
+                        exec.mxv(&a, &xd).accum(Plus).into(&mut want).unwrap();
+                        exec.mxv_sparse(&g, &x).accum(Plus).into(&mut got).unwrap();
+                        pexec.mxv_sparse(&g, &x).accum(Plus).into(&mut got_par).unwrap();
+                    }
+                }
+                for (w, g_) in want.as_slice().iter().zip(got.as_slice()) {
+                    prop_assert_eq!(w.to_bits(), g_.to_bits(), "variant {} diverged", variant);
+                }
+                for (w, g_) in want.as_slice().iter().zip(got_par.as_slice()) {
+                    prop_assert_eq!(w.to_bits(), g_.to_bits(), "variant {} (par) diverged", variant);
+                }
+            }
+        });
+    }
+}
