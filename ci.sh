@@ -43,6 +43,34 @@ for e in amort:
     print(f\"{e['kernel']}: replay amortizes record \"
           f\"({e['speedup']:.2f}x)\")
 " || { echo "BENCH_shared.json replay amortization gate failed" >&2; exit 1; }
+# Tracing off must stay free: the disabled span probe every kernel entry
+# now carries may cost at most 1 % of one spmv_dot invocation.
+python3 -c "
+import json
+d = json.load(open('BENCH_shared.json'))
+o = d['obs_overhead']
+assert o['ratio'] <= 1.01, f\"disabled tracing costs {o['ratio']:.4f}x\"
+print(f\"obs overhead (tracing off): {o['span_probe_secs']*1e9:.2f} ns/probe \"
+      f\"on a {o['kernel_secs']*1e6:.1f} us kernel ({o['ratio']:.6f}x)\")
+" || { echo "BENCH_shared.json obs-overhead gate failed" >&2; exit 1; }
+
+echo "==> hpcg_report trace smoke (Chrome trace-event JSON)"
+# A traced distributed solve must emit parseable Chrome trace JSON with
+# spans from every kernel class the instrumentation covers.
+cargo run --release -p hpcg-bench --bin hpcg_report -- \
+    --size 16 --iters 3 --backend dist:2 --trace BENCH_trace.json > /dev/null
+python3 -c "
+import json, collections
+d = json.load(open('BENCH_trace.json'))
+ev = d['traceEvents']
+assert ev, 'trace is empty'
+assert all(e['ph'] == 'X' for e in ev), 'expected complete X events'
+cats = collections.Counter(e['cat'] for e in ev)
+for c in ['spmv', 'dot', 'update', 'fused', 'plan', 'superstep']:
+    assert cats.get(c, 0) > 0, f'no {c} spans recorded'
+print('BENCH_trace.json:', len(ev), 'spans,',
+      ', '.join(f'{c}={n}' for c, n in sorted(cats.items())))
+" || { echo "BENCH_trace.json trace gate failed" >&2; exit 1; }
 
 echo "==> serve smoke (mixed two-tenant load, bit-exact verify, BENCH_serve.json)"
 # Concurrent two-tenant mixed jobs across seq/par/dist:2; --verify
@@ -56,10 +84,11 @@ assert d['total_jobs'] == 48, d['total_jobs']
 assert d['verified'] is not None and d['verified'] > 0, 'verify did not run'
 assert {t['tenant'] for t in d['tenants']} >= {'acme', 'zeta'}, d['tenants']
 assert d['plan_cache_hits'] > 0, 'repeated jobs never hit the plan cache'
+assert d['stats_ok'] is True, 'the stats wire job failed its health check'
 print('BENCH_serve.json well-formed:', d['total_jobs'], 'jobs,',
       d['verified'], 'verified bit-exact,',
       d['plan_cache_hits'], 'plan-cache hits /',
-      d['plan_cache_misses'], 'misses')
+      d['plan_cache_misses'], 'misses, stats job ok')
 " || { echo "BENCH_serve.json malformed" >&2; exit 1; }
 
 echo "==> graph_report smoke (RMAT sparse-frontier BFS, BENCH_graph.json)"

@@ -14,8 +14,11 @@
 //! ```text
 //! cargo run --release -p hpcg-bench --bin graph_report -- \
 //!     [--scales 8,10] [--edge-factor 8] [--seed 42] [--nodes 4] \
-//!     [--out BENCH_graph.json]
+//!     [--out BENCH_graph.json] [--trace out.json]
 //! ```
+//!
+//! `--trace PATH` records spans across the sweep and writes Chrome
+//! trace-event JSON to PATH (open in Perfetto / `chrome://tracing`).
 
 use graphblas::algorithms::{bfs_levels_dense, bfs_levels_on};
 use graphblas::{ctx, ctx_on, BackendKind, Distributed, GraphMatrix, Parallel, Sequential};
@@ -35,6 +38,10 @@ fn main() {
         .get_str("out")
         .unwrap_or("BENCH_graph.json")
         .to_string();
+    let trace_path = args.get_str("trace").map(str::to_string);
+    if trace_path.is_some() {
+        obs::set_enabled(true);
+    }
 
     println!(
         "graph sweep: RMAT scales {scales:?}, edge factor {edge_factor}, seed {seed}, \
@@ -138,4 +145,10 @@ fn main() {
     );
     std::fs::write(&out_path, &json).expect("writing the JSON report must succeed");
     println!("\nwrote {out_path} ({} bytes)", json.len());
+
+    if let Some(path) = trace_path {
+        let spans = obs::span_count();
+        std::fs::write(&path, obs::chrome_trace()).expect("writing the trace must succeed");
+        println!("wrote {spans} span(s) to {path} (open in Perfetto / chrome://tracing)");
+    }
 }

@@ -16,8 +16,13 @@
 //! ```text
 //! cargo run --release -p hpcg-bench --bin hpcg_report \
 //!     [--size 32] [--iters 50] [--threads N] \
-//!     [--backend seq|par|dist[:<nodes>]] [--nodes N] [--pipeline on|off]
+//!     [--backend seq|par|dist[:<nodes>]] [--nodes N] [--pipeline on|off] \
+//!     [--trace out.json]
 //! ```
+//!
+//! `--trace PATH` records a span for every kernel, plan event, and (on
+//! `dist`) superstep across the whole run and writes Chrome trace-event
+//! JSON to PATH — open it in Perfetto or `chrome://tracing`.
 
 use graphblas::{BackendKind, DynCtx};
 use hpcg::driver::{flops_per_iteration, run_with_rhs, RunConfig};
@@ -37,6 +42,10 @@ fn main() {
             .num_threads(t)
             .build_global()
             .ok();
+    }
+    let trace_path = args.get_str("trace").map(str::to_string);
+    if trace_path.is_some() {
+        obs::set_enabled(true);
     }
     let exec = DynCtx::runtime(args.get_backend(BackendKind::Parallel));
     let pipeline = match args.get_str("pipeline").unwrap_or("on") {
@@ -92,4 +101,10 @@ fn main() {
     let v_ref = validate(&mut reference, &b_vec, 500);
     let (run_ref, _) = run_with_rhs(&mut reference, &b_vec, flops, config);
     println!("{}", render_report(&problem, &run_ref, Some(&v_ref)));
+
+    if let Some(path) = trace_path {
+        let spans = obs::span_count();
+        std::fs::write(&path, obs::chrome_trace()).expect("writing the trace must succeed");
+        println!("wrote {spans} span(s) to {path} (open in Perfetto / chrome://tracing)");
+    }
 }

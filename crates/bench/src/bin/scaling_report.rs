@@ -50,6 +50,7 @@ fn main() {
     let mut table = Table::new(&[
         "p",
         "modeled time",
+        "measured time",
         "comm",
         "supersteps",
         "spmv h/step",
@@ -87,6 +88,7 @@ fn main() {
         table.row(vec![
             p.to_string(),
             format!("{:.3} ms", report.modeled_secs * 1e3),
+            format!("{:.3} ms", summary.total_measured_secs * 1e3),
             format!("{:.2} MB", report.comm_bytes / 1e6),
             report.supersteps.to_string(),
             format!("{spmv_h:.0} B"),
@@ -98,10 +100,13 @@ fn main() {
         for (j, c) in summary.per_class.iter().enumerate() {
             let _ = write!(
                 per_class,
-                "{}{{\"class\": \"{}\", \"secs\": {:.9e}, \"h_bytes\": {:.1}, \"steps\": {}}}",
+                "{}{{\"class\": \"{}\", \"secs\": {:.9e}, \"measured_secs\": {:.9e}, \
+                 \"model_error\": {:.4}, \"h_bytes\": {:.1}, \"steps\": {}}}",
                 if j == 0 { "" } else { ", " },
                 CostSummary::class_name(c.class),
                 c.secs,
+                c.measured_secs,
+                c.model_error(),
                 c.h_bytes,
                 c.steps,
             );
@@ -109,12 +114,15 @@ fn main() {
         let _ = write!(
             entries,
             "{}    {{\n      \"nodes\": {p},\n      \"modeled_secs\": {:.9e},\n      \
+             \"measured_secs\": {:.9e},\n      \"model_error\": {:.4},\n      \
              \"comm_bytes\": {:.1},\n      \"supersteps\": {},\n      \
              \"relative_residual\": {:.6e},\n      \"spmv_h_bytes\": {spmv_h:.1},\n      \
              \"allgather_closed_form_bytes\": {closed_form:.1},\n      \
              \"per_class\": [{per_class}]\n    }}",
             if i == 0 { "" } else { ",\n" },
             report.modeled_secs,
+            summary.total_measured_secs,
+            summary.model_error(),
             report.comm_bytes,
             report.supersteps,
             report.relative_residual,

@@ -2,8 +2,9 @@
 //!
 //! Drives an in-process [`serve::Server`] with concurrent client threads
 //! submitting a mixed two-tenant workload (SpMV, dot, BFS, SSSP,
-//! triangle count, CG) across backends, measures per-job latency, and
-//! writes throughput plus p50/p99 and the per-tenant bills to
+//! triangle count, CG) across backends, measures per-job latency into a
+//! shared [`obs::Histogram`], and writes throughput plus p50/p99, a
+//! `stats`-job health check, and the per-tenant bills to
 //! `BENCH_serve.json`. With `--verify`, every response is checked
 //! bit-identical against direct `Sequential` execution computed outside
 //! the service — the gate `ci.sh` runs.
@@ -155,14 +156,6 @@ fn expected_payload(
     }
 }
 
-fn percentile(sorted_ms: &[f64], p: usize) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = (sorted_ms.len() * p / 100).min(sorted_ms.len() - 1);
-    sorted_ms[idx]
-}
-
 fn main() {
     let args = Args::from_env();
     let threads = args.get_usize("threads", 4);
@@ -223,18 +216,21 @@ fn main() {
 
     let overload_retries = Arc::new(AtomicU64::new(0));
     let verified = Arc::new(AtomicU64::new(0));
+    // One lock-free histogram shared by every client thread replaces the
+    // old collect-sort-index percentile pass.
+    let latency = Arc::new(obs::Histogram::new());
     let started = Instant::now();
     let mut handles = Vec::new();
     for t in 0..threads {
         let server = Arc::clone(&server);
         let overload_retries = Arc::clone(&overload_retries);
         let verified = Arc::clone(&verified);
+        let latency = Arc::clone(&latency);
         let g = g.clone();
         let gsym = gsym.clone();
         let spd = spd.clone();
         let expected_cg = expected_cg.clone();
         handles.push(std::thread::spawn(move || {
-            let mut latencies_ms = Vec::with_capacity(jobs);
             for i in 0..jobs {
                 let job = job_for(n, t, i);
                 let request = Request {
@@ -260,7 +256,7 @@ fn main() {
                         Err(e) => panic!("job failed: {e}"),
                     }
                 };
-                latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                latency.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                 if verify {
                     // Parallel dot reassociates; everything else is exact.
                     let skip_bits = matches!(
@@ -284,20 +280,17 @@ fn main() {
                     }
                 }
             }
-            latencies_ms
         }));
     }
-    let mut latencies_ms: Vec<f64> = Vec::with_capacity(threads * jobs);
     for h in handles {
-        latencies_ms.extend(h.join().expect("client thread panicked"));
+        h.join().expect("client thread panicked");
     }
     let wall_secs = started.elapsed().as_secs_f64();
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
 
-    let total_jobs = latencies_ms.len();
+    let total_jobs = latency.count() as usize;
     let throughput = total_jobs as f64 / wall_secs;
-    let p50 = percentile(&latencies_ms, 50);
-    let p99 = percentile(&latencies_ms, 99);
+    let p50 = latency.percentile(50.0) as f64 / 1e6;
+    let p99 = latency.percentile(99.0) as f64 / 1e6;
     let stats = server.stats();
     let batched_jobs = stats.batched_jobs.load(Ordering::Relaxed);
     let batched_sweeps = stats.batched_sweeps.load(Ordering::Relaxed);
@@ -314,6 +307,27 @@ fn main() {
             verified.load(Ordering::Relaxed)
         );
     }
+
+    // The service's own observability travels the same path as any job:
+    // a `stats` request must come back as one parse-clean JSON token with
+    // the latency histograms the workers recorded for this very run.
+    let stats_ok = match server.call(Request {
+        tenant: "bench".into(),
+        backend: BackendSpec::Seq,
+        job: JobSpec::Stats,
+    }) {
+        Ok((Payload::Stats(json), _)) => {
+            json.starts_with('{')
+                && !json.contains(char::is_whitespace)
+                && json.contains("\"jobs_ok\":")
+                && json.contains("\"latency_ns.kind.")
+        }
+        other => {
+            eprintln!("stats job returned unexpected {other:?}");
+            false
+        }
+    };
+    println!("stats job: {}", if stats_ok { "OK" } else { "FAILED" });
 
     let mut tenants_json = String::new();
     for (i, tenant) in server.metering().tenants().iter().enumerate() {
@@ -339,8 +353,8 @@ fn main() {
          \"p50_ms\": {p50:.4},\n  \"p99_ms\": {p99:.4},\n  \
          \"overload_retries\": {},\n  \"batched_jobs\": {batched_jobs},\n  \
          \"batched_sweeps\": {batched_sweeps},\n  \"plan_cache_hits\": {plan_cache_hits},\n  \
-         \"plan_cache_misses\": {plan_cache_misses},\n  \"verified\": {},\n  \
-         \"tenants\": [\n{tenants_json}\n  ]\n}}\n",
+         \"plan_cache_misses\": {plan_cache_misses},\n  \"stats_ok\": {stats_ok},\n  \
+         \"verified\": {},\n  \"tenants\": [\n{tenants_json}\n  ]\n}}\n",
         overload_retries.load(Ordering::Relaxed),
         if verify {
             verified.load(Ordering::Relaxed).to_string()

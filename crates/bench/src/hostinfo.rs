@@ -66,6 +66,41 @@ impl HostInfo {
         }
         info
     }
+
+    /// Renders the host description as one compact JSON object, ready to
+    /// embed in a bench report.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"cpu_model\":\"{}\",\"logical_cpus\":{},\"mem_gib\":{:.2},\
+             \"l3_cache\":\"{}\",\"os\":\"{}\"}}",
+            obs::json_escape(&self.cpu_model),
+            self.logical_cpus,
+            self.mem_gib,
+            obs::json_escape(&self.l3_cache),
+            obs::json_escape(&self.os),
+        )
+    }
+}
+
+/// The current wall-clock time as an ISO-8601 UTC timestamp
+/// (`YYYY-MM-DDThh:mm:ssZ`), computed from the Unix epoch with the
+/// standard civil-from-days calendar conversion — no date dependency.
+pub fn iso_timestamp_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (h, m, s) = (secs / 3600 % 24, secs / 60 % 60, secs % 60);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}-{month:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
 }
 
 #[cfg(test)]
@@ -76,5 +111,20 @@ mod tests {
     fn gather_does_not_panic_and_counts_cpus() {
         let info = HostInfo::gather();
         assert!(info.logical_cpus >= 1);
+        let json = info.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"logical_cpus\":"));
+    }
+
+    #[test]
+    fn timestamp_is_iso_shaped() {
+        let ts = iso_timestamp_utc();
+        // YYYY-MM-DDThh:mm:ssZ is exactly 20 ASCII chars.
+        assert_eq!(ts.len(), 20, "got {ts}");
+        assert_eq!(&ts[4..5], "-");
+        assert_eq!(&ts[10..11], "T");
+        assert!(ts.ends_with('Z'));
+        let year: i64 = ts[..4].parse().unwrap();
+        assert!((2024..2100).contains(&year), "got {ts}");
     }
 }

@@ -51,6 +51,11 @@ pub struct StepCost {
     pub h_bytes: f64,
     /// Whether compute and communication were overlapped.
     pub overlap: bool,
+    /// Measured wall-clock seconds attributed to this step (0 until a
+    /// timed execution calls [`CostTracker::attribute_measured`]). This is
+    /// the cross-check column next to the modeled [`total_secs`]
+    /// (`StepCost::total_secs`).
+    pub measured_secs: f64,
 }
 
 impl StepCost {
@@ -167,6 +172,7 @@ impl CostTracker {
             sync_secs: if barrier { self.params.l_secs } else { 0.0 },
             h_bytes: h,
             overlap,
+            measured_secs: 0.0,
         };
         self.steps.push(cost);
         self.flops.iter_mut().for_each(|v| *v = 0.0);
@@ -179,6 +185,37 @@ impl CostTracker {
     /// All closed steps, in order.
     pub fn steps(&self) -> &[StepCost] {
         &self.steps
+    }
+
+    /// Distributes `secs` of measured wall-clock over the steps closed
+    /// since index `from` (a value previously read off `steps().len()`),
+    /// proportionally to their modeled `total_secs`. One timed kernel may
+    /// close more than one superstep (a fused SpMV+dot closes the sweep
+    /// and the reduction), so attribution splits the measurement along the
+    /// model's own ratio; if the model says zero everywhere the split is
+    /// even. No-op when no steps closed.
+    pub fn attribute_measured(&mut self, from: usize, secs: f64) {
+        let from = from.min(self.steps.len());
+        let closed = &mut self.steps[from..];
+        if closed.is_empty() {
+            return;
+        }
+        let modeled: f64 = closed.iter().map(StepCost::total_secs).sum();
+        if modeled > 0.0 {
+            for s in closed {
+                s.measured_secs = secs * s.total_secs() / modeled;
+            }
+        } else {
+            let even = secs / closed.len() as f64;
+            for s in closed {
+                s.measured_secs = even;
+            }
+        }
+    }
+
+    /// Total measured seconds attributed to closed steps.
+    pub fn total_measured_secs(&self) -> f64 {
+        self.steps.iter().map(|s| s.measured_secs).sum()
     }
 
     /// Total modeled wall-clock of all closed steps.
@@ -260,6 +297,38 @@ mod tests {
         t.record_send(1, 1, 1e9);
         let c = t.end_superstep(KernelClass::Other, None, false);
         assert_eq!(c.h_bytes, 0.0);
+    }
+
+    #[test]
+    fn measured_attribution_splits_along_the_model() {
+        let mut t = tracker(2);
+        t.record_compute(0, 1e9, 0.0);
+        t.end_local_step(KernelClass::SpMV, None);
+        let mark = t.steps().len();
+        // Two steps close after the mark, modeled 3:1.
+        t.record_compute(0, 3e9, 0.0);
+        t.end_local_step(KernelClass::SpMV, None);
+        t.record_compute(0, 1e9, 0.0);
+        t.end_local_step(KernelClass::Dot, None);
+        t.attribute_measured(mark, 8.0);
+        let steps = t.steps();
+        assert_eq!(steps[0].measured_secs, 0.0, "pre-mark steps untouched");
+        assert!((steps[1].measured_secs - 6.0).abs() < 1e-12);
+        assert!((steps[2].measured_secs - 2.0).abs() < 1e-12);
+        assert!((t.total_measured_secs() - 8.0).abs() < 1e-12);
+        // A mark past the end is a no-op, not a panic.
+        t.attribute_measured(99, 1.0);
+    }
+
+    #[test]
+    fn measured_attribution_splits_evenly_when_model_is_zero() {
+        let mut t = tracker(2);
+        let mark = t.steps().len();
+        t.end_local_step(KernelClass::Waxpby, None);
+        t.end_local_step(KernelClass::Waxpby, None);
+        t.attribute_measured(mark, 4.0);
+        assert_eq!(t.steps()[0].measured_secs, 2.0);
+        assert_eq!(t.steps()[1].measured_secs, 2.0);
     }
 
     #[test]

@@ -162,6 +162,29 @@ impl Distributed {
         f(&mut guard)
     }
 
+    /// Runs the cost-recording closure `f` and pairs the supersteps it
+    /// closes with the measured wall-clock since `t0` (the local kernel's
+    /// execution time), distributed along the model's own per-step ratio —
+    /// the cross-check column of [`CostSummary`]. With tracing on, each
+    /// closed superstep also becomes a retrospective span (class
+    /// `"superstep"`) slicing the measured interval.
+    fn record_measured<R>(&self, t0: std::time::Instant, f: impl FnOnce(&mut ClusterState) -> R) {
+        let secs = t0.elapsed().as_secs_f64();
+        self.record(|s| {
+            let mark = s.tracker.steps().len();
+            let _ = f(s);
+            s.tracker.attribute_measured(mark, secs);
+            if obs::enabled() {
+                let mut at = t0;
+                for step in &s.tracker.steps()[mark..] {
+                    let dur = std::time::Duration::from_secs_f64(step.measured_secs.max(0.0));
+                    obs::record_span(superstep_name(step.class), "superstep", at, at + dur);
+                    at += dur;
+                }
+            }
+        })
+    }
+
     /// Number of simulated nodes.
     pub fn nodes(&self) -> usize {
         self.record(|s| s.tracker.nodes())
@@ -253,10 +276,25 @@ pub struct ClassCost {
     pub class: KernelClass,
     /// Modeled seconds across all steps of the class.
     pub secs: f64,
+    /// Measured seconds attributed across all steps of the class (0 when
+    /// the steps were recorded without timed execution).
+    pub measured_secs: f64,
     /// h-relation bytes across all steps of the class.
     pub h_bytes: f64,
     /// Number of recorded steps of the class.
     pub steps: usize,
+}
+
+impl ClassCost {
+    /// Measured / modeled seconds for this class (0 when either side is
+    /// unmeasured or the model predicts zero).
+    pub fn model_error(&self) -> f64 {
+        if self.secs > 0.0 && self.measured_secs > 0.0 {
+            self.measured_secs / self.secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Per-kernel-class breakdown of a cluster's recorded BSP costs — the
@@ -270,6 +308,9 @@ pub struct CostSummary {
     pub layout: &'static str,
     /// Total modeled wall-clock.
     pub total_secs: f64,
+    /// Total measured wall-clock attributed to the steps (0 when the
+    /// trace was recorded without timed execution).
+    pub total_measured_secs: f64,
     /// Total h-relation bytes.
     pub total_h_bytes: f64,
     /// Total recorded steps.
@@ -288,12 +329,14 @@ impl CostSummary {
             match per_class.iter_mut().find(|c| c.class == step.class) {
                 Some(c) => {
                     c.secs += step.total_secs();
+                    c.measured_secs += step.measured_secs;
                     c.h_bytes += step.h_bytes;
                     c.steps += 1;
                 }
                 None => per_class.push(ClassCost {
                     class: step.class,
                     secs: step.total_secs(),
+                    measured_secs: step.measured_secs,
                     h_bytes: step.h_bytes,
                     steps: 1,
                 }),
@@ -303,9 +346,20 @@ impl CostSummary {
             nodes,
             layout,
             total_secs: steps.iter().map(StepCost::total_secs).sum(),
+            total_measured_secs: steps.iter().map(|s| s.measured_secs).sum(),
             total_h_bytes: steps.iter().map(|s| s.h_bytes).sum(),
             supersteps: steps.len(),
             per_class,
+        }
+    }
+
+    /// Overall measured / modeled wall-clock ratio — the paper's central
+    /// cross-check quantity (0 when the trace carries no measurements).
+    pub fn model_error(&self) -> f64 {
+        if self.total_secs > 0.0 && self.total_measured_secs > 0.0 {
+            self.total_measured_secs / self.total_secs
+        } else {
+            0.0
         }
     }
 
@@ -313,6 +367,18 @@ impl CostSummary {
     /// reports (the same spelling [`Display`](std::fmt::Display) uses).
     pub fn class_name(class: KernelClass) -> &'static str {
         class_name(class)
+    }
+}
+
+/// Span name a closed superstep of `class` records under.
+fn superstep_name(class: KernelClass) -> &'static str {
+    match class {
+        KernelClass::SpMV => "superstep.spmv",
+        KernelClass::Dot => "superstep.dot",
+        KernelClass::Waxpby => "superstep.waxpby",
+        KernelClass::Smoother => "superstep.smoother",
+        KernelClass::RestrictRefine => "superstep.restrict",
+        KernelClass::Other => "superstep.other",
     }
 }
 
@@ -332,19 +398,23 @@ impl std::fmt::Display for CostSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "modeled BSP cost on {} node(s), {} layout: {:.3} ms, {:.2} MB communicated, {} supersteps",
+            "modeled BSP cost on {} node(s), {} layout: {:.3} ms modeled, {:.3} ms measured \
+             (x{:.2} model error), {:.2} MB communicated, {} supersteps",
             self.nodes,
             self.layout,
             self.total_secs * 1e3,
+            self.total_measured_secs * 1e3,
+            self.model_error(),
             self.total_h_bytes / 1e6,
             self.supersteps,
         )?;
         for c in &self.per_class {
             writeln!(
                 f,
-                "  {:<15} {:>10.3} ms  {:>9.2} MB  {:>6} step(s)",
+                "  {:<15} {:>10.3} ms modeled  {:>10.3} ms measured  {:>9.2} MB  {:>6} step(s)",
                 class_name(c.class),
                 c.secs * 1e3,
+                c.measured_secs * 1e3,
                 c.h_bytes / 1e6,
                 c.steps,
             )?;
@@ -371,8 +441,10 @@ impl Exec for Distributed {
         a: &CsrMatrix<T>,
         x: &Vector<T>,
     ) -> Result<()> {
+        let _span = obs::span_enter("dist.mxv", "spmv");
+        let t0 = std::time::Instant::now();
         mxv_exec::<T, R, A, Sequential>(y, mask, desc, a, x)?;
-        self.record(|s| s.record_mxv(a, x.len(), mask, desc, false));
+        self.record_measured(t0, |s| s.record_mxv(a, x.len(), mask, desc, false));
         Ok(())
     }
 
@@ -384,8 +456,10 @@ impl Exec for Distributed {
         m: &GraphMatrix<T>,
         x: &SparseVector<T>,
     ) -> Result<FrontierMode> {
+        let _span = obs::span_enter("dist.mxv_sparse", "spmv");
+        let t0 = std::time::Instant::now();
         let mode = mxv_sparse_exec::<T, R, A, Sequential>(y, mask, desc, m, x)?;
-        self.record(|s| s.record_mxv_sparse(m, x, mask, desc, mode));
+        self.record_measured(t0, |s| s.record_mxv_sparse(m, x, mask, desc, mode));
         Ok(mode)
     }
 
@@ -398,15 +472,21 @@ impl Exec for Distributed {
         y: &Vector<T>,
         scale: Option<(T, T)>,
     ) -> Result<()> {
+        let _span = obs::span_enter("dist.ewise", "update");
+        let t0 = std::time::Instant::now();
         ewise_exec::<T, Op, A, Sequential>(w, mask, desc, x, y, scale)?;
         let flops = if scale.is_some() { 3.0 } else { 1.0 };
-        self.record(|s| s.record_stream(w.len(), mask, desc, 3, flops));
+        self.record_measured(t0, |s| s.record_stream(w.len(), mask, desc, 3, flops));
         Ok(())
     }
 
     fn run_axpy<T: Scalar>(self, x: &mut Vector<T>, alpha: T, y: &Vector<T>) -> Result<()> {
+        let _span = obs::span_enter("dist.axpy", "update");
+        let t0 = std::time::Instant::now();
         axpy_exec::<T, Sequential>(x, alpha, y)?;
-        self.record(|s| s.record_stream(x.len(), None, Descriptor::DEFAULT, 3, 2.0));
+        self.record_measured(t0, |s| {
+            s.record_stream(x.len(), None, Descriptor::DEFAULT, 3, 2.0)
+        });
         Ok(())
     }
 
@@ -417,8 +497,10 @@ impl Exec for Distributed {
         desc: Descriptor,
         input: &Vector<T>,
     ) -> Result<()> {
+        let _span = obs::span_enter("dist.apply", "update");
+        let t0 = std::time::Instant::now();
         apply_exec::<T, Op, A, Sequential>(out, mask, desc, input)?;
-        self.record(|s| s.record_stream(out.len(), mask, desc, 2, 1.0));
+        self.record_measured(t0, |s| s.record_stream(out.len(), mask, desc, 2, 1.0));
         Ok(())
     }
 
@@ -429,10 +511,12 @@ impl Exec for Distributed {
         desc: Descriptor,
         f: F,
     ) -> Result<()> {
+        let _span = obs::span_enter("dist.lambda", "update");
+        let t0 = std::time::Instant::now();
         ewise_lambda_exec::<T, Sequential, F>(out, mask, desc, f)?;
         // A lambda typically reads a captured vector besides the in-place
         // output; model it as a three-stream update (the xpay shape).
-        self.record(|s| s.record_stream(out.len(), mask, desc, 3, 2.0));
+        self.record_measured(t0, |s| s.record_stream(out.len(), mask, desc, 3, 2.0));
         Ok(())
     }
 
@@ -442,14 +526,20 @@ impl Exec for Distributed {
         mask: Option<&Vector<bool>>,
         desc: Descriptor,
     ) -> Result<T> {
+        let _span = obs::span_enter("dist.reduce", "dot");
+        let t0 = std::time::Instant::now();
         let v = reduce_exec::<T, M, Sequential>(x, mask, desc)?;
-        self.record(|s| s.record_reduction(x.len(), mask, desc, 1, 1.0));
+        self.record_measured(t0, |s| s.record_reduction(x.len(), mask, desc, 1, 1.0));
         Ok(v)
     }
 
     fn run_dot<T: Scalar, R: Semiring<T>>(self, x: &Vector<T>, y: &Vector<T>) -> Result<T> {
+        let _span = obs::span_enter("dist.dot", "dot");
+        let t0 = std::time::Instant::now();
         let v = dot_exec::<T, R, Sequential>(x, y)?;
-        self.record(|s| s.record_reduction(x.len(), None, Descriptor::DEFAULT, 2, 2.0));
+        self.record_measured(t0, |s| {
+            s.record_reduction(x.len(), None, Descriptor::DEFAULT, 2, 2.0)
+        });
         Ok(v)
     }
 
@@ -459,14 +549,20 @@ impl Exec for Distributed {
         b: &CsrMatrix<T>,
         desc: Descriptor,
     ) -> Result<CsrMatrix<T>> {
+        let _span = obs::span_enter("dist.mxm", "spmv");
+        let t0 = std::time::Instant::now();
         let c = mxm_exec::<T, R, Sequential>(a, b, desc)?;
-        self.record(|s| s.record_mxm(a, b));
+        self.record_measured(t0, |s| s.record_mxm(a, b));
         Ok(c)
     }
 
     fn run_for_each<F: Fn(usize) + Send + Sync>(self, n: usize, f: F) {
+        let _span = obs::span_enter("dist.for_each", "update");
+        let t0 = std::time::Instant::now();
         Sequential::for_n(n, f);
-        self.record(|s| s.record_stream(n, None, Descriptor::DEFAULT, 2, 1.0));
+        self.record_measured(t0, |s| {
+            s.record_stream(n, None, Descriptor::DEFAULT, 2, 1.0)
+        });
     }
 
     fn run_spmv_dot<T: Scalar, R: Semiring<T>>(
@@ -477,10 +573,14 @@ impl Exec for Distributed {
         w: Option<&Vector<T>>,
         product_on_left: bool,
     ) -> Result<T> {
+        let _span = obs::span_enter("dist.spmv_dot", "fused");
+        let t0 = std::time::Instant::now();
         let v = spmv_dot_exec::<T, R, Sequential>(y, a, x, w, product_on_left)?;
         // One sweep with the dot epilogue plus one Θ(p) allreduce — not
         // two full supersteps (the nonblocking-execution payoff, §VI).
-        self.record(|s| s.record_mxv(a, x.len(), None, Descriptor::DEFAULT, true));
+        self.record_measured(t0, |s| {
+            s.record_mxv(a, x.len(), None, Descriptor::DEFAULT, true)
+        });
         Ok(v)
     }
 
@@ -490,8 +590,10 @@ impl Exec for Distributed {
         alpha: T,
         y: &Vector<T>,
     ) -> Result<T> {
+        let _span = obs::span_enter("dist.axpy_norm", "fused");
+        let t0 = std::time::Instant::now();
         let v = axpy_norm_exec::<T, R, Sequential>(x, alpha, y)?;
-        self.record(|s| s.record_stream_with_norm(x.len(), 3, 4.0));
+        self.record_measured(t0, |s| s.record_stream_with_norm(x.len(), 3, 4.0));
         Ok(v)
     }
 }
@@ -722,6 +824,44 @@ mod tests {
         let rendered = summary.to_string();
         assert!(rendered.contains("spmv"), "{rendered}");
         assert!(rendered.contains("3 node(s)"), "{rendered}");
+    }
+
+    #[test]
+    fn cost_summary_pairs_measured_with_modeled() {
+        let cluster = Distributed::new(2);
+        let a = a3();
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let mut y = Vector::zeros(3);
+        cluster.ctx().mxv(&a, &x).into(&mut y).unwrap();
+        cluster.ctx().dot(&x, &y).compute().unwrap();
+        let summary = cluster.cost_summary();
+        // Kernels really executed, so every class carries wall-clock next
+        // to its modeled seconds and the overall ratio is defined.
+        assert!(summary.total_measured_secs > 0.0);
+        assert!(summary.model_error() > 0.0);
+        for c in &summary.per_class {
+            assert!(c.measured_secs > 0.0, "unmeasured class {:?}", c.class);
+        }
+        // Attribution conserves the measurement: per-class sums equal the
+        // total.
+        let class_sum: f64 = summary.per_class.iter().map(|c| c.measured_secs).sum();
+        assert!((class_sum - summary.total_measured_secs).abs() < 1e-12);
+        let rendered = summary.to_string();
+        assert!(rendered.contains("measured"), "{rendered}");
+    }
+
+    #[test]
+    fn fused_kernel_spreads_measurement_over_both_closed_steps() {
+        let cluster = Distributed::new(2);
+        let a = a3();
+        let x = Vector::from_dense(vec![1.0, 2.0, 3.0]);
+        let mut y = Vector::zeros(3);
+        cluster
+            .run_spmv_dot::<f64, crate::PlusTimes>(&mut y, &a, &x, Some(&x), false)
+            .unwrap();
+        let steps = cluster.take_steps();
+        assert_eq!(steps.len(), 2, "fused SpMV+dot closes two supersteps");
+        assert!(steps.iter().all(|s| s.measured_secs > 0.0));
     }
 
     #[test]

@@ -301,6 +301,7 @@ macro_rules! impl_exec_for_backend {
                 a: &CsrMatrix<T>,
                 x: &Vector<T>,
             ) -> Result<()> {
+                let _span = obs::span_enter("mxv", "spmv");
                 mxv_exec::<T, R, A, $backend>(y, mask, desc, a, x)
             }
 
@@ -312,6 +313,7 @@ macro_rules! impl_exec_for_backend {
                 m: &GraphMatrix<T>,
                 x: &SparseVector<T>,
             ) -> Result<FrontierMode> {
+                let _span = obs::span_enter("mxv_sparse", "spmv");
                 mxv_sparse_exec::<T, R, A, $backend>(y, mask, desc, m, x)
             }
 
@@ -324,10 +326,12 @@ macro_rules! impl_exec_for_backend {
                 y: &Vector<T>,
                 scale: Option<(T, T)>,
             ) -> Result<()> {
+                let _span = obs::span_enter("ewise", "update");
                 ewise_exec::<T, Op, A, $backend>(w, mask, desc, x, y, scale)
             }
 
             fn run_axpy<T: Scalar>(self, x: &mut Vector<T>, alpha: T, y: &Vector<T>) -> Result<()> {
+                let _span = obs::span_enter("axpy", "update");
                 axpy_exec::<T, $backend>(x, alpha, y)
             }
 
@@ -338,6 +342,7 @@ macro_rules! impl_exec_for_backend {
                 desc: Descriptor,
                 input: &Vector<T>,
             ) -> Result<()> {
+                let _span = obs::span_enter("apply", "update");
                 apply_exec::<T, Op, A, $backend>(out, mask, desc, input)
             }
 
@@ -348,6 +353,7 @@ macro_rules! impl_exec_for_backend {
                 desc: Descriptor,
                 f: F,
             ) -> Result<()> {
+                let _span = obs::span_enter("lambda", "update");
                 ewise_lambda_exec::<T, $backend, F>(out, mask, desc, f)
             }
 
@@ -357,10 +363,12 @@ macro_rules! impl_exec_for_backend {
                 mask: Option<&Vector<bool>>,
                 desc: Descriptor,
             ) -> Result<T> {
+                let _span = obs::span_enter("reduce", "dot");
                 reduce_exec::<T, M, $backend>(x, mask, desc)
             }
 
             fn run_dot<T: Scalar, R: Semiring<T>>(self, x: &Vector<T>, y: &Vector<T>) -> Result<T> {
+                let _span = obs::span_enter("dot", "dot");
                 dot_exec::<T, R, $backend>(x, y)
             }
 
@@ -370,10 +378,12 @@ macro_rules! impl_exec_for_backend {
                 b: &CsrMatrix<T>,
                 desc: Descriptor,
             ) -> Result<CsrMatrix<T>> {
+                let _span = obs::span_enter("mxm", "spmv");
                 mxm_exec::<T, R, $backend>(a, b, desc)
             }
 
             fn run_for_each<F: Fn(usize) + Send + Sync>(self, n: usize, f: F) {
+                let _span = obs::span_enter("for_each", "update");
                 <$backend as Backend>::for_n(n, f)
             }
 
@@ -385,6 +395,7 @@ macro_rules! impl_exec_for_backend {
                 w: Option<&Vector<T>>,
                 product_on_left: bool,
             ) -> Result<T> {
+                let _span = obs::span_enter("spmv_dot", "fused");
                 spmv_dot_exec::<T, R, $backend>(y, a, x, w, product_on_left)
             }
 
@@ -394,6 +405,7 @@ macro_rules! impl_exec_for_backend {
                 alpha: T,
                 y: &Vector<T>,
             ) -> Result<T> {
+                let _span = obs::span_enter("axpy_norm", "fused");
                 axpy_norm_exec::<T, R, $backend>(x, alpha, y)
             }
         }

@@ -800,6 +800,7 @@ impl<'a, T: Scalar, E: Exec> Pipeline<'a, T, E> {
     /// stages have taken effect; the contents of output vectors recorded
     /// after the failing stage are unspecified.
     pub fn finish(self) -> Result<PipelineResults<T>> {
+        let _span = obs::span_enter("pipeline.finish", "plan");
         let stages = fuse(&self.nodes, &self.out_lens);
         let mut scalars = vec![T::ZERO; self.scalars];
         for stage in &stages {

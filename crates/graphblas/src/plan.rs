@@ -868,6 +868,7 @@ impl<T: Scalar, E: Exec> PlanBuilder<T, E> {
     /// Runs the fusion pass once and freezes the schedule into an
     /// immutable, reusable [`Plan`].
     pub fn compile(self) -> Plan<T, E> {
+        let _span = obs::span_enter("plan.compile", "plan");
         let shapes: Vec<OpShape> = self.nodes.iter().map(PlanNode::shape).collect();
         let stages = fuse_shapes(&shapes, &self.outs);
         let hash = self.structural_hash();
@@ -1500,6 +1501,7 @@ impl<T: Scalar, E: Exec> Plan<T, E> {
     /// never silently run against buffers of the wrong shape. On error,
     /// already-executed stages have taken effect.
     pub fn run(&self, b: &mut Bindings<'_, T>) -> Result<PlanResults<T>> {
+        let _span = obs::span_enter("plan.run", "plan");
         assert!(b.plan == self.id, "Bindings do not belong to this plan");
         self.validate(b)?;
         let mut scalars = vec![T::ZERO; self.scalars];
@@ -2074,6 +2076,23 @@ impl<T: Scalar> std::ops::Index<ScalarSlot> for PlanResults<T> {
 // The plan cache
 // ---------------------------------------------------------------------------
 
+/// Process-wide `plan.cache.hit` / `plan.cache.miss` counters in the obs
+/// registry, resolved once so a lookup costs a relaxed add, not a name
+/// lookup under the registry lock.
+fn cache_metrics() -> &'static (std::sync::Arc<obs::Counter>, std::sync::Arc<obs::Counter>) {
+    static METRICS: std::sync::OnceLock<(
+        std::sync::Arc<obs::Counter>,
+        std::sync::Arc<obs::Counter>,
+    )> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = obs::global();
+        (
+            reg.counter("plan.cache.hit"),
+            reg.counter("plan.cache.miss"),
+        )
+    })
+}
+
 /// A concurrent memo table of compiled plans, keyed by `(plan type, u64)`.
 ///
 /// The `u64` is caller-chosen (see [`plan_key`] and the module docs'
@@ -2123,6 +2142,7 @@ impl PlanCache {
         E: Exec,
         F: FnOnce() -> Plan<T, E>,
     {
+        let _span = obs::span_enter("plan.cache", "plan");
         let tid = TypeId::of::<Plan<T, E>>();
         let mut map = self.map.lock().expect("plan cache lock poisoned");
         if let Some(entry) = map.get(&(tid, key)) {
@@ -2130,6 +2150,7 @@ impl PlanCache {
                 .downcast::<Plan<T, E>>()
                 .expect("entry type matches its TypeId key");
             self.hits.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().0.inc();
             return (plan, true);
         }
         // Build under the lock: compiling is cheap (that is the point of
@@ -2137,6 +2158,7 @@ impl PlanCache {
         let plan = Arc::new(build());
         map.insert((tid, key), Arc::clone(&plan) as Arc<dyn Any + Send + Sync>);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        cache_metrics().1.inc();
         (plan, false)
     }
 

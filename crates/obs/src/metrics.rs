@@ -1,0 +1,411 @@
+//! Counters, gauges and log-bucketed latency histograms.
+//!
+//! All metric types are built from relaxed atomics and are always on
+//! (unlike spans there is no enable flag — a handful of `fetch_add`s per
+//! request is noise). A [`Registry`] names them and renders a compact
+//! single-line JSON dump, which is what the serve layer's `stats` wire job
+//! returns.
+//!
+//! The histogram is HDR-style log-linear: values below 64 get their own
+//! bucket (exact); above that, each power of two splits into 64 linear
+//! sub-buckets, so quantization error is bounded by 2⁻⁶ ≈ 1.6 % of the
+//! value. Exact minimum and maximum are tracked separately and percentiles
+//! clamp to them, so a single-sample histogram reads back exactly and a
+//! saturating `u64::MAX` sample reports `u64::MAX`, not a bucket floor.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Linear sub-buckets per power of two (2⁶ → ≤ 1.6 % quantization).
+const SUB_BITS: u32 = 6;
+const SUB: usize = 1 << SUB_BITS;
+/// Bucket group 0 covers values `< SUB` exactly; groups 1..=58 cover one
+/// power of two each up to `u64::MAX`.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// A log-linear latency histogram over `u64` samples (nanoseconds by
+/// convention, but unit-agnostic).
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: (0..BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in (monotone in the value).
+    pub fn bucket(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let top = 63 - v.leading_zeros();
+        let group = (top - SUB_BITS + 1) as usize;
+        let sub = ((v >> (top - SUB_BITS)) as usize) & (SUB - 1);
+        (group << SUB_BITS) | sub
+    }
+
+    /// The smallest value mapping to bucket `idx`.
+    pub fn bucket_low(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let group = (idx >> SUB_BITS) as u32;
+        let sub = (idx & (SUB - 1)) as u64;
+        (SUB as u64 + sub) << (group - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.counts[Self::bucket(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Wrapping on extreme sums only skews the mean, never the
+        // percentiles.
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in seconds as integer nanoseconds.
+    pub fn record_secs(&self, secs: f64) {
+        self.record((secs.max(0.0) * 1e9) as u64);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// The value at percentile `p` (0 < p ≤ 100): the smallest bucket
+    /// floor whose cumulative count reaches rank `⌈p·n/100⌉`, clamped to
+    /// the exact observed `[min, max]`. Exact for single samples, for
+    /// values below 64, and at bucket boundaries; otherwise within the
+    /// ≤ 1.6 % bucket width.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (((p / 100.0) * total as f64).ceil() as u64).clamp(1, total);
+        // Ranks at the ends are exact order statistics we track directly.
+        if rank == 1 {
+            return self.min();
+        }
+        if rank == total {
+            return self.max();
+        }
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            if cum >= rank {
+                return Self::bucket_low(i).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    fn dump_into(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\
+             \"p50\":{},\"p90\":{},\"p99\":{}}}",
+            self.count(),
+            self.min(),
+            self.max(),
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0)
+        );
+    }
+}
+
+/// A named set of metrics. Lookups get-or-create; handles are `Arc`s so
+/// hot paths can cache them and skip the name lookup.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(locked(&self.counters).entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(locked(&self.gauges).entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            locked(&self.histograms)
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// Compact single-line JSON dump of every metric (no spaces or
+    /// newlines, so it survives whitespace-normalizing wire transports).
+    pub fn dump_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, c)) in locked(&self.counters).iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\":{}",
+                if i > 0 { "," } else { "" },
+                crate::json_escape(name),
+                c.get()
+            );
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, g)) in locked(&self.gauges).iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\":{}",
+                if i > 0 { "," } else { "" },
+                crate::json_escape(name),
+                g.get()
+            );
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in locked(&self.histograms).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", crate::json_escape(name));
+            h.dump_into(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("jobs");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("jobs").get(), 5, "same handle by name");
+        let g = r.gauge("queue_depth");
+        g.set(7);
+        assert_eq!(r.gauge("queue_depth").get(), 7);
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_floors_invert() {
+        let mut prev = 0usize;
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            4095,
+            4096,
+            1 << 20,
+            (1 << 20) + 12345,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let b = Histogram::bucket(v);
+            assert!(b >= prev, "bucket index must be monotone at {v}");
+            assert!(b < BUCKETS);
+            let low = Histogram::bucket_low(b);
+            assert!(low <= v, "floor {low} must not exceed sample {v}");
+            assert_eq!(Histogram::bucket(low), b, "floor maps back to bucket");
+            prev = b;
+        }
+        // The floor of the next bucket bounds the width to 1.6 %.
+        let v = 1_000_000u64;
+        let b = Histogram::bucket(v);
+        let width = Histogram::bucket_low(b + 1) - Histogram::bucket_low(b);
+        assert!((width as f64) <= v as f64 / 64.0 + 1.0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        for v in [0u64, 1, 42, 63, 64, 999, 123_456_789, u64::MAX] {
+            let h = Histogram::new();
+            h.record(v);
+            for p in [1.0, 50.0, 90.0, 99.0, 100.0] {
+                assert_eq!(h.percentile(p), v, "p{p} of a single sample {v}");
+            }
+            assert_eq!(h.min(), v);
+            assert_eq!(h.max(), v);
+            assert_eq!(h.count(), 1);
+        }
+    }
+
+    #[test]
+    fn small_value_percentiles_are_exact() {
+        // Values below 64 each own a bucket, so ranks read back exactly.
+        let h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), 31); // rank ⌈0.50·64⌉ = 32 → value 31
+        assert_eq!(h.percentile(90.0), 57); // rank ⌈0.90·64⌉ = 58 → value 57
+        assert_eq!(h.percentile(99.0), 63); // rank ⌈0.99·64⌉ = 64 → value 63
+        assert_eq!(h.mean(), 31.5);
+    }
+
+    #[test]
+    fn saturating_samples_stay_saturated() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(u64::MAX);
+        }
+        assert_eq!(h.percentile(50.0), u64::MAX);
+        assert_eq!(h.percentile(99.0), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_clamp_into_observed_range() {
+        let h = Histogram::new();
+        h.record(1_000_003); // not a bucket floor
+        h.record(1_000_003);
+        h.record(2_000_000);
+        let p50 = h.percentile(50.0);
+        assert_eq!(p50, 1_000_003, "clamped up to the exact min");
+        assert_eq!(h.percentile(100.0), 2_000_000, "clamped down to max");
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn dump_json_is_single_line_and_complete() {
+        let r = Registry::new();
+        r.counter("a").add(3);
+        r.gauge("g").set(9);
+        let h = r.histogram("lat");
+        h.record(5);
+        let json = r.dump_json();
+        assert!(!json.contains('\n'));
+        assert!(!json.contains(' '));
+        assert!(json.contains("\"a\":3"));
+        assert!(json.contains("\"g\":9"));
+        assert!(json.contains("\"lat\":{\"count\":1,\"min\":5,\"max\":5"));
+        assert!(json.contains("\"p50\":5"));
+    }
+}

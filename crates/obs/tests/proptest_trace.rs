@@ -1,0 +1,281 @@
+//! Property test: `chrome_trace()` always renders valid JSON whose
+//! `traceEvents` are complete `"X"` duration events.
+//!
+//! The checker is a minimal recursive-descent JSON parser written here —
+//! the crate itself must stay dependency-free, and depending on the thing
+//! under test to validate its own output would prove nothing.
+
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// A tiny JSON parser (objects/arrays/strings/numbers/literals)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b >= 0x20 => {
+                    // Consume one UTF-8 scalar (input came from a &str).
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b < 0xe0 => 2,
+                        _ if b < 0xf0 => 3,
+                        _ => 4,
+                    };
+                    let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
+                        .map_err(|e| e.to_string())?;
+                    out.push_str(s);
+                    self.pos += len;
+                }
+                _ => return Err(format!("unterminated or control char at {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?} at {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The property
+// ---------------------------------------------------------------------------
+
+/// The span buffer is process-global, so cases must not interleave with
+/// each other across the test binary's threads.
+fn buffer_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const NAMES: [&str; 5] = [
+    "mxv",
+    "plan.run",
+    "queue.wait",
+    "odd \"name\"",
+    "back\\slash",
+];
+const CLASSES: [&str; 3] = ["spmv", "serve", "plan"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chrome_trace_is_valid_json_of_complete_x_events(
+        spans in proptest::collection::vec(
+            (0usize..NAMES.len(), 0usize..CLASSES.len(), 0u64..5_000_000, 0u64..1_000_000),
+            0..40,
+        )
+    ) {
+        let _g = buffer_lock();
+        obs::clear();
+        obs::set_enabled(true);
+        let base = Instant::now();
+        for &(name, class, start_off, dur) in &spans {
+            let start = base + Duration::from_nanos(start_off);
+            obs::record_span(
+                NAMES[name],
+                CLASSES[class],
+                start,
+                start + Duration::from_nanos(dur),
+            );
+        }
+        obs::set_enabled(false);
+        let text = obs::chrome_trace();
+        obs::clear();
+
+        let doc = Parser::parse(&text).expect("chrome_trace must be valid JSON");
+        let events = match doc.get("traceEvents") {
+            Some(Json::Arr(events)) => events,
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        };
+        prop_assert_eq!(events.len(), spans.len());
+        for ev in events {
+            // Complete duration events: ph == "X" with both ts and dur, so
+            // there are no unbalanced B/E pairs by construction.
+            prop_assert_eq!(ev.get("ph"), Some(&Json::Str("X".into())));
+            let name = match ev.get("name") {
+                Some(Json::Str(s)) => s.clone(),
+                other => panic!("name must be a string, got {other:?}"),
+            };
+            prop_assert!(NAMES.contains(&name.as_str()), "unknown name {}", name);
+            for field in ["ts", "dur", "tid", "pid"] {
+                match ev.get(field) {
+                    Some(Json::Num(v)) => prop_assert!(*v >= 0.0),
+                    other => panic!("{field} must be numeric, got {other:?}"),
+                }
+            }
+        }
+    }
+}

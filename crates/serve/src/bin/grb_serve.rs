@@ -1,21 +1,31 @@
 //! The standalone solve-service daemon.
 //!
 //! ```text
-//! grb_serve [--socket PATH] [--workers N] [--queue-bound K]
+//! grb_serve [--socket PATH] [--workers N] [--queue-bound K] [--trace PATH]
 //! ```
 //!
 //! Binds the wire protocol on a Unix socket and serves until killed.
 //! Talk to it with [`serve::net::Client`] or any program that speaks the
 //! framed line grammar in [`serve::protocol`].
+//!
+//! `--trace PATH` turns span collection on and rewrites PATH with a
+//! Chrome trace-event JSON snapshot every few seconds. The daemon dies
+//! by signal, so there is no shutdown hook to flush on — the periodic
+//! rewrite means the last snapshot (at most a few seconds stale)
+//! survives the kill. Open the file in Perfetto or `chrome://tracing`.
 
 use serve::net::SocketServer;
 use serve::{Server, ServerConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-fn parse_args() -> Result<(PathBuf, ServerConfig), String> {
+/// Seconds between trace-snapshot rewrites.
+const TRACE_DUMP_SECS: u64 = 3;
+
+fn parse_args() -> Result<(PathBuf, ServerConfig, Option<PathBuf>), String> {
     let mut socket = PathBuf::from("/tmp/grb_serve.sock");
     let mut config = ServerConfig::default();
+    let mut trace = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |what: &str| args.next().ok_or_else(|| format!("{what} expects a value"));
@@ -31,17 +41,21 @@ fn parse_args() -> Result<(PathBuf, ServerConfig), String> {
                     .parse()
                     .map_err(|_| "--queue-bound expects an integer".to_string())?;
             }
+            "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     if config.workers == 0 {
         return Err("the daemon needs at least one worker".into());
     }
-    Ok((socket, config))
+    Ok((socket, config, trace))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (socket, config) = parse_args()?;
+    let (socket, config, trace) = parse_args()?;
+    if trace.is_some() {
+        obs::set_enabled(true);
+    }
     let server = Arc::new(Server::start(config));
     let frontend = SocketServer::bind(Arc::clone(&server), &socket)?;
     println!(
@@ -50,8 +64,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.workers,
         config.queue_bound
     );
-    // Serve until killed.
-    loop {
-        std::thread::park();
+    match trace {
+        // Serve until killed, refreshing the trace snapshot as we go.
+        Some(path) => {
+            println!(
+                "tracing to {} (rewritten every {TRACE_DUMP_SECS}s)",
+                path.display()
+            );
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(TRACE_DUMP_SECS));
+                if let Err(e) = std::fs::write(&path, obs::chrome_trace()) {
+                    eprintln!("trace dump to {} failed: {e}", path.display());
+                }
+            }
+        }
+        // Serve until killed.
+        None => loop {
+            std::thread::park();
+        },
     }
 }

@@ -156,7 +156,11 @@ impl Server {
     /// [`ServeError::Overloaded`] when the queue is at its bound.
     pub fn submit(&self, request: Request) -> Result<JobTicket> {
         let (tx, rx) = mpsc::channel();
-        self.queue.try_push(Job { request, reply: tx })?;
+        self.queue.try_push(Job {
+            request,
+            reply: tx,
+            submitted: std::time::Instant::now(),
+        })?;
         Ok(JobTicket { rx })
     }
 

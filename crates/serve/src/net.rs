@@ -116,7 +116,11 @@ fn handle_connection(server: &Server, stream: UnixStream) {
             },
             Err(e) => Response::from_error(&e),
         };
-        if write_frame(&mut writer, &response.to_line()).is_err() {
+        let wrote = {
+            obs::span!("serve.reply", "serve");
+            write_frame(&mut writer, &response.to_line())
+        };
+        if wrote.is_err() {
             return;
         }
     }

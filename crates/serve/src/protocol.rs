@@ -25,12 +25,14 @@
 //!           | tricount <name>
 //!           | cg <name> <iters> <b-csv>
 //!           | hpcg <size> <levels> <iters>
+//!           | stats
 //!
 //! response := ok <result> meter <secs> <h-bytes> <steps> <jobs> <plan-hits> <plan-misses>
 //!                <push-steps> <pull-steps>
 //!           | err <code> <message...>
 //! result   := ack | scalar <v> | vec <csv> | levels <csv>
 //!           | count <n> | solve <iters> <relres> <x-csv|->
+//!           | stats <json>
 //! code     := overloaded | bad_request | no_such_matrix | exec | io | shutdown
 //! ```
 
@@ -174,6 +176,9 @@ pub enum JobSpec {
         /// CG iterations.
         iters: usize,
     },
+    /// Observability snapshot: server-wide counters plus the worker's
+    /// metric registry, returned as one compact JSON document.
+    Stats,
 }
 
 impl JobSpec {
@@ -189,6 +194,7 @@ impl JobSpec {
             JobSpec::TriangleCount { .. } => "tricount",
             JobSpec::Cg { .. } => "cg",
             JobSpec::Hpcg { .. } => "hpcg",
+            JobSpec::Stats => "stats",
         }
     }
 }
@@ -228,6 +234,10 @@ pub enum Payload {
         /// Solution vector (possibly empty, see above).
         x: Vec<f64>,
     },
+    /// An observability snapshot as one compact JSON token. The server
+    /// emits it without interior whitespace, so it travels the wire as a
+    /// single space-separated token like every other payload field.
+    Stats(String),
 }
 
 /// The tenant's cumulative bill, attached to every successful response.
@@ -437,6 +447,7 @@ impl Request {
                 levels,
                 iters,
             } => format!("hpcg {size} {levels} {iters}"),
+            JobSpec::Stats => "stats".to_string(),
         };
         format!("req {} {} {job}", self.tenant, self.backend)
     }
@@ -501,6 +512,7 @@ impl Request {
                 levels: t.next_usize("mg levels")?,
                 iters: t.next_usize("iteration count")?,
             },
+            "stats" => JobSpec::Stats,
             other => {
                 return Err(ServeError::BadRequest(format!(
                     "request: unknown job kind {other:?}"
@@ -553,6 +565,7 @@ impl Response {
                             fmt_csv(x)
                         }
                     ),
+                    Payload::Stats(json) => format!("stats {json}"),
                 };
                 format!(
                     "ok {body} meter {} {} {} {} {} {} {} {}",
@@ -593,6 +606,7 @@ impl Response {
                         relative_residual: t.next_f64("relative residual")?,
                         x: parse_csv(t.next("solution vector")?)?,
                     },
+                    "stats" => Payload::Stats(t.next("stats json")?.to_string()),
                     other => {
                         return Err(ServeError::BadRequest(format!(
                             "response: unknown result kind {other:?}"
@@ -741,6 +755,21 @@ mod tests {
                 iters: 3,
             },
         });
+        round_trip_request(Request {
+            tenant: "ops".into(),
+            backend: BackendSpec::Seq,
+            job: JobSpec::Stats,
+        });
+    }
+
+    #[test]
+    fn stats_responses_round_trip() {
+        let resp = Response::Ok {
+            payload: Payload::Stats(r#"{"jobs_ok":3,"histograms":{}}"#.to_string()),
+            meter: MeterSnapshot::default(),
+        };
+        let back = Response::parse_line(&resp.to_line()).unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub struct Job {
     pub request: Request,
     /// Response channel; a vanished receiver is not the worker's problem.
     pub reply: mpsc::Sender<Response>,
+    /// When the job entered the queue — the anchor for queue-wait spans
+    /// and end-to-end latency histograms.
+    pub submitted: std::time::Instant,
 }
 
 /// Server-wide observability counters.
@@ -63,6 +66,47 @@ pub struct ServeStats {
     pub frontier_push: AtomicU64,
     /// Traversal frontier steps that ran in pull mode (dense row sweep).
     pub frontier_pull: AtomicU64,
+    /// Latency histograms and friends: `latency_ns.kind.<kind>` and
+    /// `latency_ns.tenant.<tenant>` record end-to-end (submit → reply
+    /// handed off) nanoseconds per job.
+    pub metrics: obs::Registry,
+}
+
+impl ServeStats {
+    /// Records one finished job's end-to-end latency under both its
+    /// kind- and tenant-keyed histograms.
+    pub fn note_latency(&self, tenant: &str, kind: &str, submitted: std::time::Instant) {
+        let ns = submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.metrics
+            .histogram(&format!("latency_ns.kind.{kind}"))
+            .record(ns);
+        self.metrics
+            .histogram(&format!("latency_ns.tenant.{tenant}"))
+            .record(ns);
+    }
+
+    /// The `stats` job's payload: every counter plus the metric registry,
+    /// as one compact JSON token (no interior whitespace — the wire
+    /// normalizes spaces).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"jobs_ok\":{},\"jobs_err\":{},\"batched_sweeps\":{},",
+                "\"batched_jobs\":{},\"plan_cache_hits\":{},\"plan_cache_misses\":{},",
+                "\"frontier_push\":{},\"frontier_pull\":{},\"spans\":{},\"metrics\":{}}}"
+            ),
+            self.jobs_ok.load(Ordering::Relaxed),
+            self.jobs_err.load(Ordering::Relaxed),
+            self.batched_sweeps.load(Ordering::Relaxed),
+            self.batched_jobs.load(Ordering::Relaxed),
+            self.plan_cache_hits.load(Ordering::Relaxed),
+            self.plan_cache_misses.load(Ordering::Relaxed),
+            self.frontier_push.load(Ordering::Relaxed),
+            self.frontier_pull.load(Ordering::Relaxed),
+            obs::span_count(),
+            self.metrics.dump_json()
+        )
+    }
 }
 
 /// The per-thread worker state.
@@ -130,6 +174,7 @@ impl Worker {
         batch.push(Job {
             request: job.request.clone(),
             reply: job.reply.clone(),
+            submitted: job.submitted,
         });
         batch.extend(mates);
         Some(batch)
@@ -137,6 +182,10 @@ impl Worker {
 
     /// Runs a group of same-matrix SpMVs as one shared sweep.
     fn run_batch(&mut self, batch: Vec<Job>) {
+        for job in &batch {
+            note_dequeued(job);
+        }
+        obs::span!("serve.batch", "serve");
         let name = match &batch[0].request.job {
             JobSpec::Mxv { matrix, .. } => matrix.clone(),
             _ => unreachable!("try_claim_batch only groups mxv jobs"),
@@ -169,6 +218,11 @@ impl Worker {
                         payload: Payload::Vector(y.as_slice().to_vec()),
                         meter,
                     });
+                    self.stats.note_latency(
+                        &job.request.tenant,
+                        job.request.job.kind(),
+                        job.submitted,
+                    );
                 }
             }
             Err(e) => {
@@ -176,6 +230,11 @@ impl Worker {
                 for job in &batch {
                     self.stats.jobs_err.fetch_add(1, Ordering::Relaxed);
                     let _ = job.reply.send(resp.clone());
+                    self.stats.note_latency(
+                        &job.request.tenant,
+                        job.request.job.kind(),
+                        job.submitted,
+                    );
                 }
             }
         }
@@ -183,18 +242,24 @@ impl Worker {
 
     /// Runs one job end to end and replies.
     fn run_single(&mut self, job: Job) {
-        let response = match self.execute(&job.request) {
-            Ok(payload) => {
-                let meter = self.metering.complete_job(&job.request.tenant);
-                self.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
-                Response::Ok { payload, meter }
-            }
-            Err(e) => {
-                self.stats.jobs_err.fetch_add(1, Ordering::Relaxed);
-                Response::from_error(&e)
+        note_dequeued(&job);
+        let response = {
+            obs::span!("serve.exec", "serve");
+            match self.execute(&job.request) {
+                Ok(payload) => {
+                    let meter = self.metering.complete_job(&job.request.tenant);
+                    self.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
+                    Response::Ok { payload, meter }
+                }
+                Err(e) => {
+                    self.stats.jobs_err.fetch_add(1, Ordering::Relaxed);
+                    Response::from_error(&e)
+                }
             }
         };
         let _ = job.reply.send(response);
+        self.stats
+            .note_latency(&job.request.tenant, job.request.job.kind(), job.submitted);
     }
 
     /// Records one plan-cache lookup in the server stats and on the
@@ -244,6 +309,11 @@ impl Worker {
                 .charge_local(&req.tenant, KernelClass::Other, triplets.len(), 1);
             return Ok(Payload::Ack);
         }
+        // `stats` reads the shared counters, no backend involved. Reading
+        // the meter is free: observability must not distort the bill.
+        if let JobSpec::Stats = &req.job {
+            return Ok(Payload::Stats(self.stats.to_json()));
+        }
         match req.backend {
             BackendSpec::Seq => {
                 let (payload, charge) = run_job(ctx_on(BackendKind::Sequential), self, req)?;
@@ -277,6 +347,19 @@ impl Worker {
     }
 }
 
+/// Emits the retrospective queue-wait span for a job the worker just
+/// claimed, covering submit time → now.
+fn note_dequeued(job: &Job) {
+    if obs::enabled() {
+        obs::record_span(
+            "queue.wait",
+            "serve",
+            job.submitted,
+            std::time::Instant::now(),
+        );
+    }
+}
+
 /// A local-billing estimate: `(class, elements, vectors)`.
 type Charge = (KernelClass, usize, usize);
 
@@ -285,6 +368,7 @@ type Charge = (KernelClass, usize, usize);
 fn run_job<E: Exec>(exec: Ctx<E>, w: &Worker, req: &Request) -> Result<(Payload, Charge)> {
     match &req.job {
         JobSpec::Put { .. } => unreachable!("put handled before backend dispatch"),
+        JobSpec::Stats => unreachable!("stats handled before backend dispatch"),
         JobSpec::Mxv { matrix, x } => {
             let a = w.registry.get(matrix)?;
             let x = Vector::from_dense(x.clone());

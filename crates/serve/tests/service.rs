@@ -524,3 +524,49 @@ fn socket_round_trip_matches_in_process() {
     drop(client);
     drop(server);
 }
+
+#[test]
+fn stats_job_reports_counters_and_latency_histograms() {
+    let n = 16;
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_bound: 64,
+    });
+    put(&server, "s", n, graph_triplets(n));
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 / 7.0).collect();
+    for _ in 0..3 {
+        server
+            .call(Request {
+                tenant: "acme".into(),
+                backend: BackendSpec::Seq,
+                job: JobSpec::Mxv {
+                    matrix: "s".into(),
+                    x: x.clone(),
+                },
+            })
+            .unwrap();
+    }
+    let (payload, _) = server
+        .call(Request {
+            tenant: "ops".into(),
+            backend: BackendSpec::Seq,
+            job: JobSpec::Stats,
+        })
+        .unwrap();
+    let Payload::Stats(json) = payload else {
+        panic!("stats job returned {payload:?}");
+    };
+    // One compact token: the wire would split interior whitespace.
+    assert!(!json.contains(char::is_whitespace), "json: {json}");
+    assert!(json.contains("\"jobs_ok\":"), "json: {json}");
+    // 1 put + 3 mxv finished before the stats job was popped.
+    assert!(json.contains("\"latency_ns.kind.mxv\""), "json: {json}");
+    assert!(json.contains("\"latency_ns.tenant.acme\""), "json: {json}");
+    // The snapshot itself round-trips the wire as a single token.
+    let resp = serve::protocol::Response::Ok {
+        payload: Payload::Stats(json.clone()),
+        meter: serve::MeterSnapshot::default(),
+    };
+    let back = serve::protocol::Response::parse_line(&resp.to_line()).unwrap();
+    assert_eq!(back, resp);
+}

@@ -177,6 +177,39 @@ fn main() -> Result<(), GrbError> {
         stats.push_steps,
         stats.pull_steps
     );
+    // 9. Observability: flip the global tracing flag on, replay the plan
+    //    from step 7 under it, and export the spans as Chrome trace-event
+    //    JSON. Every kernel, plan compile/run, and (on `dist`) superstep
+    //    records a span; with the flag off (the default) the probe in
+    //    each kernel costs one relaxed atomic load. Metrics ride along in
+    //    a registry of counters and log-bucketed latency histograms.
+    obs::set_enabled(true);
+    {
+        let mut bnd = plan.bindings();
+        bnd.bind_matrix(plan.matrix_slot(0), a0)
+            .bind_input(plan.input_slot(0), &ones)
+            .bind_output(plan.output_slot(0), &mut y_out)
+            .set(plan.param(0), 2.0);
+        plan.run(&mut bnd)?;
+    }
+    obs::set_enabled(false);
+    let trace_path = std::env::temp_dir().join("quickstart_trace.json");
+    std::fs::write(&trace_path, obs::chrome_trace()).expect("trace write");
+    println!(
+        "\ntraced {} span(s) -> {} (open in Perfetto or chrome://tracing; \
+         try `hpcg_report --trace out.json` for a full solve)",
+        obs::span_count(),
+        trace_path.display()
+    );
+    let hist = obs::global().histogram("quickstart.demo_ns");
+    hist.record(1_250);
+    hist.record(975);
+    println!(
+        "metrics registry: {} sample(s), p50 {} ns -> {}",
+        hist.count(),
+        hist.percentile(50.0),
+        obs::global().dump_json()
+    );
     let _ = alp.timers();
     Ok(())
 }
