@@ -85,12 +85,14 @@ fn main() {
     if let BackendKind::Dist(d) = exec.kind() {
         println!(
             "distributed model ({} nodes): modeled BSP wall-clock {:.3} s \
-             vs measured {:.3} s ({:.2} MB communicated, {} supersteps)\n",
+             vs measured {:.3} s ({:.2} MB communicated, {} supersteps, \
+             {:.3} ms exchange hidden behind compute)\n",
             d.nodes(),
             d.total_modeled_secs(),
             run.total_secs,
             d.total_h_bytes() / 1e6,
             d.supersteps(),
+            d.total_overlap_hidden_secs() * 1e3,
         );
         print!("{}", d.cost_summary());
         println!();

@@ -3,7 +3,9 @@
 //! Runs preconditioned CG through [`AlpDistHpcg`] — HPCG on
 //! `Ctx<Distributed>` — over a list of simulated node counts, prints a
 //! human-readable table, and writes the full per-node-count breakdown
-//! (modeled wall-clock, communication volume, superstep count, per-kernel
+//! (modeled wall-clock, measured sharded wall-clock, real speedup against
+//! a timed `Sequential` baseline of the same solve, split-phase overlap
+//! hidden per point, communication volume, superstep count, per-kernel
 //! costs, and the Table I closed-form allgather check) as JSON, so the
 //! perf trajectory of the distributed path is diffable across commits.
 //!
@@ -16,9 +18,9 @@
 use bsp::collectives::allgather_h_bytes;
 use bsp::cost::KernelClass;
 use bsp::machine::MachineParams;
-use graphblas::CostSummary;
+use graphblas::{CostSummary, Sequential};
 use hpcg::distributed::{run_distributed, AlpDistHpcg};
-use hpcg::{Grid3, Problem, RhsVariant};
+use hpcg::{cg_solve, CgWorkspace, GrbHpcg, Grid3, Kernels, MgWorkspace, Problem, RhsVariant};
 use hpcg_bench::cli::Args;
 use hpcg_bench::table::Table;
 use std::fmt::Write as _;
@@ -43,6 +45,21 @@ fn main() {
         .expect("cube size must be coarsenable to the requested levels");
     let n = problem.n();
 
+    // Timed Sequential baseline of the exact same solve: the denominator
+    // of each sweep point's real (measured, not modeled) speedup.
+    let seq_secs = {
+        let mut seq = GrbHpcg::<Sequential>::new(problem.clone());
+        let mut cg_ws = CgWorkspace::new(&seq);
+        let mut mg_ws = MgWorkspace::new(&seq);
+        let mut x = seq.alloc(0);
+        let b = problem.b.clone();
+        let t0 = std::time::Instant::now();
+        cg_solve(
+            &mut seq, &mut cg_ws, &mut mg_ws, &b, &mut x, iters, 0.0, true,
+        );
+        t0.elapsed().as_secs_f64()
+    };
+
     println!(
         "distributed scaling sweep: n = {n}, {levels} MG level(s), {iters} CG iteration(s), \
          nodes {nodes_list:?}\n"
@@ -51,6 +68,8 @@ fn main() {
         "p",
         "modeled time",
         "measured time",
+        "real speedup",
+        "overlap hidden",
         "comm",
         "supersteps",
         "spmv h/step",
@@ -85,10 +104,13 @@ fn main() {
             );
         }
 
+        let real_speedup = seq_secs / summary.total_measured_secs.max(1e-12);
         table.row(vec![
             p.to_string(),
             format!("{:.3} ms", report.modeled_secs * 1e3),
             format!("{:.3} ms", summary.total_measured_secs * 1e3),
+            format!("{real_speedup:.2}x"),
+            format!("{:.3} ms", summary.total_overlap_hidden_secs * 1e3),
             format!("{:.2} MB", report.comm_bytes / 1e6),
             report.supersteps.to_string(),
             format!("{spmv_h:.0} B"),
@@ -115,6 +137,7 @@ fn main() {
             entries,
             "{}    {{\n      \"nodes\": {p},\n      \"modeled_secs\": {:.9e},\n      \
              \"measured_secs\": {:.9e},\n      \"model_error\": {:.4},\n      \
+             \"real_speedup\": {:.4},\n      \"overlap_hidden_secs\": {:.9e},\n      \
              \"comm_bytes\": {:.1},\n      \"supersteps\": {},\n      \
              \"relative_residual\": {:.6e},\n      \"spmv_h_bytes\": {spmv_h:.1},\n      \
              \"allgather_closed_form_bytes\": {closed_form:.1},\n      \
@@ -123,6 +146,8 @@ fn main() {
             report.modeled_secs,
             summary.total_measured_secs,
             summary.model_error(),
+            real_speedup,
+            summary.total_overlap_hidden_secs,
             report.comm_bytes,
             report.supersteps,
             report.relative_residual,
@@ -133,7 +158,8 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"scaling_report\",\n  \"implementation\": \"ALP distributed \
          (1D block-cyclic over graphblas::Distributed)\",\n  \"n\": {n},\n  \
-         \"mg_levels\": {levels},\n  \"cg_iterations\": {iters},\n  \"machine\": {{\n    \
+         \"mg_levels\": {levels},\n  \"cg_iterations\": {iters},\n  \
+         \"sequential_baseline_secs\": {seq_secs:.9e},\n  \"machine\": {{\n    \
          \"flops_per_sec\": {:.6e},\n    \"mem_bw_bytes_per_sec\": {:.6e},\n    \
          \"g_secs_per_byte\": {:.6e},\n    \"l_secs\": {:.6e}\n  }},\n  \"sweep\": [\n{entries}\n  ]\n}}\n",
         machine.flops_per_sec, machine.mem_bw_bytes_per_sec, machine.g_secs_per_byte, machine.l_secs,

@@ -56,6 +56,11 @@ pub struct StepCost {
     /// the cross-check column next to the modeled [`total_secs`]
     /// (`StepCost::total_secs`).
     pub measured_secs: f64,
+    /// Measured seconds of exchange time hidden behind local compute by
+    /// split-phase execution (0 until a sharded run calls
+    /// [`CostTracker::attribute_overlap`]). Always ≤ `measured_secs`; the
+    /// §VII "overlap win" the reports surface.
+    pub overlap_hidden_secs: f64,
 }
 
 impl StepCost {
@@ -173,6 +178,7 @@ impl CostTracker {
             h_bytes: h,
             overlap,
             measured_secs: 0.0,
+            overlap_hidden_secs: 0.0,
         };
         self.steps.push(cost);
         self.flops.iter_mut().for_each(|v| *v = 0.0);
@@ -213,9 +219,35 @@ impl CostTracker {
         }
     }
 
+    /// Distributes `secs` of measured *hidden* exchange time — the part of
+    /// an input exchange that split-phase execution overlapped with local
+    /// compute — over the steps closed since index `from`, proportionally
+    /// to their communication volume (only exchange-bearing steps can hide
+    /// exchange time). No-op when nothing was communicated or no steps
+    /// closed.
+    pub fn attribute_overlap(&mut self, from: usize, secs: f64) {
+        if secs <= 0.0 {
+            return;
+        }
+        let from = from.min(self.steps.len());
+        let closed = &mut self.steps[from..];
+        let h: f64 = closed.iter().map(|s| s.h_bytes).sum();
+        if h <= 0.0 {
+            return;
+        }
+        for s in closed {
+            s.overlap_hidden_secs += secs * s.h_bytes / h;
+        }
+    }
+
     /// Total measured seconds attributed to closed steps.
     pub fn total_measured_secs(&self) -> f64 {
         self.steps.iter().map(|s| s.measured_secs).sum()
+    }
+
+    /// Total measured exchange seconds hidden behind compute.
+    pub fn total_overlap_hidden_secs(&self) -> f64 {
+        self.steps.iter().map(|s| s.overlap_hidden_secs).sum()
     }
 
     /// Total modeled wall-clock of all closed steps.
@@ -318,6 +350,27 @@ mod tests {
         assert!((t.total_measured_secs() - 8.0).abs() < 1e-12);
         // A mark past the end is a no-op, not a panic.
         t.attribute_measured(99, 1.0);
+    }
+
+    #[test]
+    fn overlap_attribution_lands_on_exchange_steps_only() {
+        let mut t = tracker(2);
+        let mark = t.steps().len();
+        t.record_send(0, 1, 300.0);
+        t.end_superstep(KernelClass::SpMV, None, false);
+        t.end_local_step(KernelClass::Waxpby, None);
+        t.record_send(0, 1, 100.0);
+        t.end_superstep(KernelClass::Dot, None, false);
+        t.attribute_overlap(mark, 4.0);
+        let steps = t.steps();
+        assert!((steps[0].overlap_hidden_secs - 3.0).abs() < 1e-12);
+        assert_eq!(steps[1].overlap_hidden_secs, 0.0, "no exchange to hide");
+        assert!((steps[2].overlap_hidden_secs - 1.0).abs() < 1e-12);
+        assert!((t.total_overlap_hidden_secs() - 4.0).abs() < 1e-12);
+        // Zero or comm-free windows are no-ops, not panics.
+        t.attribute_overlap(mark, 0.0);
+        t.attribute_overlap(99, 1.0);
+        assert!((t.total_overlap_hidden_secs() - 4.0).abs() < 1e-12);
     }
 
     #[test]

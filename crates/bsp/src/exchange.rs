@@ -1,0 +1,260 @@
+//! A real mailbox-backed exchange layer for split-phase supersteps.
+//!
+//! The closed forms in [`collectives`](crate::collectives) size the
+//! h-relations; this module *moves the bytes*. Each pair of nodes shares a
+//! single-message mailbox, and every transfer is split-phase in the BSPlib
+//! / paper-§VII sense: the sender **posts** its payload and immediately
+//! returns to local work, the receiver **completes** the transfer only
+//! when it actually needs the data. The window between the two is where a
+//! sharded executor hides exchange time behind its local compute tail.
+//!
+//! Every envelope carries the [`Instant`] the sender posted it, so the
+//! receiver can measure how much of the exchange was in flight while it
+//! was still computing — the directly measured counterpart of the modeled
+//! `g·h` term.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// A delivered message: the payload plus the instant the sender posted it.
+///
+/// Split-phase semantics mean receipt can be arbitrarily later than the
+/// post; the stamp lets the receiver compute the in-flight window.
+#[derive(Debug)]
+pub struct Envelope<T> {
+    /// The transferred elements.
+    pub data: Vec<T>,
+    /// When the sender posted the message.
+    pub posted_at: Instant,
+}
+
+/// One single-message mailbox: a slot plus the condvar its receiver parks on.
+#[derive(Debug)]
+struct Slot<T> {
+    payload: Mutex<Option<Envelope<T>>>,
+    ready: Condvar,
+}
+
+/// `p × p` single-message mailboxes implementing point-to-point
+/// h-relations, allgather, and allreduce with split-phase
+/// [`post_send`](Exchange::post_send) / [`complete`](Exchange::complete)
+/// halves. One instance backs one cluster; supersteps reuse it (each
+/// complete drains its slot, so a mailbox is free again for step k+1).
+#[derive(Debug)]
+pub struct Exchange<T> {
+    p: usize,
+    slots: Vec<Slot<T>>,
+}
+
+impl<T: Send> Exchange<T> {
+    /// An exchange fabric for `p` nodes.
+    pub fn new(p: usize) -> Exchange<T> {
+        assert!(p > 0, "a cluster needs at least one node");
+        Exchange {
+            p,
+            slots: (0..p * p)
+                .map(|_| Slot {
+                    payload: Mutex::new(None),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of nodes wired into the fabric.
+    pub fn nodes(&self) -> usize {
+        self.p
+    }
+
+    fn slot(&self, to: usize, from: usize) -> &Slot<T> {
+        &self.slots[to * self.p + from]
+    }
+
+    /// The split-phase send: deposits `data` in the `from → to` mailbox
+    /// with an arrival stamp and returns immediately, leaving the sender
+    /// free to overlap local work. Panics if the previous message in this
+    /// mailbox was never completed (a lost-synchronization bug).
+    pub fn post_send(&self, from: usize, to: usize, data: Vec<T>) {
+        let slot = self.slot(to, from);
+        let mut guard = slot.payload.lock().unwrap();
+        assert!(
+            guard.is_none(),
+            "mailbox {from}->{to} still full: superstep k's exchange was never completed"
+        );
+        *guard = Some(Envelope {
+            data,
+            posted_at: Instant::now(),
+        });
+        slot.ready.notify_all();
+    }
+
+    /// The matching completion: blocks until `from`'s message for `to`
+    /// arrives, then drains the mailbox and returns the envelope.
+    pub fn complete(&self, to: usize, from: usize) -> Envelope<T> {
+        let slot = self.slot(to, from);
+        let mut guard = slot.payload.lock().unwrap();
+        loop {
+            match guard.take() {
+                Some(envelope) => return envelope,
+                None => guard = slot.ready.wait(guard).unwrap(),
+            }
+        }
+    }
+
+    /// Posts `node`'s contribution to every peer — the post half of an
+    /// allgather (`h = (p−1)·|chunk|` elements out). Self-delivery is
+    /// skipped: a node's own chunk never leaves it.
+    pub fn post_allgather(&self, node: usize, chunk: &[T])
+    where
+        T: Clone,
+    {
+        for to in 0..self.p {
+            if to != node {
+                self.post_send(node, to, chunk.to_vec());
+            }
+        }
+    }
+
+    /// Completes an allgather at `node`: receives every peer's chunk, in
+    /// ascending peer order, as `(peer, envelope)` pairs. Empty at `p = 1`.
+    pub fn complete_allgather(&self, node: usize) -> Vec<(usize, Envelope<T>)> {
+        (0..self.p)
+            .filter(|&from| from != node)
+            .map(|from| (from, self.complete(node, from)))
+            .collect()
+    }
+
+    /// Posts `node`'s scalar partial to every peer — the post half of a
+    /// direct-exchange allreduce (`h = (p−1)` words each way).
+    pub fn post_allreduce(&self, node: usize, partial: T)
+    where
+        T: Clone,
+    {
+        for to in 0..self.p {
+            if to != node {
+                self.post_send(node, to, vec![partial.clone()]);
+            }
+        }
+    }
+
+    /// Completes an allreduce at `node`: every peer's partial in ascending
+    /// peer order, plus the latest post stamp (`None` at `p = 1`). The
+    /// combine itself is the caller's: deterministic reductions need an
+    /// owner-order fold, which only the caller can sequence.
+    pub fn complete_allreduce(&self, node: usize) -> (Vec<(usize, T)>, Option<Instant>) {
+        let mut latest = None;
+        let partials = self
+            .complete_allgather(node)
+            .into_iter()
+            .map(|(peer, mut envelope)| {
+                latest =
+                    Some(latest.map_or(envelope.posted_at, |t: Instant| t.max(envelope.posted_at)));
+                (peer, envelope.data.pop().expect("allreduce payload"))
+            })
+            .collect();
+        (partials, latest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let ex = Exchange::<u64>::new(2);
+        ex.post_send(0, 1, vec![7, 8, 9]);
+        let env = ex.complete(1, 0);
+        assert_eq!(env.data, vec![7, 8, 9]);
+        // The mailbox drained: the next superstep may post again.
+        ex.post_send(0, 1, vec![1]);
+        assert_eq!(ex.complete(1, 0).data, vec![1]);
+    }
+
+    #[test]
+    fn complete_blocks_until_posted() {
+        let ex = Exchange::<f64>::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                ex.post_send(1, 0, vec![2.5]);
+            });
+            let env = ex.complete(0, 1);
+            assert_eq!(env.data, vec![2.5]);
+            assert!(env.posted_at.elapsed().as_secs_f64() >= 0.0);
+        });
+    }
+
+    #[test]
+    fn allgather_reassembles_the_vector() {
+        let p = 4;
+        let ex = Exchange::<usize>::new(p);
+        let mut assembled: Vec<Vec<usize>> = vec![Vec::new(); p];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..p)
+                .map(|node| {
+                    let ex = &ex;
+                    s.spawn(move || {
+                        let chunk = vec![node * 10, node * 10 + 1];
+                        ex.post_allgather(node, &chunk);
+                        let mut got = vec![(node, chunk)];
+                        got.extend(
+                            ex.complete_allgather(node)
+                                .into_iter()
+                                .map(|(peer, env)| (peer, env.data)),
+                        );
+                        got.sort_by_key(|&(peer, _)| peer);
+                        got.into_iter().flat_map(|(_, c)| c).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for (node, h) in handles.into_iter().enumerate() {
+                assembled[node] = h.join().unwrap();
+            }
+        });
+        for got in &assembled {
+            assert_eq!(*got, vec![0, 1, 10, 11, 20, 21, 30, 31]);
+        }
+    }
+
+    #[test]
+    fn allreduce_delivers_every_partial_in_peer_order() {
+        let p = 3;
+        let ex = Exchange::<f64>::new(p);
+        std::thread::scope(|s| {
+            for node in 0..p {
+                let ex = &ex;
+                s.spawn(move || {
+                    ex.post_allreduce(node, node as f64 + 1.0);
+                    let (partials, latest) = ex.complete_allreduce(node);
+                    let peers: Vec<_> = partials.iter().map(|&(peer, _)| peer).collect();
+                    let expect: Vec<_> = (0..p).filter(|&q| q != node).collect();
+                    assert_eq!(peers, expect);
+                    let sum: f64 =
+                        partials.iter().map(|&(_, v)| v).sum::<f64>() + node as f64 + 1.0;
+                    assert_eq!(sum, 6.0);
+                    assert!(latest.is_some());
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn single_node_exchanges_nothing() {
+        let ex = Exchange::<f64>::new(1);
+        ex.post_allgather(0, &[1.0, 2.0]);
+        assert!(ex.complete_allgather(0).is_empty());
+        ex.post_allreduce(0, 1.0);
+        let (partials, latest) = ex.complete_allreduce(0);
+        assert!(partials.is_empty());
+        assert!(latest.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "still full")]
+    fn double_post_without_complete_is_a_bug() {
+        let ex = Exchange::<u64>::new(2);
+        ex.post_send(0, 1, vec![1]);
+        ex.post_send(0, 1, vec![2]);
+    }
+}

@@ -24,18 +24,22 @@
 //!   backend), and 3D geometric (the HPCG reference);
 //! * [`factor`] — the 3D processor-grid factorization HPCG uses;
 //! * [`halo`] — 2D-halo exchange volumes on the 3D geometric distribution;
-//! * [`collectives`] — h-relation sizes of allgather / allreduce.
+//! * [`collectives`] — h-relation sizes of allgather / allreduce;
+//! * [`exchange`] — the mailbox-backed split-phase exchange fabric the
+//!   sharded executor moves real bytes through (post/complete halves).
 
 #![warn(missing_docs)]
 
 pub mod collectives;
 pub mod cost;
 pub mod dist;
+pub mod exchange;
 pub mod factor;
 pub mod halo;
 pub mod machine;
 
 pub use cost::{CostTracker, KernelClass, StepCost};
 pub use dist::{BlockCyclic1D, Distribution, Geometric3D};
+pub use exchange::{Envelope, Exchange};
 pub use factor::{factor2d, factor3d};
 pub use machine::MachineParams;

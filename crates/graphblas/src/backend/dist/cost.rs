@@ -57,15 +57,27 @@ pub(crate) struct ClusterState {
     /// allgather to the §VII-B(ii) 2D expand/fold pattern.
     pub grid2d: Option<(usize, usize)>,
     pub scope: Scope,
+    /// Stable obs thread ids, one per node, labeled `node k/p` — the
+    /// per-op worker threads adopt them so every operation of this
+    /// cluster lands on the same named Chrome-trace tracks.
+    pub worker_tids: Vec<u64>,
 }
 
 impl ClusterState {
     pub fn new(nodes: usize, machine: MachineParams, layout: ShardLayout) -> ClusterState {
+        let worker_tids = (0..nodes)
+            .map(|w| {
+                let tid = obs::alloc_tid();
+                obs::set_thread_label(tid, format!("node {}/{}", w + 1, nodes));
+                tid
+            })
+            .collect();
         ClusterState {
             tracker: CostTracker::new(nodes, machine),
             layout,
             grid2d: None,
             scope: Scope::default(),
+            worker_tids,
         }
     }
 

@@ -12,11 +12,18 @@
 //!   it every fluent builder, mask/accumulator/descriptor combination and
 //!   recorded [`Pipeline`](crate::Pipeline) — runs distributed, including
 //!   the fused `spmv+dot` / `axpy+norm` entry points;
-//! * numerics execute **once on global state** through the [`Sequential`]
-//!   kernels, so results are bit-identical to the sequential backend (the
-//!   property the workspace pins down with property tests); what is
-//!   distributed is the **cost**: per-node work and h-relations recorded
-//!   superstep-by-superstep into a [`bsp::CostTracker`];
+//! * numerics execute **sharded across `p` real worker threads** (the
+//!   [`shard`] module): each worker owns its node's rows/elements under
+//!   the layout, input vectors move through the [`bsp::Exchange`] mailbox
+//!   fabric in split-phase (post, compute the interior, complete for the
+//!   boundary tail), and every combine is sequenced in deterministic
+//!   owner order — so results stay bit-identical to the sequential
+//!   backend, the property the workspace pins down with property tests;
+//! * the modeled cost is now the **cross-check**: per-node work and
+//!   h-relations are recorded superstep-by-superstep into a
+//!   [`bsp::CostTracker`] exactly as before, and every step additionally
+//!   carries the directly measured wall-clock and the measured
+//!   exchange-time-hidden-behind-compute of the sharded execution;
 //! * the row/element sharding is a configurable [`ShardLayout`] (1D block
 //!   or block-cyclic), and the machine is a [`bsp::MachineParams`] preset.
 //!
@@ -43,22 +50,17 @@
 
 pub mod cost;
 pub mod layout;
+mod shard;
 
 pub use layout::ShardLayout;
 
-use crate::backend::Backend;
 use crate::container::matrix::{CsrMatrix, GraphMatrix};
 use crate::container::vector::{SparseVector, Vector};
 use crate::context::Exec;
 use crate::descriptor::Descriptor;
 use crate::error::Result;
-use crate::exec::apply::{apply_exec, ewise_lambda_exec};
-use crate::exec::ewise::{axpy_exec, ewise_exec};
-use crate::exec::fused::{axpy_norm_exec, spmv_dot_exec};
 use crate::exec::mxm::mxm_exec;
-use crate::exec::mxv::mxv_exec;
-use crate::exec::reduce::{dot_exec, reduce_exec};
-use crate::exec::sparse::{mxv_sparse_exec, FrontierMode};
+use crate::exec::sparse::FrontierMode;
 use crate::ops::accum::AccumMode;
 use crate::ops::binary::BinaryOp;
 use crate::ops::monoid::Monoid;
@@ -162,18 +164,39 @@ impl Distributed {
         f(&mut guard)
     }
 
+    /// Snapshot of the cluster shape a sharded operation executes under,
+    /// taken under the state lock and used outside it (workers must not
+    /// hold the cluster mutex while computing).
+    fn shape(&self) -> shard::ShardShape {
+        self.record(|s| shard::ShardShape {
+            nodes: s.tracker.nodes(),
+            layout: s.layout,
+            grid2d: s.grid2d.is_some(),
+            tids: s.worker_tids.clone(),
+        })
+    }
+
     /// Runs the cost-recording closure `f` and pairs the supersteps it
-    /// closes with the measured wall-clock since `t0` (the local kernel's
-    /// execution time), distributed along the model's own per-step ratio —
-    /// the cross-check column of [`CostSummary`]. With tracing on, each
-    /// closed superstep also becomes a retrospective span (class
-    /// `"superstep"`) slicing the measured interval.
-    fn record_measured<R>(&self, t0: std::time::Instant, f: impl FnOnce(&mut ClusterState) -> R) {
+    /// closes with the measured wall-clock since `t0` (the sharded
+    /// execution's wall time), distributed along the model's own per-step
+    /// ratio — the cross-check column of [`CostSummary`] — plus the
+    /// measured `overlap_hidden` seconds the split-phase exchange hid
+    /// behind local compute, attributed to the closed steps that moved
+    /// bytes. With tracing on, each closed superstep also becomes a
+    /// retrospective span (class `"superstep"`) slicing the measured
+    /// interval.
+    fn record_measured<R>(
+        &self,
+        t0: std::time::Instant,
+        overlap_hidden: f64,
+        f: impl FnOnce(&mut ClusterState) -> R,
+    ) {
         let secs = t0.elapsed().as_secs_f64();
         self.record(|s| {
             let mark = s.tracker.steps().len();
             let _ = f(s);
             s.tracker.attribute_measured(mark, secs);
+            s.tracker.attribute_overlap(mark, overlap_hidden);
             if obs::enabled() {
                 let mut at = t0;
                 for step in &s.tracker.steps()[mark..] {
@@ -222,6 +245,18 @@ impl Distributed {
         self.record(|s| s.tracker.reset())
     }
 
+    /// Drains the closed steps and resets the attribution scope in one
+    /// atomic operation — the hand-off point a multi-tenant harness uses
+    /// between jobs sharing a cached cluster, so neither unbilled steps
+    /// nor a dangling [`set_scope`](Distributed::set_scope) can bleed
+    /// from one tenant's job into the next tenant's bill.
+    pub fn end_job(&self) -> Vec<StepCost> {
+        self.record(|s| {
+            s.scope = Scope::default();
+            s.tracker.take_steps()
+        })
+    }
+
     /// Records a purely local streaming step that did not go through a
     /// context operation: `n` elements across `k` vectors, no
     /// communication, no barrier. Harnesses use this for raw buffer moves
@@ -261,6 +296,12 @@ impl Distributed {
         self.record(|s| s.tracker.superstep_count())
     }
 
+    /// Total measured exchange time hidden behind local compute by the
+    /// split-phase sharded execution (the §VII overlap win).
+    pub fn total_overlap_hidden_secs(&self) -> f64 {
+        self.record(|s| s.tracker.total_overlap_hidden_secs())
+    }
+
     /// The per-kernel-class cost breakdown of everything recorded so far.
     pub fn cost_summary(&self) -> CostSummary {
         self.record(|s| {
@@ -281,6 +322,9 @@ pub struct ClassCost {
     pub measured_secs: f64,
     /// h-relation bytes across all steps of the class.
     pub h_bytes: f64,
+    /// Measured exchange time hidden behind compute across the class's
+    /// steps (0 when the class moved no bytes or ran on one node).
+    pub overlap_hidden_secs: f64,
     /// Number of recorded steps of the class.
     pub steps: usize,
 }
@@ -313,6 +357,8 @@ pub struct CostSummary {
     pub total_measured_secs: f64,
     /// Total h-relation bytes.
     pub total_h_bytes: f64,
+    /// Total measured exchange time hidden behind compute.
+    pub total_overlap_hidden_secs: f64,
     /// Total recorded steps.
     pub supersteps: usize,
     /// Per-class breakdown, in first-recorded order.
@@ -331,6 +377,7 @@ impl CostSummary {
                     c.secs += step.total_secs();
                     c.measured_secs += step.measured_secs;
                     c.h_bytes += step.h_bytes;
+                    c.overlap_hidden_secs += step.overlap_hidden_secs;
                     c.steps += 1;
                 }
                 None => per_class.push(ClassCost {
@@ -338,6 +385,7 @@ impl CostSummary {
                     secs: step.total_secs(),
                     measured_secs: step.measured_secs,
                     h_bytes: step.h_bytes,
+                    overlap_hidden_secs: step.overlap_hidden_secs,
                     steps: 1,
                 }),
             }
@@ -348,6 +396,7 @@ impl CostSummary {
             total_secs: steps.iter().map(StepCost::total_secs).sum(),
             total_measured_secs: steps.iter().map(|s| s.measured_secs).sum(),
             total_h_bytes: steps.iter().map(|s| s.h_bytes).sum(),
+            total_overlap_hidden_secs: steps.iter().map(|s| s.overlap_hidden_secs).sum(),
             supersteps: steps.len(),
             per_class,
         }
@@ -399,22 +448,26 @@ impl std::fmt::Display for CostSummary {
         writeln!(
             f,
             "modeled BSP cost on {} node(s), {} layout: {:.3} ms modeled, {:.3} ms measured \
-             (x{:.2} model error), {:.2} MB communicated, {} supersteps",
+             (x{:.2} model error), {:.3} ms exchange hidden by overlap, {:.2} MB communicated, \
+             {} supersteps",
             self.nodes,
             self.layout,
             self.total_secs * 1e3,
             self.total_measured_secs * 1e3,
             self.model_error(),
+            self.total_overlap_hidden_secs * 1e3,
             self.total_h_bytes / 1e6,
             self.supersteps,
         )?;
         for c in &self.per_class {
             writeln!(
                 f,
-                "  {:<15} {:>10.3} ms modeled  {:>10.3} ms measured  {:>9.2} MB  {:>6} step(s)",
+                "  {:<15} {:>10.3} ms modeled  {:>10.3} ms measured  {:>10.3} ms hidden  \
+                 {:>9.2} MB  {:>6} step(s)",
                 class_name(c.class),
                 c.secs * 1e3,
                 c.measured_secs * 1e3,
+                c.overlap_hidden_secs * 1e3,
                 c.h_bytes / 1e6,
                 c.steps,
             )?;
@@ -442,9 +495,10 @@ impl Exec for Distributed {
         x: &Vector<T>,
     ) -> Result<()> {
         let _span = obs::span_enter("dist.mxv", "spmv");
+        let shape = self.shape();
         let t0 = std::time::Instant::now();
-        mxv_exec::<T, R, A, Sequential>(y, mask, desc, a, x)?;
-        self.record_measured(t0, |s| s.record_mxv(a, x.len(), mask, desc, false));
+        let hidden = shard::mxv_sharded::<T, R, A>(y, mask, desc, a, x, &shape)?;
+        self.record_measured(t0, hidden, |s| s.record_mxv(a, x.len(), mask, desc, false));
         Ok(())
     }
 
@@ -457,9 +511,10 @@ impl Exec for Distributed {
         x: &SparseVector<T>,
     ) -> Result<FrontierMode> {
         let _span = obs::span_enter("dist.mxv_sparse", "spmv");
+        let shape = self.shape();
         let t0 = std::time::Instant::now();
-        let mode = mxv_sparse_exec::<T, R, A, Sequential>(y, mask, desc, m, x)?;
-        self.record_measured(t0, |s| s.record_mxv_sparse(m, x, mask, desc, mode));
+        let (mode, hidden) = shard::mxv_sparse_sharded::<T, R, A>(y, mask, desc, m, x, &shape)?;
+        self.record_measured(t0, hidden, |s| s.record_mxv_sparse(m, x, mask, desc, mode));
         Ok(mode)
     }
 
@@ -473,18 +528,20 @@ impl Exec for Distributed {
         scale: Option<(T, T)>,
     ) -> Result<()> {
         let _span = obs::span_enter("dist.ewise", "update");
+        let shape = self.shape();
         let t0 = std::time::Instant::now();
-        ewise_exec::<T, Op, A, Sequential>(w, mask, desc, x, y, scale)?;
+        shard::ewise_sharded::<T, Op, A>(w, mask, desc, x, y, scale, &shape)?;
         let flops = if scale.is_some() { 3.0 } else { 1.0 };
-        self.record_measured(t0, |s| s.record_stream(w.len(), mask, desc, 3, flops));
+        self.record_measured(t0, 0.0, |s| s.record_stream(w.len(), mask, desc, 3, flops));
         Ok(())
     }
 
     fn run_axpy<T: Scalar>(self, x: &mut Vector<T>, alpha: T, y: &Vector<T>) -> Result<()> {
         let _span = obs::span_enter("dist.axpy", "update");
+        let shape = self.shape();
         let t0 = std::time::Instant::now();
-        axpy_exec::<T, Sequential>(x, alpha, y)?;
-        self.record_measured(t0, |s| {
+        shard::axpy_sharded::<T>(x, alpha, y, &shape)?;
+        self.record_measured(t0, 0.0, |s| {
             s.record_stream(x.len(), None, Descriptor::DEFAULT, 3, 2.0)
         });
         Ok(())
@@ -498,9 +555,10 @@ impl Exec for Distributed {
         input: &Vector<T>,
     ) -> Result<()> {
         let _span = obs::span_enter("dist.apply", "update");
+        let shape = self.shape();
         let t0 = std::time::Instant::now();
-        apply_exec::<T, Op, A, Sequential>(out, mask, desc, input)?;
-        self.record_measured(t0, |s| s.record_stream(out.len(), mask, desc, 2, 1.0));
+        shard::apply_sharded::<T, Op, A>(out, mask, desc, input, &shape)?;
+        self.record_measured(t0, 0.0, |s| s.record_stream(out.len(), mask, desc, 2, 1.0));
         Ok(())
     }
 
@@ -512,11 +570,12 @@ impl Exec for Distributed {
         f: F,
     ) -> Result<()> {
         let _span = obs::span_enter("dist.lambda", "update");
+        let shape = self.shape();
         let t0 = std::time::Instant::now();
-        ewise_lambda_exec::<T, Sequential, F>(out, mask, desc, f)?;
+        shard::lambda_sharded::<T, F>(out, mask, desc, f, &shape)?;
         // A lambda typically reads a captured vector besides the in-place
         // output; model it as a three-stream update (the xpay shape).
-        self.record_measured(t0, |s| s.record_stream(out.len(), mask, desc, 3, 2.0));
+        self.record_measured(t0, 0.0, |s| s.record_stream(out.len(), mask, desc, 3, 2.0));
         Ok(())
     }
 
@@ -527,17 +586,19 @@ impl Exec for Distributed {
         desc: Descriptor,
     ) -> Result<T> {
         let _span = obs::span_enter("dist.reduce", "dot");
+        let shape = self.shape();
         let t0 = std::time::Instant::now();
-        let v = reduce_exec::<T, M, Sequential>(x, mask, desc)?;
-        self.record_measured(t0, |s| s.record_reduction(x.len(), mask, desc, 1, 1.0));
+        let v = shard::reduce_sharded::<T, M>(x, mask, desc, &shape)?;
+        self.record_measured(t0, 0.0, |s| s.record_reduction(x.len(), mask, desc, 1, 1.0));
         Ok(v)
     }
 
     fn run_dot<T: Scalar, R: Semiring<T>>(self, x: &Vector<T>, y: &Vector<T>) -> Result<T> {
         let _span = obs::span_enter("dist.dot", "dot");
+        let shape = self.shape();
         let t0 = std::time::Instant::now();
-        let v = dot_exec::<T, R, Sequential>(x, y)?;
-        self.record_measured(t0, |s| {
+        let v = shard::dot_sharded::<T, R>(x, y, &shape)?;
+        self.record_measured(t0, 0.0, |s| {
             s.record_reduction(x.len(), None, Descriptor::DEFAULT, 2, 2.0)
         });
         Ok(v)
@@ -552,15 +613,16 @@ impl Exec for Distributed {
         let _span = obs::span_enter("dist.mxm", "spmv");
         let t0 = std::time::Instant::now();
         let c = mxm_exec::<T, R, Sequential>(a, b, desc)?;
-        self.record_measured(t0, |s| s.record_mxm(a, b));
+        self.record_measured(t0, 0.0, |s| s.record_mxm(a, b));
         Ok(c)
     }
 
     fn run_for_each<F: Fn(usize) + Send + Sync>(self, n: usize, f: F) {
         let _span = obs::span_enter("dist.for_each", "update");
+        let shape = self.shape();
         let t0 = std::time::Instant::now();
-        Sequential::for_n(n, f);
-        self.record_measured(t0, |s| {
+        shard::for_each_sharded(n, f, &shape);
+        self.record_measured(t0, 0.0, |s| {
             s.record_stream(n, None, Descriptor::DEFAULT, 2, 1.0)
         });
     }
@@ -574,11 +636,12 @@ impl Exec for Distributed {
         product_on_left: bool,
     ) -> Result<T> {
         let _span = obs::span_enter("dist.spmv_dot", "fused");
+        let shape = self.shape();
         let t0 = std::time::Instant::now();
-        let v = spmv_dot_exec::<T, R, Sequential>(y, a, x, w, product_on_left)?;
+        let (v, hidden) = shard::spmv_dot_sharded::<T, R>(y, a, x, w, product_on_left, &shape)?;
         // One sweep with the dot epilogue plus one Θ(p) allreduce — not
         // two full supersteps (the nonblocking-execution payoff, §VI).
-        self.record_measured(t0, |s| {
+        self.record_measured(t0, hidden, |s| {
             s.record_mxv(a, x.len(), None, Descriptor::DEFAULT, true)
         });
         Ok(v)
@@ -591,9 +654,10 @@ impl Exec for Distributed {
         y: &Vector<T>,
     ) -> Result<T> {
         let _span = obs::span_enter("dist.axpy_norm", "fused");
+        let shape = self.shape();
         let t0 = std::time::Instant::now();
-        let v = axpy_norm_exec::<T, R, Sequential>(x, alpha, y)?;
-        self.record_measured(t0, |s| s.record_stream_with_norm(x.len(), 3, 4.0));
+        let v = shard::axpy_norm_sharded::<T, R>(x, alpha, y, &shape)?;
+        self.record_measured(t0, 0.0, |s| s.record_stream_with_norm(x.len(), 3, 4.0));
         Ok(v)
     }
 }
@@ -862,6 +926,25 @@ mod tests {
         let steps = cluster.take_steps();
         assert_eq!(steps.len(), 2, "fused SpMV+dot closes two supersteps");
         assert!(steps.iter().all(|s| s.measured_secs > 0.0));
+    }
+
+    #[test]
+    fn end_job_drains_steps_and_resets_scope() {
+        let cluster = Distributed::new(2);
+        let x = Vector::filled(16, 1.0);
+        cluster.set_scope(Some(KernelClass::Smoother), Some(1));
+        cluster.ctx().norm2_squared(&x).unwrap();
+        let steps = cluster.end_job();
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].class, KernelClass::Smoother);
+        assert_eq!(steps[0].mg_level, Some(1));
+        // The hand-off also dropped the scope: the next job's ops are
+        // attributed per-operation again, not under the old tenant's tag.
+        cluster.ctx().norm2_squared(&x).unwrap();
+        let steps = cluster.end_job();
+        assert_eq!(steps[0].class, KernelClass::Dot);
+        assert_eq!(steps[0].mg_level, None);
+        assert_eq!(cluster.supersteps(), 0);
     }
 
     #[test]

@@ -1,0 +1,676 @@
+//! Sharded superstep execution: the kernels, actually run on `p` workers.
+//!
+//! Until PR 10 the distributed backend computed once on global state and
+//! only *modeled* BSP costs. This module is the real thing: every
+//! operation spawns one worker per simulated node (`std::thread::scope`),
+//! each worker touches only the rows/elements its node owns under the
+//! cluster's [`ShardLayout`], and the bytes a superstep's h-relation
+//! describes genuinely move through the [`bsp::Exchange`] mailbox fabric
+//! in **split-phase** form: post the shard, compute the interior rows
+//! while peers' shards are in flight, complete the exchange only for the
+//! boundary tail (paper §VII's nonblocking proposal).
+//!
+//! # Bit-identity with `Sequential`
+//!
+//! The workspace invariant is zero-tolerance: every backend must produce
+//! results bit-identical to [`Sequential`]. Sharding threatens that in
+//! exactly one place — combine order of floating-point reductions — so
+//! every kernel here is built from one of two provably-safe shapes:
+//!
+//! * **Disjoint writes** (`mxv`, element-wise, apply, lambda): each owned
+//!   output slot is computed by exactly one worker with the same
+//!   per-element expression as the sequential kernel, reading input
+//!   values that are bitwise copies of the global ones (the allgather
+//!   reassembles the exact bytes). Order across slots is irrelevant.
+//! * **Scratch + owner-order fold** (`dot`, `reduce`, the fused
+//!   epilogues): workers fill a shared per-element scratch array at their
+//!   owned indices, then one ascending fold — the *same*
+//!   `Sequential::fold` / `fold_selected::<Sequential>` the eager kernel
+//!   runs — combines them. The combine is deterministic owner order by
+//!   construction: ascending global index order, which block layouts
+//!   enumerate node by node.
+//!
+//! The sparse-frontier push kernel reassembles the *full* frontier on
+//! every node (sorted ascending, the kernel's `iter_stored` order) before
+//! scattering, so each scratch slot sees its contributions in exactly the
+//! sequence the global walk produces.
+//!
+//! # Measured overlap
+//!
+//! Each worker stamps its superstep entry, posts, computes its interior
+//! phase, then completes. The envelope stamps tell it how long the
+//! exchange was in flight; the hidden time is
+//! `min(local work before complete, in-flight window)` and the step's
+//! overlap win is the maximum over nodes — directly measured, attributed
+//! onto the modeled trace via [`bsp::cost::CostTracker`] overlap
+//! attribution, and 0 by construction on one node (no peers).
+//!
+//! Transposed `mxv`, `mxm`, and 2D process grids keep the global
+//! sequential kernels (their exchange structure differs; the recorder
+//! still models them), reporting zero overlap.
+
+use super::cost;
+use super::layout::ShardLayout;
+use crate::backend::Backend;
+use crate::container::matrix::{CsrMatrix, GraphMatrix};
+use crate::container::vector::{SparseVector, Vector};
+use crate::descriptor::Descriptor;
+use crate::error::{check_dims, Result};
+use crate::exec::fold_selected;
+use crate::exec::mxv::mxv_exec;
+use crate::exec::sparse::{mxv_sparse_exec, FrontierMode, PUSH_PULL_THRESHOLD};
+use crate::ops::accum::{AccumMode, AccumWith};
+use crate::ops::binary::BinaryOp;
+use crate::ops::monoid::Monoid;
+use crate::ops::scalar::Scalar;
+use crate::ops::semiring::Semiring;
+use crate::ops::unary::UnaryOp;
+use crate::util::UnsafeSlice;
+use crate::Sequential;
+use bsp::dist::Distribution;
+use bsp::{BlockCyclic1D, Exchange};
+use std::any::TypeId;
+use std::time::Instant;
+
+/// Snapshot of the cluster shape one sharded operation executes under.
+///
+/// Taken under the state lock, used outside it: workers must not hold the
+/// cluster mutex while computing (the recorder takes it afterwards).
+#[derive(Clone, Debug)]
+pub(crate) struct ShardShape {
+    /// Worker (node) count `p`.
+    pub nodes: usize,
+    /// Row/element sharding over the 1D node grid.
+    pub layout: ShardLayout,
+    /// 2D process grids exchange along both grid axes; 1D sharded
+    /// execution falls back to the global kernels under them.
+    pub grid2d: bool,
+    /// Stable obs thread ids, one per node; workers adopt them so the
+    /// Chrome trace shows one named per-node track across operations.
+    pub tids: Vec<u64>,
+}
+
+impl ShardShape {
+    fn dist(&self, n: usize) -> BlockCyclic1D {
+        self.layout.dist_for(n, self.nodes)
+    }
+}
+
+/// Runs `f(worker)` on `p` scoped threads and returns the largest
+/// per-worker hidden-exchange time. One node runs inline: there are no
+/// peers, so nothing can be in flight and nothing can hide.
+fn run_superstep<F>(shape: &ShardShape, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    if shape.nodes == 1 {
+        return f(0);
+    }
+    let mut hidden = 0.0f64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..shape.nodes)
+            .map(|w| {
+                let f = &f;
+                let tid = shape.tids.get(w).copied();
+                s.spawn(move || {
+                    if let Some(tid) = tid {
+                        obs::adopt_tid(tid);
+                    }
+                    f(w)
+                })
+            })
+            .collect();
+        for handle in handles {
+            hidden = hidden.max(handle.join().expect("BSP worker panicked"));
+        }
+    });
+    hidden
+}
+
+/// Exchange time hidden behind local work at one node: the in-flight
+/// window (superstep entry to the last peer's post) clipped to the local
+/// work done before completing. `None` arrival (no peers) hides nothing.
+fn hidden_window(t_post: Instant, t_complete: Instant, last_arrival: Option<Instant>) -> f64 {
+    let Some(arrival) = last_arrival else {
+        return 0.0;
+    };
+    let local = t_complete.saturating_duration_since(t_post).as_secs_f64();
+    let inflight = arrival.saturating_duration_since(t_post).as_secs_f64();
+    local.min(inflight)
+}
+
+/// The owned selected indices per node, ascending within each node —
+/// the sharded counterpart of `for_each_selected`'s visit set.
+///
+/// Replicates the kernel's mask-length check up front so sharded paths
+/// fail with exactly the error the sequential kernel returns (the cost
+/// mirror `cost::for_selected` silently selects nothing on mismatch).
+fn owned_selected(
+    n: usize,
+    mask: Option<&Vector<bool>>,
+    desc: Descriptor,
+    dist: &BlockCyclic1D,
+) -> Result<Vec<Vec<usize>>> {
+    if let Some(m) = mask {
+        check_dims("mask", "mask length", n, m.len())?;
+    }
+    let mut owned = vec![Vec::new(); dist.nodes()];
+    cost::for_selected(n, mask, desc, |i| owned[dist.owner(i)].push(i));
+    Ok(owned)
+}
+
+/// The split-phase sharded row sweep shared by `mxv` and `spmv_dot`.
+///
+/// Each worker posts its `x` shard, reassembles the local part, computes
+/// every owned row whose columns are all local while peer shards are in
+/// flight, then completes the allgather and sweeps the boundary tail.
+/// `sink(i, acc)` stores row `i`'s accumulator (the only per-kernel
+/// difference). Returns the measured hidden-exchange time.
+fn sharded_row_sweep<T, R, G>(
+    a: &CsrMatrix<T>,
+    xs: &[T],
+    owned: &[Vec<usize>],
+    shape: &ShardShape,
+    sink: G,
+) -> f64
+where
+    T: Scalar,
+    R: Semiring<T>,
+    G: Fn(usize, T) + Sync,
+{
+    let x_dist = shape.dist(xs.len());
+    let ex = Exchange::<T>::new(shape.nodes);
+    run_superstep(shape, |w| {
+        let compute_row = |i: usize, src: &[T]| {
+            let (cols, vals) = a.row(i);
+            let mut acc = R::zero();
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc = R::add(acc, R::mul(v, src[c as usize]));
+            }
+            sink(i, acc);
+        };
+        // Post phase: ship this node's x shard to every peer.
+        let t_post = Instant::now();
+        let chunk: Vec<T> = (0..x_dist.local_len(w))
+            .map(|l| xs[x_dist.to_global(w, l)])
+            .collect();
+        ex.post_allgather(w, &chunk);
+        // Interior phase, overlapping the in-flight exchange: unpack the
+        // local shard, sweep every owned row that reads only local
+        // columns; boundary rows wait for the peers.
+        let mut assembled = vec![R::zero(); xs.len()];
+        for (l, &v) in chunk.iter().enumerate() {
+            assembled[x_dist.to_global(w, l)] = v;
+        }
+        let mut boundary = Vec::new();
+        for &i in &owned[w] {
+            let (cols, _) = a.row(i);
+            if cols.iter().all(|&c| x_dist.owner(c as usize) == w) {
+                compute_row(i, &assembled);
+            } else {
+                boundary.push(i);
+            }
+        }
+        let t_complete = Instant::now();
+        // Complete phase: drain the mailboxes, then the boundary tail.
+        let mut last_arrival: Option<Instant> = None;
+        for (peer, envelope) in ex.complete_allgather(w) {
+            last_arrival = Some(
+                last_arrival.map_or(envelope.posted_at, |t: Instant| t.max(envelope.posted_at)),
+            );
+            for (l, v) in envelope.data.into_iter().enumerate() {
+                assembled[x_dist.to_global(peer, l)] = v;
+            }
+        }
+        let t_boundary = Instant::now();
+        for &i in &boundary {
+            compute_row(i, &assembled);
+        }
+        if obs::enabled() {
+            obs::record_span("shard.interior", "shard", t_post, t_complete);
+            obs::record_span("shard.exchange", "shard", t_complete, t_boundary);
+            obs::record_span("shard.boundary", "shard", t_boundary, Instant::now());
+        }
+        hidden_window(t_post, t_complete, last_arrival)
+    })
+}
+
+/// Sharded `y⟨mask⟩ = y ⊙? (A ⊕.⊗ x)`. Returns the hidden-exchange time.
+pub(crate) fn mxv_sharded<T, R, A>(
+    y: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    desc: Descriptor,
+    a: &CsrMatrix<T>,
+    x: &Vector<T>,
+    shape: &ShardShape,
+) -> Result<f64>
+where
+    T: Scalar,
+    R: Semiring<T>,
+    A: AccumMode<T>,
+{
+    if desc.is_transposed() || shape.grid2d {
+        mxv_exec::<T, R, A, Sequential>(y, mask, desc, a, x)?;
+        return Ok(0.0);
+    }
+    check_dims("mxv", "x vs ncols", a.ncols(), x.len())?;
+    check_dims("mxv", "y vs nrows", a.nrows(), y.len())?;
+    let row_dist = shape.dist(a.nrows());
+    let owned = owned_selected(a.nrows(), mask, desc, &row_dist)?;
+    let xs = x.as_slice();
+    let out = UnsafeSlice::new(y.as_mut_slice());
+    // SAFETY: `owned` partitions the selected rows across workers, so
+    // each output slot is written by exactly one worker exactly once.
+    let hidden = sharded_row_sweep::<T, R, _>(a, xs, &owned, shape, |i, acc| unsafe {
+        A::store(out.get_mut(i), acc)
+    });
+    Ok(hidden)
+}
+
+/// Sharded direction-optimizing sparse-frontier product. Returns the mode
+/// the kernel chose plus the hidden-exchange time.
+pub(crate) fn mxv_sparse_sharded<T, R, A>(
+    y: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    desc: Descriptor,
+    m: &GraphMatrix<T>,
+    x: &SparseVector<T>,
+    shape: &ShardShape,
+) -> Result<(FrontierMode, f64)>
+where
+    T: Scalar,
+    R: Semiring<T>,
+    A: AccumMode<T>,
+{
+    if shape.grid2d {
+        let mode = mxv_sparse_exec::<T, R, A, Sequential>(y, mask, desc, m, x)?;
+        return Ok((mode, 0.0));
+    }
+    if desc.is_transposed() {
+        check_dims("mxv_sparse^T", "x vs nrows", m.nrows(), x.len())?;
+        check_dims("mxv_sparse^T", "y vs ncols", m.ncols(), y.len())?;
+    } else {
+        check_dims("mxv_sparse", "x vs ncols", m.ncols(), x.len())?;
+        check_dims("mxv_sparse", "y vs nrows", m.nrows(), y.len())?;
+    }
+
+    // The kernel's direction heuristic, replicated decision-for-decision
+    // (see `mxv_sparse_exec`) so dist picks the mode Sequential picks.
+    let transposed_fused_accum = desc.is_transposed()
+        && mask.is_none()
+        && TypeId::of::<A>() == TypeId::of::<AccumWith<R::Add>>();
+    let push_legal = R::ANNIHILATING_ZERO
+        && !x.is_promoted()
+        && x.fill() == R::zero()
+        && !transposed_fused_accum;
+    if !push_legal || x.density() > PUSH_PULL_THRESHOLD {
+        let hidden = mxv_sharded::<T, R, A>(y, mask, desc, m.csr(), &x.to_dense(), shape)?;
+        return Ok((FrontierMode::Pull, hidden));
+    }
+
+    // Push: a real sparse frontier exchange. Each node posts its owned
+    // stored entries; every node reassembles the full frontier sorted
+    // ascending — the kernel's `iter_stored` order — and scatters it into
+    // the scratch slots its node owns, so each slot accumulates its
+    // contributions in exactly the global walk's sequence.
+    let col_major = if desc.is_transposed() {
+        m.csr()
+    } else {
+        m.csc()
+    };
+    let out_len = y.len();
+    let out_dist = shape.dist(out_len);
+    let owned_out = owned_selected(out_len, mask, desc, &out_dist)?;
+    let x_dist = shape.dist(x.len());
+    let mut frontier_shards: Vec<Vec<(u32, T)>> = vec![Vec::new(); shape.nodes];
+    for (j, v) in x.iter_stored() {
+        frontier_shards[x_dist.owner(j)].push((j as u32, v));
+    }
+    let mut scratch = vec![R::zero(); out_len];
+    let hidden = {
+        let sc = UnsafeSlice::new(&mut scratch);
+        let out = UnsafeSlice::new(y.as_mut_slice());
+        let ex = Exchange::<(u32, T)>::new(shape.nodes);
+        run_superstep(shape, |w| {
+            let t_post = Instant::now();
+            ex.post_allgather(w, &frontier_shards[w]);
+            let mut frontier = frontier_shards[w].clone();
+            let t_complete = Instant::now();
+            let mut last_arrival: Option<Instant> = None;
+            for (_, envelope) in ex.complete_allgather(w) {
+                last_arrival = Some(
+                    last_arrival.map_or(envelope.posted_at, |t: Instant| t.max(envelope.posted_at)),
+                );
+                frontier.extend(envelope.data);
+            }
+            // Frontier indices are unique, so the sort fully determines
+            // the walk order.
+            frontier.sort_unstable_by_key(|&(j, _)| j);
+            for &(j, xv) in &frontier {
+                let (rows, vals) = col_major.row(j as usize);
+                for (&i, &av) in rows.iter().zip(vals) {
+                    let i = i as usize;
+                    if out_dist.owner(i) == w {
+                        // SAFETY: each scratch slot belongs to exactly one
+                        // worker via `out_dist`.
+                        unsafe {
+                            let slot = sc.get_mut(i);
+                            *slot = R::add(*slot, R::mul(av, xv));
+                        }
+                    }
+                }
+            }
+            for &i in &owned_out[w] {
+                // SAFETY: selected owned indices are unique per worker and
+                // this worker finished all writes to its scratch slots.
+                unsafe { A::store(out.get_mut(i), *sc.get_mut(i)) };
+            }
+            hidden_window(t_post, t_complete, last_arrival)
+        })
+    };
+    Ok((FrontierMode::Push, hidden))
+}
+
+/// Sharded fused `y = A ⊕.⊗ x` with a dot epilogue. Returns the dot value
+/// and the hidden-exchange time.
+pub(crate) fn spmv_dot_sharded<T, R>(
+    y: &mut Vector<T>,
+    a: &CsrMatrix<T>,
+    x: &Vector<T>,
+    w: Option<&Vector<T>>,
+    product_on_left: bool,
+    shape: &ShardShape,
+) -> Result<(T, f64)>
+where
+    T: Scalar,
+    R: Semiring<T>,
+{
+    if shape.grid2d {
+        let v = crate::exec::fused::spmv_dot_exec::<T, R, Sequential>(y, a, x, w, product_on_left)?;
+        return Ok((v, 0.0));
+    }
+    check_dims("spmv_dot", "x vs ncols", a.ncols(), x.len())?;
+    check_dims("spmv_dot", "y vs nrows", a.nrows(), y.len())?;
+    if let Some(w) = w {
+        check_dims("spmv_dot", "w vs nrows", a.nrows(), w.len())?;
+    }
+    // Same epilogue monomorphization as the fused kernel.
+    Ok(match (w.map(|v| v.as_slice()), product_on_left) {
+        (Some(ws), true) => fused_sweep::<T, R, _>(y, a, x, shape, |i, acc| R::mul(acc, ws[i])),
+        (Some(ws), false) => fused_sweep::<T, R, _>(y, a, x, shape, |i, acc| R::mul(ws[i], acc)),
+        (None, _) => fused_sweep::<T, R, _>(y, a, x, shape, |_, acc| R::mul(acc, acc)),
+    })
+}
+
+/// The shared sharded sweep of [`spmv_dot_sharded`]: workers store each
+/// row's accumulator into `y` and its epilogue value into a scratch
+/// array; the ascending `Sequential::fold` over the scratch then combines
+/// exactly as the eager `dot` kernel would.
+fn fused_sweep<T, R, F>(
+    y: &mut Vector<T>,
+    a: &CsrMatrix<T>,
+    x: &Vector<T>,
+    shape: &ShardShape,
+    epilogue: F,
+) -> (T, f64)
+where
+    T: Scalar,
+    R: Semiring<T>,
+    F: Fn(usize, T) -> T + Sync,
+{
+    let n = a.nrows();
+    let row_dist = shape.dist(n);
+    let owned = owned_selected(n, None, Descriptor::DEFAULT, &row_dist)
+        .expect("unmasked selection cannot fail");
+    let mut scratch = vec![R::zero(); n];
+    let hidden = {
+        let xs = x.as_slice();
+        let out = UnsafeSlice::new(y.as_mut_slice());
+        let sc = UnsafeSlice::new(&mut scratch);
+        // SAFETY: `owned` partitions the rows, so each y and scratch slot
+        // is written by exactly one worker exactly once.
+        sharded_row_sweep::<T, R, _>(a, xs, &owned, shape, |i, acc| unsafe {
+            *out.get_mut(i) = acc;
+            *sc.get_mut(i) = epilogue(i, acc);
+        })
+    };
+    (Sequential::fold::<T, R::Add, _>(n, |i| scratch[i]), hidden)
+}
+
+/// Sharded fused `x ← x + α·y` returning `⟨x, x⟩` of the updated vector.
+pub(crate) fn axpy_norm_sharded<T, R>(
+    x: &mut Vector<T>,
+    alpha: T,
+    y: &Vector<T>,
+    shape: &ShardShape,
+) -> Result<T>
+where
+    T: Scalar,
+    R: Semiring<T>,
+{
+    check_dims("axpy_norm", "y vs x", x.len(), y.len())?;
+    let n = x.len();
+    let dist = shape.dist(n);
+    let owned = owned_selected(n, None, Descriptor::DEFAULT, &dist)?;
+    let ys = y.as_slice();
+    let mut scratch = vec![R::zero(); n];
+    {
+        let out = UnsafeSlice::new(x.as_mut_slice());
+        let sc = UnsafeSlice::new(&mut scratch);
+        run_superstep(shape, |w| {
+            for &i in &owned[w] {
+                // SAFETY: owned indices are disjoint across workers.
+                unsafe {
+                    let slot = out.get_mut(i);
+                    *slot = slot.add(alpha.mul(ys[i]));
+                    *sc.get_mut(i) = R::mul(*slot, *slot);
+                }
+            }
+            0.0
+        });
+    }
+    Ok(Sequential::fold::<T, R::Add, _>(n, |i| scratch[i]))
+}
+
+/// Sharded `⟨x, y⟩` under semiring `R`.
+pub(crate) fn dot_sharded<T, R>(x: &Vector<T>, y: &Vector<T>, shape: &ShardShape) -> Result<T>
+where
+    T: Scalar,
+    R: Semiring<T>,
+{
+    check_dims("dot", "y vs x", x.len(), y.len())?;
+    let n = x.len();
+    let dist = shape.dist(n);
+    let owned = owned_selected(n, None, Descriptor::DEFAULT, &dist)?;
+    let xs = x.as_slice();
+    let ys = y.as_slice();
+    let mut scratch = vec![R::zero(); n];
+    {
+        let sc = UnsafeSlice::new(&mut scratch);
+        run_superstep(shape, |w| {
+            for &i in &owned[w] {
+                // SAFETY: owned indices are disjoint across workers.
+                unsafe { *sc.get_mut(i) = R::mul(xs[i], ys[i]) };
+            }
+            0.0
+        });
+    }
+    Ok(Sequential::fold::<T, R::Add, _>(n, |i| scratch[i]))
+}
+
+/// Sharded masked monoid reduction of `x`.
+pub(crate) fn reduce_sharded<T, M>(
+    x: &Vector<T>,
+    mask: Option<&Vector<bool>>,
+    desc: Descriptor,
+    shape: &ShardShape,
+) -> Result<T>
+where
+    T: Scalar,
+    M: Monoid<T>,
+{
+    let n = x.len();
+    let dist = shape.dist(n);
+    let owned = owned_selected(n, mask, desc, &dist)?;
+    let xs = x.as_slice();
+    // Unselected slots are never read: `fold_selected` maps selected
+    // indices only (unselected contribute `M::identity()` directly).
+    let mut scratch = vec![M::identity(); n];
+    {
+        let sc = UnsafeSlice::new(&mut scratch);
+        run_superstep(shape, |w| {
+            for &i in &owned[w] {
+                // SAFETY: owned indices are disjoint across workers.
+                unsafe { *sc.get_mut(i) = xs[i] };
+            }
+            0.0
+        });
+    }
+    // The exact fold structure of the sequential kernel, including its
+    // identity handling on unselected indices.
+    fold_selected::<Sequential, T, M, _>(n, mask, desc, |i| scratch[i])
+}
+
+/// Sharded `w⟨mask⟩ = w ⊙? Op(αx, βy)`.
+pub(crate) fn ewise_sharded<T, Op, A>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    desc: Descriptor,
+    x: &Vector<T>,
+    y: &Vector<T>,
+    scale: Option<(T, T)>,
+    shape: &ShardShape,
+) -> Result<()>
+where
+    T: Scalar,
+    Op: BinaryOp<T>,
+    A: AccumMode<T>,
+{
+    check_dims("ewise", "x vs output", w.len(), x.len())?;
+    check_dims("ewise", "y vs output", w.len(), y.len())?;
+    let n = w.len();
+    let dist = shape.dist(n);
+    let owned = owned_selected(n, mask, desc, &dist)?;
+    let xs = x.as_slice();
+    let ys = y.as_slice();
+    let out = UnsafeSlice::new(w.as_mut_slice());
+    match scale {
+        None => run_superstep(shape, |node| {
+            for &i in &owned[node] {
+                // SAFETY: owned indices are disjoint across workers.
+                unsafe { A::store(out.get_mut(i), Op::apply(xs[i], ys[i])) };
+            }
+            0.0
+        }),
+        Some((alpha, beta)) => run_superstep(shape, |node| {
+            for &i in &owned[node] {
+                // SAFETY: owned indices are disjoint across workers.
+                unsafe {
+                    A::store(out.get_mut(i), Op::apply(alpha.mul(xs[i]), beta.mul(ys[i])));
+                }
+            }
+            0.0
+        }),
+    };
+    Ok(())
+}
+
+/// Sharded `x ← x + α·y`.
+pub(crate) fn axpy_sharded<T>(
+    x: &mut Vector<T>,
+    alpha: T,
+    y: &Vector<T>,
+    shape: &ShardShape,
+) -> Result<()>
+where
+    T: Scalar,
+{
+    check_dims("axpy", "y vs x", x.len(), y.len())?;
+    let n = x.len();
+    let dist = shape.dist(n);
+    let owned = owned_selected(n, None, Descriptor::DEFAULT, &dist)?;
+    let ys = y.as_slice();
+    let out = UnsafeSlice::new(x.as_mut_slice());
+    run_superstep(shape, |w| {
+        for &i in &owned[w] {
+            // SAFETY: owned indices are disjoint across workers.
+            unsafe {
+                let slot = out.get_mut(i);
+                *slot = slot.add(alpha.mul(ys[i]));
+            }
+        }
+        0.0
+    });
+    Ok(())
+}
+
+/// Sharded `out⟨mask⟩ = out ⊙? Op(input)`.
+pub(crate) fn apply_sharded<T, Op, A>(
+    out: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    desc: Descriptor,
+    input: &Vector<T>,
+    shape: &ShardShape,
+) -> Result<()>
+where
+    T: Scalar,
+    Op: UnaryOp<T>,
+    A: AccumMode<T>,
+{
+    check_dims("apply", "input vs output", out.len(), input.len())?;
+    let n = out.len();
+    let dist = shape.dist(n);
+    let owned = owned_selected(n, mask, desc, &dist)?;
+    let xs = input.as_slice();
+    let slots = UnsafeSlice::new(out.as_mut_slice());
+    run_superstep(shape, |w| {
+        for &i in &owned[w] {
+            // SAFETY: owned indices are disjoint across workers.
+            unsafe { A::store(slots.get_mut(i), Op::apply(xs[i])) };
+        }
+        0.0
+    });
+    Ok(())
+}
+
+/// Sharded in-place lambda over the selected indices.
+pub(crate) fn lambda_sharded<T, F>(
+    out: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    desc: Descriptor,
+    f: F,
+    shape: &ShardShape,
+) -> Result<()>
+where
+    T: Scalar,
+    F: Fn(usize, &mut T) + Send + Sync,
+{
+    let n = out.len();
+    let dist = shape.dist(n);
+    let owned = owned_selected(n, mask, desc, &dist)?;
+    let slots = UnsafeSlice::new(out.as_mut_slice());
+    run_superstep(shape, |w| {
+        for &i in &owned[w] {
+            // SAFETY: owned indices are disjoint across workers.
+            f(i, unsafe { slots.get_mut(i) });
+        }
+        0.0
+    });
+    Ok(())
+}
+
+/// Sharded index iteration: `f(i)` for every owned index on its worker.
+pub(crate) fn for_each_sharded<F>(n: usize, f: F, shape: &ShardShape)
+where
+    F: Fn(usize) + Send + Sync,
+{
+    let dist = shape.dist(n);
+    let owned = owned_selected(n, None, Descriptor::DEFAULT, &dist)
+        .expect("unmasked selection cannot fail");
+    run_superstep(shape, |w| {
+        for &i in &owned[w] {
+            f(i);
+        }
+        0.0
+    });
+}

@@ -1,0 +1,129 @@
+//! Determinism stress suite for the sharded distributed backend.
+//!
+//! `dist:p` executes every kernel across `p` real worker threads over
+//! sharded containers, so the one property everything downstream leans
+//! on — cost cross-checks, serve billing, the paper's ALP-vs-Ref
+//! comparison — is that thread scheduling is invisible in the results:
+//! every run, at every node count, must be **bitwise** identical to
+//! `Sequential`. These tests hammer that pin with repeats across node
+//! counts (including p = 3 and p = 7, which split nothing evenly) on
+//! the three surfaces with the most combine machinery: the full HPCG
+//! solve, sparse-frontier traversals, and compiled-plan replay.
+
+use graphblas::algorithms::{bfs_levels_on, sssp_on};
+use graphblas::{ctx, CsrMatrix, Ctx, Distributed, Exec, GraphMatrix, Sequential, Vector};
+use hpcg::{cg_solve, CgWorkspace, GrbHpcg, Grid3, Kernels, MgWorkspace, Problem, RhsVariant};
+
+/// Deliberately uneven node counts: 3 and 7 leave ragged shard tails.
+const NODE_COUNTS: [usize; 5] = [1, 2, 3, 4, 7];
+/// Repeats per node count — a scheduling race that survives the
+/// owner-order combine would show up as a flaky, not a deterministic,
+/// failure.
+const REPEATS: usize = 3;
+
+/// A graph whose float weights make any reassociation of a sum visible
+/// in the low bits.
+fn awkward_csr(n: usize) -> CsrMatrix<f64> {
+    let mut t = Vec::new();
+    for i in 0..n {
+        t.push((i, (i + 1) % n, 0.1 + i as f64 / 3.0));
+        t.push((i, (i + 3) % n, 1.0 / 7.0 + i as f64));
+        if i % 2 == 0 {
+            t.push((i, (i + 5) % n, 0.3));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &t).unwrap()
+}
+
+/// Runs a preconditioned CG solve and returns every result bit: the
+/// solution vector and the relative residual.
+fn hpcg_solution<E: Exec>(exec: Ctx<E>, problem: &Problem, iters: usize) -> (Vec<u64>, u64) {
+    let mut k = GrbHpcg::with_ctx(problem.clone(), exec);
+    let mut cg_ws = CgWorkspace::new(&k);
+    let mut mg_ws = MgWorkspace::new(&k);
+    let mut x = k.alloc(0);
+    let b = problem.b.clone();
+    let res = cg_solve(&mut k, &mut cg_ws, &mut mg_ws, &b, &mut x, iters, 0.0, true);
+    (
+        x.as_slice().iter().map(|v| v.to_bits()).collect(),
+        res.relative_residual.to_bits(),
+    )
+}
+
+/// Compiles the fused SpMV+dot plan once and replays it `rounds` times
+/// with rebound inputs, returning every output bit of every round.
+fn replay_bits<E: Exec>(exec: Ctx<E>, a: &CsrMatrix<f64>, rounds: usize) -> Vec<u64> {
+    let n = a.nrows();
+    let plan = hpcg::fused::build_spmv_dot_plan(exec, n);
+    let mut bits = Vec::new();
+    let mut y = Vector::zeros(n);
+    for round in 0..rounds {
+        let x = Vector::from_dense(
+            (0..n)
+                .map(|i| (i as f64 + 0.3 * round as f64) / 7.0 - 1.0 / 3.0)
+                .collect(),
+        );
+        let mut bnd = plan.bindings();
+        bnd.bind_matrix(plan.matrix_slot(0), a)
+            .bind_input(plan.input_slot(0), &x)
+            .bind_output(plan.output_slot(0), &mut y);
+        let d = plan.run(&mut bnd).unwrap()[plan.scalar(0)];
+        bits.push(d.to_bits());
+        bits.extend(y.as_slice().iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+#[test]
+fn hpcg_bitwise_identical_across_node_counts_and_repeats() {
+    let problem = Problem::build_with(Grid3::cube(8), 2, RhsVariant::Reference)
+        .expect("8³ splits into 2 MG levels");
+    let expected = hpcg_solution(ctx::<Sequential>(), &problem, 4);
+    for p in NODE_COUNTS {
+        for run in 0..REPEATS {
+            let cluster = Distributed::new(p);
+            let got = hpcg_solution(cluster.ctx(), &problem, 4);
+            assert_eq!(got, expected, "HPCG diverged on dist:{p} run {run}");
+        }
+    }
+}
+
+#[test]
+fn sparse_frontier_traversals_bitwise_identical_across_node_counts() {
+    let n = 96;
+    let g = GraphMatrix::from_csr(awkward_csr(n));
+    let sctx = ctx::<Sequential>();
+    let (exp_levels, _) = bfs_levels_on(sctx, &g, 0).unwrap();
+    let (exp_dist, _) = sssp_on(sctx, &g, 1).unwrap();
+    for p in NODE_COUNTS {
+        for run in 0..REPEATS {
+            let d = Distributed::new(p).ctx();
+            let (levels, stats) = bfs_levels_on(d, &g, 0).unwrap();
+            assert_eq!(levels, exp_levels, "BFS diverged on dist:{p} run {run}");
+            assert!(
+                stats.push_steps > 0,
+                "BFS on dist:{p} never took the sparse push (frontier exchange) path"
+            );
+            let (dist, _) = sssp_on(d, &g, 1).unwrap();
+            for (i, (a, b)) in dist.iter().zip(&exp_dist).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "SSSP diverged at {i} on dist:{p} run {run}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_replay_bitwise_identical_across_node_counts_and_repeats() {
+    let a = awkward_csr(64);
+    let expected = replay_bits(ctx::<Sequential>(), &a, 4);
+    for p in NODE_COUNTS {
+        for run in 0..REPEATS {
+            let got = replay_bits(Distributed::new(p).ctx(), &a, 4);
+            assert_eq!(got, expected, "plan replay diverged on dist:{p} run {run}");
+        }
+    }
+}

@@ -95,8 +95,63 @@ fn stripes() -> &'static [Stripe] {
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
-    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// 0 = not yet assigned; [`current_tid`] assigns lazily, [`adopt_tid`]
+    /// overrides (how short-lived BSP worker threads keep a stable track).
+    static TID: Cell<u64> = const { Cell::new(0) };
     static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// This thread's span id, assigning a fresh one on first use.
+fn current_tid() -> u64 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            v
+        } else {
+            let id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(id);
+            id
+        }
+    })
+}
+
+/// Reserves a thread id without binding it to any thread — callers hand
+/// it to workers via [`adopt_tid`] so logically-identical threads across
+/// operations (e.g. "node 3 of this cluster") share one trace track.
+pub fn alloc_tid() -> u64 {
+    NEXT_TID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Makes the calling thread record spans under `tid` (normally one
+/// reserved with [`alloc_tid`]) instead of its own lazily assigned id.
+pub fn adopt_tid(tid: u64) {
+    TID.with(|t| t.set(tid));
+}
+
+/// `tid → human-readable label` registry backing the Chrome trace's
+/// `thread_name` metadata events.
+fn labels() -> &'static Mutex<Vec<(u64, String)>> {
+    static LABELS: OnceLock<Mutex<Vec<(u64, String)>>> = OnceLock::new();
+    LABELS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Names a thread id for trace rendering (e.g. `"node 3/8"`). Labels are
+/// process-lived: they survive [`clear`] so a drained-and-refilled buffer
+/// still renders named tracks.
+pub fn set_thread_label(tid: u64, label: impl Into<String>) {
+    let mut reg = labels().lock().unwrap_or_else(|e| e.into_inner());
+    let label = label.into();
+    match reg.iter_mut().find(|(t, _)| *t == tid) {
+        Some((_, l)) => *l = label,
+        None => reg.push((tid, label)),
+    }
+}
+
+/// Registered `(tid, label)` pairs, ascending by tid.
+fn thread_labels() -> Vec<(u64, String)> {
+    let mut reg = labels().lock().unwrap_or_else(|e| e.into_inner()).clone();
+    reg.sort_by_key(|&(t, _)| t);
+    reg
 }
 
 fn push(r: SpanRecord) {
@@ -125,7 +180,7 @@ impl SpanGuard {
     /// Opens a span unconditionally (callers normally go through
     /// [`span_enter`], which checks the enable flag first).
     pub fn enter(name: &'static str, class: &'static str) -> SpanGuard {
-        let tid = TID.with(|t| *t);
+        let tid = current_tid();
         let depth = DEPTH.with(|d| {
             let v = d.get();
             d.set(v + 1);
@@ -175,7 +230,7 @@ pub fn record_span(name: &'static str, class: &'static str, start: Instant, end:
     if !enabled() {
         return;
     }
-    let tid = TID.with(|t| *t);
+    let tid = current_tid();
     let depth = DEPTH.with(|d| d.get());
     push(SpanRecord {
         name,
@@ -219,16 +274,37 @@ pub fn clear() {
 
 /// Renders the buffered spans as Chrome trace-event JSON — an object with
 /// a `traceEvents` array of complete (`"ph":"X"`) duration events, with
-/// timestamps in microseconds. Loadable at `chrome://tracing` or
+/// timestamps in microseconds, preceded by `thread_name` metadata
+/// (`"ph":"M"`) events for every labeled thread that appears in the
+/// buffer (see [`set_thread_label`] — how BSP worker tracks get their
+/// `node 3/8` names in Perfetto). Loadable at `chrome://tracing` or
 /// <https://ui.perfetto.dev>. The buffer is left intact.
 pub fn chrome_trace() -> String {
     let records = snapshot();
     let mut out = String::with_capacity(64 + records.len() * 112);
     out.push_str("{\"traceEvents\":[");
-    for (i, r) in records.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for (tid, label) in thread_labels() {
+        if !records.iter().any(|r| r.tid == tid) {
+            continue;
+        }
+        if !first {
             out.push(',');
         }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            tid,
+            crate::json_escape(&label)
+        );
+    }
+    for r in records.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
         let _ = write!(
             out,
             "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\
@@ -373,6 +449,49 @@ mod tests {
         clear();
         assert_eq!(span_count(), 0);
         assert_eq!(dropped_count(), 0);
+    }
+
+    #[test]
+    fn adopted_tids_keep_a_stable_track_across_threads() {
+        let _g = test_lock();
+        clear();
+        set_enabled(true);
+        let tid = alloc_tid();
+        set_thread_label(tid, "node 1/2");
+        for _ in 0..2 {
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    adopt_tid(tid);
+                    let _s = span_enter("worker.op", "test").unwrap();
+                });
+            });
+        }
+        set_enabled(false);
+        let spans = snapshot();
+        assert_eq!(spans.len(), 2);
+        assert!(
+            spans.iter().all(|s| s.tid == tid),
+            "both short-lived worker threads recorded on the adopted tid"
+        );
+        let json = chrome_trace();
+        assert!(json.contains(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"node 1/2\"}}}}"
+        )));
+    }
+
+    #[test]
+    fn unused_labels_emit_no_metadata_events() {
+        let _g = test_lock();
+        clear();
+        set_enabled(true);
+        let silent = alloc_tid();
+        set_thread_label(silent, "never records");
+        {
+            let _s = span_enter("only.this", "test").unwrap();
+        }
+        set_enabled(false);
+        assert!(!chrome_trace().contains("never records"));
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! and are never freed, so a per-job `Distributed::new` would leak one
 //! registry slot per request; per-worker caching also means nobody else
 //! can interleave cost steps into a cluster while a job runs on it —
-//! which is exactly what lets `take_steps()` attribute the whole trace
-//! to the job's tenant).
+//! which is exactly what lets the per-job `end_job()` hand-off attribute
+//! the whole trace to the job's tenant and wipe the cluster's scope
+//! before the next tenant reuses it).
 //!
 //! Batching: when a worker pops a plain `mxv`, it drains every queued
 //! `mxv` against the same matrix with the same backend spelling and runs
@@ -331,10 +332,12 @@ impl Worker {
                 let cluster = self.cluster(p);
                 let result = run_job(ctx_on(BackendKind::Dist(cluster)), self, req);
                 // Bill the steps the cluster actually recorded — the whole
-                // point of reusing the BSP cost model as the meter. Taken
-                // on the error path too, so a failed job cannot leak its
-                // steps into the next job's bill.
-                let steps = cluster.take_steps();
+                // point of reusing the BSP cost model as the meter. The
+                // hand-off also resets the cluster's attribution scope and
+                // runs on the error path too, so neither a failed job's
+                // steps nor a dangling scope can bleed into the next
+                // tenant's job on this cached cluster.
+                let steps = cluster.end_job();
                 match result {
                     Ok((payload, _)) => {
                         self.metering.charge_steps(&req.tenant, steps);

@@ -386,6 +386,81 @@ fn per_tenant_metering_is_disjoint_and_pinned() {
 }
 
 #[test]
+fn interleaved_dist_tenants_on_one_shared_cluster_do_not_bleed() {
+    // One worker → every dist:2 job below runs on the SAME cached
+    // cluster. Interleaving two tenants (with a failing job in the
+    // middle) must bill each tenant exactly what a private cluster
+    // would have billed for its own jobs — nothing bleeds across the
+    // per-job hand-off.
+    let n = 24;
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_bound: 64,
+    });
+    put(&server, "g", n, graph_triplets(n));
+    let x: Vec<f64> = (0..n).map(|i| i as f64 / 3.0 - 0.7).collect();
+
+    // Ground truth per-job step traces from a private 2-node cluster.
+    let g = CsrMatrix::from_triplets(n, n, &graph_triplets(n)).unwrap();
+    let solo = graphblas::Distributed::new(2);
+    let xv = Vector::from_dense(x.clone());
+    let mut y = Vector::zeros(n);
+    solo.ctx().mxv(&g, &xv).into(&mut y).unwrap();
+    let mxv_steps = solo.take_steps();
+    solo.ctx().dot(&xv, &xv).compute().unwrap();
+    let dot_steps = solo.take_steps();
+    let secs = |steps: &[bsp::StepCost]| steps.iter().map(|s| s.total_secs()).sum::<f64>();
+
+    let call = |tenant: &str, job: JobSpec| {
+        server
+            .call(Request {
+                tenant: tenant.into(),
+                backend: BackendSpec::Dist(2),
+                job,
+            })
+            .expect("dist job failed")
+    };
+    let mxv_job = || JobSpec::Mxv {
+        matrix: "g".into(),
+        x: x.clone(),
+    };
+    let dot_job = || JobSpec::Dot {
+        x: x.clone(),
+        y: x.clone(),
+    };
+
+    call("alice", mxv_job());
+    call("bob", mxv_job());
+    // A failing bob job between alice's jobs: wrong-length input.
+    server
+        .call(Request {
+            tenant: "bob".into(),
+            backend: BackendSpec::Dist(2),
+            job: JobSpec::Mxv {
+                matrix: "g".into(),
+                x: vec![1.0; 3],
+            },
+        })
+        .expect_err("length-mismatched mxv must fail");
+    call("alice", dot_job());
+    let (_, mb) = call("bob", dot_job());
+    let (_, ma) = call("alice", mxv_job());
+
+    // Alice: 2 SpMVs + 1 dot; bob: 1 SpMV + 1 dot (the failed job billed
+    // nothing and is not counted). Modeled cost is deterministic, so the
+    // bills must match the private-cluster traces exactly.
+    assert_eq!(ma.jobs, 3);
+    assert_eq!(ma.supersteps, 2 * mxv_steps.len() + dot_steps.len());
+    assert!((ma.modeled_secs - (2.0 * secs(&mxv_steps) + secs(&dot_steps))).abs() < 1e-15);
+    assert_eq!(mb.jobs, 2);
+    assert_eq!(mb.supersteps, mxv_steps.len() + dot_steps.len());
+    assert!((mb.modeled_secs - (secs(&mxv_steps) + secs(&dot_steps))).abs() < 1e-15);
+    let solo_h: f64 = mxv_steps.iter().chain(&dot_steps).map(|s| s.h_bytes).sum();
+    assert_eq!(mb.h_bytes, solo_h, "bob's communicated bytes are his own");
+    server.shutdown();
+}
+
+#[test]
 fn queued_same_matrix_spmvs_are_batched_and_bit_identical() {
     let n = 32;
     let server = Server::start(ServerConfig {
